@@ -1,0 +1,28 @@
+"""Ablation: packed-numpy bit matrix vs pure-Python int bitsets.
+
+The paper's OM is a bit-vector structure; this ablation quantifies how
+much the vectorised AND-compare buys over the literal per-pair
+``a AND b == b`` conditional function.
+"""
+
+import pytest
+
+from repro.core import OccurrenceMatrix
+
+SIZES = (100, 200, 400)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ocm_numpy_backend(benchmark, subset_cache, n):
+    space = subset_cache("realworld", n)
+    benchmark.group = f"ablation bitset n={n}"
+    matrix = OccurrenceMatrix(space, backend="numpy")
+    benchmark.pedantic(lambda: matrix.compute_ocm(keep_cms=False), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ocm_python_backend(benchmark, subset_cache, n):
+    space = subset_cache("realworld", n)
+    benchmark.group = f"ablation bitset n={n}"
+    matrix = OccurrenceMatrix(space, backend="python")
+    benchmark.pedantic(lambda: matrix.compute_ocm(keep_cms=False), rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Ablation: streaming-baseline block size (memory/time trade-off).
+
+The blocked baseline trades peak memory (O(block·n)) for per-block
+overhead; this sweep locates the plateau and compares against the
+full-matrix baseline.
+"""
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.core.streaming import compute_baseline_streaming
+
+BLOCKS = (16, 64, 256, 1024)
+N = 400
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_streaming_block_size(benchmark, subset_cache, block):
+    space = subset_cache("realworld", N)
+    benchmark.group = f"ablation streaming block n={N}"
+    benchmark.pedantic(
+        lambda: compute_baseline_streaming(
+            space, block_size=block, collect_partial_dimensions=False
+        ),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_full_matrix_reference(benchmark, subset_cache):
+    space = subset_cache("realworld", N)
+    benchmark.group = f"ablation streaming block n={N}"
+    benchmark.pedantic(
+        lambda: compute_baseline(space, collect_partial_dimensions=False),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,22 @@
+"""Ablation: OCM broadcast chunk size.
+
+The vectorised CM computation processes row blocks of ``chunk`` rows at
+a time (memory/throughput trade-off).  This sweep shows the plateau.
+"""
+
+import pytest
+
+from repro.core import OccurrenceMatrix
+
+CHUNKS = (32, 128, 512, 2048)
+N = 400
+
+
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_ocm_chunk_size(benchmark, subset_cache, chunk):
+    space = subset_cache("realworld", N)
+    benchmark.group = f"ablation OCM chunk n={N}"
+    matrix = OccurrenceMatrix(space, backend="numpy")
+    benchmark.pedantic(
+        lambda: matrix.compute_ocm(keep_cms=False, chunk=chunk), rounds=3, iterations=1
+    )

@@ -1,0 +1,65 @@
+"""Ablation: cube density — when does cubeMasking stop helping?
+
+Section 4.2 warns: "in extreme cases where the number of cubes is large
+and the distribution of observations in these cubes is sparse, the
+cubeMasking method will resemble the baseline."  The synthetic
+generator's ``alpha`` exponent controls exactly that: higher alpha means
+more active lattice nodes for the same n, hence sparser cubes.  This
+sweep measures cubeMasking across the density regimes and records the
+pruning statistics.
+"""
+
+import pytest
+
+from repro.core import compute_baseline, compute_cubemask
+from repro.data.synthetic import build_synthetic_space
+
+N = 800
+# alpha: lattice-node growth exponent.  0.3 -> few dense cubes,
+# 0.85 -> many sparse cubes (approaching one observation per cube).
+ALPHAS = (0.3, 0.55, 0.85)
+
+_spaces = {}
+
+
+def space_for(alpha):
+    if alpha not in _spaces:
+        _spaces[alpha] = build_synthetic_space(N, dimension_count=4, seed=7, alpha=alpha)
+    return _spaces[alpha]
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_cubemask_by_density(benchmark, alpha):
+    space = space_for(alpha)
+    benchmark.group = f"ablation cube density n={N}"
+    stats: dict = {}
+    benchmark.pedantic(
+        lambda: compute_cubemask(space, targets=("full", "complementary"), stats=stats),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["alpha"] = alpha
+    benchmark.extra_info["cubes"] = stats["cubes"]
+    benchmark.extra_info["comparisons_vs_n2"] = round(
+        stats["instance_comparisons"] / (N * N), 4
+    )
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_baseline_by_density(benchmark, alpha):
+    space = space_for(alpha)
+    benchmark.group = f"ablation cube density n={N}"
+    benchmark.pedantic(
+        lambda: compute_baseline(space, targets=("full", "complementary")),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["alpha"] = alpha
+
+
+def test_density_increases_cube_count():
+    """More alpha -> more cubes (the knob actually works)."""
+    from repro.core import CubeLattice
+
+    counts = [len(CubeLattice(space_for(alpha))) for alpha in ALPHAS]
+    assert counts[0] < counts[1] < counts[2]

@@ -1,0 +1,62 @@
+"""Ablation: lattice signature pruning vs brute-force pair checks.
+
+cubeMasking's win comes from checking cube signatures before comparing
+observations.  The brute-force arm runs the *same* instance-level
+checks over all n² pairs (no lattice), isolating the pruning benefit.
+"""
+
+import pytest
+
+from repro.core import compute_cubemask
+from repro.core.results import RelationshipSet
+
+SIZES = (200, 400)
+TARGETS = ("full",)
+
+
+def brute_force_full(space) -> RelationshipSet:
+    """All-pairs full containment with the cubeMasking instance checks."""
+    result = RelationshipSet()
+    dimensions = space.dimensions
+    ancestor_sets = [space.hierarchies[d]._ancestors for d in dimensions]
+    codes = [record.codes for record in space.observations]
+    uris = [record.uri for record in space.observations]
+    measures = [record.measures for record in space.observations]
+    n = len(space)
+    for a in range(n):
+        code_a = codes[a]
+        for b in range(n):
+            if a == b or measures[a].isdisjoint(measures[b]):
+                continue
+            code_b = codes[b]
+            contained = True
+            for position in range(len(dimensions)):
+                if code_a[position] not in ancestor_sets[position][code_b[position]]:
+                    contained = False
+                    break
+            if contained:
+                result.add_full(uris[a], uris[b])
+    return result
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_with_lattice_pruning(benchmark, subset_cache, n):
+    space = subset_cache("realworld", n)
+    benchmark.group = f"ablation lattice prune n={n}"
+    result = benchmark.pedantic(
+        lambda: compute_cubemask(space, targets=TARGETS), rounds=3, iterations=1
+    )
+    benchmark.extra_info["pairs"] = len(result.full)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_brute_force_pairs(benchmark, subset_cache, n):
+    space = subset_cache("realworld", n)
+    benchmark.group = f"ablation lattice prune n={n}"
+    result = benchmark.pedantic(lambda: brute_force_full(space), rounds=3, iterations=1)
+    benchmark.extra_info["pairs"] = len(result.full)
+
+
+def test_pruning_is_lossless(subset_cache):
+    space = subset_cache("realworld", 200)
+    assert compute_cubemask(space, targets=TARGETS).full == brute_force_full(space).full

@@ -1,0 +1,39 @@
+"""Figure 5(f): ratio of discovered cubes per observation count.
+
+Times the lattice construction (the linear cube-identification pass of
+Algorithm 4) and records the cube count and cubes/observation ratio in
+``extra_info``.  Expected shape: the ratio *decreases* as input size
+grows — the property that makes cubeMasking scale.
+"""
+
+import pytest
+
+from repro.core import CubeLattice
+
+from workload import REALWORLD_SIZES, SYNTHETIC_SIZES
+
+
+@pytest.mark.parametrize("n", REALWORLD_SIZES)
+def test_cube_ratio_realworld(benchmark, subset_cache, n):
+    space = subset_cache("realworld", n)
+    benchmark.group = "fig5f cube ratio (realworld)"
+    lattice = benchmark.pedantic(lambda: CubeLattice(space), rounds=3, iterations=1)
+    benchmark.extra_info["cubes"] = len(lattice)
+    benchmark.extra_info["ratio"] = round(lattice.cube_ratio, 4)
+
+
+@pytest.mark.parametrize("n", SYNTHETIC_SIZES)
+def test_cube_ratio_synthetic(benchmark, subset_cache, n):
+    space = subset_cache("synthetic", n)
+    benchmark.group = "fig5f cube ratio (synthetic)"
+    lattice = benchmark.pedantic(lambda: CubeLattice(space), rounds=3, iterations=1)
+    benchmark.extra_info["cubes"] = len(lattice)
+    benchmark.extra_info["ratio"] = round(lattice.cube_ratio, 4)
+
+
+def test_cube_ratio_decreases(subset_cache):
+    """The headline property of Figure 5(f), asserted outright."""
+    ratios = [
+        CubeLattice(subset_cache("realworld", n)).cube_ratio for n in REALWORLD_SIZES
+    ]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:])), ratios

@@ -1,0 +1,52 @@
+"""Tables 2 and 3: occurrence-matrix and OCM construction.
+
+Micro-benchmarks of the matrix pipeline on the paper's running example
+and on a realistic slice — the building blocks behind Tables 2 (OM),
+3(a) (CM_i) and 3(b) (OCM).
+"""
+
+import pytest
+
+from repro.core import OccurrenceMatrix
+from repro.data.example import EXNS, build_example_space
+
+
+@pytest.fixture(scope="module")
+def example_space():
+    return build_example_space()
+
+
+def test_om_construction_example(benchmark, example_space):
+    benchmark.group = "table2 OM construction"
+    matrix = benchmark(lambda: OccurrenceMatrix(example_space))
+    dense, columns = matrix.dense()
+    benchmark.extra_info["rows"] = dense.shape[0]
+    benchmark.extra_info["columns"] = dense.shape[1]
+
+
+def test_om_construction_realworld(benchmark, subset_cache):
+    space = subset_cache("realworld", 400)
+    benchmark.group = "table2 OM construction"
+    matrix = benchmark(lambda: OccurrenceMatrix(space))
+    benchmark.extra_info["rows"] = len(space)
+
+
+def test_cm_single_dimension(benchmark, example_space):
+    benchmark.group = "table3a CM per dimension"
+    matrix = OccurrenceMatrix(example_space)
+    cm = benchmark(lambda: matrix.containment_matrix(EXNS.refArea))
+    benchmark.extra_info["true_cells"] = int(cm.sum())
+
+
+def test_ocm_example(benchmark, example_space):
+    benchmark.group = "table3b OCM"
+    matrix = OccurrenceMatrix(example_space)
+    ocm = benchmark(lambda: matrix.compute_ocm())
+    benchmark.extra_info["dimensions"] = ocm.dimension_count
+
+
+def test_ocm_realworld(benchmark, subset_cache):
+    space = subset_cache("realworld", 400)
+    benchmark.group = "table3b OCM"
+    matrix = OccurrenceMatrix(space)
+    benchmark.pedantic(lambda: matrix.compute_ocm(keep_cms=False), rounds=3, iterations=1)

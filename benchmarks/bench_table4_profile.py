@@ -1,0 +1,59 @@
+"""Table 4: the seven-dataset corpus profile.
+
+Times the corpus generation and records the Table 4 statistics
+(dataset sizes, dimension counts, measures, distinct codes) in
+``extra_info`` so the benchmark output regenerates the table's rows.
+"""
+
+from repro.core.space import ObservationSpace
+from repro.data.realworld import REALWORLD_PROFILES, build_realworld_cubespace, standard_hierarchies
+
+
+def test_corpus_generation(benchmark):
+    benchmark.group = "table4 corpus"
+    cube = benchmark.pedantic(
+        lambda: build_realworld_cubespace(scale=0.005, seed=42), rounds=2, iterations=1
+    )
+    benchmark.extra_info["datasets"] = len(cube.datasets)
+    benchmark.extra_info["observations"] = cube.observation_count()
+
+
+def test_table4_rows(benchmark):
+    """Regenerate Table 4's rows (dims per dataset, measure, #obs)."""
+    benchmark.group = "table4 corpus"
+
+    def build_rows():
+        rows = []
+        for profile in REALWORLD_PROFILES:
+            rows.append(
+                (
+                    profile.name,
+                    profile.observations,
+                    len(profile.dimensions),
+                    profile.measure.local_name(),
+                )
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    for name, observations, dimension_count, measure in rows:
+        benchmark.extra_info[name] = f"{observations} obs, {dimension_count} dims, {measure}"
+
+
+def test_distinct_code_count(benchmark):
+    """The paper reports ~2.6k distinct hierarchical values."""
+    benchmark.group = "table4 corpus"
+    hierarchies = standard_hierarchies()
+    total = benchmark(lambda: sum(len(h) for h in hierarchies.values()))
+    benchmark.extra_info["distinct_codes"] = total
+    assert 500 <= total <= 5000
+
+
+def test_flattening(benchmark):
+    """Cube space -> observation space (dimension-bus padding)."""
+    benchmark.group = "table4 corpus"
+    cube = build_realworld_cubespace(scale=0.005, seed=42)
+    space = benchmark.pedantic(
+        lambda: ObservationSpace.from_cubespace(cube), rounds=2, iterations=1
+    )
+    benchmark.extra_info["bus_dimensions"] = len(space.dimensions)

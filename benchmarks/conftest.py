@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Corpora are generated once per session and cached; benchmarks slice
+them to the requested input size, mirroring the paper's experimental
+protocol (fixed dimensionality, growing observation counts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.space import ObservationSpace
+from repro.data.realworld import build_realworld_cubespace
+from repro.data.synthetic import build_synthetic_space
+
+from workload import SYNTHETIC_SIZES
+
+
+@pytest.fixture(scope="session")
+def realworld_space() -> ObservationSpace:
+    """~1.2k-observation emulation of the 7-dataset corpus (Table 4)."""
+    cube = build_realworld_cubespace(scale=0.005, seed=42)
+    return ObservationSpace.from_cubespace(cube)
+
+
+@pytest.fixture(scope="session")
+def synthetic_space() -> ObservationSpace:
+    """Section 4.2 synthetic scalability corpus."""
+    return build_synthetic_space(max(SYNTHETIC_SIZES), dimension_count=4, seed=42)
+
+
+@pytest.fixture(scope="session")
+def subset_cache(realworld_space, synthetic_space):
+    """Memoised subsets so each (corpus, n) slice is built once."""
+    cache: dict[tuple[str, int], ObservationSpace] = {}
+
+    def get(corpus: str, n: int) -> ObservationSpace:
+        key = (corpus, n)
+        if key not in cache:
+            source = realworld_space if corpus == "realworld" else synthetic_space
+            cache[key] = source.subset(n)
+        return cache[key]
+
+    return get

@@ -1,0 +1,14 @@
+"""Benchmark workload constants shared across the figure benches.
+
+Scale note: the paper sweeps 2k-250k observations (and 2.5M synthetic)
+in Java on a 3.6 GHz Xeon; this pure-Python reproduction sweeps
+proportionally smaller sizes so the suite completes in minutes.  The
+*shapes* — method ordering, crossovers, slopes — are what
+EXPERIMENTS.md validates against the paper.
+"""
+
+REALWORLD_SIZES = (100, 200, 400, 800)
+PARTIAL_SIZES = (100, 200, 400)
+SYNTHETIC_SIZES = (500, 1000, 2000)
+COMPARATOR_SIZES = (25, 50, 100)
+RULES_SIZES = (10, 20, 40)

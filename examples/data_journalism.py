@@ -1,0 +1,68 @@
+"""The paper's motivating scenario (Section 1, Figures 1-3).
+
+A data journalist collects three statistical datasets from different
+sources — population (D1), unemployment+poverty (D2), unemployment by
+city (D3) — and wants to know how their observations relate: which
+aggregate which (containment), and which can be combined side-by-side
+(complementarity).
+
+Run with::
+
+    python examples/data_journalism.py
+"""
+
+from repro import Method, compute_relationships
+from repro.data.example import EXNS, build_example_space
+
+
+def main() -> None:
+    space = build_example_space()
+    print(f"Combined space: {space}")
+    print(f"Dimension bus: {[d.local_name() for d in space.dimensions]}\n")
+
+    result = compute_relationships(space, Method.CUBE_MASKING, collect_partial_dimensions=True)
+
+    # ------------------------------------------------------------------
+    # Reproduce Figure 3: the containment/complementarity table.
+    # ------------------------------------------------------------------
+    def describe(uri):
+        record = space.record_for(uri)
+        cells = " / ".join(code.local_name() for code in record.codes)
+        measures = ", ".join(sorted(m.local_name() for m in record.measures))
+        return f"{uri.local_name():5} [{cells}] measuring {measures}"
+
+    print("=== Full containment (roll-up candidates) ===")
+    by_container: dict = {}
+    for container, contained in sorted(result.full):
+        by_container.setdefault(container, []).append(contained)
+    for container, members in by_container.items():
+        print(describe(container))
+        for member in members:
+            print(f"    contains: {describe(member)}")
+
+    print("\n=== Complementarity (joinable side-by-side) ===")
+    for a, b in sorted(result.complementary):
+        print(describe(a))
+        print(f"    complements: {describe(b)}")
+
+    # ------------------------------------------------------------------
+    # The journalist's question: can city-level unemployment be compared
+    # with country-level poverty?  Partial containment tells which
+    # dimensions must be rolled up first.
+    # ------------------------------------------------------------------
+    print("\n=== Partial containment o21 -> o31 (needs roll-up) ===")
+    pair = (EXNS.o21, EXNS.o31)
+    if pair in result.partial:
+        dims = sorted(d.local_name() for d in result.partial_dimensions(*pair))
+        degree = result.degree(*pair)
+        print(f"o21 partially contains o31 on {dims} (degree {degree:.2f});")
+        missing = sorted(
+            d.local_name()
+            for d in space.dimensions
+            if d not in result.partial_dimensions(*pair)
+        )
+        print(f"rolling up on {missing} would make them comparable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Dimension alignment across sources (the LIMES preprocessing step).
+
+Two statistical offices publish the same geography under different URI
+namespaces.  Before containment/complementarity can be computed, the
+code lists must be aligned — here with the link-discovery module
+configured like the paper's LIMES setup: match ``skos:Concept`` nodes
+by the cosine similarity of their URI suffixes, taking the maximum with
+the Levenshtein score.
+
+Run with::
+
+    python examples/federated_alignment.py
+"""
+
+from repro import (
+    CubeSpace,
+    Dataset,
+    DatasetSchema,
+    Hierarchy,
+    Method,
+    Namespace,
+    Observation,
+    compute_relationships,
+    cubespace_to_graph,
+)
+from repro.align import LinkSpec, MetricExpression, discover_links
+from repro.rdf.namespaces import SKOS
+
+EUROSTAT = Namespace("http://eurostat.example/code/")
+WORLDBANK = Namespace("http://worldbank.example/indicator/")
+NS = Namespace("http://journalist.example/")
+
+
+def eurostat_cube() -> CubeSpace:
+    geo = Hierarchy(EUROSTAT.EU)
+    geo.add(EUROSTAT.EL, EUROSTAT.EU)       # Eurostat codes Greece as EL
+    geo.add(EUROSTAT["EL-ATH"], EUROSTAT.EL)
+    space = CubeSpace()
+    space.add_hierarchy(NS.refArea, geo)
+    schema = DatasetSchema(dimensions=(NS.refArea,), measures=(NS.unemployment,))
+    ds = Dataset(NS.eurostatData, schema)
+    ds.add(Observation(NS.eu1, NS.eurostatData, {NS.refArea: EUROSTAT.EL}, {NS.unemployment: 24.9}))
+    ds.add(Observation(NS.eu2, NS.eurostatData, {NS.refArea: EUROSTAT["EL-ATH"]}, {NS.unemployment: 26.3}))
+    space.add_dataset(ds)
+    return space
+
+
+def worldbank_cube() -> CubeSpace:
+    geo = Hierarchy(WORLDBANK.EU)
+    geo.add(WORLDBANK.EL, WORLDBANK.EU)
+    geo.add(WORLDBANK["EL-ATH"], WORLDBANK.EL)
+    space = CubeSpace()
+    space.add_hierarchy(NS.wbArea, geo)
+    schema = DatasetSchema(dimensions=(NS.wbArea,), measures=(NS.population,))
+    ds = Dataset(NS.worldbankData, schema)
+    ds.add(Observation(NS.wb1, NS.worldbankData, {NS.wbArea: WORLDBANK.EL}, {NS.population: 10858018}))
+    ds.add(Observation(NS.wb2, NS.worldbankData, {NS.wbArea: WORLDBANK["EL-ATH"]}, {NS.population: 664046}))
+    space.add_dataset(ds)
+    return space
+
+
+def main() -> None:
+    source = eurostat_cube()
+    target = worldbank_cube()
+
+    # ------------------------------------------------------------------
+    # Step 1: discover code correspondences (LIMES-style).
+    # ------------------------------------------------------------------
+    spec = LinkSpec(
+        expression=MetricExpression.max(
+            MetricExpression.metric("cosine"),
+            MetricExpression.metric("levenshtein"),
+        ),
+        acceptance=0.95,
+        review=0.7,
+        source_type=SKOS.Concept,
+        target_type=SKOS.Concept,
+    )
+    accepted, to_review = discover_links(
+        cubespace_to_graph(source), cubespace_to_graph(target), spec
+    )
+    print("Accepted links:")
+    mapping = {}
+    for link in accepted:
+        print(f"  {link.source} == {link.target}  (score {link.score:.2f})")
+        mapping[link.target] = link.source
+    if to_review:
+        print(f"({len(to_review)} links left for manual review)")
+
+    # ------------------------------------------------------------------
+    # Step 2: rewrite the target cube onto the source's vocabulary
+    # (both the shared code list AND the shared dimension property).
+    # ------------------------------------------------------------------
+    reconciled = CubeSpace()
+    reconciled.add_hierarchy(NS.refArea, source.hierarchies[NS.refArea])
+    for dataset in source.datasets.values():
+        reconciled.add_dataset(dataset)
+    wb_schema = DatasetSchema(dimensions=(NS.refArea,), measures=(NS.population,))
+    rewritten = Dataset(NS.worldbankAligned, wb_schema)
+    for obs in target.observations():
+        code = mapping[obs.value(NS.wbArea)]
+        rewritten.add(
+            Observation(obs.uri, NS.worldbankAligned, {NS.refArea: code}, obs.measures)
+        )
+    reconciled.add_dataset(rewritten)
+
+    # ------------------------------------------------------------------
+    # Step 3: compute relationships on the reconciled dimension bus.
+    # ------------------------------------------------------------------
+    result = compute_relationships(reconciled, Method.CUBE_MASKING)
+    print(f"\nAfter alignment: {result}")
+    for a, b in sorted(result.complementary):
+        print(f"  {a.local_name()} complements {b.local_name()} "
+              "(unemployment + population for the same area)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Incremental relationship maintenance (the paper's future-work item).
+
+A live statistics portal receives new observations continuously.
+Instead of recomputing all pair-wise relationships (O(n²)), the
+``update_relationships`` API checks only pairs that involve a new
+observation (O(n·m) for m arrivals).
+
+Run with::
+
+    python examples/incremental_updates.py
+"""
+
+import time
+
+from repro import Method, ObservationSpace, compute_relationships, update_relationships
+from repro.data.realworld import build_realworld_cubespace
+
+
+def main() -> None:
+    cube = build_realworld_cubespace(scale=0.004, seed=5)
+    full_space = ObservationSpace.from_cubespace(cube)
+    n = len(full_space)
+    batch_size = 25
+    initial = n - batch_size
+
+    # Initial batch: full computation.
+    space = full_space.select(range(initial))
+    started = time.perf_counter()
+    result = compute_relationships(space, Method.BASELINE)
+    initial_time = time.perf_counter() - started
+    print(f"Initial corpus of {initial} observations: {result}")
+    print(f"  full recompute took {initial_time:.2f}s")
+
+    # m new observations arrive.
+    arrivals = [
+        (record.uri, record.dataset, dict(zip(full_space.dimensions, record.codes)), record.measures)
+        for record in full_space.observations[initial:]
+    ]
+    started = time.perf_counter()
+    update_relationships(space, result, arrivals)
+    incremental_time = time.perf_counter() - started
+    print(f"\nAfter {batch_size} arrivals (incremental): {result}")
+    print(f"  incremental update took {incremental_time:.2f}s")
+
+    # Sanity: identical to recomputing from scratch.
+    started = time.perf_counter()
+    recomputed = compute_relationships(full_space, Method.BASELINE)
+    recompute_time = time.perf_counter() - started
+    assert result == recomputed
+    print(f"  full recompute would have taken {recompute_time:.2f}s — results identical ✓")
+    if incremental_time > 0:
+        print(f"  speed-up: {recompute_time / incremental_time:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

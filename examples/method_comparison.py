@@ -1,0 +1,61 @@
+"""Compare all five computation methods on one corpus (Section 4 in miniature).
+
+Sweeps a small range of input sizes and reports execution time and
+recall per method — the shape of Figure 5(a-c) at laptop scale: the
+SPARQL and rule comparators fall off a cliff, the baseline grows
+quadratically, clustering trades recall for time, cubeMasking wins.
+
+Run with::
+
+    python examples/method_comparison.py
+"""
+
+import time
+
+from repro import Method, ObservationSpace, compute_relationships
+from repro.data.realworld import build_realworld_cubespace
+
+SIZES = (50, 100, 200, 400)
+# The traditional comparators only get the small sizes (they time out
+# beyond that, exactly as in the paper).
+COMPARATOR_LIMIT = 100
+RULES_LIMIT = 50
+
+
+def main() -> None:
+    cube = build_realworld_cubespace(scale=0.002, seed=3)
+    space = ObservationSpace.from_cubespace(cube)
+    print(f"Corpus: {space}\n")
+    header = f"{'n':>5} {'method':<14} {'time (s)':>9} {'full':>6} {'compl':>6} {'recall':>7}"
+    print(header)
+    print("-" * len(header))
+
+    for n in SIZES:
+        subset = space.subset(n)
+        truth = None
+        for method in (Method.BASELINE, Method.CUBE_MASKING, Method.CLUSTERING,
+                       Method.SPARQL, Method.RULES):
+            if method is Method.SPARQL and n > COMPARATOR_LIMIT:
+                print(f"{n:>5} {method.value:<14} {'(skipped: too slow)':>9}")
+                continue
+            if method is Method.RULES and n > RULES_LIMIT:
+                print(f"{n:>5} {method.value:<14} {'(skipped: too slow)':>9}")
+                continue
+            options = {"collect_partial": False}
+            if method is Method.CLUSTERING:
+                options["seed"] = 0
+            started = time.perf_counter()
+            result = compute_relationships(subset, method, **options)
+            elapsed = time.perf_counter() - started
+            if method is Method.BASELINE:
+                truth = result
+            recall = result.recall_against(truth).full if truth else 1.0
+            print(
+                f"{n:>5} {method.value:<14} {elapsed:>9.3f} {len(result.full):>6} "
+                f"{len(result.complementary):>6} {recall:>7.2f}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: load an RDF Data Cube from Turtle and compute relationships.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Method, compute_relationships, load_cubespace, parse_turtle, relationships_to_graph, serialize_turtle
+
+TURTLE = """
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+@prefix ex: <http://example.org/> .
+
+# --- code list: a two-level geography ---------------------------------
+ex:geoScheme a skos:ConceptScheme ; skos:hasTopConcept ex:World .
+ex:World a skos:Concept ; skos:inScheme ex:geoScheme .
+ex:Greece a skos:Concept ; skos:inScheme ex:geoScheme ; skos:broader ex:World .
+ex:Athens a skos:Concept ; skos:inScheme ex:geoScheme ; skos:broader ex:Greece .
+
+ex:timeScheme a skos:ConceptScheme ; skos:hasTopConcept ex:Always .
+ex:Always a skos:Concept ; skos:inScheme ex:timeScheme .
+ex:Y2015 a skos:Concept ; skos:inScheme ex:timeScheme ; skos:broader ex:Always .
+
+# --- two datasets over shared dimensions ------------------------------
+ex:popDataset a qb:DataSet ; qb:structure ex:popStructure .
+ex:popStructure a qb:DataStructureDefinition ;
+    qb:component [ qb:dimension ex:geo ; qb:codeList ex:geoScheme ] ,
+                 [ qb:dimension ex:period ; qb:codeList ex:timeScheme ] ,
+                 [ qb:measure ex:population ] .
+
+ex:unempDataset a qb:DataSet ; qb:structure ex:unempStructure .
+ex:unempStructure a qb:DataStructureDefinition ;
+    qb:component [ qb:dimension ex:geo ; qb:codeList ex:geoScheme ] ,
+                 [ qb:dimension ex:period ; qb:codeList ex:timeScheme ] ,
+                 [ qb:measure ex:unemployment ] .
+
+# --- observations ------------------------------------------------------
+ex:pop1 a qb:Observation ; qb:dataSet ex:popDataset ;
+    ex:geo ex:Greece ; ex:period ex:Y2015 ; ex:population 10858018 .
+ex:pop2 a qb:Observation ; qb:dataSet ex:popDataset ;
+    ex:geo ex:Athens ; ex:period ex:Y2015 ; ex:population 664046 .
+ex:unemp1 a qb:Observation ; qb:dataSet ex:unempDataset ;
+    ex:geo ex:Greece ; ex:period ex:Y2015 ; ex:unemployment 24.9 .
+ex:unemp2 a qb:Observation ; qb:dataSet ex:unempDataset ;
+    ex:geo ex:Athens ; ex:period ex:Y2015 ; ex:unemployment 26.3 .
+"""
+
+
+def main() -> None:
+    graph = parse_turtle(TURTLE)
+    cube = load_cubespace(graph)
+    print(f"Loaded: {cube}")
+
+    result = compute_relationships(cube, method=Method.CUBE_MASKING)
+    print(f"Computed: {result}\n")
+
+    print("Full containment (container -> contained):")
+    for container, contained in sorted(result.full):
+        print(f"  {container.local_name():8} ⊒ {contained.local_name()}")
+
+    print("\nComplementarity (same context, different facts):")
+    for a, b in sorted(result.complementary):
+        print(f"  {a.local_name():8} ~ {b.local_name()}")
+
+    print("\nMaterialised relationship triples:")
+    print(serialize_turtle(relationships_to_graph(result, annotate_partial_dimensions=False)))
+
+
+if __name__ == "__main__":
+    main()

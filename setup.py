@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, which modern
+PEP 660 editable installs require; this shim lets ``pip install -e .``
+fall back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

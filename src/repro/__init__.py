@@ -1,0 +1,127 @@
+"""repro — containment and complementarity in RDF data cubes.
+
+A from-scratch reproduction of *"Efficient Computation of Containment
+and Complementarity in RDF Data Cubes"* (Meimaris, Papastefanatos,
+Vassiliadis, Anagnostopoulos — EDBT 2016), including every substrate
+the paper depends on: an RDF triple store with Turtle/N-Triples
+support, a SPARQL subset engine, a forward-chaining rule engine, the
+QB cube model, a LIMES-style alignment step and dataset generators.
+
+Quickstart::
+
+    from repro import compute_relationships, Method
+    from repro.data import build_realworld_cubespace
+
+    cube = build_realworld_cubespace(scale=0.01, seed=7)
+    result = compute_relationships(cube, method=Method.CUBE_MASKING)
+    print(result)          # RelationshipSet(full=..., partial=..., complementary=...)
+"""
+
+from repro.core import (
+    CubeLattice,
+    CubeNavigator,
+    Method,
+    ObservationSpace,
+    OccurrenceMatrix,
+    Recall,
+    RelationshipSet,
+    compute_baseline,
+    compute_baseline_streaming,
+    compute_clustering,
+    compute_cubemask,
+    compute_hybrid,
+    compute_relationships,
+    compute_rules,
+    compute_sparql,
+    dataset_relatedness,
+    k_dominant_skyline,
+    recommend_observations,
+    remove_observations,
+    rollup_dataset,
+    skyline,
+    skyline_from_relationships,
+    update_relationships,
+)
+from repro.errors import ReproError
+from repro.qb import (
+    CubeSpace,
+    Dataset,
+    DatasetSchema,
+    Hierarchy,
+    Observation,
+    cubespace_to_graph,
+    is_well_formed,
+    load_cubespace,
+    relationships_to_graph,
+    validate_graph,
+)
+from repro.rdf import (
+    Graph,
+    Literal,
+    Namespace,
+    RDFDataset,
+    URIRef,
+    parse_trig,
+    parse_turtle,
+    serialize_trig,
+    serialize_turtle,
+)
+from repro.store import load_relationships, save_relationships
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # facade
+    "Method",
+    "compute_relationships",
+    "update_relationships",
+    "remove_observations",
+    "compute_baseline",
+    "compute_baseline_streaming",
+    "compute_clustering",
+    "compute_cubemask",
+    "compute_hybrid",
+    "compute_sparql",
+    "compute_rules",
+    # core types
+    "ObservationSpace",
+    "OccurrenceMatrix",
+    "CubeLattice",
+    "RelationshipSet",
+    "Recall",
+    # applications
+    "skyline",
+    "k_dominant_skyline",
+    "skyline_from_relationships",
+    "CubeNavigator",
+    "rollup_dataset",
+    "recommend_observations",
+    "dataset_relatedness",
+    # cube model
+    "CubeSpace",
+    "Dataset",
+    "DatasetSchema",
+    "Observation",
+    "Hierarchy",
+    "load_cubespace",
+    "cubespace_to_graph",
+    "relationships_to_graph",
+    "validate_graph",
+    "is_well_formed",
+    # RDF substrate
+    "Graph",
+    "RDFDataset",
+    "URIRef",
+    "Literal",
+    "Namespace",
+    "parse_turtle",
+    "serialize_turtle",
+    "parse_trig",
+    "serialize_trig",
+    # persistence
+    "save_relationships",
+    "load_relationships",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,39 @@
+"""Dimension alignment (the LIMES preprocessing step of Section 4).
+
+Before relationship computation, dimension values from different
+sources must be reconciled onto shared code lists.  The paper uses the
+LIMES link-discovery framework configured to match SKOS concepts by the
+cosine similarity of their URI suffixes; this subpackage reproduces
+that workflow:
+
+* :mod:`repro.align.similarity` — string distance/similarity metrics
+  (Levenshtein, cosine over token or character n-grams, Jaccard,
+  trigram),
+* :mod:`repro.align.limes` — link specifications with metric
+  expressions (MAX/MIN/AVG combinators), SPARQL-style restrictions and
+  acceptance/review thresholds.
+"""
+
+from repro.align.limes import Link, LinkSpec, MetricExpression, discover_links
+from repro.align.reconcile import align_cubespaces, default_link_spec
+from repro.align.similarity import (
+    cosine_similarity,
+    jaccard_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    trigram_similarity,
+)
+
+__all__ = [
+    "LinkSpec",
+    "MetricExpression",
+    "Link",
+    "discover_links",
+    "align_cubespaces",
+    "default_link_spec",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "trigram_similarity",
+]

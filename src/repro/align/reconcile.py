@@ -1,0 +1,113 @@
+"""Cube-space reconciliation after link discovery.
+
+Wraps the full preprocessing workflow of the paper's Section 4: run
+LIMES-style link discovery between the code lists of two cube spaces,
+then rewrite the *target* cubes onto the *source* vocabulary (the
+"reconciled dimension bus"), so the relationship algorithms can treat
+all observations as one space.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlignmentError
+from repro.align.limes import Link, LinkSpec, MetricExpression, discover_links
+from repro.qb.model import CubeSpace, Dataset, Observation
+from repro.qb.writer import cubespace_to_graph
+from repro.rdf.namespaces import SKOS
+from repro.rdf.terms import URIRef
+
+__all__ = ["align_cubespaces", "default_link_spec"]
+
+
+def default_link_spec() -> LinkSpec:
+    """The paper's LIMES configuration: match SKOS concepts by the best
+    of cosine and Levenshtein similarity over URI suffixes."""
+    return LinkSpec(
+        expression=MetricExpression.max(
+            MetricExpression.metric("cosine"),
+            MetricExpression.metric("levenshtein"),
+        ),
+        acceptance=0.95,
+        review=0.7,
+        source_type=SKOS.Concept,
+        target_type=SKOS.Concept,
+    )
+
+
+def align_cubespaces(
+    source: CubeSpace,
+    target: CubeSpace,
+    dimension_map: dict[URIRef, URIRef],
+    spec: LinkSpec | None = None,
+) -> tuple[CubeSpace, list[Link], list[Link]]:
+    """Merge ``target`` into ``source``'s vocabulary.
+
+    ``dimension_map`` maps each target dimension property to the source
+    dimension it corresponds to (schema-level alignment is assumed
+    given, as in the paper; value-level alignment is discovered).
+
+    Returns ``(reconciled_space, accepted_links, review_links)``.  The
+    reconciled space contains all source datasets unchanged plus every
+    target dataset rewritten onto the source code lists.  A target code
+    with no accepted link raises :class:`AlignmentError` — silent
+    partial alignments corrupt downstream recall.
+    """
+    spec = spec if spec is not None else default_link_spec()
+    unknown_dims = set(dimension_map.values()) - set(source.hierarchies)
+    if unknown_dims:
+        raise AlignmentError(f"dimension_map points at unknown source dimensions: {sorted(unknown_dims)}")
+
+    accepted, review = discover_links(
+        cubespace_to_graph(source), cubespace_to_graph(target), spec
+    )
+    # discover_links finds, for each source concept, its best target; we
+    # need target -> source.
+    code_map: dict[URIRef, URIRef] = {}
+    for link in accepted:
+        existing = code_map.get(link.target)
+        if existing is None or link.score > 0:
+            code_map[link.target] = link.source
+
+    reconciled = CubeSpace()
+    for dimension, hierarchy in source.hierarchies.items():
+        reconciled.add_hierarchy(dimension, hierarchy)
+    for dataset in source.datasets.values():
+        reconciled.add_dataset(dataset)
+
+    for dataset in target.datasets.values():
+        mapped_dims = tuple(
+            dimension_map.get(dimension, dimension) for dimension in dataset.schema.dimensions
+        )
+        missing = [d for d in mapped_dims if d not in reconciled.hierarchies]
+        if missing:
+            raise AlignmentError(
+                f"target dataset {dataset.uri} uses dimensions with no mapping: {missing}"
+            )
+        schema = type(dataset.schema)(
+            dimensions=mapped_dims,
+            measures=dataset.schema.measures,
+            attributes=dataset.schema.attributes,
+        )
+        rewritten = Dataset(dataset.uri, schema, label=dataset.label)
+        for observation in dataset.observations:
+            dims: dict[URIRef, URIRef] = {}
+            for dimension, code in observation.dimensions.items():
+                mapped_code = code_map.get(code)
+                if mapped_code is None:
+                    raise AlignmentError(
+                        f"no accepted link for code {code} "
+                        f"(observation {observation.uri}); lower the acceptance "
+                        "threshold or review the candidate links"
+                    )
+                dims[dimension_map.get(dimension, dimension)] = mapped_code
+            rewritten.add(
+                Observation(
+                    observation.uri,
+                    dataset.uri,
+                    dims,
+                    observation.measures,
+                    observation.attributes,
+                )
+            )
+        reconciled.add_dataset(rewritten)
+    return reconciled, accepted, review

@@ -1,0 +1,98 @@
+"""String similarity metrics for link discovery.
+
+All similarities return values in [0, 1] where 1 means identical.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "trigram_similarity",
+    "character_ngrams",
+]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance with a two-row dynamic program."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            insert = current[j - 1] + 1
+            delete = previous[j] + 1
+            substitute = previous[j - 1] + (ch_a != ch_b)
+            current.append(min(insert, delete, substitute))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - normalised edit distance."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+def _tokens(text: str) -> list[str]:
+    # Split camelCase and non-alphanumerics, lowercase everything.
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", text)
+    return [t.lower() for t in _TOKEN_RE.findall(spaced)]
+
+
+def cosine_similarity(a: str, b: str, use_tokens: bool = True) -> float:
+    """Cosine of token (or character) frequency vectors.
+
+    Token mode mirrors the LIMES configuration in the paper (cosine
+    over URI-suffix identifiers).
+    """
+    items_a = _tokens(a) if use_tokens else list(a.lower())
+    items_b = _tokens(b) if use_tokens else list(b.lower())
+    if not items_a or not items_b:
+        return 1.0 if items_a == items_b else 0.0
+    counts_a = Counter(items_a)
+    counts_b = Counter(items_b)
+    dot = sum(counts_a[token] * counts_b.get(token, 0) for token in counts_a)
+    norm_a = math.sqrt(sum(v * v for v in counts_a.values()))
+    norm_b = math.sqrt(sum(v * v for v in counts_b.values()))
+    return dot / (norm_a * norm_b)
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard coefficient of the token sets."""
+    set_a, set_b = set(_tokens(a)), set(_tokens(b))
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def character_ngrams(text: str, n: int = 3) -> set[str]:
+    """Padded character n-grams of the lowercased string."""
+    padded = f"{'#' * (n - 1)}{text.lower()}{'#' * (n - 1)}"
+    return {padded[i : i + n] for i in range(len(padded) - n + 1)}
+
+
+def trigram_similarity(a: str, b: str) -> float:
+    """Jaccard coefficient of character trigram sets."""
+    grams_a, grams_b = character_ngrams(a), character_ngrams(b)
+    if not grams_a and not grams_b:
+        return 1.0
+    return len(grams_a & grams_b) / len(grams_a | grams_b)

@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro compute  --input cube.ttl --method cube_masking --output links.ttl
+    python -m repro generate --kind realworld --scale 0.01 --output corpus.ttl
+    python -m repro inspect  --input cube.ttl
+
+``compute`` loads a QB cube from Turtle or N-Triples, computes the
+relationships with the chosen method and writes them back as RDF links
+(or a text summary to stdout).  ``generate`` materialises one of the
+evaluation corpora.  ``inspect`` prints the cube-space profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core import Method, ObservationSpace, compute_relationships
+from repro.data.realworld import build_realworld_cubespace
+from repro.data.synthetic import build_synthetic_space
+from repro.qb import cubespace_to_graph, load_cubespace, relationships_to_graph
+from repro.rdf import Graph, parse_ntriples, parse_turtle, serialize_ntriples, serialize_turtle
+
+__all__ = ["main"]
+
+
+def _read_graph(path: str) -> Graph:
+    text = Path(path).read_text()
+    if path.endswith((".nt", ".ntriples")):
+        return parse_ntriples(text)
+    return parse_turtle(text)
+
+
+def _write_graph(graph: Graph, path: str | None) -> None:
+    if path is None:
+        sys.stdout.write(serialize_turtle(graph))
+        return
+    if path.endswith((".nt", ".ntriples")):
+        Path(path).write_text(serialize_ntriples(graph) or "")
+    else:
+        Path(path).write_text(serialize_turtle(graph))
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.input)
+    cube = load_cubespace(graph)
+    space = ObservationSpace.from_cubespace(cube)
+    options: dict = {}
+    if args.targets:
+        options["targets"] = tuple(args.targets)
+    if args.method == Method.CLUSTERING.value:
+        options["seed"] = args.seed
+    started = time.perf_counter()
+    result = compute_relationships(space, args.method, **options)
+    elapsed = time.perf_counter() - started
+    print(
+        f"# {len(space)} observations, method={args.method}: "
+        f"full={len(result.full)} partial={len(result.partial)} "
+        f"complementary={len(result.complementary)} ({elapsed:.2f}s)",
+        file=sys.stderr,
+    )
+    if args.json_output:
+        from repro.store import save_relationships
+
+        save_relationships(result, args.json_output, indent=2)
+    else:
+        _write_graph(relationships_to_graph(result), args.output)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "realworld":
+        cube = build_realworld_cubespace(scale=args.scale, seed=args.seed)
+        graph = cubespace_to_graph(cube)
+    else:
+        space = build_synthetic_space(args.n, dimension_count=args.dimensions, seed=args.seed)
+        from repro.core.export import space_to_graph
+
+        graph = space_to_graph(space)
+    print(f"# generated {len(graph)} triples", file=sys.stderr)
+    _write_graph(graph, args.output)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.qb.validation import validate_graph
+
+    violations = validate_graph(_read_graph(args.input))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"# {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("# well-formed", file=sys.stderr)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    cube = load_cubespace(_read_graph(args.input))
+    print(cube)
+    for uri, dataset in cube.datasets.items():
+        dims = ", ".join(d.local_name() for d in dataset.schema.dimensions)
+        measures = ", ".join(m.local_name() for m in dataset.schema.measures)
+        print(f"  {uri.local_name()}: {len(dataset)} observations; dims [{dims}]; measures [{measures}]")
+    for dimension, hierarchy in cube.hierarchies.items():
+        print(f"  hierarchy {dimension.local_name()}: {len(hierarchy)} codes, depth {hierarchy.max_level}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compute = sub.add_parser("compute", help="compute containment/complementarity")
+    compute.add_argument("--input", required=True, help="Turtle or N-Triples QB file")
+    compute.add_argument(
+        "--method",
+        default=Method.CUBE_MASKING.value,
+        choices=[m.value for m in Method],
+    )
+    compute.add_argument("--output", help="output file (.ttl / .nt); default stdout")
+    compute.add_argument(
+        "--json-output", help="write the compact JSON store format instead of RDF"
+    )
+    compute.add_argument(
+        "--targets",
+        nargs="+",
+        choices=["full", "partial", "complementary"],
+        help="restrict to these relationship types",
+    )
+    compute.add_argument("--seed", type=int, default=0)
+    compute.set_defaults(handler=_cmd_compute)
+
+    generate = sub.add_parser("generate", help="generate an evaluation corpus")
+    generate.add_argument("--kind", choices=["realworld", "synthetic"], default="realworld")
+    generate.add_argument("--scale", type=float, default=0.01, help="realworld scale factor")
+    generate.add_argument("--n", type=int, default=1000, help="synthetic observation count")
+    generate.add_argument("--dimensions", type=int, default=4)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", help="output file; default stdout")
+    generate.set_defaults(handler=_cmd_generate)
+
+    inspect = sub.add_parser("inspect", help="print a cube file's profile")
+    inspect.add_argument("--input", required=True)
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    validate = sub.add_parser("validate", help="check QB integrity constraints")
+    validate.add_argument("--input", required=True)
+    validate.set_defaults(handler=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""The paper's contribution: containment/complementarity computation.
+
+Modules
+-------
+``space``
+    :class:`ObservationSpace` — padded observations on the union
+    dimension bus, plus the reference pair predicates.
+``matrix`` / ``baseline``
+    Occurrence matrix, ``computeOCM`` and the Θ(n²) baseline
+    (Algorithms 1–2).
+``clustering`` / ``cluster_method``
+    The lossy clustering method (Algorithm 3) with k-means, x-means,
+    canopy and hierarchical clustering.
+``lattice`` / ``cubemask``
+    The lossless cubeMasking method (Algorithm 4) with the
+    children-prefetching optimisation.
+``sparql_method`` / ``rules_method``
+    The two traditional comparators of Section 4.
+``skyline``
+    Skylines and k-dominant skylines from containment (Section 1).
+``api``
+    The :func:`compute_relationships` facade and incremental updates.
+"""
+
+from repro.core.api import Method, compute_relationships, remove_observations, update_relationships
+from repro.core.baseline import compute_baseline, derive_relationships
+from repro.core.cluster_method import compute_clustering, default_cluster_count
+from repro.core.cubemask import compute_cubemask
+from repro.core.export import space_to_graph
+from repro.core.hybrid import compute_hybrid
+from repro.core.lattice import CubeLattice
+from repro.core.matrix import OccurrenceMatrix
+from repro.core.olap import CubeNavigator, rollup_dataset
+from repro.core.parallel import compute_cubemask_parallel
+from repro.core.recommend import Recommendation, dataset_relatedness, recommend_observations
+from repro.core.results import Recall, RelationshipSet
+from repro.core.rules_method import compute_rules
+from repro.core.skyline import k_dominant_skyline, skyline, skyline_from_relationships
+from repro.core.space import ObservationSpace
+from repro.core.sparql_method import compute_sparql
+from repro.core.streaming import compute_baseline_streaming
+
+__all__ = [
+    "Method",
+    "compute_relationships",
+    "update_relationships",
+    "remove_observations",
+    "compute_baseline",
+    "compute_baseline_streaming",
+    "derive_relationships",
+    "compute_clustering",
+    "default_cluster_count",
+    "compute_cubemask",
+    "compute_cubemask_parallel",
+    "compute_hybrid",
+    "compute_sparql",
+    "compute_rules",
+    "CubeNavigator",
+    "rollup_dataset",
+    "dataset_relatedness",
+    "recommend_observations",
+    "Recommendation",
+    "ObservationSpace",
+    "OccurrenceMatrix",
+    "CubeLattice",
+    "RelationshipSet",
+    "Recall",
+    "skyline",
+    "k_dominant_skyline",
+    "skyline_from_relationships",
+    "space_to_graph",
+]

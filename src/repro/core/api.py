@@ -1,0 +1,173 @@
+"""High-level facade over the relationship-computation methods.
+
+``compute_relationships`` is the single entry point a downstream user
+needs: it accepts a :class:`~repro.qb.model.CubeSpace` (as loaded from
+RDF) or a pre-built :class:`~repro.core.space.ObservationSpace`, and a
+method name::
+
+    from repro import compute_relationships, Method
+
+    result = compute_relationships(cube, method=Method.CUBE_MASKING)
+
+``update_relationships`` implements the incremental recomputation the
+paper lists as future work: after appending new observations to a
+space, only pairs that involve a new observation are (re)checked.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.errors import AlgorithmError
+from repro.core.baseline import compute_baseline
+from repro.core.cluster_method import compute_clustering
+from repro.core.cubemask import compute_cubemask
+from repro.core.results import RelationshipSet
+from repro.core.rules_method import compute_rules
+from repro.core.space import ObservationSpace
+from repro.core.sparql_method import compute_sparql
+from repro.qb.model import CubeSpace
+from repro.rdf.terms import URIRef
+
+__all__ = ["Method", "compute_relationships", "update_relationships", "remove_observations"]
+
+
+class Method(str, Enum):
+    """The five strategies evaluated in the paper plus two extensions.
+
+    ``STREAMING`` is the memory-bounded baseline and ``HYBRID`` the
+    cubeMasking+clustering combination — both future-work items of the
+    paper's Section 6, implemented here.
+    """
+
+    BASELINE = "baseline"
+    CLUSTERING = "clustering"
+    CUBE_MASKING = "cube_masking"
+    SPARQL = "sparql"
+    RULES = "rules"
+    STREAMING = "streaming"
+    HYBRID = "hybrid"
+
+
+def _dispatch_table():
+    from repro.core.hybrid import compute_hybrid
+    from repro.core.streaming import compute_baseline_streaming
+
+    return {
+        Method.BASELINE: compute_baseline,
+        Method.CLUSTERING: compute_clustering,
+        Method.CUBE_MASKING: compute_cubemask,
+        Method.SPARQL: compute_sparql,
+        Method.RULES: compute_rules,
+        Method.STREAMING: compute_baseline_streaming,
+        Method.HYBRID: compute_hybrid,
+    }
+
+
+def _as_space(data: CubeSpace | ObservationSpace) -> ObservationSpace:
+    if isinstance(data, ObservationSpace):
+        return data
+    if isinstance(data, CubeSpace):
+        return ObservationSpace.from_cubespace(data)
+    raise AlgorithmError(f"expected CubeSpace or ObservationSpace, got {type(data).__name__}")
+
+
+def compute_relationships(
+    data: CubeSpace | ObservationSpace,
+    method: Method | str = Method.CUBE_MASKING,
+    **options,
+) -> RelationshipSet:
+    """Compute S_F, S_P and S_C with the chosen method.
+
+    ``options`` are forwarded to the method implementation (for example
+    ``backend=`` for the baseline, ``algorithm=`` / ``sample_rate=`` for
+    clustering, ``prefetch_children=`` for cube masking, ``mode=`` for
+    the SPARQL and rule comparators).
+    """
+    space = _as_space(data)
+    try:
+        implementation = _dispatch_table()[Method(method)]
+    except ValueError:
+        names = ", ".join(m.value for m in Method)
+        raise AlgorithmError(f"unknown method {method!r}; expected one of: {names}") from None
+    return implementation(space, **options)
+
+
+def update_relationships(
+    space: ObservationSpace,
+    result: RelationshipSet,
+    new_observations: Iterable[tuple[URIRef, URIRef, Mapping[URIRef, URIRef], Iterable[URIRef]]],
+) -> RelationshipSet:
+    """Incrementally extend ``result`` with relationships of new data.
+
+    Appends each ``(uri, dataset, dims, measures)`` tuple to ``space``
+    and checks only the pairs that involve at least one new observation
+    — O(n·m) for m new observations instead of O((n+m)²).  ``result``
+    is mutated in place and returned.
+    """
+    start = len(space)
+    for uri, dataset, dims, measures in new_observations:
+        space.add(uri, dataset, dims, measures)
+    n = len(space)
+    total = len(space.dimensions)
+    uris = [record.uri for record in space.observations]
+
+    def check_pair(a: int, b: int) -> None:
+        if a == b:
+            return
+        count = sum(
+            1 for p in range(total) if space.dimension_contains(a, b, p)
+        )
+        overlap = space.measure_overlap(a, b)
+        if count == total:
+            if overlap:
+                result.add_full(uris[a], uris[b])
+            if a < b and space.observations[a].codes == space.observations[b].codes:
+                result.add_complementary(uris[a], uris[b])
+        elif 0 < count < total and overlap:
+            result.add_partial(
+                uris[a], uris[b], space.partial_dimensions(a, b), count / total if total else None
+            )
+
+    for new in range(start, n):
+        for other in range(n):
+            check_pair(new, other)
+            if other < start:
+                check_pair(other, new)
+    return result
+
+
+def remove_observations(
+    space: ObservationSpace,
+    result: RelationshipSet,
+    uris: Iterable[URIRef],
+) -> tuple[ObservationSpace, RelationshipSet]:
+    """Incrementally retract observations.
+
+    Returns ``(new_space, result)`` where ``new_space`` is a re-indexed
+    copy without the removed observations and ``result`` (mutated in
+    place) has every pair touching a removed observation purged —
+    retraction never requires recomputation because relationships are
+    pairwise.
+    """
+    removed = set(uris)
+    unknown = removed - {record.uri for record in space.observations}
+    if unknown:
+        raise AlgorithmError(f"cannot remove unknown observations: {sorted(unknown)[:3]}")
+    survivors = [
+        record.index for record in space.observations if record.uri not in removed
+    ]
+    new_space = space.select(survivors)
+    result.full = {pair for pair in result.full if not (set(pair) & removed)}
+    result.partial = {pair for pair in result.partial if not (set(pair) & removed)}
+    result.complementary = {
+        pair for pair in result.complementary if not (set(pair) & removed)
+    }
+    result.partial_map = {
+        pair: dims for pair, dims in result.partial_map.items() if not (set(pair) & removed)
+    }
+    result.degrees = {
+        pair: degree for pair, degree in result.degrees.items() if not (set(pair) & removed)
+    }
+    return new_space, result

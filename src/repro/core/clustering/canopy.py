@@ -1,0 +1,90 @@
+"""Canopy clustering (McCallum, Nigam & Ungar, 2000).
+
+A fast single-pass method using a cheap distance and two thresholds:
+points within the *tight* threshold ``t2`` of a canopy centre are
+removed from the candidate pool; points within the *loose* threshold
+``t1`` join the canopy.  We use Jaccard distance on the binary feature
+vectors, which the paper pairs with its bit-vector representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+__all__ = ["CanopyClustering", "jaccard_distances"]
+
+
+def jaccard_distances(points: np.ndarray, center: np.ndarray) -> np.ndarray:
+    """Jaccard distance of every row of ``points`` from ``center``.
+
+    Inputs are 0/1 arrays; distance = 1 - |a ∧ b| / |a ∨ b|.
+    """
+    boolean = points.astype(bool)
+    center_b = center.astype(bool)
+    intersection = (boolean & center_b).sum(axis=1)
+    union = (boolean | center_b).sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        similarity = np.where(union > 0, intersection / np.maximum(union, 1), 1.0)
+    return 1.0 - similarity
+
+
+class CanopyClustering:
+    """Two-threshold canopy clustering with Jaccard distance.
+
+    ``t1`` (loose) must be >= ``t2`` (tight); both are distances in
+    [0, 1].  After fitting, points are assigned to the nearest canopy
+    centre.
+    """
+
+    def __init__(self, t1: float = 0.7, t2: float = 0.4, seed: int = 0):
+        if not (0.0 <= t2 <= t1 <= 1.0):
+            raise AlgorithmError("canopy thresholds need 0 <= t2 <= t1 <= 1")
+        self.t1 = t1
+        self.t2 = t2
+        self.seed = seed
+        self.centers_: np.ndarray | None = None
+
+    def fit(self, points: np.ndarray) -> "CanopyClustering":
+        points = np.asarray(points)
+        if points.ndim != 2 or len(points) == 0:
+            raise AlgorithmError("fit expects a non-empty 2-D matrix")
+        rng = np.random.default_rng(self.seed)
+        remaining = list(rng.permutation(len(points)))
+        centers: list[np.ndarray] = []
+        while remaining:
+            center_index = remaining.pop(0)
+            center = points[center_index]
+            centers.append(center)
+            if not remaining:
+                break
+            rest = points[remaining]
+            distances = jaccard_distances(rest, center)
+            # Points inside the tight threshold can no longer seed canopies.
+            keep = [
+                index
+                for index, distance in zip(remaining, distances)
+                if distance > self.t2
+            ]
+            remaining = keep
+        self.centers_ = np.asarray(centers)
+        return self
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise AlgorithmError("assign called before fit")
+        points = np.asarray(points)
+        n = len(points)
+        best = np.zeros(n, dtype=np.int32)
+        best_distance = np.full(n, np.inf)
+        for index, center in enumerate(self.centers_):
+            distances = jaccard_distances(points, center)
+            better = distances < best_distance
+            best[better] = index
+            best_distance[better] = distances[better]
+        return best
+
+    def fit_assign(self, sample: np.ndarray, full: np.ndarray) -> np.ndarray:
+        self.fit(sample)
+        return self.assign(full)

@@ -1,0 +1,107 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Operates on the binary occurrence-matrix rows as real vectors.  Also
+provides :func:`assign_to_centroids`, the shared "assign the remaining
+points to the identified clusters" step of the paper's clustering
+configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+__all__ = ["KMeans", "assign_to_centroids", "pairwise_sq_distances"]
+
+
+def pairwise_sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, (n_points, n_centers)."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed blockwise-safe.
+    x_sq = np.einsum("ij,ij->i", points, points)[:, None]
+    c_sq = np.einsum("ij,ij->i", centers, centers)[None, :]
+    cross = points @ centers.T
+    distances = x_sq - 2.0 * cross + c_sq
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def assign_to_centroids(points: np.ndarray, centers: np.ndarray, chunk: int = 4096) -> np.ndarray:
+    """Nearest-centroid labels for every row of ``points``."""
+    labels = np.empty(len(points), dtype=np.int32)
+    for start in range(0, len(points), chunk):
+        stop = min(start + chunk, len(points))
+        distances = pairwise_sq_distances(points[start:stop], centers)
+        labels[start:stop] = np.argmin(distances, axis=1)
+    return labels
+
+
+class KMeans:
+    """Standard k-means (Lloyd iterations, k-means++ initialisation)."""
+
+    def __init__(self, n_clusters: int, seed: int = 0, max_iter: int = 50, tol: float = 1e-6):
+        if n_clusters < 1:
+            raise AlgorithmError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.seed = seed
+        self.max_iter = max_iter
+        self.tol = tol
+        self.centers_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+
+    # ------------------------------------------------------------------
+    def _init_centers(self, points: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n = len(points)
+        k = min(self.n_clusters, n)
+        centers = np.empty((k, points.shape[1]), dtype=np.float64)
+        first = rng.integers(n)
+        centers[0] = points[first]
+        closest = pairwise_sq_distances(points, centers[:1]).ravel()
+        for i in range(1, k):
+            total = closest.sum()
+            if total <= 0:
+                centers[i:] = points[rng.integers(n, size=k - i)]
+                break
+            probabilities = closest / total
+            choice = rng.choice(n, p=probabilities)
+            centers[i] = points[choice]
+            distance_to_new = pairwise_sq_distances(points, centers[i : i + 1]).ravel()
+            np.minimum(closest, distance_to_new, out=closest)
+        return centers
+
+    def fit(self, points: np.ndarray) -> "KMeans":
+        """Run Lloyd iterations until convergence or ``max_iter``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise AlgorithmError("fit expects a non-empty 2-D matrix")
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(points, rng)
+        k = len(centers)
+        previous_inertia = float("inf")
+        for _ in range(self.max_iter):
+            distances = pairwise_sq_distances(points, centers)
+            labels = np.argmin(distances, axis=1)
+            inertia = float(distances[np.arange(len(points)), labels].sum())
+            new_centers = np.empty_like(centers)
+            for cluster in range(k):
+                mask = labels == cluster
+                if mask.any():
+                    new_centers[cluster] = points[mask].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the worst-served point.
+                    worst = int(np.argmax(distances[np.arange(len(points)), labels]))
+                    new_centers[cluster] = points[worst]
+            centers = new_centers
+            if previous_inertia - inertia <= self.tol * max(previous_inertia, 1.0):
+                break
+            previous_inertia = inertia
+        self.centers_ = centers
+        self.inertia_ = inertia
+        return self
+
+    def fit_assign(self, sample: np.ndarray, full: np.ndarray) -> np.ndarray:
+        """Fit on ``sample``, then label every row of ``full``."""
+        self.fit(sample)
+        assert self.centers_ is not None
+        return assign_to_centroids(np.asarray(full, dtype=np.float64), self.centers_)

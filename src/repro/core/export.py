@@ -1,0 +1,63 @@
+"""Materialise an :class:`ObservationSpace` as an RDF graph.
+
+The SPARQL- and rule-based comparators operate on triples, so the
+observation space is exported with:
+
+* ``qb:DimensionProperty`` / ``qb:MeasureProperty`` typing for schema
+  introspection inside queries and rules,
+* ``skos:Concept`` typing and direct ``skos:broader`` edges for codes
+  (transitive closure is left to property paths / rules, as in the
+  paper's experiments),
+* padded dimension values (missing dimensions become the root code),
+  matching the occurrence-matrix convention, and
+* placeholder measure values — the comparators only test *which*
+  measure properties two observations share, never the magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.core.space import ObservationSpace
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import QB, RDF, SKOS
+from repro.rdf.terms import Literal
+
+__all__ = ["space_to_graph"]
+
+
+def space_to_graph(space: ObservationSpace, used_codes_only: bool = True) -> Graph:
+    """Export ``space`` as RDF triples.
+
+    With ``used_codes_only`` (default) only the codes that observations
+    actually carry — plus their ancestor chains — are emitted, matching
+    the paper's "list C with all code list terms *as they appear in the
+    datasets*"; pass ``False`` to ship entire code lists.
+    """
+    graph = Graph()
+    for position, dimension in enumerate(space.dimensions):
+        graph.add((dimension, RDF.type, QB.DimensionProperty))
+        hierarchy = space.hierarchies[dimension]
+        if used_codes_only:
+            codes: set = set()
+            for record in space.observations:
+                codes |= hierarchy.ancestors(record.codes[position])
+            codes.add(hierarchy.root)
+        else:
+            codes = set(hierarchy)
+        for code in codes:
+            graph.add((code, RDF.type, SKOS.Concept))
+            parent = hierarchy.parent(code)
+            if parent is not None:
+                graph.add((code, SKOS.broader, parent))
+
+    measures = {m for record in space.observations for m in record.measures}
+    for measure in sorted(measures, key=str):
+        graph.add((measure, RDF.type, QB.MeasureProperty))
+
+    placeholder = Literal(1)
+    for record in space.observations:
+        graph.add((record.uri, RDF.type, QB.Observation))
+        for dimension, code in zip(space.dimensions, record.codes):
+            graph.add((record.uri, dimension, code))
+        for measure in record.measures:
+            graph.add((record.uri, measure, placeholder))
+    return graph

@@ -1,0 +1,243 @@
+"""OLAP navigation over materialised relationships (Section 1).
+
+The paper motivates relationship materialisation with OLAP-style
+exploration: once containment links are known, *roll-up* (to containing
+observations), *drill-down* (to contained observations) and measure
+aggregation across remote cubes come for free.
+
+:class:`CubeNavigator` wraps an :class:`ObservationSpace` plus its
+:class:`RelationshipSet` and answers navigation queries; ``aggregate``
+synthesises the measure value a roll-up would produce by folding the
+values of the contained observations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import AlgorithmError
+from repro.core.results import RelationshipSet
+from repro.core.space import ObservationSpace
+from repro.rdf.terms import URIRef
+
+__all__ = ["CubeNavigator", "Aggregation", "rollup_dataset"]
+
+Aggregation = Callable[[Iterable[float]], float]
+
+
+def _sum(values: Iterable[float]) -> float:
+    return float(sum(values))
+
+
+def _avg(values: Iterable[float]) -> float:
+    items = list(values)
+    if not items:
+        raise AlgorithmError("cannot average an empty set of values")
+    return float(sum(items)) / len(items)
+
+
+_AGGREGATIONS: dict[str, Aggregation] = {
+    "sum": _sum,
+    "avg": _avg,
+    "min": lambda values: float(min(values)),
+    "max": lambda values: float(max(values)),
+    "count": lambda values: float(len(list(values))),
+}
+
+
+class CubeNavigator:
+    """Roll-up / drill-down navigation using containment links.
+
+    ``measure_values`` maps ``(observation uri, measure uri)`` to the
+    measured value; when built from a :class:`~repro.qb.model.CubeSpace`
+    via :meth:`from_cubespace` the mapping is filled automatically.
+    """
+
+    def __init__(
+        self,
+        space: ObservationSpace,
+        relationships: RelationshipSet,
+        measure_values: dict[tuple[URIRef, URIRef], float] | None = None,
+    ):
+        self.space = space
+        self.relationships = relationships
+        self.measure_values = dict(measure_values or {})
+        self._containers: dict[URIRef, set[URIRef]] = {}
+        self._contained: dict[URIRef, set[URIRef]] = {}
+        for container, contained in relationships.full:
+            self._contained.setdefault(container, set()).add(contained)
+            self._containers.setdefault(contained, set()).add(container)
+
+    @classmethod
+    def from_cubespace(cls, cube, relationships: RelationshipSet) -> "CubeNavigator":
+        """Build from a cube space, extracting measure values."""
+        space = ObservationSpace.from_cubespace(cube)
+        values: dict[tuple[URIRef, URIRef], float] = {}
+        for observation in cube.observations():
+            for measure, value in observation.measures.items():
+                try:
+                    values[(observation.uri, measure)] = float(value)
+                except (TypeError, ValueError):
+                    continue  # non-numeric measures cannot aggregate
+        return cls(space, relationships, values)
+
+    # ------------------------------------------------------------------
+    def roll_up(self, observation: URIRef) -> list[URIRef]:
+        """Observations that fully contain ``observation`` (coarser)."""
+        return sorted(self._containers.get(observation, ()))
+
+    def drill_down(self, observation: URIRef) -> list[URIRef]:
+        """Observations fully contained by ``observation`` (finer)."""
+        return sorted(self._contained.get(observation, ()))
+
+    def direct_drill_down(self, observation: URIRef) -> list[URIRef]:
+        """Contained observations that are not below another contained one.
+
+        These are the "children" a UI would offer as the next drill step.
+        """
+        below = self._contained.get(observation, set())
+        indirect = set()
+        for member in below:
+            indirect |= self._contained.get(member, set()) & below
+        return sorted(below - indirect)
+
+    def complements(self, observation: URIRef) -> list[URIRef]:
+        """Observations complementary to ``observation`` (side-by-side facts)."""
+        out = []
+        for a, b in self.relationships.complementary:
+            if a == observation:
+                out.append(b)
+            elif b == observation:
+                out.append(a)
+        return sorted(out)
+
+    def comparable_after_rollup(self, a: URIRef, b: URIRef) -> frozenset[URIRef]:
+        """Dimensions to roll up so two partially-related observations
+        become comparable (the complement of ``map_P``)."""
+        dims = self.relationships.partial_dimensions(a, b)
+        if not dims and (a, b) not in self.relationships.partial:
+            raise AlgorithmError(f"{a} does not partially contain {b}")
+        return frozenset(d for d in self.space.dimensions if d not in dims)
+
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        observation: URIRef,
+        measure: URIRef,
+        aggregation: str = "sum",
+        direct_only: bool = True,
+    ) -> float:
+        """Fold the measure values of the contained observations.
+
+        With ``direct_only`` (default) only the direct drill-down level
+        is aggregated — the standard roll-up; otherwise every contained
+        observation contributes (double-counting across levels is the
+        caller's concern).
+        """
+        if aggregation not in _AGGREGATIONS:
+            raise AlgorithmError(
+                f"unknown aggregation {aggregation!r}; known: {sorted(_AGGREGATIONS)}"
+            )
+        members = (
+            self.direct_drill_down(observation)
+            if direct_only
+            else self.drill_down(observation)
+        )
+        values = [
+            self.measure_values[(member, measure)]
+            for member in members
+            if (member, measure) in self.measure_values
+        ]
+        if not values:
+            raise AlgorithmError(
+                f"no {measure.local_name()} values among observations contained by "
+                f"{observation.local_name()}"
+            )
+        return _AGGREGATIONS[aggregation](values)
+
+
+def rollup_dataset(
+    cube,
+    dataset_uri: URIRef,
+    dimension: URIRef,
+    to_level: int,
+    aggregation: str = "sum",
+    result_uri: URIRef | None = None,
+):
+    """Roll one dataset up a dimension hierarchy (classic OLAP roll-up).
+
+    Every observation whose ``dimension`` code sits at or below
+    ``to_level`` is mapped to its ancestor at that level; observations
+    sharing all coordinates after the mapping are folded with
+    ``aggregation`` per measure.  Observations already *coarser* than
+    ``to_level`` are excluded (they are not part of the finer-grained
+    data being aggregated).
+
+    Returns a new :class:`~repro.qb.model.Dataset` (same schema) whose
+    observations live at the requested level.
+    """
+    from repro.qb.model import Dataset, Observation
+
+    if aggregation not in _AGGREGATIONS:
+        raise AlgorithmError(
+            f"unknown aggregation {aggregation!r}; known: {sorted(_AGGREGATIONS)}"
+        )
+    fold = _AGGREGATIONS[aggregation]
+    dataset = cube.datasets.get(dataset_uri)
+    if dataset is None:
+        raise AlgorithmError(f"no dataset {dataset_uri} in the cube space")
+    if dimension not in dataset.schema.dimensions:
+        raise AlgorithmError(
+            f"dataset {dataset_uri} has no dimension {dimension}"
+        )
+    hierarchy = cube.hierarchies[dimension]
+    if not 0 <= to_level <= hierarchy.max_level:
+        raise AlgorithmError(
+            f"to_level must be within [0, {hierarchy.max_level}]"
+        )
+
+    def ancestor_at(code, level):
+        path = hierarchy.path_to_root(code)  # [code ... root]
+        # path[i] has level (len(path) - 1 - i)... not in general; use levels.
+        for node in path:
+            if hierarchy.level(node) == level:
+                return node
+        return None
+
+    groups: dict[tuple, list[Observation]] = {}
+    for observation in dataset.observations:
+        code = observation.value(dimension)
+        if code is None:
+            code = hierarchy.root
+        if hierarchy.level(code) < to_level:
+            continue  # coarser than the target level
+        target_code = ancestor_at(code, to_level)
+        key_dims = dict(observation.dimensions)
+        key_dims[dimension] = target_code
+        key = tuple(sorted((str(d), str(c)) for d, c in key_dims.items()))
+        groups.setdefault(key, []).append(observation)
+
+    uri_base = result_uri if result_uri is not None else URIRef(
+        f"{dataset_uri}/rollup/{dimension.local_name()}/L{to_level}"
+    )
+    rolled = Dataset(uri_base, dataset.schema, label=(dataset.label or "") + " (rolled up)")
+    for index, (key, members) in enumerate(sorted(groups.items())):
+        dims = dict(members[0].dimensions)
+        dims[dimension] = ancestor_at(
+            members[0].value(dimension) or hierarchy.root, to_level
+        )
+        measures = {}
+        for measure in dataset.schema.measures:
+            values = [
+                float(member.measures[measure])
+                for member in members
+                if measure in member.measures
+            ]
+            if values:
+                measures[measure] = fold(values)
+        if not measures:
+            continue
+        rolled.add(
+            Observation(URIRef(f"{uri_base}/obs/{index}"), uri_base, dims, measures)
+        )
+    return rolled

@@ -1,0 +1,166 @@
+"""Parallel cubeMasking (the paper's "distributed and parallel
+contexts" future-work item, §6).
+
+The cube lattice gives a natural work partition: dominating cube pairs
+are independent, so they can be scored in worker processes.  Each
+worker receives the (pickled) observation space once via the pool
+initializer, then processes batches of cube-pair indices and returns
+relationship pairs; the parent merges.
+
+Because Python forks carry real overhead (the space is pickled into
+each worker and relationship pairs are pickled back), this pays off
+only on multi-core hosts with larger inputs — single-core machines and
+small spaces are strictly slower, so ``compute_cubemask_parallel``
+falls back to the sequential implementation below
+``min_parallel_observations``.  The output is always identical to
+:func:`repro.core.cubemask.compute_cubemask`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.cubemask import compute_cubemask
+from repro.core.lattice import CubeLattice, dominates
+from repro.core.results import RelationshipSet
+from repro.core.space import ObservationSpace
+
+__all__ = ["compute_cubemask_parallel"]
+
+# Worker-process globals, installed by _initializer.
+_WORKER_STATE: dict = {}
+
+
+def _enumerate_pairs(cubes, want_partial: bool) -> list[tuple[int, int]]:
+    """Deterministic candidate cube-pair order shared by all workers."""
+    from repro.core.lattice import partially_dominates
+
+    pairs: list[tuple[int, int]] = []
+    for i, cube_a in enumerate(cubes):
+        for j, cube_b in enumerate(cubes):
+            if dominates(cube_a, cube_b) or (
+                want_partial and partially_dominates(cube_a, cube_b)
+            ):
+                pairs.append((i, j))
+    return pairs
+
+
+def _initializer(space: ObservationSpace, targets: tuple[str, ...]) -> None:
+    lattice = CubeLattice(space)
+    dimensions = space.dimensions
+    ancestor_sets = [space.hierarchies[d]._ancestors for d in dimensions]
+    unique: dict[frozenset, int] = {}
+    assignment: list[int] = []
+    for record in space.observations:
+        assignment.append(unique.setdefault(record.measures, len(unique)))
+    groups = list(unique)
+    overlap = [[not gi.isdisjoint(gj) for gj in groups] for gi in groups]
+    cubes = sorted(lattice.nodes)
+    _WORKER_STATE.update(
+        space=space,
+        lattice=lattice,
+        cubes=cubes,
+        pairs=_enumerate_pairs(cubes, "partial" in targets),
+        ancestor_sets=ancestor_sets,
+        codes=[r.codes for r in space.observations],
+        uris=[r.uri for r in space.observations],
+        assignment=assignment,
+        overlap=overlap,
+        targets=frozenset(targets),
+        k=len(dimensions),
+        dimensions=dimensions,
+    )
+
+
+def _score_range(bounds: tuple[int, int]):
+    """Worker: evaluate its slice of the shared cube-pair order."""
+    state = _WORKER_STATE
+    pair_indices = state["pairs"][bounds[0] : bounds[1]]
+    lattice: CubeLattice = state["lattice"]
+    cubes = state["cubes"]
+    ancestor_sets = state["ancestor_sets"]
+    codes = state["codes"]
+    uris = state["uris"]
+    assignment = state["assignment"]
+    overlap = state["overlap"]
+    targets = state["targets"]
+    k = state["k"]
+    dimensions = state["dimensions"]
+
+    want_full = "full" in targets
+    want_compl = "complementary" in targets
+    want_partial = "partial" in targets
+
+    full_pairs = []
+    compl_pairs = []
+    partial_pairs = []
+    for index_a, index_b in pair_indices:
+        cube_a, cube_b = cubes[index_a], cubes[index_b]
+        members_a = lattice.nodes[cube_a]
+        members_b = lattice.nodes[cube_b]
+        containing = dominates(cube_a, cube_b)
+        same_cube = cube_a == cube_b
+        for a in members_a:
+            code_a = codes[a]
+            for b in members_b:
+                if a == b:
+                    continue
+                count = 0
+                for position in range(k):
+                    if code_a[position] in ancestor_sets[position][codes[b][position]]:
+                        count += 1
+                shared = overlap[assignment[a]][assignment[b]]
+                if containing and count == k:
+                    if want_full and shared:
+                        full_pairs.append((uris[a], uris[b]))
+                    if want_compl and same_cube and a < b and code_a == codes[b]:
+                        compl_pairs.append((uris[a], uris[b]))
+                elif want_partial and shared and 0 < count < k:
+                    partial_pairs.append((uris[a], uris[b], count / k))
+    return full_pairs, compl_pairs, partial_pairs
+
+
+def compute_cubemask_parallel(
+    space: ObservationSpace,
+    workers: int | None = None,
+    collect_partial: bool = True,
+    targets=None,
+    min_parallel_observations: int = 512,
+    batch_size: int = 256,
+) -> RelationshipSet:
+    """cubeMasking with cube-pair batches scored in worker processes.
+
+    Produces exactly the sequential result; falls back to the
+    sequential implementation for small inputs where process startup
+    would dominate.
+    """
+    from repro.core.baseline import normalize_targets
+
+    resolved = tuple(sorted(normalize_targets(targets, collect_partial)))
+    if len(space) < min_parallel_observations:
+        return compute_cubemask(space, collect_partial=collect_partial, targets=resolved)
+
+    lattice = CubeLattice(space)
+    cubes = sorted(lattice.nodes)
+    total_pairs = len(_enumerate_pairs(cubes, "partial" in resolved))
+
+    worker_count = workers if workers is not None else max(1, (os.cpu_count() or 2) - 1)
+    # A handful of ranges per worker balances skewed cube sizes without
+    # paying per-batch IPC for thousands of tiny batches.
+    chunk = max(1, total_pairs // (worker_count * 8))
+    ranges = [(start, min(start + chunk, total_pairs)) for start in range(0, total_pairs, chunk)]
+    result = RelationshipSet()
+    with ProcessPoolExecutor(
+        max_workers=worker_count,
+        initializer=_initializer,
+        initargs=(space, resolved),
+    ) as pool:
+        for full_pairs, compl_pairs, partial_pairs in pool.map(_score_range, ranges):
+            for a, b in full_pairs:
+                result.add_full(a, b)
+            for a, b in compl_pairs:
+                result.add_complementary(a, b)
+            for a, b, degree in partial_pairs:
+                result.add_partial(a, b, degree=degree)
+    return result

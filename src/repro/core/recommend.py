@@ -1,0 +1,124 @@
+"""Source relatedness and browsing recommendations (Section 1).
+
+The paper motivates materialised relationships with two exploratory
+uses: quantifying "the degree of relatedness between data sources" and
+"recommendations for online browsing".  This module derives both from
+a computed :class:`RelationshipSet`:
+
+* :func:`dataset_relatedness` — a symmetric score per dataset pair:
+  the number of cross-dataset relationship pairs, normalised by the
+  maximum possible number of cross pairs,
+* :func:`recommend_observations` — for one observation, related
+  observations ranked by relationship strength (complementary first,
+  then containment, then partial by OCM degree).
+"""
+
+from __future__ import annotations
+
+from repro.core.results import RelationshipSet
+from repro.core.space import ObservationSpace
+from repro.rdf.terms import URIRef
+
+__all__ = ["dataset_relatedness", "recommend_observations", "Recommendation"]
+
+
+class Recommendation:
+    """One ranked suggestion: the related observation, why, how strong."""
+
+    __slots__ = ("observation", "kind", "score")
+
+    def __init__(self, observation: URIRef, kind: str, score: float):
+        self.observation = observation
+        self.kind = kind
+        self.score = score
+
+    def __repr__(self) -> str:
+        return f"Recommendation({self.observation.local_name()}, {self.kind}, {self.score:.2f})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Recommendation):
+            return NotImplemented
+        return (
+            self.observation == other.observation
+            and self.kind == other.kind
+            and self.score == other.score
+        )
+
+
+def dataset_relatedness(
+    space: ObservationSpace, relationships: RelationshipSet
+) -> dict[tuple[URIRef, URIRef], float]:
+    """Symmetric relatedness scores between dataset pairs.
+
+    Score = (#distinct cross-dataset observation pairs exhibiting any
+    relationship) / (n_A * n_B): 0 means unrelated sources, 1 means
+    every observation pair relates.
+    """
+    dataset_of = {record.uri: record.dataset for record in space.observations}
+    sizes: dict[URIRef, int] = {}
+    for record in space.observations:
+        sizes[record.dataset] = sizes.get(record.dataset, 0) + 1
+
+    cross: dict[tuple[URIRef, URIRef], set[tuple[URIRef, URIRef]]] = {}
+
+    def bump(a: URIRef, b: URIRef) -> None:
+        ds_a, ds_b = dataset_of.get(a), dataset_of.get(b)
+        if ds_a is None or ds_b is None or ds_a == ds_b:
+            return
+        key = (ds_a, ds_b) if str(ds_a) <= str(ds_b) else (ds_b, ds_a)
+        pair = (a, b) if str(a) <= str(b) else (b, a)
+        cross.setdefault(key, set()).add(pair)
+
+    for a, b in relationships.full:
+        bump(a, b)
+    for a, b in relationships.partial:
+        bump(a, b)
+    for a, b in relationships.complementary:
+        bump(a, b)
+
+    scores: dict[tuple[URIRef, URIRef], float] = {}
+    for (ds_a, ds_b), pairs in cross.items():
+        scores[(ds_a, ds_b)] = len(pairs) / (sizes[ds_a] * sizes[ds_b])
+    return scores
+
+
+def recommend_observations(
+    observation: URIRef,
+    relationships: RelationshipSet,
+    limit: int | None = None,
+) -> list[Recommendation]:
+    """Related observations for ``observation``, strongest first.
+
+    Complementary pairs score 1.0 (directly joinable), full containment
+    0.9 (one roll-up away), partial containment scores its OCM degree
+    scaled into (0, 0.8).  Ties break on the target URI for determinism.
+    """
+    suggestions: dict[URIRef, Recommendation] = {}
+
+    def offer(target: URIRef, kind: str, score: float) -> None:
+        existing = suggestions.get(target)
+        if existing is None or score > existing.score:
+            suggestions[target] = Recommendation(target, kind, score)
+
+    for a, b in relationships.complementary:
+        if a == observation:
+            offer(b, "complementary", 1.0)
+        elif b == observation:
+            offer(a, "complementary", 1.0)
+    for container, contained in relationships.full:
+        if container == observation:
+            offer(contained, "contains", 0.9)
+        elif contained == observation:
+            offer(container, "contained-by", 0.9)
+    for container, contained in relationships.partial:
+        degree = relationships.degree(container, contained) or 0.5
+        score = 0.8 * degree
+        if container == observation:
+            offer(contained, "partially-contains", score)
+        elif contained == observation:
+            offer(container, "partially-contained-by", score)
+
+    ranked = sorted(
+        suggestions.values(), key=lambda r: (-r.score, str(r.observation))
+    )
+    return ranked[:limit] if limit is not None else ranked

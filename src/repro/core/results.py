@@ -1,0 +1,143 @@
+"""Relationship result containers and recall metrics.
+
+:class:`RelationshipSet` holds the three output sets of every
+algorithm — ``S_F`` (full containment), ``S_P`` (partial containment)
+and ``S_C`` (complementarity) — as pairs of observation URIs, plus the
+optional ``map_P`` of partial-containment dimensions and the OCM degree
+of each partial pair.
+
+Containment pairs are directed ``(container, contained)``;
+complementarity pairs are stored canonically (lexicographically
+ordered) because the relation is symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.rdf.terms import URIRef
+
+__all__ = ["RelationshipSet", "Recall"]
+
+Pair = tuple[URIRef, URIRef]
+
+
+def canonical(a: URIRef, b: URIRef) -> Pair:
+    """Order a symmetric pair deterministically."""
+    return (a, b) if str(a) <= str(b) else (b, a)
+
+
+@dataclass
+class Recall:
+    """Per-relationship recall of a computed result against ground truth."""
+
+    full: float
+    partial: float
+    complementary: float
+
+    @property
+    def overall(self) -> float:
+        return (self.full + self.partial + self.complementary) / 3
+
+
+class RelationshipSet:
+    """The S_F / S_P / S_C output of a relationship computation."""
+
+    __slots__ = ("full", "partial", "complementary", "partial_map", "degrees")
+
+    def __init__(
+        self,
+        full: Iterable[Pair] = (),
+        partial: Iterable[Pair] = (),
+        complementary: Iterable[Pair] = (),
+        partial_map: Mapping[Pair, frozenset[URIRef]] | None = None,
+        degrees: Mapping[Pair, float] | None = None,
+    ):
+        self.full: set[Pair] = set(full)
+        self.partial: set[Pair] = set(partial)
+        self.complementary: set[Pair] = {canonical(a, b) for a, b in complementary}
+        self.partial_map: dict[Pair, frozenset[URIRef]] = dict(partial_map or {})
+        self.degrees: dict[Pair, float] = dict(degrees or {})
+
+    # ------------------------------------------------------------------
+    def add_full(self, container: URIRef, contained: URIRef) -> None:
+        self.full.add((container, contained))
+
+    def add_partial(
+        self,
+        container: URIRef,
+        contained: URIRef,
+        dimensions: frozenset[URIRef] | None = None,
+        degree: float | None = None,
+    ) -> None:
+        pair = (container, contained)
+        self.partial.add(pair)
+        if dimensions is not None:
+            self.partial_map[pair] = dimensions
+        if degree is not None:
+            self.degrees[pair] = degree
+
+    def add_complementary(self, a: URIRef, b: URIRef) -> None:
+        self.complementary.add(canonical(a, b))
+
+    def merge(self, other: "RelationshipSet") -> None:
+        """In-place union (used by the clustering method's per-cluster runs)."""
+        self.full |= other.full
+        self.partial |= other.partial
+        self.complementary |= other.complementary
+        self.partial_map.update(other.partial_map)
+        self.degrees.update(other.degrees)
+
+    # ------------------------------------------------------------------
+    def is_complementary(self, a: URIRef, b: URIRef) -> bool:
+        return canonical(a, b) in self.complementary
+
+    def degree(self, container: URIRef, contained: URIRef) -> float | None:
+        return self.degrees.get((container, contained))
+
+    def partial_dimensions(self, container: URIRef, contained: URIRef) -> frozenset[URIRef]:
+        return self.partial_map.get((container, contained), frozenset())
+
+    def total(self) -> int:
+        return len(self.full) + len(self.partial) + len(self.complementary)
+
+    # ------------------------------------------------------------------
+    def recall_against(self, truth: "RelationshipSet") -> Recall:
+        """Ratio of found-to-actual relationships, per type.
+
+        A type with an empty ground-truth set counts as recall 1.0
+        (there was nothing to find).
+        """
+
+        def ratio(found: set[Pair], actual: set[Pair]) -> float:
+            if not actual:
+                return 1.0
+            return len(found & actual) / len(actual)
+
+        return Recall(
+            full=ratio(self.full, truth.full),
+            partial=ratio(self.partial, truth.partial),
+            complementary=ratio(self.complementary, truth.complementary),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationshipSet):
+            return NotImplemented
+        return (
+            self.full == other.full
+            and self.partial == other.partial
+            and self.complementary == other.complementary
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationshipSet(full={len(self.full)}, partial={len(self.partial)}, "
+            f"complementary={len(self.complementary)})"
+        )

@@ -1,0 +1,117 @@
+"""Skylines and k-dominant skylines from containment (Section 1).
+
+The paper motivates containment materialisation as a fast path to
+skyline computation: a *skyline point* is an observation not (strictly)
+contained by any other, and *k-dominance* (Chan et al., 2006) relaxes
+domination to any k of the |P| dimensions.
+
+Here domination is hierarchical: observation ``a`` dominates ``b`` on a
+dimension when ``a``'s value is a strict ancestor of ``b``'s value;
+``a`` dominates ``b`` overall when it dominates on at least one
+dimension and contains (ancestor-or-equal) on all others — i.e. full
+containment with at least one strict step.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlgorithmError
+from repro.core.results import RelationshipSet
+from repro.core.space import ObservationSpace
+from repro.rdf.terms import URIRef
+
+__all__ = ["strictly_dominates", "k_dominates", "skyline", "k_dominant_skyline", "skyline_from_relationships"]
+
+
+def strictly_dominates(space: ObservationSpace, a: int, b: int) -> bool:
+    """Full dimension containment with at least one strict ancestor step."""
+    strict = False
+    for position in range(len(space.dimensions)):
+        code_a = space.observations[a].codes[position]
+        code_b = space.observations[b].codes[position]
+        if not space.dimension_contains(a, b, position):
+            return False
+        if code_a != code_b:
+            strict = True
+    return strict
+
+
+def k_dominates(space: ObservationSpace, a: int, b: int, k: int) -> bool:
+    """``a`` k-dominates ``b``: contains on >= k dimensions, strictly on
+    at least one of them (Chan et al.'s k-dominance transplanted to the
+    hierarchical setting)."""
+    total = len(space.dimensions)
+    if not 1 <= k <= total:
+        raise AlgorithmError(f"k must be in [1, {total}]")
+    contained = 0
+    strict = False
+    for position in range(total):
+        if space.dimension_contains(a, b, position):
+            contained += 1
+            if (
+                space.observations[a].codes[position]
+                != space.observations[b].codes[position]
+            ):
+                strict = True
+    return contained >= k and strict
+
+
+def skyline(space: ObservationSpace, same_measure_only: bool = True) -> list[URIRef]:
+    """Observations not strictly dominated by any other observation.
+
+    With ``same_measure_only`` (default) only pairs sharing a measure
+    compete, matching the containment definitions.
+    """
+    n = len(space)
+    survivors = []
+    for b in range(n):
+        dominated = False
+        for a in range(n):
+            if a == b:
+                continue
+            if same_measure_only and not space.measure_overlap(a, b):
+                continue
+            if strictly_dominates(space, a, b):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(space.observations[b].uri)
+    return survivors
+
+
+def k_dominant_skyline(space: ObservationSpace, k: int, same_measure_only: bool = True) -> list[URIRef]:
+    """Observations not k-dominated by any other observation.
+
+    Note the standard k-dominance caveat: for k < |P| the result can be
+    empty because k-dominance is not transitive.
+    """
+    n = len(space)
+    survivors = []
+    for b in range(n):
+        dominated = False
+        for a in range(n):
+            if a == b:
+                continue
+            if same_measure_only and not space.measure_overlap(a, b):
+                continue
+            if k_dominates(space, a, b, k):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(space.observations[b].uri)
+    return survivors
+
+
+def skyline_from_relationships(space: ObservationSpace, relationships: RelationshipSet) -> list[URIRef]:
+    """Derive the skyline directly from materialised containment links.
+
+    This is the paper's "direct access to skyline points": a point is
+    in the skyline iff it never appears as the contained member of a
+    full-containment pair with a strictly-containing container.  Full
+    containment pairs with *equal* dimension vectors (mutual
+    containment) do not dominate, so complementary pairs are excluded.
+    """
+    contained_uris = set()
+    for container, contained in relationships.full:
+        if not relationships.is_complementary(container, contained):
+            contained_uris.add(contained)
+    return [record.uri for record in space.observations if record.uri not in contained_uris]

@@ -1,0 +1,46 @@
+"""Dataset generators.
+
+* :mod:`repro.data.codelists` — deterministic hierarchical code lists
+  (geo, time, sex, age, ...) standing in for the Eurostat/World Bank
+  vocabularies,
+* :mod:`repro.data.realworld` — emulation of the seven real-world
+  datasets of Table 4 (same dimension membership and measures,
+  observation counts scaled),
+* :mod:`repro.data.synthetic` — the Section 4.2 scalability generator
+  (projected lattice-node counts, evenly populated cubes),
+* :mod:`repro.data.example` — the running example of Figures 1-3 and
+  Tables 2-3.
+"""
+
+from repro.data.codelists import (
+    age_hierarchy,
+    citizenship_hierarchy,
+    economic_activity_hierarchy,
+    education_hierarchy,
+    geo_hierarchy,
+    household_size_hierarchy,
+    sex_hierarchy,
+    time_hierarchy,
+    unit_hierarchy,
+)
+from repro.data.example import build_example_space, EXPECTED_EXAMPLE
+from repro.data.realworld import REALWORLD_PROFILES, build_realworld_cubespace
+from repro.data.synthetic import build_synthetic_space, projected_cube_count
+
+__all__ = [
+    "geo_hierarchy",
+    "time_hierarchy",
+    "sex_hierarchy",
+    "age_hierarchy",
+    "unit_hierarchy",
+    "citizenship_hierarchy",
+    "education_hierarchy",
+    "household_size_hierarchy",
+    "economic_activity_hierarchy",
+    "build_realworld_cubespace",
+    "REALWORLD_PROFILES",
+    "build_synthetic_space",
+    "projected_cube_count",
+    "build_example_space",
+    "EXPECTED_EXAMPLE",
+]

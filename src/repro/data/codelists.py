@@ -1,0 +1,151 @@
+"""Deterministic hierarchical code lists.
+
+Stand-ins for the Eurostat/World Bank vocabularies: each builder
+returns a :class:`~repro.qb.hierarchy.Hierarchy` with a realistic shape
+(geo: world → continents → countries → regions → cities; time: ALL →
+years → quarters → months; and so on).  The builders are deterministic
+so tests and benchmarks are reproducible, and parameterised so the
+scalability benchmarks can grow the code space.
+
+Across all default code lists the total code count is on the order of
+the paper's 2.6 k distinct hierarchical values.
+"""
+
+from __future__ import annotations
+
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf.terms import Namespace, URIRef
+
+__all__ = [
+    "CODE",
+    "geo_hierarchy",
+    "time_hierarchy",
+    "sex_hierarchy",
+    "age_hierarchy",
+    "unit_hierarchy",
+    "citizenship_hierarchy",
+    "education_hierarchy",
+    "household_size_hierarchy",
+    "economic_activity_hierarchy",
+]
+
+#: Namespace for all generated code URIs.
+CODE = Namespace("http://purl.org/repro/code/")
+
+_CONTINENTS = ("EU", "AS", "AF", "NA", "SA")
+
+
+def geo_hierarchy(
+    countries_per_continent: int = 6,
+    regions_per_country: int = 4,
+    cities_per_region: int = 3,
+) -> Hierarchy:
+    """World → continent → country → region → city (depth 4)."""
+    hierarchy = Hierarchy(CODE["geo/WORLD"])
+    for continent in _CONTINENTS:
+        continent_code = CODE[f"geo/{continent}"]
+        hierarchy.add(continent_code, hierarchy.root)
+        for c in range(countries_per_continent):
+            country = CODE[f"geo/{continent}-C{c}"]
+            hierarchy.add(country, continent_code)
+            for r in range(regions_per_country):
+                region = CODE[f"geo/{continent}-C{c}-R{r}"]
+                hierarchy.add(region, country)
+                for city in range(cities_per_region):
+                    hierarchy.add(CODE[f"geo/{continent}-C{c}-R{r}-T{city}"], region)
+    return hierarchy
+
+
+def time_hierarchy(start_year: int = 2000, years: int = 15, months: bool = True) -> Hierarchy:
+    """ALL → year → quarter [→ month] (depth 2 or 3)."""
+    hierarchy = Hierarchy(CODE["time/ALL"])
+    for year in range(start_year, start_year + years):
+        year_code = CODE[f"time/Y{year}"]
+        hierarchy.add(year_code, hierarchy.root)
+        for quarter in range(1, 5):
+            quarter_code = CODE[f"time/Y{year}-Q{quarter}"]
+            hierarchy.add(quarter_code, year_code)
+            if months:
+                for month in range(3 * quarter - 2, 3 * quarter + 1):
+                    hierarchy.add(CODE[f"time/Y{year}-M{month:02d}"], quarter_code)
+    return hierarchy
+
+
+def sex_hierarchy() -> Hierarchy:
+    """Total → male / female."""
+    hierarchy = Hierarchy(CODE["sex/T"])
+    hierarchy.add(CODE["sex/M"], hierarchy.root)
+    hierarchy.add(CODE["sex/F"], hierarchy.root)
+    return hierarchy
+
+
+def age_hierarchy() -> Hierarchy:
+    """ALL → broad band → 5-year group."""
+    hierarchy = Hierarchy(CODE["age/TOTAL"])
+    bands = {
+        "Y0-14": ("Y0-4", "Y5-9", "Y10-14"),
+        "Y15-64": ("Y15-24", "Y25-34", "Y35-44", "Y45-54", "Y55-64"),
+        "Y65-MAX": ("Y65-74", "Y75-84", "Y85-MAX"),
+    }
+    for band, groups in bands.items():
+        band_code = CODE[f"age/{band}"]
+        hierarchy.add(band_code, hierarchy.root)
+        for group in groups:
+            hierarchy.add(CODE[f"age/{group}"], band_code)
+    return hierarchy
+
+
+def unit_hierarchy() -> Hierarchy:
+    """Flat list of measurement units."""
+    hierarchy = Hierarchy(CODE["unit/ALL"])
+    for unit in ("NR", "PC", "THS", "MIO-EUR", "EUR-HAB"):
+        hierarchy.add(CODE[f"unit/{unit}"], hierarchy.root)
+    return hierarchy
+
+
+def citizenship_hierarchy(countries: int = 12) -> Hierarchy:
+    """ALL → national / foreign → country of citizenship."""
+    hierarchy = Hierarchy(CODE["citizen/TOTAL"])
+    national = CODE["citizen/NAT"]
+    foreign = CODE["citizen/FOR"]
+    hierarchy.add(national, hierarchy.root)
+    hierarchy.add(foreign, hierarchy.root)
+    for c in range(countries):
+        hierarchy.add(CODE[f"citizen/FOR-C{c}"], foreign)
+    return hierarchy
+
+
+def education_hierarchy() -> Hierarchy:
+    """ALL → ISCED 2011 aggregate → level."""
+    hierarchy = Hierarchy(CODE["edu/TOTAL"])
+    groups = {
+        "ED0-2": ("ED0", "ED1", "ED2"),
+        "ED3-4": ("ED3", "ED4"),
+        "ED5-8": ("ED5", "ED6", "ED7", "ED8"),
+    }
+    for group, levels in groups.items():
+        group_code = CODE[f"edu/{group}"]
+        hierarchy.add(group_code, hierarchy.root)
+        for level in levels:
+            hierarchy.add(CODE[f"edu/{level}"], group_code)
+    return hierarchy
+
+
+def household_size_hierarchy(max_size: int = 6) -> Hierarchy:
+    """ALL → 1 / 2 / ... / max+ persons."""
+    hierarchy = Hierarchy(CODE["hhsize/TOTAL"])
+    for size in range(1, max_size):
+        hierarchy.add(CODE[f"hhsize/P{size}"], hierarchy.root)
+    hierarchy.add(CODE[f"hhsize/P{max_size}-MAX"], hierarchy.root)
+    return hierarchy
+
+
+def economic_activity_hierarchy(divisions_per_section: int = 4) -> Hierarchy:
+    """ALL → NACE section → division."""
+    hierarchy = Hierarchy(CODE["nace/TOTAL"])
+    for section in "ABCDEFGHIJ":
+        section_code = CODE[f"nace/{section}"]
+        hierarchy.add(section_code, hierarchy.root)
+        for division in range(1, divisions_per_section + 1):
+            hierarchy.add(CODE[f"nace/{section}{division:02d}"], section_code)
+    return hierarchy

@@ -1,0 +1,125 @@
+"""The paper's running example (Figures 1-3, Tables 2-3).
+
+Three datasets over the hierarchies of Figure 1:
+
+* D1 — population by refArea / refPeriod / sex,
+* D2 — unemployment *and* poverty by refArea / refPeriod,
+* D3 — unemployment by refArea / refPeriod.
+
+``EXPECTED_EXAMPLE`` lists the relationships the paper derives in
+Figure 3; the test-suite checks every algorithm reproduces them.
+"""
+
+from __future__ import annotations
+
+from repro.core.space import ObservationSpace
+from repro.qb.hierarchy import Hierarchy
+from repro.qb.model import CubeSpace, Dataset, DatasetSchema, Observation
+from repro.rdf.terms import Namespace
+
+__all__ = ["build_example_space", "build_example_cubespace", "EXPECTED_EXAMPLE", "EXNS"]
+
+EXNS = Namespace("http://example.org/paper/")
+
+
+def _geo() -> Hierarchy:
+    hierarchy = Hierarchy(EXNS.World)
+    edges = [
+        (EXNS.Europe, EXNS.World),
+        (EXNS.America, EXNS.World),
+        (EXNS.Greece, EXNS.Europe),
+        (EXNS.Italy, EXNS.Europe),
+        (EXNS.Athens, EXNS.Greece),
+        (EXNS.Ioannina, EXNS.Greece),
+        (EXNS.Rome, EXNS.Italy),
+        (EXNS.US, EXNS.America),
+        (EXNS.Texas, EXNS.US),
+        (EXNS.Austin, EXNS.Texas),
+    ]
+    for child, parent in edges:
+        hierarchy.add(child, parent)
+    return hierarchy
+
+
+def _time() -> Hierarchy:
+    hierarchy = Hierarchy(EXNS.AllTime)
+    hierarchy.add(EXNS.Y2001, EXNS.AllTime)
+    hierarchy.add(EXNS.Y2011, EXNS.AllTime)
+    hierarchy.add(EXNS.Jan2011, EXNS.Y2011)
+    hierarchy.add(EXNS.Feb2011, EXNS.Y2011)
+    return hierarchy
+
+
+def _sex() -> Hierarchy:
+    hierarchy = Hierarchy(EXNS.Total)
+    hierarchy.add(EXNS.Male, EXNS.Total)
+    hierarchy.add(EXNS.Female, EXNS.Total)
+    return hierarchy
+
+
+#: Figure 2's observations: (local name, dataset, dims, measures dict).
+_OBSERVATIONS = (
+    ("o11", "D1", {"refArea": EXNS.Athens, "refPeriod": EXNS.Y2001, "sex": EXNS.Total},
+     {"population": 5_000_000}),
+    ("o12", "D1", {"refArea": EXNS.Austin, "refPeriod": EXNS.Y2011, "sex": EXNS.Male},
+     {"population": 445_000}),
+    ("o13", "D1", {"refArea": EXNS.Austin, "refPeriod": EXNS.Y2011, "sex": EXNS.Total},
+     {"population": 885_000}),
+    ("o21", "D2", {"refArea": EXNS.Greece, "refPeriod": EXNS.Y2011},
+     {"unemployment": 26.0, "poverty": 15.0}),
+    ("o22", "D2", {"refArea": EXNS.Italy, "refPeriod": EXNS.Y2011},
+     {"unemployment": 20.0, "poverty": 10.0}),
+    ("o31", "D3", {"refArea": EXNS.Athens, "refPeriod": EXNS.Y2001},
+     {"unemployment": 10.0}),
+    ("o32", "D3", {"refArea": EXNS.Athens, "refPeriod": EXNS.Jan2011},
+     {"unemployment": 30.0}),
+    ("o33", "D3", {"refArea": EXNS.Rome, "refPeriod": EXNS.Feb2011},
+     {"unemployment": 7.0}),
+    ("o34", "D3", {"refArea": EXNS.Ioannina, "refPeriod": EXNS.Jan2011},
+     {"unemployment": 15.0}),
+    ("o35", "D3", {"refArea": EXNS.Austin, "refPeriod": EXNS.Y2011},
+     {"unemployment": 3.0}),
+)
+
+#: Figure 3's derived relationships, as pairs of observation local names.
+EXPECTED_EXAMPLE = {
+    "full": {("o21", "o32"), ("o21", "o34"), ("o22", "o33")},
+    "complementary": {("o11", "o31"), ("o13", "o35")},
+}
+
+_DATASET_SCHEMAS = {
+    "D1": (("refArea", "refPeriod", "sex"), ("population",)),
+    "D2": (("refArea", "refPeriod"), ("unemployment", "poverty")),
+    "D3": (("refArea", "refPeriod"), ("unemployment",)),
+}
+
+
+def build_example_cubespace() -> CubeSpace:
+    """The running example as a full QB cube space."""
+    space = CubeSpace()
+    space.add_hierarchy(EXNS.refArea, _geo())
+    space.add_hierarchy(EXNS.refPeriod, _time())
+    space.add_hierarchy(EXNS.sex, _sex())
+    datasets: dict[str, Dataset] = {}
+    for name, (dims, measures) in _DATASET_SCHEMAS.items():
+        schema = DatasetSchema(
+            dimensions=tuple(EXNS[d] for d in dims),
+            measures=tuple(EXNS[m] for m in measures),
+        )
+        datasets[name] = Dataset(EXNS[f"dataset/{name}"], schema, label=name)
+    for local, dataset_name, dims, measures in _OBSERVATIONS:
+        observation = Observation(
+            EXNS[local],
+            EXNS[f"dataset/{dataset_name}"],
+            {EXNS[d]: code for d, code in dims.items()},
+            {EXNS[m]: value for m, value in measures.items()},
+        )
+        datasets[dataset_name].add(observation)
+    for dataset in datasets.values():
+        space.add_dataset(dataset)
+    return space
+
+
+def build_example_space() -> ObservationSpace:
+    """The running example flattened for the algorithms."""
+    return ObservationSpace.from_cubespace(build_example_cubespace())

@@ -1,0 +1,116 @@
+"""Synthetic scalability dataset (Section 4.2).
+
+The paper builds its 2.5 M-observation dataset by fixing the number of
+dimensions, projecting how many lattice nodes (cubes) a given input
+size activates — matching the decreasing cubes-per-observation curve of
+Figure 5(f) — and then populating the selected nodes *evenly*.
+
+:func:`projected_cube_count` models the sub-linear growth of active
+cubes (a power law ``c · n^alpha`` with ``alpha < 1``), and
+:func:`build_synthetic_space` samples that many distinct level
+signatures and fills each with ``n / #cubes`` observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.space import ObservationSpace
+from repro.data import codelists
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf.terms import Namespace, URIRef
+
+__all__ = ["projected_cube_count", "build_synthetic_space"]
+
+NS = Namespace("http://purl.org/repro/synthetic/")
+
+
+def projected_cube_count(n: int, coefficient: float = 2.0, alpha: float = 0.55) -> int:
+    """Active lattice nodes projected for ``n`` observations.
+
+    Sub-linear (``alpha < 1``) so the cubes-per-observation ratio
+    decreases with input size, as measured on the real corpus in
+    Figure 5(f).
+    """
+    if n <= 0:
+        return 0
+    return max(1, min(n, int(round(coefficient * n**alpha))))
+
+
+def _default_hierarchies(dimension_count: int) -> dict[URIRef, Hierarchy]:
+    builders = [
+        codelists.geo_hierarchy,
+        codelists.time_hierarchy,
+        codelists.age_hierarchy,
+        codelists.economic_activity_hierarchy,
+        codelists.education_hierarchy,
+        codelists.citizenship_hierarchy,
+        codelists.sex_hierarchy,
+        codelists.unit_hierarchy,
+    ]
+    hierarchies: dict[URIRef, Hierarchy] = {}
+    for index in range(dimension_count):
+        dimension = NS[f"dim{index}"]
+        hierarchies[dimension] = builders[index % len(builders)]()
+    return hierarchies
+
+
+def build_synthetic_space(
+    n: int,
+    dimension_count: int = 4,
+    seed: int = 0,
+    coefficient: float = 2.0,
+    alpha: float = 0.55,
+    measure_count: int = 3,
+) -> ObservationSpace:
+    """Generate ``n`` observations over ``dimension_count`` dimensions.
+
+    Cubes (level signatures) are sampled uniformly from the feasible
+    level combinations, then populated evenly; within a cube each
+    observation draws uniform codes at the prescribed levels.
+    """
+    rng = np.random.default_rng(seed)
+    hierarchies = _default_hierarchies(dimension_count)
+    dimensions = tuple(hierarchies)
+    space = ObservationSpace(dimensions, hierarchies)
+    if n <= 0:
+        return space
+
+    codes_by_level: list[list[list[URIRef]]] = []
+    for dimension in dimensions:
+        hierarchy = hierarchies[dimension]
+        pools: list[list[URIRef]] = [[] for _ in range(hierarchy.max_level + 1)]
+        for code in sorted(hierarchy, key=str):
+            pools[hierarchy.level(code)].append(code)  # type: ignore[arg-type]
+        codes_by_level.append(pools)
+
+    cube_target = projected_cube_count(n, coefficient, alpha)
+    signatures: set[tuple[int, ...]] = set()
+    max_levels = [len(pools) - 1 for pools in codes_by_level]
+    # Rejection-sample distinct signatures; the signature space is vastly
+    # larger than cube_target for the default hierarchies.
+    attempts = 0
+    while len(signatures) < cube_target and attempts < cube_target * 50:
+        attempts += 1
+        signatures.add(
+            tuple(int(rng.integers(0, top + 1)) for top in max_levels)
+        )
+    signature_list = sorted(signatures)
+
+    measures = [NS[f"measure{m}"] for m in range(measure_count)]
+    dataset = NS.dataset
+    index = 0
+    # Even population: n // k per cube, the remainder spread round-robin.
+    cube_count = len(signature_list)
+    base_quota, remainder = divmod(n, cube_count)
+    for cube_number, signature in enumerate(signature_list):
+        quota = base_quota + (1 if cube_number < remainder else 0)
+        for _ in range(quota):
+            dims = {}
+            for position, dimension in enumerate(dimensions):
+                pool = codes_by_level[position][signature[position]]
+                dims[dimension] = pool[int(rng.integers(len(pool)))]
+            measure = measures[int(rng.integers(measure_count))]
+            space.add(NS[f"obs/{index}"], dataset, dims, {measure})
+            index += 1
+    return space

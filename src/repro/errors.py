@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies follow the package
+layout: RDF parsing, SPARQL, rules, cube-model and algorithm errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RDFError(ReproError):
+    """Base class for errors in the RDF substrate."""
+
+
+class ParseError(RDFError):
+    """A serialization (Turtle, N-Triples) could not be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TermError(RDFError):
+    """An RDF term was constructed with invalid content."""
+
+
+class SPARQLError(ReproError):
+    """Base class for SPARQL engine errors."""
+
+
+class SPARQLSyntaxError(SPARQLError):
+    """The query text is not valid in the supported SPARQL subset."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (near offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SPARQLEvaluationError(SPARQLError):
+    """The query is syntactically valid but cannot be evaluated."""
+
+
+class RuleError(ReproError):
+    """Base class for rule engine errors."""
+
+
+class RuleSyntaxError(RuleError):
+    """A rule definition could not be parsed."""
+
+
+class RuleEvaluationError(RuleError):
+    """Forward chaining failed, e.g. an unknown builtin was invoked."""
+
+
+class CubeModelError(ReproError):
+    """The QB model layer received inconsistent cube data."""
+
+
+class HierarchyError(CubeModelError):
+    """A code-list hierarchy is malformed (cycles, unknown codes...)."""
+
+
+class AlignmentError(ReproError):
+    """The alignment (interlinking) module was misconfigured."""
+
+
+class AlgorithmError(ReproError):
+    """A relationship-computation algorithm received invalid input."""

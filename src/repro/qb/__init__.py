@@ -1,0 +1,30 @@
+"""RDF Data Cube (QB) model layer.
+
+Bridges the RDF substrate and the relationship algorithms: a typed
+object model for datasets, schemas, observations and hierarchical code
+lists (:mod:`repro.qb.model`, :mod:`repro.qb.hierarchy`), loading from /
+writing to RDF graphs (:mod:`repro.qb.loader`, :mod:`repro.qb.writer`),
+and a CSV-to-QB converter (:mod:`repro.qb.csv2qb`).
+"""
+
+from repro.qb.csv2qb import csv_to_cubespace
+from repro.qb.hierarchy import Hierarchy
+from repro.qb.loader import load_cubespace
+from repro.qb.model import CubeSpace, Dataset, DatasetSchema, Observation
+from repro.qb.validation import Violation, is_well_formed, validate_graph
+from repro.qb.writer import cubespace_to_graph, relationships_to_graph
+
+__all__ = [
+    "Hierarchy",
+    "Observation",
+    "DatasetSchema",
+    "Dataset",
+    "CubeSpace",
+    "load_cubespace",
+    "cubespace_to_graph",
+    "relationships_to_graph",
+    "csv_to_cubespace",
+    "validate_graph",
+    "is_well_formed",
+    "Violation",
+]

@@ -1,0 +1,132 @@
+"""CSV-to-QB conversion (the approach of Sathe & Sarawagi [28] as used
+in the paper's Section 4: column headers become dimension URIs, rows
+become observations, and cell values are matched to code-list terms by
+their identifiers).
+
+The converter needs a :class:`ColumnSpec` per column saying whether it
+is a dimension (with a code hierarchy) or a measure, plus a base URI
+for minting observation URIs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import CubeModelError
+from repro.qb.hierarchy import Hierarchy
+from repro.qb.model import CubeSpace, Dataset, DatasetSchema, Observation
+from repro.rdf.terms import URIRef
+
+__all__ = ["ColumnSpec", "csv_to_cubespace"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """How one CSV column maps into the cube.
+
+    ``kind`` is ``'dimension'`` or ``'measure'``.  Dimension columns
+    need the dimension property URI and the :class:`Hierarchy` whose
+    codes the cell identifiers are matched against; measure columns
+    need the measure property URI and a value parser (default
+    ``float``).
+    """
+
+    header: str
+    kind: str
+    property_uri: URIRef
+    hierarchy: Hierarchy | None = None
+    parser: type = float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dimension", "measure"):
+            raise CubeModelError(f"unknown column kind {self.kind!r}")
+        if self.kind == "dimension" and self.hierarchy is None:
+            raise CubeModelError(f"dimension column {self.header!r} needs a hierarchy")
+
+
+def _match_code(hierarchy: Hierarchy, identifier: str) -> URIRef:
+    """Match a cell value to a code by its URI local name (ID matching).
+
+    Mirrors the paper's conversion step: "automatically matching cell
+    values to existing code list terms based on their IDs".
+    """
+    wanted = identifier.strip()
+    for code in hierarchy:
+        if isinstance(code, URIRef) and code.local_name() == wanted:
+            return code
+    raise CubeModelError(f"cell value {identifier!r} matches no code in {hierarchy!r}")
+
+
+def csv_to_cubespace(
+    text: str | Iterable[str],
+    columns: list[ColumnSpec],
+    dataset_uri: URIRef,
+    space: CubeSpace | None = None,
+) -> CubeSpace:
+    """Convert CSV text into a single-dataset :class:`CubeSpace`.
+
+    The first row must be a header naming every column in ``columns``
+    (order-insensitive; extra CSV columns are ignored).  Empty dimension
+    cells leave the dimension unbound (interpreted as the root value by
+    the algorithms); empty measure cells are skipped.
+    """
+    if isinstance(text, str):
+        reader = csv.reader(io.StringIO(text))
+    else:
+        reader = csv.reader(text)
+    rows = iter(reader)
+    try:
+        header = next(rows)
+    except StopIteration:
+        raise CubeModelError("CSV input is empty") from None
+    spec_by_header = {spec.header: spec for spec in columns}
+    missing = set(spec_by_header) - set(header)
+    if missing:
+        raise CubeModelError(f"CSV header is missing columns: {sorted(missing)}")
+    index_of = {name: i for i, name in enumerate(header)}
+
+    target = space if space is not None else CubeSpace()
+    dimensions = tuple(s.property_uri for s in columns if s.kind == "dimension")
+    measures = tuple(s.property_uri for s in columns if s.kind == "measure")
+    schema = DatasetSchema(dimensions=dimensions, measures=measures)
+    for spec in columns:
+        if spec.kind == "dimension":
+            assert spec.hierarchy is not None
+            target.add_hierarchy(spec.property_uri, spec.hierarchy)
+    dataset = Dataset(dataset_uri, schema)
+
+    # Resolve codes once per distinct cell value, not once per row.
+    code_cache: dict[tuple[str, str], URIRef] = {}
+    for row_number, row in enumerate(rows, start=1):
+        if not any(cell.strip() for cell in row):
+            continue
+        dims: dict[URIRef, URIRef] = {}
+        meas: dict[URIRef, object] = {}
+        for spec in columns:
+            cell = row[index_of[spec.header]].strip()
+            if not cell:
+                continue
+            if spec.kind == "dimension":
+                key = (spec.header, cell)
+                code = code_cache.get(key)
+                if code is None:
+                    assert spec.hierarchy is not None
+                    code = _match_code(spec.hierarchy, cell)
+                    code_cache[key] = code
+                dims[spec.property_uri] = code
+            else:
+                try:
+                    meas[spec.property_uri] = spec.parser(cell)
+                except ValueError as exc:
+                    raise CubeModelError(
+                        f"row {row_number}: cannot parse {cell!r} as {spec.parser.__name__}"
+                    ) from exc
+        if not meas:
+            raise CubeModelError(f"row {row_number} has no measure values")
+        uri = URIRef(f"{dataset_uri}/obs/{row_number}")
+        dataset.add(Observation(uri, dataset_uri, dims, meas))
+    target.add_dataset(dataset)
+    return target

@@ -1,0 +1,194 @@
+"""Hierarchical code lists (Definition 2 of the paper).
+
+A :class:`Hierarchy` is the coded value space of one dimension: a tree
+of codes rooted at the dimension's top concept (``ALL``).  Ancestry is
+*reflexive* (``c ≻ c`` for every code), exactly as Definition 2
+requires, and :meth:`Hierarchy.is_ancestor` implements the ``≻``
+relation used by all containment checks.
+
+Ancestor sets are memoised as frozensets so that ``is_ancestor`` is an
+O(1) set lookup — the hash-table trick Algorithm 4 relies on for
+constant-time level checks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import HierarchyError
+
+__all__ = ["Hierarchy"]
+
+Code = Hashable
+
+
+class Hierarchy:
+    """A single-rooted code hierarchy with reflexive ancestry.
+
+    Parameters
+    ----------
+    root:
+        The top concept (``c_jroot``); an ancestor of every code.
+    parents:
+        Mapping of child code to parent code.  Every code must reach
+        ``root`` through the parent chain; cycles are rejected.
+    """
+
+    __slots__ = ("root", "_parent", "_children", "_ancestors", "_levels", "_max_level")
+
+    def __init__(self, root: Code, parents: Mapping[Code, Code] | None = None):
+        self.root = root
+        self._parent: dict[Code, Code] = {}
+        self._children: dict[Code, set[Code]] = {root: set()}
+        self._ancestors: dict[Code, frozenset[Code]] = {root: frozenset((root,))}
+        self._levels: dict[Code, int] = {root: 0}
+        self._max_level = 0
+        if parents:
+            # Insert in dependency order so parents exist before children.
+            remaining = dict(parents)
+            while remaining:
+                progressed = False
+                for child in list(remaining):
+                    parent = remaining[child]
+                    if parent in self._levels:
+                        self.add(child, parent)
+                        del remaining[child]
+                        progressed = True
+                if not progressed:
+                    stuck = ", ".join(repr(c) for c in list(remaining)[:5])
+                    raise HierarchyError(
+                        f"codes unreachable from root {root!r} (cycle or missing parent): {stuck}"
+                    )
+
+    # ------------------------------------------------------------------
+    def add(self, code: Code, parent: Code | None = None) -> None:
+        """Insert ``code`` under ``parent`` (default: directly under root)."""
+        if code in self._levels:
+            existing = self._parent.get(code, self.root if code != self.root else None)
+            wanted = parent if parent is not None else self.root
+            if code == self.root or existing == wanted:
+                return
+            raise HierarchyError(f"code {code!r} already present under {existing!r}")
+        parent = parent if parent is not None else self.root
+        if parent not in self._levels:
+            raise HierarchyError(f"parent {parent!r} of {code!r} is not in the hierarchy")
+        self._parent[code] = parent
+        self._children.setdefault(parent, set()).add(code)
+        self._children.setdefault(code, set())
+        self._ancestors[code] = self._ancestors[parent] | {code}
+        level = self._levels[parent] + 1
+        self._levels[code] = level
+        if level > self._max_level:
+            self._max_level = level
+
+    # ------------------------------------------------------------------
+    def __contains__(self, code: Code) -> bool:
+        return code in self._levels
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self) -> Iterator[Code]:
+        return iter(self._levels)
+
+    def parent(self, code: Code) -> Code | None:
+        """Direct parent, or ``None`` for the root."""
+        if code not in self._levels:
+            raise HierarchyError(f"unknown code {code!r}")
+        return self._parent.get(code)
+
+    def children(self, code: Code) -> frozenset[Code]:
+        if code not in self._levels:
+            raise HierarchyError(f"unknown code {code!r}")
+        return frozenset(self._children.get(code, ()))
+
+    def ancestors(self, code: Code) -> frozenset[Code]:
+        """Reflexive ancestor set: ``code`` itself up to the root."""
+        try:
+            return self._ancestors[code]
+        except KeyError:
+            raise HierarchyError(f"unknown code {code!r}") from None
+
+    def strict_ancestors(self, code: Code) -> frozenset[Code]:
+        return self.ancestors(code) - {code}
+
+    def descendants(self, code: Code) -> frozenset[Code]:
+        """Reflexive descendant set (subtree rooted at ``code``)."""
+        if code not in self._levels:
+            raise HierarchyError(f"unknown code {code!r}")
+        out: set[Code] = set()
+        stack = [code]
+        while stack:
+            node = stack.pop()
+            out.add(node)
+            stack.extend(self._children.get(node, ()))
+        return frozenset(out)
+
+    def is_ancestor(self, ancestor: Code, descendant: Code) -> bool:
+        """The paper's ``ancestor ≻ descendant`` (reflexive) relation."""
+        try:
+            return ancestor in self._ancestors[descendant]
+        except KeyError:
+            raise HierarchyError(f"unknown code {descendant!r}") from None
+
+    def level(self, code: Code) -> int:
+        """Depth of ``code``; the root has level 0."""
+        try:
+            return self._levels[code]
+        except KeyError:
+            raise HierarchyError(f"unknown code {code!r}") from None
+
+    @property
+    def max_level(self) -> int:
+        return self._max_level
+
+    def codes_at_level(self, level: int) -> frozenset[Code]:
+        return frozenset(c for c, l in self._levels.items() if l == level)
+
+    def leaves(self) -> frozenset[Code]:
+        return frozenset(c for c, kids in self._children.items() if not kids)
+
+    def path_to_root(self, code: Code) -> list[Code]:
+        """The chain ``[code, parent, ..., root]``."""
+        if code not in self._levels:
+            raise HierarchyError(f"unknown code {code!r}")
+        path = [code]
+        while path[-1] != self.root:
+            path.append(self._parent[path[-1]])
+        return path
+
+    def items(self) -> Iterator[tuple[Code, Code | None]]:
+        """Yield ``(code, parent)`` pairs; the root pairs with ``None``."""
+        for code in self._levels:
+            yield code, self._parent.get(code)
+
+    def merge(self, other: "Hierarchy") -> "Hierarchy":
+        """Union of two hierarchies over the same root.
+
+        Used when datasets ship overlapping slices of a shared code
+        list.  Conflicting parents raise :class:`HierarchyError`.
+        """
+        if other.root != self.root:
+            raise HierarchyError(
+                f"cannot merge hierarchies with different roots: {self.root!r} vs {other.root!r}"
+            )
+        merged = Hierarchy(self.root)
+        pending: dict[Code, Code] = {}
+        for source in (self, other):
+            for code, parent in source.items():
+                if code == source.root:
+                    continue
+                if code in pending and pending[code] != parent:
+                    raise HierarchyError(
+                        f"conflicting parents for {code!r}: {pending[code]!r} vs {parent!r}"
+                    )
+                pending[code] = parent  # type: ignore[assignment]
+        return Hierarchy(self.root, pending)
+
+    def __repr__(self) -> str:
+        return f"Hierarchy(root={self.root!r}, codes={len(self)}, depth={self._max_level})"
+
+    @classmethod
+    def from_edges(cls, root: Code, edges: Iterable[tuple[Code, Code]]) -> "Hierarchy":
+        """Build from ``(child, parent)`` pairs."""
+        return cls(root, dict(edges))

@@ -1,0 +1,223 @@
+"""Load QB datasets from an RDF graph into a :class:`CubeSpace`.
+
+Expected vocabulary (the standard Data Cube shapes):
+
+* ``?ds a qb:DataSet ; qb:structure ?dsd``
+* ``?dsd qb:component [ qb:dimension ?p ; qb:codeList ?cl ]``
+  and ``[ qb:measure ?m ]`` / ``[ qb:attribute ?a ]``
+* ``?cl skos:hasTopConcept ?root`` and ``?code skos:inScheme ?cl ;
+  skos:broader ?parent``
+* ``?obs a qb:Observation ; qb:dataSet ?ds ; ?p ?code ; ?m ?value``
+
+Codes referenced by observations but missing from the scheme are
+attached directly under the root (real-world dumps are frequently
+incomplete in exactly this way).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CubeModelError
+from repro.qb.hierarchy import Hierarchy
+from repro.qb.model import CubeSpace, Dataset, DatasetSchema, Observation, Slice
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import QB, RDF, SKOS
+from repro.rdf.terms import BNode, Literal, URIRef
+
+__all__ = ["load_cubespace", "load_cubespace_dataset", "load_hierarchy"]
+
+
+def load_cubespace_dataset(dataset) -> CubeSpace:
+    """Load a multi-source :class:`~repro.rdf.dataset.RDFDataset`.
+
+    Each named graph typically carries one publisher's cube (plus
+    shared code lists in the default graph); everything is merged onto
+    one reconciled cube space — shared hierarchies are unioned, dataset
+    URIs must be globally unique.
+    """
+    spaces = [load_cubespace(dataset.default)] if len(dataset.default) else []
+    for name in dataset.names():
+        merged_view = dataset.graph(name) | dataset.default
+        space = load_cubespace(merged_view)
+        # Drop datasets already produced by another graph (the default
+        # graph's own datasets are loaded once above).
+        if spaces:
+            known = {uri for s in spaces for uri in s.datasets}
+            for uri in list(space.datasets):
+                if uri in known:
+                    del space.datasets[uri]
+        spaces.append(space)
+    return CubeSpace.merge_all(spaces)
+
+
+def load_hierarchy(graph: Graph, scheme: URIRef) -> Hierarchy:
+    """Build a :class:`Hierarchy` from a SKOS concept scheme.
+
+    Parent links come from ``skos:broader`` (child → parent) or, when a
+    publisher only ships the inverse direction, from ``skos:narrower``
+    (parent → child).  Codes with neither link attach under the top
+    concept.
+    """
+    root = graph.value(scheme, SKOS.hasTopConcept, None)
+    if root is None:
+        raise CubeModelError(f"concept scheme {scheme} has no skos:hasTopConcept")
+    if not isinstance(root, URIRef):
+        raise CubeModelError(f"top concept of {scheme} must be a URI, got {root!r}")
+    parents: dict[URIRef, URIRef] = {}
+    for code in graph.subjects(SKOS.inScheme, scheme):
+        if not isinstance(code, URIRef) or code == root:
+            continue
+        parent = graph.value(code, SKOS.broader, None)
+        if parent is None:
+            # Inverse direction: some dumps publish skos:narrower only.
+            parent = graph.value(None, SKOS.narrower, code)
+        if parent is None:
+            parent = root
+        if not isinstance(parent, URIRef):
+            raise CubeModelError(f"skos:broader of {code} must be a URI")
+        parents[code] = parent
+    return Hierarchy(root, parents)
+
+
+def _component_properties(graph: Graph, dsd: URIRef | BNode) -> tuple[
+    list[tuple[URIRef, URIRef | None]], list[URIRef], list[URIRef]
+]:
+    """Return (dimensions-with-codelists, measures, attributes) of a DSD."""
+    dimensions: list[tuple[URIRef, URIRef | None]] = []
+    measures: list[URIRef] = []
+    attributes: list[URIRef] = []
+    for component in graph.objects(dsd, QB.component):
+        dim = graph.value(component, QB.dimension, None)  # type: ignore[arg-type]
+        if isinstance(dim, URIRef):
+            codelist = graph.value(component, QB.codeList, None)  # type: ignore[arg-type]
+            dimensions.append((dim, codelist if isinstance(codelist, URIRef) else None))
+            continue
+        measure = graph.value(component, QB.measure, None)  # type: ignore[arg-type]
+        if isinstance(measure, URIRef):
+            measures.append(measure)
+            continue
+        attribute = graph.value(component, QB.attribute, None)  # type: ignore[arg-type]
+        if isinstance(attribute, URIRef):
+            attributes.append(attribute)
+    dimensions.sort(key=lambda pair: str(pair[0]))
+    measures.sort(key=str)
+    attributes.sort(key=str)
+    return dimensions, measures, attributes
+
+
+def load_cubespace(graph: Graph) -> CubeSpace:
+    """Parse every ``qb:DataSet`` in ``graph`` into one :class:`CubeSpace`.
+
+    Raises :class:`~repro.errors.CubeModelError` for structurally broken
+    cubes (no structure definition, observation without dataset, ...).
+    """
+    space = CubeSpace()
+    scheme_cache: dict[URIRef, Hierarchy] = {}
+    dataset_schemas: dict[URIRef, DatasetSchema] = {}
+    dimension_codelist: dict[URIRef, URIRef | None] = {}
+
+    for ds_term in sorted(graph.subjects(RDF.type, QB.DataSet), key=str):
+        if not isinstance(ds_term, URIRef):
+            raise CubeModelError(f"qb:DataSet must be a URI, got {ds_term!r}")
+        dsd = graph.value(ds_term, QB.structure, None)
+        if dsd is None:
+            raise CubeModelError(f"dataset {ds_term} has no qb:structure")
+        dimensions, measures, attributes = _component_properties(graph, dsd)  # type: ignore[arg-type]
+        if not measures:
+            raise CubeModelError(f"dataset {ds_term} declares no measures")
+        schema = DatasetSchema(
+            dimensions=tuple(d for d, _ in dimensions),
+            measures=tuple(measures),
+            attributes=tuple(attributes),
+        )
+        dataset_schemas[ds_term] = schema
+        for dimension, codelist in dimensions:
+            dimension_codelist.setdefault(dimension, codelist)
+            if codelist is None:
+                continue
+            if codelist not in scheme_cache:
+                scheme_cache[codelist] = load_hierarchy(graph, codelist)
+            space.add_hierarchy(dimension, scheme_cache[codelist])
+        label = graph.value(ds_term, URIRef("http://www.w3.org/2000/01/rdf-schema#label"), None)
+        space.datasets[ds_term] = Dataset(
+            ds_term, schema, [], str(label) if isinstance(label, Literal) else None
+        )
+
+    # Dimensions used without a code list get a flat hierarchy built from
+    # the values observed below.
+    flat_roots: dict[URIRef, Hierarchy] = {}
+
+    for obs_term in graph.subjects(RDF.type, QB.Observation):
+        if not isinstance(obs_term, URIRef):
+            raise CubeModelError(f"qb:Observation must be a URI, got {obs_term!r}")
+        ds = graph.value(obs_term, QB.dataSet, None)
+        if not isinstance(ds, URIRef) or ds not in dataset_schemas:
+            raise CubeModelError(f"observation {obs_term} has no known qb:dataSet")
+        schema = dataset_schemas[ds]
+        dims: dict[URIRef, URIRef] = {}
+        meas: dict[URIRef, object] = {}
+        attrs: dict[URIRef, object] = {}
+        for _, predicate, obj in graph.triples(obs_term, None, None):
+            if predicate in (RDF.type, QB.dataSet):
+                continue
+            if predicate in schema.dimensions:
+                if not isinstance(obj, URIRef):
+                    raise CubeModelError(
+                        f"observation {obs_term}: dimension {predicate} has non-URI value {obj!r}"
+                    )
+                dims[predicate] = obj
+            elif predicate in schema.measures:
+                meas[predicate] = obj.to_python() if isinstance(obj, Literal) else obj
+            elif predicate in schema.attributes:
+                attrs[predicate] = obj.to_python() if isinstance(obj, Literal) else obj
+            # Unknown predicates are annotation noise; ignore them.
+        observation = Observation(obs_term, ds, dims, meas, attrs)
+        space.datasets[ds].add(observation)
+
+        for dimension, code in dims.items():
+            hierarchy = space.hierarchies.get(dimension)
+            if hierarchy is None:
+                flat = flat_roots.get(dimension)
+                if flat is None:
+                    root = URIRef(str(dimension) + "/ALL")
+                    flat = Hierarchy(root)
+                    flat_roots[dimension] = flat
+                if code not in flat:
+                    flat.add(code)
+            elif code not in hierarchy:
+                hierarchy.add(code)
+
+    for dimension, hierarchy in flat_roots.items():
+        space.add_hierarchy(dimension, hierarchy)
+
+    # Sort observations per dataset for deterministic downstream order.
+    for dataset in space.datasets.values():
+        dataset.observations.sort(key=lambda o: str(o.uri))
+
+    # Slices: attached last so membership checks see all observations.
+    for dataset in space.datasets.values():
+        for slice_term in sorted(graph.objects(dataset.uri, QB.slice), key=str):
+            if not isinstance(slice_term, URIRef):
+                raise CubeModelError(f"qb:Slice of {dataset.uri} must be a URI")
+            fixed: dict[URIRef, URIRef] = {}
+            for dimension in dataset.schema.dimensions:
+                value = graph.value(slice_term, dimension, None)
+                if isinstance(value, URIRef):
+                    fixed[dimension] = value
+            members = tuple(
+                sorted(
+                    (o for o in graph.objects(slice_term, QB.observation) if isinstance(o, URIRef)),
+                    key=str,
+                )
+            )
+            label = graph.value(
+                slice_term, URIRef("http://www.w3.org/2000/01/rdf-schema#label"), None
+            )
+            dataset.add_slice(
+                Slice(
+                    slice_term,
+                    fixed,
+                    members,
+                    str(label) if isinstance(label, Literal) else None,
+                )
+            )
+    return space

@@ -1,0 +1,253 @@
+"""Typed object model for RDF Data Cube datasets.
+
+:class:`CubeSpace` is the central container: all input datasets, their
+schemas and observations, plus one :class:`~repro.qb.hierarchy.Hierarchy`
+per dimension (the reconciled *dimension bus* of the paper's Section 2).
+The relationship algorithms consume a :class:`CubeSpace` through
+:class:`repro.core.space.ObservationSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import CubeModelError
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf.terms import URIRef
+
+__all__ = ["Observation", "DatasetSchema", "Dataset", "Slice", "CubeSpace"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A single fact: dimension bindings plus measured values.
+
+    ``dimensions`` maps dimension property URI -> code (URI from the
+    dimension's code list).  Dimensions absent from the mapping are
+    interpreted as the root (ALL) value by the algorithms, per the
+    paper's convention.  ``measures`` maps measure property URI -> the
+    measured value (any Python scalar).
+    """
+
+    uri: URIRef
+    dataset: URIRef
+    dimensions: Mapping[URIRef, URIRef]
+    measures: Mapping[URIRef, Any]
+    attributes: Mapping[URIRef, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimensions", dict(self.dimensions))
+        object.__setattr__(self, "measures", dict(self.measures))
+        object.__setattr__(self, "attributes", dict(self.attributes))
+        if not self.measures:
+            raise CubeModelError(f"observation {self.uri} has no measures")
+
+    def value(self, dimension: URIRef) -> URIRef | None:
+        """Code for ``dimension`` or ``None`` when the dimension is absent."""
+        return self.dimensions.get(dimension)
+
+    @property
+    def measure_set(self) -> frozenset[URIRef]:
+        return frozenset(self.measures)
+
+    def __repr__(self) -> str:
+        return f"Observation({self.uri.local_name()}, dims={len(self.dimensions)}, measures={len(self.measures)})"
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """The schema part S_i = {P_i, M_i} of Definition 1."""
+
+    dimensions: tuple[URIRef, ...]
+    measures: tuple[URIRef, ...]
+    attributes: tuple[URIRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.dimensions)) != len(self.dimensions):
+            raise CubeModelError("schema has duplicate dimensions")
+        if not self.measures:
+            raise CubeModelError("schema must declare at least one measure")
+
+
+@dataclass(frozen=True)
+class Slice:
+    """A ``qb:Slice``: a subset of a dataset with some dimensions fixed.
+
+    ``fixed`` maps the pinned dimensions to their codes; ``observations``
+    lists the member observation URIs.  Members must agree with the
+    fixed values (checked by :meth:`Dataset.add_slice`).
+    """
+
+    uri: URIRef
+    fixed: Mapping[URIRef, URIRef]
+    observations: tuple[URIRef, ...] = ()
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fixed", dict(self.fixed))
+        object.__setattr__(self, "observations", tuple(self.observations))
+
+
+@dataclass
+class Dataset:
+    """One source dataset D_i: a schema and its observations."""
+
+    uri: URIRef
+    schema: DatasetSchema
+    observations: list[Observation] = field(default_factory=list)
+    label: str | None = None
+    slices: list[Slice] = field(default_factory=list)
+
+    def add(self, observation: Observation) -> None:
+        extra_dims = set(observation.dimensions) - set(self.schema.dimensions)
+        if extra_dims:
+            raise CubeModelError(
+                f"observation {observation.uri} binds dimensions outside the schema: {sorted(extra_dims)}"
+            )
+        extra_measures = set(observation.measures) - set(self.schema.measures)
+        if extra_measures:
+            raise CubeModelError(
+                f"observation {observation.uri} reports measures outside the schema: {sorted(extra_measures)}"
+            )
+        self.observations.append(observation)
+
+    def add_slice(self, new_slice: Slice) -> None:
+        """Attach a slice, checking member observations match its key."""
+        unknown_dims = set(new_slice.fixed) - set(self.schema.dimensions)
+        if unknown_dims:
+            raise CubeModelError(
+                f"slice {new_slice.uri} fixes dimensions outside the schema: {sorted(unknown_dims)}"
+            )
+        by_uri = {obs.uri: obs for obs in self.observations}
+        for member in new_slice.observations:
+            observation = by_uri.get(member)
+            if observation is None:
+                raise CubeModelError(f"slice {new_slice.uri}: unknown observation {member}")
+            for dimension, code in new_slice.fixed.items():
+                if observation.value(dimension) != code:
+                    raise CubeModelError(
+                        f"slice {new_slice.uri}: observation {member} disagrees on "
+                        f"{dimension.local_name()}"
+                    )
+        self.slices.append(new_slice)
+
+    def slice_members(self, slice_uri: URIRef) -> list[Observation]:
+        """The observations of one slice, in dataset order."""
+        for candidate in self.slices:
+            if candidate.uri == slice_uri:
+                wanted = set(candidate.observations)
+                return [obs for obs in self.observations if obs.uri in wanted]
+        raise CubeModelError(f"dataset {self.uri} has no slice {slice_uri}")
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.observations)
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.uri.local_name()}, observations={len(self.observations)})"
+
+
+class CubeSpace:
+    """All input datasets plus the reconciled dimension hierarchies.
+
+    This corresponds to the problem space of Section 2: the set ``D`` of
+    datasets, the union ``P`` of dimensions, union ``M`` of measures and
+    the code list ``C(p_j)`` of each dimension.
+    """
+
+    def __init__(self, hierarchies: Mapping[URIRef, Hierarchy] | None = None):
+        self.datasets: dict[URIRef, Dataset] = {}
+        self.hierarchies: dict[URIRef, Hierarchy] = dict(hierarchies or {})
+
+    # ------------------------------------------------------------------
+    def add_hierarchy(self, dimension: URIRef, hierarchy: Hierarchy) -> None:
+        """Attach (or merge) the code list of ``dimension``."""
+        existing = self.hierarchies.get(dimension)
+        if existing is not None:
+            hierarchy = existing.merge(hierarchy)
+        self.hierarchies[dimension] = hierarchy
+
+    def add_dataset(self, dataset: Dataset) -> None:
+        if dataset.uri in self.datasets:
+            raise CubeModelError(f"duplicate dataset {dataset.uri}")
+        for dimension in dataset.schema.dimensions:
+            if dimension not in self.hierarchies:
+                raise CubeModelError(
+                    f"dataset {dataset.uri} uses dimension {dimension} with no registered hierarchy"
+                )
+        self.datasets[dataset.uri] = dataset
+
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> tuple[URIRef, ...]:
+        """The union P of all dimensions, in deterministic order."""
+        seen: dict[URIRef, None] = {}
+        for dataset in self.datasets.values():
+            for dimension in dataset.schema.dimensions:
+                seen.setdefault(dimension, None)
+        return tuple(seen)
+
+    @property
+    def measures(self) -> tuple[URIRef, ...]:
+        seen: dict[URIRef, None] = {}
+        for dataset in self.datasets.values():
+            for measure in dataset.schema.measures:
+                seen.setdefault(measure, None)
+        return tuple(seen)
+
+    def observations(self) -> Iterator[Observation]:
+        """All observations across all datasets, dataset insertion order."""
+        for dataset in self.datasets.values():
+            yield from dataset.observations
+
+    def observation_count(self) -> int:
+        return sum(len(d) for d in self.datasets.values())
+
+    def validate(self) -> None:
+        """Check every observation's codes appear in their hierarchies."""
+        for dataset in self.datasets.values():
+            for observation in dataset.observations:
+                for dimension, code in observation.dimensions.items():
+                    hierarchy = self.hierarchies.get(dimension)
+                    if hierarchy is None:
+                        raise CubeModelError(f"no hierarchy for dimension {dimension}")
+                    if code not in hierarchy:
+                        raise CubeModelError(
+                            f"observation {observation.uri}: code {code} not in the "
+                            f"hierarchy of {dimension}"
+                        )
+
+    def subspace(self, limit: int) -> "CubeSpace":
+        """A copy containing only the first ``limit`` observations.
+
+        Used by the benchmark harness to sweep input sizes the way the
+        paper does (2k, 20k, 40k, ...).
+        """
+        out = CubeSpace(self.hierarchies)
+        remaining = limit
+        for dataset in self.datasets.values():
+            take = dataset.observations[:remaining] if remaining > 0 else []
+            copy = Dataset(dataset.uri, dataset.schema, list(take), dataset.label)
+            out.datasets[dataset.uri] = copy
+            remaining -= len(take)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CubeSpace(datasets={len(self.datasets)}, observations={self.observation_count()}, "
+            f"dimensions={len(self.hierarchies)})"
+        )
+
+    @classmethod
+    def merge_all(cls, spaces: Iterable["CubeSpace"]) -> "CubeSpace":
+        """Combine several cube spaces, merging shared hierarchies."""
+        out = cls()
+        for space in spaces:
+            for dimension, hierarchy in space.hierarchies.items():
+                out.add_hierarchy(dimension, hierarchy)
+            for dataset in space.datasets.values():
+                out.add_dataset(dataset)
+        return out

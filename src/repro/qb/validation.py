@@ -1,0 +1,193 @@
+"""Well-formedness validation for RDF Data Cubes.
+
+Implements the practically relevant subset of the QB specification's
+integrity constraints (IC-1 … IC-21) over an RDF graph, mirroring what
+the W3C recommendation's SPARQL ASK constraints check.  The paper's
+pipeline assumes well-formed cubes; this validator is what a production
+deployment runs before feeding data to the algorithms.
+
+Checks implemented (numbers follow the QB spec):
+
+* IC-1  unique dataset — every observation has exactly one ``qb:dataSet``
+* IC-2  unique DSD — every dataset has exactly one ``qb:structure``
+* IC-3  DSD includes at least one measure
+* IC-11 all dimensions required — every observation carries a value for
+  every dimension of its dataset's DSD
+* IC-12 no duplicate observations — no two observations of one dataset
+  agree on every dimension
+* IC-14 all measures present — every observation carries every measure
+  declared by its DSD
+* IC-19 codes from code list — dimension values with a ``qb:codeList``
+  must be in that scheme
+* plus: dimension values must be IRIs, observation typed, components typed
+
+Each violation is reported as a :class:`Violation` with the constraint
+id, a message and the offending node; :func:`validate_graph` returns
+them all instead of failing fast, so a data publisher sees every
+problem at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import QB, RDF, SKOS
+from repro.rdf.terms import BNode, Literal, Term, URIRef
+
+__all__ = ["Violation", "validate_graph", "is_well_formed"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One integrity-constraint violation."""
+
+    constraint: str
+    message: str
+    node: Term | None = None
+
+    def __str__(self) -> str:
+        location = f" [{self.node}]" if self.node is not None else ""
+        return f"{self.constraint}: {self.message}{location}"
+
+
+def _components(graph: Graph, dsd: Term) -> tuple[list[URIRef], list[URIRef], dict[URIRef, URIRef]]:
+    """Dimensions, measures and dimension->codeList of a DSD."""
+    dimensions: list[URIRef] = []
+    measures: list[URIRef] = []
+    codelists: dict[URIRef, URIRef] = {}
+    for component in graph.objects(dsd, QB.component):  # type: ignore[arg-type]
+        dim = graph.value(component, QB.dimension, None)  # type: ignore[arg-type]
+        if isinstance(dim, URIRef):
+            dimensions.append(dim)
+            codelist = graph.value(component, QB.codeList, None)  # type: ignore[arg-type]
+            if isinstance(codelist, URIRef):
+                codelists[dim] = codelist
+        measure = graph.value(component, QB.measure, None)  # type: ignore[arg-type]
+        if isinstance(measure, URIRef):
+            measures.append(measure)
+    return dimensions, measures, codelists
+
+
+def validate_graph(graph: Graph) -> list[Violation]:
+    """Run the integrity checks; return every violation found."""
+    violations: list[Violation] = []
+
+    datasets = set(graph.subjects(RDF.type, QB.DataSet))
+    observations = list(graph.subjects(RDF.type, QB.Observation))
+
+    # --- IC-2 / IC-3: dataset structure ------------------------------
+    structures: dict[Term, tuple[list[URIRef], list[URIRef], dict[URIRef, URIRef]]] = {}
+    for dataset in sorted(datasets, key=str):
+        dsds = list(graph.objects(dataset, QB.structure))
+        if len(dsds) != 1:
+            violations.append(
+                Violation("IC-2", f"dataset has {len(dsds)} qb:structure links, expected 1", dataset)
+            )
+            continue
+        dimensions, measures, codelists = _components(graph, dsds[0])
+        if not measures:
+            violations.append(Violation("IC-3", "DSD declares no measure component", dataset))
+        structures[dataset] = (dimensions, measures, codelists)
+
+    # --- membership of codes in code lists (IC-19 prep) ---------------
+    scheme_members: dict[URIRef, set[Term]] = {}
+
+    def in_scheme(code: Term, scheme: URIRef) -> bool:
+        if scheme not in scheme_members:
+            members = set(graph.subjects(SKOS.inScheme, scheme))
+            top = graph.value(scheme, SKOS.hasTopConcept, None)
+            if top is not None:
+                members.add(top)
+            scheme_members[scheme] = members
+        return code in scheme_members[scheme]
+
+    # --- per-observation checks ---------------------------------------
+    seen_keys: dict[tuple, Term] = {}
+    for observation in sorted(observations, key=str):
+        dataset_links = list(graph.objects(observation, QB.dataSet))
+        if len(dataset_links) != 1:
+            violations.append(
+                Violation(
+                    "IC-1",
+                    f"observation has {len(dataset_links)} qb:dataSet links, expected 1",
+                    observation,
+                )
+            )
+            continue
+        dataset = dataset_links[0]
+        if dataset not in structures:
+            if dataset not in datasets:
+                violations.append(
+                    Violation("IC-1", "observation points to an undeclared dataset", observation)
+                )
+            continue
+        dimensions, measures, codelists = structures[dataset]
+
+        key_parts: list[tuple[URIRef, Term | None]] = []
+        for dimension in dimensions:
+            values = list(graph.objects(observation, dimension))
+            if not values:
+                violations.append(
+                    Violation(
+                        "IC-11",
+                        f"missing value for dimension {dimension.local_name()}",
+                        observation,
+                    )
+                )
+                key_parts.append((dimension, None))
+                continue
+            value = values[0]
+            key_parts.append((dimension, value))
+            if isinstance(value, Literal):
+                violations.append(
+                    Violation(
+                        "IC-19",
+                        f"dimension {dimension.local_name()} has a literal value",
+                        observation,
+                    )
+                )
+            elif dimension in codelists and not in_scheme(value, codelists[dimension]):
+                violations.append(
+                    Violation(
+                        "IC-19",
+                        f"value {value} is not in the code list of {dimension.local_name()}",
+                        observation,
+                    )
+                )
+        for measure in measures:
+            if graph.value(observation, measure, None) is None:
+                violations.append(
+                    Violation(
+                        "IC-14",
+                        f"missing value for measure {measure.local_name()}",
+                        observation,
+                    )
+                )
+
+        key = (dataset, tuple(sorted(key_parts, key=lambda kv: str(kv[0]))))
+        previous = seen_keys.get(key)
+        if previous is not None and None not in dict(key_parts).values():
+            violations.append(
+                Violation(
+                    "IC-12",
+                    f"duplicate of observation {previous} (same dimension values)",
+                    observation,
+                )
+            )
+        else:
+            seen_keys.setdefault(key, observation)
+
+    # --- orphan observations (typed but never checked above) ----------
+    for subject in graph.subjects(QB.dataSet, None):
+        if (subject, RDF.type, QB.Observation) not in graph:
+            violations.append(
+                Violation("IC-1", "resource uses qb:dataSet but is not typed qb:Observation", subject)
+            )
+
+    return violations
+
+
+def is_well_formed(graph: Graph) -> bool:
+    """True when :func:`validate_graph` finds no violations."""
+    return not validate_graph(graph)

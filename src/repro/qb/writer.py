@@ -1,0 +1,119 @@
+"""Serialize cube spaces and relationship sets back to RDF.
+
+``cubespace_to_graph`` emits standard QB shapes (inverse of the
+loader).  ``relationships_to_graph`` materialises computed containment
+and complementarity links with the extension vocabulary of the authors'
+prior workshop paper [22] (namespace :data:`repro.rdf.namespaces.CCREL`):
+
+* ``ccrel:fullyContains`` / ``ccrel:partiallyContains`` — directed,
+* ``ccrel:complements`` — symmetric (both directions are written),
+* partial links may carry reified ``ccrel:onDimension`` annotations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.qb.model import CubeSpace
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import CCREL, QB, RDF, RDFS, SKOS
+from repro.rdf.terms import BNode, Literal, URIRef
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.results import RelationshipSet
+
+__all__ = ["cubespace_to_graph", "relationships_to_graph"]
+
+
+def _codelist_uri(dimension: URIRef) -> URIRef:
+    return URIRef(str(dimension) + "/codelist")
+
+
+def cubespace_to_graph(space: CubeSpace, graph: Graph | None = None) -> Graph:
+    """Write all datasets, schemas, code lists and observations of ``space``."""
+    target = graph if graph is not None else Graph()
+
+    for dimension, hierarchy in space.hierarchies.items():
+        scheme = _codelist_uri(dimension)
+        target.add((scheme, RDF.type, SKOS.ConceptScheme))
+        target.add((scheme, SKOS.hasTopConcept, hierarchy.root))
+        for code, parent in hierarchy.items():
+            target.add((code, RDF.type, SKOS.Concept))
+            target.add((code, SKOS.inScheme, scheme))
+            if parent is not None:
+                target.add((code, SKOS.broader, parent))
+
+    for dataset in space.datasets.values():
+        dsd = URIRef(str(dataset.uri) + "/structure")
+        target.add((dataset.uri, RDF.type, QB.DataSet))
+        target.add((dataset.uri, QB.structure, dsd))
+        if dataset.label:
+            target.add((dataset.uri, RDFS.label, Literal(dataset.label)))
+        target.add((dsd, RDF.type, QB.DataStructureDefinition))
+        for dimension in dataset.schema.dimensions:
+            component = BNode()
+            target.add((dsd, QB.component, component))
+            target.add((component, QB.dimension, dimension))
+            target.add((component, QB.codeList, _codelist_uri(dimension)))
+        for measure in dataset.schema.measures:
+            component = BNode()
+            target.add((dsd, QB.component, component))
+            target.add((component, QB.measure, measure))
+        for attribute in dataset.schema.attributes:
+            component = BNode()
+            target.add((dsd, QB.component, component))
+            target.add((component, QB.attribute, attribute))
+
+        for observation in dataset.observations:
+            target.add((observation.uri, RDF.type, QB.Observation))
+            target.add((observation.uri, QB.dataSet, dataset.uri))
+            for dimension, code in observation.dimensions.items():
+                target.add((observation.uri, dimension, code))
+            for measure, value in observation.measures.items():
+                literal = value if isinstance(value, Literal) else Literal(value)
+                target.add((observation.uri, measure, literal))
+            for attribute, value in observation.attributes.items():
+                obj = value if isinstance(value, (Literal, URIRef)) else Literal(value)
+                target.add((observation.uri, attribute, obj))
+
+        for dataset_slice in dataset.slices:
+            target.add((dataset.uri, QB.slice, dataset_slice.uri))
+            target.add((dataset_slice.uri, RDF.type, QB.Slice))
+            if dataset_slice.label:
+                target.add((dataset_slice.uri, RDFS.label, Literal(dataset_slice.label)))
+            key = URIRef(str(dataset_slice.uri) + "/key")
+            target.add((dataset_slice.uri, QB.sliceStructure, key))
+            target.add((key, RDF.type, QB.SliceKey))
+            for dimension, code in dataset_slice.fixed.items():
+                target.add((key, QB.componentProperty, dimension))
+                target.add((dataset_slice.uri, dimension, code))
+            for member in dataset_slice.observations:
+                target.add((dataset_slice.uri, QB.observation, member))
+    return target
+
+
+def relationships_to_graph(
+    result: "RelationshipSet",
+    graph: Graph | None = None,
+    annotate_partial_dimensions: bool = True,
+) -> Graph:
+    """Materialise a computed :class:`RelationshipSet` as RDF links."""
+    target = graph if graph is not None else Graph()
+    for a, b in sorted(result.full):
+        target.add((a, CCREL.fullyContains, b))
+    for a, b in sorted(result.complementary):
+        target.add((a, CCREL.complements, b))
+        target.add((b, CCREL.complements, a))
+    for a, b in sorted(result.partial):
+        target.add((a, CCREL.partiallyContains, b))
+        degree = result.degree(a, b)
+        if degree is not None:
+            node = BNode()
+            target.add((node, RDF.type, CCREL.PartialContainment))
+            target.add((node, CCREL.container, a))
+            target.add((node, CCREL.contained, b))
+            target.add((node, CCREL.degree, Literal(degree)))
+            if annotate_partial_dimensions:
+                for dimension in sorted(result.partial_dimensions(a, b)):
+                    target.add((node, CCREL.onDimension, dimension))
+    return target

@@ -1,0 +1,61 @@
+"""RDF substrate: terms, graphs and serializations.
+
+This subpackage replaces the external triple-store/RDF-library stack the
+paper depends on (Virtuoso, Jena, rdflib) with a self-contained
+implementation: an indexed in-memory :class:`~repro.rdf.graph.Graph`,
+the term model, and Turtle / N-Triples parsers and serializers.
+"""
+
+from repro.rdf.dataset import Quad, RDFDataset
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import (
+    CCREL,
+    EX,
+    PREFIXES,
+    QB,
+    RDF,
+    RDFS,
+    SDMX_ATTR,
+    SDMX_DIMENSION,
+    SDMX_MEASURE,
+    SKOS,
+    XSD,
+)
+from repro.rdf.nquads import iter_nquads, parse_nquads, serialize_nquads
+from repro.rdf.ntriples import iter_ntriples, parse_ntriples, serialize_ntriples
+from repro.rdf.terms import BNode, Literal, Namespace, Term, Triple, URIRef
+from repro.rdf.trig import parse_trig, serialize_trig
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+__all__ = [
+    "Graph",
+    "RDFDataset",
+    "Quad",
+    "parse_trig",
+    "serialize_trig",
+    "parse_nquads",
+    "serialize_nquads",
+    "iter_nquads",
+    "Term",
+    "URIRef",
+    "BNode",
+    "Literal",
+    "Namespace",
+    "Triple",
+    "parse_turtle",
+    "serialize_turtle",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "iter_ntriples",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "SKOS",
+    "QB",
+    "SDMX_ATTR",
+    "SDMX_DIMENSION",
+    "SDMX_MEASURE",
+    "CCREL",
+    "EX",
+    "PREFIXES",
+]

@@ -1,0 +1,119 @@
+"""RDF datasets: a default graph plus named graphs.
+
+The paper's setting is inherently multi-source — observations arrive
+from different publishers.  :class:`RDFDataset` keeps each source in
+its own named graph (provenance), while exposing the merged view the
+algorithms consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import RDFError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, Term, Triple, URIRef
+
+__all__ = ["RDFDataset", "Quad"]
+
+GraphName = URIRef | None  # None = the default graph
+Quad = tuple[URIRef | BNode, URIRef, Term, GraphName]
+
+
+class RDFDataset:
+    """A default graph and any number of named graphs."""
+
+    def __init__(self) -> None:
+        self.default = Graph()
+        self._named: dict[URIRef, Graph] = {}
+
+    # ------------------------------------------------------------------
+    def graph(self, name: GraphName = None, create: bool = True) -> Graph:
+        """The graph called ``name`` (the default graph for ``None``).
+
+        With ``create`` (default) an empty named graph is materialised
+        on first access; otherwise a missing name raises
+        :class:`~repro.errors.RDFError`.
+        """
+        if name is None:
+            return self.default
+        if not isinstance(name, URIRef):
+            raise RDFError(f"graph names must be URIs, got {name!r}")
+        if name not in self._named:
+            if not create:
+                raise RDFError(f"no graph named {name}")
+            self._named[name] = Graph()
+        return self._named[name]
+
+    def names(self) -> list[URIRef]:
+        """Names of the non-empty named graphs, sorted."""
+        return sorted(n for n, g in self._named.items() if len(g))
+
+    def add(self, quad: Quad) -> bool:
+        s, p, o, name = quad
+        return self.graph(name).add((s, p, o))
+
+    def update(self, quads: Iterable[Quad]) -> int:
+        return sum(1 for quad in quads if self.add(quad))
+
+    def discard(self, quad: Quad) -> bool:
+        s, p, o, name = quad
+        if name is not None and name not in self._named:
+            return False
+        return self.graph(name).discard((s, p, o))
+
+    # ------------------------------------------------------------------
+    def quads(
+        self,
+        subject=None,
+        predicate=None,
+        obj=None,
+        name: GraphName | type(Ellipsis) = ...,
+    ) -> Iterator[Quad]:
+        """Match quads; ``name=...`` (default) searches every graph,
+        ``name=None`` only the default graph."""
+        if name is ...:
+            sources: list[tuple[GraphName, Graph]] = [(None, self.default)]
+            sources.extend(sorted(self._named.items()))
+        else:
+            if name is not None and name not in self._named:
+                return
+            sources = [(name, self.graph(name))]
+        for graph_name, graph in sources:
+            for s, p, o in graph.triples(subject, predicate, obj):
+                yield (s, p, o, graph_name)
+
+    def union_graph(self) -> Graph:
+        """Default + all named graphs merged into one :class:`Graph`."""
+        merged = self.default.copy()
+        for graph in self._named.values():
+            merged.update(graph)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.default) + sum(len(g) for g in self._named.values())
+
+    def __contains__(self, quad: Quad) -> bool:
+        s, p, o, name = quad
+        if name is not None and name not in self._named:
+            return False
+        return (s, p, o) in self.graph(name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RDFDataset):
+            return NotImplemented
+        mine = {n: g for n, g in self._named.items() if len(g)}
+        theirs = {n: g for n, g in other._named.items() if len(g)}
+        return self.default == other.default and mine == theirs
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return (
+            f"RDFDataset(default={len(self.default)} triples, "
+            f"named_graphs={len(self.names())})"
+        )

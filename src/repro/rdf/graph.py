@@ -1,0 +1,307 @@
+"""In-memory indexed triple store.
+
+:class:`Graph` keeps three hash indexes (SPO, POS, OSP) so that every
+triple-pattern shape resolves through at most two dictionary lookups.
+This is the storage substrate underneath the QB loader, the SPARQL
+engine and the rule engine — the role Virtuoso/Jena play in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import RDFError
+from repro.rdf.terms import BNode, Literal, Term, Triple, URIRef
+
+__all__ = ["Graph"]
+
+_Subject = URIRef | BNode
+_Node = Term | None
+
+
+def _check_triple(triple: Triple) -> Triple:
+    s, p, o = triple
+    if not isinstance(s, (URIRef, BNode)):
+        raise RDFError(f"triple subject must be a URIRef or BNode, got {s!r}")
+    if not isinstance(p, URIRef):
+        raise RDFError(f"triple predicate must be a URIRef, got {p!r}")
+    if not isinstance(o, (URIRef, BNode, Literal)):
+        raise RDFError(f"triple object must be an RDF term, got {o!r}")
+    return triple
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching indexes.
+
+    Supports the container protocol (``len``, ``in``, iteration), set-style
+    bulk operations, and wildcard matching through :meth:`triples` where
+    ``None`` acts as a wildcard.
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size")
+
+    def __init__(self, triples: Iterable[Triple] | None = None):
+        self._spo: dict[_Subject, dict[URIRef, set[Term]]] = {}
+        self._pos: dict[URIRef, dict[Term, set[_Subject]]] = {}
+        self._osp: dict[Term, dict[_Subject, set[URIRef]]] = {}
+        self._size = 0
+        if triples is not None:
+            self.update(triples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Insert one triple; return ``True`` if it was not present."""
+        s, p, o = _check_triple(triple)
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; return how many were new."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove one triple if present; return ``True`` if it was."""
+        s, p, o = triple
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        objects.discard(o)
+        if not objects:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        return True
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        subject: _Node = None,
+        predicate: _Node = None,
+        obj: _Node = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern; ``None`` is a wildcard."""
+        s, p, o = subject, predicate, obj
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if by_pred is None:
+                return
+            if p is not None:
+                objects = by_pred.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)  # type: ignore[misc]
+                    return
+                for obj_term in objects:
+                    yield (s, p, obj_term)  # type: ignore[misc]
+                return
+            for pred, objects in by_pred.items():
+                if o is not None:
+                    if o in objects:
+                        yield (s, pred, o)  # type: ignore[misc]
+                else:
+                    for obj_term in objects:
+                        yield (s, pred, obj_term)  # type: ignore[misc]
+            return
+        if p is not None:
+            by_obj = self._pos.get(p)
+            if by_obj is None:
+                return
+            if o is not None:
+                for subj in by_obj.get(o, ()):
+                    yield (subj, p, o)
+                return
+            for obj_term, subjects in by_obj.items():
+                for subj in subjects:
+                    yield (subj, p, obj_term)
+            return
+        if o is not None:
+            by_subj = self._osp.get(o)
+            if by_subj is None:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield (subj, pred, o)
+            return
+        for subj, by_pred in self._spo.items():
+            for pred, objects in by_pred.items():
+                for obj_term in objects:
+                    yield (subj, pred, obj_term)
+
+    def subjects(self, predicate: _Node = None, obj: _Node = None) -> Iterator[_Subject]:
+        """Yield distinct subjects of triples matching ``(?, predicate, obj)``."""
+        if predicate is not None and obj is not None:
+            yield from self._pos.get(predicate, {}).get(obj, ())
+            return
+        seen: set[_Subject] = set()
+        for s, _, _ in self.triples(None, predicate, obj):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def predicates(self, subject: _Node = None, obj: _Node = None) -> Iterator[URIRef]:
+        seen: set[URIRef] = set()
+        for _, p, _ in self.triples(subject, None, obj):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def objects(self, subject: _Node = None, predicate: _Node = None) -> Iterator[Term]:
+        if subject is not None and predicate is not None:
+            yield from self._spo.get(subject, {}).get(predicate, ())
+            return
+        seen: set[Term] = set()
+        for _, _, o in self.triples(subject, predicate, None):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def value(self, subject: _Node = None, predicate: _Node = None, obj: _Node = None) -> Term | None:
+        """Return one term completing the pattern, or ``None``.
+
+        Exactly one of the three positions must be ``None``; the value at
+        that position of an arbitrary matching triple is returned.
+        """
+        wildcards = [subject, predicate, obj].count(None)
+        if wildcards != 1:
+            raise RDFError("Graph.value requires exactly one wildcard position")
+        for s, p, o in self.triples(subject, predicate, obj):
+            if subject is None:
+                return s
+            if predicate is None:
+                return p
+            return o
+        return None
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._size == other._size and all(t in other for t in self)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"Graph(<{self._size} triples>)"
+
+    # ------------------------------------------------------------------
+    # Set-style operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        return Graph(self)
+
+    def __or__(self, other: "Graph") -> "Graph":
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def __sub__(self, other: "Graph") -> "Graph":
+        return Graph(t for t in self if t not in other)
+
+    def __and__(self, other: "Graph") -> "Graph":
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return Graph(t for t in small if t in large)
+
+    # ------------------------------------------------------------------
+    # Derived traversals
+    # ------------------------------------------------------------------
+    def transitive_objects(self, subject: Term, predicate: URIRef) -> Iterator[Term]:
+        """Yield ``subject`` and everything reachable via ``predicate`` edges."""
+        seen: set[Term] = set()
+        stack: list[Term] = [subject]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            yield node
+            if isinstance(node, (URIRef, BNode)):
+                stack.extend(self._spo.get(node, {}).get(predicate, ()))
+
+    def transitive_subjects(self, obj: Term, predicate: URIRef) -> Iterator[Term]:
+        """Yield ``obj`` and everything that reaches it via ``predicate``."""
+        seen: set[Term] = set()
+        stack: list[Term] = [obj]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            yield node
+            stack.extend(self._pos.get(predicate, {}).get(node, ()))
+
+    # ------------------------------------------------------------------
+    # Serialization conveniences (rdflib-style)
+    # ------------------------------------------------------------------
+    def parse(self, text: str, format: str = "turtle") -> "Graph":
+        """Parse ``text`` into this graph; returns ``self`` for chaining.
+
+        ``format`` is ``"turtle"``/``"ttl"`` or ``"ntriples"``/``"nt"``.
+        """
+        from repro.rdf import ntriples, turtle
+
+        if format in ("turtle", "ttl"):
+            turtle.parse_turtle(text, graph=self)
+        elif format in ("ntriples", "nt", "n-triples"):
+            ntriples.parse_ntriples(text, graph=self)
+        else:
+            raise RDFError(f"unknown serialization format {format!r}")
+        return self
+
+    def serialize(self, format: str = "turtle") -> str:
+        """Serialize this graph as Turtle (default) or N-Triples."""
+        from repro.rdf import ntriples, turtle
+
+        if format in ("turtle", "ttl"):
+            return turtle.serialize_turtle(self)
+        if format in ("ntriples", "nt", "n-triples"):
+            return ntriples.serialize_ntriples(self) or ""
+        raise RDFError(f"unknown serialization format {format!r}")

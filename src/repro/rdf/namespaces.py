@@ -1,0 +1,52 @@
+"""Well-known vocabularies used throughout the library.
+
+Bundles the namespaces the paper relies on: RDF/RDFS/XSD core, SKOS for
+code-list hierarchies, the W3C Data Cube Vocabulary (QB), the SDMX
+attribute/measure/dimension extensions, and the authors' relationship
+vocabulary from their SemStats 2014 workshop paper (here under ``CCREL``).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import Namespace
+
+__all__ = [
+    "RDF",
+    "RDFS",
+    "XSD",
+    "SKOS",
+    "QB",
+    "SDMX_ATTR",
+    "SDMX_DIMENSION",
+    "SDMX_MEASURE",
+    "CCREL",
+    "EX",
+    "PREFIXES",
+]
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+QB = Namespace("http://purl.org/linked-data/cube#")
+SDMX_ATTR = Namespace("http://purl.org/linked-data/sdmx/2009/attribute#")
+SDMX_DIMENSION = Namespace("http://purl.org/linked-data/sdmx/2009/dimension#")
+SDMX_MEASURE = Namespace("http://purl.org/linked-data/sdmx/2009/measure#")
+# Containment/complementarity relationship vocabulary (after Meimaris &
+# Papastefanatos, SemStats 2014).
+CCREL = Namespace("http://www.diachron-fp7.eu/qb/relationship#")
+EX = Namespace("http://example.org/")
+
+#: Default prefix table used by the Turtle serializer and SPARQL parser.
+PREFIXES: dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "skos": SKOS,
+    "qb": QB,
+    "sdmx-attribute": SDMX_ATTR,
+    "sdmx-dimension": SDMX_DIMENSION,
+    "sdmx-measure": SDMX_MEASURE,
+    "ccrel": CCREL,
+    "ex": EX,
+}

@@ -1,0 +1,77 @@
+"""N-Quads parser and serializer (N-Triples plus an optional graph term)."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import ParseError
+from repro.rdf.dataset import Quad, RDFDataset
+from repro.rdf.terms import BNode, Literal, Term, URIRef, unescape_string
+
+__all__ = ["parse_nquads", "serialize_nquads", "iter_nquads"]
+
+_IRI = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BNODE = r"_:([A-Za-z0-9_.\-]+)"
+_LITERAL = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^<>]*)>|@([A-Za-z]+(?:-[A-Za-z0-9]+)*))?'
+
+_QUAD_RE = re.compile(
+    rf"^\s*(?:{_IRI}|{_BNODE})"  # subject: groups 1-2
+    rf"\s+{_IRI}"  # predicate: group 3
+    rf"\s+(?:{_IRI}|{_BNODE}|{_LITERAL})"  # object: groups 4-8
+    rf"(?:\s+{_IRI})?"  # graph: group 9
+    r"\s*\.\s*(?:#.*)?$"
+)
+
+
+def _parse_line(line: str, lineno: int) -> Quad:
+    match = _QUAD_RE.match(line)
+    if match is None:
+        raise ParseError(f"invalid N-Quads statement: {line.strip()!r}", line=lineno)
+    s_iri, s_bnode, pred, o_iri, o_bnode, o_lit, o_dt, o_lang, graph_iri = match.groups()
+    subject = URIRef(s_iri) if s_iri is not None else BNode(s_bnode)
+    predicate = URIRef(pred)
+    obj: Term
+    if o_iri is not None:
+        obj = URIRef(o_iri)
+    elif o_bnode is not None:
+        obj = BNode(o_bnode)
+    else:
+        obj = Literal(unescape_string(o_lit), datatype=o_dt, language=o_lang)
+    name = URIRef(graph_iri) if graph_iri is not None else None
+    return (subject, predicate, obj, name)
+
+
+def iter_nquads(text: str | Iterable[str]) -> Iterator[Quad]:
+    """Stream quads from N-Quads text or an iterable of lines."""
+    lines = text.splitlines() if isinstance(text, str) else text
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield _parse_line(line, lineno)
+
+
+def parse_nquads(text: str | Iterable[str], dataset: RDFDataset | None = None) -> RDFDataset:
+    """Parse N-Quads into ``dataset`` (a fresh one when omitted)."""
+    target = dataset if dataset is not None else RDFDataset()
+    target.update(iter_nquads(text))
+    return target
+
+
+def serialize_nquads(dataset: RDFDataset, out: TextIO | None = None) -> str | None:
+    """Serialize as sorted N-Quads; deterministic like the N-Triples writer."""
+
+    def sort_key(quad: Quad):
+        s, p, o, name = quad
+        return (name or "", s._sort_key(), p._sort_key(), o._sort_key())
+
+    lines = []
+    for s, p, o, name in sorted(dataset.quads(), key=sort_key):
+        graph_part = f" {name.n3()}" if name is not None else ""
+        lines.append(f"{s.n3()} {p.n3()} {o.n3()}{graph_part} .")
+    if out is not None:
+        for line in lines:
+            out.write(line + "\n")
+        return None
+    return "\n".join(lines) + ("\n" if lines else "")

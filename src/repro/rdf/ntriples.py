@@ -1,0 +1,80 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented subset of Turtle: one triple per line,
+absolute IRIs only, no prefixes.  It is the exchange format the data
+generators use for large files because parsing is streaming and cheap.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, Literal, Term, Triple, URIRef, unescape_string
+
+__all__ = ["parse_ntriples", "serialize_ntriples", "iter_ntriples"]
+
+_IRI = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BNODE = r"_:([A-Za-z0-9_.\-]+)"
+_LITERAL = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^<>]*)>|@([A-Za-z]+(?:-[A-Za-z0-9]+)*))?'
+
+_TRIPLE_RE = re.compile(
+    rf"^\s*(?:{_IRI}|{_BNODE})"  # subject: groups 1 (iri), 2 (bnode)
+    rf"\s+{_IRI}"  # predicate: group 3
+    rf"\s+(?:{_IRI}|{_BNODE}|{_LITERAL})"  # object: groups 4-8
+    r"\s*\.\s*(?:#.*)?$"
+)
+
+
+def _parse_line(line: str, lineno: int) -> Triple:
+    match = _TRIPLE_RE.match(line)
+    if match is None:
+        raise ParseError(f"invalid N-Triples statement: {line.strip()!r}", line=lineno)
+    s_iri, s_bnode, pred, o_iri, o_bnode, o_lit, o_dt, o_lang = match.groups()
+    subject = URIRef(s_iri) if s_iri is not None else BNode(s_bnode)
+    predicate = URIRef(pred)
+    obj: Term
+    if o_iri is not None:
+        obj = URIRef(o_iri)
+    elif o_bnode is not None:
+        obj = BNode(o_bnode)
+    else:
+        obj = Literal(unescape_string(o_lit), datatype=o_dt, language=o_lang)
+    return (subject, predicate, obj)
+
+
+def iter_ntriples(text: str | Iterable[str]) -> Iterator[Triple]:
+    """Stream triples from N-Triples text or an iterable of lines."""
+    lines = text.splitlines() if isinstance(text, str) else text
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield _parse_line(line, lineno)
+
+
+def parse_ntriples(text: str | Iterable[str], graph: Graph | None = None) -> Graph:
+    """Parse N-Triples into ``graph`` (a fresh one when omitted)."""
+    target = graph if graph is not None else Graph()
+    target.update(iter_ntriples(text))
+    return target
+
+
+def serialize_ntriples(graph: Graph, out: TextIO | None = None) -> str | None:
+    """Serialize ``graph`` as sorted N-Triples.
+
+    When ``out`` is given, lines are written to it and ``None`` is
+    returned; otherwise the document is returned as a string.  Sorting
+    makes output deterministic, which the round-trip tests rely on.
+    """
+    lines = (
+        f"{s.n3()} {p.n3()} {o.n3()} ."
+        for s, p, o in sorted(graph, key=lambda t: (t[0]._sort_key(), t[1]._sort_key(), t[2]._sort_key()))
+    )
+    if out is not None:
+        for line in lines:
+            out.write(line + "\n")
+        return None
+    return "\n".join(lines) + ("\n" if len(graph) else "")

@@ -1,0 +1,399 @@
+"""RDF term model: URIs, blank nodes, literals and namespaces.
+
+This module implements the value layer of the RDF substrate.  Terms are
+immutable, hashable and totally ordered (URIRef < BNode < Literal, then
+lexicographic), which gives graphs and query results a deterministic
+iteration order that the test-suite and the benchmark harness rely on.
+
+Literals carry an optional datatype URI or language tag and expose
+``to_python()`` to convert the common XSD datatypes to native values.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from decimal import Decimal, InvalidOperation
+from typing import Any, Union
+
+from repro.errors import TermError
+
+__all__ = [
+    "Term",
+    "URIRef",
+    "BNode",
+    "Literal",
+    "Namespace",
+    "Triple",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_BOOLEAN",
+]
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_STRING = _XSD + "string"
+XSD_INTEGER = _XSD + "integer"
+XSD_DECIMAL = _XSD + "decimal"
+XSD_DOUBLE = _XSD + "double"
+XSD_BOOLEAN = _XSD + "boolean"
+
+# Sort keys used to order terms of different kinds deterministically.
+_KIND_URI = 0
+_KIND_BNODE = 1
+_KIND_LITERAL = 2
+
+_URI_FORBIDDEN = re.compile(r"[\x00-\x20<>\"{}|^`\\]")
+
+_bnode_counter = itertools.count()
+
+
+class Term:
+    """Abstract base class of all RDF terms."""
+
+    __slots__ = ()
+
+    _kind: int = -1
+
+    def n3(self) -> str:
+        """Return the N-Triples / Turtle serialization of this term."""
+        raise NotImplementedError
+
+    def _sort_key(self) -> tuple:
+        raise NotImplementedError
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+
+class URIRef(Term, str):
+    """An IRI reference.
+
+    Subclasses :class:`str`, so a ``URIRef`` can be used anywhere a plain
+    string URI is expected (dictionary keys, sorting, formatting).
+    """
+
+    __slots__ = ()
+
+    _kind = _KIND_URI
+
+    def __new__(cls, value: str) -> "URIRef":
+        if not value:
+            raise TermError("URIRef cannot be empty")
+        if _URI_FORBIDDEN.search(value):
+            raise TermError(f"URIRef contains forbidden characters: {value!r}")
+        return str.__new__(cls, value)
+
+    def n3(self) -> str:
+        return f"<{str(self)}>"
+
+    def local_name(self) -> str:
+        """Return the suffix after the last ``#`` or ``/`` separator.
+
+        This is the string the alignment module matches on, mirroring how
+        LIMES configurations in the paper compare URI suffixes.
+        """
+        text = str(self).rstrip("#/")
+        if not text:
+            return str(self)
+        for sep in ("#", "/"):
+            if sep in text:
+                tail = text.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return text
+
+    def _sort_key(self) -> tuple:
+        return (_KIND_URI, str(self))
+
+    def __repr__(self) -> str:
+        return f"URIRef({str(self)!r})"
+
+    # str defines rich comparisons; restore Term's cross-kind ordering.
+    def __lt__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() < other._sort_key()
+        return str.__lt__(self, other)
+
+    def __gt__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() > other._sort_key()
+        return str.__gt__(self, other)
+
+    def __le__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() <= other._sort_key()
+        return str.__le__(self, other)
+
+    def __ge__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() >= other._sort_key()
+        return str.__ge__(self, other)
+
+
+class BNode(Term, str):
+    """A blank node with a stable label.
+
+    Constructing ``BNode()`` without arguments mints a fresh label from a
+    process-wide counter.
+    """
+
+    __slots__ = ()
+
+    _kind = _KIND_BNODE
+
+    def __new__(cls, label: str | None = None) -> "BNode":
+        if label is None:
+            label = f"b{next(_bnode_counter)}"
+        if not re.fullmatch(r"[A-Za-z0-9_.\-]+", label):
+            raise TermError(f"invalid blank node label: {label!r}")
+        return str.__new__(cls, label)
+
+    def n3(self) -> str:
+        return f"_:{str(self)}"
+
+    def _sort_key(self) -> tuple:
+        return (_KIND_BNODE, str(self))
+
+    def __repr__(self) -> str:
+        return f"BNode({str(self)!r})"
+
+    def __lt__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() < other._sort_key()
+        return str.__lt__(self, other)
+
+    def __gt__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() > other._sort_key()
+        return str.__gt__(self, other)
+
+    def __le__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() <= other._sort_key()
+        return str.__le__(self, other)
+
+    def __ge__(self, other: Any) -> bool:
+        if isinstance(other, Term):
+            return self._sort_key() >= other._sort_key()
+        return str.__ge__(self, other)
+
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+_UNESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "'": "'",
+    "b": "\b",
+    "f": "\f",
+}
+
+
+def _escape_literal(text: str) -> str:
+    out = []
+    for ch in text:
+        escaped = _ESCAPES.get(ch)
+        if escaped is not None:
+            out.append(escaped)
+        elif ch < " " or ch in "\x85\u2028\u2029":
+            # Control characters and Unicode line separators would break
+            # line-oriented N-Triples parsing if emitted raw.
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def unescape_string(text: str) -> str:
+    """Resolve ``\\n``-style and ``\\uXXXX`` escapes in a literal body."""
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= length:
+            raise TermError("dangling backslash in literal")
+        nxt = text[i + 1]
+        if nxt in _UNESCAPES:
+            out.append(_UNESCAPES[nxt])
+            i += 2
+        elif nxt == "u":
+            out.append(chr(int(text[i + 2 : i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(text[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise TermError(f"unknown escape sequence \\{nxt}")
+    return "".join(out)
+
+
+class Literal(Term):
+    """An RDF literal with optional datatype or language tag.
+
+    The constructor accepts native Python values and infers the XSD
+    datatype (``int`` -> ``xsd:integer``, ``float`` -> ``xsd:double``,
+    ``bool`` -> ``xsd:boolean``, ``Decimal`` -> ``xsd:decimal``).
+    """
+
+    __slots__ = ("lexical", "datatype", "language")
+
+    _kind = _KIND_LITERAL
+
+    def __init__(
+        self,
+        value: Any,
+        datatype: str | None = None,
+        language: str | None = None,
+    ):
+        if datatype is not None and language is not None:
+            raise TermError("a literal cannot have both a datatype and a language tag")
+        if isinstance(value, bool):
+            lexical = "true" if value else "false"
+            datatype = datatype or XSD_BOOLEAN
+        elif isinstance(value, int):
+            lexical = str(value)
+            datatype = datatype or XSD_INTEGER
+        elif isinstance(value, float):
+            lexical = repr(value)
+            datatype = datatype or XSD_DOUBLE
+        elif isinstance(value, Decimal):
+            lexical = str(value)
+            datatype = datatype or XSD_DECIMAL
+        else:
+            lexical = str(value)
+        if language is not None and not re.fullmatch(r"[A-Za-z]+(-[A-Za-z0-9]+)*", language):
+            raise TermError(f"invalid language tag: {language!r}")
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", URIRef(datatype) if datatype else None)
+        object.__setattr__(self, "language", language)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Literal is immutable")
+
+    def to_python(self) -> Any:
+        """Convert to a native Python value based on the XSD datatype.
+
+        Unknown datatypes and plain literals are returned as strings.
+        """
+        dt = str(self.datatype) if self.datatype else None
+        try:
+            if dt == XSD_INTEGER or (dt and dt.startswith(_XSD) and "int" in dt.lower()):
+                return int(self.lexical)
+            if dt == XSD_DOUBLE or dt == _XSD + "float":
+                return float(self.lexical)
+            if dt == XSD_DECIMAL:
+                return Decimal(self.lexical)
+            if dt == XSD_BOOLEAN:
+                return self.lexical.strip().lower() in ("true", "1")
+        except (ValueError, InvalidOperation) as exc:
+            raise TermError(f"literal {self.lexical!r} is not a valid {dt}") from exc
+        return self.lexical
+
+    def n3(self) -> str:
+        body = f'"{_escape_literal(self.lexical)}"'
+        if self.language:
+            return f"{body}@{self.language}"
+        if self.datatype and str(self.datatype) != XSD_STRING:
+            return f"{body}^^{self.datatype.n3()}"
+        return body
+
+    def _sort_key(self) -> tuple:
+        return (
+            _KIND_LITERAL,
+            self.lexical,
+            str(self.datatype) if self.datatype else "",
+            self.language or "",
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return (
+            self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.language == other.language
+        )
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.lexical, self.datatype, self.language))
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.datatype:
+            extra = f", datatype={str(self.datatype)!r}"
+        elif self.language:
+            extra = f", language={self.language!r}"
+        return f"Literal({self.lexical!r}{extra})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+
+class Namespace(str):
+    """A URI prefix that mints :class:`URIRef` terms via attribute access.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.population
+    URIRef('http://example.org/population')
+    >>> EX["refArea"]
+    URIRef('http://example.org/refArea')
+    """
+
+    def __new__(cls, base: str) -> "Namespace":
+        return str.__new__(cls, base)
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return URIRef(str(self) + name)
+
+    def __getitem__(self, name: str) -> URIRef:  # type: ignore[override]
+        return URIRef(str(self) + name)
+
+    def term(self, name: str) -> URIRef:
+        """Explicit form of attribute access, for names that collide."""
+        return URIRef(str(self) + name)
+
+
+Triple = tuple[Union[URIRef, BNode], URIRef, Term]

@@ -1,0 +1,123 @@
+"""TriG parser and serializer (Turtle with named-graph blocks).
+
+Supported shapes::
+
+    @prefix ex: <http://e/> .
+
+    ex:defaultSubject ex:p ex:o .          # default graph
+
+    GRAPH ex:g1 { ex:a ex:p ex:b . }       # named graph, GRAPH keyword
+
+    ex:g2 { ex:c ex:p ex:d . }             # named graph, bare label
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.rdf.dataset import RDFDataset
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import PREFIXES
+from repro.rdf.terms import Namespace, URIRef
+from repro.rdf.turtle import _TurtleParser, serialize_turtle
+
+__all__ = ["parse_trig", "serialize_trig"]
+
+
+class _TrigParser(_TurtleParser):
+    """Extends the Turtle parser with graph blocks."""
+
+    def __init__(self, text: str, dataset: RDFDataset, base: str | None):
+        super().__init__(text, dataset.default, base)
+        self._dataset = dataset
+
+    def parse_dataset(self) -> RDFDataset:
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "prefix_directive":
+                self._parse_directive()
+            elif token.kind == "graph_kw":
+                self._next()
+                self._parse_graph_block()
+            elif self._looks_like_graph_block():
+                self._parse_graph_block()
+            elif token.kind == "punct" and token.value == "{":
+                # Anonymous block: triples for the default graph.
+                self._parse_block_into(self._dataset.default)
+            else:
+                self._parse_triples_block()
+        return self._dataset
+
+    def _looks_like_graph_block(self) -> bool:
+        """A graph label is an IRI/pname directly followed by '{'."""
+        token = self._peek()
+        if token.kind not in ("iri", "pname"):
+            return False
+        nxt = self._tokens[self._index + 1]
+        return nxt.kind == "punct" and nxt.value == "{"
+
+    def _parse_graph_block(self) -> None:
+        term = self._parse_term()
+        if not isinstance(term, URIRef):
+            raise self._error("graph names must be IRIs", self._peek())
+        graph = self._dataset.graph(term)
+        self._parse_block_into(graph)
+
+    def _parse_block_into(self, graph: Graph) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != "{":
+            raise self._error(f"expected '{{', found {token.value!r}", token)
+        previous = self._graph
+        self._graph = graph
+        try:
+            while not (self._peek().kind == "punct" and self._peek().value == "}"):
+                if self._peek().kind == "eof":
+                    raise self._error("unterminated graph block", token)
+                self._parse_triples_block()
+        finally:
+            self._graph = previous
+        self._next()  # consume '}'
+
+    def _parse_triples_block(self) -> None:
+        # TriG allows omitting the final '.' before '}'.
+        subject = self._parse_subject()
+        self._parse_predicate_object_list(subject)
+        nxt = self._peek()
+        if nxt.kind == "punct" and nxt.value == ".":
+            self._next()
+        elif not (nxt.kind == "punct" and nxt.value == "}"):
+            raise self._error(f"expected '.', found {nxt.value!r}", nxt)
+
+
+def parse_trig(text: str, dataset: RDFDataset | None = None, base: str | None = None) -> RDFDataset:
+    """Parse a TriG document into ``dataset`` (a fresh one when omitted)."""
+    target = dataset if dataset is not None else RDFDataset()
+    return _TrigParser(text, target, base).parse_dataset()
+
+
+def serialize_trig(dataset: RDFDataset, prefixes: dict[str, Namespace] | None = None) -> str:
+    """Serialize a dataset as TriG: default graph first, then one
+    ``GRAPH <name> { ... }`` block per non-empty named graph."""
+    parts: list[str] = []
+    table = dict(PREFIXES)
+    if prefixes:
+        table.update(prefixes)
+    declared: list[str] = []
+    if len(dataset.default):
+        text = serialize_turtle(dataset.default, prefixes)
+        parts.append(text.rstrip("\n"))
+    for name in dataset.names():
+        body = serialize_turtle(dataset.graph(name), prefixes).rstrip("\n")
+        # Hoist @prefix lines out of the block.
+        lines = body.splitlines()
+        content = [line for line in lines if not line.startswith("@prefix")]
+        for line in lines:
+            if line.startswith("@prefix") and line not in declared:
+                declared.append(line)
+        indented = "\n".join(f"    {line}" if line else "" for line in content).strip("\n")
+        parts.append(f"GRAPH {name.n3()} {{\n{indented}\n}}")
+    # Deduplicate prefix declarations across parts: collect from default too.
+    rendered = "\n\n".join(parts)
+    header_lines = [line for line in declared if line not in rendered]
+    if header_lines:
+        rendered = "\n".join(header_lines) + "\n\n" + rendered
+    return rendered + ("\n" if rendered else "")

@@ -1,0 +1,353 @@
+"""Turtle parser and serializer.
+
+Implements the Turtle constructs that real-world QB dumps use:
+
+* ``@prefix`` / ``@base`` directives (and the SPARQL-style ``PREFIX``),
+* prefixed names and the ``a`` keyword,
+* predicate lists (``;``) and object lists (``,``),
+* anonymous blank nodes ``[ ... ]`` and labelled ``_:`` nodes,
+* RDF collections ``( ... )``,
+* typed/lang literals, bare integers, decimals, doubles and booleans,
+* triple-quoted long strings.
+
+The serializer groups triples by subject and emits predicate/object lists
+with the default prefix table, producing output the parser round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import PREFIXES, RDF, XSD
+from repro.rdf.terms import (
+    BNode,
+    Literal,
+    Namespace,
+    Term,
+    Triple,
+    URIRef,
+    unescape_string,
+)
+
+__all__ = ["parse_turtle", "serialize_turtle"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<long_string>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<prefix_directive>@prefix\b|@base\b|PREFIX\b|BASE\b)
+  | (?P<graph_kw>GRAPH\b|graph\b)
+  | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<double>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+  | (?P<decimal>[+-]?\d*\.\d+)
+  | (?P<integer>[+-]?\d+)
+  | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+  | (?P<pname>(?:[A-Za-z_][\w\-.]*)?:[\w\-.%]*)
+  | (?P<keyword>\ba\b|\btrue\b|\bfalse\b)
+  | (?P<punct>\^\^|[;,.\[\](){}])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            line = text.count("\n", 0, pos) + 1
+            raise ParseError(f"unexpected character {text[pos]!r}", line=line)
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        yield _Token(kind, match.group(), match.start())
+    yield _Token("eof", "", length)
+
+
+class _TurtleParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, graph: Graph, base: str | None):
+        self._text = text
+        self._graph = graph
+        self._base = base or ""
+        self._prefixes: dict[str, str] = {}
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, message: str, token: _Token) -> ParseError:
+        line = self._text.count("\n", 0, token.pos) + 1
+        return ParseError(message, line=line)
+
+    def _expect_punct(self, value: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != value:
+            raise self._error(f"expected {value!r}, found {token.value!r}", token)
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Graph:
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "prefix_directive":
+                self._parse_directive()
+            else:
+                self._parse_triples_block()
+        return self._graph
+
+    def _parse_directive(self) -> None:
+        directive = self._next()
+        keyword = directive.value.lstrip("@").lower()
+        if keyword == "prefix":
+            name_token = self._next()
+            if name_token.kind != "pname" or not name_token.value.endswith(":"):
+                raise self._error("expected prefix name ending in ':'", name_token)
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise self._error("expected IRI after prefix name", iri_token)
+            self._prefixes[name_token.value[:-1]] = self._resolve_iri(iri_token.value[1:-1])
+        elif keyword == "base":
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise self._error("expected IRI after @base", iri_token)
+            self._base = iri_token.value[1:-1]
+        # Turtle directives end with '.', SPARQL-style ones do not.
+        if directive.value.startswith("@"):
+            self._expect_punct(".")
+        elif self._peek().kind == "punct" and self._peek().value == ".":
+            self._next()
+
+    def _resolve_iri(self, iri: str) -> str:
+        if self._base and not re.match(r"^[A-Za-z][A-Za-z0-9+.\-]*:", iri):
+            return self._base + iri
+        return iri
+
+    def _parse_triples_block(self) -> None:
+        subject = self._parse_subject()
+        self._parse_predicate_object_list(subject)
+        self._expect_punct(".")
+
+    def _parse_subject(self) -> URIRef | BNode:
+        token = self._peek()
+        if token.kind == "punct" and token.value == "[":
+            return self._parse_blank_node_property_list()
+        if token.kind == "punct" and token.value == "(":
+            return self._parse_collection()
+        term = self._parse_term()
+        if not isinstance(term, (URIRef, BNode)):
+            raise self._error(f"subject must be an IRI or blank node, got {term!r}", token)
+        return term
+
+    def _parse_predicate_object_list(self, subject: URIRef | BNode) -> None:
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                self._graph.add((subject, predicate, obj))
+                if self._peek().kind == "punct" and self._peek().value == ",":
+                    self._next()
+                    continue
+                break
+            if self._peek().kind == "punct" and self._peek().value == ";":
+                self._next()
+                # Trailing ';' before '.' or ']' is legal Turtle.
+                nxt = self._peek()
+                if nxt.kind == "punct" and nxt.value in (".", "]"):
+                    return
+                continue
+            return
+
+    def _parse_predicate(self) -> URIRef:
+        token = self._peek()
+        if token.kind == "keyword" and token.value == "a":
+            self._next()
+            return RDF.type
+        term = self._parse_term()
+        if not isinstance(term, URIRef):
+            raise self._error(f"predicate must be an IRI, got {term!r}", token)
+        return term
+
+    def _parse_object(self) -> Term:
+        token = self._peek()
+        if token.kind == "punct" and token.value == "[":
+            return self._parse_blank_node_property_list()
+        if token.kind == "punct" and token.value == "(":
+            return self._parse_collection()
+        return self._parse_term()
+
+    def _parse_blank_node_property_list(self) -> BNode:
+        self._expect_punct("[")
+        node = BNode()
+        if not (self._peek().kind == "punct" and self._peek().value == "]"):
+            self._parse_predicate_object_list(node)
+        self._expect_punct("]")
+        return node
+
+    def _parse_collection(self) -> URIRef | BNode:
+        self._expect_punct("(")
+        items: list[Term] = []
+        while not (self._peek().kind == "punct" and self._peek().value == ")"):
+            items.append(self._parse_object())
+        self._next()  # consume ')'
+        if not items:
+            return RDF.nil
+        head = BNode()
+        node = head
+        for i, item in enumerate(items):
+            self._graph.add((node, RDF.first, item))
+            if i + 1 < len(items):
+                nxt = BNode()
+                self._graph.add((node, RDF.rest, nxt))
+                node = nxt
+            else:
+                self._graph.add((node, RDF.rest, RDF.nil))
+        return head
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "iri":
+            return URIRef(self._resolve_iri(token.value[1:-1]))
+        if token.kind == "bnode":
+            return BNode(token.value[2:])
+        if token.kind == "pname":
+            prefix, _, local = token.value.partition(":")
+            if prefix not in self._prefixes:
+                raise self._error(f"undefined prefix {prefix!r}", token)
+            return URIRef(self._prefixes[prefix] + local)
+        if token.kind in ("string", "long_string"):
+            body = token.value[3:-3] if token.kind == "long_string" else token.value[1:-1]
+            value = unescape_string(body)
+            nxt = self._peek()
+            if nxt.kind == "langtag":
+                self._next()
+                return Literal(value, language=nxt.value[1:])
+            if nxt.kind == "punct" and nxt.value == "^^":
+                self._next()
+                dt = self._parse_term()
+                if not isinstance(dt, URIRef):
+                    raise self._error("datatype must be an IRI", nxt)
+                return Literal(value, datatype=str(dt))
+            return Literal(value)
+        if token.kind == "integer":
+            return Literal(token.value, datatype=str(XSD.integer))
+        if token.kind == "decimal":
+            return Literal(token.value, datatype=str(XSD.decimal))
+        if token.kind == "double":
+            return Literal(token.value, datatype=str(XSD.double))
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            return Literal(token.value, datatype=str(XSD.boolean))
+        raise self._error(f"unexpected token {token.value!r}", token)
+
+
+def parse_turtle(text: str, graph: Graph | None = None, base: str | None = None) -> Graph:
+    """Parse a Turtle document into ``graph`` (a fresh one when omitted)."""
+    target = graph if graph is not None else Graph()
+    return _TurtleParser(text, target, base).parse()
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def _shrink(term: URIRef, prefixes: dict[str, Namespace]) -> str:
+    text = str(term)
+    best: tuple[int, str] | None = None
+    for name, ns in prefixes.items():
+        base = str(ns)
+        if text.startswith(base) and len(base) > (best[0] if best else 0):
+            local = text[len(base):]
+            if re.fullmatch(r"[\w\-.]*", local) and not local.startswith("."):
+                best = (len(base), f"{name}:{local}")
+    return best[1] if best else term.n3()
+
+
+def _term_text(term: Term, prefixes: dict[str, Namespace]) -> str:
+    if isinstance(term, URIRef):
+        if term == RDF.type:
+            return "a"
+        return _shrink(term, prefixes)
+    if isinstance(term, Literal) and term.datatype is not None:
+        dt = str(term.datatype)
+        if dt in (str(XSD.integer), str(XSD.decimal), str(XSD.boolean)):
+            return term.lexical
+        if term.language is None and dt != str(XSD.string):
+            body = term.n3().split("^^")[0]
+            return f"{body}^^{_shrink(term.datatype, prefixes)}"
+    return term.n3()
+
+
+def serialize_turtle(graph: Graph, prefixes: dict[str, Namespace] | None = None) -> str:
+    """Serialize ``graph`` as Turtle grouped by subject.
+
+    Only prefixes that actually occur in the output are declared.  The
+    subject/predicate/object order is sorted for determinism.
+    """
+    table = dict(PREFIXES)
+    if prefixes:
+        table.update(prefixes)
+    lines: list[str] = []
+    used_prefixes: set[str] = set()
+
+    def register(text: str) -> str:
+        # Track prefixed names, including datatype suffixes ("..."^^xsd:int).
+        candidate = text
+        if "^^" in candidate:
+            candidate = candidate.rsplit("^^", 1)[1]
+        if ":" in candidate and not candidate.startswith(("<", '"', "_:")):
+            used_prefixes.add(candidate.split(":", 1)[0])
+        return text
+
+    by_subject: dict[URIRef | BNode, list[tuple[URIRef, Term]]] = {}
+    for s, p, o in graph:
+        by_subject.setdefault(s, []).append((p, o))
+
+    for subject in sorted(by_subject, key=lambda t: t._sort_key()):
+        pairs = sorted(by_subject[subject], key=lambda po: (po[0]._sort_key(), po[1]._sort_key()))
+        subject_text = register(
+            subject.n3() if isinstance(subject, BNode) else _shrink(subject, table)
+        )
+        by_predicate: dict[URIRef, list[Term]] = {}
+        for p, o in pairs:
+            by_predicate.setdefault(p, []).append(o)
+        predicate_lines = []
+        for p in by_predicate:
+            objects = ", ".join(register(_term_text(o, table)) for o in by_predicate[p])
+            predicate_lines.append(f"    {register(_term_text(p, table))} {objects}")
+        lines.append(subject_text + "\n" + " ;\n".join(predicate_lines) + " .")
+
+    header = [
+        f"@prefix {name}: <{table[name]}> ."
+        for name in sorted(used_prefixes)
+        if name in table and name != "a"
+    ]
+    parts = []
+    if header:
+        parts.append("\n".join(header))
+    parts.extend(lines)
+    return "\n\n".join(parts) + ("\n" if parts else "")

@@ -1,0 +1,16 @@
+"""Forward-chaining rule engine (Jena generic-rule-reasoner analogue).
+
+The paper's rule-based comparator encodes containment and
+complementarity as forward rules with universal/existential
+quantification over dimension values.  This subpackage provides:
+
+* a Jena-like rule syntax (:mod:`repro.rules.parser`),
+* builtins such as ``notEqual`` (:mod:`repro.rules.builtins`),
+* a semi-naive forward-chaining engine (:mod:`repro.rules.engine`).
+"""
+
+from repro.rules.ast import Atom, BuiltinCall, Rule, RuleVar
+from repro.rules.engine import RuleEngine
+from repro.rules.parser import parse_rules
+
+__all__ = ["Rule", "Atom", "BuiltinCall", "RuleVar", "RuleEngine", "parse_rules"]

@@ -1,0 +1,75 @@
+"""Rule AST: variables, triple atoms, builtin calls and rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.rdf.terms import Term
+
+__all__ = ["RuleVar", "Atom", "BuiltinCall", "Rule", "RuleElement"]
+
+
+@dataclass(frozen=True)
+class RuleVar:
+    """A rule variable (``?x`` in rule syntax)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Node = Union[Term, RuleVar]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A triple pattern ``(s p o)`` in a rule body or head."""
+
+    subject: Node
+    predicate: Node
+    obj: Node
+
+    def variables(self) -> set[RuleVar]:
+        return {n for n in (self.subject, self.predicate, self.obj) if isinstance(n, RuleVar)}
+
+
+@dataclass(frozen=True)
+class BuiltinCall:
+    """A builtin invocation such as ``notEqual(?a, ?b)`` in a body."""
+
+    name: str
+    args: tuple[Node, ...]
+
+    def variables(self) -> set[RuleVar]:
+        return {a for a in self.args if isinstance(a, RuleVar)}
+
+
+RuleElement = Union[Atom, BuiltinCall]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A forward rule ``[name: body -> head]``.
+
+    The body mixes triple atoms and builtin calls; the head is a list of
+    triple atoms asserted under the matching substitution.  Every head
+    variable must occur in a body atom (safety condition).
+    """
+
+    name: str
+    body: tuple[RuleElement, ...]
+    head: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        bound = set()
+        for element in self.body:
+            if isinstance(element, Atom):
+                bound |= element.variables()
+        unsafe = set()
+        for atom in self.head:
+            unsafe |= atom.variables() - bound
+        if unsafe:
+            names = ", ".join(sorted(f"?{v.name}" for v in unsafe))
+            raise ValueError(f"rule {self.name!r} has unsafe head variables: {names}")

@@ -1,0 +1,71 @@
+"""Builtin predicates for rule bodies.
+
+Builtins are pure guards: they receive fully-bound argument terms and
+return ``True``/``False``.  Mirrors the subset of Jena builtins the
+paper's comparator rules need (``notEqual``) plus the common companions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import RuleEvaluationError
+from repro.rdf.terms import Literal, Term
+
+__all__ = ["BUILTINS", "register_builtin"]
+
+
+def _numeric(term: Term) -> float:
+    if not isinstance(term, Literal):
+        raise RuleEvaluationError(f"numeric builtin applied to non-literal {term!r}")
+    value = term.to_python()
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        try:
+            value = float(str(value))
+        except ValueError as exc:
+            raise RuleEvaluationError(f"not a number: {term!r}") from exc
+    return float(value)
+
+
+def _equal(a: Term, b: Term) -> bool:
+    return a == b
+
+
+def _not_equal(a: Term, b: Term) -> bool:
+    return a != b
+
+
+def _less_than(a: Term, b: Term) -> bool:
+    return _numeric(a) < _numeric(b)
+
+
+def _greater_than(a: Term, b: Term) -> bool:
+    return _numeric(a) > _numeric(b)
+
+
+def _le(a: Term, b: Term) -> bool:
+    return _numeric(a) <= _numeric(b)
+
+
+def _ge(a: Term, b: Term) -> bool:
+    return _numeric(a) >= _numeric(b)
+
+
+def _is_literal(a: Term) -> bool:
+    return isinstance(a, Literal)
+
+
+BUILTINS: dict[str, Callable[..., bool]] = {
+    "equal": _equal,
+    "notEqual": _not_equal,
+    "lessThan": _less_than,
+    "greaterThan": _greater_than,
+    "le": _le,
+    "ge": _ge,
+    "isLiteral": _is_literal,
+}
+
+
+def register_builtin(name: str, function: Callable[..., bool]) -> None:
+    """Register a custom builtin guard under ``name``."""
+    BUILTINS[name] = function

@@ -1,0 +1,221 @@
+"""Expression evaluation helpers: builtins, comparisons and EBV.
+
+SPARQL expression errors (unbound variables, type mismatches) are
+signalled by raising :class:`EvalError`; the evaluator treats an error
+inside ``FILTER`` as "condition not satisfied", matching the SPARQL
+error-propagation semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal
+from typing import Any
+
+from repro.errors import SPARQLEvaluationError
+from repro.rdf.terms import (
+    BNode,
+    Literal,
+    Term,
+    URIRef,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+
+__all__ = ["EvalError", "ebv", "compare_terms", "numeric_value", "call_builtin", "TRUE", "FALSE"]
+
+TRUE = Literal("true", datatype=XSD_BOOLEAN)
+FALSE = Literal("false", datatype=XSD_BOOLEAN)
+
+_NUMERIC_DATATYPES = {
+    XSD_INTEGER,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    "http://www.w3.org/2001/XMLSchema#float",
+    "http://www.w3.org/2001/XMLSchema#long",
+    "http://www.w3.org/2001/XMLSchema#int",
+    "http://www.w3.org/2001/XMLSchema#short",
+    "http://www.w3.org/2001/XMLSchema#byte",
+    "http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+}
+
+
+class EvalError(SPARQLEvaluationError):
+    """An expression could not be evaluated for the current solution."""
+
+
+def is_numeric(term: Term) -> bool:
+    return (
+        isinstance(term, Literal)
+        and term.datatype is not None
+        and str(term.datatype) in _NUMERIC_DATATYPES
+    )
+
+
+def numeric_value(term: Term) -> int | float | Decimal:
+    """Return the numeric value of a literal or raise :class:`EvalError`."""
+    if not is_numeric(term):
+        raise EvalError(f"not a numeric literal: {term!r}")
+    value = term.to_python()  # type: ignore[union-attr]
+    if not isinstance(value, (int, float, Decimal)):
+        raise EvalError(f"literal does not parse as a number: {term!r}")
+    return value
+
+
+def ebv(term: Term) -> bool:
+    """Effective boolean value per SPARQL 17.2.2."""
+    if isinstance(term, Literal):
+        dt = str(term.datatype) if term.datatype else None
+        if dt == XSD_BOOLEAN:
+            return term.lexical.strip().lower() in ("true", "1")
+        if dt in _NUMERIC_DATATYPES:
+            try:
+                return bool(numeric_value(term))
+            except EvalError:
+                return False
+        if dt is None or dt == XSD_STRING:
+            return len(term.lexical) > 0
+    raise EvalError(f"no effective boolean value for {term!r}")
+
+
+def compare_terms(op: str, left: Term, right: Term) -> bool:
+    """Apply a SPARQL comparison operator to two RDF terms.
+
+    Numeric literals compare by value; strings by codepoint; other term
+    combinations support only (in)equality, raising :class:`EvalError`
+    for the ordering operators.
+    """
+    if op in ("=", "!="):
+        equal = _term_equal(left, right)
+        return equal if op == "=" else not equal
+    if is_numeric(left) and is_numeric(right):
+        lv, rv = numeric_value(left), numeric_value(right)
+    elif (
+        isinstance(left, Literal)
+        and isinstance(right, Literal)
+        and not left.language
+        and not right.language
+    ):
+        lv, rv = left.lexical, right.lexical
+    else:
+        raise EvalError(f"terms are not order-comparable: {left!r} {op} {right!r}")
+    if op == "<":
+        return lv < rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">":
+        return lv > rv
+    if op == ">=":
+        return lv >= rv
+    raise EvalError(f"unknown comparison operator {op!r}")
+
+
+def _term_equal(left: Term, right: Term) -> bool:
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left == right:
+            return True
+        if is_numeric(left) and is_numeric(right):
+            return numeric_value(left) == numeric_value(right)
+        # Different datatypes and not numerically comparable: SPARQL says
+        # equality is an error unless the lexical forms coincide.
+        if left.datatype != right.datatype:
+            raise EvalError(f"incomparable literals: {left!r} = {right!r}")
+        return False
+    if isinstance(left, Literal) or isinstance(right, Literal):
+        return False
+    return left == right
+
+
+def _string_value(term: Term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, URIRef):
+        return str(term)
+    raise EvalError(f"STR is undefined for blank node {term!r}")
+
+
+def call_builtin(name: str, args: list[Any]) -> Term:
+    """Evaluate a builtin call; ``args`` are already-evaluated terms.
+
+    ``BOUND`` is special-cased in the evaluator (it needs the raw
+    variable), every other builtin arrives here.
+    """
+    if name == "STR":
+        return Literal(_string_value(args[0]))
+    if name == "DATATYPE":
+        term = args[0]
+        if not isinstance(term, Literal):
+            raise EvalError("DATATYPE requires a literal")
+        if term.language:
+            return URIRef("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+        return term.datatype or URIRef(XSD_STRING)
+    if name == "LANG":
+        term = args[0]
+        if not isinstance(term, Literal):
+            raise EvalError("LANG requires a literal")
+        return Literal(term.language or "")
+    if name in ("ISIRI", "ISURI"):
+        return TRUE if isinstance(args[0], URIRef) else FALSE
+    if name == "ISBLANK":
+        return TRUE if isinstance(args[0], BNode) else FALSE
+    if name == "ISLITERAL":
+        return TRUE if isinstance(args[0], Literal) else FALSE
+    if name == "ISNUMERIC":
+        return TRUE if is_numeric(args[0]) else FALSE
+    if name == "SAMETERM":
+        return TRUE if args[0] == args[1] and type(args[0]) is type(args[1]) else FALSE
+    if name == "REGEX":
+        text = _string_value(args[0])
+        pattern = _string_value(args[1])
+        flags = re.IGNORECASE if len(args) > 2 and "i" in _string_value(args[2]) else 0
+        return TRUE if re.search(pattern, text, flags) else FALSE
+    if name == "STRSTARTS":
+        return TRUE if _string_value(args[0]).startswith(_string_value(args[1])) else FALSE
+    if name == "STRENDS":
+        return TRUE if _string_value(args[0]).endswith(_string_value(args[1])) else FALSE
+    if name == "CONTAINS":
+        return TRUE if _string_value(args[1]) in _string_value(args[0]) else FALSE
+    if name == "STRLEN":
+        return Literal(len(_string_value(args[0])))
+    if name == "ABS":
+        return Literal(abs(numeric_value(args[0])))
+    if name == "UCASE":
+        return Literal(_string_value(args[0]).upper())
+    if name == "LCASE":
+        return Literal(_string_value(args[0]).lower())
+    if name == "CONCAT":
+        return Literal("".join(_string_value(a) for a in args))
+    if name == "STRBEFORE":
+        text, needle = _string_value(args[0]), _string_value(args[1])
+        index = text.find(needle)
+        return Literal(text[:index] if index >= 0 else "")
+    if name == "STRAFTER":
+        text, needle = _string_value(args[0]), _string_value(args[1])
+        index = text.find(needle)
+        return Literal(text[index + len(needle):] if index >= 0 else "")
+    if name == "SUBSTR":
+        text = _string_value(args[0])
+        start = int(numeric_value(args[1]))  # SPARQL is 1-based
+        if len(args) > 2:
+            length = int(numeric_value(args[2]))
+            return Literal(text[start - 1 : start - 1 + length])
+        return Literal(text[start - 1 :])
+    if name == "REPLACE":
+        text = _string_value(args[0])
+        pattern = _string_value(args[1])
+        replacement = _string_value(args[2])
+        flags = re.IGNORECASE if len(args) > 3 and "i" in _string_value(args[3]) else 0
+        return Literal(re.sub(pattern, replacement, text, flags=flags))
+    if name == "ROUND":
+        value = numeric_value(args[0])
+        return Literal(float(round(value)) if isinstance(value, float) else round(value))
+    if name in ("FLOOR", "CEIL"):
+        import math
+
+        value = numeric_value(args[0])
+        out = math.floor(value) if name == "FLOOR" else math.ceil(value)
+        return Literal(float(out) if isinstance(value, float) else int(out))
+    raise EvalError(f"unknown builtin function {name}")

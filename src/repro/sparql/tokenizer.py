@@ -1,0 +1,103 @@
+"""Tokenizer for the SPARQL subset grammar."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import SPARQLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT",
+    "ASK",
+    "CONSTRUCT",
+    "GROUP",
+    "AS",
+    "DISTINCT",
+    "REDUCED",
+    "WHERE",
+    "FILTER",
+    "NOT",
+    "EXISTS",
+    "OPTIONAL",
+    "UNION",
+    "MINUS",
+    "BIND",
+    "HAVING",
+    "GRAPH",
+    "PREFIX",
+    "BASE",
+    "LIMIT",
+    "OFFSET",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "VALUES",
+    "UNDEF",
+    "A",
+    "TRUE",
+    "FALSE",
+    "IN",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<string>"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+  | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<double>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+  | (?P<decimal>[+-]?\d*\.\d+)
+  | (?P<integer>[+-]?\d+)
+  | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+  | (?P<pname>(?:[A-Za-z_][\w\-.]*)?:[\w\-.%]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\^\^|&&|\|\||!=|<=|>=|[{}()\[\].;,/|*+?^!=<>])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    """A lexical token with its kind, text and source offset."""
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value.upper() in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`SPARQLSyntaxError` on bad input.
+
+    Bare names matching :data:`KEYWORDS` (case-insensitive) are emitted
+    as ``keyword`` tokens; other bare names (builtin function names such
+    as ``BOUND``) come out as ``name`` tokens.
+    """
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SPARQLSyntaxError(f"unexpected character {text[pos]!r}", position=pos)
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "name" and value.upper() in KEYWORDS:
+            kind = "keyword"
+        yield Token(kind, value, match.start())
+    yield Token("eof", "", length)

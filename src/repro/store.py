@@ -1,0 +1,84 @@
+"""Persistence for materialised relationship sets.
+
+The paper's use case is *batch materialisation*: relationships are
+computed offline and consulted during online exploration.  Two formats:
+
+* RDF (Turtle/N-Triples) via :func:`repro.qb.writer.relationships_to_graph`
+  — interoperable, queryable with SPARQL,
+* a compact JSON format (this module) — fast to reload, keeps the
+  partial-containment degrees and dimension annotations losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.errors import ReproError
+from repro.core.results import RelationshipSet
+from repro.rdf.terms import URIRef
+
+__all__ = ["save_relationships", "load_relationships", "dumps_relationships", "loads_relationships"]
+
+_FORMAT_VERSION = 1
+
+
+def dumps_relationships(result: RelationshipSet, indent: int | None = None) -> str:
+    """Serialize a relationship set to a JSON string."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "full": sorted([str(a), str(b)] for a, b in result.full),
+        "complementary": sorted([str(a), str(b)] for a, b in result.complementary),
+        "partial": [
+            {
+                "container": str(a),
+                "contained": str(b),
+                "degree": result.degrees.get((a, b)),
+                "dimensions": sorted(str(d) for d in result.partial_map.get((a, b), ())),
+            }
+            for a, b in sorted(result.partial)
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def loads_relationships(text: str) -> RelationshipSet:
+    """Parse a relationship set from its JSON string form."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid relationship JSON: {exc}") from exc
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(f"unsupported relationship-store version {version!r}")
+    result = RelationshipSet()
+    for a, b in payload.get("full", ()):
+        result.add_full(URIRef(a), URIRef(b))
+    for a, b in payload.get("complementary", ()):
+        result.add_complementary(URIRef(a), URIRef(b))
+    for entry in payload.get("partial", ()):
+        dims = frozenset(URIRef(d) for d in entry.get("dimensions", ()))
+        result.add_partial(
+            URIRef(entry["container"]),
+            URIRef(entry["contained"]),
+            dims if dims else None,
+            entry.get("degree"),
+        )
+    return result
+
+
+def save_relationships(result: RelationshipSet, target: str | Path | IO[str], indent: int | None = None) -> None:
+    """Write the JSON form to a path or text file object."""
+    text = dumps_relationships(result, indent=indent)
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+        return
+    Path(target).write_text(text)  # type: ignore[arg-type]
+
+
+def load_relationships(source: str | Path | IO[str]) -> RelationshipSet:
+    """Read the JSON form from a path or text file object."""
+    if hasattr(source, "read"):
+        return loads_relationships(source.read())  # type: ignore[union-attr]
+    return loads_relationships(Path(source).read_text())  # type: ignore[arg-type]

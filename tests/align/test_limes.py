@@ -1,0 +1,130 @@
+"""Unit tests for the LIMES-style link discovery."""
+
+import pytest
+
+from repro.align import LinkSpec, MetricExpression, discover_links
+from repro.errors import AlignmentError
+from repro.rdf import Graph, Literal, RDF, SKOS, URIRef
+
+SRC = "http://source.example/code/"
+TGT = "http://target.example/code/"
+
+
+def concept_graph(base: str, names: list[str]) -> Graph:
+    g = Graph()
+    for name in names:
+        uri = URIRef(base + name)
+        g.add((uri, RDF.type, SKOS.Concept))
+        g.add((uri, SKOS.prefLabel, Literal(name.replace("-", " "))))
+    return g
+
+
+@pytest.fixture
+def source() -> Graph:
+    return concept_graph(SRC, ["GR", "IT", "GR-ATH", "DE"])
+
+
+@pytest.fixture
+def target() -> Graph:
+    return concept_graph(TGT, ["GR", "IT", "GR-ATH", "FR"])
+
+
+class TestDiscovery:
+    def test_exact_suffix_matches_accepted(self, source, target):
+        spec = LinkSpec(
+            expression=MetricExpression.metric("cosine"),
+            acceptance=0.99,
+            review=0.5,
+            source_type=SKOS.Concept,
+            target_type=SKOS.Concept,
+        )
+        accepted, _ = discover_links(source, target, spec)
+        pairs = {(link.source.local_name(), link.target.local_name()) for link in accepted}
+        assert ("GR", "GR") in pairs
+        assert ("IT", "IT") in pairs
+        assert ("GR-ATH", "GR-ATH") in pairs
+        assert all(s != "DE" for s, _ in pairs)
+
+    def test_review_band(self, source, target):
+        spec = LinkSpec(
+            expression=MetricExpression.metric("levenshtein"),
+            acceptance=1.0,
+            review=0.3,
+            source_type=SKOS.Concept,
+            target_type=SKOS.Concept,
+            blocking_key_length=0,
+        )
+        accepted, review = discover_links(source, target, spec)
+        assert all(link.score >= 1.0 for link in accepted)
+        assert all(0.3 <= link.score < 1.0 for link in review)
+
+    def test_max_combinator(self, source, target):
+        spec = LinkSpec(
+            expression=MetricExpression.max(
+                MetricExpression.metric("cosine"),
+                MetricExpression.metric("levenshtein"),
+            ),
+            acceptance=0.99,
+            review=0.0,
+            source_type=SKOS.Concept,
+            target_type=SKOS.Concept,
+        )
+        accepted, _ = discover_links(source, target, spec)
+        assert len(accepted) == 3
+
+    def test_property_based_matching(self, source, target):
+        spec = LinkSpec(
+            expression=MetricExpression.metric("jaccard", property_uri=SKOS.prefLabel),
+            acceptance=0.99,
+            review=0.0,
+            source_type=SKOS.Concept,
+            target_type=SKOS.Concept,
+        )
+        accepted, _ = discover_links(source, target, spec)
+        assert {(l.source.local_name(), l.target.local_name()) for l in accepted} == {
+            ("GR", "GR"),
+            ("IT", "IT"),
+            ("GR-ATH", "GR-ATH"),
+        }
+
+    def test_blocking_prunes_cross_initial_pairs(self, source, target):
+        spec = LinkSpec(
+            expression=MetricExpression.metric("exact"),
+            acceptance=0.99,
+            review=0.0,
+            source_type=SKOS.Concept,
+            target_type=SKOS.Concept,
+            blocking_key_length=1,
+        )
+        accepted, _ = discover_links(source, target, spec)
+        # DE has no same-initial target, so only the three true matches.
+        assert len(accepted) == 3
+
+    def test_avg_and_min_combinators(self):
+        expr = MetricExpression.avg(
+            MetricExpression.metric("exact"),
+            MetricExpression.metric("exact"),
+        )
+        g = concept_graph(SRC, ["GR"])
+        assert expr.evaluate(URIRef(SRC + "GR"), URIRef(SRC + "GR"), g, g) == 1.0
+        expr_min = MetricExpression.min(
+            MetricExpression.metric("exact"),
+            MetricExpression.metric("cosine"),
+        )
+        assert expr_min.evaluate(URIRef(SRC + "GR"), URIRef(SRC + "GR"), g, g) == 1.0
+
+
+class TestConfigErrors:
+    def test_unknown_metric(self):
+        with pytest.raises(AlignmentError):
+            MetricExpression.metric("soundex")
+
+    def test_bad_thresholds(self):
+        with pytest.raises(AlignmentError):
+            LinkSpec(expression=MetricExpression.metric("exact"), acceptance=0.4, review=0.6)
+
+    def test_empty_combinator_rejected_at_eval(self):
+        expr = MetricExpression.max()
+        g = Graph()
+        with pytest.raises(AlignmentError):
+            expr.evaluate(URIRef(SRC + "GR"), URIRef(SRC + "GR"), g, g)

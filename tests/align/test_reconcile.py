@@ -1,0 +1,91 @@
+"""Unit tests for cube-space reconciliation (alignment workflow)."""
+
+import pytest
+
+from repro.align import LinkSpec, MetricExpression, align_cubespaces
+from repro.core import Method, compute_relationships
+from repro.errors import AlignmentError
+from repro.qb import CubeSpace, Dataset, DatasetSchema, Hierarchy, Observation
+from repro.rdf import Namespace
+
+SRC = Namespace("http://src.example/code/")
+TGT = Namespace("http://tgt.example/code/")
+NS = Namespace("http://app.example/")
+
+
+def source_cube() -> CubeSpace:
+    geo = Hierarchy(SRC.WORLD)
+    geo.add(SRC.GR, SRC.WORLD)
+    geo.add(SRC["GR-ATH"], SRC.GR)
+    space = CubeSpace()
+    space.add_hierarchy(NS.refArea, geo)
+    schema = DatasetSchema(dimensions=(NS.refArea,), measures=(NS.unemployment,))
+    ds = Dataset(NS.srcData, schema)
+    ds.add(Observation(NS.s1, NS.srcData, {NS.refArea: SRC.GR}, {NS.unemployment: 24.9}))
+    space.add_dataset(ds)
+    return space
+
+
+def target_cube(code: str = "GR") -> CubeSpace:
+    geo = Hierarchy(TGT.WORLD)
+    geo.add(TGT.GR, TGT.WORLD)
+    geo.add(TGT["GR-ATH"], TGT.GR)
+    space = CubeSpace()
+    space.add_hierarchy(NS.area, geo)
+    schema = DatasetSchema(dimensions=(NS.area,), measures=(NS.population,))
+    ds = Dataset(NS.tgtData, schema)
+    ds.add(Observation(NS.t1, NS.tgtData, {NS.area: TGT[code]}, {NS.population: 10858018}))
+    space.add_dataset(ds)
+    return space
+
+
+class TestAlignCubespaces:
+    def test_rewrites_target_onto_source_vocabulary(self):
+        reconciled, accepted, review = align_cubespaces(
+            source_cube(), target_cube(), {NS.area: NS.refArea}
+        )
+        assert len(reconciled.datasets) == 2
+        rewritten = reconciled.datasets[NS.tgtData]
+        assert rewritten.schema.dimensions == (NS.refArea,)
+        obs = rewritten.observations[0]
+        assert obs.value(NS.refArea) == SRC.GR
+        assert accepted  # links were found
+
+    def test_relationships_work_after_alignment(self):
+        reconciled, _, _ = align_cubespaces(
+            source_cube(), target_cube(), {NS.area: NS.refArea}
+        )
+        result = compute_relationships(reconciled, Method.BASELINE)
+        # Same coordinates, different measures -> complementary.
+        assert result.is_complementary(NS.s1, NS.t1)
+
+    def test_unlinkable_code_raises(self):
+        # A target code whose local name matches nothing in the source.
+        target = target_cube()
+        geo = target.hierarchies[NS.area]
+        geo.add(TGT.ZZZZQQQ, TGT.WORLD)
+        ds = target.datasets[NS.tgtData]
+        ds.add(Observation(NS.t2, NS.tgtData, {NS.area: TGT.ZZZZQQQ}, {NS.population: 1}))
+        with pytest.raises(AlignmentError):
+            align_cubespaces(source_cube(), target, {NS.area: NS.refArea})
+
+    def test_unknown_source_dimension_rejected(self):
+        with pytest.raises(AlignmentError):
+            align_cubespaces(source_cube(), target_cube(), {NS.area: NS.nothere})
+
+    def test_unmapped_target_dimension_rejected(self):
+        with pytest.raises(AlignmentError):
+            align_cubespaces(source_cube(), target_cube(), {})
+
+    def test_custom_spec_thresholds(self):
+        spec = LinkSpec(
+            expression=MetricExpression.metric("exact"),
+            acceptance=1.0,
+            review=0.0,
+            blocking_key_length=0,
+        )
+        reconciled, accepted, _ = align_cubespaces(
+            source_cube(), target_cube(), {NS.area: NS.refArea}, spec=spec
+        )
+        assert all(link.score == 1.0 for link in accepted)
+        assert len(reconciled.datasets) == 2

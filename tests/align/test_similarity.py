@@ -1,0 +1,71 @@
+"""Unit tests for string similarity metrics."""
+
+import pytest
+
+from repro.align.similarity import (
+    character_ngrams,
+    cosine_similarity,
+    jaccard_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    trigram_similarity,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xy", 2),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("a", "b", 1),
+        ],
+    )
+    def test_distances(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    def test_symmetric(self):
+        assert levenshtein_distance("abcde", "xbcdz") == levenshtein_distance("xbcdz", "abcde")
+
+    def test_similarity_bounds(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+        assert 0.0 < levenshtein_similarity("abc", "abd") < 1.0
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity("refArea", "refArea") == pytest.approx(1.0)
+
+    def test_camel_case_tokenised(self):
+        # 'refArea' vs 'ref_area' share tokens after splitting.
+        assert cosine_similarity("refArea", "ref_area") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_similarity("alpha", "beta") == 0.0
+
+    def test_character_mode(self):
+        assert cosine_similarity("abc", "cab", use_tokens=False) == pytest.approx(1.0)
+
+    def test_empty_strings(self):
+        assert cosine_similarity("", "") == 1.0
+        assert cosine_similarity("a", "") == 0.0
+
+
+class TestJaccardAndTrigram:
+    def test_jaccard(self):
+        assert jaccard_similarity("ref area", "area ref") == 1.0
+        assert jaccard_similarity("a b", "b c") == pytest.approx(1 / 3)
+        assert jaccard_similarity("", "") == 1.0
+
+    def test_trigram_similar_strings(self):
+        assert trigram_similarity("Athens", "Athens") == 1.0
+        assert trigram_similarity("Athens", "Athina") > trigram_similarity("Athens", "Rome")
+
+    def test_character_ngrams_padding(self):
+        grams = character_ngrams("ab", n=3)
+        assert "##a" in grams and "ab#" in grams

@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's example, small random spaces, hierarchies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.space import ObservationSpace
+from repro.data.example import build_example_cubespace, build_example_space
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf.terms import URIRef
+
+
+@pytest.fixture
+def example_space() -> ObservationSpace:
+    """The running example of Figures 1-2 (10 observations)."""
+    return build_example_space()
+
+
+@pytest.fixture
+def example_cubespace():
+    return build_example_cubespace()
+
+
+def make_uniform_hierarchy(prefix: str, fanout: int = 3, depth: int = 2) -> Hierarchy:
+    """A complete ``fanout``-ary tree of the given depth."""
+    root = URIRef(f"http://test.example/{prefix}/ALL")
+    hierarchy = Hierarchy(root)
+    frontier = [root]
+    for _ in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for child_index in range(fanout):
+                child = URIRef(f"{parent}_{child_index}")
+                hierarchy.add(child, parent)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return hierarchy
+
+
+def make_random_space(
+    n: int,
+    dimension_count: int = 3,
+    measure_count: int = 3,
+    seed: int = 0,
+    fanout: int = 3,
+    depth: int = 2,
+) -> ObservationSpace:
+    """A random observation space for equivalence/property tests."""
+    rng = np.random.default_rng(seed)
+    dimensions = tuple(URIRef(f"http://test.example/dim{i}") for i in range(dimension_count))
+    hierarchies = {
+        dimension: make_uniform_hierarchy(f"d{i}", fanout=fanout, depth=depth)
+        for i, dimension in enumerate(dimensions)
+    }
+    space = ObservationSpace(dimensions, hierarchies)
+    measures = [URIRef(f"http://test.example/m{i}") for i in range(measure_count)]
+    dataset = URIRef("http://test.example/ds")
+    for index in range(n):
+        dims = {}
+        for dimension in dimensions:
+            codes = sorted(hierarchies[dimension], key=str)
+            dims[dimension] = codes[int(rng.integers(len(codes)))]
+        chosen = {measures[int(rng.integers(measure_count))]}
+        if rng.random() < 0.2 and measure_count > 1:
+            chosen.add(measures[int(rng.integers(measure_count))])
+        space.add(URIRef(f"http://test.example/obs/{index}"), dataset, dims, chosen)
+    return space
+
+
+@pytest.fixture
+def random_space() -> ObservationSpace:
+    return make_random_space(60, seed=11)

@@ -1,0 +1,103 @@
+"""Unit tests for the facade and incremental updates."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.core import Method, compute_baseline, compute_relationships, update_relationships
+from repro.core.space import ObservationSpace
+from repro.data.example import build_example_cubespace, build_example_space
+from repro.rdf import EX
+
+from tests.conftest import make_random_space
+
+
+class TestFacade:
+    def test_accepts_cubespace(self):
+        cube = build_example_cubespace()
+        result = compute_relationships(cube, Method.BASELINE)
+        assert result.total() > 0
+
+    def test_accepts_observation_space(self):
+        space = build_example_space()
+        assert compute_relationships(space, Method.CUBE_MASKING).total() > 0
+
+    def test_method_by_string(self):
+        space = build_example_space()
+        assert compute_relationships(space, "baseline") == compute_relationships(
+            space, Method.BASELINE
+        )
+
+    def test_default_method_is_cube_masking(self):
+        space = build_example_space()
+        assert compute_relationships(space) == compute_relationships(space, Method.CUBE_MASKING)
+
+    def test_options_forwarded(self):
+        space = build_example_space()
+        result = compute_relationships(space, Method.BASELINE, collect_partial=False)
+        assert result.partial == set()
+
+    def test_unknown_method(self):
+        space = build_example_space()
+        with pytest.raises(AlgorithmError):
+            compute_relationships(space, "quantum")
+
+    def test_bad_input_type(self):
+        with pytest.raises(AlgorithmError):
+            compute_relationships([1, 2, 3])  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize(
+        "method", [Method.BASELINE, Method.CUBE_MASKING, Method.SPARQL, Method.RULES]
+    )
+    def test_lossless_methods_agree(self, method):
+        space = build_example_space()
+        assert compute_relationships(space, method) == compute_relationships(
+            space, Method.BASELINE
+        )
+
+
+class TestIncrementalUpdate:
+    def test_matches_full_recompute(self):
+        space = make_random_space(40, seed=20)
+        result = compute_baseline(space)
+        # Move the last 10 observations into an "arriving later" batch.
+        base_space = space.select(range(30))
+        base_result = compute_baseline(base_space)
+        newcomers = [
+            (record.uri, record.dataset, dict(zip(space.dimensions, record.codes)), record.measures)
+            for record in space.observations[30:]
+        ]
+        updated = update_relationships(base_space, base_result, newcomers)
+        assert updated == result
+
+    def test_space_extended_in_place(self):
+        space = make_random_space(10, seed=21)
+        result = compute_baseline(space)
+        record = space.observations[0]
+        update_relationships(
+            space,
+            result,
+            [(EX.newObs, record.dataset, dict(zip(space.dimensions, record.codes)), record.measures)],
+        )
+        assert len(space) == 11
+        # The clone of observation 0 is complementary with it.
+        assert result.is_complementary(EX.newObs, record.uri)
+
+    def test_empty_batch_is_noop(self):
+        space = make_random_space(15, seed=22)
+        result = compute_baseline(space)
+        before = (set(result.full), set(result.partial), set(result.complementary))
+        update_relationships(space, result, [])
+        assert before == (set(result.full), set(result.partial), set(result.complementary))
+
+    def test_incremental_collects_partial_metadata(self):
+        space = make_random_space(10, seed=23)
+        result = compute_baseline(space)
+        record = space.observations[0]
+        update_relationships(
+            space,
+            result,
+            [(EX.addition, record.dataset, {}, record.measures)],
+        )
+        partial_with_new = [p for p in result.partial if EX.addition in p]
+        for pair in partial_with_new:
+            assert result.degree(*pair) is not None

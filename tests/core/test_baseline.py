@@ -1,0 +1,120 @@
+"""Unit tests for the baseline algorithm (Algorithms 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import compute_baseline, derive_relationships, measure_overlap_matrix
+from repro.core.matrix import OccurrenceMatrix
+from repro.core.space import ObservationSpace
+from repro.data.example import EXNS, build_example_space
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf import EX
+
+from tests.conftest import make_random_space
+
+
+@pytest.fixture
+def example() -> ObservationSpace:
+    return build_example_space()
+
+
+class TestMeasureOverlap:
+    def test_matrix_matches_reference(self, example):
+        overlap = measure_overlap_matrix(example)
+        for a in range(len(example)):
+            for b in range(len(example)):
+                assert overlap[a, b] == example.measure_overlap(a, b)
+
+    def test_symmetric(self, example):
+        overlap = measure_overlap_matrix(example)
+        assert np.array_equal(overlap, overlap.T)
+
+
+class TestBaselineSemantics:
+    def test_matches_reference_predicates(self):
+        space = make_random_space(50, seed=3)
+        result = compute_baseline(space)
+        uris = [r.uri for r in space.observations]
+        for a in range(len(space)):
+            for b in range(len(space)):
+                if a == b:
+                    continue
+                assert ((uris[a], uris[b]) in result.full) == space.is_full_containment(a, b)
+                assert ((uris[a], uris[b]) in result.partial) == space.is_partial_containment(a, b)
+                assert result.is_complementary(uris[a], uris[b]) == space.is_complementary(a, b)
+
+    def test_full_and_partial_disjoint(self):
+        space = make_random_space(60, seed=4)
+        result = compute_baseline(space)
+        assert not (result.full & result.partial)
+
+    def test_no_self_pairs(self, example):
+        result = compute_baseline(example)
+        assert all(a != b for a, b in result.full | result.partial)
+
+    def test_partial_dimensions_collected(self, example):
+        result = compute_baseline(example, collect_partial_dimensions=True)
+        pair = (EXNS.o21, EXNS.o31)
+        assert pair in result.partial
+        assert result.partial_dimensions(*pair) == frozenset({EXNS.refArea, EXNS.sex})
+        assert result.degree(*pair) == pytest.approx(2 / 3)
+
+    def test_collect_partial_false(self, example):
+        result = compute_baseline(example, collect_partial=False)
+        assert result.partial == set()
+        assert len(result.full) > 0
+
+    def test_collect_partial_without_dimensions(self, example):
+        result = compute_baseline(example, collect_partial_dimensions=False)
+        pair = (EXNS.o21, EXNS.o31)
+        assert pair in result.partial
+        assert result.partial_dimensions(*pair) == frozenset()
+        assert result.degree(*pair) == pytest.approx(2 / 3)
+
+    def test_backends_agree(self):
+        space = make_random_space(40, seed=5)
+        assert compute_baseline(space, backend="numpy") == compute_baseline(space, backend="python")
+
+    def test_empty_space(self):
+        geo = Hierarchy(EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        result = compute_baseline(space)
+        assert result.total() == 0
+
+    def test_single_observation(self):
+        geo = Hierarchy(EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.o1, EX.d, {}, {EX.m})
+        assert compute_baseline(space).total() == 0
+
+    def test_derive_from_precomputed_ocm(self, example):
+        matrix = OccurrenceMatrix(example)
+        ocm = matrix.compute_ocm()
+        result = derive_relationships(example, ocm)
+        assert result == compute_baseline(example)
+
+
+class TestComplementaritySemantics:
+    def test_mutual_containment_without_measure_overlap(self):
+        """Complementarity has no measure condition (Definition 3)."""
+        geo = Hierarchy(EX.World)
+        geo.add(EX.Athens, EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.o1, EX.d, {EX.refArea: EX.Athens}, {EX.population})
+        space.add(EX.o2, EX.d, {EX.refArea: EX.Athens}, {EX.unemployment})
+        result = compute_baseline(space)
+        assert result.is_complementary(EX.o1, EX.o2)
+        assert result.full == set()  # no shared measure -> no containment
+
+    def test_identical_observations_with_shared_measure(self):
+        """Equal vectors + shared measure: mutual full containment AND
+        complementarity, per the OCM semantics of Algorithm 2."""
+        geo = Hierarchy(EX.World)
+        geo.add(EX.Athens, EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.o1, EX.d, {EX.refArea: EX.Athens}, {EX.population})
+        space.add(EX.o2, EX.d, {EX.refArea: EX.Athens}, {EX.population})
+        result = compute_baseline(space)
+        assert (EX.o1, EX.o2) in result.full
+        assert (EX.o2, EX.o1) in result.full
+        assert result.is_complementary(EX.o1, EX.o2)

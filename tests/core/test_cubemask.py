@@ -1,0 +1,75 @@
+"""Unit tests for the cubeMasking algorithm (Algorithm 4)."""
+
+import pytest
+
+from repro.core.baseline import compute_baseline
+from repro.core.cubemask import compute_cubemask
+from repro.core.space import ObservationSpace
+from repro.data.example import EXNS, build_example_space
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf import EX
+
+from tests.conftest import make_random_space
+
+
+class TestEquivalenceWithBaseline:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_spaces(self, seed):
+        space = make_random_space(80, seed=seed)
+        assert compute_cubemask(space) == compute_baseline(space)
+
+    def test_example(self):
+        space = build_example_space()
+        assert compute_cubemask(space) == compute_baseline(space)
+
+    def test_prefetch_modes_identical(self):
+        space = make_random_space(70, seed=9)
+        with_prefetch = compute_cubemask(space, prefetch_children=True)
+        without = compute_cubemask(space, prefetch_children=False)
+        assert with_prefetch == without
+
+    def test_deeper_hierarchies(self):
+        space = make_random_space(50, seed=2, fanout=2, depth=4)
+        assert compute_cubemask(space) == compute_baseline(space)
+
+    def test_single_dimension(self):
+        space = make_random_space(40, seed=6, dimension_count=1)
+        assert compute_cubemask(space) == compute_baseline(space)
+
+    def test_many_dimensions(self):
+        space = make_random_space(30, seed=7, dimension_count=6, fanout=2, depth=2)
+        assert compute_cubemask(space) == compute_baseline(space)
+
+
+class TestOptions:
+    def test_collect_partial_false(self):
+        space = build_example_space()
+        result = compute_cubemask(space, collect_partial=False)
+        assert result.partial == set()
+        assert result.full == compute_baseline(space).full
+
+    def test_partial_dimensions_collection(self):
+        space = build_example_space()
+        result = compute_cubemask(space, collect_partial_dimensions=True)
+        pair = (EXNS.o21, EXNS.o31)
+        assert result.partial_dimensions(*pair) == frozenset({EXNS.refArea, EXNS.sex})
+        assert result.degree(*pair) == pytest.approx(2 / 3)
+
+    def test_empty_space(self):
+        geo = Hierarchy(EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        assert compute_cubemask(space).total() == 0
+
+    def test_all_in_one_cube(self):
+        """Degenerate case: every observation at the same levels."""
+        geo = Hierarchy(EX.World)
+        geo.add(EX.Greece, EX.World)
+        geo.add(EX.Italy, EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.o1, EX.d, {EX.refArea: EX.Greece}, {EX.m})
+        space.add(EX.o2, EX.d, {EX.refArea: EX.Italy}, {EX.m})
+        space.add(EX.o3, EX.d, {EX.refArea: EX.Greece}, {EX.m})
+        result = compute_cubemask(space)
+        assert (EX.o1, EX.o3) in result.full
+        assert result.is_complementary(EX.o1, EX.o3)
+        assert not result.is_complementary(EX.o1, EX.o2)

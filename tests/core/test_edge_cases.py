@@ -1,0 +1,104 @@
+"""Degenerate-input edge cases across the algorithms.
+
+Zero dimensions, one observation, all-identical observations, very deep
+hierarchies — inputs a library consumer will eventually feed in.
+"""
+
+import pytest
+
+from repro.core import (
+    Method,
+    compute_baseline,
+    compute_baseline_streaming,
+    compute_cubemask,
+    compute_relationships,
+)
+from repro.core.space import ObservationSpace
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf import EX, URIRef
+
+
+class TestZeroDimensions:
+    """An empty dimension bus: every observation sits at the same
+    (empty) coordinate, so all pairs are complementary and pairs with a
+    shared measure fully contain each other."""
+
+    @pytest.fixture
+    def space(self) -> ObservationSpace:
+        space = ObservationSpace((), {})
+        space.add(EX.o1, EX.d, {}, {EX.m1})
+        space.add(EX.o2, EX.d, {}, {EX.m1})
+        space.add(EX.o3, EX.d, {}, {EX.m2})
+        return space
+
+    def test_baseline(self, space):
+        result = compute_baseline(space)
+        assert result.is_complementary(EX.o1, EX.o2)
+        assert result.is_complementary(EX.o1, EX.o3)
+        assert (EX.o1, EX.o2) in result.full and (EX.o2, EX.o1) in result.full
+        assert (EX.o1, EX.o3) not in result.full  # no shared measure
+        assert result.partial == set()
+
+    def test_methods_agree(self, space):
+        truth = compute_baseline(space)
+        assert compute_cubemask(space) == truth
+        assert compute_baseline_streaming(space, block_size=2) == truth
+        assert compute_relationships(space, Method.SPARQL) == truth
+
+
+class TestDeepHierarchy:
+    def test_long_chain(self):
+        hierarchy = Hierarchy(URIRef("http://e/L0"))
+        previous = hierarchy.root
+        for level in range(1, 40):
+            node = URIRef(f"http://e/L{level}")
+            hierarchy.add(node, previous)
+            previous = node
+        space = ObservationSpace((EX.dim,), {EX.dim: hierarchy})
+        for level in (0, 10, 25, 39):
+            space.add(
+                EX[f"o{level}"], EX.d, {EX.dim: URIRef(f"http://e/L{level}")}, {EX.m}
+            )
+        result = compute_baseline(space)
+        # Chain containment: every shallower observation contains deeper.
+        assert (EX.o0, EX.o39) in result.full
+        assert (EX.o10, EX.o25) in result.full
+        assert (EX.o25, EX.o10) not in result.full
+        assert compute_cubemask(space) == result
+
+    def test_single_observation_every_method(self):
+        geo = Hierarchy(EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.only, EX.d, {}, {EX.m})
+        for method in (Method.BASELINE, Method.CUBE_MASKING, Method.STREAMING,
+                       Method.SPARQL, Method.RULES):
+            assert compute_relationships(space, method).total() == 0
+
+
+class TestAllIdentical:
+    def test_clique_of_identical_observations(self):
+        geo = Hierarchy(EX.World)
+        geo.add(EX.Athens, EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        n = 6
+        for i in range(n):
+            space.add(EX[f"o{i}"], EX.d, {EX.refArea: EX.Athens}, {EX.m})
+        result = compute_baseline(space)
+        assert len(result.complementary) == n * (n - 1) // 2
+        assert len(result.full) == n * (n - 1)
+        assert result.partial == set()
+        assert compute_cubemask(space) == result
+
+    def test_wide_flat_hierarchy(self):
+        hierarchy = Hierarchy(EX.ALL)
+        for i in range(200):
+            hierarchy.add(EX[f"c{i}"], EX.ALL)
+        space = ObservationSpace((EX.dim,), {EX.dim: hierarchy})
+        for i in range(0, 200, 20):
+            space.add(EX[f"o{i}"], EX.d, {EX.dim: EX[f"c{i}"]}, {EX.m})
+        space.add(EX.top, EX.d, {}, {EX.m})  # the root row
+        result = compute_baseline(space)
+        # Only the root row contains anything; leaves are incomparable.
+        assert all(a == EX.top for a, _ in result.full)
+        assert len(result.full) == 10
+        assert compute_cubemask(space) == result

@@ -1,0 +1,59 @@
+"""Tests for the full-lattice utilities (Figure 4 structure)."""
+
+import pytest
+
+from repro.core.lattice import CubeLattice
+from repro.data.example import build_example_space
+
+
+@pytest.fixture(scope="module")
+def lattice() -> CubeLattice:
+    return CubeLattice(build_example_space())
+
+
+class TestFullLattice:
+    def test_possible_signature_count(self, lattice):
+        # Example hierarchies: geo depth 4, time depth 2, sex depth 1
+        # -> (4+1) * (2+1) * (1+1) = 30 possible level combinations.
+        possible = list(lattice.possible_signatures())
+        assert len(possible) == 30
+        assert len(set(possible)) == 30
+
+    def test_populated_nodes_are_possible(self, lattice):
+        possible = set(lattice.possible_signatures())
+        assert set(lattice.nodes) <= possible
+
+    def test_coverage_in_unit_interval(self, lattice):
+        assert 0.0 < lattice.coverage() <= 1.0
+        assert lattice.coverage() == len(lattice.nodes) / 30
+
+    def test_figure4_example_nodes(self, lattice):
+        """The example's observations land on Figure 4's node labels."""
+        labels = {"".join(str(l) for l in sig) for sig in lattice.nodes}
+        # o11/o31: Athens (3), 2001 (1), Total (0) -> "310"
+        assert "310" in labels
+        # o32/o34: city (3), month (2), Total (0) -> "320"
+        assert "320" in labels
+        # o21/o22: country (2), year (1), Total (0) -> "210"
+        assert "210" in labels
+
+
+class TestRenderAscii:
+    def test_render_contains_counts(self, lattice):
+        text = lattice.render_ascii()
+        assert "populated nodes" in text
+        assert "310: 2 observation(s)" in text
+
+    def test_parent_links_rendered(self, lattice):
+        # "310" has direct parent "210" (one level up on refArea).
+        text = lattice.render_ascii()
+        for line in text.splitlines():
+            if line.strip().startswith("310:"):
+                assert "210" in line
+                break
+        else:
+            pytest.fail("node 310 not rendered")
+
+    def test_max_nodes_truncation(self, lattice):
+        text = lattice.render_ascii(max_nodes=2)
+        assert "more" in text

@@ -1,0 +1,138 @@
+"""Unit tests for the occurrence matrix and computeOCM (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.core.matrix import OccurrenceMatrix
+from repro.core.space import ObservationSpace
+from repro.data.example import EXNS, build_example_space
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf import EX
+
+
+@pytest.fixture
+def example() -> ObservationSpace:
+    return build_example_space()
+
+
+def index_of(space, local):
+    return space.record_for(EXNS[local]).index
+
+
+class TestConstruction:
+    def test_row_encodes_ancestor_closure(self, example):
+        matrix = OccurrenceMatrix(example)
+        dense, columns = matrix.dense()
+        o11 = index_of(example, "o11")
+        on_columns = {columns[c] for c in np.flatnonzero(dense[o11])}
+        # refArea=Athens -> Athens, Greece, Europe, World set.
+        assert (EXNS.refArea, EXNS.Athens) in on_columns
+        assert (EXNS.refArea, EXNS.Greece) in on_columns
+        assert (EXNS.refArea, EXNS.Europe) in on_columns
+        assert (EXNS.refArea, EXNS.World) in on_columns
+        assert (EXNS.refArea, EXNS.Italy) not in on_columns
+
+    def test_missing_dimension_has_only_root_bit(self, example):
+        matrix = OccurrenceMatrix(example)
+        dense, columns = matrix.dense()
+        o21 = index_of(example, "o21")  # no sex dimension
+        sex_columns = [i for i, (d, _) in enumerate(columns) if d == EXNS.sex]
+        on = [columns[i][1] for i in sex_columns if dense[o21, i]]
+        assert on == [EXNS.Total]
+
+    def test_dense_shape(self, example):
+        matrix = OccurrenceMatrix(example)
+        dense, columns = matrix.dense()
+        total_codes = sum(len(example.hierarchies[d]) for d in example.dimensions)
+        assert dense.shape == (10, total_codes)
+        assert len(columns) == total_codes
+
+    def test_backends_produce_identical_dense(self, example):
+        dense_np, cols_np = OccurrenceMatrix(example, backend="numpy").dense()
+        dense_py, cols_py = OccurrenceMatrix(example, backend="python").dense()
+        assert cols_np == cols_py
+        assert np.array_equal(dense_np, dense_py)
+
+    def test_unknown_backend(self, example):
+        with pytest.raises(AlgorithmError):
+            OccurrenceMatrix(example, backend="rust")
+
+
+class TestContainmentMatrix:
+    def test_cm_matches_reference_predicate(self, example):
+        matrix = OccurrenceMatrix(example)
+        for position, dimension in enumerate(example.dimensions):
+            cm = matrix.containment_matrix(dimension)
+            for a in range(len(example)):
+                for b in range(len(example)):
+                    assert cm[a, b] == example.dimension_contains(a, b, position)
+
+    def test_cm_diagonal_true(self, example):
+        matrix = OccurrenceMatrix(example)
+        cm = matrix.containment_matrix(example.dimensions[0])
+        assert np.all(np.diag(cm))
+
+    def test_paper_cm_refarea_entries(self, example):
+        """Spot-check Table 3(a): CM_refArea of the running example."""
+        matrix = OccurrenceMatrix(example)
+        cm = matrix.containment_matrix(EXNS.refArea)
+        o11, o21, o22, o31, o33 = (
+            index_of(example, n) for n in ("o11", "o21", "o22", "o31", "o33")
+        )
+        assert cm[o21, o11]  # Greece contains Athens
+        assert cm[o11, o31]  # Athens contains Athens
+        assert not cm[o11, o21]  # Athens does not contain Greece
+        assert cm[o22, o33]  # Italy contains Rome
+        assert not cm[o21, o33]  # Greece does not contain Rome
+
+    def test_chunking_invariant(self, example):
+        matrix = OccurrenceMatrix(example)
+        full = matrix.containment_matrix(EXNS.refArea, chunk=512)
+        tiny_chunks = matrix.containment_matrix(EXNS.refArea, chunk=3)
+        assert np.array_equal(full, tiny_chunks)
+
+
+class TestOCM:
+    def test_counts_match_degrees(self, example):
+        ocm = OccurrenceMatrix(example).compute_ocm()
+        for a in range(len(example)):
+            for b in range(len(example)):
+                expected = example.containment_degree(a, b)
+                assert ocm.ocm()[a, b] == pytest.approx(expected)
+
+    def test_paper_ocm_values(self, example):
+        """OCM of o21 vs o31: containment on refArea and sex only -> 2/3."""
+        ocm = OccurrenceMatrix(example).compute_ocm()
+        o21, o31 = index_of(example, "o21"), index_of(example, "o31")
+        assert ocm.ocm()[o21, o31] == pytest.approx(2 / 3)
+        o11 = index_of(example, "o11")
+        assert ocm.ocm()[o11, o31] == pytest.approx(1.0)
+        assert ocm.ocm()[o31, o11] == pytest.approx(1.0)
+
+    def test_keep_cms_flag(self, example):
+        with_cms = OccurrenceMatrix(example).compute_ocm(keep_cms=True)
+        assert with_cms.has_cms
+        assert with_cms.cm(EXNS.refArea).shape == (10, 10)
+        without = OccurrenceMatrix(example).compute_ocm(keep_cms=False)
+        assert not without.has_cms
+        with pytest.raises(AlgorithmError):
+            without.cm(EXNS.refArea)
+
+    def test_python_backend_ocm_identical(self, example):
+        counts_np = OccurrenceMatrix(example, backend="numpy").compute_ocm().counts
+        counts_py = OccurrenceMatrix(example, backend="python").compute_ocm().counts
+        assert np.array_equal(counts_np, counts_py)
+
+    def test_pair_probe_matches_matrix(self, example):
+        matrix = OccurrenceMatrix(example)
+        counts = matrix.compute_ocm().counts
+        for a in (0, 3, 7):
+            for b in (1, 5, 9):
+                assert matrix.pair_containment_count(a, b) == counts[a, b]
+
+    def test_empty_space(self):
+        geo = Hierarchy(EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        ocm = OccurrenceMatrix(space).compute_ocm()
+        assert ocm.counts.shape == (0, 0)

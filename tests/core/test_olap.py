@@ -1,0 +1,101 @@
+"""Unit tests for OLAP navigation over materialised relationships."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.core import Method, compute_relationships
+from repro.core.olap import CubeNavigator
+from repro.data.example import EXNS, build_example_cubespace, build_example_space
+from repro.qb.hierarchy import Hierarchy
+from repro.core.space import ObservationSpace
+from repro.core.results import RelationshipSet
+from repro.rdf import EX
+
+
+@pytest.fixture(scope="module")
+def navigator() -> CubeNavigator:
+    cube = build_example_cubespace()
+    relationships = compute_relationships(cube, Method.BASELINE, collect_partial_dimensions=True)
+    return CubeNavigator.from_cubespace(cube, relationships)
+
+
+class TestNavigation:
+    def test_drill_down(self, navigator):
+        assert set(navigator.drill_down(EXNS.o21)) == {EXNS.o32, EXNS.o34}
+        assert navigator.drill_down(EXNS.o22) == [EXNS.o33]
+
+    def test_roll_up(self, navigator):
+        assert navigator.roll_up(EXNS.o32) == [EXNS.o21]
+        assert navigator.roll_up(EXNS.o21) == []
+
+    def test_complements(self, navigator):
+        assert navigator.complements(EXNS.o11) == [EXNS.o31]
+        assert navigator.complements(EXNS.o31) == [EXNS.o11]
+        assert navigator.complements(EXNS.o21) == []
+
+    def test_comparable_after_rollup(self, navigator):
+        dims = navigator.comparable_after_rollup(EXNS.o21, EXNS.o31)
+        assert dims == frozenset({EXNS.refPeriod})
+
+    def test_comparable_after_rollup_requires_partial(self, navigator):
+        # o11 (population) and o32 (unemployment) share no measure, so
+        # no partial containment exists between them.
+        with pytest.raises(AlgorithmError):
+            navigator.comparable_after_rollup(EXNS.o11, EXNS.o32)
+
+
+class TestDirectDrillDown:
+    def test_skips_transitive_members(self):
+        geo = Hierarchy(EX.World)
+        geo.add(EX.Greece, EX.World)
+        geo.add(EX.Athens, EX.Greece)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.top, EX.d, {}, {EX.m})
+        space.add(EX.mid, EX.d, {EX.refArea: EX.Greece}, {EX.m})
+        space.add(EX.leaf, EX.d, {EX.refArea: EX.Athens}, {EX.m})
+        from repro.core import compute_baseline
+
+        relationships = compute_baseline(space)
+        navigator = CubeNavigator(space, relationships)
+        assert navigator.drill_down(EX.top) == [EX.leaf, EX.mid]
+        assert navigator.direct_drill_down(EX.top) == [EX.mid]
+        assert navigator.direct_drill_down(EX.mid) == [EX.leaf]
+
+
+class TestAggregation:
+    def test_sum_over_direct_children(self):
+        geo = Hierarchy(EX.World)
+        geo.add(EX.A, EX.World)
+        geo.add(EX.B, EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.top, EX.d, {}, {EX.pop})
+        space.add(EX.oa, EX.d, {EX.refArea: EX.A}, {EX.pop})
+        space.add(EX.ob, EX.d, {EX.refArea: EX.B}, {EX.pop})
+        from repro.core import compute_baseline
+
+        relationships = compute_baseline(space)
+        values = {(EX.oa, EX.pop): 10.0, (EX.ob, EX.pop): 32.0}
+        navigator = CubeNavigator(space, relationships, values)
+        assert navigator.aggregate(EX.top, EX.pop, "sum") == 42.0
+        assert navigator.aggregate(EX.top, EX.pop, "avg") == 21.0
+        assert navigator.aggregate(EX.top, EX.pop, "min") == 10.0
+        assert navigator.aggregate(EX.top, EX.pop, "max") == 32.0
+        assert navigator.aggregate(EX.top, EX.pop, "count") == 2.0
+
+    def test_from_cubespace_extracts_values(self, navigator):
+        # o21 fully contains o32 and o34 (unemployment values 30, 15).
+        assert navigator.aggregate(EXNS.o21, EXNS.unemployment, "avg") == pytest.approx(22.5)
+
+    def test_unknown_aggregation(self, navigator):
+        with pytest.raises(AlgorithmError):
+            navigator.aggregate(EXNS.o21, EXNS.unemployment, "median")
+
+    def test_no_values_raises(self, navigator):
+        with pytest.raises(AlgorithmError):
+            navigator.aggregate(EXNS.o21, EXNS.population)
+
+    def test_empty_relationships(self):
+        space = build_example_space()
+        navigator = CubeNavigator(space, RelationshipSet())
+        assert navigator.drill_down(EXNS.o21) == []
+        assert navigator.roll_up(EXNS.o32) == []

@@ -1,0 +1,118 @@
+"""End-to-end reproduction of the paper's running example.
+
+Checks Figure 3's derived relationships and the structure of Tables
+2-3 on the data of Figures 1-2, across all five computation methods.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Method, compute_relationships
+from repro.core.matrix import OccurrenceMatrix
+from repro.data.example import EXNS, EXPECTED_EXAMPLE, build_example_space
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_example_space()
+
+
+@pytest.fixture(scope="module")
+def baseline_result(example):
+    return compute_relationships(example, Method.BASELINE)
+
+
+def locals_of(pairs):
+    return {(a.local_name(), b.local_name()) for a, b in pairs}
+
+
+class TestFigure3:
+    def test_full_containment_pairs(self, baseline_result):
+        assert EXPECTED_EXAMPLE["full"] <= locals_of(baseline_result.full)
+
+    def test_complementary_pairs(self, baseline_result):
+        assert EXPECTED_EXAMPLE["complementary"] <= locals_of(baseline_result.complementary)
+
+    def test_o21_does_not_fully_contain_o31(self, baseline_result):
+        # 2011 does not contain 2001: only partial containment.
+        assert ("o21", "o31") not in locals_of(baseline_result.full)
+        assert ("o21", "o31") in locals_of(baseline_result.partial)
+
+    def test_o12_contained_by_o13(self, baseline_result):
+        # Total sex contains Male at the same area/period.
+        assert ("o13", "o12") in locals_of(baseline_result.full)
+
+    @pytest.mark.parametrize(
+        "method",
+        [Method.CUBE_MASKING, Method.SPARQL, Method.RULES, Method.CLUSTERING],
+    )
+    def test_methods_find_figure3(self, example, baseline_result, method):
+        options = {"seed": 0, "sample_rate": 1.0, "n_clusters": 2} if method == Method.CLUSTERING else {}
+        result = compute_relationships(example, method, **options)
+        if method == Method.CLUSTERING:
+            # Lossy method: subset of the truth.
+            assert result.full <= baseline_result.full
+        else:
+            assert result == baseline_result
+
+
+class TestTable2Structure:
+    """The occurrence matrix of the example (Table 2's shape)."""
+
+    def test_row_count(self, example):
+        dense, _ = OccurrenceMatrix(example).dense()
+        assert dense.shape[0] == 10
+
+    def test_refarea_block_for_o11(self, example):
+        matrix = OccurrenceMatrix(example)
+        dense, columns = matrix.dense()
+        o11 = example.record_for(EXNS.o11).index
+        bits = {
+            columns[i][1].local_name()
+            for i in np.flatnonzero(dense[o11])
+            if columns[i][0] == EXNS.refArea
+        }
+        # Table 2, row obs11: WLD, EUR, GR, Ath set; others clear.
+        assert bits == {"World", "Europe", "Greece", "Athens"}
+
+    def test_sex_padding_for_d3_rows(self, example):
+        matrix = OccurrenceMatrix(example)
+        dense, columns = matrix.dense()
+        o31 = example.record_for(EXNS.o31).index
+        bits = {
+            columns[i][1].local_name()
+            for i in np.flatnonzero(dense[o31])
+            if columns[i][0] == EXNS.sex
+        }
+        # D3 has no sex dimension: only the root (Total/ALL) column set.
+        assert bits == {"Total"}
+
+
+class TestTable3Structure:
+    """CM_refArea and OCM of the example (Tables 3a/3b semantics)."""
+
+    def test_cm_rows_for_obs21(self, example):
+        matrix = OccurrenceMatrix(example)
+        cm = matrix.containment_matrix(EXNS.refArea)
+        idx = {n: example.record_for(EXNS[n]).index for n in
+               ("o11", "o21", "o22", "o31", "o32", "o33", "o34")}
+        # Greece contains Athens/Ioannina rows, not Rome.
+        assert cm[idx["o21"], idx["o11"]]
+        assert cm[idx["o21"], idx["o31"]]
+        assert cm[idx["o21"], idx["o32"]]
+        assert cm[idx["o21"], idx["o34"]]
+        assert not cm[idx["o21"], idx["o33"]]
+        assert not cm[idx["o21"], idx["o22"]]
+
+    def test_ocm_normalisation(self, example):
+        ocm = OccurrenceMatrix(example).compute_ocm()
+        values = ocm.ocm()
+        assert values.min() >= 0.0 and values.max() <= 1.0
+        # Diagonal: every observation fully contains itself.
+        assert np.allclose(np.diag(values), 1.0)
+
+    def test_ocm_thirds(self, example):
+        """With 3 dimensions every OCM value is a multiple of 1/3."""
+        ocm = OccurrenceMatrix(example).compute_ocm()
+        scaled = ocm.ocm() * 3
+        assert np.allclose(scaled, np.round(scaled))

@@ -1,0 +1,44 @@
+"""Unit tests for the parallel cubeMasking variant.
+
+This host may have a single core, so the tests verify *correctness*
+(bit-identical output) rather than speed.
+"""
+
+import pytest
+
+from repro.core import compute_cubemask
+from repro.core.parallel import compute_cubemask_parallel
+
+from tests.conftest import make_random_space
+
+
+class TestParallelCubemask:
+    def test_small_input_falls_back(self):
+        space = make_random_space(60, seed=60)
+        result = compute_cubemask_parallel(space, min_parallel_observations=512)
+        assert result == compute_cubemask(space)
+
+    def test_parallel_matches_sequential(self):
+        space = make_random_space(150, seed=61)
+        parallel = compute_cubemask_parallel(
+            space, workers=2, min_parallel_observations=10
+        )
+        assert parallel == compute_cubemask(space)
+
+    def test_targets_respected(self):
+        space = make_random_space(120, seed=62)
+        parallel = compute_cubemask_parallel(
+            space, workers=2, min_parallel_observations=10, targets=("full",)
+        )
+        sequential = compute_cubemask(space, targets=("full",))
+        assert parallel == sequential
+        assert parallel.partial == set() and parallel.complementary == set()
+
+    def test_degrees_preserved(self):
+        space = make_random_space(120, seed=63)
+        parallel = compute_cubemask_parallel(
+            space, workers=2, min_parallel_observations=10
+        )
+        sequential = compute_cubemask(space)
+        for pair in sequential.partial:
+            assert parallel.degree(*pair) == pytest.approx(sequential.degree(*pair))

@@ -1,0 +1,74 @@
+"""Unit tests for source relatedness and recommendations."""
+
+import pytest
+
+from repro.core import Method, compute_relationships
+from repro.core.recommend import dataset_relatedness, recommend_observations
+from repro.data.example import EXNS, build_example_space
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_example_space()
+
+
+@pytest.fixture(scope="module")
+def relationships(example):
+    return compute_relationships(example, Method.BASELINE)
+
+
+class TestDatasetRelatedness:
+    def test_cross_dataset_scores(self, example, relationships):
+        scores = dataset_relatedness(example, relationships)
+        d1, d2, d3 = EXNS["dataset/D1"], EXNS["dataset/D2"], EXNS["dataset/D3"]
+        # D2 contains D3's city observations; D1 complements D3.
+        assert scores.get((d2, d3), 0) > 0
+        assert scores.get((d1, d3), 0) > 0
+
+    def test_scores_in_unit_interval(self, example, relationships):
+        for score in dataset_relatedness(example, relationships).values():
+            assert 0.0 < score <= 1.0
+
+    def test_keys_canonical(self, example, relationships):
+        for a, b in dataset_relatedness(example, relationships):
+            assert str(a) <= str(b)
+
+    def test_empty_relationships(self, example):
+        from repro.core.results import RelationshipSet
+
+        assert dataset_relatedness(example, RelationshipSet()) == {}
+
+
+class TestRecommendations:
+    def test_complementary_ranks_first(self, relationships):
+        ranked = recommend_observations(EXNS.o11, relationships)
+        assert ranked[0].observation == EXNS.o31
+        assert ranked[0].kind == "complementary"
+        assert ranked[0].score == 1.0
+
+    def test_containment_recommended(self, relationships):
+        ranked = recommend_observations(EXNS.o21, relationships)
+        kinds = {r.observation: r.kind for r in ranked}
+        assert kinds[EXNS.o32] == "contains"
+        assert kinds[EXNS.o34] == "contains"
+
+    def test_contained_by_direction(self, relationships):
+        ranked = recommend_observations(EXNS.o32, relationships)
+        kinds = {r.observation: r.kind for r in ranked}
+        assert kinds[EXNS.o21] == "contained-by"
+
+    def test_partial_scores_below_containment(self, relationships):
+        ranked = recommend_observations(EXNS.o21, relationships)
+        scores = {r.observation: r.score for r in ranked}
+        assert scores[EXNS.o32] > scores[EXNS.o31]  # full beats partial
+
+    def test_limit(self, relationships):
+        assert len(recommend_observations(EXNS.o21, relationships, limit=2)) == 2
+
+    def test_deterministic_order(self, relationships):
+        first = recommend_observations(EXNS.o21, relationships)
+        second = recommend_observations(EXNS.o21, relationships)
+        assert first == second
+
+    def test_unknown_observation_empty(self, relationships):
+        assert recommend_observations(EXNS.nothing, relationships) == []

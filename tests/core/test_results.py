@@ -1,0 +1,81 @@
+"""Unit tests for the relationship result container."""
+
+import pytest
+
+from repro.core.results import RelationshipSet, canonical
+from repro.rdf import EX
+
+
+class TestRelationshipSet:
+    def test_complementary_canonicalised(self):
+        result = RelationshipSet()
+        result.add_complementary(EX.b, EX.a)
+        assert result.complementary == {(EX.a, EX.b)}
+        assert result.is_complementary(EX.a, EX.b)
+        assert result.is_complementary(EX.b, EX.a)
+
+    def test_full_is_directed(self):
+        result = RelationshipSet(full=[(EX.a, EX.b)])
+        assert (EX.a, EX.b) in result.full
+        assert (EX.b, EX.a) not in result.full
+
+    def test_partial_metadata(self):
+        result = RelationshipSet()
+        result.add_partial(EX.a, EX.b, frozenset({EX.d1}), 0.5)
+        assert result.degree(EX.a, EX.b) == 0.5
+        assert result.degree(EX.b, EX.a) is None
+        assert result.partial_dimensions(EX.a, EX.b) == frozenset({EX.d1})
+        assert result.partial_dimensions(EX.x, EX.y) == frozenset()
+
+    def test_merge(self):
+        r1 = RelationshipSet(full=[(EX.a, EX.b)])
+        r2 = RelationshipSet(full=[(EX.c, EX.d)], complementary=[(EX.x, EX.y)])
+        r2.add_partial(EX.p, EX.q, degree=0.25)
+        r1.merge(r2)
+        assert len(r1.full) == 2
+        assert r1.is_complementary(EX.y, EX.x)
+        assert r1.degree(EX.p, EX.q) == 0.25
+
+    def test_total(self):
+        result = RelationshipSet(full=[(EX.a, EX.b)], partial=[(EX.c, EX.d)])
+        result.add_complementary(EX.e, EX.f)
+        assert result.total() == 3
+
+    def test_equality_ignores_metadata(self):
+        r1 = RelationshipSet(partial=[(EX.a, EX.b)])
+        r2 = RelationshipSet()
+        r2.add_partial(EX.a, EX.b, frozenset({EX.d}), 0.5)
+        assert r1 == r2
+
+    def test_canonical_ordering(self):
+        assert canonical(EX.b, EX.a) == (EX.a, EX.b)
+        assert canonical(EX.a, EX.b) == (EX.a, EX.b)
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        truth = RelationshipSet(full=[(EX.a, EX.b)], partial=[(EX.c, EX.d)])
+        recall = truth.recall_against(truth)
+        assert recall.full == recall.partial == recall.complementary == 1.0
+        assert recall.overall == 1.0
+
+    def test_partial_recall(self):
+        truth = RelationshipSet(full=[(EX.a, EX.b), (EX.c, EX.d)])
+        found = RelationshipSet(full=[(EX.a, EX.b)])
+        recall = found.recall_against(truth)
+        assert recall.full == 0.5
+
+    def test_empty_truth_counts_as_one(self):
+        truth = RelationshipSet()
+        found = RelationshipSet(full=[(EX.a, EX.b)])
+        assert found.recall_against(truth).full == 1.0
+
+    def test_extra_findings_do_not_boost_recall(self):
+        truth = RelationshipSet(full=[(EX.a, EX.b)])
+        found = RelationshipSet(full=[(EX.a, EX.b), (EX.x, EX.y)])
+        assert found.recall_against(truth).full == 1.0
+
+    def test_symmetric_pairs_match_in_any_order(self):
+        truth = RelationshipSet(complementary=[(EX.a, EX.b)])
+        found = RelationshipSet(complementary=[(EX.b, EX.a)])
+        assert found.recall_against(truth).complementary == 1.0

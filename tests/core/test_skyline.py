@@ -1,0 +1,98 @@
+"""Unit tests for skyline / k-dominant skyline computation."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.core.baseline import compute_baseline
+from repro.core.skyline import (
+    k_dominant_skyline,
+    k_dominates,
+    skyline,
+    skyline_from_relationships,
+    strictly_dominates,
+)
+from repro.core.space import ObservationSpace
+from repro.data.example import EXNS, build_example_space
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf import EX
+
+from tests.conftest import make_random_space
+
+
+@pytest.fixture
+def example() -> ObservationSpace:
+    return build_example_space()
+
+
+class TestDomination:
+    def test_strict_domination(self, example):
+        o21 = example.record_for(EXNS.o21).index
+        o32 = example.record_for(EXNS.o32).index
+        assert strictly_dominates(example, o21, o32)
+        assert not strictly_dominates(example, o32, o21)
+
+    def test_equal_vectors_do_not_dominate(self, example):
+        o11 = example.record_for(EXNS.o11).index
+        o31 = example.record_for(EXNS.o31).index
+        assert not strictly_dominates(example, o11, o31)
+        assert not strictly_dominates(example, o31, o11)
+
+    def test_k_dominates_with_lower_k(self, example):
+        o21 = example.record_for(EXNS.o21).index
+        o31 = example.record_for(EXNS.o31).index
+        # o21 contains o31 on refArea (strict) and sex, not refPeriod.
+        assert k_dominates(example, o21, o31, k=2)
+        assert not k_dominates(example, o21, o31, k=3)
+
+    def test_k_validation(self, example):
+        with pytest.raises(AlgorithmError):
+            k_dominates(example, 0, 1, k=0)
+        with pytest.raises(AlgorithmError):
+            k_dominates(example, 0, 1, k=99)
+
+
+class TestSkyline:
+    def test_dominated_points_excluded(self, example):
+        sky = set(skyline(example))
+        assert EXNS.o32 not in sky  # dominated by o21
+        assert EXNS.o34 not in sky
+        assert EXNS.o33 not in sky  # dominated by o22
+        assert EXNS.o21 in sky
+        assert EXNS.o22 in sky
+
+    def test_k_dominant_skyline_subset_of_skyline(self, example):
+        full_skyline = set(skyline(example))
+        k_sky = set(k_dominant_skyline(example, k=2))
+        assert k_sky <= full_skyline
+
+    def test_k_equal_dims_matches_skyline(self, example):
+        assert set(k_dominant_skyline(example, k=3)) == set(skyline(example))
+
+    def test_from_relationships_matches_direct(self, example):
+        relationships = compute_baseline(example)
+        direct = set(skyline(example))
+        derived = set(skyline_from_relationships(example, relationships))
+        assert direct == derived
+
+    def test_from_relationships_random(self):
+        space = make_random_space(60, seed=12)
+        relationships = compute_baseline(space)
+        assert set(skyline(space)) == set(skyline_from_relationships(space, relationships))
+
+    def test_all_identical_points_survive(self):
+        geo = Hierarchy(EX.World)
+        geo.add(EX.Athens, EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.o1, EX.d, {EX.refArea: EX.Athens}, {EX.m})
+        space.add(EX.o2, EX.d, {EX.refArea: EX.Athens}, {EX.m})
+        assert set(skyline(space)) == {EX.o1, EX.o2}
+
+    def test_measure_scoping(self):
+        """Without shared measures nothing dominates by default."""
+        geo = Hierarchy(EX.World)
+        geo.add(EX.Athens, EX.World)
+        space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+        space.add(EX.top, EX.d, {}, {EX.m1})
+        space.add(EX.leaf, EX.d, {EX.refArea: EX.Athens}, {EX.m2})
+        assert set(skyline(space)) == {EX.top, EX.leaf}
+        assert set(skyline(space, same_measure_only=False)) == {EX.top}

@@ -1,0 +1,128 @@
+"""Unit tests for the observation space and its reference predicates."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.core.space import ObservationSpace
+from repro.data.example import EXNS, build_example_space
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf import EX
+
+
+@pytest.fixture
+def tiny() -> ObservationSpace:
+    geo = Hierarchy(EX.World)
+    geo.add(EX.Greece, EX.World)
+    geo.add(EX.Athens, EX.Greece)
+    space = ObservationSpace((EX.refArea,), {EX.refArea: geo})
+    space.add(EX.o1, EX.d, {EX.refArea: EX.Greece}, {EX.m1})
+    space.add(EX.o2, EX.d, {EX.refArea: EX.Athens}, {EX.m1})
+    space.add(EX.o3, EX.d, {}, {EX.m2})  # padded to root
+    return space
+
+
+class TestConstruction:
+    def test_padding_to_root(self, tiny):
+        assert tiny[2].codes == (EX.World,)
+
+    def test_unknown_code_rejected(self, tiny):
+        with pytest.raises(AlgorithmError):
+            tiny.add(EX.oX, EX.d, {EX.refArea: EX.Mars}, {EX.m1})
+
+    def test_unknown_dimension_rejected(self, tiny):
+        with pytest.raises(AlgorithmError):
+            tiny.add(EX.oX, EX.d, {EX.zzz: EX.Athens}, {EX.m1})
+
+    def test_measureless_observation_rejected(self, tiny):
+        with pytest.raises(AlgorithmError):
+            tiny.add(EX.oX, EX.d, {}, set())
+
+    def test_duplicate_dimension_bus_rejected(self):
+        geo = Hierarchy(EX.World)
+        with pytest.raises(AlgorithmError):
+            ObservationSpace((EX.refArea, EX.refArea), {EX.refArea: geo})
+
+    def test_missing_hierarchy_rejected(self):
+        with pytest.raises(AlgorithmError):
+            ObservationSpace((EX.refArea,), {})
+
+    def test_indices_sequential(self, tiny):
+        assert [r.index for r in tiny] == [0, 1, 2]
+
+    def test_record_for(self, tiny):
+        assert tiny.record_for(EX.o2).index == 1
+        with pytest.raises(AlgorithmError):
+            tiny.record_for(EX.nothere)
+
+    def test_from_cubespace_preserves_counts(self):
+        space = build_example_space()
+        assert len(space) == 10
+        assert len(space.dimensions) == 3
+
+
+class TestPredicates:
+    def test_dimension_contains_reflexive(self, tiny):
+        assert tiny.dimension_contains(0, 0, 0)
+
+    def test_dimension_contains_hierarchy(self, tiny):
+        assert tiny.dimension_contains(0, 1, 0)  # Greece contains Athens
+        assert not tiny.dimension_contains(1, 0, 0)
+
+    def test_root_contains_everything(self, tiny):
+        assert tiny.dimension_contains(2, 0, 0)
+        assert tiny.dimension_contains(2, 1, 0)
+
+    def test_full_containment_requires_measure_overlap(self, tiny):
+        # o3 (root) dimension-contains o1 but measures are disjoint.
+        assert tiny.dim_full(2, 0)
+        assert not tiny.is_full_containment(2, 0)
+        assert tiny.is_full_containment(0, 1)
+
+    def test_partial_disjoint_from_full(self, tiny):
+        assert not (tiny.is_full_containment(0, 1) and tiny.is_partial_containment(0, 1))
+
+    def test_complementarity_is_vector_equality(self, tiny):
+        tiny.add(EX.o4, EX.d, {EX.refArea: EX.Athens}, {EX.m2})
+        assert tiny.is_complementary(1, 3)
+        assert tiny.is_complementary(3, 1)
+        assert not tiny.is_complementary(0, 3)
+
+    def test_no_self_relationships(self, tiny):
+        assert not tiny.is_full_containment(0, 0)
+        assert not tiny.is_partial_containment(0, 0)
+        assert not tiny.is_complementary(0, 0)
+
+    def test_containment_degree(self):
+        space = build_example_space()
+        o21 = space.record_for(EXNS.o21).index
+        o31 = space.record_for(EXNS.o31).index
+        # Greece⊃Athens yes, 2011 vs 2001 no, sex Total==Total yes -> 2/3.
+        assert space.containment_degree(o21, o31) == pytest.approx(2 / 3)
+
+    def test_partial_dimensions(self):
+        space = build_example_space()
+        o21 = space.record_for(EXNS.o21).index
+        o31 = space.record_for(EXNS.o31).index
+        assert space.partial_dimensions(o21, o31) == frozenset({EXNS.refArea, EXNS.sex})
+
+
+class TestViews:
+    def test_level_signature(self, tiny):
+        assert tiny.level_signature(0) == (1,)
+        assert tiny.level_signature(1) == (2,)
+        assert tiny.level_signature(2) == (0,)
+
+    def test_subset(self, tiny):
+        sub = tiny.subset(2)
+        assert len(sub) == 2
+        assert sub[1].uri == EX.o2
+        assert sub[1].index == 1
+
+    def test_select_reindexes(self, tiny):
+        sub = tiny.select([2, 0])
+        assert [r.uri for r in sub] == [EX.o3, EX.o1]
+        assert [r.index for r in sub] == [0, 1]
+
+    def test_measure_overlap(self, tiny):
+        assert tiny.measure_overlap(0, 1)
+        assert not tiny.measure_overlap(0, 2)

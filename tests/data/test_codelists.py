@@ -1,0 +1,86 @@
+"""Unit tests for the generated code lists."""
+
+import pytest
+
+from repro.data import codelists
+
+
+class TestGeoHierarchy:
+    def test_depth(self):
+        geo = codelists.geo_hierarchy()
+        assert geo.max_level == 4
+
+    def test_parameterised_size(self):
+        small = codelists.geo_hierarchy(countries_per_continent=1, regions_per_country=1, cities_per_region=1)
+        # 1 root + 5 continents + 5 countries + 5 regions + 5 cities.
+        assert len(small) == 21
+
+    def test_city_chain(self):
+        geo = codelists.geo_hierarchy()
+        city = codelists.CODE["geo/EU-C0-R0-T0"]
+        assert geo.level(city) == 4
+        assert geo.is_ancestor(codelists.CODE["geo/EU"], city)
+        assert geo.is_ancestor(geo.root, city)
+
+    def test_deterministic(self):
+        assert set(codelists.geo_hierarchy()) == set(codelists.geo_hierarchy())
+
+
+class TestTimeHierarchy:
+    def test_depth_with_months(self):
+        time = codelists.time_hierarchy()
+        assert time.max_level == 3
+
+    def test_depth_without_months(self):
+        time = codelists.time_hierarchy(months=False)
+        assert time.max_level == 2
+
+    def test_month_quarter_chain(self):
+        time = codelists.time_hierarchy(start_year=2010, years=1)
+        month = codelists.CODE["time/Y2010-M05"]
+        quarter = codelists.CODE["time/Y2010-Q2"]
+        assert time.parent(month) == quarter
+        assert time.parent(quarter) == codelists.CODE["time/Y2010"]
+
+    def test_year_count(self):
+        time = codelists.time_hierarchy(start_year=2000, years=3, months=False)
+        assert len(time.codes_at_level(1)) == 3
+
+
+@pytest.mark.parametrize(
+    "builder,expected_depth",
+    [
+        (codelists.sex_hierarchy, 1),
+        (codelists.age_hierarchy, 2),
+        (codelists.unit_hierarchy, 1),
+        (codelists.citizenship_hierarchy, 2),
+        (codelists.education_hierarchy, 2),
+        (codelists.household_size_hierarchy, 1),
+        (codelists.economic_activity_hierarchy, 2),
+    ],
+)
+def test_all_hierarchies_shape(builder, expected_depth):
+    hierarchy = builder()
+    assert hierarchy.max_level == expected_depth
+    assert len(hierarchy) > 1
+    for code in hierarchy:
+        assert hierarchy.is_ancestor(hierarchy.root, code)
+
+
+def test_total_code_count_near_paper_scale():
+    """The default code lists should be on the order of the paper's 2.6k values."""
+    total = sum(
+        len(builder())
+        for builder in (
+            codelists.geo_hierarchy,
+            codelists.time_hierarchy,
+            codelists.sex_hierarchy,
+            codelists.age_hierarchy,
+            codelists.unit_hierarchy,
+            codelists.citizenship_hierarchy,
+            codelists.education_hierarchy,
+            codelists.household_size_hierarchy,
+            codelists.economic_activity_hierarchy,
+        )
+    )
+    assert 500 <= total <= 5000

@@ -1,0 +1,51 @@
+"""Unit tests for the running-example builder."""
+
+from repro.data.example import EXNS, EXPECTED_EXAMPLE, build_example_cubespace, build_example_space
+
+
+class TestExampleData:
+    def test_ten_observations_three_datasets(self):
+        cube = build_example_cubespace()
+        assert len(cube.datasets) == 3
+        assert cube.observation_count() == 10
+
+    def test_dimension_bus(self):
+        space = build_example_space()
+        assert set(space.dimensions) == {EXNS.refArea, EXNS.refPeriod, EXNS.sex}
+
+    def test_hierarchies_match_figure1(self):
+        cube = build_example_cubespace()
+        geo = cube.hierarchies[EXNS.refArea]
+        assert geo.is_ancestor(EXNS.Greece, EXNS.Athens)
+        assert geo.is_ancestor(EXNS.Greece, EXNS.Ioannina)
+        assert geo.is_ancestor(EXNS.Italy, EXNS.Rome)
+        assert geo.is_ancestor(EXNS.US, EXNS.Austin)
+        assert not geo.is_ancestor(EXNS.Greece, EXNS.Rome)
+        time = cube.hierarchies[EXNS.refPeriod]
+        assert time.is_ancestor(EXNS.Y2011, EXNS.Jan2011)
+        assert not time.is_ancestor(EXNS.Y2001, EXNS.Jan2011)
+
+    def test_measures_match_figure2(self):
+        cube = build_example_cubespace()
+        space = build_example_space()
+        o21 = space.record_for(EXNS.o21)
+        assert o21.measures == frozenset({EXNS.unemployment, EXNS.poverty})
+        o11 = space.record_for(EXNS.o11)
+        assert o11.measures == frozenset({EXNS.population})
+
+    def test_d2_lacks_sex_dimension(self):
+        cube = build_example_cubespace()
+        d2 = cube.datasets[EXNS["dataset/D2"]]
+        assert EXNS.sex not in d2.schema.dimensions
+        # Flattened: padded to the sex root.
+        space = build_example_space()
+        assert space.record_for(EXNS.o21).codes[space.dimensions.index(EXNS.sex)] == EXNS.Total
+
+    def test_expected_relationships_well_formed(self):
+        assert EXPECTED_EXAMPLE["full"]
+        assert EXPECTED_EXAMPLE["complementary"]
+        locals_present = {o[0] for o in EXPECTED_EXAMPLE["full"]}
+        assert locals_present <= {"o21", "o22"}
+
+    def test_validates(self):
+        build_example_cubespace().validate()

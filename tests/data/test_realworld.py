@@ -1,0 +1,81 @@
+"""Unit tests for the Table 4 real-world emulation."""
+
+import pytest
+
+from repro.core.space import ObservationSpace
+from repro.data.realworld import (
+    DIM_REF_AREA,
+    DIM_REF_PERIOD,
+    REALWORLD_PROFILES,
+    build_realworld_cubespace,
+    standard_hierarchies,
+)
+
+
+class TestProfiles:
+    def test_seven_datasets(self):
+        assert len(REALWORLD_PROFILES) == 7
+
+    def test_paper_observation_total(self):
+        total = sum(p.observations for p in REALWORLD_PROFILES)
+        assert total == 246_500  # the paper reports ~250k
+
+    def test_all_profiles_share_area_and_period(self):
+        for profile in REALWORLD_PROFILES:
+            assert DIM_REF_AREA in profile.dimensions
+            assert DIM_REF_PERIOD in profile.dimensions
+
+    def test_table4_dimension_counts(self):
+        by_name = {p.name: p for p in REALWORLD_PROFILES}
+        assert len(by_name["D1"].dimensions) == 6
+        assert len(by_name["D4"].dimensions) == 3
+        assert len(by_name["D7"].dimensions) == 3
+
+    def test_d1_d3_share_population_measure(self):
+        by_name = {p.name: p for p in REALWORLD_PROFILES}
+        assert by_name["D1"].measure == by_name["D3"].measure
+
+
+class TestGeneration:
+    def test_scaled_counts(self):
+        cube = build_realworld_cubespace(scale=0.01, seed=0)
+        assert len(cube.datasets) == 7
+        expected = sum(max(1, round(p.observations * 0.01)) for p in REALWORLD_PROFILES)
+        assert cube.observation_count() == expected
+
+    def test_observations_valid(self):
+        cube = build_realworld_cubespace(scale=0.002, seed=1)
+        cube.validate()  # no unknown codes
+
+    def test_deterministic_per_seed(self):
+        c1 = build_realworld_cubespace(scale=0.002, seed=5)
+        c2 = build_realworld_cubespace(scale=0.002, seed=5)
+        obs1 = [(o.uri, tuple(sorted(o.dimensions.items()))) for o in c1.observations()]
+        obs2 = [(o.uri, tuple(sorted(o.dimensions.items()))) for o in c2.observations()]
+        assert obs1 == obs2
+
+    def test_different_seeds_differ(self):
+        c1 = build_realworld_cubespace(scale=0.002, seed=1)
+        c2 = build_realworld_cubespace(scale=0.002, seed=2)
+        dims1 = [tuple(sorted(o.dimensions.items())) for o in c1.observations()]
+        dims2 = [tuple(sorted(o.dimensions.items())) for o in c2.observations()]
+        assert dims1 != dims2
+
+    def test_aggregate_share_controls_levels(self):
+        leafy = build_realworld_cubespace(scale=0.002, seed=3, aggregate_share=0.0)
+        space = ObservationSpace.from_cubespace(leafy)
+        hierarchies = standard_hierarchies()
+        # With aggregate_share=0 every drawn code is a leaf of its hierarchy.
+        for record in space.observations:
+            for dimension, code in zip(space.dimensions, record.codes):
+                hierarchy = hierarchies[dimension]
+                if code != hierarchy.root:  # padded dimensions are roots
+                    assert not hierarchy.children(code)
+
+    def test_produces_relationships(self):
+        """Observations of an emulated corpus must actually relate."""
+        from repro.core import Method, compute_relationships
+
+        cube = build_realworld_cubespace(scale=0.004, seed=7)
+        result = compute_relationships(cube, Method.CUBE_MASKING, collect_partial=False)
+        assert len(result.full) > 0

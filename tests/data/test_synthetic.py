@@ -1,0 +1,64 @@
+"""Unit tests for the Section 4.2 synthetic generator."""
+
+import pytest
+
+from repro.core.lattice import CubeLattice
+from repro.data.synthetic import build_synthetic_space, projected_cube_count
+
+
+class TestProjection:
+    def test_sublinear_growth(self):
+        small = projected_cube_count(1_000)
+        large = projected_cube_count(100_000)
+        assert small < large
+        # Ratio cubes/n must decrease (Figure 5f).
+        assert large / 100_000 < small / 1_000
+
+    def test_bounds(self):
+        assert projected_cube_count(0) == 0
+        assert projected_cube_count(1) == 1
+        assert projected_cube_count(10) <= 10
+
+
+class TestGeneration:
+    def test_exact_observation_count(self):
+        space = build_synthetic_space(257, seed=0)
+        assert len(space) == 257
+
+    def test_dimension_count(self):
+        space = build_synthetic_space(50, dimension_count=6, seed=0)
+        assert len(space.dimensions) == 6
+
+    def test_cube_count_close_to_projection(self):
+        n = 400
+        space = build_synthetic_space(n, seed=1)
+        lattice = CubeLattice(space)
+        target = projected_cube_count(n)
+        assert abs(len(lattice) - target) <= max(3, target // 4)
+
+    def test_even_population(self):
+        space = build_synthetic_space(300, seed=2)
+        lattice = CubeLattice(space)
+        sizes = [len(members) for members in lattice.nodes.values()]
+        assert max(sizes) - min(sizes) <= max(3, max(sizes) // 2)
+
+    def test_deterministic(self):
+        s1 = build_synthetic_space(100, seed=3)
+        s2 = build_synthetic_space(100, seed=3)
+        assert [r.codes for r in s1.observations] == [r.codes for r in s2.observations]
+
+    def test_measures_assigned(self):
+        space = build_synthetic_space(40, seed=4, measure_count=2)
+        measures = {m for r in space.observations for m in r.measures}
+        assert len(measures) == 2
+
+    def test_empty(self):
+        assert len(build_synthetic_space(0)) == 0
+
+    def test_ratio_decreases_with_size(self):
+        """Figure 5(f): cubes per observation shrinks as input grows."""
+        ratios = []
+        for n in (200, 800, 3200):
+            space = build_synthetic_space(n, seed=5)
+            ratios.append(CubeLattice(space).cube_ratio)
+        assert ratios[0] > ratios[1] > ratios[2]

@@ -1,0 +1,80 @@
+"""Shared hypothesis strategies: random hierarchies, spaces and graphs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.space import ObservationSpace
+from repro.qb.hierarchy import Hierarchy
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef
+
+__all__ = ["hierarchies", "observation_spaces", "simple_graphs", "uri_locals"]
+
+uri_locals = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789",
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def hierarchies(draw, min_codes: int = 1, max_codes: int = 12, prefix: str = "h"):
+    """A random tree: node i's parent is a previous node (or the root)."""
+    count = draw(st.integers(min_value=min_codes, max_value=max_codes))
+    root = URIRef(f"http://prop.example/{prefix}/ALL")
+    hierarchy = Hierarchy(root)
+    nodes = [root]
+    for index in range(count):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        node = URIRef(f"http://prop.example/{prefix}/c{index}")
+        hierarchy.add(node, parent)
+        nodes.append(node)
+    return hierarchy
+
+
+@st.composite
+def observation_spaces(draw, max_observations: int = 25, max_dimensions: int = 3):
+    """A random observation space over random hierarchies."""
+    dimension_count = draw(st.integers(min_value=1, max_value=max_dimensions))
+    dims = tuple(URIRef(f"http://prop.example/dim{i}") for i in range(dimension_count))
+    hiers = {
+        dims[i]: draw(hierarchies(prefix=f"d{i}", max_codes=8)) for i in range(dimension_count)
+    }
+    space = ObservationSpace(dims, hiers)
+    n = draw(st.integers(min_value=0, max_value=max_observations))
+    measure_pool = [URIRef(f"http://prop.example/m{i}") for i in range(3)]
+    for index in range(n):
+        chosen_dims = {}
+        for dimension in dims:
+            codes = sorted(hiers[dimension], key=str)
+            pick = draw(st.integers(min_value=-1, max_value=len(codes) - 1))
+            if pick >= 0:
+                chosen_dims[dimension] = codes[pick]
+        measures = draw(
+            st.sets(st.sampled_from(measure_pool), min_size=1, max_size=2)
+        )
+        space.add(URIRef(f"http://prop.example/o{index}"), URIRef("http://prop.example/ds"), chosen_dims, measures)
+    return space
+
+
+@st.composite
+def simple_graphs(draw, max_triples: int = 20):
+    """A random RDF graph of URI/literal triples."""
+    graph = Graph()
+    count = draw(st.integers(min_value=0, max_value=max_triples))
+    for _ in range(count):
+        s = URIRef("http://prop.example/s/" + draw(uri_locals))
+        p = URIRef("http://prop.example/p/" + draw(uri_locals))
+        if draw(st.booleans()):
+            o = URIRef("http://prop.example/o/" + draw(uri_locals))
+        else:
+            o = draw(
+                st.one_of(
+                    st.text(max_size=12).map(Literal),
+                    st.integers(min_value=-10**6, max_value=10**6).map(Literal),
+                    st.booleans().map(Literal),
+                )
+            )
+        graph.add((s, p, o))
+    return graph

@@ -1,0 +1,93 @@
+"""Property-based tests for hierarchy invariants (Definition 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.property.strategies import hierarchies
+
+
+@given(hierarchies())
+def test_ancestry_reflexive(hierarchy):
+    for code in hierarchy:
+        assert hierarchy.is_ancestor(code, code)
+
+
+@given(hierarchies())
+def test_root_is_universal_ancestor(hierarchy):
+    for code in hierarchy:
+        assert hierarchy.is_ancestor(hierarchy.root, code)
+
+
+@given(hierarchies(max_codes=10))
+def test_ancestry_transitive(hierarchy):
+    codes = list(hierarchy)
+    for a in codes:
+        for b in codes:
+            if not hierarchy.is_ancestor(a, b):
+                continue
+            for c in codes:
+                if hierarchy.is_ancestor(b, c):
+                    assert hierarchy.is_ancestor(a, c)
+
+
+@given(hierarchies(max_codes=10))
+def test_ancestry_antisymmetric(hierarchy):
+    codes = list(hierarchy)
+    for a in codes:
+        for b in codes:
+            if a != b and hierarchy.is_ancestor(a, b):
+                assert not hierarchy.is_ancestor(b, a)
+
+
+@given(hierarchies())
+def test_level_equals_path_length(hierarchy):
+    for code in hierarchy:
+        assert hierarchy.level(code) == len(hierarchy.path_to_root(code)) - 1
+
+
+@given(hierarchies())
+def test_ancestors_equal_path_to_root(hierarchy):
+    for code in hierarchy:
+        assert hierarchy.ancestors(code) == frozenset(hierarchy.path_to_root(code))
+
+
+@given(hierarchies(max_codes=10))
+def test_descendants_inverse_of_ancestors(hierarchy):
+    codes = list(hierarchy)
+    for a in codes:
+        for b in codes:
+            assert (b in hierarchy.descendants(a)) == (a in hierarchy.ancestors(b))
+
+
+@given(hierarchies())
+def test_levels_partition_codes(hierarchy):
+    total = sum(len(hierarchy.codes_at_level(level)) for level in range(hierarchy.max_level + 1))
+    assert total == len(hierarchy)
+
+
+@given(hierarchies())
+def test_children_parent_consistency(hierarchy):
+    for code in hierarchy:
+        for child in hierarchy.children(code):
+            assert hierarchy.parent(child) == code
+
+
+@given(hierarchies(max_codes=8, prefix="left"), hierarchies(max_codes=8, prefix="right"))
+def test_merge_contains_both(h1, h2):
+    # Rebuild h2 under h1's root (merge requires a shared root); the
+    # two strategies use distinct URI prefixes so codes never clash.
+    from repro.qb.hierarchy import Hierarchy
+
+    rebased = Hierarchy(h1.root)
+    mapping = {h2.root: h1.root}
+    for code in sorted(h2, key=lambda c: h2.level(c)):
+        if code == h2.root:
+            continue
+        parent = h2.parent(code)
+        rebased.add(code, mapping.get(parent, parent))
+        mapping[code] = code
+    merged = h1.merge(rebased)
+    for code in h1:
+        assert code in merged
+    for code in rebased:
+        assert code in merged

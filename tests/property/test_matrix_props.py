@@ -1,0 +1,64 @@
+"""Property-based tests for the occurrence matrix."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.matrix import OccurrenceMatrix
+
+from tests.property.strategies import observation_spaces
+
+
+@given(observation_spaces(max_observations=15))
+@settings(max_examples=25, deadline=None)
+def test_row_bit_count_equals_path_lengths(space):
+    """Each dimension block has exactly level+1 bits set (the reflexive
+    ancestor chain of the observation's code)."""
+    matrix = OccurrenceMatrix(space)
+    dense, columns = matrix.dense()
+    for record in space.observations:
+        for position, dimension in enumerate(space.dimensions):
+            hierarchy = space.hierarchies[dimension]
+            code = record.codes[position]
+            block_bits = sum(
+                int(dense[record.index, i])
+                for i, (d, _) in enumerate(columns)
+                if d == dimension
+            )
+            assert block_bits == hierarchy.level(code) + 1
+
+
+@given(observation_spaces(max_observations=12))
+@settings(max_examples=20, deadline=None)
+def test_cm_matches_reference_predicate(space):
+    matrix = OccurrenceMatrix(space)
+    for position, dimension in enumerate(space.dimensions):
+        cm = matrix.containment_matrix(dimension)
+        for a in range(len(space)):
+            for b in range(len(space)):
+                assert cm[a, b] == space.dimension_contains(a, b, position)
+
+
+@given(observation_spaces(max_observations=12))
+@settings(max_examples=20, deadline=None)
+def test_backends_identical(space):
+    np_counts = OccurrenceMatrix(space, backend="numpy").compute_ocm().counts
+    py_counts = OccurrenceMatrix(space, backend="python").compute_ocm().counts
+    assert np.array_equal(np_counts, py_counts)
+
+
+@given(observation_spaces(max_observations=12))
+@settings(max_examples=20, deadline=None)
+def test_ocm_diagonal_is_one(space):
+    if len(space) == 0:
+        return
+    ocm = OccurrenceMatrix(space).compute_ocm().ocm()
+    assert np.allclose(np.diag(ocm), 1.0)
+
+
+@given(observation_spaces(max_observations=10))
+@settings(max_examples=20, deadline=None)
+def test_counts_bounded_by_dimension_count(space):
+    result = OccurrenceMatrix(space).compute_ocm()
+    assert result.counts.min() >= 0 if result.counts.size else True
+    if result.counts.size:
+        assert result.counts.max() <= len(space.dimensions)

@@ -1,0 +1,51 @@
+"""Property-based round-trip tests for the RDF serializations."""
+
+from hypothesis import given, settings
+
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+from tests.property.strategies import simple_graphs
+
+
+@given(simple_graphs())
+@settings(max_examples=50)
+def test_turtle_round_trip(graph):
+    assert parse_turtle(serialize_turtle(graph)) == graph
+
+
+@given(simple_graphs())
+@settings(max_examples=50)
+def test_ntriples_round_trip(graph):
+    assert parse_ntriples(serialize_ntriples(graph)) == graph
+
+
+@given(simple_graphs())
+@settings(max_examples=25)
+def test_turtle_ntriples_agree(graph):
+    via_turtle = parse_turtle(serialize_turtle(graph))
+    via_ntriples = parse_ntriples(serialize_ntriples(graph))
+    assert via_turtle == via_ntriples
+
+
+@given(simple_graphs())
+@settings(max_examples=25)
+def test_serialization_deterministic(graph):
+    assert serialize_turtle(graph) == serialize_turtle(graph.copy())
+    assert serialize_ntriples(graph) == serialize_ntriples(graph.copy())
+
+
+@given(simple_graphs(max_triples=8), simple_graphs(max_triples=8), simple_graphs(max_triples=8))
+@settings(max_examples=30)
+def test_trig_and_nquads_round_trip(default_graph, g1, g2):
+    from repro.rdf.dataset import RDFDataset
+    from repro.rdf.nquads import parse_nquads, serialize_nquads
+    from repro.rdf.terms import URIRef
+    from repro.rdf.trig import parse_trig, serialize_trig
+
+    dataset = RDFDataset()
+    dataset.default.update(default_graph)
+    dataset.graph(URIRef("http://prop.example/graph1")).update(g1)
+    dataset.graph(URIRef("http://prop.example/graph2")).update(g2)
+    assert parse_trig(serialize_trig(dataset)) == dataset
+    assert parse_nquads(serialize_nquads(dataset)) == dataset

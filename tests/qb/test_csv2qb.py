@@ -1,0 +1,90 @@
+"""Unit tests for the CSV-to-QB converter."""
+
+import pytest
+
+from repro.errors import CubeModelError
+from repro.qb import Hierarchy
+from repro.qb.csv2qb import ColumnSpec, csv_to_cubespace
+from repro.rdf import EX
+
+
+@pytest.fixture
+def geo() -> Hierarchy:
+    h = Hierarchy(EX["geo/WORLD"])
+    h.add(EX["geo/GR"], h.root)
+    h.add(EX["geo/GR-ATH"], EX["geo/GR"])
+    return h
+
+
+@pytest.fixture
+def columns(geo):
+    return [
+        ColumnSpec("area", "dimension", EX.refArea, hierarchy=geo),
+        ColumnSpec("population", "measure", EX.population, parser=int),
+    ]
+
+
+class TestCsvConversion:
+    def test_basic_conversion(self, columns):
+        text = "area,population\nGR,11000000\nGR-ATH,660000\n"
+        space = csv_to_cubespace(text, columns, EX.ds)
+        assert space.observation_count() == 2
+        obs = sorted(space.observations(), key=lambda o: str(o.uri))
+        assert obs[0].value(EX.refArea) == EX["geo/GR"]
+        assert obs[0].measures[EX.population] == 11000000
+
+    def test_header_order_insensitive(self, columns):
+        text = "population,area\n100,GR\n"
+        space = csv_to_cubespace(text, columns, EX.ds)
+        assert next(space.observations()).measures[EX.population] == 100
+
+    def test_extra_columns_ignored(self, columns):
+        text = "area,notes,population\nGR,hello,5\n"
+        space = csv_to_cubespace(text, columns, EX.ds)
+        assert space.observation_count() == 1
+
+    def test_empty_dimension_cell_means_unbound(self, columns):
+        text = "area,population\n,7\n"
+        space = csv_to_cubespace(text, columns, EX.ds)
+        assert next(space.observations()).value(EX.refArea) is None
+
+    def test_blank_rows_skipped(self, columns):
+        text = "area,population\nGR,1\n,\nGR-ATH,2\n"
+        space = csv_to_cubespace(text, columns, EX.ds)
+        assert space.observation_count() == 2
+
+    def test_unmatched_code_rejected(self, columns):
+        with pytest.raises(CubeModelError):
+            csv_to_cubespace("area,population\nDE,1\n", columns, EX.ds)
+
+    def test_bad_measure_value_rejected(self, columns):
+        with pytest.raises(CubeModelError) as info:
+            csv_to_cubespace("area,population\nGR,lots\n", columns, EX.ds)
+        assert "row 1" in str(info.value)
+
+    def test_row_without_measures_rejected(self, columns):
+        with pytest.raises(CubeModelError):
+            csv_to_cubespace("area,population\nGR,\n", columns, EX.ds)
+
+    def test_missing_header_rejected(self, columns):
+        with pytest.raises(CubeModelError):
+            csv_to_cubespace("area\nGR\n", columns, EX.ds)
+
+    def test_empty_input_rejected(self, columns):
+        with pytest.raises(CubeModelError):
+            csv_to_cubespace("", columns, EX.ds)
+
+    def test_dimension_column_requires_hierarchy(self):
+        with pytest.raises(CubeModelError):
+            ColumnSpec("area", "dimension", EX.refArea)
+
+    def test_unknown_kind_rejected(self, geo):
+        with pytest.raises(CubeModelError):
+            ColumnSpec("area", "attribute", EX.refArea, hierarchy=geo)
+
+    def test_into_existing_space(self, columns, geo):
+        space = csv_to_cubespace("area,population\nGR,1\n", columns, EX.ds1)
+        space = csv_to_cubespace(
+            "area,population\nGR-ATH,2\n", columns, EX.ds2, space=space
+        )
+        assert len(space.datasets) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for the code-list hierarchy (Definition 2)."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.qb.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def geo() -> Hierarchy:
+    h = Hierarchy("World")
+    h.add("Europe", "World")
+    h.add("Greece", "Europe")
+    h.add("Italy", "Europe")
+    h.add("Athens", "Greece")
+    h.add("Rome", "Italy")
+    return h
+
+
+class TestConstruction:
+    def test_root_level_zero(self, geo):
+        assert geo.level("World") == 0
+        assert geo.parent("World") is None
+
+    def test_add_default_parent_is_root(self):
+        h = Hierarchy("ALL")
+        h.add("x")
+        assert h.parent("x") == "ALL"
+
+    def test_from_parent_mapping_any_order(self):
+        h = Hierarchy("World", {"Athens": "Greece", "Greece": "Europe", "Europe": "World"})
+        assert h.level("Athens") == 3
+
+    def test_cycle_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("root", {"a": "b", "b": "a"})
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("root", {"a": "ghost"})
+
+    def test_duplicate_same_parent_idempotent(self, geo):
+        geo.add("Athens", "Greece")  # no error
+        assert len(geo) == 6
+
+    def test_duplicate_conflicting_parent_rejected(self, geo):
+        with pytest.raises(HierarchyError):
+            geo.add("Athens", "Italy")
+
+    def test_unknown_parent_rejected(self, geo):
+        with pytest.raises(HierarchyError):
+            geo.add("Berlin", "Germany")
+
+    def test_from_edges(self):
+        h = Hierarchy.from_edges("r", [("a", "r"), ("b", "a")])
+        assert h.level("b") == 2
+
+
+class TestAncestry:
+    def test_reflexive(self, geo):
+        # Definition 2: ancestry is reflexive.
+        assert geo.is_ancestor("Athens", "Athens")
+        assert geo.is_ancestor("World", "World")
+
+    def test_transitive(self, geo):
+        assert geo.is_ancestor("World", "Athens")
+        assert geo.is_ancestor("Europe", "Rome")
+
+    def test_not_ancestor_across_branches(self, geo):
+        assert not geo.is_ancestor("Greece", "Rome")
+        assert not geo.is_ancestor("Athens", "Greece")  # not symmetric
+
+    def test_ancestors_set(self, geo):
+        assert geo.ancestors("Athens") == frozenset({"Athens", "Greece", "Europe", "World"})
+
+    def test_strict_ancestors(self, geo):
+        assert geo.strict_ancestors("Athens") == frozenset({"Greece", "Europe", "World"})
+
+    def test_descendants(self, geo):
+        assert geo.descendants("Europe") == frozenset(
+            {"Europe", "Greece", "Italy", "Athens", "Rome"}
+        )
+
+    def test_unknown_code_raises(self, geo):
+        with pytest.raises(HierarchyError):
+            geo.is_ancestor("World", "Mars")
+        with pytest.raises(HierarchyError):
+            geo.ancestors("Mars")
+
+
+class TestLevels:
+    def test_levels(self, geo):
+        assert geo.level("Europe") == 1
+        assert geo.level("Athens") == 3
+        assert geo.max_level == 3
+
+    def test_codes_at_level(self, geo):
+        assert geo.codes_at_level(2) == frozenset({"Greece", "Italy"})
+
+    def test_leaves(self, geo):
+        assert geo.leaves() == frozenset({"Athens", "Rome"})
+
+    def test_path_to_root(self, geo):
+        assert geo.path_to_root("Athens") == ["Athens", "Greece", "Europe", "World"]
+        assert geo.path_to_root("World") == ["World"]
+
+    def test_children(self, geo):
+        assert geo.children("Europe") == frozenset({"Greece", "Italy"})
+        assert geo.children("Athens") == frozenset()
+
+
+class TestMerge:
+    def test_merge_disjoint_subtrees(self, geo):
+        other = Hierarchy("World")
+        other.add("Asia", "World")
+        other.add("Japan", "Asia")
+        merged = geo.merge(other)
+        assert merged.is_ancestor("World", "Japan")
+        assert merged.is_ancestor("World", "Athens")
+
+    def test_merge_overlapping_consistent(self, geo):
+        other = Hierarchy("World")
+        other.add("Europe", "World")
+        other.add("Spain", "Europe")
+        merged = geo.merge(other)
+        assert merged.level("Spain") == 2
+
+    def test_merge_conflicting_parent_rejected(self, geo):
+        other = Hierarchy("World")
+        other.add("Europe", "World")
+        other.add("Greece", "World")  # conflicts: Greece under Europe in geo
+        with pytest.raises(HierarchyError):
+            geo.merge(other)
+
+    def test_merge_different_roots_rejected(self, geo):
+        with pytest.raises(HierarchyError):
+            geo.merge(Hierarchy("Universe"))
+
+    def test_iteration_and_contains(self, geo):
+        assert "Athens" in geo
+        assert "Mars" not in geo
+        assert set(geo) == {"World", "Europe", "Greece", "Italy", "Athens", "Rome"}

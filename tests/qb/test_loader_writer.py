@@ -1,0 +1,204 @@
+"""Round-trip and edge-case tests for the QB loader and writer."""
+
+import pytest
+
+from repro.errors import CubeModelError
+from repro.qb import (
+    CubeSpace,
+    Dataset,
+    DatasetSchema,
+    Hierarchy,
+    Observation,
+    cubespace_to_graph,
+    load_cubespace,
+    relationships_to_graph,
+)
+from repro.qb.loader import load_hierarchy
+from repro.core.results import RelationshipSet
+from repro.rdf import CCREL, EX, Graph, QB, RDF, SKOS, parse_turtle
+from repro.rdf.terms import Literal, URIRef
+
+
+@pytest.fixture
+def space() -> CubeSpace:
+    geo = Hierarchy(EX.World)
+    geo.add(EX.Greece, EX.World)
+    geo.add(EX.Athens, EX.Greece)
+    time = Hierarchy(EX.AllTime)
+    time.add(EX.Y2001, EX.AllTime)
+    space = CubeSpace()
+    space.add_hierarchy(EX.refArea, geo)
+    space.add_hierarchy(EX.refPeriod, time)
+    schema = DatasetSchema(dimensions=(EX.refArea, EX.refPeriod), measures=(EX.population,))
+    ds = Dataset(EX.d1, schema, label="demo")
+    ds.add(Observation(EX.o1, EX.d1, {EX.refArea: EX.Athens, EX.refPeriod: EX.Y2001}, {EX.population: 5}))
+    ds.add(Observation(EX.o2, EX.d1, {EX.refArea: EX.Greece}, {EX.population: 11}))
+    space.add_dataset(ds)
+    return space
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, space):
+        graph = cubespace_to_graph(space)
+        loaded = load_cubespace(graph)
+        assert loaded.observation_count() == 2
+        assert set(loaded.dimensions) == {EX.refArea, EX.refPeriod}
+        assert loaded.hierarchies[EX.refArea].is_ancestor(EX.World, EX.Athens)
+        obs = {o.uri: o for o in loaded.observations()}
+        assert obs[EX.o1].measures[EX.population] == 5
+        assert obs[EX.o2].value(EX.refPeriod) is None
+
+    def test_label_round_trip(self, space):
+        loaded = load_cubespace(cubespace_to_graph(space))
+        assert loaded.datasets[EX.d1].label == "demo"
+
+    def test_writer_emits_qb_shapes(self, space):
+        graph = cubespace_to_graph(space)
+        assert (EX.d1, RDF.type, QB.DataSet) in graph
+        assert (EX.o1, RDF.type, QB.Observation) in graph
+        assert (EX.o1, QB.dataSet, EX.d1) in graph
+        assert (EX.Athens, SKOS.broader, EX.Greece) in graph
+
+
+class TestLoaderEdgeCases:
+    def test_dataset_without_structure_rejected(self):
+        graph = parse_turtle(
+            "@prefix qb: <http://purl.org/linked-data/cube#> . "
+            "@prefix ex: <http://example.org/> . ex:d a qb:DataSet ."
+        )
+        with pytest.raises(CubeModelError):
+            load_cubespace(graph)
+
+    def test_observation_without_dataset_rejected(self, space):
+        graph = cubespace_to_graph(space)
+        graph.add((EX.orphan, RDF.type, QB.Observation))
+        with pytest.raises(CubeModelError):
+            load_cubespace(graph)
+
+    def test_unknown_code_attached_under_root(self, space):
+        graph = cubespace_to_graph(space)
+        graph.add((EX.o3, RDF.type, QB.Observation))
+        graph.add((EX.o3, QB.dataSet, EX.d1))
+        graph.add((EX.o3, EX.refArea, EX.Mars))
+        graph.add((EX.o3, EX.population, Literal(0)))
+        loaded = load_cubespace(graph)
+        hierarchy = loaded.hierarchies[EX.refArea]
+        assert hierarchy.parent(EX.Mars) == EX.World
+
+    def test_dimension_without_codelist_gets_flat_hierarchy(self):
+        graph = parse_turtle(
+            """
+            @prefix qb: <http://purl.org/linked-data/cube#> .
+            @prefix ex: <http://example.org/> .
+            ex:d a qb:DataSet ; qb:structure ex:dsd .
+            ex:dsd a qb:DataStructureDefinition ;
+                qb:component [ qb:dimension ex:flat ] , [ qb:measure ex:m ] .
+            ex:o a qb:Observation ; qb:dataSet ex:d ; ex:flat ex:v1 ; ex:m 3 .
+            """
+        )
+        loaded = load_cubespace(graph)
+        hierarchy = loaded.hierarchies[EX.flat]
+        assert EX.v1 in hierarchy
+        assert hierarchy.level(EX.v1) == 1
+
+    def test_non_uri_dimension_value_rejected(self, space):
+        graph = cubespace_to_graph(space)
+        graph.add((EX.o9, RDF.type, QB.Observation))
+        graph.add((EX.o9, QB.dataSet, EX.d1))
+        graph.add((EX.o9, EX.refArea, Literal("Athens")))
+        graph.add((EX.o9, EX.population, Literal(1)))
+        with pytest.raises(CubeModelError):
+            load_cubespace(graph)
+
+    def test_narrower_only_hierarchy(self):
+        """Some publishers ship skos:narrower instead of skos:broader."""
+        graph = parse_turtle(
+            """
+            @prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+            @prefix ex: <http://example.org/> .
+            ex:scheme skos:hasTopConcept ex:World .
+            ex:World skos:inScheme ex:scheme ; skos:narrower ex:Greece .
+            ex:Greece skos:inScheme ex:scheme ; skos:narrower ex:Athens .
+            ex:Athens skos:inScheme ex:scheme .
+            """
+        )
+        hierarchy = load_hierarchy(graph, EX.scheme)
+        assert hierarchy.is_ancestor(EX.World, EX.Athens)
+        assert hierarchy.level(EX.Athens) == 2
+
+    def test_load_hierarchy_requires_top_concept(self):
+        graph = parse_turtle(
+            "@prefix skos: <http://www.w3.org/2004/02/skos/core#> . "
+            "@prefix ex: <http://example.org/> . ex:c skos:inScheme ex:scheme ."
+        )
+        with pytest.raises(CubeModelError):
+            load_hierarchy(graph, EX.scheme)
+
+    def test_unknown_predicates_ignored(self, space):
+        graph = cubespace_to_graph(space)
+        graph.add((EX.o1, EX.comment, Literal("noise")))
+        loaded = load_cubespace(graph)
+        obs = {o.uri: o for o in loaded.observations()}
+        assert EX.comment not in obs[EX.o1].measures
+
+
+class TestAttributes:
+    """Listing 1 of the paper attaches sdmx-attr:unitMeasure to an
+    observation; attributes must round-trip through RDF."""
+
+    def test_attribute_round_trip(self):
+        from repro.rdf.namespaces import SDMX_ATTR
+
+        geo = Hierarchy(EX.World)
+        geo.add(EX.DE, EX.World)
+        space = CubeSpace()
+        space.add_hierarchy(EX.geo, geo)
+        schema = DatasetSchema(
+            dimensions=(EX.geo,),
+            measures=(EX.population,),
+            attributes=(SDMX_ATTR.unitMeasure,),
+        )
+        ds = Dataset(EX.d1, schema)
+        ds.add(
+            Observation(
+                EX.obs1,
+                EX.d1,
+                {EX.geo: EX.DE},
+                {EX.population: 82_350_000},
+                {SDMX_ATTR.unitMeasure: EX.unit},
+            )
+        )
+        space.add_dataset(ds)
+        loaded = load_cubespace(cubespace_to_graph(space))
+        observation = next(loaded.observations())
+        assert observation.attributes[SDMX_ATTR.unitMeasure] == EX.unit
+        assert loaded.datasets[EX.d1].schema.attributes == (SDMX_ATTR.unitMeasure,)
+
+
+class TestRelationshipWriter:
+    def test_full_and_complement_links(self):
+        result = RelationshipSet(
+            full=[(EX.a, EX.b)],
+            complementary=[(EX.c, EX.d)],
+        )
+        graph = relationships_to_graph(result)
+        assert (EX.a, CCREL.fullyContains, EX.b) in graph
+        assert (EX.c, CCREL.complements, EX.d) in graph
+        assert (EX.d, CCREL.complements, EX.c) in graph
+
+    def test_partial_with_reification(self):
+        result = RelationshipSet()
+        result.add_partial(EX.a, EX.b, frozenset({EX.refArea}), 0.5)
+        graph = relationships_to_graph(result)
+        assert (EX.a, CCREL.partiallyContains, EX.b) in graph
+        nodes = list(graph.subjects(RDF.type, CCREL.PartialContainment))
+        assert len(nodes) == 1
+        node = nodes[0]
+        assert (node, CCREL.onDimension, EX.refArea) in graph
+        assert graph.value(node, CCREL.degree, None).to_python() == 0.5
+
+    def test_partial_without_dimension_annotations(self):
+        result = RelationshipSet()
+        result.add_partial(EX.a, EX.b, frozenset({EX.refArea}), 0.5)
+        graph = relationships_to_graph(result, annotate_partial_dimensions=False)
+        assert not list(graph.triples(None, CCREL.onDimension, None))

@@ -1,0 +1,136 @@
+"""Unit tests for the QB object model."""
+
+import pytest
+
+from repro.errors import CubeModelError
+from repro.qb import CubeSpace, Dataset, DatasetSchema, Hierarchy, Observation
+from repro.rdf import EX
+
+
+@pytest.fixture
+def geo() -> Hierarchy:
+    h = Hierarchy(EX.World)
+    h.add(EX.Greece, EX.World)
+    h.add(EX.Athens, EX.Greece)
+    return h
+
+
+@pytest.fixture
+def schema() -> DatasetSchema:
+    return DatasetSchema(dimensions=(EX.refArea,), measures=(EX.population,))
+
+
+class TestObservation:
+    def test_basic(self):
+        obs = Observation(EX.o1, EX.d1, {EX.refArea: EX.Athens}, {EX.population: 5})
+        assert obs.value(EX.refArea) == EX.Athens
+        assert obs.value(EX.refPeriod) is None
+        assert obs.measure_set == frozenset({EX.population})
+
+    def test_requires_measures(self):
+        with pytest.raises(CubeModelError):
+            Observation(EX.o1, EX.d1, {EX.refArea: EX.Athens}, {})
+
+    def test_mappings_copied(self):
+        dims = {EX.refArea: EX.Athens}
+        obs = Observation(EX.o1, EX.d1, dims, {EX.population: 5})
+        dims[EX.refArea] = EX.Greece
+        assert obs.value(EX.refArea) == EX.Athens
+
+
+class TestDatasetSchema:
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(CubeModelError):
+            DatasetSchema(dimensions=(EX.a, EX.a), measures=(EX.m,))
+
+    def test_measures_required(self):
+        with pytest.raises(CubeModelError):
+            DatasetSchema(dimensions=(EX.a,), measures=())
+
+
+class TestDataset:
+    def test_add_and_iterate(self, schema):
+        ds = Dataset(EX.d1, schema)
+        ds.add(Observation(EX.o1, EX.d1, {EX.refArea: EX.Athens}, {EX.population: 5}))
+        assert len(ds) == 1
+        assert next(iter(ds)).uri == EX.o1
+
+    def test_rejects_out_of_schema_dimension(self, schema):
+        ds = Dataset(EX.d1, schema)
+        with pytest.raises(CubeModelError):
+            ds.add(Observation(EX.o1, EX.d1, {EX.sex: EX.Total}, {EX.population: 5}))
+
+    def test_rejects_out_of_schema_measure(self, schema):
+        ds = Dataset(EX.d1, schema)
+        with pytest.raises(CubeModelError):
+            ds.add(Observation(EX.o1, EX.d1, {}, {EX.gdp: 5}))
+
+
+class TestCubeSpace:
+    def test_requires_hierarchy_for_dimensions(self, schema):
+        space = CubeSpace()
+        with pytest.raises(CubeModelError):
+            space.add_dataset(Dataset(EX.d1, schema))
+
+    def test_add_dataset(self, geo, schema):
+        space = CubeSpace()
+        space.add_hierarchy(EX.refArea, geo)
+        space.add_dataset(Dataset(EX.d1, schema))
+        assert space.dimensions == (EX.refArea,)
+        assert space.measures == (EX.population,)
+
+    def test_duplicate_dataset_rejected(self, geo, schema):
+        space = CubeSpace()
+        space.add_hierarchy(EX.refArea, geo)
+        space.add_dataset(Dataset(EX.d1, schema))
+        with pytest.raises(CubeModelError):
+            space.add_dataset(Dataset(EX.d1, schema))
+
+    def test_add_hierarchy_merges(self, geo):
+        space = CubeSpace()
+        space.add_hierarchy(EX.refArea, geo)
+        extra = Hierarchy(EX.World)
+        extra.add(EX.Asia, EX.World)
+        space.add_hierarchy(EX.refArea, extra)
+        assert EX.Asia in space.hierarchies[EX.refArea]
+        assert EX.Athens in space.hierarchies[EX.refArea]
+
+    def test_validate_catches_unknown_code(self, geo, schema):
+        space = CubeSpace()
+        space.add_hierarchy(EX.refArea, geo)
+        ds = Dataset(EX.d1, schema)
+        ds.add(Observation(EX.o1, EX.d1, {EX.refArea: EX.Mars}, {EX.population: 1}))
+        space.add_dataset(ds)
+        with pytest.raises(CubeModelError):
+            space.validate()
+
+    def test_observation_count_and_iteration(self, geo, schema):
+        space = CubeSpace()
+        space.add_hierarchy(EX.refArea, geo)
+        ds = Dataset(EX.d1, schema)
+        ds.add(Observation(EX.o1, EX.d1, {EX.refArea: EX.Athens}, {EX.population: 1}))
+        ds.add(Observation(EX.o2, EX.d1, {EX.refArea: EX.Greece}, {EX.population: 2}))
+        space.add_dataset(ds)
+        assert space.observation_count() == 2
+        assert len(list(space.observations())) == 2
+
+    def test_subspace(self, geo, schema):
+        space = CubeSpace()
+        space.add_hierarchy(EX.refArea, geo)
+        ds = Dataset(EX.d1, schema)
+        for i in range(5):
+            ds.add(Observation(EX[f"o{i}"], EX.d1, {EX.refArea: EX.Athens}, {EX.population: i + 1}))
+        space.add_dataset(ds)
+        sub = space.subspace(3)
+        assert sub.observation_count() == 3
+        assert space.observation_count() == 5
+
+    def test_merge_all(self, geo, schema):
+        s1 = CubeSpace()
+        s1.add_hierarchy(EX.refArea, geo)
+        s1.add_dataset(Dataset(EX.d1, schema))
+        s2 = CubeSpace()
+        s2.add_hierarchy(EX.refArea, geo)
+        s2.add_dataset(Dataset(EX.d2, schema))
+        merged = CubeSpace.merge_all([s1, s2])
+        assert set(merged.datasets) == {EX.d1, EX.d2}

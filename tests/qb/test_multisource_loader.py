@@ -1,0 +1,69 @@
+"""Unit tests for loading multi-source RDF datasets."""
+
+import pytest
+
+from repro.qb import cubespace_to_graph
+from repro.qb.loader import load_cubespace_dataset
+from repro.rdf import EX, RDFDataset, parse_trig
+from repro.data.example import build_example_cubespace
+
+TRIG = """
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+@prefix ex: <http://example.org/> .
+
+ex:scheme a skos:ConceptScheme ; skos:hasTopConcept ex:ALL .
+ex:ALL a skos:Concept ; skos:inScheme ex:scheme .
+ex:x a skos:Concept ; skos:inScheme ex:scheme ; skos:broader ex:ALL .
+
+GRAPH ex:sourceA {
+    ex:dsA a qb:DataSet ; qb:structure ex:dsdA .
+    ex:dsdA qb:component [ qb:dimension ex:dim ; qb:codeList ex:scheme ] ,
+                         [ qb:measure ex:m1 ] .
+    ex:oA a qb:Observation ; qb:dataSet ex:dsA ; ex:dim ex:x ; ex:m1 1 .
+}
+
+GRAPH ex:sourceB {
+    ex:dsB a qb:DataSet ; qb:structure ex:dsdB .
+    ex:dsdB qb:component [ qb:dimension ex:dim ; qb:codeList ex:scheme ] ,
+                         [ qb:measure ex:m2 ] .
+    ex:oB a qb:Observation ; qb:dataSet ex:dsB ; ex:dim ex:x ; ex:m2 2 .
+}
+"""
+
+
+class TestLoadCubespaceDataset:
+    def test_merges_sources(self):
+        cube = load_cubespace_dataset(parse_trig(TRIG))
+        assert set(cube.datasets) == {EX.dsA, EX.dsB}
+        assert cube.observation_count() == 2
+        assert cube.hierarchies[EX.dim].is_ancestor(EX.ALL, EX.x)
+
+    def test_shared_codelist_from_default_graph(self):
+        cube = load_cubespace_dataset(parse_trig(TRIG))
+        # Both datasets resolved the scheme that lives in the default graph.
+        for dataset in cube.datasets.values():
+            assert dataset.schema.dimensions == (EX.dim,)
+
+    def test_relationships_across_sources(self):
+        from repro.core import Method, compute_relationships
+
+        cube = load_cubespace_dataset(parse_trig(TRIG))
+        result = compute_relationships(cube, Method.BASELINE)
+        assert result.is_complementary(EX.oA, EX.oB)
+
+    def test_single_graph_dataset(self):
+        ds = RDFDataset()
+        cubespace_to_graph(build_example_cubespace(), ds.graph(EX.onlySource))
+        cube = load_cubespace_dataset(ds)
+        assert cube.observation_count() == 10
+
+    def test_default_graph_only(self):
+        ds = RDFDataset()
+        cubespace_to_graph(build_example_cubespace(), ds.default)
+        cube = load_cubespace_dataset(ds)
+        assert cube.observation_count() == 10
+
+    def test_empty_dataset(self):
+        cube = load_cubespace_dataset(RDFDataset())
+        assert cube.observation_count() == 0

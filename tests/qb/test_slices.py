@@ -1,0 +1,88 @@
+"""Unit tests for qb:Slice support."""
+
+import pytest
+
+from repro.errors import CubeModelError
+from repro.qb import CubeSpace, Dataset, DatasetSchema, Hierarchy, Observation, cubespace_to_graph, load_cubespace
+from repro.qb.model import Slice
+from repro.rdf import EX, QB, RDF
+
+
+@pytest.fixture
+def dataset_with_observations():
+    geo = Hierarchy(EX.World)
+    geo.add(EX.Greece, EX.World)
+    geo.add(EX.Italy, EX.World)
+    time = Hierarchy(EX.AllTime)
+    time.add(EX.Y2001, EX.AllTime)
+    time.add(EX.Y2002, EX.AllTime)
+    space = CubeSpace()
+    space.add_hierarchy(EX.refArea, geo)
+    space.add_hierarchy(EX.refPeriod, time)
+    schema = DatasetSchema(dimensions=(EX.refArea, EX.refPeriod), measures=(EX.population,))
+    ds = Dataset(EX.d1, schema)
+    ds.add(Observation(EX.o1, EX.d1, {EX.refArea: EX.Greece, EX.refPeriod: EX.Y2001}, {EX.population: 1}))
+    ds.add(Observation(EX.o2, EX.d1, {EX.refArea: EX.Greece, EX.refPeriod: EX.Y2002}, {EX.population: 2}))
+    ds.add(Observation(EX.o3, EX.d1, {EX.refArea: EX.Italy, EX.refPeriod: EX.Y2001}, {EX.population: 3}))
+    space.add_dataset(ds)
+    return space, ds
+
+
+class TestSliceModel:
+    def test_add_valid_slice(self, dataset_with_observations):
+        _, ds = dataset_with_observations
+        ds.add_slice(Slice(EX.greeceSlice, {EX.refArea: EX.Greece}, (EX.o1, EX.o2)))
+        assert len(ds.slices) == 1
+        members = ds.slice_members(EX.greeceSlice)
+        assert [m.uri for m in members] == [EX.o1, EX.o2]
+
+    def test_member_disagreeing_with_key_rejected(self, dataset_with_observations):
+        _, ds = dataset_with_observations
+        with pytest.raises(CubeModelError):
+            ds.add_slice(Slice(EX.bad, {EX.refArea: EX.Greece}, (EX.o3,)))
+
+    def test_unknown_member_rejected(self, dataset_with_observations):
+        _, ds = dataset_with_observations
+        with pytest.raises(CubeModelError):
+            ds.add_slice(Slice(EX.bad, {EX.refArea: EX.Greece}, (EX.ghost,)))
+
+    def test_fixed_dimension_outside_schema_rejected(self, dataset_with_observations):
+        _, ds = dataset_with_observations
+        with pytest.raises(CubeModelError):
+            ds.add_slice(Slice(EX.bad, {EX.sex: EX.Total}, ()))
+
+    def test_unknown_slice_lookup(self, dataset_with_observations):
+        _, ds = dataset_with_observations
+        with pytest.raises(CubeModelError):
+            ds.slice_members(EX.nothere)
+
+
+class TestSliceRdf:
+    def test_writer_emits_slice_shapes(self, dataset_with_observations):
+        space, ds = dataset_with_observations
+        ds.add_slice(Slice(EX.greeceSlice, {EX.refArea: EX.Greece}, (EX.o1, EX.o2), label="Greece"))
+        graph = cubespace_to_graph(space)
+        assert (EX.d1, QB.slice, EX.greeceSlice) in graph
+        assert (EX.greeceSlice, RDF.type, QB.Slice) in graph
+        assert (EX.greeceSlice, EX.refArea, EX.Greece) in graph
+        assert (EX.greeceSlice, QB.observation, EX.o1) in graph
+        keys = list(graph.objects(EX.greeceSlice, QB.sliceStructure))
+        assert len(keys) == 1
+        assert (keys[0], QB.componentProperty, EX.refArea) in graph
+
+    def test_round_trip(self, dataset_with_observations):
+        space, ds = dataset_with_observations
+        ds.add_slice(Slice(EX.greeceSlice, {EX.refArea: EX.Greece}, (EX.o1, EX.o2), label="Greece"))
+        reloaded = load_cubespace(cubespace_to_graph(space))
+        loaded_ds = reloaded.datasets[EX.d1]
+        assert len(loaded_ds.slices) == 1
+        loaded_slice = loaded_ds.slices[0]
+        assert loaded_slice.uri == EX.greeceSlice
+        assert dict(loaded_slice.fixed) == {EX.refArea: EX.Greece}
+        assert loaded_slice.observations == (EX.o1, EX.o2)
+        assert loaded_slice.label == "Greece"
+
+    def test_dataset_without_slices_round_trips(self, dataset_with_observations):
+        space, _ = dataset_with_observations
+        reloaded = load_cubespace(cubespace_to_graph(space))
+        assert reloaded.datasets[EX.d1].slices == []

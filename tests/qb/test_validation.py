@@ -1,0 +1,152 @@
+"""Unit tests for the QB integrity-constraint validator."""
+
+import pytest
+
+from repro.data.example import build_example_cubespace
+from repro.qb import cubespace_to_graph
+from repro.qb.validation import is_well_formed, validate_graph
+from repro.rdf import EX, Graph, Literal, QB, RDF, parse_turtle
+
+
+@pytest.fixture
+def valid_graph() -> Graph:
+    return cubespace_to_graph(build_example_cubespace())
+
+
+def constraints(violations):
+    return {v.constraint for v in violations}
+
+
+class TestValidGraphs:
+    def test_example_is_well_formed(self, valid_graph):
+        assert validate_graph(valid_graph) == []
+        assert is_well_formed(valid_graph)
+
+    def test_generated_corpus_is_well_formed(self):
+        from repro.data.realworld import build_realworld_cubespace
+
+        graph = cubespace_to_graph(build_realworld_cubespace(scale=0.001, seed=2))
+        assert is_well_formed(graph)
+
+    def test_empty_graph_is_well_formed(self):
+        assert is_well_formed(Graph())
+
+
+class TestIC1DatasetLink:
+    def test_observation_without_dataset(self, valid_graph):
+        valid_graph.add((EX.orphan, RDF.type, QB.Observation))
+        assert "IC-1" in constraints(validate_graph(valid_graph))
+
+    def test_observation_with_two_datasets(self, valid_graph):
+        obs = next(iter(valid_graph.subjects(RDF.type, QB.Observation)))
+        valid_graph.add((obs, QB.dataSet, EX.anotherDataset))
+        assert "IC-1" in constraints(validate_graph(valid_graph))
+
+    def test_untyped_resource_with_dataset_link(self, valid_graph):
+        valid_graph.add((EX.sneaky, QB.dataSet, EX.whatever))
+        assert "IC-1" in constraints(validate_graph(valid_graph))
+
+    def test_dataset_link_to_undeclared_dataset(self, valid_graph):
+        valid_graph.add((EX.lost, RDF.type, QB.Observation))
+        valid_graph.add((EX.lost, QB.dataSet, EX.ghostDataset))
+        assert "IC-1" in constraints(validate_graph(valid_graph))
+
+
+class TestIC2IC3Structure:
+    def test_dataset_without_structure(self):
+        graph = parse_turtle(
+            "@prefix qb: <http://purl.org/linked-data/cube#> . "
+            "@prefix ex: <http://example.org/> . ex:d a qb:DataSet ."
+        )
+        assert "IC-2" in constraints(validate_graph(graph))
+
+    def test_dataset_with_two_structures(self, valid_graph):
+        dataset = next(iter(valid_graph.subjects(RDF.type, QB.DataSet)))
+        valid_graph.add((dataset, QB.structure, EX.secondDsd))
+        assert "IC-2" in constraints(validate_graph(valid_graph))
+
+    def test_dsd_without_measures(self):
+        graph = parse_turtle(
+            """
+            @prefix qb: <http://purl.org/linked-data/cube#> .
+            @prefix ex: <http://example.org/> .
+            ex:d a qb:DataSet ; qb:structure ex:dsd .
+            ex:dsd qb:component [ qb:dimension ex:geo ] .
+            """
+        )
+        assert "IC-3" in constraints(validate_graph(graph))
+
+
+class TestIC11IC14Completeness:
+    def test_missing_dimension_value(self, valid_graph):
+        obs = sorted(valid_graph.subjects(RDF.type, QB.Observation), key=str)[0]
+        dimension = None
+        for _, p, _ in valid_graph.triples(obs, None, None):
+            if p.local_name() == "refArea":
+                dimension = p
+                break
+        assert dimension is not None
+        value = valid_graph.value(obs, dimension, None)
+        valid_graph.discard((obs, dimension, value))
+        assert "IC-11" in constraints(validate_graph(valid_graph))
+
+    def test_missing_measure_value(self, valid_graph):
+        obs = sorted(valid_graph.subjects(RDF.type, QB.Observation), key=str)[0]
+        measure = None
+        for _, p, o in valid_graph.triples(obs, None, None):
+            if isinstance(o, Literal):
+                measure = p
+        assert measure is not None
+        value = valid_graph.value(obs, measure, None)
+        valid_graph.discard((obs, measure, value))
+        assert "IC-14" in constraints(validate_graph(valid_graph))
+
+
+class TestIC12Duplicates:
+    def test_duplicate_observation_detected(self, valid_graph):
+        obs = sorted(valid_graph.subjects(RDF.type, QB.Observation), key=str)[0]
+        clone = EX.duplicateObs
+        for _, p, o in valid_graph.triples(obs, None, None):
+            valid_graph.add((clone, p, o))
+        violations = validate_graph(valid_graph)
+        assert "IC-12" in constraints(violations)
+
+    def test_distinct_observations_pass(self, valid_graph):
+        assert "IC-12" not in constraints(validate_graph(valid_graph))
+
+
+class TestIC19CodeLists:
+    def test_code_outside_list(self, valid_graph):
+        obs = sorted(valid_graph.subjects(RDF.type, QB.Observation), key=str)[0]
+        dimension = None
+        for _, p, o in valid_graph.triples(obs, None, None):
+            if p.local_name() == "refArea":
+                dimension = p
+                old = o
+        valid_graph.discard((obs, dimension, old))
+        valid_graph.add((obs, dimension, EX.Atlantis))
+        assert "IC-19" in constraints(validate_graph(valid_graph))
+
+    def test_literal_dimension_value(self, valid_graph):
+        obs = sorted(valid_graph.subjects(RDF.type, QB.Observation), key=str)[0]
+        dimension = None
+        for _, p, o in valid_graph.triples(obs, None, None):
+            if p.local_name() == "refPeriod":
+                dimension = p
+                old = o
+        valid_graph.discard((obs, dimension, old))
+        valid_graph.add((obs, dimension, Literal("2001")))
+        assert "IC-19" in constraints(validate_graph(valid_graph))
+
+
+class TestReporting:
+    def test_violation_str_includes_constraint(self, valid_graph):
+        valid_graph.add((EX.orphan, RDF.type, QB.Observation))
+        violation = validate_graph(valid_graph)[0]
+        assert "IC-1" in str(violation)
+
+    def test_all_violations_reported_at_once(self, valid_graph):
+        valid_graph.add((EX.orphan1, RDF.type, QB.Observation))
+        valid_graph.add((EX.orphan2, RDF.type, QB.Observation))
+        violations = validate_graph(valid_graph)
+        assert len([v for v in violations if v.constraint == "IC-1"]) == 2

@@ -1,0 +1,149 @@
+"""Unit tests for RDF datasets (named graphs), N-Quads and TriG."""
+
+import pytest
+
+from repro.errors import ParseError, RDFError
+from repro.rdf import (
+    EX,
+    Graph,
+    Literal,
+    RDFDataset,
+    parse_nquads,
+    parse_trig,
+    serialize_nquads,
+    serialize_trig,
+)
+from repro.rdf.terms import BNode, URIRef
+
+
+@pytest.fixture
+def dataset() -> RDFDataset:
+    ds = RDFDataset()
+    ds.add((EX.meta, EX.about, EX.corpus, None))
+    ds.add((EX.a, EX.p, EX.b, EX.g1))
+    ds.add((EX.a, EX.q, Literal(5), EX.g1))
+    ds.add((EX.c, EX.p, EX.d, EX.g2))
+    return ds
+
+
+class TestRDFDataset:
+    def test_default_and_named_graphs(self, dataset):
+        assert len(dataset.default) == 1
+        assert len(dataset.graph(EX.g1)) == 2
+        assert dataset.names() == [EX.g1, EX.g2]
+        assert len(dataset) == 4
+
+    def test_contains(self, dataset):
+        assert (EX.a, EX.p, EX.b, EX.g1) in dataset
+        assert (EX.a, EX.p, EX.b, EX.g2) not in dataset
+        assert (EX.meta, EX.about, EX.corpus, None) in dataset
+        assert (EX.a, EX.p, EX.b, EX.ghost) not in dataset
+
+    def test_quads_wildcard_graph(self, dataset):
+        all_p = list(dataset.quads(None, EX.p, None))
+        assert len(all_p) == 2
+        only_g1 = list(dataset.quads(None, None, None, name=EX.g1))
+        assert len(only_g1) == 2
+        only_default = list(dataset.quads(None, None, None, name=None))
+        assert len(only_default) == 1
+
+    def test_union_graph(self, dataset):
+        union = dataset.union_graph()
+        assert len(union) == 4
+        assert (EX.a, EX.p, EX.b) in union
+        # union is a copy
+        union.add((EX.new, EX.p, EX.o))
+        assert len(dataset) == 4
+
+    def test_discard(self, dataset):
+        assert dataset.discard((EX.a, EX.p, EX.b, EX.g1)) is True
+        assert dataset.discard((EX.a, EX.p, EX.b, EX.g1)) is False
+        assert dataset.discard((EX.zz, EX.p, EX.b, EX.ghost)) is False
+
+    def test_graph_create_flag(self, dataset):
+        with pytest.raises(RDFError):
+            dataset.graph(EX.nothere, create=False)
+        fresh = dataset.graph(EX.nothere)  # create=True default
+        assert isinstance(fresh, Graph)
+
+    def test_graph_name_must_be_uri(self, dataset):
+        with pytest.raises(RDFError):
+            dataset.graph(BNode())  # type: ignore[arg-type]
+
+    def test_equality_ignores_empty_graphs(self, dataset):
+        other = RDFDataset()
+        other.update(dataset.quads())
+        other.graph(EX.empty)  # materialise an empty graph
+        assert dataset == other
+
+
+class TestNQuads:
+    def test_round_trip(self, dataset):
+        text = serialize_nquads(dataset)
+        assert parse_nquads(text) == dataset
+
+    def test_default_graph_lines_have_no_graph_term(self, dataset):
+        text = serialize_nquads(dataset)
+        line = next(l for l in text.splitlines() if "meta" in l)
+        assert line.count("<") == 3
+
+    def test_parse_mixed(self):
+        ds = parse_nquads(
+            '<http://e/s> <http://e/p> "v" <http://e/g> .\n'
+            "<http://e/s> <http://e/p> <http://e/o> .\n"
+        )
+        assert len(ds.default) == 1
+        assert len(ds.graph(URIRef("http://e/g"))) == 1
+
+    def test_bad_line(self):
+        with pytest.raises(ParseError):
+            parse_nquads("<http://e/s> <http://e/p> .")
+
+
+class TestTriG:
+    def test_parse_both_block_styles(self):
+        ds = parse_trig(
+            """
+            @prefix ex: <http://example.org/> .
+            GRAPH ex:g1 { ex:a ex:p ex:b . }
+            ex:g2 { ex:c ex:p ex:d . }
+            """
+        )
+        assert ds.names() == [EX.g1, EX.g2]
+
+    def test_default_graph_triples(self):
+        ds = parse_trig(
+            "@prefix ex: <http://example.org/> . ex:a ex:p ex:b ."
+        )
+        assert len(ds.default) == 1
+
+    def test_final_dot_optional_before_brace(self):
+        ds = parse_trig(
+            "@prefix ex: <http://example.org/> . GRAPH ex:g { ex:a ex:p ex:b }"
+        )
+        assert len(ds.graph(EX.g)) == 1
+
+    def test_turtle_features_inside_blocks(self):
+        ds = parse_trig(
+            """
+            @prefix ex: <http://example.org/> .
+            GRAPH ex:g { ex:a ex:p ex:b ; ex:q 1, 2 . }
+            """
+        )
+        assert len(ds.graph(EX.g)) == 3
+
+    def test_round_trip(self, dataset):
+        assert parse_trig(serialize_trig(dataset)) == dataset
+
+    def test_round_trip_without_default_graph(self):
+        ds = RDFDataset()
+        ds.add((EX.a, EX.p, EX.b, EX.g1))
+        assert parse_trig(serialize_trig(ds)) == ds
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_trig("@prefix ex: <http://example.org/> . GRAPH ex:g { ex:a ex:p ex:b .")
+
+    def test_literal_graph_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_trig('@prefix ex: <http://example.org/> . GRAPH "g" { ex:a ex:p ex:b . }')

@@ -1,0 +1,165 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.rdf import EX, Graph, Literal, RDF, URIRef
+from repro.rdf.terms import BNode
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    g = Graph()
+    g.add((EX.a, EX.p, EX.b))
+    g.add((EX.a, EX.p, EX.c))
+    g.add((EX.a, EX.q, Literal(1)))
+    g.add((EX.b, EX.p, EX.c))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add((EX.a, EX.p, EX.b)) is True
+        assert g.add((EX.a, EX.p, EX.b)) is False
+        assert len(g) == 1
+
+    def test_update_counts_new(self, small_graph):
+        added = small_graph.update([(EX.a, EX.p, EX.b), (EX.x, EX.p, EX.y)])
+        assert added == 1
+        assert len(small_graph) == 5
+
+    def test_discard(self, small_graph):
+        assert small_graph.discard((EX.a, EX.p, EX.b)) is True
+        assert small_graph.discard((EX.a, EX.p, EX.b)) is False
+        assert (EX.a, EX.p, EX.b) not in small_graph
+        assert len(small_graph) == 3
+
+    def test_discard_cleans_indexes(self):
+        g = Graph([(EX.a, EX.p, EX.b)])
+        g.discard((EX.a, EX.p, EX.b))
+        assert list(g.triples(EX.a, None, None)) == []
+        assert list(g.triples(None, EX.p, None)) == []
+        assert list(g.triples(None, None, EX.b)) == []
+
+    def test_clear(self, small_graph):
+        small_graph.clear()
+        assert len(small_graph) == 0
+        assert not small_graph
+
+    def test_invalid_subject_rejected(self):
+        with pytest.raises(RDFError):
+            Graph().add((Literal("x"), EX.p, EX.b))  # type: ignore[arg-type]
+
+    def test_invalid_predicate_rejected(self):
+        with pytest.raises(RDFError):
+            Graph().add((EX.a, BNode(), EX.b))  # type: ignore[arg-type]
+
+
+class TestPatterns:
+    @pytest.mark.parametrize(
+        "pattern,expected_count",
+        [
+            ((None, None, None), 4),
+            (("s", None, None), 3),
+            (("s", "p", None), 2),
+            (("s", "p", "o"), 1),
+            ((None, "p", None), 3),
+            ((None, "p", "o"), 1),
+            ((None, None, "o"), 1),
+            (("s", None, "o"), 1),
+        ],
+    )
+    def test_all_pattern_shapes(self, small_graph, pattern, expected_count):
+        s = EX.a if pattern[0] else None
+        p = EX.p if pattern[1] else None
+        o = EX.b if pattern[2] else None
+        assert len(list(small_graph.triples(s, p, o))) == expected_count
+
+    def test_no_match(self, small_graph):
+        assert list(small_graph.triples(EX.zzz, None, None)) == []
+        assert list(small_graph.triples(None, EX.zzz, None)) == []
+
+    def test_subjects_deduplicated(self, small_graph):
+        assert sorted(small_graph.subjects(EX.p, None)) == [EX.a, EX.b]
+
+    def test_objects(self, small_graph):
+        assert sorted(small_graph.objects(EX.a, EX.p)) == [EX.b, EX.c]
+
+    def test_predicates(self, small_graph):
+        assert sorted(small_graph.predicates(EX.a, None)) == [EX.p, EX.q]
+
+    def test_value(self, small_graph):
+        assert small_graph.value(EX.a, EX.q, None) == Literal(1)
+        assert small_graph.value(None, EX.q, Literal(1)) == EX.a
+        assert small_graph.value(EX.zzz, EX.q, None) is None
+
+    def test_value_requires_one_wildcard(self, small_graph):
+        with pytest.raises(RDFError):
+            small_graph.value(EX.a, None, None)
+
+
+class TestSetOps:
+    def test_union(self, small_graph):
+        other = Graph([(EX.x, EX.p, EX.y)])
+        merged = small_graph | other
+        assert len(merged) == 5
+        assert len(small_graph) == 4  # unchanged
+
+    def test_difference(self, small_graph):
+        other = Graph([(EX.a, EX.p, EX.b)])
+        assert len(small_graph - other) == 3
+
+    def test_intersection(self, small_graph):
+        other = Graph([(EX.a, EX.p, EX.b), (EX.zz, EX.p, EX.b)])
+        assert len(small_graph & other) == 1
+
+    def test_equality_order_independent(self):
+        g1 = Graph([(EX.a, EX.p, EX.b), (EX.b, EX.p, EX.c)])
+        g2 = Graph([(EX.b, EX.p, EX.c), (EX.a, EX.p, EX.b)])
+        assert g1 == g2
+
+    def test_copy_is_independent(self, small_graph):
+        copy = small_graph.copy()
+        copy.add((EX.new, EX.p, EX.o))
+        assert len(copy) == len(small_graph) + 1
+
+
+class TestTraversal:
+    def test_transitive_objects(self):
+        g = Graph([(EX.a, EX.p, EX.b), (EX.b, EX.p, EX.c), (EX.x, EX.p, EX.y)])
+        reachable = set(g.transitive_objects(EX.a, EX.p))
+        assert reachable == {EX.a, EX.b, EX.c}
+
+    def test_transitive_subjects(self):
+        g = Graph([(EX.a, EX.p, EX.b), (EX.b, EX.p, EX.c)])
+        assert set(g.transitive_subjects(EX.c, EX.p)) == {EX.a, EX.b, EX.c}
+
+    def test_transitive_handles_cycles(self):
+        g = Graph([(EX.a, EX.p, EX.b), (EX.b, EX.p, EX.a)])
+        assert set(g.transitive_objects(EX.a, EX.p)) == {EX.a, EX.b}
+
+    def test_type_lookup(self, small_graph):
+        small_graph.add((EX.a, RDF.type, EX.Thing))
+        assert set(small_graph.subjects(RDF.type, EX.Thing)) == {EX.a}
+
+
+class TestParseSerializeConvenience:
+    def test_turtle_round_trip(self, small_graph):
+        text = small_graph.serialize()
+        assert Graph().parse(text) == small_graph
+
+    def test_ntriples_round_trip(self, small_graph):
+        text = small_graph.serialize(format="nt")
+        assert Graph().parse(text, format="nt") == small_graph
+
+    def test_parse_returns_self(self):
+        g = Graph()
+        assert g.parse("<http://e/a> <http://e/p> <http://e/b> .", format="nt") is g
+        assert len(g) == 1
+
+    def test_unknown_format_rejected(self, small_graph):
+        with pytest.raises(RDFError):
+            small_graph.serialize(format="rdfxml")
+        with pytest.raises(RDFError):
+            Graph().parse("", format="jsonld")

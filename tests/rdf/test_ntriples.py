@@ -1,0 +1,84 @@
+"""Unit tests for the N-Triples parser/serializer."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import EX, Graph, Literal, URIRef
+from repro.rdf.ntriples import iter_ntriples, parse_ntriples, serialize_ntriples
+from repro.rdf.terms import BNode
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        g = parse_ntriples('<http://e/a> <http://e/p> <http://e/b> .')
+        assert (URIRef("http://e/a"), URIRef("http://e/p"), URIRef("http://e/b")) in g
+
+    def test_literal_plain(self):
+        g = parse_ntriples('<http://e/a> <http://e/p> "hello" .')
+        assert next(iter(g))[2] == Literal("hello")
+
+    def test_literal_typed(self):
+        g = parse_ntriples(
+            '<http://e/a> <http://e/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert next(iter(g))[2].to_python() == 5
+
+    def test_literal_lang(self):
+        g = parse_ntriples('<http://e/a> <http://e/p> "bonjour"@fr .')
+        assert next(iter(g))[2].language == "fr"
+
+    def test_bnode_subject_and_object(self):
+        g = parse_ntriples("_:x <http://e/p> _:y .")
+        s, _, o = next(iter(g))
+        assert s == BNode("x") and o == BNode("y")
+
+    def test_escaped_literal(self):
+        g = parse_ntriples('<http://e/a> <http://e/p> "line1\\nline2\\t\\"q\\"" .')
+        assert next(iter(g))[2].lexical == 'line1\nline2\t"q"'
+
+    def test_comments_and_blanks_skipped(self):
+        text = "\n# a comment\n\n<http://e/a> <http://e/p> <http://e/b> .\n"
+        assert len(parse_ntriples(text)) == 1
+
+    def test_trailing_comment_allowed(self):
+        g = parse_ntriples('<http://e/a> <http://e/p> <http://e/b> . # note')
+        assert len(g) == 1
+
+    def test_invalid_line_raises_with_line_number(self):
+        with pytest.raises(ParseError) as info:
+            parse_ntriples("<http://e/a> <http://e/p> .")
+        assert info.value.line == 1
+
+    def test_iter_streams_from_iterable(self):
+        lines = ['<http://e/a> <http://e/p> <http://e/b> .'] * 3
+        assert len(list(iter_ntriples(iter(lines)))) == 3
+
+    def test_parse_into_existing_graph(self):
+        g = Graph([(EX.x, EX.p, EX.y)])
+        parse_ntriples('<http://e/a> <http://e/p> <http://e/b> .', graph=g)
+        assert len(g) == 2
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        g = Graph()
+        g.add((EX.a, EX.p, EX.b))
+        g.add((EX.a, EX.q, Literal("x\ny", language="en")))
+        g.add((BNode("n"), EX.p, Literal(3)))
+        assert parse_ntriples(serialize_ntriples(g)) == g
+
+    def test_sorted_deterministic(self):
+        g1 = Graph([(EX.b, EX.p, EX.c), (EX.a, EX.p, EX.b)])
+        g2 = Graph([(EX.a, EX.p, EX.b), (EX.b, EX.p, EX.c)])
+        assert serialize_ntriples(g1) == serialize_ntriples(g2)
+
+    def test_write_to_stream(self):
+        g = Graph([(EX.a, EX.p, EX.b)])
+        buffer = io.StringIO()
+        assert serialize_ntriples(g, out=buffer) is None
+        assert parse_ntriples(buffer.getvalue()) == g
+
+    def test_empty_graph(self):
+        assert serialize_ntriples(Graph()) == ""

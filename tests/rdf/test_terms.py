@@ -1,0 +1,169 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+from decimal import Decimal
+
+from repro.errors import TermError
+from repro.rdf.terms import (
+    BNode,
+    Literal,
+    Namespace,
+    URIRef,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    unescape_string,
+)
+
+
+class TestURIRef:
+    def test_behaves_like_string(self):
+        uri = URIRef("http://example.org/a")
+        assert uri == "http://example.org/a"
+        assert uri.startswith("http://")
+
+    def test_n3(self):
+        assert URIRef("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            URIRef("")
+
+    def test_forbidden_characters_rejected(self):
+        with pytest.raises(TermError):
+            URIRef("http://example.org/has space")
+        with pytest.raises(TermError):
+            URIRef("http://example.org/<bad>")
+
+    def test_local_name_hash(self):
+        assert URIRef("http://example.org/ns#Population").local_name() == "Population"
+
+    def test_local_name_slash(self):
+        assert URIRef("http://example.org/code/GR").local_name() == "GR"
+
+    def test_local_name_trailing_slash_falls_back(self):
+        assert URIRef("http://example.org/code/").local_name() == "code"
+
+    def test_equality_and_hash(self):
+        a = URIRef("http://example.org/x")
+        b = URIRef("http://example.org/x")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestBNode:
+    def test_fresh_labels_unique(self):
+        assert BNode() != BNode()
+
+    def test_explicit_label(self):
+        assert str(BNode("b42")) == "b42"
+
+    def test_n3(self):
+        assert BNode("x1").n3() == "_:x1"
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(TermError):
+            BNode("has space")
+
+
+class TestLiteral:
+    def test_plain(self):
+        lit = Literal("hello")
+        assert lit.lexical == "hello"
+        assert lit.datatype is None
+        assert lit.n3() == '"hello"'
+
+    def test_int_inference(self):
+        lit = Literal(42)
+        assert str(lit.datatype) == XSD_INTEGER
+        assert lit.to_python() == 42
+
+    def test_float_inference(self):
+        lit = Literal(2.5)
+        assert str(lit.datatype) == XSD_DOUBLE
+        assert lit.to_python() == 2.5
+
+    def test_bool_inference(self):
+        assert Literal(True).lexical == "true"
+        assert str(Literal(False).datatype) == XSD_BOOLEAN
+        assert Literal(True).to_python() is True
+
+    def test_decimal_inference(self):
+        lit = Literal(Decimal("1.50"))
+        assert str(lit.datatype) == XSD_DECIMAL
+        assert lit.to_python() == Decimal("1.50")
+
+    def test_language_tag(self):
+        lit = Literal("bonjour", language="fr")
+        assert lit.n3() == '"bonjour"@fr'
+        assert lit.to_python() == "bonjour"
+
+    def test_language_and_datatype_conflict(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype=XSD_INTEGER, language="en")
+
+    def test_bad_language_tag(self):
+        with pytest.raises(TermError):
+            Literal("x", language="not a tag")
+
+    def test_escaping_round_trip(self):
+        lit = Literal('say "hi"\nplease\t\\ok')
+        n3 = lit.n3()
+        assert unescape_string(n3[1:-1]) == lit.lexical
+
+    def test_immutable(self):
+        lit = Literal("x")
+        with pytest.raises(AttributeError):
+            lit.lexical = "y"
+
+    def test_equality_includes_datatype(self):
+        assert Literal("1") != Literal("1", datatype=XSD_INTEGER)
+        assert Literal("1", datatype=XSD_INTEGER) == Literal(1)
+
+    def test_bad_integer_to_python(self):
+        with pytest.raises(TermError):
+            Literal("abc", datatype=XSD_INTEGER).to_python()
+
+
+class TestOrdering:
+    def test_kind_order(self):
+        uri = URIRef("http://z.example/")
+        bnode = BNode("a")
+        literal = Literal("a")
+        assert uri < bnode < literal
+
+    def test_uris_sort_lexicographically(self):
+        a = URIRef("http://example.org/a")
+        b = URIRef("http://example.org/b")
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns.population == URIRef("http://example.org/population")
+
+    def test_item_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns["ref-area"] == URIRef("http://example.org/ref-area")
+
+    def test_term_method(self):
+        ns = Namespace("http://example.org/")
+        assert ns.term("term") == URIRef("http://example.org/term")
+
+
+class TestUnescape:
+    def test_unicode_escapes(self):
+        assert unescape_string("\\u0041") == "A"
+        assert unescape_string("\\U0001F600") == "\U0001F600"
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(TermError):
+            unescape_string("\\q")
+
+    def test_dangling_backslash_rejected(self):
+        with pytest.raises(TermError):
+            unescape_string("abc\\")

@@ -1,0 +1,159 @@
+"""Unit tests for the Turtle parser/serializer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import EX, Graph, Literal, RDF, XSD, parse_turtle, serialize_turtle
+from repro.rdf.terms import BNode, URIRef
+
+
+class TestDirectives:
+    def test_prefix(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:a e:p e:b .")
+        assert (URIRef("http://e/a"), URIRef("http://e/p"), URIRef("http://e/b")) in g
+
+    def test_sparql_style_prefix(self):
+        g = parse_turtle("PREFIX e: <http://e/>\ne:a e:p e:b .")
+        assert len(g) == 1
+
+    def test_base_resolution(self):
+        g = parse_turtle("@base <http://e/> . <a> <p> <b> .")
+        assert (URIRef("http://e/a"), URIRef("http://e/p"), URIRef("http://e/b")) in g
+
+    def test_undefined_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle("zzz:a zzz:p zzz:b .")
+
+    def test_default_prefixes_not_preloaded(self):
+        # The parser must not silently inherit library namespaces.
+        with pytest.raises(ParseError):
+            parse_turtle("qb:a qb:p qb:b .")
+
+
+class TestStatements:
+    def test_a_keyword(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x a e:Thing .")
+        assert (URIRef("http://e/x"), RDF.type, URIRef("http://e/Thing")) in g
+
+    def test_predicate_list(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p e:a ; e:q e:b .")
+        assert len(g) == 2
+
+    def test_object_list(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p e:a , e:b , e:c .")
+        assert len(g) == 3
+
+    def test_trailing_semicolon(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p e:a ; .")
+        assert len(g) == 1
+
+    def test_anonymous_bnode(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p [ e:q e:y ] .")
+        assert len(g) == 2
+        inner = [t for t in g if isinstance(t[0], BNode)]
+        assert len(inner) == 1
+
+    def test_empty_bnode(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p [] .")
+        assert len(g) == 1
+
+    def test_collection(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p ( e:a e:b ) .")
+        firsts = {o for _, p, o in g if p == RDF.first}
+        assert firsts == {URIRef("http://e/a"), URIRef("http://e/b")}
+        assert any(o == RDF.nil for _, p, o in g if p == RDF.rest)
+
+    def test_empty_collection_is_nil(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p () .")
+        assert (URIRef("http://e/x"), URIRef("http://e/p"), RDF.nil) in g
+
+    def test_labelled_bnode(self):
+        g = parse_turtle("@prefix e: <http://e/> . _:n e:p e:x .")
+        assert next(iter(g))[0] == BNode("n")
+
+    def test_comments(self):
+        g = parse_turtle("# header\n@prefix e: <http://e/> . # inline\ne:a e:p e:b .")
+        assert len(g) == 1
+
+
+class TestLiterals:
+    def test_bare_numbers(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:a 42 ; e:b 3.14 ; e:c 1e6 .")
+        values = {p.local_name(): o for _, p, o in g}
+        assert values["a"].to_python() == 42
+        assert str(values["b"].datatype) == str(XSD.decimal)
+        assert str(values["c"].datatype) == str(XSD.double)
+
+    def test_booleans(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p true , false .")
+        assert {o.to_python() for _, _, o in g} == {True, False}
+
+    def test_typed_literal_with_pname_datatype(self):
+        g = parse_turtle(
+            "@prefix e: <http://e/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> . "
+            'e:x e:p "7"^^xsd:integer .'
+        )
+        assert next(iter(g))[2].to_python() == 7
+
+    def test_long_string(self):
+        g = parse_turtle('@prefix e: <http://e/> . e:x e:p """multi\nline""" .')
+        assert next(iter(g))[2].lexical == "multi\nline"
+
+    def test_language_literal(self):
+        g = parse_turtle('@prefix e: <http://e/> . e:x e:p "bonjour"@fr .')
+        assert next(iter(g))[2].language == "fr"
+
+    def test_negative_number(self):
+        g = parse_turtle("@prefix e: <http://e/> . e:x e:p -5 .")
+        assert next(iter(g))[2].to_python() == -5
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix e: <http://e/> . e:a e:p e:b")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle('@prefix e: <http://e/> . "lit" e:p e:b .')
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle('@prefix e: <http://e/> . e:a "lit" e:b .')
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_turtle("@prefix e: <http://e/> .\n\ne:a e:p ?? .")
+        assert info.value.line == 3
+
+
+class TestSerialization:
+    def test_round_trip_mixed(self):
+        g = Graph()
+        g.add((EX.obs, RDF.type, EX.Observation))
+        g.add((EX.obs, EX.geo, EX.DE))
+        # 'count' collides with str.count, so attribute access would
+        # return the method; Namespace.term is the escape hatch.
+        g.add((EX.obs, EX.term("count"), Literal(7)))
+        g.add((EX.obs, EX.rate, Literal(2.5)))
+        g.add((EX.obs, EX.label, Literal("Seven", language="en")))
+        g.add((BNode("n1"), EX.p, EX.obs))
+        assert parse_turtle(serialize_turtle(g)) == g
+
+    def test_only_used_prefixes_declared(self):
+        g = Graph([(EX.a, EX.p, EX.b)])
+        text = serialize_turtle(g)
+        assert "@prefix ex:" in text
+        assert "@prefix skos:" not in text
+
+    def test_deterministic(self):
+        g1 = Graph([(EX.b, EX.p, EX.c), (EX.a, EX.p, EX.b)])
+        g2 = Graph([(EX.a, EX.p, EX.b), (EX.b, EX.p, EX.c)])
+        assert serialize_turtle(g1) == serialize_turtle(g2)
+
+    def test_empty_graph(self):
+        assert serialize_turtle(Graph()) == ""
+
+    def test_numeric_literals_bare(self):
+        g = Graph([(EX.a, EX.p, Literal(5))])
+        assert " 5 ." in serialize_turtle(g) or " 5 ;" in serialize_turtle(g)

@@ -1,0 +1,98 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.qb import load_cubespace
+from repro.rdf import CCREL, parse_ntriples, parse_turtle
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.ttl"
+    code = main(["generate", "--kind", "realworld", "--scale", "0.001",
+                 "--seed", "1", "--output", str(path)])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_realworld_roundtrips(self, corpus_file):
+        cube = load_cubespace(parse_turtle(corpus_file.read_text()))
+        assert len(cube.datasets) == 7
+        assert cube.observation_count() > 0
+
+    def test_synthetic_to_ntriples(self, tmp_path):
+        path = tmp_path / "synthetic.nt"
+        code = main(["generate", "--kind", "synthetic", "--n", "50",
+                     "--dimensions", "2", "--output", str(path)])
+        assert code == 0
+        graph = parse_ntriples(path.read_text())
+        assert len(graph) > 50
+
+    def test_stdout_output(self, capsys):
+        code = main(["generate", "--kind", "realworld", "--scale", "0.0005"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "@prefix" in out
+
+
+class TestCompute:
+    def test_compute_writes_links(self, corpus_file, tmp_path):
+        out = tmp_path / "links.ttl"
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking", "--targets", "full",
+                     "--output", str(out)])
+        assert code == 0
+        links = parse_turtle(out.read_text())
+        assert all(p == CCREL.fullyContains for _, p, _ in links)
+
+    def test_compute_to_stdout(self, corpus_file, capsys):
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking", "--targets", "complementary"])
+        assert code == 0
+
+    def test_methods_agree_via_cli(self, corpus_file, tmp_path):
+        outputs = []
+        for method in ("baseline", "cube_masking", "streaming"):
+            out = tmp_path / f"{method}.nt"
+            main(["compute", "--input", str(corpus_file), "--method", method,
+                  "--targets", "full", "--output", str(out)])
+            outputs.append(out.read_text())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_json_output(self, corpus_file, tmp_path):
+        from repro.store import load_relationships
+
+        out = tmp_path / "links.json"
+        main(["compute", "--input", str(corpus_file), "--method", "cube_masking",
+              "--targets", "full", "--json-output", str(out)])
+        loaded = load_relationships(out)
+        assert len(loaded.full) > 0
+
+    def test_unknown_method_rejected(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["compute", "--input", str(corpus_file), "--method", "magic"])
+
+
+class TestValidate:
+    def test_valid_corpus_passes(self, corpus_file):
+        assert main(["validate", "--input", str(corpus_file)]) == 0
+
+    def test_broken_corpus_fails(self, corpus_file, tmp_path, capsys):
+        text = corpus_file.read_text()
+        broken = tmp_path / "broken.ttl"
+        broken.write_text(
+            text + '\n<http://x.example/orphan> a <http://purl.org/linked-data/cube#Observation> .\n'
+        )
+        assert main(["validate", "--input", str(broken)]) == 1
+        assert "IC-1" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_inspect_prints_profile(self, corpus_file, capsys):
+        code = main(["inspect", "--input", str(corpus_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CubeSpace" in out
+        assert "hierarchy" in out

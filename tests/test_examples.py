@@ -1,0 +1,60 @@
+"""Smoke tests: the runnable examples execute without error.
+
+The slow comparison sweep (``method_comparison.py``) is exercised with
+a monkeypatched size list so the suite stays fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "data_journalism.py",
+        "federated_alignment.py",
+        "olap_exploration.py",
+        "sparql_olap.py",
+        "multi_source_trig.py",
+    ],
+)
+def test_fast_examples_run(script, capsys):
+    run_example(script)
+    assert capsys.readouterr().out  # every example prints something
+
+
+def test_skyline_example(capsys):
+    run_example("skyline_analysis.py")
+    out = capsys.readouterr().out
+    assert "identical ✓" in out
+
+
+def test_incremental_example(capsys):
+    run_example("incremental_updates.py")
+    out = capsys.readouterr().out
+    assert "results identical" in out
+
+
+def test_method_comparison_small(monkeypatch, capsys):
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import method_comparison
+
+        monkeypatch.setattr(method_comparison, "SIZES", (30,))
+        monkeypatch.setattr(method_comparison, "RULES_LIMIT", 0)
+        monkeypatch.setattr(method_comparison, "COMPARATOR_LIMIT", 30)
+        method_comparison.main()
+        out = capsys.readouterr().out
+        assert "cube_masking" in out
+    finally:
+        sys.path.remove(str(EXAMPLES))

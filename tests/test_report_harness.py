@@ -1,0 +1,35 @@
+"""Smoke test for the benchmark report harness.
+
+``benchmarks/report.py`` is the one-stop regenerator for every figure;
+this test runs it in ``--quick`` mode so signature drift in the library
+can never silently break the reproduction harness.
+"""
+
+import sys
+from pathlib import Path
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def test_report_quick_runs(capsys):
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import report
+
+        assert report.main(["--quick"]) == 0
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+    out = capsys.readouterr().out
+    for marker in (
+        "Table 4",
+        "Figure 5a",
+        "Figure 5b",
+        "Figure 5c",
+        "Figure 5d",
+        "Figure 5e",
+        "Figure 5f",
+        "Figure 5g",
+    ):
+        assert marker in out, f"report output lost the {marker} section"
+    # The size-merged sweep must include the comparator rows.
+    assert "o/m" in out or "timeout" in out

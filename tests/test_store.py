@@ -1,0 +1,66 @@
+"""Unit tests for the relationship JSON store."""
+
+import io
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.data.example import build_example_space
+from repro.errors import ReproError
+from repro.store import (
+    dumps_relationships,
+    load_relationships,
+    loads_relationships,
+    save_relationships,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return compute_baseline(build_example_space(), collect_partial_dimensions=True)
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self, result):
+        text = dumps_relationships(result)
+        loaded = loads_relationships(text)
+        assert loaded == result
+
+    def test_metadata_preserved(self, result):
+        loaded = loads_relationships(dumps_relationships(result))
+        assert loaded.degrees == result.degrees
+        assert loaded.partial_map == result.partial_map
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "links.json"
+        save_relationships(result, path, indent=2)
+        assert load_relationships(path) == result
+
+    def test_stream_round_trip(self, result):
+        buffer = io.StringIO()
+        save_relationships(result, buffer)
+        buffer.seek(0)
+        assert load_relationships(buffer) == result
+
+    def test_empty_set(self):
+        from repro.core.results import RelationshipSet
+
+        empty = RelationshipSet()
+        assert loads_relationships(dumps_relationships(empty)) == empty
+
+    def test_deterministic_output(self, result):
+        assert dumps_relationships(result) == dumps_relationships(result)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ReproError):
+            loads_relationships("{not json")
+
+    def test_unsupported_version(self):
+        with pytest.raises(ReproError):
+            loads_relationships('{"version": 99}')
+
+    def test_missing_version(self):
+        with pytest.raises(ReproError):
+            loads_relationships('{"full": []}')
