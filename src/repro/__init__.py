@@ -20,6 +20,9 @@ Quickstart::
 from repro.core import (
     CubeLattice,
     CubeNavigator,
+    Fault,
+    FaultPlan,
+    MaterializationRunner,
     Method,
     ObservationSpace,
     OccurrenceMatrix,
@@ -38,11 +41,18 @@ from repro.core import (
     recommend_observations,
     remove_observations,
     rollup_dataset,
+    run_materialization,
     skyline,
     skyline_from_relationships,
     update_relationships,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    CheckpointError,
+    ComputationError,
+    ReproError,
+    UnitTimeoutError,
+    WorkerCrashError,
+)
 from repro.qb import (
     CubeSpace,
     Dataset,
@@ -122,6 +132,15 @@ __all__ = [
     # persistence
     "save_relationships",
     "load_relationships",
+    # resilience
+    "MaterializationRunner",
+    "run_materialization",
+    "FaultPlan",
+    "Fault",
     # errors
     "ReproError",
+    "ComputationError",
+    "WorkerCrashError",
+    "UnitTimeoutError",
+    "CheckpointError",
 ]

@@ -22,14 +22,25 @@ from pathlib import Path
 from repro.core import Method, ObservationSpace, compute_relationships
 from repro.data.realworld import build_realworld_cubespace
 from repro.data.synthetic import build_synthetic_space
+from repro.errors import ReproError
 from repro.qb import cubespace_to_graph, load_cubespace, relationships_to_graph
 from repro.rdf import Graph, parse_ntriples, parse_turtle, serialize_ntriples, serialize_turtle
+from repro.store import atomic_write_text
 
 __all__ = ["main"]
 
+#: Exit code for library-level failures (parse errors, bad cubes,
+#: unusable checkpoints...) — distinct from argparse's 2 and the
+#: ``validate`` subcommand's 1.
+EXIT_ERROR = 3
+EXIT_INTERRUPTED = 130
+
 
 def _read_graph(path: str) -> Graph:
-    text = Path(path).read_text()
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
     if path.endswith((".nt", ".ntriples")):
         return parse_ntriples(text)
     return parse_turtle(text)
@@ -40,9 +51,9 @@ def _write_graph(graph: Graph, path: str | None) -> None:
         sys.stdout.write(serialize_turtle(graph))
         return
     if path.endswith((".nt", ".ntriples")):
-        Path(path).write_text(serialize_ntriples(graph) or "")
+        atomic_write_text(path, serialize_ntriples(graph) or "")
     else:
-        Path(path).write_text(serialize_turtle(graph))
+        atomic_write_text(path, serialize_turtle(graph))
 
 
 def _cmd_compute(args: argparse.Namespace) -> int:
@@ -54,6 +65,17 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         options["targets"] = tuple(args.targets)
     if args.method == Method.CLUSTERING.value:
         options["seed"] = args.seed
+    if args.checkpoint:
+        options["checkpoint"] = args.checkpoint
+        options["resume"] = args.resume
+    if args.max_retries is not None:
+        options["max_retries"] = args.max_retries
+    if args.timeout is not None:
+        options["unit_timeout"] = args.timeout
+    if args.workers is not None:
+        if args.method != Method.CUBE_MASKING.value:
+            raise ReproError("--workers is only supported with --method cube_masking")
+        options["workers"] = args.workers
     started = time.perf_counter()
     result = compute_relationships(space, args.method, **options)
     elapsed = time.perf_counter() - started
@@ -133,6 +155,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these relationship types",
     )
     compute.add_argument("--seed", type=int, default=0)
+    resilience = compute.add_argument_group(
+        "resilience", "checkpointed, fault-tolerant materialisation"
+    )
+    resilience.add_argument(
+        "--checkpoint",
+        help="JSONL journal of completed work units; an interrupted run "
+        "restarted with --resume continues from the last durable unit",
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an existing --checkpoint instead of refusing to overwrite it",
+    )
+    resilience.add_argument(
+        "--max-retries",
+        type=int,
+        help="per-unit retry budget for crashed/failed workers (default 2)",
+    )
+    resilience.add_argument(
+        "--timeout",
+        type=float,
+        help="wall-clock seconds allowed per work unit (parallel execution)",
+    )
+    resilience.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes for parallel cube_masking",
+    )
     compute.set_defaults(handler=_cmd_compute)
 
     generate = sub.add_parser("generate", help="generate an evaluation corpus")
@@ -156,7 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except KeyboardInterrupt:
+        print("repro: interrupted (checkpoint flushed; rerun with --resume)", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

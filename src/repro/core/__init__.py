@@ -20,6 +20,10 @@ Modules
     Skylines and k-dominant skylines from containment (Section 1).
 ``api``
     The :func:`compute_relationships` facade and incremental updates.
+``runner`` / ``faults``
+    The fault-tolerant materialisation runner (checkpoint/resume,
+    worker-crash recovery) and its deterministic fault-injection
+    harness.
 """
 
 from repro.core.api import Method, compute_relationships, remove_observations, update_relationships
@@ -27,6 +31,7 @@ from repro.core.baseline import compute_baseline, derive_relationships
 from repro.core.cluster_method import compute_clustering, default_cluster_count
 from repro.core.cubemask import compute_cubemask
 from repro.core.export import space_to_graph
+from repro.core.faults import Fault, FaultPlan, InjectedFault, truncate_file
 from repro.core.hybrid import compute_hybrid
 from repro.core.lattice import CubeLattice
 from repro.core.matrix import OccurrenceMatrix
@@ -35,6 +40,7 @@ from repro.core.parallel import compute_cubemask_parallel
 from repro.core.recommend import Recommendation, dataset_relatedness, recommend_observations
 from repro.core.results import Recall, RelationshipSet
 from repro.core.rules_method import compute_rules
+from repro.core.runner import Checkpoint, MaterializationRunner, run_materialization, space_fingerprint
 from repro.core.skyline import k_dominant_skyline, skyline, skyline_from_relationships
 from repro.core.space import ObservationSpace
 from repro.core.sparql_method import compute_sparql
@@ -69,4 +75,12 @@ __all__ = [
     "k_dominant_skyline",
     "skyline_from_relationships",
     "space_to_graph",
+    "MaterializationRunner",
+    "run_materialization",
+    "Checkpoint",
+    "space_fingerprint",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "truncate_file",
 ]

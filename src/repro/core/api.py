@@ -73,6 +73,21 @@ def _as_space(data: CubeSpace | ObservationSpace) -> ObservationSpace:
     raise AlgorithmError(f"expected CubeSpace or ObservationSpace, got {type(data).__name__}")
 
 
+#: ``compute_relationships`` keywords that route the computation through
+#: the fault-tolerant :class:`~repro.core.runner.MaterializationRunner`
+#: instead of the direct single-pass dispatch.
+_RUNNER_OPTIONS = (
+    "checkpoint",
+    "resume",
+    "unit_size",
+    "max_retries",
+    "retry_backoff",
+    "unit_timeout",
+    "fault_plan",
+    "fallback_sequential",
+)
+
+
 def compute_relationships(
     data: CubeSpace | ObservationSpace,
     method: Method | str = Method.CUBE_MASKING,
@@ -84,14 +99,32 @@ def compute_relationships(
     ``backend=`` for the baseline, ``algorithm=`` / ``sample_rate=`` for
     clustering, ``prefetch_children=`` for cube masking, ``mode=`` for
     the SPARQL and rule comparators).
+
+    Passing any resilience option — ``checkpoint=``, ``resume=``,
+    ``unit_size=``, ``max_retries=``, ``retry_backoff=``,
+    ``unit_timeout=``, ``fault_plan=``, ``fallback_sequential=`` —
+    executes the computation as recorded, resumable work units via
+    :class:`~repro.core.runner.MaterializationRunner`: an interrupted
+    run restarted with ``resume=True`` continues from its last durable
+    unit and yields a result identical to an uninterrupted run.
     """
-    space = _as_space(data)
     try:
-        implementation = _dispatch_table()[Method(method)]
+        resolved = Method(method)
     except ValueError:
         names = ", ".join(m.value for m in Method)
         raise AlgorithmError(f"unknown method {method!r}; expected one of: {names}") from None
-    return implementation(space, **options)
+    if any(name in options for name in _RUNNER_OPTIONS):
+        from repro.core.runner import run_materialization
+
+        return run_materialization(data, resolved, **options)
+    space = _as_space(data)
+    if resolved is Method.CUBE_MASKING and (
+        options.pop("parallel", False) or "workers" in options
+    ):
+        from repro.core.parallel import compute_cubemask_parallel
+
+        return compute_cubemask_parallel(space, **options)
+    return _dispatch_table()[resolved](space, **options)
 
 
 def update_relationships(

@@ -29,7 +29,7 @@ from repro.core.matrix import OccurrenceMatrix
 from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
 
-__all__ = ["compute_clustering", "feature_matrix", "default_cluster_count"]
+__all__ = ["compute_clustering", "cluster_labels", "feature_matrix", "default_cluster_count"]
 
 AlgorithmName = TypingLiteral["kmeans", "xmeans", "canopy", "hierarchical"]
 
@@ -64,6 +64,35 @@ def _make_model(
     raise AlgorithmError(f"unknown clustering algorithm {algorithm!r}")
 
 
+def cluster_labels(
+    space: ObservationSpace,
+    algorithm: AlgorithmName = "xmeans",
+    sample_rate: float = 0.1,
+    n_clusters: int | None = None,
+    seed: int = 0,
+    canopy_t1: float = 0.7,
+    canopy_t2: float = 0.4,
+    min_sample: int = 32,
+) -> np.ndarray:
+    """The pre-processing half of Algorithm 3: fit on a sample, assign all.
+
+    Deterministic for a fixed ``seed``, which is what lets the
+    resilience layer treat each cluster as an independently resumable
+    work unit — a resumed run refits the same assignment.
+    """
+    n = len(space)
+    if not 0.0 < sample_rate <= 1.0:
+        raise AlgorithmError("sample_rate must be in (0, 1]")
+    features = feature_matrix(space)
+    rng = np.random.default_rng(seed)
+    sample_size = min(n, max(min_sample, int(math.ceil(n * sample_rate))))
+    sample_indices = rng.choice(n, size=sample_size, replace=False)
+    sample = features[sample_indices]
+    k = n_clusters if n_clusters is not None else default_cluster_count(n)
+    model = _make_model(algorithm, k, seed, canopy_t1, canopy_t2)
+    return model.fit_assign(sample, features)
+
+
 def compute_clustering(
     space: ObservationSpace,
     algorithm: AlgorithmName = "xmeans",
@@ -94,16 +123,16 @@ def compute_clustering(
     n = len(space)
     if n == 0:
         return result
-    if not 0.0 < sample_rate <= 1.0:
-        raise AlgorithmError("sample_rate must be in (0, 1]")
-    features = feature_matrix(space)
-    rng = np.random.default_rng(seed)
-    sample_size = min(n, max(min_sample, int(math.ceil(n * sample_rate))))
-    sample_indices = rng.choice(n, size=sample_size, replace=False)
-    sample = features[sample_indices]
-    k = n_clusters if n_clusters is not None else default_cluster_count(n)
-    model = _make_model(algorithm, k, seed, canopy_t1, canopy_t2)
-    labels = model.fit_assign(sample, features)
+    labels = cluster_labels(
+        space,
+        algorithm=algorithm,
+        sample_rate=sample_rate,
+        n_clusters=n_clusters,
+        seed=seed,
+        canopy_t1=canopy_t1,
+        canopy_t2=canopy_t2,
+        min_sample=min_sample,
+    )
 
     for cluster in np.unique(labels):
         member_indices = np.flatnonzero(labels == cluster)

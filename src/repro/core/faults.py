@@ -1,0 +1,157 @@
+"""Deterministic fault injection for the materialisation runner.
+
+Resilience code that is only exercised by real crashes is untestable;
+this module makes failure a first-class, *reproducible* input.  A
+:class:`FaultPlan` is a declarative list of :class:`Fault` records —
+"kill the worker processing unit 3", "raise in unit 5, twice",
+"stall unit 2 for ten seconds" — that the runner and the parallel
+executor consult at well-defined points:
+
+* ``before_unit(unit_id)`` runs at the start of every execution
+  attempt of a unit, in whichever process executes it.  Matching
+  faults fire at most ``times`` attempts each, then stop — so a plan
+  with ``times=1`` models a transient fault that a retry survives.
+* ``after_unit(completed_count)`` runs in the parent after a unit's
+  delta is durably checkpointed, and implements the simulated SIGINT
+  (``interrupt_after``) by raising :class:`KeyboardInterrupt` — the
+  same exception a real Ctrl-C delivers, exercising the same
+  flush-then-exit path.
+
+Because worker processes do not share memory with the parent, attempt
+counting for ``kill``/cross-process faults uses one-shot token files
+in ``state_dir`` (created with ``O_EXCL``, so exactly one claimant
+wins each token even across a respawned pool).  Purely in-process
+plans may omit ``state_dir`` and count in memory.
+
+:func:`truncate_file` completes the harness: it chops a checkpoint
+mid-line to model a crash during an append, letting tests prove the
+loader's torn-tail recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ComputationError
+
+__all__ = ["Fault", "FaultPlan", "InjectedFault", "truncate_file"]
+
+
+class InjectedFault(ComputationError):
+    """The error raised by a ``"raise"`` fault — retryable by design."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One deterministic fault.
+
+    ``unit`` is the work-unit id the fault targets (an int range index,
+    a ``"cluster-3"`` style string...).  ``action`` is one of:
+
+    ``"raise"``
+        Raise :class:`InjectedFault` in the executing process.
+    ``"kill"``
+        Hard-exit the executing process with ``os._exit`` — in a pool
+        worker this surfaces as ``BrokenProcessPool`` in the parent.
+        Ignored outside a worker: it models *worker* death, so the
+        sequential degradation path (and plain sequential runs) are
+        immune to it by design.
+    ``"delay"``
+        Sleep ``seconds`` before executing (drives timeout paths).
+
+    ``times`` bounds how many *attempts* the fault affects; afterwards
+    the unit executes normally, which is how retry recovery is modelled.
+    """
+
+    unit: int | str
+    action: str = "raise"
+    times: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("raise", "kill", "delay"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+class FaultPlan:
+    """A reproducible failure schedule consulted by the runner.
+
+    Picklable, so the same plan travels into pool workers via the
+    initializer.  ``state_dir`` (required when any ``kill`` fault is
+    present) holds the cross-process one-shot claim tokens.
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[Fault] = (),
+        interrupt_after: int | None = None,
+        state_dir: str | os.PathLike | None = None,
+    ):
+        self.faults = tuple(faults)
+        self.interrupt_after = interrupt_after
+        self.state_dir = os.fspath(state_dir) if state_dir is not None else None
+        self._memory_claims = {}
+        if self.state_dir is None and any(f.action == "kill" for f in self.faults):
+            raise ValueError("kill faults need a state_dir for cross-process claim tokens")
+
+    # ------------------------------------------------------------------
+    def _claim(self, fault: Fault, index: int) -> bool:
+        """Atomically claim one firing of ``fault``; True if this
+        process (attempt) should be affected."""
+        key = f"{fault.unit}-{fault.action}-{index}"
+        for attempt in range(fault.times):
+            token = f"{key}-{attempt}"
+            if self.state_dir is not None:
+                path = Path(self.state_dir) / f"fault-{token}"
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    continue
+                os.close(fd)
+                return True
+            if not self._memory_claims.get(token):
+                self._memory_claims[token] = True
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def before_unit(self, unit_id: int | str, in_worker: bool = False) -> None:
+        """Apply faults targeting ``unit_id`` for this attempt."""
+        for index, fault in enumerate(self.faults):
+            if fault.unit != unit_id:
+                continue
+            if fault.action == "kill" and not in_worker:
+                continue  # kill models worker death; the parent is immune
+            if not self._claim(fault, index):
+                continue
+            if fault.action == "delay":
+                time.sleep(fault.seconds)
+            elif fault.action == "kill":
+                os._exit(17)
+            else:
+                raise InjectedFault(f"injected fault in unit {unit_id!r} (raise)")
+
+    def after_unit(self, completed_count: int) -> None:
+        """Simulated SIGINT: interrupt after N durably completed units."""
+        if self.interrupt_after is not None and completed_count >= self.interrupt_after:
+            raise KeyboardInterrupt(
+                f"injected interrupt after {completed_count} completed unit(s)"
+            )
+
+
+def truncate_file(path: str | os.PathLike, keep_bytes: int | None = None, drop_bytes: int = 7) -> int:
+    """Truncate ``path`` to model a crash mid-append.
+
+    Keeps ``keep_bytes`` when given, otherwise drops ``drop_bytes``
+    from the end (enough to tear the final JSONL record).  Returns the
+    resulting size.
+    """
+    size = os.path.getsize(path)
+    new_size = keep_bytes if keep_bytes is not None else max(0, size - drop_bytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size

@@ -1,11 +1,11 @@
 """Parallel cubeMasking (the paper's "distributed and parallel
-contexts" future-work item, §6).
+contexts" future-work item, §6), hardened against worker failure.
 
 The cube lattice gives a natural work partition: dominating cube pairs
 are independent, so they can be scored in worker processes.  Each
 worker receives the (pickled) observation space once via the pool
-initializer, then processes batches of cube-pair indices and returns
-relationship pairs; the parent merges.
+initializer, then processes ranges of a deterministic cube-pair order
+and returns relationship deltas; the parent merges.
 
 Because Python forks carry real overhead (the space is pickled into
 each worker and relationship pairs are pickled back), this pays off
@@ -14,22 +14,48 @@ small spaces are strictly slower, so ``compute_cubemask_parallel``
 falls back to the sequential implementation below
 ``min_parallel_observations``.  The output is always identical to
 :func:`repro.core.cubemask.compute_cubemask`.
+
+Fault tolerance (the resilience layer's contract):
+
+* a dead worker (``BrokenProcessPool``) is detected, the pool is
+  respawned, and the interrupted ranges are retried with capped
+  exponential backoff (``max_retries`` / ``retry_backoff``);
+* each range can carry a wall-clock ``unit_timeout``; a hung worker
+  abandons the pool and the range is retried;
+* after repeated failures the computation *degrades gracefully*: the
+  remaining ranges are scored sequentially in the parent with the same
+  code path, so a flaky pool can never fail a run that sequential
+  cubeMasking would finish (set ``fallback_sequential=False`` to get
+  :class:`~repro.errors.WorkerCrashError` /
+  :class:`~repro.errors.UnitTimeoutError` instead);
+* ``on_unit_complete``/``completed_units`` let
+  :class:`repro.core.runner.MaterializationRunner` checkpoint each
+  range as it lands and skip ranges already durable in a checkpoint.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 
+from repro.errors import UnitTimeoutError, WorkerCrashError
 from repro.core.cubemask import compute_cubemask
 from repro.core.lattice import CubeLattice, dominates
 from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
 
-__all__ = ["compute_cubemask_parallel"]
+__all__ = ["compute_cubemask_parallel", "build_cubemask_state", "score_range", "enumerate_unit_ranges"]
+
+logger = logging.getLogger("repro.parallel")
 
 # Worker-process globals, installed by _initializer.
 _WORKER_STATE: dict = {}
+
+_BACKOFF_CAP = 30.0
 
 
 def _enumerate_pairs(cubes, want_partial: bool) -> list[tuple[int, int]]:
@@ -46,7 +72,13 @@ def _enumerate_pairs(cubes, want_partial: bool) -> list[tuple[int, int]]:
     return pairs
 
 
-def _initializer(space: ObservationSpace, targets: tuple[str, ...]) -> None:
+def build_cubemask_state(space: ObservationSpace, targets: tuple[str, ...]) -> dict:
+    """Shared scoring state for a fixed space + target set.
+
+    Used both by pool workers (via the initializer) and in-process by
+    the sequential degradation path and the materialisation runner —
+    one code path, one deterministic cube-pair order.
+    """
     lattice = CubeLattice(space)
     dimensions = space.dimensions
     ancestor_sets = [space.hierarchies[d]._ancestors for d in dimensions]
@@ -57,7 +89,7 @@ def _initializer(space: ObservationSpace, targets: tuple[str, ...]) -> None:
     groups = list(unique)
     overlap = [[not gi.isdisjoint(gj) for gj in groups] for gi in groups]
     cubes = sorted(lattice.nodes)
-    _WORKER_STATE.update(
+    return dict(
         space=space,
         lattice=lattice,
         cubes=cubes,
@@ -73,10 +105,23 @@ def _initializer(space: ObservationSpace, targets: tuple[str, ...]) -> None:
     )
 
 
-def _score_range(bounds: tuple[int, int]):
-    """Worker: evaluate its slice of the shared cube-pair order."""
-    state = _WORKER_STATE
-    pair_indices = state["pairs"][bounds[0] : bounds[1]]
+def enumerate_unit_ranges(total_pairs: int, unit_size: int) -> list[tuple[int, int, int]]:
+    """``(unit_id, start, stop)`` ranges over the cube-pair order."""
+    bounds = range(0, total_pairs, unit_size) if total_pairs else ()
+    return [
+        (index, start, min(start + unit_size, total_pairs))
+        for index, start in enumerate(bounds)
+    ]
+
+
+def _initializer(space: ObservationSpace, targets: tuple[str, ...], fault_plan=None) -> None:
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(build_cubemask_state(space, targets))
+    _WORKER_STATE["fault_plan"] = fault_plan
+
+
+def _score_pairs(state: dict, pair_indices) -> tuple[list, list, list]:
+    """Evaluate a slice of the shared cube-pair order."""
     lattice: CubeLattice = state["lattice"]
     cubes = state["cubes"]
     ancestor_sets = state["ancestor_sets"]
@@ -86,7 +131,6 @@ def _score_range(bounds: tuple[int, int]):
     overlap = state["overlap"]
     targets = state["targets"]
     k = state["k"]
-    dimensions = state["dimensions"]
 
     want_full = "full" in targets
     want_compl = "complementary" in targets
@@ -121,6 +165,44 @@ def _score_range(bounds: tuple[int, int]):
     return full_pairs, compl_pairs, partial_pairs
 
 
+def score_range(state: dict, start: int, stop: int) -> RelationshipSet:
+    """Score ``state['pairs'][start:stop]`` into a relationship delta."""
+    full_pairs, compl_pairs, partial_pairs = _score_pairs(state, state["pairs"][start:stop])
+    delta = RelationshipSet()
+    for a, b in full_pairs:
+        delta.add_full(a, b)
+    for a, b in compl_pairs:
+        delta.add_complementary(a, b)
+    for a, b, degree in partial_pairs:
+        delta.add_partial(a, b, degree=degree)
+    return delta
+
+
+def _execute_unit(descriptor: tuple[int, int, int]):
+    """Worker entry point: fault hook, then score the range."""
+    unit_id, start, stop = descriptor
+    plan = _WORKER_STATE.get("fault_plan")
+    if plan is not None:
+        plan.before_unit(unit_id, in_worker=True)
+    full_pairs, compl_pairs, partial_pairs = _score_pairs(
+        _WORKER_STATE, _WORKER_STATE["pairs"][start:stop]
+    )
+    return unit_id, full_pairs, compl_pairs, partial_pairs
+
+
+def _payload_delta(payload) -> RelationshipSet:
+    """A worker payload as a relationship delta."""
+    _, full_pairs, compl_pairs, partial_pairs = payload
+    delta = RelationshipSet()
+    for a, b in full_pairs:
+        delta.add_full(a, b)
+    for a, b in compl_pairs:
+        delta.add_complementary(a, b)
+    for a, b, degree in partial_pairs:
+        delta.add_partial(a, b, degree=degree)
+    return delta
+
+
 def compute_cubemask_parallel(
     space: ObservationSpace,
     workers: int | None = None,
@@ -128,12 +210,23 @@ def compute_cubemask_parallel(
     targets=None,
     min_parallel_observations: int = 512,
     batch_size: int = 256,
+    unit_size: int | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    unit_timeout: float | None = None,
+    fault_plan=None,
+    on_unit_complete=None,
+    completed_units=(),
+    fallback_sequential: bool = True,
 ) -> RelationshipSet:
-    """cubeMasking with cube-pair batches scored in worker processes.
+    """cubeMasking with cube-pair ranges scored in worker processes.
 
     Produces exactly the sequential result; falls back to the
     sequential implementation for small inputs where process startup
-    would dominate.
+    would dominate.  See the module docstring for the fault-tolerance
+    contract (``max_retries``, ``retry_backoff``, ``unit_timeout``,
+    ``fallback_sequential``) and the checkpoint hooks
+    (``unit_size``, ``on_unit_complete``, ``completed_units``).
     """
     from repro.core.baseline import normalize_targets
 
@@ -146,21 +239,90 @@ def compute_cubemask_parallel(
     total_pairs = len(_enumerate_pairs(cubes, "partial" in resolved))
 
     worker_count = workers if workers is not None else max(1, (os.cpu_count() or 2) - 1)
-    # A handful of ranges per worker balances skewed cube sizes without
-    # paying per-batch IPC for thousands of tiny batches.
-    chunk = max(1, total_pairs // (worker_count * 8))
-    ranges = [(start, min(start + chunk, total_pairs)) for start in range(0, total_pairs, chunk)]
+    if unit_size is None:
+        # A handful of ranges per worker balances skewed cube sizes
+        # without paying per-batch IPC for thousands of tiny batches.
+        unit_size = max(1, total_pairs // (worker_count * 8))
+    done = set(completed_units)
+    pending = [d for d in enumerate_unit_ranges(total_pairs, unit_size) if d[0] not in done]
+
     result = RelationshipSet()
-    with ProcessPoolExecutor(
-        max_workers=worker_count,
-        initializer=_initializer,
-        initargs=(space, resolved),
-    ) as pool:
-        for full_pairs, compl_pairs, partial_pairs in pool.map(_score_range, ranges):
-            for a, b in full_pairs:
-                result.add_full(a, b)
-            for a, b in compl_pairs:
-                result.add_complementary(a, b)
-            for a, b, degree in partial_pairs:
-                result.add_partial(a, b, degree=degree)
+    attempts: dict[int, int] = {d[0]: 0 for d in pending}
+
+    def emit(unit_id: int, delta: RelationshipSet) -> None:
+        result.merge(delta)
+        if on_unit_complete is not None:
+            on_unit_complete(unit_id, delta)
+
+    def degrade(remaining) -> None:
+        logger.warning(
+            "degrading to sequential cubeMasking for %d remaining range(s)", len(remaining)
+        )
+        state = build_cubemask_state(space, resolved)
+        for unit_id, start, stop in remaining:
+            if fault_plan is not None:
+                fault_plan.before_unit(unit_id, in_worker=False)
+            emit(unit_id, score_range(state, start, stop))
+
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=worker_count,
+            initializer=_initializer,
+            initargs=(space, resolved, fault_plan),
+        )
+        failure: tuple[tuple[int, int, int], BaseException, str] | None = None
+        finished: set[int] = set()
+        try:
+            futures = [(pool.submit(_execute_unit, d), d) for d in pending]
+            for future, descriptor in futures:
+                try:
+                    payload = future.result(timeout=unit_timeout)
+                except FutureTimeoutError as exc:
+                    failure = (descriptor, exc, "timeout")
+                    break
+                except (BrokenProcessPool, OSError) as exc:
+                    failure = (descriptor, exc, "crash")
+                    break
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    failure = (descriptor, exc, "error")
+                    break
+                finished.add(descriptor[0])
+                emit(payload[0], _payload_delta(payload))
+        finally:
+            pool.shutdown(wait=failure is None, cancel_futures=True)
+
+        if failure is None:
+            break
+        descriptor, error, kind = failure
+        pending = [d for d in pending if d[0] not in finished]
+        unit_id = descriptor[0]
+        attempts[unit_id] += 1
+        if attempts[unit_id] > max_retries:
+            if fallback_sequential:
+                degrade(pending)
+                pending = []
+                break
+            if kind == "timeout":
+                raise UnitTimeoutError(
+                    "cube-pair range timed out", unit=unit_id, timeout=unit_timeout
+                ) from error
+            raise WorkerCrashError(
+                f"cube-pair range failed permanently: {error}",
+                unit=unit_id,
+                attempts=attempts[unit_id],
+            ) from error
+        delay = min(retry_backoff * (2 ** (attempts[unit_id] - 1)), _BACKOFF_CAP)
+        logger.warning(
+            "worker failure (%s) on range %d, attempt %d/%d — respawning pool in %.2fs: %s",
+            kind,
+            unit_id,
+            attempts[unit_id],
+            max_retries + 1,
+            delay,
+            error,
+        )
+        if delay > 0:
+            time.sleep(delay)
     return result

@@ -82,3 +82,43 @@ class AlignmentError(ReproError):
 
 class AlgorithmError(ReproError):
     """A relationship-computation algorithm received invalid input."""
+
+
+class ComputationError(ReproError):
+    """Base class for failures *during* a relationship computation.
+
+    Distinct from :class:`AlgorithmError` (bad input): these are
+    runtime faults — crashed workers, timeouts, unusable checkpoints —
+    that the resilience layer (:mod:`repro.core.runner`) can retry,
+    degrade around, or resume past.
+    """
+
+
+class WorkerCrashError(ComputationError):
+    """A worker process died (e.g. ``BrokenProcessPool``) and the
+    failure persisted past the configured retries."""
+
+    def __init__(self, message: str, unit: object = None, attempts: int | None = None):
+        if unit is not None:
+            message = f"{message} (unit {unit!r}"
+            message += f", {attempts} attempt(s))" if attempts is not None else ")"
+        super().__init__(message)
+        self.unit = unit
+        self.attempts = attempts
+
+
+class UnitTimeoutError(ComputationError):
+    """A work unit exceeded its wall-clock timeout on every attempt."""
+
+    def __init__(self, message: str, unit: object = None, timeout: float | None = None):
+        if unit is not None:
+            message = f"{message} (unit {unit!r}"
+            message += f", timeout {timeout}s)" if timeout is not None else ")"
+        super().__init__(message)
+        self.unit = unit
+        self.timeout = timeout
+
+
+class CheckpointError(ComputationError):
+    """A materialisation checkpoint is missing, stale or inconsistent
+    with the requested computation."""

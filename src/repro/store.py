@@ -7,11 +7,20 @@ computed offline and consulted during online exploration.  Two formats:
   — interoperable, queryable with SPARQL,
 * a compact JSON format (this module) — fast to reload, keeps the
   partial-containment degrees and dimension annotations losslessly.
+
+Writes are crash-safe: :func:`save_relationships` (and the other
+path-writing helpers that build on :func:`atomic_write_text`) never
+leave a half-written file behind — content lands in a same-directory
+temporary file that is ``os.replace``d into place only once fully
+flushed, so an interrupted save preserves whatever was there before.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+from numbers import Real
 from pathlib import Path
 from typing import IO
 
@@ -19,9 +28,42 @@ from repro.errors import ReproError
 from repro.core.results import RelationshipSet
 from repro.rdf.terms import URIRef
 
-__all__ = ["save_relationships", "load_relationships", "dumps_relationships", "loads_relationships"]
+__all__ = [
+    "save_relationships",
+    "load_relationships",
+    "dumps_relationships",
+    "loads_relationships",
+    "atomic_write_text",
+]
 
 _FORMAT_VERSION = 1
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content goes to a temporary file in the *same directory* (so the
+    final rename cannot cross filesystems), is flushed and fsynced, and
+    is then ``os.replace``d over ``path``.  A crash at any point leaves
+    either the old file or the new one — never a torn mix.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory, prefix=f".{target.name}.", suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def dumps_relationships(result: RelationshipSet, indent: int | None = None) -> str:
@@ -43,38 +85,97 @@ def dumps_relationships(result: RelationshipSet, indent: int | None = None) -> s
     return json.dumps(payload, indent=indent)
 
 
+def _pair_entries(payload: dict, key: str):
+    """Validated ``[container, contained]`` pairs under ``key``."""
+    entries = payload.get(key, ())
+    if not isinstance(entries, (list, tuple)):
+        raise ReproError(f"malformed relationship store: {key!r} must be a list, got {entries!r}")
+    for entry in entries:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not all(isinstance(part, str) for part in entry)
+        ):
+            raise ReproError(
+                f"malformed {key} entry {entry!r}: expected a pair of URI strings"
+            )
+        yield entry
+
+
+def _partial_entries(payload: dict):
+    """Validated partial-containment entries."""
+    entries = payload.get("partial", ())
+    if not isinstance(entries, (list, tuple)):
+        raise ReproError(
+            f"malformed relationship store: 'partial' must be a list, got {entries!r}"
+        )
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ReproError(f"malformed partial entry {entry!r}: expected an object")
+        for field in ("container", "contained"):
+            if not isinstance(entry.get(field), str):
+                raise ReproError(
+                    f"malformed partial entry {entry!r}: missing or non-string {field!r}"
+                )
+        degree = entry.get("degree")
+        if degree is not None and (isinstance(degree, bool) or not isinstance(degree, Real)):
+            raise ReproError(
+                f"malformed partial entry {entry!r}: degree must be numeric or null"
+            )
+        dimensions = entry.get("dimensions", ())
+        if not isinstance(dimensions, (list, tuple)) or not all(
+            isinstance(d, str) for d in dimensions
+        ):
+            raise ReproError(
+                f"malformed partial entry {entry!r}: dimensions must be a list of URI strings"
+            )
+        yield entry
+
+
 def loads_relationships(text: str) -> RelationshipSet:
-    """Parse a relationship set from its JSON string form."""
+    """Parse a relationship set from its JSON string form.
+
+    Raises :class:`ReproError` naming the offending entry when the
+    payload shape is invalid (non-pair containment entries, non-numeric
+    degrees, partial entries without ``container``/``contained``...).
+    """
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ReproError(f"invalid relationship JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"malformed relationship store: expected an object, got {payload!r}")
     version = payload.get("version")
     if version != _FORMAT_VERSION:
         raise ReproError(f"unsupported relationship-store version {version!r}")
     result = RelationshipSet()
-    for a, b in payload.get("full", ()):
+    for a, b in _pair_entries(payload, "full"):
         result.add_full(URIRef(a), URIRef(b))
-    for a, b in payload.get("complementary", ()):
+    for a, b in _pair_entries(payload, "complementary"):
         result.add_complementary(URIRef(a), URIRef(b))
-    for entry in payload.get("partial", ()):
+    for entry in _partial_entries(payload):
         dims = frozenset(URIRef(d) for d in entry.get("dimensions", ()))
+        degree = entry.get("degree")
         result.add_partial(
             URIRef(entry["container"]),
             URIRef(entry["contained"]),
             dims if dims else None,
-            entry.get("degree"),
+            float(degree) if degree is not None else None,
         )
     return result
 
 
 def save_relationships(result: RelationshipSet, target: str | Path | IO[str], indent: int | None = None) -> None:
-    """Write the JSON form to a path or text file object."""
+    """Write the JSON form to a path or text file object.
+
+    Path targets are written atomically (temp file + ``os.replace``):
+    a crash mid-write never corrupts an existing store.
+    """
     text = dumps_relationships(result, indent=indent)
     if hasattr(target, "write"):
         target.write(text)  # type: ignore[union-attr]
         return
-    Path(target).write_text(text)  # type: ignore[arg-type]
+    atomic_write_text(target, text)  # type: ignore[arg-type]
 
 
 def load_relationships(source: str | Path | IO[str]) -> RelationshipSet:

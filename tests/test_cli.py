@@ -75,6 +75,64 @@ class TestCompute:
             main(["compute", "--input", str(corpus_file), "--method", "magic"])
 
 
+class TestErrorHandling:
+    def test_malformed_input_exits_with_diagnostic(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.ttl"
+        bad.write_text("this is not turtle {{{")
+        code = main(["compute", "--input", str(bad), "--method", "cube_masking"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1  # one line, not a traceback
+
+    def test_missing_input_exits_with_diagnostic(self, tmp_path, capsys):
+        code = main(["compute", "--input", str(tmp_path / "nope.ttl")])
+        assert code == 3
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_malformed_json_store_input(self, corpus_file, tmp_path, capsys):
+        # --workers with a non-cube_masking method is a library error, not a crash
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "baseline", "--workers", "2"])
+        assert code == 3
+        assert "cube_masking" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_checkpoint_and_resume_roundtrip(self, corpus_file, tmp_path, capsys):
+        # compare the canonical JSON store (deterministic), not the RDF
+        # serialisation, whose blank-node labels differ between runs
+        ckpt = tmp_path / "run.jsonl"
+        out1 = tmp_path / "first.json"
+        code = main(["compute", "--input", str(corpus_file), "--method", "cube_masking",
+                     "--checkpoint", str(ckpt), "--json-output", str(out1)])
+        assert code == 0
+        assert ckpt.exists()
+        out2 = tmp_path / "second.json"
+        code = main(["compute", "--input", str(corpus_file), "--method", "cube_masking",
+                     "--checkpoint", str(ckpt), "--resume", "--json-output", str(out2)])
+        assert code == 0
+        assert out1.read_text() == out2.read_text()
+
+    def test_existing_checkpoint_without_resume_fails(self, corpus_file, tmp_path, capsys):
+        ckpt = tmp_path / "run.jsonl"
+        assert main(["compute", "--input", str(corpus_file), "--checkpoint", str(ckpt)]) == 0
+        code = main(["compute", "--input", str(corpus_file), "--checkpoint", str(ckpt)])
+        assert code == 3
+        assert "resume" in capsys.readouterr().err
+
+    def test_workers_flag(self, corpus_file, tmp_path):
+        out = tmp_path / "par.json"
+        seq = tmp_path / "seq.json"
+        main(["compute", "--input", str(corpus_file), "--method", "cube_masking",
+              "--json-output", str(seq)])
+        code = main(["compute", "--input", str(corpus_file), "--method", "cube_masking",
+                     "--workers", "2", "--max-retries", "1", "--checkpoint",
+                     str(tmp_path / "w.jsonl"), "--json-output", str(out)])
+        assert code == 0
+        assert out.read_text() == seq.read_text()
+
+
 class TestValidate:
     def test_valid_corpus_passes(self, corpus_file):
         assert main(["validate", "--input", str(corpus_file)]) == 0

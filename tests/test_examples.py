@@ -45,6 +45,13 @@ def test_incremental_example(capsys):
     assert "results identical" in out
 
 
+def test_resilient_pipeline_example(capsys):
+    run_example("resilient_pipeline.py")
+    out = capsys.readouterr().out
+    assert "Interrupted after" in out
+    assert "results identical" in out
+
+
 def test_method_comparison_small(monkeypatch, capsys):
     sys.path.insert(0, str(EXAMPLES))
     try:

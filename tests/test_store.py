@@ -64,3 +64,98 @@ class TestErrors:
     def test_missing_version(self):
         with pytest.raises(ReproError):
             loads_relationships('{"full": []}')
+
+    def test_non_object_payload(self):
+        with pytest.raises(ReproError):
+            loads_relationships("[1, 2, 3]")
+
+
+class TestPayloadValidation:
+    """Malformed entries raise ReproError naming the offender, never
+    a bare KeyError/TypeError."""
+
+    def test_non_list_full_section(self):
+        with pytest.raises(ReproError, match="'full'"):
+            loads_relationships('{"version": 1, "full": "oops"}')
+
+    def test_full_entry_not_a_pair(self):
+        with pytest.raises(ReproError, match="a-single-uri"):
+            loads_relationships('{"version": 1, "full": [["a-single-uri"]]}')
+
+    def test_full_entry_non_string(self):
+        with pytest.raises(ReproError, match="full entry"):
+            loads_relationships('{"version": 1, "full": [[1, 2]]}')
+
+    def test_complementary_entry_not_a_pair(self):
+        with pytest.raises(ReproError, match="complementary entry"):
+            loads_relationships('{"version": 1, "complementary": [["a", "b", "c"]]}')
+
+    def test_partial_entry_not_an_object(self):
+        with pytest.raises(ReproError, match="partial entry"):
+            loads_relationships('{"version": 1, "partial": ["nope"]}')
+
+    def test_partial_missing_container(self):
+        with pytest.raises(ReproError, match="container"):
+            loads_relationships('{"version": 1, "partial": [{"contained": "b"}]}')
+
+    def test_partial_missing_contained(self):
+        with pytest.raises(ReproError, match="contained"):
+            loads_relationships(
+                '{"version": 1, "partial": [{"container": "a", "degree": 0.5}]}'
+            )
+
+    def test_partial_non_numeric_degree(self):
+        with pytest.raises(ReproError, match="degree"):
+            loads_relationships(
+                '{"version": 1, "partial": [{"container": "a", "contained": "b", "degree": "high"}]}'
+            )
+
+    def test_partial_boolean_degree(self):
+        with pytest.raises(ReproError, match="degree"):
+            loads_relationships(
+                '{"version": 1, "partial": [{"container": "a", "contained": "b", "degree": true}]}'
+            )
+
+    def test_partial_non_list_dimensions(self):
+        with pytest.raises(ReproError, match="dimensions"):
+            loads_relationships(
+                '{"version": 1, "partial": [{"container": "a", "contained": "b", "dimensions": 4}]}'
+            )
+
+    def test_null_degree_is_allowed(self):
+        loaded = loads_relationships(
+            '{"version": 1, "partial": [{"container": "a", "contained": "b", "degree": null}]}'
+        )
+        assert len(loaded.partial) == 1
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, result, tmp_path):
+        path = tmp_path / "links.json"
+        save_relationships(result, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["links.json"]
+
+    def test_failed_write_preserves_existing_store(self, result, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "links.json"
+        save_relationships(result, path)
+        original = path.read_text()
+
+        def explode(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            save_relationships(result, path, indent=2)
+        assert path.read_text() == original  # old store untouched
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "links.json"]
+        assert leftovers == []  # temp file cleaned up on failure
+
+    def test_atomic_write_text_roundtrip(self, tmp_path):
+        from repro.store import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
