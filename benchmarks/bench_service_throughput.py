@@ -1,0 +1,142 @@
+"""Query-throughput benchmark for the relationship service.
+
+Measures, on synthetic corpora (Section 4.2 generator):
+
+1. **Point lookups** on a 10k-observation corpus: after the one-off
+   index build, ``containers``/``contained``/``complements`` answer
+   from adjacency probes — O(answer size), never a scan over the pair
+   sets — so per-query latency stays in the microseconds even with
+   hundreds of thousands of indexed pairs.
+2. **Cached vs uncached** repeated top-k ``related`` queries on a
+   partial-containment-dense corpus: the generation-stamped LRU should
+   serve a repeated query at least an order of magnitude faster than
+   recomputing the merge/sort (the ISSUE's >=10x criterion).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import compute_cubemask
+from repro.data.synthetic import build_synthetic_space
+from repro.service import QueryEngine
+
+
+def _timed(label: str, fn):
+    started = time.perf_counter()
+    value = fn()
+    elapsed = time.perf_counter() - started
+    print(f"  {label}: {elapsed:.3f}s")
+    return value, elapsed
+
+
+def bench_point_lookups(n: int, probes: int = 1000, seed: int = 42) -> dict:
+    """Index-probe latency on a corpus with full+complementary pairs."""
+    print(f"point lookups — synthetic corpus, n={n}")
+    space = build_synthetic_space(n, dimension_count=4, seed=seed)
+    result, compute_s = _timed(
+        "materialise S_F+S_C (cubeMasking)",
+        lambda: compute_cubemask(space, targets=("full", "complementary")),
+    )
+    engine, build_s = _timed(
+        "index + engine build", lambda: QueryEngine(result, space, cache_size=0)
+    )
+    uris = [record.uri for record in space.observations]
+    step = max(1, len(uris) // probes)
+    probe_uris = uris[::step][:probes]
+    started = time.perf_counter()
+    answered = 0
+    for uri in probe_uris:
+        answered += len(engine.containers(uri))
+        answered += len(engine.contained(uri))
+        answered += len(engine.complements(uri))
+    elapsed = time.perf_counter() - started
+    per_query = elapsed / (3 * len(probe_uris))
+    print(
+        f"  {3 * len(probe_uris)} point lookups over "
+        f"{result.total()} indexed pairs: {per_query * 1e6:.1f} us/query "
+        f"({answered} uris returned)"
+    )
+    return {
+        "n": n,
+        "pairs": result.total(),
+        "compute_s": compute_s,
+        "build_s": build_s,
+        "point_lookup_us": per_query * 1e6,
+    }
+
+
+def bench_cached_speedup(
+    n: int, hot: int = 128, rounds: int = 5, k: int = 10, seed: int = 7
+) -> dict:
+    """Repeated top-k related queries, LRU cache on vs off."""
+    print(f"cached vs uncached — synthetic corpus, n={n} (with partial containment)")
+    space = build_synthetic_space(n, dimension_count=4, seed=seed)
+    result, _ = _timed("materialise S_F+S_P+S_C", lambda: compute_cubemask(space))
+    hot_uris = [record.uri for record in space.observations[:hot]]
+
+    uncached = QueryEngine(result, space, cache_size=0)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for uri in hot_uris:
+            uncached.related(uri, k)
+    uncached_s = time.perf_counter() - started
+    uncached_qps = rounds * len(hot_uris) / uncached_s
+
+    cached = QueryEngine(result, space, cache_size=4 * hot)
+    for uri in hot_uris:  # warm the cache once
+        cached.related(uri, k)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for uri in hot_uris:
+            cached.related(uri, k)
+    cached_s = time.perf_counter() - started
+    cached_qps = rounds * len(hot_uris) / cached_s
+
+    speedup = uncached_s / cached_s if cached_s else float("inf")
+    print(f"  uncached related(k={k}): {uncached_qps:,.0f} queries/s")
+    print(
+        f"  cached   related(k={k}): {cached_qps:,.0f} queries/s "
+        f"(hit rate {cached.cache.hit_rate:.0%})"
+    )
+    print(f"  cached vs uncached speedup: {speedup:.1f}x")
+    return {
+        "n": n,
+        "uncached_qps": uncached_qps,
+        "cached_qps": cached_qps,
+        "speedup": speedup,
+        "hit_rate": cached.cache.hit_rate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small corpora (for CI smoke)"
+    )
+    parser.add_argument("--n-lookup", type=int, default=None, help="point-lookup corpus size")
+    parser.add_argument("--n-cache", type=int, default=None, help="cache-benchmark corpus size")
+    args = parser.parse_args(argv)
+    n_lookup = args.n_lookup or (2000 if args.quick else 10000)
+    n_cache = args.n_cache or (500 if args.quick else 2000)
+
+    print("== relationship service throughput ==")
+    lookup = bench_point_lookups(n_lookup)
+    cache = bench_cached_speedup(n_cache)
+    print("== summary ==")
+    print(
+        f"point lookups: {lookup['point_lookup_us']:.1f} us/query over "
+        f"{lookup['pairs']} pairs (index build {lookup['build_s']:.2f}s)"
+    )
+    print(f"cache speedup: {cache['speedup']:.1f}x (target >= 10x)")
+    return 0 if cache["speedup"] >= 10 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

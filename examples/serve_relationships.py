@@ -1,0 +1,94 @@
+"""Materialise once, serve interactively (docs/service.md in action).
+
+The batch pipeline computes the containment/complementarity sets; the
+serving layer then answers exploration queries — "what contains this
+observation?", "what are its top-k related observations?" — from an
+adjacency index in microseconds, with an LRU cache in front and live
+inserts routed through the lattice-pruned incremental recomputation.
+
+The example starts the real HTTP server on an ephemeral port on a
+background thread and talks to it with plain ``urllib``, exactly like
+an external client (or ``curl``) would.
+
+Run with::
+
+    python examples/serve_relationships.py
+"""
+
+import json
+import urllib.request
+from urllib.parse import quote
+
+from repro import ObservationSpace, compute_relationships
+from repro.data.realworld import build_realworld_cubespace
+from repro.service import QueryEngine, start_server
+
+
+def get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path) as response:
+        return json.load(response)
+
+
+def main() -> None:
+    # --- Offline: materialise the relationship sets. ------------------
+    cube = build_realworld_cubespace(scale=0.002, seed=11)
+    space = ObservationSpace.from_cubespace(cube)
+    result = compute_relationships(space, "cube_masking")
+    print(f"Materialised {result} over {len(space)} observations")
+
+    # --- Online: index, cache, HTTP. ----------------------------------
+    engine = QueryEngine(result, space, cache_size=512)
+    server = start_server(engine)  # ephemeral port, background thread
+    host, port = server.server_address
+    base = f"http://{host}:{port}"
+    print(f"Serving on {base}")
+
+    print("health:", get(base, "/healthz"))
+
+    # Pick an observation with containers and explore around it.
+    probe = next(
+        (uri for uri in engine.find() if engine.containers(uri)),
+        space.observations[0].uri,
+    )
+    encoded = quote(str(probe), safe="")
+    print(f"\nexploring {probe}")
+    print("  containers:", get(base, f"/observations/{encoded}/containers")["containers"][:3])
+    for entry in get(base, f"/observations/{encoded}/related?k=3")["related"]:
+        print(f"  related: {entry['uri']}  score={entry['score']:.2f}  ({entry['relation']})")
+
+    # Live insert: a twin of the probe observation joins the corpus.
+    record = next(r for r in space.observations if r.uri == probe)
+    payload = {
+        "observations": [
+            {
+                "uri": "http://example.org/live/obs-1",
+                "dataset": str(record.dataset),
+                "dimensions": {
+                    str(d): str(c) for d, c in zip(space.dimensions, record.codes)
+                },
+                "measures": [str(m) for m in record.measures],
+            }
+        ]
+    }
+    request = urllib.request.Request(
+        base + "/observations",
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        print("\ninsert:", json.load(response))
+    complements = get(base, "/observations/http%3A%2F%2Fexample.org%2Flive%2Fobs-1/complements")
+    print("new observation complements:", complements["complements"])
+
+    stats = get(base, "/stats")
+    print(
+        f"\ncache: {stats['cache']['hits']} hits / {stats['cache']['misses']} misses, "
+        f"generation {stats['generation']}"
+    )
+    server.shutdown()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,7 @@ from repro.core import (
     ObservationSpace,
     OccurrenceMatrix,
     Recall,
+    RelationshipDelta,
     RelationshipSet,
     compute_baseline,
     compute_baseline_streaming,
@@ -50,7 +51,9 @@ from repro.errors import (
     CheckpointError,
     ComputationError,
     ReproError,
+    ServiceError,
     UnitTimeoutError,
+    UnknownObservationError,
     WorkerCrashError,
 )
 from repro.qb import (
@@ -76,6 +79,7 @@ from repro.rdf import (
     serialize_trig,
     serialize_turtle,
 )
+from repro.service import QueryEngine, RelationshipIndex, start_server
 from repro.store import load_relationships, save_relationships
 
 __version__ = "1.0.0"
@@ -99,6 +103,7 @@ __all__ = [
     "OccurrenceMatrix",
     "CubeLattice",
     "RelationshipSet",
+    "RelationshipDelta",
     "Recall",
     # applications
     "skyline",
@@ -132,6 +137,10 @@ __all__ = [
     # persistence
     "save_relationships",
     "load_relationships",
+    # serving
+    "RelationshipIndex",
+    "QueryEngine",
+    "start_server",
     # resilience
     "MaterializationRunner",
     "run_materialization",
@@ -143,4 +152,6 @@ __all__ = [
     "WorkerCrashError",
     "UnitTimeoutError",
     "CheckpointError",
+    "ServiceError",
+    "UnknownObservationError",
 ]

@@ -1,15 +1,20 @@
 """Command-line interface.
 
-Three subcommands::
+Five subcommands::
 
     python -m repro compute  --input cube.ttl --method cube_masking --output links.ttl
     python -m repro generate --kind realworld --scale 0.01 --output corpus.ttl
-    python -m repro inspect  --input cube.ttl
+    python -m repro inspect  --input cube.ttl          # or a .json store
+    python -m repro validate --input cube.ttl
+    python -m repro serve    --store links.json --input cube.ttl --port 8080
 
 ``compute`` loads a QB cube from Turtle or N-Triples, computes the
 relationships with the chosen method and writes them back as RDF links
 (or a text summary to stdout).  ``generate`` materialises one of the
-evaluation corpora.  ``inspect`` prints the cube-space profile.
+evaluation corpora.  ``inspect`` prints the cube-space profile of a
+cube file, or the pair counts/degree histogram of a ``.json``
+relationship store.  ``serve`` exposes a materialised store as the
+HTTP query service of :mod:`repro.service`.
 """
 
 from __future__ import annotations
@@ -121,7 +126,43 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _inspect_relationship_store(path: str) -> int:
+    from repro.store import load_relationships, profile_relationships
+
+    try:
+        result = load_relationships(path)
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+    profile = profile_relationships(result)
+    print(
+        f"relationship store {path} "
+        f"(format {profile['format']}, version {profile['version']})"
+    )
+    print(
+        f"  pairs: full={profile['full_pairs']} partial={profile['partial_pairs']} "
+        f"complementary={profile['complementary_pairs']} (total {profile['total_pairs']})"
+    )
+    print(
+        f"  observations referenced: {profile['observations']}; "
+        f"degrees on {profile['degrees_recorded']} pair(s), "
+        f"dimension maps on {profile['partial_dimensions_recorded']}"
+    )
+    histogram = profile["degree_histogram"]
+    if any(histogram):
+        width = 1 / len(histogram)
+        print("  partial-containment degree histogram:")
+        peak = max(histogram)
+        for slot, count in enumerate(histogram):
+            bar = "#" * round(30 * count / peak) if peak else ""
+            print(f"    [{slot * width:.1f}, {(slot + 1) * width:.1f}): {count:6d} {bar}")
+    for container, count in profile["top_containers"]:
+        print(f"  top container: {container} fully contains {count} observation(s)")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    if args.input.endswith(".json"):
+        return _inspect_relationship_store(args.input)
     cube = load_cubespace(_read_graph(args.input))
     print(cube)
     for uri, dataset in cube.datasets.items():
@@ -130,6 +171,35 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(f"  {uri.local_name()}: {len(dataset)} observations; dims [{dims}]; measures [{measures}]")
     for dimension, hierarchy in cube.hierarchies.items():
         print(f"  hierarchy {dimension.local_name()}: {len(hierarchy)} codes, depth {hierarchy.max_level}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryEngine, start_server
+    from repro.store import load_relationships
+
+    try:
+        result = load_relationships(args.store)
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.store}: {exc}") from exc
+    space = None
+    if args.input:
+        space = ObservationSpace.from_cubespace(load_cubespace(_read_graph(args.input)))
+    engine = QueryEngine(result, space, cache_size=args.cache_size)
+    mutable = "enabled" if space is not None else "disabled (no --input space)"
+    print(
+        f"# serving {result!r} on http://{args.host}:{args.port} "
+        f"(cache {args.cache_size}, writes {mutable})",
+        file=sys.stderr,
+    )
+    try:
+        start_server(
+            engine, host=args.host, port=args.port, background=False, verbose=args.verbose
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    except KeyboardInterrupt:
+        print("repro: serve: shutting down", file=sys.stderr)
     return 0
 
 
@@ -201,6 +271,30 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="check QB integrity constraints")
     validate.add_argument("--input", required=True)
     validate.set_defaults(handler=_cmd_validate)
+
+    serve = sub.add_parser(
+        "serve", help="serve a relationship store over HTTP (JSON API)"
+    )
+    serve.add_argument(
+        "--store", required=True, help="relationship store (.json, from compute --json-output)"
+    )
+    serve.add_argument(
+        "--input",
+        help="the QB cube file the store was computed from; enables "
+        "dataset/dimension filters and POST/DELETE incremental writes",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="query-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
@@ -214,6 +308,10 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("repro: interrupted (checkpoint flushed; rerun with --resume)", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # stdout closed early (e.g. `repro inspect ... | head`); not an error
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -38,7 +38,7 @@ from repro.core.matrix import OccurrenceMatrix
 from repro.core.olap import CubeNavigator, rollup_dataset
 from repro.core.parallel import compute_cubemask_parallel
 from repro.core.recommend import Recommendation, dataset_relatedness, recommend_observations
-from repro.core.results import Recall, RelationshipSet
+from repro.core.results import Recall, RelationshipDelta, RelationshipSet
 from repro.core.rules_method import compute_rules
 from repro.core.runner import Checkpoint, MaterializationRunner, run_materialization, space_fingerprint
 from repro.core.skyline import k_dominant_skyline, skyline, skyline_from_relationships
@@ -70,6 +70,7 @@ __all__ = [
     "OccurrenceMatrix",
     "CubeLattice",
     "RelationshipSet",
+    "RelationshipDelta",
     "Recall",
     "skyline",
     "k_dominant_skyline",

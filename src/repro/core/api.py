@@ -23,7 +23,7 @@ from repro.errors import AlgorithmError
 from repro.core.baseline import compute_baseline
 from repro.core.cluster_method import compute_clustering
 from repro.core.cubemask import compute_cubemask
-from repro.core.results import RelationshipSet
+from repro.core.results import RelationshipDelta, RelationshipSet, canonical
 from repro.core.rules_method import compute_rules
 from repro.core.space import ObservationSpace
 from repro.core.sparql_method import compute_sparql
@@ -131,51 +131,141 @@ def update_relationships(
     space: ObservationSpace,
     result: RelationshipSet,
     new_observations: Iterable[tuple[URIRef, URIRef, Mapping[URIRef, URIRef], Iterable[URIRef]]],
-) -> RelationshipSet:
+    *,
+    return_delta: bool = False,
+) -> RelationshipSet | tuple[RelationshipSet, RelationshipDelta]:
     """Incrementally extend ``result`` with relationships of new data.
 
     Appends each ``(uri, dataset, dims, measures)`` tuple to ``space``
-    and checks only the pairs that involve at least one new observation
-    — O(n·m) for m new observations instead of O((n+m)²).  ``result``
-    is mutated in place and returned.
+    and checks only the pairs that involve at least one new observation.
+    Candidate pairs are routed through the cube-lattice signature
+    pruning of Algorithm 4: a pair whose level signatures admit neither
+    containment direction (and whose cubes share no measure and are not
+    the same cube) is skipped without touching a single dimension —
+    incremental insert therefore skips provably unrelated cubes exactly
+    like the batch cubeMasking method does.  ``result`` is mutated in
+    place and returned.
+
+    With ``return_delta=True`` the return value is ``(result, delta)``
+    where ``delta`` is a :class:`~repro.core.results.RelationshipDelta`
+    listing the pairs this call added — the hook the relationship
+    service uses for O(|delta|) index maintenance and cache
+    invalidation.
     """
+    from repro.core.lattice import CubeLattice, dominates, partially_dominates
+
+    delta = RelationshipDelta()
     start = len(space)
     for uri, dataset, dims, measures in new_observations:
         space.add(uri, dataset, dims, measures)
     n = len(space)
+    if n == start:
+        return (result, delta) if return_delta else result
     total = len(space.dimensions)
     uris = [record.uri for record in space.observations]
+    codes = [record.codes for record in space.observations]
+
+    def emit_full(a: int, b: int) -> None:
+        pair = (uris[a], uris[b])
+        if pair not in result.full:
+            result.add_full(*pair)
+            delta.added_full.add(pair)
+
+    def emit_complementary(a: int, b: int) -> None:
+        pair = canonical(uris[a], uris[b])
+        if pair not in result.complementary:
+            result.complementary.add(pair)
+            delta.added_complementary.add(pair)
+
+    def emit_partial(a: int, b: int, count: int) -> None:
+        pair = (uris[a], uris[b])
+        dims = space.partial_dimensions(a, b)
+        degree = count / total if total else None
+        fresh = pair not in result.partial
+        result.add_partial(*pair, dims, degree)
+        if fresh:
+            delta.added_partial.add(pair)
+            delta.partial_map[pair] = dims
+            if degree is not None:
+                delta.degrees[pair] = degree
 
     def check_pair(a: int, b: int) -> None:
         if a == b:
             return
-        count = sum(
-            1 for p in range(total) if space.dimension_contains(a, b, p)
-        )
+        count = sum(1 for p in range(total) if space.dimension_contains(a, b, p))
         overlap = space.measure_overlap(a, b)
         if count == total:
             if overlap:
-                result.add_full(uris[a], uris[b])
-            if a < b and space.observations[a].codes == space.observations[b].codes:
-                result.add_complementary(uris[a], uris[b])
+                emit_full(a, b)
+            if a < b and codes[a] == codes[b]:
+                emit_complementary(a, b)
         elif 0 < count < total and overlap:
-            result.add_partial(
-                uris[a], uris[b], space.partial_dimensions(a, b), count / total if total else None
-            )
+            emit_partial(a, b, count)
 
-    for new in range(start, n):
-        for other in range(n):
-            check_pair(new, other)
-            if other < start:
-                check_pair(other, new)
-    return result
+    # ------------------------------------------------------------------
+    # Cube-level pruning (Algorithm 4 applied to the delta): group the
+    # space by level signature once, then only scan member pairs of
+    # cube pairs whose signatures admit a containment direction.  A
+    # cube pair also needs overlapping measures unless the signatures
+    # are equal (complementarity needs no shared measure).
+    # ------------------------------------------------------------------
+    lattice = CubeLattice(space)
+    signatures = lattice.signatures
+    measure_groups: dict[frozenset, int] = {}
+    assignment = []
+    for record in space.observations:
+        assignment.append(measure_groups.setdefault(record.measures, len(measure_groups)))
+    groups = list(measure_groups)
+    overlap_table = [[not gi.isdisjoint(gj) for gj in groups] for gi in groups]
+    cube_groups = {
+        cube: frozenset(assignment[i] for i in members)
+        for cube, members in lattice.nodes.items()
+    }
+
+    def cubes_share_measures(cube_a, cube_b) -> bool:
+        return any(
+            overlap_table[i][j] for i in cube_groups[cube_a] for j in cube_groups[cube_b]
+        )
+
+    def admissible(cube_a, cube_b) -> bool:
+        """May *any* member pair (a in cube_a, b in cube_b) relate?"""
+        if not (dominates(cube_a, cube_b) or partially_dominates(cube_a, cube_b)):
+            return False
+        return cube_a == cube_b or cubes_share_measures(cube_a, cube_b)
+
+    new_cubes: dict = {}
+    for index in range(start, n):
+        new_cubes.setdefault(signatures[index], []).append(index)
+
+    for cube_b, new_members in new_cubes.items():
+        # Direction 1: pre-existing observations as container candidates.
+        for cube_a, members_a in lattice.nodes.items():
+            if not admissible(cube_a, cube_b):
+                continue
+            for a in members_a:
+                if a >= start:
+                    continue  # new-new pairs are covered by direction 2
+                for b in new_members:
+                    check_pair(a, b)
+    for cube_a, new_members in new_cubes.items():
+        # Direction 2: new observations as container candidates (the
+        # contained side ranges over the whole space, new included).
+        for cube_b, members_b in lattice.nodes.items():
+            if not admissible(cube_a, cube_b):
+                continue
+            for a in new_members:
+                for b in members_b:
+                    check_pair(a, b)
+    return (result, delta) if return_delta else result
 
 
 def remove_observations(
     space: ObservationSpace,
     result: RelationshipSet,
     uris: Iterable[URIRef],
-) -> tuple[ObservationSpace, RelationshipSet]:
+    *,
+    return_delta: bool = False,
+) -> tuple[ObservationSpace, RelationshipSet] | tuple[ObservationSpace, RelationshipSet, RelationshipDelta]:
     """Incrementally retract observations.
 
     Returns ``(new_space, result)`` where ``new_space`` is a re-indexed
@@ -183,6 +273,10 @@ def remove_observations(
     place) has every pair touching a removed observation purged —
     retraction never requires recomputation because relationships are
     pairwise.
+
+    With ``return_delta=True`` a third element reports the purged pairs
+    (``delta.removed_*``) so an index over ``result`` can retract the
+    same edges without a rebuild.
     """
     removed = set(uris)
     unknown = removed - {record.uri for record in space.observations}
@@ -192,15 +286,17 @@ def remove_observations(
         record.index for record in space.observations if record.uri not in removed
     ]
     new_space = space.select(survivors)
-    result.full = {pair for pair in result.full if not (set(pair) & removed)}
-    result.partial = {pair for pair in result.partial if not (set(pair) & removed)}
-    result.complementary = {
-        pair for pair in result.complementary if not (set(pair) & removed)
-    }
-    result.partial_map = {
-        pair: dims for pair, dims in result.partial_map.items() if not (set(pair) & removed)
-    }
-    result.degrees = {
-        pair: degree for pair, degree in result.degrees.items() if not (set(pair) & removed)
-    }
+    delta = RelationshipDelta(
+        removed_full={pair for pair in result.full if set(pair) & removed},
+        removed_partial={pair for pair in result.partial if set(pair) & removed},
+        removed_complementary={pair for pair in result.complementary if set(pair) & removed},
+    )
+    result.full -= delta.removed_full
+    result.partial -= delta.removed_partial
+    result.complementary -= delta.removed_complementary
+    for pair in delta.removed_partial:
+        result.partial_map.pop(pair, None)
+        result.degrees.pop(pair, None)
+    if return_delta:
+        return new_space, result, delta
     return new_space, result

@@ -18,7 +18,7 @@ from typing import Iterable, Mapping
 
 from repro.rdf.terms import URIRef
 
-__all__ = ["RelationshipSet", "Recall"]
+__all__ = ["RelationshipSet", "RelationshipDelta", "Recall"]
 
 Pair = tuple[URIRef, URIRef]
 
@@ -39,6 +39,56 @@ class Recall:
     @property
     def overall(self) -> float:
         return (self.full + self.partial + self.complementary) / 3
+
+
+@dataclass
+class RelationshipDelta:
+    """The edge-level difference produced by one incremental write.
+
+    :func:`~repro.core.api.update_relationships` and
+    :func:`~repro.core.api.remove_observations` report the pairs they
+    added to / purged from each relation so downstream consumers (the
+    relationship service's :class:`~repro.service.index.RelationshipIndex`,
+    cache invalidation...) can apply the change in O(|delta|) instead of
+    rebuilding from the full :class:`RelationshipSet`.
+
+    ``partial_map`` / ``degrees`` carry the metadata of the *added*
+    partial pairs only; removed pairs need no metadata to retract.
+    """
+
+    added_full: set[Pair] = field(default_factory=set)
+    added_partial: set[Pair] = field(default_factory=set)
+    added_complementary: set[Pair] = field(default_factory=set)
+    removed_full: set[Pair] = field(default_factory=set)
+    removed_partial: set[Pair] = field(default_factory=set)
+    removed_complementary: set[Pair] = field(default_factory=set)
+    partial_map: dict[Pair, frozenset[URIRef]] = field(default_factory=dict)
+    degrees: dict[Pair, float] = field(default_factory=dict)
+
+    def total_added(self) -> int:
+        return len(self.added_full) + len(self.added_partial) + len(self.added_complementary)
+
+    def total_removed(self) -> int:
+        return len(self.removed_full) + len(self.removed_partial) + len(self.removed_complementary)
+
+    def __bool__(self) -> bool:
+        return (self.total_added() + self.total_removed()) > 0
+
+    def touched(self) -> set[URIRef]:
+        """Every observation URI appearing in an added or removed pair."""
+        uris: set[URIRef] = set()
+        for pairs in (
+            self.added_full,
+            self.added_partial,
+            self.added_complementary,
+            self.removed_full,
+            self.removed_partial,
+            self.removed_complementary,
+        ):
+            for a, b in pairs:
+                uris.add(a)
+                uris.add(b)
+        return uris
 
 
 class RelationshipSet:

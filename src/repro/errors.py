@@ -122,3 +122,18 @@ class UnitTimeoutError(ComputationError):
 class CheckpointError(ComputationError):
     """A materialisation checkpoint is missing, stale or inconsistent
     with the requested computation."""
+
+
+class ServiceError(ReproError):
+    """Base class for relationship-service (query/serving) errors."""
+
+
+class UnknownObservationError(ServiceError):
+    """A query referenced an observation the index does not know.
+
+    Maps to HTTP 404 in the serving layer.
+    """
+
+    def __init__(self, uri: object):
+        super().__init__(f"unknown observation: {uri}")
+        self.uri = uri

@@ -1,0 +1,52 @@
+"""The relationship query service.
+
+Turns a materialised :class:`~repro.core.results.RelationshipSet` (plus
+optionally its :class:`~repro.core.space.ObservationSpace`) into a
+queryable, servable artifact:
+
+``index``
+    :class:`RelationshipIndex` — forward/reverse adjacency over
+    S_F/S_P/S_C, per-dataset and per-cube groupings, degree-sorted
+    neighbour lists; O(answer) point lookups, O(|delta|) incremental
+    maintenance.
+``engine``
+    :class:`QueryEngine` — point lookups, top-k related queries,
+    transitive containment walks and filters behind a generation-
+    stamped LRU cache and a readers–writer lock.
+``server``
+    :class:`RelationshipServer` / :func:`start_server` — the stdlib
+    ``ThreadingHTTPServer`` JSON API (``repro serve``).
+``metrics``
+    :class:`ServiceMetrics` — request counters, latency histograms and
+    cache hit rate in Prometheus text exposition.
+``cache`` / ``rwlock``
+    The supporting LRU cache and readers–writer lock primitives.
+
+Quickstart::
+
+    from repro import compute_relationships, load_relationships
+    from repro.service import QueryEngine, start_server
+
+    engine = QueryEngine(load_relationships("links.json"))
+    print(engine.containers(some_observation_uri))
+
+    server = start_server(engine, port=8080)   # background thread
+    # curl http://127.0.0.1:8080/healthz
+"""
+
+from repro.service.cache import LRUCache
+from repro.service.engine import QueryEngine
+from repro.service.index import RelationshipIndex
+from repro.service.metrics import ServiceMetrics
+from repro.service.rwlock import RWLock
+from repro.service.server import RelationshipServer, start_server
+
+__all__ = [
+    "RelationshipIndex",
+    "QueryEngine",
+    "RelationshipServer",
+    "start_server",
+    "ServiceMetrics",
+    "LRUCache",
+    "RWLock",
+]

@@ -1,0 +1,98 @@
+"""Size-bounded, generation-aware LRU cache for the query engine.
+
+Every cached value is stamped with the index *generation* it was
+computed from.  Incremental writes bump the engine's generation
+counter; a subsequent ``get`` for an entry stamped with an older
+generation is a miss (and evicts the stale entry), so a write
+invalidates the whole cache in O(1) without walking it — stale entries
+simply age out or are dropped on first touch.
+
+``maxsize=0`` disables caching entirely (every lookup is a miss); the
+throughput benchmark uses that to measure the uncached path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["LRUCache"]
+
+_MISS = object()
+
+
+class LRUCache:
+    """Thread-safe LRU with hit/miss accounting and generation stamps."""
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, generation: int) -> Any:
+        """Return the cached value, or ``LRUCache.MISS`` sentinel.
+
+        An entry stamped with a generation other than ``generation``
+        counts as a miss and is discarded.
+        """
+        with self._lock:
+            entry = self._data.get(key, _MISS)
+            if entry is _MISS:
+                self.misses += 1
+                return _MISS
+            stamped, value = entry
+            if stamped != generation:
+                del self._data[key]
+                self.invalidations += 1
+                self.misses += 1
+                return _MISS
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, generation: int, value: Any) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = (generation, value)
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: Public miss sentinel (``cache.get(...) is LRUCache.MISS``).
+LRUCache.MISS = _MISS

@@ -1,0 +1,115 @@
+"""Service metrics in Prometheus text exposition format.
+
+:class:`ServiceMetrics` collects per-endpoint request counters and
+latency histograms; :meth:`ServiceMetrics.render` emits them together
+with engine gauges (cache hit rate, index generation, pair counts) as
+``text/plain; version=0.0.4`` — the format Prometheus scrapes, also
+perfectly readable with ``curl``.
+
+Only stdlib: counters under one mutex, histogram as cumulative fixed
+buckets (the standard Prometheus layout: every observation lands in
+all buckets with ``le`` >= its value, plus ``+Inf``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["ServiceMetrics"]
+
+#: Upper bounds (seconds) of the latency histogram buckets.
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class ServiceMetrics:
+    """Thread-safe request counters + latency histograms."""
+
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        # (endpoint, status) -> request count
+        self._requests: dict[tuple[str, int], int] = {}
+        # endpoint -> [per-bucket counts..., +Inf count]
+        self._histogram: dict[str, list[int]] = {}
+        self._latency_sum: dict[str, float] = {}
+        self._latency_count: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one served request."""
+        with self._lock:
+            key = (endpoint, status)
+            self._requests[key] = self._requests.get(key, 0) + 1
+            counts = self._histogram.setdefault(endpoint, [0] * (len(self.buckets) + 1))
+            counts[bisect_left(self.buckets, seconds)] += 1
+            self._latency_sum[endpoint] = self._latency_sum.get(endpoint, 0.0) + seconds
+            self._latency_count[endpoint] = self._latency_count.get(endpoint, 0) + 1
+
+    def request_count(self, endpoint: str | None = None) -> int:
+        with self._lock:
+            if endpoint is None:
+                return sum(self._requests.values())
+            return sum(
+                count for (ep, _), count in self._requests.items() if ep == endpoint
+            )
+
+    # ------------------------------------------------------------------
+    def render(self, engine_stats: dict | None = None) -> str:
+        """The metrics page body (Prometheus text exposition)."""
+        lines: list[str] = []
+        with self._lock:
+            lines.append("# HELP repro_requests_total HTTP requests served, by endpoint and status.")
+            lines.append("# TYPE repro_requests_total counter")
+            for (endpoint, status), count in sorted(self._requests.items()):
+                lines.append(
+                    f'repro_requests_total{{endpoint="{endpoint}",status="{status}"}} {count}'
+                )
+            lines.append("# HELP repro_request_latency_seconds Request latency, by endpoint.")
+            lines.append("# TYPE repro_request_latency_seconds histogram")
+            for endpoint in sorted(self._histogram):
+                counts = self._histogram[endpoint]
+                cumulative = 0
+                for bound, count in zip(self.buckets, counts):
+                    cumulative += count
+                    lines.append(
+                        f'repro_request_latency_seconds_bucket{{endpoint="{endpoint}",le="{bound}"}} {cumulative}'
+                    )
+                cumulative += counts[-1]
+                lines.append(
+                    f'repro_request_latency_seconds_bucket{{endpoint="{endpoint}",le="+Inf"}} {cumulative}'
+                )
+                lines.append(
+                    f'repro_request_latency_seconds_sum{{endpoint="{endpoint}"}} '
+                    f"{self._latency_sum[endpoint]!r}"
+                )
+                lines.append(
+                    f'repro_request_latency_seconds_count{{endpoint="{endpoint}"}} '
+                    f"{self._latency_count[endpoint]}"
+                )
+        if engine_stats:
+            cache = engine_stats.get("cache", {})
+            index = engine_stats.get("index", {})
+            gauges = [
+                ("repro_cache_hits_total", "Query-cache hits.", "counter", cache.get("hits", 0)),
+                ("repro_cache_misses_total", "Query-cache misses.", "counter", cache.get("misses", 0)),
+                ("repro_cache_evictions_total", "Query-cache LRU evictions.", "counter", cache.get("evictions", 0)),
+                ("repro_cache_hit_ratio", "Query-cache hit ratio.", "gauge", cache.get("hit_rate", 0.0)),
+                ("repro_cache_entries", "Live query-cache entries.", "gauge", cache.get("size", 0)),
+                ("repro_index_generation", "Index generation (bumps on every incremental write).", "gauge", engine_stats.get("generation", 0)),
+                ("repro_index_full_pairs", "Indexed full-containment pairs.", "gauge", index.get("full_pairs", 0)),
+                ("repro_index_partial_pairs", "Indexed partial-containment pairs.", "gauge", index.get("partial_pairs", 0)),
+                ("repro_index_complementary_pairs", "Indexed complementarity pairs.", "gauge", index.get("complementary_pairs", 0)),
+                ("repro_observations", "Observations in the served space.", "gauge", engine_stats.get("observations") or index.get("observations", 0)),
+            ]
+            for name, help_text, kind, value in gauges:
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {kind}")
+                lines.append(f"{name} {_format_value(value)}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,82 @@
+"""A readers–writer lock for the relationship service.
+
+Queries vastly outnumber writes in the serving workload, so plain
+mutual exclusion would serialise the read path for nothing.  This lock
+admits any number of concurrent readers; a writer gets exclusive
+access.  Writers take priority: once a writer is waiting, newly
+arriving readers block until it has run, so a steady stream of lookups
+cannot starve an incremental insert indefinitely.
+
+The implementation is a single condition variable over two counters —
+no busy waiting, no thread-local bookkeeping.  The lock is neither
+reentrant nor upgradable: a thread holding the read lock must release
+it before writing.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Many-readers / one-writer lock with writer priority."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._waiting_writers = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._waiting_writers:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # diagnostic only
+        return (
+            f"RWLock(readers={self._active_readers}, writer={self._writer_active}, "
+            f"waiting_writers={self._waiting_writers})"
+        )

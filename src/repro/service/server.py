@@ -1,0 +1,338 @@
+"""Stdlib HTTP serving layer for the relationship query engine.
+
+A :class:`RelationshipServer` is a ``ThreadingHTTPServer`` whose
+handler translates a small JSON API onto :class:`QueryEngine` calls.
+Observation ids are percent-encoded URIs in the path::
+
+    GET    /healthz                                liveness + generation
+    GET    /metrics                                Prometheus text format
+    GET    /stats                                  engine/cache/index stats
+    GET    /observations?dataset=&dimension=&limit=
+    GET    /observations/<id>                      relationship profile
+    GET    /observations/<id>/containers           full containers
+    GET    /observations/<id>/contained            fully contained
+    GET    /observations/<id>/complements          complementary
+    GET    /observations/<id>/related?k=           top-k, all relations
+    GET    /observations/<id>/partial?k=&direction=
+    GET    /observations/<id>/transitive?direction=up|down&max_depth=
+    POST   /observations                           incremental insert
+    DELETE /observations/<id>                      incremental retract
+
+Thread safety comes from the engine's readers–writer lock: the handler
+pool serves GETs concurrently under the shared side while POST/DELETE
+take the exclusive side, so no request ever observes a half-applied
+index mutation.  Every response is JSON except ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import ReproError, ServiceError, UnknownObservationError
+from repro.rdf.terms import URIRef
+from repro.service.engine import QueryEngine
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["RelationshipServer", "start_server"]
+
+
+class _HTTPError(Exception):
+    """Internal: abort the request with this status/message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class RelationshipHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request onto the server's query engine."""
+
+    server: "RelationshipServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload, content_type: str = "application/json") -> None:
+        body = (
+            payload.encode("utf-8")
+            if isinstance(payload, str)
+            else json.dumps(payload, default=str).encode("utf-8")
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        segments = [unquote(part) for part in split.path.split("/") if part]
+        query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        endpoint = "unknown"
+        status = 500
+        started = time.perf_counter()
+        try:
+            endpoint, status, payload, content_type = self._route(method, segments, query)
+            self._reply(status, payload, content_type)
+        except _HTTPError as exc:
+            status = exc.status
+            self._reply(status, {"error": str(exc)})
+        except UnknownObservationError as exc:
+            status = 404
+            self._reply(status, {"error": str(exc)})
+        except ServiceError as exc:
+            status = 409
+            self._reply(status, {"error": str(exc)})
+        except ReproError as exc:
+            status = 400
+            self._reply(status, {"error": str(exc)})
+        except BrokenPipeError:
+            status = 499  # client went away; nothing to send
+        except Exception as exc:  # pragma: no cover - defensive
+            status = 500
+            self._reply(status, {"error": f"internal error: {exc}"})
+        finally:
+            self.server.metrics.observe(endpoint, status, time.perf_counter() - started)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str, segments: list[str], query: dict):
+        engine = self.server.engine
+        if segments == ["healthz"] and method == "GET":
+            stats = engine.stats()
+            return (
+                "healthz",
+                200,
+                {
+                    "status": "ok",
+                    "generation": stats["generation"],
+                    "observations": stats["observations"],
+                },
+                "application/json",
+            )
+        if segments == ["metrics"] and method == "GET":
+            body = self.server.metrics.render(engine.stats())
+            return "metrics", 200, body, "text/plain; version=0.0.4; charset=utf-8"
+        if segments == ["stats"] and method == "GET":
+            return "stats", 200, engine.stats(), "application/json"
+        if not segments or segments[0] != "observations":
+            raise _HTTPError(404, f"no route for {'/'.join(segments) or '/'}")
+
+        if len(segments) == 1:
+            if method == "GET":
+                return self._list_observations(query)
+            if method == "POST":
+                return self._insert_observations()
+            raise _HTTPError(405, f"{method} not allowed on /observations")
+
+        uri = URIRef(segments[1])
+        if len(segments) == 2:
+            if method == "GET":
+                return "observation", 200, engine.summary(uri), "application/json"
+            if method == "DELETE":
+                delta = engine.remove([uri])
+                return (
+                    "delete",
+                    200,
+                    {
+                        "removed": 1,
+                        "generation": engine.generation,
+                        "pairs_removed": delta.total_removed(),
+                    },
+                    "application/json",
+                )
+            raise _HTTPError(405, f"{method} not allowed on /observations/<id>")
+
+        if method != "GET" or len(segments) != 3:
+            raise _HTTPError(404, f"no route for {'/'.join(segments)}")
+        relation = segments[2]
+        if relation == "containers":
+            return "containers", 200, {"uri": uri, "containers": list(engine.containers(uri))}, "application/json"
+        if relation == "contained":
+            return "contained", 200, {"uri": uri, "contained": list(engine.contained(uri))}, "application/json"
+        if relation == "complements":
+            return "complements", 200, {"uri": uri, "complements": list(engine.complements(uri))}, "application/json"
+        if relation == "related":
+            k = self._int_param(query, "k", 10)
+            return (
+                "related",
+                200,
+                {"uri": uri, "related": list(engine.related(uri, k))},
+                "application/json",
+            )
+        if relation == "partial":
+            k = self._int_param(query, "k", 10)
+            direction = query.get("direction", "both")
+            try:
+                entries = engine.top_partial(uri, k, direction)
+            except ValueError as exc:
+                raise _HTTPError(400, str(exc)) from None
+            return (
+                "partial",
+                200,
+                {
+                    "uri": uri,
+                    "partial": [
+                        {"uri": other, "degree": degree, "direction": way}
+                        for other, degree, way in entries
+                    ],
+                },
+                "application/json",
+            )
+        if relation == "transitive":
+            direction = query.get("direction", "up")
+            if direction not in ("up", "down"):
+                raise _HTTPError(400, f"direction must be 'up' or 'down', got {direction!r}")
+            max_depth = self._int_param(query, "max_depth", None)
+            walk = (
+                engine.transitive_containers(uri, max_depth)
+                if direction == "up"
+                else engine.transitive_contained(uri, max_depth)
+            )
+            return (
+                "transitive",
+                200,
+                {
+                    "uri": uri,
+                    "direction": direction,
+                    "reachable": [{"uri": other, "depth": depth} for other, depth in walk],
+                },
+                "application/json",
+            )
+        raise _HTTPError(404, f"unknown relation {relation!r}")
+
+    # ------------------------------------------------------------------
+    def _list_observations(self, query: dict):
+        engine = self.server.engine
+        dataset = URIRef(query["dataset"]) if "dataset" in query else None
+        dimension = URIRef(query["dimension"]) if "dimension" in query else None
+        limit = self._int_param(query, "limit", None)
+        uris = engine.find(dataset=dataset, dimension=dimension, limit=limit)
+        return "list", 200, {"observations": list(uris), "count": len(uris)}, "application/json"
+
+    def _insert_observations(self):
+        engine = self.server.engine
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise _HTTPError(400, "missing or invalid Content-Length") from None
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}") from None
+        entries = payload.get("observations") if isinstance(payload, dict) else None
+        if not isinstance(entries, list) or not entries:
+            raise _HTTPError(400, "body must be {\"observations\": [...]} with at least one entry")
+        observations = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise _HTTPError(400, f"observation entry must be an object, got {entry!r}")
+            for field in ("uri", "dataset"):
+                if not isinstance(entry.get(field), str):
+                    raise _HTTPError(400, f"observation entry needs a string {field!r}")
+            dims = entry.get("dimensions", {})
+            measures = entry.get("measures", [])
+            if not isinstance(dims, dict) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in dims.items()
+            ):
+                raise _HTTPError(400, "dimensions must map dimension URIs to code URIs")
+            if not isinstance(measures, list) or not all(isinstance(m, str) for m in measures):
+                raise _HTTPError(400, "measures must be a list of URIs")
+            observations.append(
+                (
+                    URIRef(entry["uri"]),
+                    URIRef(entry["dataset"]),
+                    {URIRef(k): URIRef(v) for k, v in dims.items()},
+                    [URIRef(m) for m in measures],
+                )
+            )
+        delta = engine.insert(observations)
+        return (
+            "insert",
+            200,
+            {
+                "inserted": len(observations),
+                "generation": engine.generation,
+                "pairs_added": delta.total_added(),
+            },
+            "application/json",
+        )
+
+    @staticmethod
+    def _int_param(query: dict, name: str, default):
+        raw = query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise _HTTPError(400, f"query parameter {name!r} must be an integer, got {raw!r}") from None
+
+
+class RelationshipServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one query engine."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: QueryEngine,
+        metrics: ServiceMetrics | None = None,
+        verbose: bool = False,
+    ):
+        super().__init__(address, RelationshipHandler)
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.verbose = verbose
+
+
+def start_server(
+    engine: QueryEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics: ServiceMetrics | None = None,
+    background: bool = True,
+    verbose: bool = False,
+) -> RelationshipServer:
+    """Bind a :class:`RelationshipServer` and (optionally) serve.
+
+    With ``background=True`` (the default, used by tests and the
+    example) ``serve_forever`` runs on a daemon thread and the bound
+    server is returned immediately — ``server.server_address`` carries
+    the ephemeral port when ``port=0``.  Call ``server.shutdown()``
+    to stop it.  With ``background=False`` the call blocks until
+    interrupted (the CLI path).
+    """
+    server = RelationshipServer((host, port), engine, metrics, verbose)
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+    else:
+        try:
+            server.serve_forever()
+        finally:
+            server.server_close()
+    return server

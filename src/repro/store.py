@@ -33,10 +33,20 @@ __all__ = [
     "load_relationships",
     "dumps_relationships",
     "loads_relationships",
+    "profile_relationships",
     "atomic_write_text",
+    "STORE_FORMAT",
+    "STORE_VERSION",
 ]
 
-_FORMAT_VERSION = 1
+#: The ``format`` tag written into every store payload, so a reader can
+#: tell a relationship store apart from any other JSON file without
+#: guessing from the filename.
+STORE_FORMAT = "repro-relationships"
+STORE_VERSION = 1
+
+# Backward-compatible aliases (pre-existing internal name).
+_FORMAT_VERSION = STORE_VERSION
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
@@ -69,7 +79,8 @@ def atomic_write_text(path: str | Path, text: str) -> None:
 def dumps_relationships(result: RelationshipSet, indent: int | None = None) -> str:
     """Serialize a relationship set to a JSON string."""
     payload = {
-        "version": _FORMAT_VERSION,
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
         "full": sorted([str(a), str(b)] for a, b in result.full),
         "complementary": sorted([str(a), str(b)] for a, b in result.complementary),
         "partial": [
@@ -145,8 +156,13 @@ def loads_relationships(text: str) -> RelationshipSet:
         raise ReproError(f"invalid relationship JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise ReproError(f"malformed relationship store: expected an object, got {payload!r}")
+    declared = payload.get("format", STORE_FORMAT)  # absent in v1 files
+    if declared != STORE_FORMAT:
+        raise ReproError(
+            f"not a relationship store: format {declared!r} (expected {STORE_FORMAT!r})"
+        )
     version = payload.get("version")
-    if version != _FORMAT_VERSION:
+    if version != STORE_VERSION:
         raise ReproError(f"unsupported relationship-store version {version!r}")
     result = RelationshipSet()
     for a, b in _pair_entries(payload, "full"):
@@ -183,3 +199,40 @@ def load_relationships(source: str | Path | IO[str]) -> RelationshipSet:
     if hasattr(source, "read"):
         return loads_relationships(source.read())  # type: ignore[union-attr]
     return loads_relationships(Path(source).read_text())  # type: ignore[arg-type]
+
+
+def profile_relationships(result: RelationshipSet, bins: int = 10) -> dict:
+    """A store profile: pair counts, referenced URIs, degree histogram.
+
+    The histogram buckets the OCM degrees of the partial pairs into
+    ``bins`` equal-width bins over ``(0, 1)``; a degree of exactly 1.0
+    lands in the last bin.  ``repro inspect`` renders this dict.
+    """
+    uris: set[URIRef] = set()
+    for pairs in (result.full, result.partial, result.complementary):
+        for a, b in pairs:
+            uris.add(a)
+            uris.add(b)
+    histogram = [0] * bins
+    for degree in result.degrees.values():
+        slot = min(int(float(degree) * bins), bins - 1)
+        histogram[slot] += 1
+    container_counts: dict[URIRef, int] = {}
+    for container, _ in result.full:
+        container_counts[container] = container_counts.get(container, 0) + 1
+    top_containers = sorted(
+        container_counts.items(), key=lambda item: (-item[1], str(item[0]))
+    )[:5]
+    return {
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
+        "full_pairs": len(result.full),
+        "partial_pairs": len(result.partial),
+        "complementary_pairs": len(result.complementary),
+        "total_pairs": result.total(),
+        "observations": len(uris),
+        "degrees_recorded": len(result.degrees),
+        "partial_dimensions_recorded": len(result.partial_map),
+        "degree_histogram": histogram,
+        "top_containers": top_containers,
+    }

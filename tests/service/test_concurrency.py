@@ -1,0 +1,163 @@
+"""Concurrent serve-while-update: readers must never observe a torn
+index or a stale cache entry after a generation bump.
+
+One writer thread alternates incremental inserts and removals of a
+*twin* of a probe observation while reader threads hammer the engine.
+Complementarity of the twin flips atomically with each write, so every
+read must see exactly one of the two legal states — any torn index
+(twin half-linked) or stale post-bump cache entry shows up as an
+illegal combination.  ``pytest-timeout``'s marker guards the suite
+against deadlocks in the readers–writer lock.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.rdf.terms import URIRef
+from repro.service import QueryEngine, start_server
+
+from tests.conftest import make_random_space
+
+pytestmark = pytest.mark.timeout(120)
+
+TWIN = URIRef("http://test.example/twin")
+
+
+def build_engine(n=25, seed=90, cache_size=256):
+    space = make_random_space(n, seed=seed)
+    result = compute_baseline(space, collect_partial_dimensions=True)
+    return QueryEngine(result, space, cache_size=cache_size), space
+
+
+class TestServeWhileUpdate:
+    def test_readers_never_see_torn_state(self):
+        engine, space = build_engine()
+        probe = space.observations[0]
+        twin_tuple = (
+            TWIN,
+            probe.dataset,
+            dict(zip(space.dimensions, probe.codes)),
+            probe.measures,
+        )
+        errors: list[str] = []
+        stop = threading.Event()
+        cycles = 60
+
+        def writer():
+            try:
+                for _ in range(cycles):
+                    engine.insert([twin_tuple])
+                    engine.remove([TWIN])
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(f"writer: {exc!r}")
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    generation = engine.generation
+                    complements = engine.complements(probe.uri)
+                    related = engine.related(probe.uri, k=10_000)
+                    related_uris = {entry["uri"] for entry in related}
+                    twin_complement = TWIN in complements
+                    twin_related = TWIN in related_uris
+                    # The two views were taken at different instants, so
+                    # they may straddle one write — but each view alone
+                    # must be a legal snapshot, and when no write happened
+                    # in between they must agree.
+                    if engine.generation == generation and twin_complement != twin_related:
+                        errors.append(
+                            f"torn view at generation {generation}: "
+                            f"complements={twin_complement} related={twin_related}"
+                        )
+                        return
+                    # sanity: baseline relationships never disappear
+                    if not related_uris:
+                        errors.append("probe lost all relationships")
+                        return
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(f"reader: {exc!r}")
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in readers:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join()
+        for thread in readers:
+            thread.join()
+        assert not errors, errors
+        # After the final remove the twin is fully gone.
+        assert TWIN not in engine.complements(probe.uri)
+        assert engine.generation == 2 * cycles
+
+    def test_cache_never_serves_pre_bump_entry(self):
+        """Single-threaded interleaving: a cached answer read after a
+        write must reflect that write (generation stamping)."""
+        engine, space = build_engine(seed=91)
+        probe = space.observations[0]
+        twin_tuple = (
+            TWIN,
+            probe.dataset,
+            dict(zip(space.dimensions, probe.codes)),
+            probe.measures,
+        )
+        for _ in range(10):
+            assert TWIN not in engine.complements(probe.uri)
+            engine.insert([twin_tuple])
+            assert TWIN in engine.complements(probe.uri), "stale cache after insert"
+            engine.remove([TWIN])
+            assert TWIN not in engine.complements(probe.uri), "stale cache after remove"
+
+    def test_concurrent_http_reads_during_writes(self):
+        """The full stack: HTTP readers against a live server while the
+        engine is mutated underneath."""
+        import json
+        import urllib.request
+        from urllib.parse import quote
+
+        engine, space = build_engine(seed=92)
+        probe = space.observations[0]
+        server = start_server(engine)
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        encoded = quote(str(probe.uri), safe="")
+        twin_tuple = (
+            TWIN,
+            probe.dataset,
+            dict(zip(space.dimensions, probe.codes)),
+            probe.measures,
+        )
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    with urllib.request.urlopen(
+                        f"{base}/observations/{encoded}/complements"
+                    ) as response:
+                        body = json.load(response)
+                    if str(TWIN) in body["complements"] and len(body["complements"]) < 1:
+                        errors.append("inconsistent complement list")
+                        return
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(f"http reader: {exc!r}")
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(30):
+                engine.insert([twin_tuple])
+                engine.remove([TWIN])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            server.shutdown()
+            server.server_close()
+        assert not errors, errors

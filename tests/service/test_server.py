@@ -1,0 +1,244 @@
+"""Live HTTP round-trips against the serving layer.
+
+A real :class:`RelationshipServer` runs on an ephemeral port on a
+background thread; the tests talk to it over sockets exactly like an
+external client.
+"""
+
+import json
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.service import QueryEngine, start_server
+
+from tests.conftest import make_random_space
+
+
+@pytest.fixture(scope="module")
+def served():
+    space = make_random_space(30, seed=80)
+    result = compute_baseline(space, collect_partial_dimensions=True)
+    engine = QueryEngine(result, space)
+    server = start_server(engine)
+    host, port = server.server_address
+    yield f"http://{host}:{port}", engine, space
+    server.shutdown()
+    server.server_close()
+
+
+def get_json(base: str, path: str):
+    with urllib.request.urlopen(base + path) as response:
+        return response.status, json.load(response)
+
+
+def request_json(base: str, path: str, method: str, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+def encode(uri) -> str:
+    return quote(str(uri), safe="")
+
+
+class TestReadEndpoints:
+    def test_healthz(self, served):
+        base, engine, space = served
+        status, body = get_json(base, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["observations"] == len(space)
+
+    def test_point_lookups_match_engine(self, served):
+        base, engine, space = served
+        for record in space.observations[:5]:
+            _, body = get_json(base, f"/observations/{encode(record.uri)}/containers")
+            assert body["containers"] == list(engine.containers(record.uri))
+            _, body = get_json(base, f"/observations/{encode(record.uri)}/contained")
+            assert body["contained"] == list(engine.contained(record.uri))
+            _, body = get_json(base, f"/observations/{encode(record.uri)}/complements")
+            assert body["complements"] == list(engine.complements(record.uri))
+
+    def test_related_respects_k(self, served):
+        base, engine, space = served
+        uri = space.observations[0].uri
+        _, body = get_json(base, f"/observations/{encode(uri)}/related?k=3")
+        assert len(body["related"]) <= 3
+        expected = [
+            {"uri": str(e["uri"]), "score": float(e["score"]), "relation": e["relation"]}
+            for e in engine.related(uri, 3)
+        ]
+        got = [
+            {"uri": e["uri"], "score": float(e["score"]), "relation": e["relation"]}
+            for e in body["related"]
+        ]
+        assert got == expected
+
+    def test_partial_and_transitive(self, served):
+        base, engine, space = served
+        uri = space.observations[0].uri
+        _, body = get_json(base, f"/observations/{encode(uri)}/partial?k=4")
+        assert len(body["partial"]) <= 4
+        for entry in body["partial"]:
+            assert entry["direction"] in ("contains", "within")
+        _, body = get_json(base, f"/observations/{encode(uri)}/transitive?direction=up")
+        assert {e["uri"] for e in body["reachable"]} == {
+            str(u) for u, _ in engine.transitive_containers(uri)
+        }
+
+    def test_observation_summary(self, served):
+        base, engine, space = served
+        uri = space.observations[2].uri
+        _, body = get_json(base, f"/observations/{encode(uri)}")
+        assert body["uri"] == str(uri)
+        assert body["containers"] == len(engine.containers(uri))
+
+    def test_list_with_dataset_filter(self, served):
+        base, engine, space = served
+        dataset = space.observations[0].dataset
+        _, body = get_json(base, f"/observations?dataset={encode(dataset)}&limit=5")
+        assert body["count"] <= 5
+        members = {r.uri for r in space.observations if r.dataset == dataset}
+        assert all(u in members for u in body["observations"])
+
+    def test_metrics_exposition(self, served):
+        base, engine, space = served
+        get_json(base, "/healthz")
+        with urllib.request.urlopen(base + "/metrics") as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
+            text = response.read().decode()
+        assert 'repro_requests_total{endpoint="healthz",status="200"}' in text
+        assert "repro_request_latency_seconds_bucket" in text
+        assert "repro_cache_hit_ratio" in text
+        assert "repro_index_generation" in text
+
+    def test_stats(self, served):
+        base, engine, _ = served
+        _, body = get_json(base, "/stats")
+        assert body["index"]["full_pairs"] == len(engine.result.full)
+
+
+class TestErrors:
+    def assert_status(self, base, path, expected, method="GET", payload=None):
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == expected
+        return json.load(excinfo.value)
+
+    def test_unknown_observation_is_404(self, served):
+        base, _, _ = served
+        body = self.assert_status(
+            base, f"/observations/{encode('http://nope/x')}/containers", 404
+        )
+        assert "unknown observation" in body["error"]
+
+    def test_unknown_route_is_404(self, served):
+        base, _, _ = served
+        self.assert_status(base, "/nope", 404)
+        self.assert_status(base, "/observations/a/b/c/d", 404)
+
+    def test_bad_k_is_400(self, served):
+        base, _, space = served
+        uri = space.observations[0].uri
+        self.assert_status(base, f"/observations/{encode(uri)}/related?k=many", 400)
+
+    def test_bad_transitive_direction_is_400(self, served):
+        base, _, space = served
+        uri = space.observations[0].uri
+        self.assert_status(
+            base, f"/observations/{encode(uri)}/transitive?direction=left", 400
+        )
+
+    def test_bad_insert_body_is_400(self, served):
+        base, _, _ = served
+        self.assert_status(base, "/observations", 400, method="POST", payload={"x": 1})
+        self.assert_status(
+            base, "/observations", 400, method="POST", payload={"observations": [{"uri": 5}]}
+        )
+
+    def test_method_not_allowed_is_405(self, served):
+        base, _, space = served
+        uri = space.observations[0].uri
+        self.assert_status(base, f"/observations/{encode(uri)}", 405, method="POST")
+
+
+class TestWriteEndpoints:
+    @pytest.fixture()
+    def writable(self):
+        space = make_random_space(15, seed=81)
+        result = compute_baseline(space, collect_partial_dimensions=True)
+        engine = QueryEngine(result, space)
+        server = start_server(engine)
+        host, port = server.server_address
+        yield f"http://{host}:{port}", engine, space
+        server.shutdown()
+        server.server_close()
+
+    def test_insert_then_query_then_delete(self, writable):
+        base, engine, space = writable
+        record = space.observations[0]
+        new_uri = "http://test.example/live"
+        payload = {
+            "observations": [
+                {
+                    "uri": new_uri,
+                    "dataset": str(record.dataset),
+                    "dimensions": {
+                        str(d): str(c) for d, c in zip(space.dimensions, record.codes)
+                    },
+                    "measures": [str(m) for m in record.measures],
+                }
+            ]
+        }
+        status, body = request_json(base, "/observations", "POST", payload)
+        assert status == 200
+        assert body["inserted"] == 1
+        assert body["generation"] == 1
+        # the twin is now complementary with its template, over HTTP
+        _, complements = get_json(base, f"/observations/{encode(new_uri)}/complements")
+        assert str(record.uri) in complements["complements"]
+        # health reflects the new observation count
+        _, health = get_json(base, "/healthz")
+        assert health["observations"] == len(engine.space) == 16
+        status, body = request_json(base, f"/observations/{encode(new_uri)}", "DELETE")
+        assert status == 200
+        assert body["removed"] == 1 and body["generation"] == 2
+        # gone again
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base + f"/observations/{encode(new_uri)}/containers")
+        assert excinfo.value.code == 404
+
+    def test_insert_rejected_without_space(self):
+        space = make_random_space(10, seed=82)
+        result = compute_baseline(space)
+        server = start_server(QueryEngine(result))  # store only, no space
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            request = urllib.request.Request(
+                base + "/observations",
+                data=json.dumps(
+                    {"observations": [{"uri": "http://x/a", "dataset": "http://x/ds"}]}
+                ).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 409
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -1,0 +1,56 @@
+"""The ISSUE's acceptance numbers, at test scale.
+
+Runs the throughput benchmark's cached-vs-uncached measurement on a
+small-but-dense corpus and asserts the >=10x criterion, plus a sanity
+bound on point-lookup cost relative to a full pair scan.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import compute_cubemask
+from repro.data.synthetic import build_synthetic_space
+from repro.service import QueryEngine
+
+BENCHMARKS = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+
+
+def test_cached_speedup_at_least_10x():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import bench_service_throughput
+
+        stats = bench_service_throughput.bench_cached_speedup(n=500, hot=64, rounds=5)
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+    assert stats["speedup"] >= 10, f"cached speedup only {stats['speedup']:.1f}x"
+    assert stats["hit_rate"] > 0.5
+
+
+def test_point_lookup_beats_pair_scan():
+    """An indexed lookup must not degrade with the pair-set size the
+    way a scan does: with ~100k indexed pairs, 1000 lookups finish in
+    well under the time a single full scan of the pair list takes x100."""
+    space = build_synthetic_space(1500, dimension_count=4, seed=5)
+    result = compute_cubemask(space)
+    engine = QueryEngine(result, space, cache_size=0)
+    uris = [record.uri for record in space.observations[:1000]]
+    started = time.perf_counter()
+    for uri in uris:
+        engine.containers(uri)
+    indexed = time.perf_counter() - started
+
+    # the O(pairs) alternative the index replaces, timed once
+    probe = uris[0]
+    started = time.perf_counter()
+    scan = {a for a, b in result.full if b == probe}
+    one_scan = time.perf_counter() - started
+    assert set(engine.containers(probe)) == scan
+    per_lookup = indexed / len(uris)
+    assert per_lookup < max(one_scan, 1e-4), (
+        f"indexed lookup {per_lookup * 1e6:.1f}us should beat a "
+        f"single pair scan {one_scan * 1e6:.1f}us"
+    )

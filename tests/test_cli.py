@@ -154,3 +154,58 @@ class TestInspect:
         out = capsys.readouterr().out
         assert "CubeSpace" in out
         assert "hierarchy" in out
+
+
+class TestInspectStore:
+    @pytest.fixture
+    def store_file(self, corpus_file, tmp_path):
+        path = tmp_path / "links.json"
+        assert main(["compute", "--input", str(corpus_file),
+                     "--json-output", str(path)]) == 0
+        return path
+
+    def test_inspect_json_store_prints_profile(self, store_file, capsys):
+        assert main(["inspect", "--input", str(store_file)]) == 0
+        out = capsys.readouterr().out
+        assert "relationship store" in out
+        assert "pairs: full=" in out
+        assert "degree histogram" in out
+
+    def test_inspect_missing_store_fails_cleanly(self, tmp_path, capsys):
+        code = main(["inspect", "--input", str(tmp_path / "absent.json")])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_missing_store_fails_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--store", str(tmp_path / "absent.json")])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_end_to_end(self, corpus_file, tmp_path):
+        """`repro compute --json-output` then `repro serve` answers HTTP."""
+        import json
+        import urllib.request
+
+        from repro.core import ObservationSpace
+        from repro.service import QueryEngine, start_server
+        from repro.store import load_relationships
+
+        store = tmp_path / "links.json"
+        assert main(["compute", "--input", str(corpus_file),
+                     "--json-output", str(store)]) == 0
+        # same wiring _cmd_serve performs, on an ephemeral port
+        result = load_relationships(store)
+        cube = load_cubespace(parse_turtle(corpus_file.read_text()))
+        space = ObservationSpace.from_cubespace(cube)
+        server = start_server(QueryEngine(result, space))
+        host, port = server.server_address
+        try:
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                body = json.load(response)
+            assert body["status"] == "ok"
+            assert body["observations"] == len(space)
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -65,3 +65,10 @@ def test_method_comparison_small(monkeypatch, capsys):
         assert "cube_masking" in out
     finally:
         sys.path.remove(str(EXAMPLES))
+
+
+def test_serve_relationships_example(capsys):
+    run_example("serve_relationships.py")
+    out = capsys.readouterr().out
+    assert "health: {'status': 'ok'" in out
+    assert "done" in out

@@ -159,3 +159,70 @@ class TestAtomicity:
         atomic_write_text(path, "first")
         atomic_write_text(path, "second")
         assert path.read_text() == "second"
+
+
+class TestFormatField:
+    """The self-describing ``format`` tag of the store payload."""
+
+    def test_payload_carries_format_and_version(self, result):
+        import json
+
+        payload = json.loads(dumps_relationships(result))
+        assert payload["format"] == "repro-relationships"
+        assert payload["version"] == 1
+
+    def test_v1_file_without_format_still_loads(self, result):
+        """Stores written before the tag existed stay readable."""
+        import json
+
+        payload = json.loads(dumps_relationships(result))
+        del payload["format"]
+        assert loads_relationships(json.dumps(payload)) == result
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(ReproError, match="format"):
+            loads_relationships('{"format": "something-else", "version": 1}')
+
+    def test_metadata_roundtrip_with_format(self, result):
+        """partial_map and degrees survive save/load unchanged."""
+        loaded = loads_relationships(dumps_relationships(result))
+        assert loaded.partial_map == result.partial_map
+        assert {k: float(v) for k, v in loaded.degrees.items()} == {
+            k: float(v) for k, v in result.degrees.items()
+        }
+
+
+class TestProfile:
+    def test_profile_counts(self, result):
+        from repro.store import profile_relationships
+
+        profile = profile_relationships(result)
+        assert profile["full_pairs"] == len(result.full)
+        assert profile["partial_pairs"] == len(result.partial)
+        assert profile["complementary_pairs"] == len(result.complementary)
+        assert profile["total_pairs"] == result.total()
+        assert sum(profile["degree_histogram"]) == len(result.degrees)
+        uris = set()
+        for pairs in (result.full, result.partial, result.complementary):
+            for a, b in pairs:
+                uris |= {a, b}
+        assert profile["observations"] == len(uris)
+
+    def test_histogram_bins_degrees(self):
+        from repro.core.results import RelationshipSet
+        from repro.rdf.terms import URIRef
+        from repro.store import profile_relationships
+
+        result = RelationshipSet()
+        result.add_partial(URIRef("http://x/a"), URIRef("http://x/b"), degree=0.05)
+        result.add_partial(URIRef("http://x/a"), URIRef("http://x/c"), degree=0.55)
+        result.add_partial(URIRef("http://x/b"), URIRef("http://x/c"), degree=1.0)
+        histogram = profile_relationships(result, bins=10)["degree_histogram"]
+        assert histogram[0] == 1 and histogram[5] == 1 and histogram[9] == 1
+
+    def test_top_containers_ranked(self, result):
+        from repro.store import profile_relationships
+
+        top = profile_relationships(result)["top_containers"]
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
