@@ -1,0 +1,157 @@
+"""Store I/O benchmark: JSON vs gzip vs binary segments.
+
+Measures, at 1k / 10k / 50k relationship pairs:
+
+1. **save** — serialisation wall-clock per backend,
+2. **load** — full deserialisation wall-clock per backend,
+3. **startup** — time until a :class:`~repro.service.QueryEngine` is
+   constructed and could bind a socket.  For JSON that is parse +
+   eager index build; for a segment store it is manifest read + lazy
+   views, i.e. O(manifest) — the ISSUE's acceptance criterion is a
+   >=10x startup advantage at 50k pairs,
+4. **bytes on disk** per backend.
+
+The pair corpus is synthesised directly (uniform URIs, degrees on
+every partial pair, dimension maps on a third of them) so the store,
+not the materialisation, dominates the clock.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_store_io.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.results import RelationshipSet
+from repro.rdf.terms import URIRef
+from repro.service import QueryEngine
+from repro.store import load_relationships, save_relationships
+from repro.storage import LazyRelationshipIndex, SegmentStore
+
+SIZES = (1_000, 10_000, 50_000)
+DIMENSIONS = tuple(URIRef(f"http://bench.example/dim/{i}") for i in range(4))
+
+
+def build_result(pairs: int) -> RelationshipSet:
+    """A relationship set with exactly ``pairs`` pairs, degree-annotated.
+
+    Pairs enumerate distinct ``(k % n, k // n)`` index combinations, so
+    no two generated pairs collide and the requested count is exact.
+    """
+    result = RelationshipSet()
+    uris = [URIRef(f"http://bench.example/obs/{i}") for i in range(max(64, pairs // 8))]
+    n = len(uris)
+
+    def unique_pairs(count: int, counter: int, ordered: bool = True):
+        produced = 0
+        while produced < count:
+            a, b = counter % n, counter // n
+            counter += 1
+            if a == b or (not ordered and a > b):
+                continue
+            produced += 1
+            yield uris[a], uris[b]
+        return
+
+    full = pairs // 10
+    complementary = pairs // 10
+    partial = pairs - full - complementary
+    for a, b in unique_pairs(full, 0):
+        result.add_full(a, b)
+    # Complementarity canonicalises (a, b); emitting only a < b keeps
+    # the canonical pairs distinct.
+    for a, b in unique_pairs(complementary, 0, ordered=False):
+        result.add_complementary(a, b)
+    for i, (a, b) in enumerate(unique_pairs(partial, n * n // 2)):
+        dims = frozenset({DIMENSIONS[i % len(DIMENSIONS)]}) if i % 3 == 0 else None
+        result.add_partial(a, b, dims, (i % 100) / 100.0)
+    return result
+
+
+def timed(fn) -> tuple[float, object]:
+    started = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - started, value
+
+
+def path_bytes(path: Path) -> int:
+    if path.is_dir():
+        return sum(p.stat().st_size for p in path.iterdir())
+    return path.stat().st_size
+
+
+def engine_startup(path: Path, kind: str) -> float:
+    """Time to a constructed QueryEngine (the serve-path startup cost)."""
+    if kind == "segments":
+        def build():
+            store = SegmentStore.open(path)
+            view = store.relationship_set()
+            return QueryEngine(view, index=LazyRelationshipIndex(view))
+    else:
+        def build():
+            result = load_relationships(path)
+            return QueryEngine(result)
+    elapsed, _ = timed(build)
+    return elapsed
+
+
+def bench_size(pairs: int, workdir: Path) -> dict:
+    print(f"\n{pairs:,} pairs")
+    result = build_result(pairs)
+    actual = result.total()
+    backends = {
+        "json": workdir / f"links-{pairs}.json",
+        "json.gz": workdir / f"links-{pairs}.json.gz",
+        "segments": workdir / f"links-{pairs}.rseg",
+    }
+    row: dict = {"pairs": actual}
+    for kind, path in backends.items():
+        save_s, _ = timed(lambda p=path: save_relationships(result, p))
+        load_s, loaded = timed(lambda p=path: load_relationships(p))
+        assert loaded == result, f"{kind} round-trip diverged"
+        start_s = engine_startup(path, kind)
+        size = path_bytes(path)
+        row[kind] = {"save": save_s, "load": load_s, "startup": start_s, "bytes": size}
+        print(
+            f"  {kind:>8}: save {save_s:7.3f}s   load {load_s:7.3f}s   "
+            f"startup {start_s:7.4f}s   {size:>12,} bytes"
+        )
+    speedup = row["json"]["startup"] / max(row["segments"]["startup"], 1e-9)
+    row["startup_speedup"] = speedup
+    print(f"  startup speedup (segments vs json): {speedup:.1f}x")
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="only the 1k and 10k sizes"
+    )
+    args = parser.parse_args(argv)
+    sizes = SIZES[:2] if args.quick else SIZES
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        rows = [bench_size(pairs, workdir) for pairs in sizes]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    largest = rows[-1]
+    print(
+        f"\nat {largest['pairs']:,} pairs the segment store starts the engine "
+        f"{largest['startup_speedup']:.1f}x faster than JSON "
+        f"(criterion: >=10x at 50k)"
+    )
+    if not args.quick and largest["startup_speedup"] < 10:
+        print("FAIL: startup speedup below the 10x acceptance bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

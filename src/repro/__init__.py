@@ -80,6 +80,7 @@ from repro.rdf import (
     serialize_turtle,
 )
 from repro.service import QueryEngine, RelationshipIndex, start_server
+from repro.storage import SegmentStore, load_segments, save_segments
 from repro.store import load_relationships, save_relationships
 
 __version__ = "1.0.0"
@@ -137,6 +138,9 @@ __all__ = [
     # persistence
     "save_relationships",
     "load_relationships",
+    "SegmentStore",
+    "save_segments",
+    "load_segments",
     # serving
     "RelationshipIndex",
     "QueryEngine",

@@ -1,20 +1,26 @@
 """Command-line interface.
 
-Five subcommands::
+Seven subcommands::
 
-    python -m repro compute  --input cube.ttl --method cube_masking --output links.ttl
+    python -m repro compute  --input cube.ttl --method cube_masking -o links.rseg
     python -m repro generate --kind realworld --scale 0.01 --output corpus.ttl
-    python -m repro inspect  --input cube.ttl          # or a .json store
+    python -m repro inspect  --input cube.ttl          # or any store path
     python -m repro validate --input cube.ttl
-    python -m repro serve    --store links.json --input cube.ttl --port 8080
+    python -m repro serve    --store links.rseg --input cube.ttl --port 8080
+    python -m repro migrate  --input links.json --output links.rseg
+    python -m repro compact  --store links.rseg --input cube.ttl
 
 ``compute`` loads a QB cube from Turtle or N-Triples, computes the
 relationships with the chosen method and writes them back as RDF links
-(or a text summary to stdout).  ``generate`` materialises one of the
-evaluation corpora.  ``inspect`` prints the cube-space profile of a
-cube file, or the pair counts/degree histogram of a ``.json``
+(or, with ``-o``, as a relationship store — plain JSON, ``.json.gz``
+or a binary ``.rseg`` segment store).  ``generate`` materialises one
+of the evaluation corpora.  ``inspect`` prints the cube-space profile
+of a cube file, or the size/format/load-time and pair profile of a
 relationship store.  ``serve`` exposes a materialised store as the
-HTTP query service of :mod:`repro.service`.
+HTTP query service of :mod:`repro.service` — segment stores start in
+O(manifest) and journal every incremental write to their write-ahead
+log.  ``migrate`` converts a store between the three formats;
+``compact`` folds a segment store's WAL into fresh segments.
 """
 
 from __future__ import annotations
@@ -90,10 +96,12 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         f"complementary={len(result.complementary)} ({elapsed:.2f}s)",
         file=sys.stderr,
     )
-    if args.json_output:
+    if args.store_output:
         from repro.store import save_relationships
 
-        save_relationships(result, args.json_output, indent=2)
+        # The space rides along so .rseg outputs partition their
+        # segments by dataset / lattice signature.
+        save_relationships(result, args.store_output, indent=2, space=space)
     else:
         _write_graph(relationships_to_graph(result), args.output)
     return 0
@@ -126,18 +134,35 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_store_path(path: str) -> bool:
+    """Relationship-store paths, as opposed to cube files."""
+    from repro.storage import is_segment_store
+
+    return (
+        path.endswith((".json", ".json.gz", ".gz", ".rseg"))
+        or is_segment_store(path)
+    )
+
+
 def _inspect_relationship_store(path: str) -> int:
-    from repro.store import load_relationships, profile_relationships
+    from repro.store import describe_store, load_relationships, profile_relationships
 
     try:
+        info = describe_store(path)
+        started = time.perf_counter()
         result = load_relationships(path)
+        load_seconds = time.perf_counter() - started
     except OSError as exc:
         raise ReproError(f"cannot read {path}: {exc}") from exc
     profile = profile_relationships(result)
     print(
         f"relationship store {path} "
-        f"(format {profile['format']}, version {profile['version']})"
+        f"(format {info['kind']}, version {info['version']})"
     )
+    size_line = f"  size: {info['bytes']:,} bytes; loaded in {load_seconds:.3f}s"
+    if info["segments"] is not None:
+        size_line += f"; {info['segments']} segment(s), {info['wal_records']} WAL record(s)"
+    print(size_line)
     print(
         f"  pairs: full={profile['full_pairs']} partial={profile['partial_pairs']} "
         f"complementary={profile['complementary_pairs']} (total {profile['total_pairs']})"
@@ -161,7 +186,7 @@ def _inspect_relationship_store(path: str) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    if args.input.endswith(".json"):
+    if _is_store_path(args.input):
         return _inspect_relationship_store(args.input)
     cube = load_cubespace(_read_graph(args.input))
     print(cube)
@@ -176,16 +201,32 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueryEngine, start_server
-    from repro.store import load_relationships
+    from repro.store import detect_store_kind, load_relationships
 
-    try:
-        result = load_relationships(args.store)
-    except OSError as exc:
-        raise ReproError(f"cannot read {args.store}: {exc}") from exc
     space = None
     if args.input:
         space = ObservationSpace.from_cubespace(load_cubespace(_read_graph(args.input)))
-    engine = QueryEngine(result, space, cache_size=args.cache_size)
+    if detect_store_kind(args.store) == "segments":
+        # Segment store: O(manifest) startup — the set materialises and
+        # the index builds on first query — and every incremental write
+        # is journalled to the store's WAL before it is acknowledged.
+        from repro.storage import LazyRelationshipIndex, SegmentStore
+
+        store = SegmentStore.open(args.store)
+        result = store.relationship_set()
+        engine = QueryEngine(
+            result,
+            space,
+            cache_size=args.cache_size,
+            index=LazyRelationshipIndex(result, space),
+            delta_sink=store.append_delta,
+        )
+    else:
+        try:
+            result = load_relationships(args.store)
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.store}: {exc}") from exc
+        engine = QueryEngine(result, space, cache_size=args.cache_size)
     mutable = "enabled" if space is not None else "disabled (no --input space)"
     print(
         f"# serving {result!r} on http://{args.host}:{args.port} "
@@ -203,6 +244,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.store import detect_store_kind, load_relationships, save_relationships
+
+    try:
+        result = load_relationships(args.input)
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.input}: {exc}") from exc
+    space = None
+    if args.cube:
+        space = ObservationSpace.from_cubespace(load_cubespace(_read_graph(args.cube)))
+    save_relationships(result, args.output, indent=args.indent, space=space)
+    print(
+        f"# migrated {detect_store_kind(args.input)} -> "
+        f"{detect_store_kind(args.output)}: {result!r}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.storage import SegmentStore
+
+    space = None
+    if args.input:
+        space = ObservationSpace.from_cubespace(load_cubespace(_read_graph(args.input)))
+    store = SegmentStore.open(args.store)
+    outcome = store.compact(space)
+    print(
+        f"# compacted {args.store}: folded {outcome['folded']} WAL record(s) "
+        f"into {outcome['segments']} segment(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -216,7 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compute.add_argument("--output", help="output file (.ttl / .nt); default stdout")
     compute.add_argument(
-        "--json-output", help="write the compact JSON store format instead of RDF"
+        "-o",
+        "--store-output",
+        "--json-output",  # pre-segment-store spelling, kept working
+        dest="store_output",
+        help="write a relationship store instead of RDF; format follows "
+        "the extension (.json, .json.gz, .rseg segment store)",
     )
     compute.add_argument(
         "--targets",
@@ -276,7 +357,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve a relationship store over HTTP (JSON API)"
     )
     serve.add_argument(
-        "--store", required=True, help="relationship store (.json, from compute --json-output)"
+        "--store",
+        required=True,
+        help="relationship store (.json, .json.gz or .rseg, from compute -o)",
     )
     serve.add_argument(
         "--input",
@@ -295,6 +378,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log each request to stderr"
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    migrate = sub.add_parser(
+        "migrate", help="convert a relationship store between formats"
+    )
+    migrate.add_argument("--input", required=True, help="source store (any format)")
+    migrate.add_argument(
+        "--output", required=True, help="target store; format follows the extension"
+    )
+    migrate.add_argument(
+        "--cube",
+        help="the QB cube the store was computed from; lets a segment "
+        "target partition by dataset/lattice signature",
+    )
+    migrate.add_argument(
+        "--indent", type=int, default=2, help="indentation for JSON targets"
+    )
+    migrate.set_defaults(handler=_cmd_migrate)
+
+    compact = sub.add_parser(
+        "compact", help="fold a segment store's write-ahead log into segments"
+    )
+    compact.add_argument("--store", required=True, help="segment store directory (.rseg)")
+    compact.add_argument(
+        "--input",
+        help="the QB cube the store was computed from; re-partitions the "
+        "new segments by dataset/lattice signature",
+    )
+    compact.set_defaults(handler=_cmd_compact)
     return parser
 
 

@@ -139,6 +139,35 @@ class RelationshipSet:
         self.partial_map.update(other.partial_map)
         self.degrees.update(other.degrees)
 
+    def apply_delta(self, delta: "RelationshipDelta") -> None:
+        """Apply one incremental write in O(|delta|).
+
+        The set-level counterpart of
+        :meth:`repro.service.index.RelationshipIndex.apply_delta`;
+        removals are applied first, then additions (with the metadata
+        of the added partial pairs), so replaying a delta log lands on
+        the same state the writer observed.
+        """
+        for pair in delta.removed_full:
+            self.full.discard(pair)
+        for pair in delta.removed_partial:
+            self.partial.discard(pair)
+            self.partial_map.pop(pair, None)
+            self.degrees.pop(pair, None)
+        for a, b in delta.removed_complementary:
+            self.complementary.discard(canonical(a, b))
+        self.full |= delta.added_full
+        for pair in delta.added_partial:
+            self.partial.add(pair)
+            dims = delta.partial_map.get(pair)
+            if dims:
+                self.partial_map[pair] = dims
+            degree = delta.degrees.get(pair)
+            if degree is not None:
+                self.degrees[pair] = degree
+        for a, b in delta.added_complementary:
+            self.complementary.add(canonical(a, b))
+
     # ------------------------------------------------------------------
     def is_complementary(self, a: URIRef, b: URIRef) -> bool:
         return canonical(a, b) in self.complementary

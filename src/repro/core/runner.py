@@ -34,6 +34,10 @@ Checkpoint format (JSONL, one object per line):
 
 A crash can only tear the *final* line; the loader drops a torn tail
 (rewriting the repaired journal atomically) and recomputes that unit.
+A checkpoint path spelled ``*.rseg`` journals the same records into a
+:mod:`repro.storage` segment store's write-ahead log instead
+(:func:`open_checkpoint`), so the run's durable state is directly
+servable and ``repro compact`` folds it into binary segments.
 Worker crashes and injected faults are retried with capped exponential
 backoff; SIGINT (KeyboardInterrupt) flushes the journal before
 propagating, so Ctrl-C is always resumable.  Failure itself is a
@@ -60,7 +64,13 @@ from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
 from repro.rdf.terms import URIRef
 
-__all__ = ["MaterializationRunner", "run_materialization", "space_fingerprint", "Checkpoint"]
+__all__ = [
+    "MaterializationRunner",
+    "run_materialization",
+    "space_fingerprint",
+    "Checkpoint",
+    "open_checkpoint",
+]
 
 logger = logging.getLogger("repro.runner")
 
@@ -140,6 +150,9 @@ class Checkpoint:
         self.path = Path(path)
         self._handle = None
 
+    def exists(self) -> bool:
+        return self.path.exists()
+
     # -- writing -------------------------------------------------------
     def create(self, header: dict) -> None:
         self._handle = open(self.path, "w")
@@ -212,6 +225,21 @@ class Checkpoint:
                     f"malformed unit delta for {record.get('id')!r}: {exc}"
                 ) from exc
         return header, deltas, repaired
+
+
+def open_checkpoint(path: str | os.PathLike):
+    """The journal backend for a checkpoint path.
+
+    A ``*.rseg`` path (or an existing segment-store directory) journals
+    units into that store's write-ahead log — the run's output is then
+    immediately servable and ``repro compact`` folds it into segments.
+    Anything else gets the classic JSONL :class:`Checkpoint`.
+    """
+    from repro.storage import SegmentJournal, is_segment_checkpoint
+
+    if is_segment_checkpoint(path):
+        return SegmentJournal(path)
+    return Checkpoint(path)
 
 
 # ----------------------------------------------------------------------
@@ -331,10 +359,10 @@ class MaterializationRunner:
 
         result = RelationshipSet()
         done: set = set()
-        journal: Checkpoint | None = None
+        journal = None
         if self.checkpoint_path is not None:
-            journal = Checkpoint(self.checkpoint_path)
-            if journal.path.exists():
+            journal = open_checkpoint(self.checkpoint_path)
+            if journal.exists():
                 if not self.resume:
                     raise CheckpointError(
                         f"checkpoint {journal.path} already exists; resume it "

@@ -137,3 +137,8 @@ class UnknownObservationError(ServiceError):
     def __init__(self, uri: object):
         super().__init__(f"unknown observation: {uri}")
         self.uri = uri
+
+
+class StorageError(ReproError):
+    """A binary segment store, its manifest or its write-ahead log is
+    missing, corrupt (bad magic/CRC) or of an unsupported version."""

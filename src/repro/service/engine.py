@@ -49,13 +49,23 @@ class QueryEngine:
         result: RelationshipSet,
         space: ObservationSpace | None = None,
         cache_size: int = 1024,
+        index: RelationshipIndex | None = None,
+        delta_sink=None,
     ):
         self.result = result
         self.space = space
-        self.index = RelationshipIndex(result, space)
+        # A prebuilt (possibly lazy, segment-backed) index can be
+        # injected so engine construction stays O(manifest) when the
+        # store supports it; see repro.storage.lazy.
+        self.index = index if index is not None else RelationshipIndex(result, space)
         self.lock = RWLock()
         self.cache = LRUCache(cache_size)
         self.generation = 0
+        # Write-ahead persistence: every applied RelationshipDelta is
+        # handed to the sink (e.g. SegmentStore.append_delta) under the
+        # write lock, before the write is acknowledged.
+        self.delta_sink = delta_sink
+        self.wal_appends = 0
 
     # ------------------------------------------------------------------
     # Cache plumbing: compute() runs under the read lock, so the
@@ -275,11 +285,32 @@ class QueryEngine:
                 "observations": len(self.space) if self.space is not None else None,
                 "index": self.index.stats(),
                 "cache": self.cache.stats(),
+                "persistence": {
+                    "write_ahead_log": self.delta_sink is not None,
+                    "wal_appends": self.wal_appends,
+                },
             }
 
     # ------------------------------------------------------------------
     # Incremental writes
     # ------------------------------------------------------------------
+    def _persist(self, delta) -> None:
+        """Journal an applied delta before the write is acknowledged.
+
+        Runs under the write lock, right after the in-memory
+        relationship set was mutated and before the index/generation
+        advance — a sink failure (disk full, store gone) surfaces as a
+        :class:`ServiceError` and the request fails loudly rather than
+        diverging the served state from the durable one.
+        """
+        if self.delta_sink is None:
+            return
+        try:
+            self.delta_sink(delta)
+        except OSError as exc:
+            raise ServiceError(f"write-ahead log append failed: {exc}") from exc
+        self.wal_appends += 1
+
     def insert(self, observations: Iterable[NewObservation]):
         """Insert observations; returns the applied delta.
 
@@ -298,6 +329,7 @@ class QueryEngine:
             _, delta = update_relationships(
                 self.space, self.result, observations, return_delta=True
             )
+            self._persist(delta)
             for record in self.space.observations[start:]:
                 self.index.register(
                     record.uri, record.dataset, self.space.level_signature(record.index)
@@ -322,6 +354,7 @@ class QueryEngine:
             new_space, _, delta = remove_observations(
                 self.space, self.result, uris, return_delta=True
             )
+            self._persist(delta)
             self.space = new_space
             for uri in uris:
                 self.index.unregister(uri)

@@ -126,6 +126,10 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "generation": stats["generation"],
                     "observations": stats["observations"],
+                    # Segment-store deployments journal every write; the
+                    # probe surfaces it so operators can alert on a
+                    # serve process that silently lost its WAL.
+                    "persistence": stats["persistence"],
                 },
                 "application/json",
             )

@@ -1,0 +1,65 @@
+"""Segmented binary storage for materialised relationship sets.
+
+The paper's economics — materialise S_F/S_P/S_C once, serve them
+cheaply forever — only hold if *reloading* the materialisation is
+cheap.  This package replaces O(pairs) JSON text parsing on every
+startup with:
+
+``format``
+    The struct-packed, CRC-checksummed binary segment layout (pair
+    tables over a URI dictionary, float64 degree arrays, packed
+    occurrence bitsets for ``map_P``).
+``store``
+    :class:`SegmentStore` — a directory of immutable segments
+    partitioned by dataset / cube-lattice signature (so lattice-style
+    dominance pruning applies at the segment level), committed through
+    an atomically-replaced manifest.
+``wal``
+    :class:`WriteAheadLog` — the CRC-framed delta log that absorbs
+    incremental writes and journalled materialisation units until
+    ``repro compact`` folds them into segments.
+``lazy``
+    :class:`SegmentRelationshipSet` / :class:`LazyRelationshipIndex` —
+    mmap-backed views that defer decoding and index building off the
+    ``repro serve`` startup path (O(manifest) instead of O(pairs)).
+``journal``
+    :class:`SegmentJournal` — lets the fault-tolerant materialisation
+    runner checkpoint its work units straight into a store's WAL.
+
+Quickstart::
+
+    from repro.storage import SegmentStore, save_segments
+
+    save_segments(result, "links.rseg", space=space)   # partitioned
+    store = SegmentStore.open("links.rseg")
+    engine_view = store.relationship_set()             # lazy, WAL-aware
+"""
+
+from repro.storage.format import decode_segment, encode_segment
+from repro.storage.journal import SegmentJournal, is_segment_checkpoint
+from repro.storage.lazy import LazyRelationshipIndex, SegmentRelationshipSet
+from repro.storage.store import (
+    SegmentStore,
+    is_segment_store,
+    load_segments,
+    partition_relationships,
+    save_segments,
+)
+from repro.storage.wal import WriteAheadLog, delta_from_payload, delta_to_payload
+
+__all__ = [
+    "SegmentStore",
+    "SegmentJournal",
+    "SegmentRelationshipSet",
+    "LazyRelationshipIndex",
+    "WriteAheadLog",
+    "save_segments",
+    "load_segments",
+    "partition_relationships",
+    "is_segment_store",
+    "is_segment_checkpoint",
+    "encode_segment",
+    "decode_segment",
+    "delta_to_payload",
+    "delta_from_payload",
+]

@@ -1,0 +1,101 @@
+"""Checkpoint blocks straight into a segment store.
+
+:class:`SegmentJournal` speaks the same protocol as the JSONL
+:class:`~repro.core.runner.Checkpoint` — ``create(header)``,
+``open_append()``, ``append_unit()``, ``load()``, ``close()`` — but
+journals into a segment store's write-ahead log instead of a
+stand-alone file.  A materialisation run pointed at a ``*.rseg``
+checkpoint therefore leaves behind a store that is *immediately
+servable*:
+
+* while running (or after a crash), the store is empty segments plus a
+  WAL of ``header``/``unit`` records — ``repro serve`` replays them;
+* an interrupted run resumes exactly like the JSONL checkpoint (same
+  header validation, same torn-tail repair, same unit-id bookkeeping);
+* ``repro compact`` folds the completed WAL into real partitioned
+  segments — the offline fold step, deliberately not automatic so a
+  finished run stays resumable/auditable until the operator compacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError, StorageError
+from repro.core.results import RelationshipSet
+from repro.storage.store import SegmentStore, is_segment_store
+from repro.storage.wal import set_from_payload, set_to_payload
+
+__all__ = ["SegmentJournal", "is_segment_checkpoint"]
+
+
+def is_segment_checkpoint(path: str | os.PathLike) -> bool:
+    """Should this checkpoint path journal into a segment store?
+
+    True for an existing segment-store directory, or any path spelled
+    with the ``.rseg`` suffix (the creation case).
+    """
+    return is_segment_store(path) or str(path).endswith(".rseg")
+
+
+class SegmentJournal:
+    """Materialisation checkpoint backed by a segment store's WAL."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._store: SegmentStore | None = None
+
+    def exists(self) -> bool:
+        return is_segment_store(self.path)
+
+    def _open_store(self) -> SegmentStore:
+        if self._store is None:
+            self._store = SegmentStore.open(self.path)
+        return self._store
+
+    # -- writing (Checkpoint protocol) ---------------------------------
+    def create(self, header: dict) -> None:
+        if self.exists():
+            # Mirrors Checkpoint: the caller decides about overwrites.
+            raise CheckpointError(f"segment checkpoint {self.path} already exists")
+        self._store = SegmentStore.create(self.path)
+        self._store.wal.append({"type": "header", **header})
+
+    def open_append(self) -> None:
+        self._open_store().wal.open()
+
+    def append_unit(self, unit_id, delta: RelationshipSet) -> None:
+        self._open_store().wal.append(
+            {"type": "unit", "id": unit_id, "delta": set_to_payload(delta)}
+        )
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
+
+    # -- reading (Checkpoint protocol) ---------------------------------
+    def load(self) -> tuple[dict, dict, bool]:
+        """``(header, deltas_by_unit, repaired)`` from the store's WAL."""
+        store = self._open_store()
+        try:
+            records, repaired = store.wal.records()
+        except StorageError as exc:
+            raise CheckpointError(str(exc)) from exc
+        if not records or records[0].get("type") != "header":
+            raise CheckpointError(
+                f"segment checkpoint {self.path} has no header record — "
+                "either it was never a checkpoint or it has been compacted"
+            )
+        header = records[0]
+        deltas: dict = {}
+        for record in records[1:]:
+            if record.get("type") != "unit" or "id" not in record:
+                raise CheckpointError(f"unexpected checkpoint record: {record!r}")
+            try:
+                deltas[record["id"]] = set_from_payload(record.get("delta", {}))
+            except StorageError as exc:
+                raise CheckpointError(
+                    f"malformed unit delta for {record.get('id')!r}: {exc}"
+                ) from exc
+        return header, deltas, repaired

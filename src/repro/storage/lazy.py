@@ -1,0 +1,111 @@
+"""Lazy, zero-copy-backed views over a segment store.
+
+``repro serve`` used to pay O(total pairs) of JSON parsing and index
+building before it could bind a socket.  These two classes move that
+cost off the startup path:
+
+* :class:`SegmentRelationshipSet` — a :class:`RelationshipSet` whose
+  pair sets materialise (mmap + struct decode + WAL replay) only on
+  first access; counts and ``repr`` come from the manifest in O(1).
+* :class:`LazyRelationshipIndex` — a :class:`RelationshipIndex` whose
+  adjacency maps are built on first lookup instead of at construction.
+
+Both rely on ``__getattr__``, which Python only consults when normal
+attribute lookup fails — i.e. exactly while the underlying state has
+not been materialised yet.  After the one-time build every access is a
+plain slot/dict hit with zero overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import RelationshipSet
+from repro.service.index import RelationshipIndex
+
+__all__ = ["SegmentRelationshipSet", "LazyRelationshipIndex"]
+
+#: The slot attributes whose first access triggers materialisation.
+_SET_SLOTS = ("full", "partial", "complementary", "partial_map", "degrees")
+
+
+class SegmentRelationshipSet(RelationshipSet):
+    """A relationship set that decodes its segment store on demand."""
+
+    # No __slots__ here: the subclass needs a __dict__ for its own
+    # bookkeeping while the parent's slots stay unset until first use.
+
+    def __init__(self, store):
+        # Deliberately does NOT call super().__init__ — leaving the
+        # parent's slots unset is what makes __getattr__ fire.
+        self._store = store
+        self._totals = store.totals()
+
+    # -- lazy materialisation -----------------------------------------
+    def __getattr__(self, name: str):
+        if name in _SET_SLOTS:
+            self._materialise()
+            return getattr(self, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _materialise(self) -> None:
+        if self.__dict__.get("_loaded"):
+            return
+        loaded = self._store.load()
+        self.full = loaded.full
+        self.partial = loaded.partial
+        self.complementary = loaded.complementary
+        self.partial_map = loaded.partial_map
+        self.degrees = loaded.degrees
+        self._loaded = True
+
+    @property
+    def materialised(self) -> bool:
+        return bool(self.__dict__.get("_loaded"))
+
+    # -- O(1) overrides from the manifest ------------------------------
+    def total(self) -> int:
+        if not self.materialised:
+            return int(
+                self._totals.get("full", 0)
+                + self._totals.get("partial", 0)
+                + self._totals.get("complementary", 0)
+            )
+        return super().total()
+
+    def __repr__(self) -> str:
+        if not self.materialised:
+            return (
+                f"SegmentRelationshipSet(full={self._totals.get('full', 0)}, "
+                f"partial={self._totals.get('partial', 0)}, "
+                f"complementary={self._totals.get('complementary', 0)}, lazy)"
+            )
+        return super().__repr__().replace("RelationshipSet", "SegmentRelationshipSet", 1)
+
+
+class LazyRelationshipIndex(RelationshipIndex):
+    """A relationship index built on first lookup, not at construction.
+
+    Construction stores the ``(result, space)`` pair and returns
+    immediately; the first attribute the parent's methods touch (an
+    adjacency map, ``result``...) triggers the real
+    :class:`RelationshipIndex` build.  Served queries before and after
+    the build behave identically — only the first one pays.
+    """
+
+    def __init__(self, result: RelationshipSet, space=None):
+        self.__dict__["_pending"] = (result, space)
+
+    def __getattr__(self, name: str):
+        pending = self.__dict__.get("_pending")
+        if pending is None:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        del self.__dict__["_pending"]
+        RelationshipIndex.__init__(self, *pending)
+        return getattr(self, name)
+
+    @property
+    def built(self) -> bool:
+        return "_pending" not in self.__dict__

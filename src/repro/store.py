@@ -6,7 +6,14 @@ computed offline and consulted during online exploration.  Two formats:
 * RDF (Turtle/N-Triples) via :func:`repro.qb.writer.relationships_to_graph`
   — interoperable, queryable with SPARQL,
 * a compact JSON format (this module) — fast to reload, keeps the
-  partial-containment degrees and dimension annotations losslessly.
+  partial-containment degrees and dimension annotations losslessly —
+  optionally gzip-compressed (``*.json.gz``) for CI artifacts,
+* the binary segment store of :mod:`repro.storage` (``*.rseg``) —
+  struct-packed, CRC-checked, mmap-loaded; the production format.
+
+:func:`save_relationships` / :func:`load_relationships` route between
+all three by path (:func:`detect_store_kind`), so every caller gets
+format auto-detection for free.
 
 Writes are crash-safe: :func:`save_relationships` (and the other
 path-writing helpers that build on :func:`atomic_write_text`) never
@@ -34,7 +41,10 @@ __all__ = [
     "dumps_relationships",
     "loads_relationships",
     "profile_relationships",
+    "describe_store",
+    "detect_store_kind",
     "atomic_write_text",
+    "atomic_write_bytes",
     "STORE_FORMAT",
     "STORE_VERSION",
 ]
@@ -49,31 +59,63 @@ STORE_VERSION = 1
 _FORMAT_VERSION = STORE_VERSION
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically.
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a completed rename survives a crash.
 
-    The content goes to a temporary file in the *same directory* (so the
-    final rename cannot cross filesystems), is flushed and fsynced, and
-    is then ``os.replace``d over ``path``.  A crash at any point leaves
-    either the old file or the new one — never a torn mix.
+    ``os.replace`` makes the swap atomic, but the *rename itself* lives
+    in the directory inode — without fsyncing it, a power cut can roll
+    the directory back to the old entry even though the data file was
+    fsynced.  Best effort: some filesystems refuse ``open``/``fsync``
+    on directories, which leaves the (weaker) pre-existing guarantee.
     """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: str | Path, data, mode: str) -> None:
     target = Path(path)
     directory = target.parent if str(target.parent) else Path(".")
     handle = tempfile.NamedTemporaryFile(
-        "w", dir=directory, prefix=f".{target.name}.", suffix=".tmp", delete=False
+        mode, dir=directory, prefix=f".{target.name}.", suffix=".tmp", delete=False
     )
     try:
         with handle:
-            handle.write(text)
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(handle.name, target)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(handle.name)
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically and durably.
+
+    The content goes to a temporary file in the *same directory* (so the
+    final rename cannot cross filesystems), is flushed and fsynced, and
+    is then ``os.replace``d over ``path``; the directory entry is then
+    fsynced too, so the rename itself is crash-durable.  A crash at any
+    point leaves either the old file or the new one — never a torn mix.
+    """
+    _atomic_write(path, text, "w")
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Binary twin of :func:`atomic_write_text` (segment files, gzip)."""
+    _atomic_write(path, data, "wb")
 
 
 def dumps_relationships(result: RelationshipSet, indent: int | None = None) -> str:
@@ -181,24 +223,107 @@ def loads_relationships(text: str) -> RelationshipSet:
     return result
 
 
-def save_relationships(result: RelationshipSet, target: str | Path | IO[str], indent: int | None = None) -> None:
-    """Write the JSON form to a path or text file object.
+def detect_store_kind(path: str | Path) -> str:
+    """Classify a store path: ``"segments"``, ``"json.gz"`` or ``"json"``.
 
-    Path targets are written atomically (temp file + ``os.replace``):
-    a crash mid-write never corrupts an existing store.
+    Existing paths are sniffed (a directory with a segment manifest is
+    a segment store whatever its name); otherwise the extension decides,
+    so the same function routes both reads and about-to-happen writes.
     """
-    text = dumps_relationships(result, indent=indent)
+    from repro.storage.store import is_segment_store
+
+    target = Path(path)
+    if is_segment_store(target) or str(target).endswith(".rseg"):
+        return "segments"
+    if str(target).endswith(".gz"):
+        return "json.gz"
+    return "json"
+
+
+def save_relationships(
+    result: RelationshipSet,
+    target: str | Path | IO[str],
+    indent: int | None = None,
+    space=None,
+) -> None:
+    """Write a relationship store to a path or text file object.
+
+    The format follows the path: ``*.rseg`` (or an existing segment
+    directory) writes the binary segment store of :mod:`repro.storage`
+    — partitioned by dataset/lattice signature when the observation
+    ``space`` is supplied — ``*.gz`` writes gzip-compressed JSON, and
+    anything else the plain JSON form.  Path targets are written
+    atomically: a crash mid-write never corrupts an existing store.
+    """
     if hasattr(target, "write"):
-        target.write(text)  # type: ignore[union-attr]
+        target.write(dumps_relationships(result, indent=indent))  # type: ignore[union-attr]
+        return
+    kind = detect_store_kind(target)  # type: ignore[arg-type]
+    if kind == "segments":
+        from repro.storage import save_segments
+
+        save_segments(result, target, space=space)  # type: ignore[arg-type]
+        return
+    text = dumps_relationships(result, indent=indent)
+    if kind == "json.gz":
+        import gzip
+
+        # mtime=0 keeps the compressed bytes deterministic for equal inputs.
+        atomic_write_bytes(target, gzip.compress(text.encode("utf-8"), mtime=0))  # type: ignore[arg-type]
         return
     atomic_write_text(target, text)  # type: ignore[arg-type]
 
 
 def load_relationships(source: str | Path | IO[str]) -> RelationshipSet:
-    """Read the JSON form from a path or text file object."""
+    """Read a relationship store from a path or text file object.
+
+    Paths are format-detected (binary segment store, ``.json.gz``,
+    plain JSON) via :func:`detect_store_kind`; file objects are always
+    treated as JSON text.
+    """
     if hasattr(source, "read"):
         return loads_relationships(source.read())  # type: ignore[union-attr]
+    kind = detect_store_kind(source)  # type: ignore[arg-type]
+    if kind == "segments":
+        from repro.storage import load_segments
+
+        return load_segments(source)  # type: ignore[arg-type]
+    if kind == "json.gz":
+        import gzip
+
+        try:
+            blob = Path(source).read_bytes()  # type: ignore[arg-type]
+            text = gzip.decompress(blob).decode("utf-8")
+        except (OSError, EOFError) as exc:
+            if isinstance(exc, FileNotFoundError):
+                raise
+            raise ReproError(f"cannot read gzip store {source}: {exc}") from exc
+        return loads_relationships(text)
     return loads_relationships(Path(source).read_text())  # type: ignore[arg-type]
+
+
+def describe_store(path: str | Path) -> dict:
+    """Cheap (no full load) facts about a store file for ``repro inspect``.
+
+    Returns ``{"kind", "bytes", "version", "segments", "wal_records"}``
+    — the last two are ``None`` for the JSON formats.
+    """
+    target = Path(path)
+    kind = detect_store_kind(target)
+    if kind == "segments":
+        from repro.storage import SegmentStore
+
+        store = SegmentStore.open(target)
+        info = store.describe()
+        return {
+            "kind": kind,
+            "bytes": info["bytes"],
+            "version": info["version"],
+            "segments": info["segments"],
+            "wal_records": info["wal_records"],
+        }
+    size = target.stat().st_size
+    return {"kind": kind, "bytes": size, "version": STORE_VERSION, "segments": None, "wal_records": None}
 
 
 def profile_relationships(result: RelationshipSet, bins: int = 10) -> dict:

@@ -1,0 +1,55 @@
+"""Shared fixtures for the segment-store test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.core.results import RelationshipSet
+from repro.data.example import build_example_space
+from repro.rdf.terms import URIRef
+
+from tests.conftest import make_random_space
+
+
+def assert_identical(a, b):
+    """Full-strength equality: sets, OCM degrees and dimension maps."""
+    assert a == b
+    assert a.degrees == b.degrees
+    assert a.partial_map == b.partial_map
+
+
+@pytest.fixture(scope="package")
+def example_result():
+    return compute_baseline(build_example_space(), collect_partial_dimensions=True)
+
+
+@pytest.fixture(scope="package")
+def random_space():
+    return make_random_space(60, seed=17)
+
+
+@pytest.fixture(scope="package")
+def random_result(random_space):
+    return compute_baseline(random_space, collect_partial_dimensions=True)
+
+
+def unicode_result() -> RelationshipSet:
+    """A relationship set over non-ASCII IRIs with boundary degrees.
+
+    Degrees 0.0 and 1.0 are the partial-containment extremes; 0.0 in
+    particular shreds any ``if degree:`` truthiness bug, and the IRIs
+    exercise the UTF-8 paths of every backend.
+    """
+    a = URIRef("http://例え.jp/観測/α")
+    b = URIRef("http://例え.jp/観測/β")
+    c = URIRef("http://παράδειγμα.gr/obs/γάμμα")
+    d = URIRef("http://example.org/obs/ascii")
+    dim = URIRef("http://例え.jp/次元/地域")
+    result = RelationshipSet()
+    result.add_full(a, b)
+    result.add_partial(a, c, frozenset({dim}), 0.0)
+    result.add_partial(b, c, frozenset({dim}), 1.0)
+    result.add_partial(c, d, None, 0.5)
+    result.add_complementary(d, a)
+    return result

@@ -1,0 +1,116 @@
+"""Parametrised round-trip tests across every persistence backend.
+
+``repro.store.save_relationships`` / ``load_relationships`` route on
+the target path: plain JSON, gzip-compressed JSON and binary segment
+stores must be interchangeable — same sets, same OCM degrees, same
+dimension maps — including the awkward inputs: non-ASCII IRIs, empty
+sets and boundary partial-containment degrees.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.core.results import RelationshipSet
+from repro.errors import ReproError
+from repro.rdf.terms import URIRef
+from repro.store import (
+    describe_store,
+    detect_store_kind,
+    load_relationships,
+    save_relationships,
+)
+
+from tests.storage.conftest import assert_identical, unicode_result
+
+BACKENDS = ["links.json", "links.json.gz", "links.rseg"]
+
+
+@pytest.fixture(params=BACKENDS)
+def target(request, tmp_path):
+    return tmp_path / request.param
+
+
+class TestBackendRoundTrips:
+    def test_computed_result(self, target, random_result):
+        save_relationships(random_result, target)
+        assert_identical(load_relationships(target), random_result)
+
+    def test_partitioned_segments(self, tmp_path, random_space, random_result):
+        target = tmp_path / "part.rseg"
+        save_relationships(random_result, target, space=random_space)
+        assert_identical(load_relationships(target), random_result)
+
+    def test_non_ascii_iris(self, target):
+        result = unicode_result()
+        save_relationships(result, target)
+        assert_identical(load_relationships(target), result)
+
+    def test_empty_set(self, target):
+        save_relationships(RelationshipSet(), target)
+        loaded = load_relationships(target)
+        assert_identical(loaded, RelationshipSet())
+        assert loaded.total() == 0
+
+    def test_boundary_degrees(self, target):
+        result = RelationshipSet()
+        a, b, c = (URIRef(f"http://x/{n}") for n in "abc")
+        dim = URIRef("http://x/dim")
+        result.add_partial(a, b, frozenset({dim}), 0.0)  # lower bound
+        result.add_partial(b, c, frozenset({dim}), 1.0)  # upper bound
+        result.add_partial(a, c)  # no degree at all
+        save_relationships(result, target)
+        loaded = load_relationships(target)
+        assert loaded.degrees[(a, b)] == 0.0
+        assert loaded.degrees[(b, c)] == 1.0
+        assert (a, c) not in loaded.degrees
+        assert_identical(loaded, result)
+
+    def test_detected_kind(self, target, random_result):
+        save_relationships(random_result, target)
+        expected = {
+            "links.json": "json",
+            "links.json.gz": "json.gz",
+            "links.rseg": "segments",
+        }[target.name]
+        assert detect_store_kind(target) == expected
+
+    def test_describe_store(self, target, random_result):
+        save_relationships(random_result, target)
+        info = describe_store(target)
+        assert info["bytes"] > 0
+        assert info["kind"] == detect_store_kind(target)
+
+
+class TestGzipBackend:
+    def test_bytes_are_gzip(self, tmp_path, random_result):
+        target = tmp_path / "links.json.gz"
+        save_relationships(random_result, target)
+        raw = target.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"
+        payload = json.loads(gzip.decompress(raw))
+        assert payload["version"] == 1
+
+    def test_deterministic_bytes(self, tmp_path, random_result):
+        """mtime=0 in the gzip header keeps rewrites byte-identical."""
+        a, b = tmp_path / "a.json.gz", tmp_path / "b.json.gz"
+        save_relationships(random_result, a)
+        save_relationships(random_result, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_smaller_than_plain_json(self, tmp_path, random_result):
+        plain, packed = tmp_path / "links.json", tmp_path / "links.json.gz"
+        save_relationships(random_result, plain)
+        save_relationships(random_result, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_corrupt_gzip_raises_repro_error(self, tmp_path):
+        target = tmp_path / "broken.json.gz"
+        target.write_bytes(b"\x1f\x8bnot really gzip")
+        with pytest.raises(ReproError):
+            load_relationships(target)
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_relationships(tmp_path / "absent.json.gz")

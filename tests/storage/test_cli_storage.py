@@ -1,0 +1,158 @@
+"""End-to-end CLI tests for the storage subsystem: compute -o,
+migrate, compact, inspect and serve-from-segments."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.store import load_relationships
+from repro.storage import SegmentStore
+
+from tests.storage.conftest import assert_identical
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("corpus") / "corpus.ttl"
+    code = main(["generate", "--kind", "realworld", "--scale", "0.001",
+                 "--seed", "1", "--output", str(path)])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def json_store(corpus_file, tmp_path_factory):
+    path = tmp_path_factory.mktemp("stores") / "links.json"
+    code = main(["compute", "--input", str(corpus_file),
+                 "--method", "cube_masking", "-o", str(path)])
+    assert code == 0
+    return path
+
+
+class TestComputeStoreOutput:
+    def test_compute_to_segments(self, corpus_file, tmp_path):
+        target = tmp_path / "links.rseg"
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking", "-o", str(target)])
+        assert code == 0
+        store = SegmentStore.open(target)
+        assert store.describe()["partitioned"]  # compute knows the space
+
+    def test_compute_to_gzip(self, corpus_file, tmp_path):
+        target = tmp_path / "links.json.gz"
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking", "-o", str(target)])
+        assert code == 0
+        assert target.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_json_output_alias_still_works(self, corpus_file, tmp_path):
+        target = tmp_path / "links.json"
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking", "--json-output", str(target)])
+        assert code == 0
+        assert load_relationships(target).total() > 0
+
+
+class TestMigrate:
+    def test_json_to_segments_to_json_round_trip(self, json_store, corpus_file, tmp_path):
+        segments = tmp_path / "links.rseg"
+        back = tmp_path / "back.json"
+        assert main(["migrate", "--input", str(json_store), "--output",
+                     str(segments), "--cube", str(corpus_file)]) == 0
+        assert main(["migrate", "--input", str(segments), "--output", str(back)]) == 0
+        original = load_relationships(json_store)
+        assert_identical(load_relationships(segments), original)
+        assert_identical(load_relationships(back), original)
+
+    def test_json_to_gzip(self, json_store, tmp_path):
+        packed = tmp_path / "links.json.gz"
+        assert main(["migrate", "--input", str(json_store), "--output", str(packed)]) == 0
+        assert_identical(load_relationships(packed), load_relationships(json_store))
+
+    def test_migrate_missing_input_fails_cleanly(self, tmp_path, capsys):
+        code = main(["migrate", "--input", str(tmp_path / "absent.json"),
+                     "--output", str(tmp_path / "out.rseg")])
+        assert code != 0
+        assert "error" in capsys.readouterr().err.lower()
+
+
+class TestInspect:
+    def test_inspect_segment_store(self, json_store, corpus_file, tmp_path, capsys):
+        segments = tmp_path / "links.rseg"
+        main(["migrate", "--input", str(json_store), "--output", str(segments),
+              "--cube", str(corpus_file)])
+        capsys.readouterr()
+        assert main(["inspect", "--input", str(segments)]) == 0
+        out = capsys.readouterr().out
+        assert "format segments" in out
+        assert "loaded in" in out
+        assert "segment(s)" in out and "WAL record(s)" in out
+
+    def test_inspect_reports_size_and_load_time(self, json_store, capsys):
+        assert main(["inspect", "--input", str(json_store)]) == 0
+        out = capsys.readouterr().out
+        assert "bytes" in out and "loaded in" in out
+
+    def test_inspect_gzip(self, json_store, tmp_path, capsys):
+        packed = tmp_path / "links.json.gz"
+        main(["migrate", "--input", str(json_store), "--output", str(packed)])
+        capsys.readouterr()
+        assert main(["inspect", "--input", str(packed)]) == 0
+        assert "format json.gz" in capsys.readouterr().out
+
+
+class TestCompact:
+    def test_compact_empty_wal(self, json_store, corpus_file, tmp_path, capsys):
+        segments = tmp_path / "links.rseg"
+        main(["migrate", "--input", str(json_store), "--output", str(segments),
+              "--cube", str(corpus_file)])
+        before = load_relationships(segments)
+        assert main(["compact", "--store", str(segments),
+                     "--input", str(corpus_file)]) == 0
+        assert "folded 0" in capsys.readouterr().err
+        assert_identical(load_relationships(segments), before)
+
+    def test_compact_non_store_fails_cleanly(self, tmp_path, capsys):
+        code = main(["compact", "--store", str(tmp_path / "nope.rseg")])
+        assert code != 0
+        assert "error" in capsys.readouterr().err.lower()
+
+
+class TestServeFromSegments:
+    def test_serve_wiring_from_segments(self, json_store, corpus_file, tmp_path):
+        """The exact object graph _cmd_serve builds for a segment store."""
+        from repro.core.space import ObservationSpace
+        from repro.qb import load_cubespace
+        from repro.rdf import parse_turtle
+        from repro.service import QueryEngine, start_server
+        from repro.storage import LazyRelationshipIndex
+
+        segments = tmp_path / "links.rseg"
+        main(["migrate", "--input", str(json_store), "--output", str(segments),
+              "--cube", str(corpus_file)])
+        store = SegmentStore.open(segments)
+        space = ObservationSpace.from_cubespace(
+            load_cubespace(parse_turtle(corpus_file.read_text()))
+        )
+        view = store.relationship_set()
+        engine = QueryEngine(
+            view, space,
+            index=LazyRelationshipIndex(view, space),
+            delta_sink=store.append_delta,
+        )
+        server = start_server(engine)
+        host, port = server.server_address
+        try:
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                health = json.load(response)
+            assert health["status"] == "ok"
+            assert health["persistence"]["write_ahead_log"] is True
+            with urllib.request.urlopen(f"http://{host}:{port}/stats") as response:
+                stats = json.load(response)
+            assert stats["persistence"]["wal_appends"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+        store.close()

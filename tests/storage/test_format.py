@@ -1,0 +1,113 @@
+"""Unit tests for the binary segment layout (repro.storage.format)."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.core.results import RelationshipSet
+from repro.errors import StorageError
+from repro.rdf.terms import URIRef
+from repro.storage import decode_segment, encode_segment
+from repro.storage.format import HEADER, SEGMENT_MAGIC, SEGMENT_VERSION, segment_counts
+
+from tests.storage.conftest import assert_identical, unicode_result
+
+
+class TestRoundTrip:
+    def test_example_round_trip(self, example_result):
+        blob = encode_segment(example_result)
+        assert_identical(decode_segment(blob), example_result)
+
+    def test_random_round_trip(self, random_result):
+        assert_identical(decode_segment(encode_segment(random_result)), random_result)
+
+    def test_empty_set(self):
+        empty = RelationshipSet()
+        assert_identical(decode_segment(encode_segment(empty)), empty)
+
+    def test_unicode_iris_and_boundary_degrees(self):
+        result = unicode_result()
+        decoded = decode_segment(encode_segment(result))
+        assert_identical(decoded, result)
+        pair = sorted(result.degrees, key=lambda p: result.degrees[p])[0]
+        assert decoded.degrees[pair] == 0.0  # 0.0 survives, not dropped as falsy
+
+    def test_deterministic_bytes(self, example_result):
+        assert encode_segment(example_result) == encode_segment(example_result)
+
+    def test_explicit_dimension_table(self, example_result):
+        dims = sorted(
+            {d for dims in example_result.partial_map.values() for d in dims}, key=str
+        )
+        extra = dims + [URIRef("http://test.example/unused-dim")]
+        assert_identical(
+            decode_segment(encode_segment(example_result, dimensions=extra)),
+            example_result,
+        )
+
+    def test_missing_dimension_rejected_at_encode(self):
+        result = RelationshipSet()
+        result.add_partial(
+            URIRef("http://x/a"),
+            URIRef("http://x/b"),
+            frozenset({URIRef("http://x/dim")}),
+            0.5,
+        )
+        with pytest.raises(StorageError, match="dimension"):
+            encode_segment(result, dimensions=[])
+
+    def test_degree_absent_versus_zero(self):
+        result = RelationshipSet()
+        result.add_partial(URIRef("http://x/a"), URIRef("http://x/b"))  # no degree
+        result.add_partial(URIRef("http://x/c"), URIRef("http://x/d"), None, 0.0)
+        decoded = decode_segment(encode_segment(result))
+        assert (URIRef("http://x/a"), URIRef("http://x/b")) not in decoded.degrees
+        assert decoded.degrees[(URIRef("http://x/c"), URIRef("http://x/d"))] == 0.0
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self, example_result):
+        blob = bytearray(encode_segment(example_result))
+        blob[:4] = b"NOPE"
+        with pytest.raises(StorageError, match="magic"):
+            decode_segment(bytes(blob))
+
+    def test_unsupported_version(self, example_result):
+        blob = bytearray(encode_segment(example_result))
+        struct.pack_into("<H", blob, 4, SEGMENT_VERSION + 1)
+        with pytest.raises(StorageError, match="version"):
+            decode_segment(bytes(blob))
+
+    def test_flipped_payload_bit_fails_crc(self, example_result):
+        blob = bytearray(encode_segment(example_result))
+        blob[HEADER.size + 12] ^= 0x40
+        with pytest.raises(StorageError, match="CRC"):
+            decode_segment(bytes(blob))
+
+    def test_torn_write_detected(self, example_result):
+        blob = encode_segment(example_result)
+        with pytest.raises(StorageError, match="torn"):
+            decode_segment(blob[: len(blob) - 7])
+
+    def test_truncated_below_header(self):
+        with pytest.raises(StorageError, match="truncated"):
+            decode_segment(b"RSEG")
+
+    def test_header_constants(self, example_result):
+        blob = encode_segment(example_result)
+        magic, version, _flags, crc, length = HEADER.unpack_from(blob, 0)
+        assert magic == SEGMENT_MAGIC
+        assert version == SEGMENT_VERSION
+        payload = blob[HEADER.size :]
+        assert len(payload) == length
+        assert zlib.crc32(payload) == crc
+
+
+class TestCounts:
+    def test_segment_counts(self, example_result):
+        counts = segment_counts(example_result)
+        assert counts["full"] == len(example_result.full)
+        assert counts["partial"] == len(example_result.partial)
+        assert counts["complementary"] == len(example_result.complementary)
+        assert counts["uris"] > 0

@@ -1,0 +1,206 @@
+"""Segment-store checkpoints for the materialisation runner, and the
+query engine's write-ahead persistence under simulated crashes.
+
+The acceptance bar: a run (or a serving process) killed mid-flight must
+leave behind a store whose replayed state is *identical* — sets, OCM
+degrees, dimension maps — to the state an uninterrupted run reaches.
+"""
+
+import pytest
+
+from repro.core import FaultPlan, compute_cubemask, compute_relationships, truncate_file
+from repro.core.results import RelationshipSet
+from repro.core.runner import Checkpoint, open_checkpoint
+from repro.errors import CheckpointError
+from repro.rdf.terms import URIRef
+from repro.service.engine import QueryEngine
+from repro.service.index import RelationshipIndex
+from repro.storage import LazyRelationshipIndex, SegmentJournal, SegmentStore
+
+from tests.conftest import make_random_space
+from tests.storage.conftest import assert_identical
+
+
+@pytest.fixture(scope="module")
+def space():
+    return make_random_space(120, seed=42)
+
+
+def copy_of(result):
+    return RelationshipSet(
+        result.full, result.partial, result.complementary,
+        result.partial_map, result.degrees,
+    )
+
+
+class TestCheckpointRouting:
+    def test_rseg_path_routes_to_segment_journal(self, tmp_path):
+        assert isinstance(open_checkpoint(tmp_path / "run.rseg"), SegmentJournal)
+
+    def test_jsonl_path_routes_to_checkpoint(self, tmp_path):
+        assert isinstance(open_checkpoint(tmp_path / "run.jsonl"), Checkpoint)
+
+    def test_existing_store_routes_even_without_suffix(self, tmp_path):
+        target = tmp_path / "oddname"
+        SegmentStore.create(target)
+        assert isinstance(open_checkpoint(target), SegmentJournal)
+
+
+class TestRunnerSegmentCheckpoint:
+    def test_clean_run_matches_direct(self, space, tmp_path):
+        ckpt = tmp_path / "run.rseg"
+        result = compute_relationships(
+            space, "cube_masking", checkpoint=str(ckpt), unit_size=16
+        )
+        assert_identical(result, compute_cubemask(space))
+        # the checkpoint IS a store: header + one WAL record per unit
+        store = SegmentStore.open(ckpt)
+        records, _ = store.wal.records()
+        assert records[0]["type"] == "header"
+        assert len(records) > 2  # genuinely unit-wise
+
+    def test_interrupted_store_is_servable_mid_run(self, space, tmp_path):
+        ckpt = tmp_path / "interrupted.rseg"
+        with pytest.raises(KeyboardInterrupt):
+            compute_relationships(
+                space,
+                "cube_masking",
+                checkpoint=str(ckpt),
+                unit_size=16,
+                fault_plan=FaultPlan(interrupt_after=2),
+            )
+        partial = SegmentStore.open(ckpt).load()  # WAL replay, no compact needed
+        truth = compute_cubemask(space)
+        assert 0 < partial.total() < truth.total()
+        assert partial.full <= truth.full
+        assert partial.partial <= truth.partial
+
+    def test_kill_then_resume_is_identical(self, space, tmp_path):
+        ckpt = tmp_path / "resumed.rseg"
+        with pytest.raises(KeyboardInterrupt):
+            compute_relationships(
+                space,
+                "cube_masking",
+                checkpoint=str(ckpt),
+                unit_size=16,
+                fault_plan=FaultPlan(interrupt_after=2),
+            )
+        resumed = compute_relationships(
+            space, "cube_masking", checkpoint=str(ckpt), unit_size=16, resume=True
+        )
+        assert_identical(resumed, compute_cubemask(space))
+
+    def test_torn_wal_tail_resumes_identically(self, space, tmp_path):
+        """A crash mid-append (torn final WAL line) is repaired on resume."""
+        ckpt = tmp_path / "torn.rseg"
+        with pytest.raises(KeyboardInterrupt):
+            compute_relationships(
+                space,
+                "cube_masking",
+                checkpoint=str(ckpt),
+                unit_size=16,
+                fault_plan=FaultPlan(interrupt_after=3),
+            )
+        store = SegmentStore.open(ckpt)
+        truncate_file(store.wal.path, drop_bytes=9)
+        resumed = compute_relationships(
+            space, "cube_masking", checkpoint=str(ckpt), unit_size=16, resume=True
+        )
+        assert_identical(resumed, compute_cubemask(space))
+
+    def test_create_refuses_to_overwrite(self, tmp_path):
+        journal = SegmentJournal(tmp_path / "run.rseg")
+        journal.create({"version": 1})
+        with pytest.raises(CheckpointError, match="already exists"):
+            journal.create({"version": 1})
+
+    def test_compacted_checkpoint_cannot_resume(self, space, tmp_path):
+        ckpt = tmp_path / "folded.rseg"
+        compute_relationships(space, "cube_masking", checkpoint=str(ckpt), unit_size=16)
+        store = SegmentStore.open(ckpt)
+        store.compact(space)
+        with pytest.raises(CheckpointError, match="no header record"):
+            SegmentJournal(ckpt).load()
+
+    def test_compacted_checkpoint_serves_identically(self, space, tmp_path):
+        ckpt = tmp_path / "served.rseg"
+        compute_relationships(space, "cube_masking", checkpoint=str(ckpt), unit_size=16)
+        store = SegmentStore.open(ckpt)
+        store.compact(space)
+        assert_identical(SegmentStore.open(ckpt).load(), compute_cubemask(space))
+
+
+class TestEngineWalPersistence:
+    """The serve-path acceptance test: engine writes survive a crash."""
+
+    def new_observation(self, space, tag):
+        return (
+            URIRef(f"http://test.example/obs/crash-{tag}"),
+            space.observations[0].dataset,
+            {dim: space.hierarchies[dim].root for dim in space.dimensions},
+            [URIRef("http://test.example/m0")],
+        )
+
+    def build_engine(self, path, space, result):
+        from repro.storage import save_segments
+
+        store = save_segments(copy_of(result), path, space=space)
+        view = store.relationship_set()
+        engine = QueryEngine(
+            view,
+            space,
+            index=LazyRelationshipIndex(view, space),
+            delta_sink=store.append_delta,
+        )
+        return store, engine
+
+    def test_replayed_state_matches_uninterrupted_run(self, tmp_path):
+        space = make_random_space(60, seed=23)
+        result = compute_cubemask(space, collect_partial_dimensions=True)
+        store, engine = self.build_engine(tmp_path / "serve.rseg", space, result)
+
+        engine.insert([self.new_observation(space, "a")])
+        engine.insert([self.new_observation(space, "b")])
+        engine.remove([space.observations[0].uri])
+        assert engine.stats()["persistence"]["wal_appends"] == 3
+        live = copy_of(engine.result)
+        store.close()  # the crash: nothing flushed beyond the WAL appends
+
+        replayed = SegmentStore.open(tmp_path / "serve.rseg").load()
+        assert_identical(replayed, live)
+
+    def test_replayed_index_answers_like_live_index(self, tmp_path):
+        space = make_random_space(60, seed=29)
+        result = compute_cubemask(space, collect_partial_dimensions=True)
+        store, engine = self.build_engine(tmp_path / "serve.rseg", space, result)
+        engine.insert([self.new_observation(space, "c")])
+        store.close()
+
+        replayed = SegmentStore.open(tmp_path / "serve.rseg").load()
+        rebuilt = RelationshipIndex(replayed)
+        uri = URIRef("http://test.example/obs/crash-c")
+        assert rebuilt.fully_within(uri) == engine.index.fully_within(uri)
+        assert rebuilt.complements_of(uri) == engine.index.complements_of(uri)
+
+    def test_torn_final_append_rolls_back_to_last_good_write(self, tmp_path):
+        space = make_random_space(60, seed=31)
+        result = compute_cubemask(space, collect_partial_dimensions=True)
+        store, engine = self.build_engine(tmp_path / "serve.rseg", space, result)
+
+        engine.insert([self.new_observation(space, "keep")])
+        after_first = copy_of(engine.result)
+        engine.insert([self.new_observation(space, "torn")])
+        store.close()
+        truncate_file(store.wal.path, drop_bytes=5)  # crash mid-second-append
+
+        replayed = SegmentStore.open(tmp_path / "serve.rseg").load()
+        assert_identical(replayed, after_first)
+
+    def test_compact_preserves_served_writes(self, tmp_path):
+        space = make_random_space(60, seed=37)
+        result = compute_cubemask(space, collect_partial_dimensions=True)
+        store, engine = self.build_engine(tmp_path / "serve.rseg", space, result)
+        engine.insert([self.new_observation(space, "fold")])
+        live = copy_of(engine.result)
+        store.compact(space)
+        assert_identical(SegmentStore.open(tmp_path / "serve.rseg").load(), live)

@@ -1,0 +1,251 @@
+"""Tests for SegmentStore: manifest commit, pruning, WAL, laziness."""
+
+import json
+
+import pytest
+
+from repro.core.api import update_relationships
+from repro.core.results import RelationshipSet
+from repro.errors import StorageError
+from repro.rdf.terms import URIRef
+from repro.service.index import RelationshipIndex
+from repro.storage import (
+    LazyRelationshipIndex,
+    SegmentRelationshipSet,
+    SegmentStore,
+    is_segment_store,
+    load_segments,
+    partition_relationships,
+    save_segments,
+)
+from repro.storage.store import MANIFEST_NAME, _dominates
+
+from tests.storage.conftest import assert_identical
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "links.rseg"
+
+
+class TestRoundTrip:
+    def test_unpartitioned_round_trip(self, store_path, random_result):
+        save_segments(random_result, store_path)
+        assert is_segment_store(store_path)
+        assert_identical(load_segments(store_path), random_result)
+
+    def test_partitioned_round_trip(self, store_path, random_space, random_result):
+        store = save_segments(random_result, store_path, space=random_space)
+        assert len(store.manifest["segments"]) > 1  # genuinely partitioned
+        assert_identical(store.load(), random_result)
+
+    def test_rewrite_bumps_generation_and_cleans_up(
+        self, store_path, random_space, random_result
+    ):
+        store = save_segments(random_result, store_path, space=random_space)
+        first = {entry["name"] for entry in store.manifest["segments"]}
+        store = save_segments(random_result, store_path, space=random_space)
+        assert store.manifest["generation"] == 1
+        current = {entry["name"] for entry in store.manifest["segments"]}
+        on_disk = {p.name for p in store_path.iterdir()}
+        assert not (first & on_disk)  # stale generation unlinked
+        assert current <= on_disk
+
+    def test_empty_store(self, store_path):
+        store = SegmentStore.create(store_path)
+        assert_identical(store.load(), RelationshipSet())
+
+
+class TestManifestValidation:
+    def test_open_non_store(self, tmp_path):
+        with pytest.raises(StorageError, match="not a segment store"):
+            SegmentStore.open(tmp_path / "nowhere")
+
+    def test_open_foreign_manifest(self, tmp_path):
+        target = tmp_path / "fake.rseg"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text('{"format": "something-else"}')
+        with pytest.raises(StorageError, match="not a segment-store manifest"):
+            SegmentStore.open(target)
+
+    def test_open_future_version(self, tmp_path):
+        target = tmp_path / "future.rseg"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text(
+            '{"format": "repro-segments", "version": 99}'
+        )
+        with pytest.raises(StorageError, match="version"):
+            SegmentStore.open(target)
+
+    def test_manifest_count_mismatch_detected(
+        self, store_path, random_space, random_result
+    ):
+        store = save_segments(random_result, store_path, space=random_space)
+        manifest = json.loads((store_path / MANIFEST_NAME).read_text())
+        manifest["segments"][0]["full"] += 1
+        (store_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="manifest promises"):
+            SegmentStore.open(store_path).load()
+
+    def test_missing_segment_file(self, store_path, random_space, random_result):
+        store = save_segments(random_result, store_path, space=random_space)
+        (store_path / store.manifest["segments"][0]["name"]).unlink()
+        with pytest.raises(StorageError, match="missing segment file"):
+            SegmentStore.open(store_path).load()
+
+    def test_corrupt_segment_payload(self, store_path, random_result):
+        store = save_segments(random_result, store_path)
+        name = store.manifest["segments"][0]["name"]
+        blob = bytearray((store_path / name).read_bytes())
+        blob[-1] ^= 0xFF
+        (store_path / name).write_bytes(bytes(blob))
+        with pytest.raises(StorageError, match="CRC"):
+            SegmentStore.open(store_path).load()
+
+
+class TestPartitioning:
+    def test_partitions_cover_everything(self, random_space, random_result):
+        parts = partition_relationships(random_result, random_space)
+        rebuilt = RelationshipSet()
+        for part in parts.values():
+            rebuilt.merge(part)
+        assert_identical(rebuilt, random_result)
+
+    def test_no_space_single_default_partition(self, random_result):
+        parts = partition_relationships(random_result)
+        assert list(parts) == [(None, None)]
+
+    def test_dominance(self):
+        assert _dominates((0, 0), (1, 2))
+        assert _dominates((1, 2), (1, 2))
+        assert not _dominates((2, 0), (1, 2))
+        assert not _dominates((0, 0), (0, 0, 0))  # mismatched arity
+
+
+class TestSegmentPruning:
+    """Manifest-level lattice pruning (the cubeMasking analogue)."""
+
+    @pytest.fixture
+    def store(self, store_path, random_space, random_result):
+        return save_segments(random_result, store_path, space=random_space)
+
+    def test_containers_mode_prunes(self, store, random_space):
+        deepest = max(
+            (tuple(e["signature"]) for e in store.manifest["segments"]),
+        )
+        kept = store.segments_for(signature=deepest, mode="containers")
+        assert 0 < len(kept) <= len(store.manifest["segments"])
+        for entry in kept:
+            assert _dominates(tuple(entry["signature"]), deepest)
+
+    def test_contained_mode_is_the_mirror(self, store):
+        root_like = min(tuple(e["signature"]) for e in store.manifest["segments"])
+        kept = store.segments_for(signature=root_like, mode="contained")
+        for entry in kept:
+            assert _dominates(root_like, tuple(entry["signature"]))
+
+    def test_complements_mode_exact(self, store):
+        sig = tuple(store.manifest["segments"][0]["signature"])
+        kept = store.segments_for(signature=sig, mode="complements")
+        assert all(tuple(e["signature"]) == sig for e in kept)
+
+    def test_dataset_filter(self, store):
+        dataset = store.manifest["segments"][0]["dataset"]
+        kept = store.segments_for(dataset=dataset)
+        assert kept and all(e["dataset"] == dataset for e in kept)
+
+    def test_default_partition_never_pruned(self, store_path, random_result):
+        store = save_segments(random_result, store_path)  # no space: default key
+        kept = store.segments_for(signature=(9, 9, 9), mode="complements")
+        assert len(kept) == len(store.manifest["segments"])
+
+    def test_unknown_mode_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown pruning mode"):
+            store.segments_for(mode="sideways")
+
+    def test_load_subset_is_sound(self, store, random_space, random_result):
+        """Pruned loading never loses a pair involving the queried cube."""
+        record = random_space.observations[0]
+        sig = random_space.level_signature(record.index)
+        subset = store.load_subset(signature=sig, mode="containers")
+        for pair in random_result.full:
+            if pair[1] == record.uri:
+                assert pair in subset.full
+
+
+class TestWalIntegration:
+    def _delta(self, space, result):
+        copy = RelationshipSet(
+            result.full, result.partial, result.complementary,
+            result.partial_map, result.degrees,
+        )
+        new = (
+            URIRef("http://test.example/obs/stored-new"),
+            space.observations[0].dataset,
+            {dim: space.hierarchies[dim].root for dim in space.dimensions},
+            [URIRef("http://test.example/m0")],
+        )
+        _, delta = update_relationships(space, copy, [new], return_delta=True)
+        return copy, delta
+
+    def test_append_delta_then_load(self, store_path, random_space, random_result):
+        store = save_segments(random_result, store_path, space=random_space)
+        expected, delta = self._delta(random_space, random_result)
+        store.append_delta(delta)
+        store.close()
+        assert_identical(SegmentStore.open(store_path).load(), expected)
+
+    def test_load_without_wal_sees_segments_only(
+        self, store_path, random_space, random_result
+    ):
+        store = save_segments(random_result, store_path, space=random_space)
+        _, delta = self._delta(random_space, random_result)
+        store.append_delta(delta)
+        assert_identical(store.load(apply_wal=False), random_result)
+
+    def test_compact_folds_and_empties_wal(
+        self, store_path, random_space, random_result
+    ):
+        store = save_segments(random_result, store_path, space=random_space)
+        expected, delta = self._delta(random_space, random_result)
+        store.append_delta(delta)
+        report = store.compact(random_space)
+        assert report["folded"] == 1
+        assert store.wal.record_count() == 0
+        assert_identical(SegmentStore.open(store_path).load(), expected)
+
+    def test_describe_is_manifest_only(self, store_path, random_result):
+        store = save_segments(random_result, store_path)
+        info = store.describe()
+        assert info["format"] == "repro-segments"
+        assert info["segments"] == len(store.manifest["segments"])
+        assert info["wal_records"] == 0
+        assert info["totals"]["partial"] == len(random_result.partial)
+
+
+class TestLazyViews:
+    def test_lazy_counts_before_materialisation(self, store_path, random_result):
+        store = save_segments(random_result, store_path)
+        view = store.relationship_set()
+        assert isinstance(view, SegmentRelationshipSet)
+        assert not view.materialised
+        assert view.total() == random_result.total()  # manifest-only
+        assert not view.materialised
+        repr(view)
+        assert not view.materialised
+
+    def test_lazy_materialises_on_access(self, store_path, random_result):
+        store = save_segments(random_result, store_path)
+        view = store.relationship_set()
+        assert view.full == random_result.full  # first slot access decodes
+        assert view.materialised
+        assert_identical(view, random_result)
+
+    def test_lazy_index_defers_build(self, store_path, random_space, random_result):
+        store = save_segments(random_result, store_path, space=random_space)
+        index = LazyRelationshipIndex(store.relationship_set(), random_space)
+        assert not index.built
+        uri = random_space.observations[0].uri
+        eager = RelationshipIndex(random_result, random_space)
+        assert index.fully_within(uri) == eager.fully_within(uri)
+        assert index.built

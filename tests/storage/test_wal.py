@@ -1,0 +1,152 @@
+"""Unit tests for the write-ahead delta log (repro.storage.wal)."""
+
+import pytest
+
+from repro.core import truncate_file
+from repro.core.api import update_relationships
+from repro.core.results import RelationshipSet
+from repro.errors import StorageError
+from repro.rdf.terms import URIRef
+from repro.storage import delta_from_payload, delta_to_payload
+from repro.storage.wal import (
+    WriteAheadLog,
+    replay_into,
+    set_from_payload,
+    set_to_payload,
+)
+
+from tests.storage.conftest import assert_identical, unicode_result
+
+
+def u(name: str) -> URIRef:
+    return URIRef(f"http://test.example/obs/{name}")
+
+
+def make_delta(space, result):
+    """One genuine delta from the incremental API."""
+    copy = RelationshipSet(
+        result.full, result.partial, result.complementary,
+        result.partial_map, result.degrees,
+    )
+    record = space.observations[0]
+    new = (
+        URIRef("http://test.example/obs/walnew"),
+        record.dataset,
+        {dim: space.hierarchies[dim].root for dim in space.dimensions},
+        [URIRef("http://test.example/m0")],
+    )
+    _, delta = update_relationships(space, copy, [new], return_delta=True)
+    return delta
+
+
+class TestPayloads:
+    def test_delta_round_trip(self, random_space, random_result):
+        delta = make_delta(random_space, random_result)
+        back = delta_from_payload(delta_to_payload(delta))
+        assert back.added_full == delta.added_full
+        assert back.added_partial == delta.added_partial
+        assert back.added_complementary == delta.added_complementary
+        assert back.removed_full == delta.removed_full
+        assert back.degrees == delta.degrees
+        assert back.partial_map == delta.partial_map
+
+    def test_set_round_trip_unicode(self):
+        result = unicode_result()
+        assert_identical(set_from_payload(set_to_payload(result)), result)
+
+    def test_malformed_payloads_raise(self):
+        with pytest.raises(StorageError):
+            delta_from_payload("not a dict")
+        with pytest.raises(StorageError):
+            set_from_payload([1, 2])
+        with pytest.raises(StorageError):
+            delta_from_payload({"added": {"full": [["only-one"]]}})
+
+
+class TestAppendAndReplay:
+    def test_append_then_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "log.jsonl")
+        wal.append({"type": "header", "run": 1})
+        wal.append({"type": "delta", "added": {}, "removed": {}})
+        wal.close()
+        records, repaired = wal.records()
+        assert not repaired
+        assert [r["type"] for r in records] == ["header", "delta"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, repaired = WriteAheadLog(tmp_path / "absent.jsonl").records()
+        assert records == [] and repaired is False
+
+    def test_replay_reproduces_incremental_state(self, random_space, random_result):
+        delta = make_delta(random_space, random_result)
+        direct = RelationshipSet(
+            random_result.full, random_result.partial, random_result.complementary,
+            random_result.partial_map, random_result.degrees,
+        )
+        direct.apply_delta(delta)
+        replayed = RelationshipSet(
+            random_result.full, random_result.partial, random_result.complementary,
+            random_result.partial_map, random_result.degrees,
+        )
+        count = replay_into(
+            replayed, [{"type": "delta", **delta_to_payload(delta)}]
+        )
+        assert count == 1
+        assert_identical(replayed, direct)
+
+    def test_replay_unit_merges(self):
+        base = RelationshipSet(full={(u("a"), u("b"))})
+        unit = unicode_result()
+        replay_into(base, [{"type": "unit", "id": 3, "delta": set_to_payload(unit)}])
+        merged = RelationshipSet(full={(u("a"), u("b"))})
+        merged.merge(unit)
+        assert_identical(base, merged)
+
+    def test_replay_skips_header_rejects_unknown(self):
+        result = RelationshipSet()
+        assert replay_into(result, [{"type": "header"}]) == 0
+        with pytest.raises(StorageError, match="unknown WAL record"):
+            replay_into(result, [{"type": "mystery"}])
+
+
+class TestCrashRecovery:
+    def _write_three(self, path):
+        wal = WriteAheadLog(path)
+        for index in range(3):
+            wal.append({"type": "delta", "added": {}, "removed": {}, "n": index})
+        wal.close()
+        return wal
+
+    def test_torn_tail_dropped_and_repaired(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        wal = self._write_three(path)
+        truncate_file(path, drop_bytes=10)  # tear the final append mid-line
+        records, repaired = wal.records()
+        assert repaired
+        assert [r["n"] for r in records] == [0, 1]
+        # the repair rewrote the file: a reread is clean
+        records, repaired = wal.records()
+        assert not repaired and len(records) == 2
+
+    def test_torn_tail_without_repair_leaves_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        wal = self._write_three(path)
+        size = path.stat().st_size
+        truncate_file(path, drop_bytes=10)
+        records, repaired = wal.records(repair=False)
+        assert repaired and len(records) == 2
+        assert path.stat().st_size == size - 10
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        wal = self._write_three(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-3] + "xyz"  # damage record 2, keep record 3 intact
+        path.write_text("".join(line + "\n" for line in lines))
+        with pytest.raises(StorageError, match="record 2"):
+            wal.records()
+
+    def test_acknowledged_appends_survive(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_three(path)
+        assert WriteAheadLog(path).record_count() == 3
