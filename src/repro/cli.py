@@ -213,6 +213,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.storage import LazyRelationshipIndex, SegmentStore
 
         store = SegmentStore.open(args.store)
+        # Hold the writer lock for the server's lifetime: a concurrent
+        # `repro compact` would rotate the WAL out from under our open
+        # handle and silently drop acknowledged writes.
+        store.acquire_writer_lock()
         result = store.relationship_set()
         engine = QueryEngine(
             result,

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-from repro.errors import ServiceError, UnknownObservationError
+from repro.errors import ServiceError, StorageError, UnknownObservationError
 from repro.core.api import remove_observations, update_relationships
-from repro.core.results import RelationshipSet
+from repro.core.results import RelationshipDelta, RelationshipSet
 from repro.core.space import ObservationSpace
 from repro.rdf.terms import URIRef
 from repro.service.cache import LRUCache
@@ -299,15 +299,16 @@ class QueryEngine:
 
         Runs under the write lock, right after the in-memory
         relationship set was mutated and before the index/generation
-        advance — a sink failure (disk full, store gone) surfaces as a
-        :class:`ServiceError` and the request fails loudly rather than
-        diverging the served state from the durable one.
+        advance — a sink failure (disk full, store gone, store locked)
+        surfaces as a :class:`ServiceError`, and the caller rolls the
+        in-memory mutation back, so the served state never diverges
+        from the durable log.
         """
         if self.delta_sink is None:
             return
         try:
             self.delta_sink(delta)
-        except OSError as exc:
+        except (OSError, StorageError) as exc:
             raise ServiceError(f"write-ahead log append failed: {exc}") from exc
         self.wal_appends += 1
 
@@ -329,7 +330,24 @@ class QueryEngine:
             _, delta = update_relationships(
                 self.space, self.result, observations, return_delta=True
             )
-            self._persist(delta)
+            try:
+                self._persist(delta)
+            except ServiceError:
+                # Unwind the in-memory mutation: the index and
+                # generation were not touched yet, and inserts only
+                # add genuinely-new pairs, so the inverse delta (and
+                # dropping the appended observations) restores the
+                # exact pre-call state.
+                self.result.apply_delta(
+                    RelationshipDelta(
+                        removed_full=set(delta.added_full),
+                        removed_partial=set(delta.added_partial),
+                        removed_complementary=set(delta.added_complementary),
+                    )
+                )
+                if len(self.space) > start:
+                    self.space = self.space.select(range(start))
+                raise
             for record in self.space.observations[start:]:
                 self.index.register(
                     record.uri, record.dataset, self.space.level_signature(record.index)
@@ -351,10 +369,30 @@ class QueryEngine:
             missing = [uri for uri in uris if uri not in known]
             if missing:
                 raise UnknownObservationError(missing[0])
+            # Removal purges the metadata of retracted partial pairs,
+            # and the delta deliberately carries none — snapshot it so
+            # a failed WAL append can restore the exact prior state.
+            removed = set(uris)
+            saved_map = {}
+            saved_degrees = {}
+            for pair in self.result.partial:
+                if pair[0] in removed or pair[1] in removed:
+                    if pair in self.result.partial_map:
+                        saved_map[pair] = self.result.partial_map[pair]
+                    if pair in self.result.degrees:
+                        saved_degrees[pair] = self.result.degrees[pair]
             new_space, _, delta = remove_observations(
                 self.space, self.result, uris, return_delta=True
             )
-            self._persist(delta)
+            try:
+                self._persist(delta)
+            except ServiceError:
+                self.result.full |= delta.removed_full
+                self.result.partial |= delta.removed_partial
+                self.result.complementary |= delta.removed_complementary
+                self.result.partial_map.update(saved_map)
+                self.result.degrees.update(saved_degrees)
+                raise
             self.space = new_space
             for uri in uris:
                 self.index.unregister(uri)

@@ -60,13 +60,18 @@ class SegmentJournal:
             # Mirrors Checkpoint: the caller decides about overwrites.
             raise CheckpointError(f"segment checkpoint {self.path} already exists")
         self._store = SegmentStore.create(self.path)
+        self._store.acquire_writer_lock()
         self._store.wal.append({"type": "header", **header})
 
     def open_append(self) -> None:
-        self._open_store().wal.open()
+        store = self._open_store()
+        store.acquire_writer_lock()
+        store.wal.open()
 
     def append_unit(self, unit_id, delta: RelationshipSet) -> None:
-        self._open_store().wal.append(
+        store = self._open_store()
+        store.acquire_writer_lock()
+        store.wal.append(
             {"type": "unit", "id": unit_id, "delta": set_to_payload(delta)}
         )
 

@@ -14,9 +14,19 @@ Both rely on ``__getattr__``, which Python only consults when normal
 attribute lookup fails — i.e. exactly while the underlying state has
 not been materialised yet.  After the one-time build every access is a
 plain slot/dict hit with zero overhead.
+
+The server that consumes these views is a ``ThreadingHTTPServer`` whose
+queries run under a *shared* read lock, so several first queries can
+race into the build.  Both builds are therefore guarded by a
+``threading.Lock`` with a double-checked fast path, and both are
+atomic: state becomes visible only after a complete, successful build,
+so a failed build (e.g. a corrupt segment) leaves the view unbuilt and
+retryable instead of half-populated and silently empty.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.core.results import RelationshipSet
 from repro.service.index import RelationshipIndex
@@ -38,6 +48,7 @@ class SegmentRelationshipSet(RelationshipSet):
         # parent's slots unset is what makes __getattr__ fire.
         self._store = store
         self._totals = store.totals()
+        self._build_lock = threading.Lock()
 
     # -- lazy materialisation -----------------------------------------
     def __getattr__(self, name: str):
@@ -51,13 +62,19 @@ class SegmentRelationshipSet(RelationshipSet):
     def _materialise(self) -> None:
         if self.__dict__.get("_loaded"):
             return
-        loaded = self._store.load()
-        self.full = loaded.full
-        self.partial = loaded.partial
-        self.complementary = loaded.complementary
-        self.partial_map = loaded.partial_map
-        self.degrees = loaded.degrees
-        self._loaded = True
+        with self.__dict__["_build_lock"]:
+            if self.__dict__.get("_loaded"):
+                return
+            # Decode fully before assigning anything: a load failure
+            # leaves every slot unset, so the next access retries
+            # instead of serving empty sets.
+            loaded = self._store.load()
+            self.full = loaded.full
+            self.partial = loaded.partial
+            self.complementary = loaded.complementary
+            self.partial_map = loaded.partial_map
+            self.degrees = loaded.degrees
+            self._loaded = True
 
     @property
     def materialised(self) -> bool:
@@ -91,19 +108,30 @@ class LazyRelationshipIndex(RelationshipIndex):
     adjacency map, ``result``...) triggers the real
     :class:`RelationshipIndex` build.  Served queries before and after
     the build behave identically — only the first one pays.
+
+    The build runs into a *fresh* index whose state is adopted only on
+    success: concurrent first lookups serialise on the build lock, and
+    a build that raises keeps ``_pending`` so the index stays unbuilt
+    (and retryable) rather than permanently half-populated.
     """
 
     def __init__(self, result: RelationshipSet, space=None):
         self.__dict__["_pending"] = (result, space)
+        self.__dict__["_build_lock"] = threading.Lock()
 
     def __getattr__(self, name: str):
-        pending = self.__dict__.get("_pending")
-        if pending is None:
+        state = self.__dict__
+        lock = state.get("_build_lock")
+        if lock is None or "_pending" not in state:
             raise AttributeError(
                 f"{type(self).__name__!r} object has no attribute {name!r}"
             )
-        del self.__dict__["_pending"]
-        RelationshipIndex.__init__(self, *pending)
+        with lock:
+            pending = state.get("_pending")
+            if pending is not None:
+                built = RelationshipIndex(*pending)
+                state.update(built.__dict__)
+                del state["_pending"]
         return getattr(self, name)
 
     @property

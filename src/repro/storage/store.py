@@ -27,7 +27,14 @@ Durability protocol:
   point leaves a readable store (old or new, never a mix),
 * every segment's byte count and CRC-32 are recorded in the manifest
   *and* in the segment's own header, so torn writes and bit rot are
-  detected on open.
+  detected on open,
+* a ``.lock`` file in the store directory carries an advisory
+  ``flock`` held by whichever process writes the store — a serving
+  engine appending WAL deltas, or ``repro compact`` rotating the WAL.
+  The lock makes the two mutually exclusive *across processes*:
+  compacting under a live server would rotate the WAL out from under
+  its open file handle and silently lose every later acknowledged
+  append to the orphaned inode.
 
 Reads are lazy: :meth:`SegmentStore.relationship_set` returns a
 :class:`~repro.storage.lazy.SegmentRelationshipSet` that answers
@@ -45,6 +52,11 @@ import zlib
 from pathlib import Path
 from typing import Iterable, Sequence
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: no cross-process lock
+    fcntl = None
+
 from repro.errors import StorageError
 from repro.core.results import RelationshipDelta, RelationshipSet
 from repro.rdf.terms import URIRef
@@ -54,6 +66,7 @@ from repro.storage.wal import WriteAheadLog, replay_into
 __all__ = [
     "SegmentStore",
     "MANIFEST_NAME",
+    "LOCK_NAME",
     "SEGMENT_STORE_FORMAT",
     "SEGMENT_STORE_VERSION",
     "is_segment_store",
@@ -62,6 +75,7 @@ __all__ = [
 ]
 
 MANIFEST_NAME = "MANIFEST.json"
+LOCK_NAME = ".lock"
 SEGMENT_STORE_FORMAT = "repro-segments"
 SEGMENT_STORE_VERSION = 1
 
@@ -145,6 +159,37 @@ class SegmentStore:
         self.path = Path(path)
         self.manifest = manifest
         self._wal: WriteAheadLog | None = None
+        self._lock_handle = None
+
+    # -- the writer lock ----------------------------------------------
+    def acquire_writer_lock(self) -> None:
+        """Take the store's cross-process writer lock (idempotent).
+
+        A non-blocking ``flock`` on ``<store>/.lock``: exactly one
+        process may write (WAL appends, segment rewrites, compaction)
+        at a time.  Raises :class:`StorageError` when another process —
+        typically a running ``repro serve`` — already holds it.  The
+        lock is released by :meth:`close` or process exit.
+        """
+        if self._lock_handle is not None or fcntl is None:
+            return
+        self.path.mkdir(parents=True, exist_ok=True)
+        handle = open(self.path / LOCK_NAME, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise StorageError(
+                f"{self.path} is locked by another writer (a running "
+                "`repro serve`?) — stop it before compacting or rewriting "
+                "the store"
+            ) from None
+        self._lock_handle = handle
+
+    def release_writer_lock(self) -> None:
+        if self._lock_handle is not None:
+            self._lock_handle.close()  # closing the fd drops the flock
+            self._lock_handle = None
 
     # -- opening / creating -------------------------------------------
     @classmethod
@@ -188,7 +233,20 @@ class SegmentStore:
         atomically-replaced manifest commits them; stale files from the
         previous generation are then removed (best effort — the
         manifest never references them, so leftovers are inert).
+
+        The writer lock is held for the duration (and released again
+        unless this store already holds it as a long-lived writer), so
+        a rewrite cannot race a serving process's WAL appends.
         """
+        held = self._lock_handle is not None
+        self.acquire_writer_lock()
+        try:
+            self._write_locked(result, space)
+        finally:
+            if not held:
+                self.release_writer_lock()
+
+    def _write_locked(self, result: RelationshipSet, space=None) -> None:
         from repro.store import atomic_write_bytes, atomic_write_text
 
         self.path.mkdir(parents=True, exist_ok=True)
@@ -370,11 +428,18 @@ class SegmentStore:
             self._wal = None
 
     def append_delta(self, delta: RelationshipDelta) -> None:
-        """Durably journal one incremental write (the engine's sink)."""
+        """Durably journal one incremental write (the engine's sink).
+
+        Takes (and keeps) the writer lock, so a concurrent ``repro
+        compact`` in another process cannot rotate the WAL this append
+        lands in.
+        """
+        self.acquire_writer_lock()
         self.wal.append_delta(delta)
 
     def close(self) -> None:
         self._close_wal()
+        self.release_writer_lock()
 
     # -- maintenance ---------------------------------------------------
     def compact(self, space=None) -> dict:
@@ -384,10 +449,21 @@ class SegmentStore:
         ``space`` the new generation is re-partitioned by dataset and
         lattice signature; without one, existing partition keys are
         lost (everything lands in the default segment).
+
+        Refuses (:class:`StorageError`) while another process holds
+        the writer lock — compacting under a live server would rotate
+        the WAL out from under its open handle and lose its later
+        acknowledged appends.
         """
-        records, _ = self.wal.records()
-        result = self.load(apply_wal=True)
-        self.write(result, space)
+        held = self._lock_handle is not None
+        self.acquire_writer_lock()
+        try:
+            records, _ = self.wal.records()
+            result = self.load(apply_wal=True)
+            self.write(result, space)
+        finally:
+            if not held:
+                self.release_writer_lock()
         return {"folded": len(records), "segments": len(self.manifest["segments"])}
 
     # -- introspection -------------------------------------------------

@@ -165,7 +165,44 @@ class WriteAheadLog:
 
     # -- writing -------------------------------------------------------
     def open(self, truncate: bool = False) -> None:
+        if not truncate:
+            self._ensure_clean_tail()
         self._handle = open(self.path, "w" if truncate else "a", encoding="utf-8")
+
+    def _ensure_clean_tail(self) -> None:
+        """Repair/terminate an unterminated final line before appending.
+
+        Durability must not depend on every caller having replayed the
+        log first: appending after an unrepaired torn tail would
+        concatenate the new fsynced record onto the torn line, and the
+        combined line would later be dropped by tail repair.  A torn
+        final line is dropped (atomic rewrite, as in :meth:`records`);
+        a *valid* record merely missing its newline is terminated in
+        place.
+        """
+
+        def ends_with_newline() -> bool | None:
+            try:
+                with open(self.path, "rb") as handle:
+                    handle.seek(0, os.SEEK_END)
+                    if handle.tell() == 0:
+                        return True
+                    handle.seek(-1, os.SEEK_END)
+                    return handle.read(1) == b"\n"
+            except (FileNotFoundError, OSError):
+                return None
+
+        if ends_with_newline() is not False:
+            return
+        self.records(repair=True)  # drops an unparsable torn final line
+        if ends_with_newline() is False:
+            # The final line was a valid record, just unterminated
+            # (e.g. torn exactly at the newline): terminate it so the
+            # next append starts a fresh line.
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

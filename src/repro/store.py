@@ -290,11 +290,14 @@ def load_relationships(source: str | Path | IO[str]) -> RelationshipSet:
         return load_segments(source)  # type: ignore[arg-type]
     if kind == "json.gz":
         import gzip
+        import zlib
 
+        # zlib.error: a stream corrupted *after* a valid gzip header;
+        # gzip.BadGzipFile (bad header / trailer CRC) is an OSError.
         try:
             blob = Path(source).read_bytes()  # type: ignore[arg-type]
             text = gzip.decompress(blob).decode("utf-8")
-        except (OSError, EOFError) as exc:
+        except (OSError, EOFError, zlib.error) as exc:
             if isinstance(exc, FileNotFoundError):
                 raise
             raise ReproError(f"cannot read gzip store {source}: {exc}") from exc

@@ -266,3 +266,60 @@ class TestCacheBehaviour:
             assert engine.containers(uri) == fresh.containers(uri)
             assert engine.related(uri, 8) == fresh.related(uri, 8)
             assert engine.top_partial(uri, 5) == fresh.top_partial(uri, 5)
+
+
+class TestPersistenceFailureRollback:
+    """A failed WAL append must not leave the served state diverged."""
+
+    @staticmethod
+    def snapshot(engine):
+        return (
+            set(engine.result.full),
+            set(engine.result.partial),
+            set(engine.result.complementary),
+            dict(engine.result.partial_map),
+            dict(engine.result.degrees),
+            [record.uri for record in engine.space.observations],
+            engine.generation,
+        )
+
+    def make_failing_engine(self, n=10, seed=75):
+        engine, space, result = make_engine(n=n, seed=seed)
+
+        def sink(delta):
+            raise OSError("disk full")
+
+        engine.delta_sink = sink
+        return engine, space
+
+    def test_failed_insert_rolls_back(self):
+        engine, space = self.make_failing_engine()
+        before = self.snapshot(engine)
+        record = space.observations[0]
+        with pytest.raises(ServiceError, match="write-ahead log append failed"):
+            engine.insert([newcomer_tuple(space, record, "http://test.example/lost")])
+        assert self.snapshot(engine) == before
+        assert engine.wal_appends == 0
+        with pytest.raises(UnknownObservationError):
+            engine.complements(URIRef("http://test.example/lost"))
+
+    def test_failed_remove_rolls_back(self):
+        engine, space = self.make_failing_engine(n=20, seed=76)
+        before = self.snapshot(engine)
+        with pytest.raises(ServiceError, match="write-ahead log append failed"):
+            engine.remove([space.observations[0].uri])
+        assert self.snapshot(engine) == before
+        # the observation is still served, metadata included
+        engine.summary(space.observations[0].uri)
+
+    def test_engine_still_writable_after_sink_recovers(self):
+        engine, space = self.make_failing_engine()
+        record = space.observations[0]
+        with pytest.raises(ServiceError):
+            engine.insert([newcomer_tuple(space, record, "http://test.example/retry")])
+        engine.delta_sink = lambda delta: None  # sink recovered
+        engine.insert([newcomer_tuple(space, record, "http://test.example/retry")])
+        assert URIRef("http://test.example/retry") in engine.complements(record.uri)
+        fresh = QueryEngine(engine.result, engine.space)
+        for uri in list(engine.index.observations())[:10]:
+            assert engine.containers(uri) == fresh.containers(uri)

@@ -111,6 +111,18 @@ class TestGzipBackend:
         with pytest.raises(ReproError):
             load_relationships(target)
 
+    def test_gzip_corrupted_after_header_raises_repro_error(
+        self, tmp_path, random_result
+    ):
+        """Damage past the 10-byte header raises zlib.error, not OSError."""
+        target = tmp_path / "bitflip.json.gz"
+        save_relationships(random_result, target)
+        blob = bytearray(target.read_bytes())
+        blob[10] = 0x06  # first deflate byte: BTYPE=11 is reserved
+        target.write_bytes(bytes(blob))
+        with pytest.raises(ReproError, match="cannot read gzip store"):
+            load_relationships(target)
+
     def test_missing_file_still_file_not_found(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_relationships(tmp_path / "absent.json.gz")

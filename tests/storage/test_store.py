@@ -1,5 +1,6 @@
 """Tests for SegmentStore: manifest commit, pruning, WAL, laziness."""
 
+import importlib.util
 import json
 
 import pytest
@@ -26,6 +27,22 @@ from tests.storage.conftest import assert_identical
 @pytest.fixture
 def store_path(tmp_path):
     return tmp_path / "links.rseg"
+
+
+def make_wal_delta(space, result):
+    """One genuine delta (and the expected post-state) from the API."""
+    copy = RelationshipSet(
+        result.full, result.partial, result.complementary,
+        result.partial_map, result.degrees,
+    )
+    new = (
+        URIRef("http://test.example/obs/stored-new"),
+        space.observations[0].dataset,
+        {dim: space.hierarchies[dim].root for dim in space.dimensions},
+        [URIRef("http://test.example/m0")],
+    )
+    _, delta = update_relationships(space, copy, [new], return_delta=True)
+    return copy, delta
 
 
 class TestRoundTrip:
@@ -175,18 +192,7 @@ class TestSegmentPruning:
 
 class TestWalIntegration:
     def _delta(self, space, result):
-        copy = RelationshipSet(
-            result.full, result.partial, result.complementary,
-            result.partial_map, result.degrees,
-        )
-        new = (
-            URIRef("http://test.example/obs/stored-new"),
-            space.observations[0].dataset,
-            {dim: space.hierarchies[dim].root for dim in space.dimensions},
-            [URIRef("http://test.example/m0")],
-        )
-        _, delta = update_relationships(space, copy, [new], return_delta=True)
-        return copy, delta
+        return make_wal_delta(space, result)
 
     def test_append_delta_then_load(self, store_path, random_space, random_result):
         store = save_segments(random_result, store_path, space=random_space)
@@ -223,6 +229,50 @@ class TestWalIntegration:
         assert info["totals"]["partial"] == len(random_result.partial)
 
 
+class TestWriterLock:
+    """Cross-process exclusion between a serving writer and compact."""
+
+    pytestmark = pytest.mark.skipif(
+        importlib.util.find_spec("fcntl") is None, reason="flock requires POSIX"
+    )
+
+    def test_compact_refused_while_another_writer_holds_the_store(
+        self, store_path, random_space, random_result
+    ):
+        server = save_segments(random_result, store_path, space=random_space)
+        _, delta = make_wal_delta(random_space, random_result)
+        server.append_delta(delta)  # a "serving" writer: holds the lock
+
+        other = SegmentStore.open(store_path)
+        with pytest.raises(StorageError, match="locked by another writer"):
+            other.compact(random_space)
+        # the refused compact must not have rotated the server's WAL
+        assert server.wal.record_count() == 1
+
+    def test_append_refused_while_another_writer_holds_the_store(
+        self, store_path, random_space, random_result
+    ):
+        server = save_segments(random_result, store_path, space=random_space)
+        server.acquire_writer_lock()
+        _, delta = make_wal_delta(random_space, random_result)
+        with pytest.raises(StorageError, match="locked by another writer"):
+            SegmentStore.open(store_path).append_delta(delta)
+
+    def test_close_releases_the_lock(self, store_path, random_space, random_result):
+        first = save_segments(random_result, store_path, space=random_space)
+        first.acquire_writer_lock()
+        first.close()
+        second = SegmentStore.open(store_path)
+        assert second.compact(random_space)["folded"] == 0
+
+    def test_own_writer_may_compact(self, store_path, random_space, random_result):
+        store = save_segments(random_result, store_path, space=random_space)
+        _, delta = make_wal_delta(random_space, random_result)
+        store.append_delta(delta)  # takes and keeps the writer lock
+        assert store.compact(random_space)["folded"] == 1
+        assert store._lock_handle is not None  # still the long-lived writer
+
+
 class TestLazyViews:
     def test_lazy_counts_before_materialisation(self, store_path, random_result):
         store = save_segments(random_result, store_path)
@@ -249,3 +299,75 @@ class TestLazyViews:
         eager = RelationshipIndex(random_result, random_space)
         assert index.fully_within(uri) == eager.fully_within(uri)
         assert index.built
+
+    @staticmethod
+    def _flaky_load(store, failures=1):
+        """Make the store's load() raise ``failures`` times, counting calls."""
+        real, state = store.load, {"calls": 0, "failures": failures}
+
+        def load(*args, **kwargs):
+            state["calls"] += 1
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise StorageError("injected decode failure")
+            return real(*args, **kwargs)
+
+        store.load = load
+        return state
+
+    def test_failed_materialise_leaves_view_retryable(self, store_path, random_result):
+        store = save_segments(random_result, store_path)
+        view = store.relationship_set()
+        self._flaky_load(store)
+        with pytest.raises(StorageError):
+            view.full
+        # the failed build must not leave half-set (or empty) slots behind
+        assert not view.materialised
+        assert view.full == random_result.full
+        assert view.materialised
+
+    def test_failed_index_build_is_not_half_built(
+        self, store_path, random_space, random_result
+    ):
+        store = save_segments(random_result, store_path, space=random_space)
+        view = store.relationship_set()
+        index = LazyRelationshipIndex(view, random_space)
+        self._flaky_load(store)
+        uri = random_space.observations[0].uri
+        with pytest.raises(StorageError):
+            index.fully_within(uri)
+        assert not index.built  # retryable, not silently empty
+        eager = RelationshipIndex(random_result, random_space)
+        assert index.fully_within(uri) == eager.fully_within(uri)
+        assert index.built
+
+    def test_concurrent_first_lookups_build_once(
+        self, store_path, random_space, random_result
+    ):
+        import threading
+
+        store = save_segments(random_result, store_path, space=random_space)
+        view = store.relationship_set()
+        index = LazyRelationshipIndex(view, random_space)
+        state = self._flaky_load(store, failures=0)
+        uri = random_space.observations[0].uri
+        eager = RelationshipIndex(random_result, random_space)
+        expected = eager.fully_within(uri)
+
+        barrier = threading.Barrier(8)
+        outcomes = []
+
+        def probe():
+            barrier.wait()
+            try:
+                outcomes.append(index.fully_within(uri))
+            except Exception as exc:  # noqa: BLE001 - the race under test
+                outcomes.append(exc)
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert outcomes and all(answer == expected for answer in outcomes)
+        assert state["calls"] == 1  # one materialisation, not one per thread

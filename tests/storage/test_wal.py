@@ -150,3 +150,27 @@ class TestCrashRecovery:
         path = tmp_path / "log.jsonl"
         self._write_three(path)
         assert WriteAheadLog(path).record_count() == 3
+
+    def test_append_after_torn_tail_repairs_first(self, tmp_path):
+        """A fresh process appending to a torn log must not concatenate."""
+        path = tmp_path / "log.jsonl"
+        self._write_three(path)
+        truncate_file(path, drop_bytes=10)  # tear the final append mid-line
+        fresh = WriteAheadLog(path)  # no records() ran in this "process"
+        fresh.append({"type": "delta", "added": {}, "removed": {}, "n": 99})
+        fresh.close()
+        records, repaired = WriteAheadLog(path).records()
+        assert not repaired
+        assert [r["n"] for r in records] == [0, 1, 99]
+
+    def test_append_after_missing_final_newline_terminates_it(self, tmp_path):
+        """A valid record torn exactly at its newline keeps both records."""
+        path = tmp_path / "log.jsonl"
+        self._write_three(path)
+        truncate_file(path, drop_bytes=1)  # drop only the trailing newline
+        fresh = WriteAheadLog(path)
+        fresh.append({"type": "delta", "added": {}, "removed": {}, "n": 99})
+        fresh.close()
+        records, repaired = WriteAheadLog(path).records()
+        assert not repaired
+        assert [r["n"] for r in records] == [0, 1, 2, 99]
