@@ -1,0 +1,154 @@
+"""Kernel-path benchmark: python vs numpy vs shared-memory parallel.
+
+Times cubeMasking's three instance-check paths on one fixed synthetic
+space (fixed seed, 4 dimensions) and writes a machine-readable
+``BENCH_kernels.json``:
+
+* ``python`` — the tuple-at-a-time loop (``kernel="python"``),
+* ``numpy`` — the vectorised cube-pair kernel (``kernel="numpy"``),
+* ``parallel`` — the zero-copy shared-memory fan-out
+  (:func:`repro.core.parallel.compute_cubemask_parallel`).
+
+The headline series uses ``targets=("full", "complementary")`` — the
+relationship passes the kernel vectorises end to end.  An all-targets
+series is reported alongside: there the partial-containment pass
+materialises millions of result pairs, a cost both paths share, so the
+ratio is intentionally smaller.  Every path is asserted to produce the
+identical RelationshipSet before any number is written.
+
+Run with::
+
+    python benchmarks/bench_kernels.py [--quick] [--n N] [--seed S]
+        [--workers W] [--reps R] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core import compute_cubemask, compute_cubemask_parallel
+from repro.data.synthetic import build_synthetic_space
+
+HEADLINE_TARGETS = ("full", "complementary")
+ALL_TARGETS = ("complementary", "full", "partial")
+
+
+def _timed(fn, reps: int):
+    best = None
+    result = None
+    for _ in range(max(1, reps)):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def bench_targets(space, targets, workers: int, reps: int, parallel: bool = True) -> dict:
+    """One benchmark series; asserts all paths agree before reporting."""
+    stats: dict = {}
+    t_numpy, r_numpy = _timed(
+        lambda: compute_cubemask(space, targets=targets, kernel="numpy", stats=stats), reps
+    )
+    pairs = stats["instance_comparisons"]
+    t_python, r_python = _timed(
+        lambda: compute_cubemask(space, targets=targets, kernel="python"), reps
+    )
+    if r_numpy != r_python or r_numpy.degrees != r_python.degrees:
+        raise AssertionError("kernel paths disagree — benchmark aborted")
+    series = {
+        "targets": list(targets),
+        "pairs": int(pairs),
+        "python": {
+            "seconds": round(t_python, 4),
+            "pairs_per_sec": round(pairs / t_python) if t_python else None,
+        },
+        "numpy": {
+            "seconds": round(t_numpy, 4),
+            "kernel_seconds": round(stats["kernel_ns"] / 1e9, 4),
+            "pairs_per_sec": round(pairs / t_numpy) if t_numpy else None,
+        },
+        "speedup_numpy_vs_python": round(t_python / t_numpy, 2) if t_numpy else None,
+    }
+    if parallel:
+        t_par, r_par = _timed(
+            lambda: compute_cubemask_parallel(
+                space,
+                workers=workers,
+                targets=targets,
+                min_parallel_observations=0,
+                kernel="numpy",
+            ),
+            reps,
+        )
+        if r_par != r_numpy or r_par.degrees != r_numpy.degrees:
+            raise AssertionError("parallel path disagrees — benchmark aborted")
+        series["parallel"] = {
+            "seconds": round(t_par, 4),
+            "workers": workers,
+            "pairs_per_sec": round(pairs / t_par) if t_par else None,
+        }
+        series["speedup_parallel_vs_python"] = round(t_python / t_par, 2) if t_par else None
+    return series
+
+
+def run_bench(n: int, seed: int, workers: int, reps: int = 1, all_targets: bool = True) -> dict:
+    space = build_synthetic_space(n, dimension_count=4, seed=seed)
+    report = {
+        "benchmark": "cubeMasking kernel paths",
+        "n": n,
+        "seed": seed,
+        "dimension_count": 4,
+        "python": platform.python_version(),
+        "headline": bench_targets(space, HEADLINE_TARGETS, workers, reps),
+    }
+    if all_targets:
+        report["all_targets"] = bench_targets(space, ALL_TARGETS, workers, reps, parallel=False)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=10_000, help="observation count")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=2, help="repetitions; the best time wins")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke configuration (n=1500, 1 rep)"
+    )
+    parser.add_argument(
+        "--skip-all-targets",
+        action="store_true",
+        help="skip the (slow) all-targets series",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n = 1500
+        args.reps = 1
+    report = run_bench(
+        args.n, args.seed, args.workers, args.reps, all_targets=not args.skip_all_targets
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    headline = report["headline"]
+    print(f"n={report['n']} seed={report['seed']} pairs={headline['pairs']:,}")
+    for path in ("python", "numpy", "parallel"):
+        if path not in headline:
+            continue
+        entry = headline[path]
+        print(f"  {path:<9} {entry['seconds']:>8.3f}s  {entry['pairs_per_sec']:>12,} pairs/s")
+    print(f"  numpy speedup {headline['speedup_numpy_vs_python']}x -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -136,6 +136,23 @@ def figure_5g(space: ObservationSpace, sizes) -> None:
         print(f"{n:>6} {t_pre:>10.3f} {t_norm:>10.3f} {t_pre / max(t_norm, 1e-9):>7.2f}")
 
 
+def kernel_speedup(sizes) -> None:
+    import bench_kernels
+
+    header("Kernel paths: python vs numpy vs parallel (full+complementary)")
+    print(f"{'n':>6} {'pairs':>12} {'python':>9} {'numpy':>9} {'parallel':>9} {'speedup':>8}")
+    for n in sizes:
+        space = build_synthetic_space(n, dimension_count=4, seed=42)
+        series = bench_kernels.bench_targets(
+            space, bench_kernels.HEADLINE_TARGETS, workers=4, reps=2
+        )
+        print(
+            f"{n:>6} {series['pairs']:>12,} {series['python']['seconds']:>9.3f} "
+            f"{series['numpy']['seconds']:>9.3f} {series['parallel']['seconds']:>9.3f} "
+            f"{series['speedup_numpy_vs_python']:>7.2f}x"
+        )
+
+
 def ablations(space: ObservationSpace) -> None:
     from repro.core import compute_hybrid
     from repro.core.matrix import OccurrenceMatrix
@@ -214,6 +231,7 @@ def main(argv=None) -> int:
     figure_5e(synthetic_sizes)
     figure_5f(space, sizes)
     figure_5g(space, sizes)
+    kernel_speedup(synthetic_sizes)
     if not args.quick:
         ablations(space)
     return 0

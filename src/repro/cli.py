@@ -87,6 +87,10 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         if args.method != Method.CUBE_MASKING.value:
             raise ReproError("--workers is only supported with --method cube_masking")
         options["workers"] = args.workers
+    if args.kernel is not None:
+        if args.method != Method.CUBE_MASKING.value:
+            raise ReproError("--kernel is only supported with --method cube_masking")
+        options["kernel"] = args.kernel
     started = time.perf_counter()
     result = compute_relationships(space, args.method, **options)
     elapsed = time.perf_counter() - started
@@ -336,7 +340,14 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument(
         "--workers",
         type=int,
-        help="worker processes for parallel cube_masking",
+        help="worker processes for parallel cube_masking (zero-copy "
+        "shared-memory fan-out)",
+    )
+    compute.add_argument(
+        "--kernel",
+        choices=["auto", "numpy", "python"],
+        help="cube_masking instance-check path: vectorised numpy kernel, "
+        "pure-Python loop, or auto per cube pair (default auto)",
     )
     compute.set_defaults(handler=_cmd_compute)
 

@@ -14,6 +14,10 @@ Modules
 ``lattice`` / ``cubemask``
     The lossless cubeMasking method (Algorithm 4) with the
     children-prefetching optimisation.
+``kernels``
+    Vectorised cube-pair kernels over packed ancestor-closure bitsets
+    and the zero-copy shared-memory publication the parallel fan-out
+    attaches to.
 ``sparql_method`` / ``rules_method``
     The two traditional comparators of Section 4.
 ``skyline``
@@ -33,6 +37,13 @@ from repro.core.cubemask import compute_cubemask
 from repro.core.export import space_to_graph
 from repro.core.faults import Fault, FaultPlan, InjectedFault, truncate_file
 from repro.core.hybrid import compute_hybrid
+from repro.core.kernels import (
+    KernelPlan,
+    build_kernel_plan,
+    evaluate_pair_block,
+    kernel_counters,
+    measure_overlap_groups,
+)
 from repro.core.lattice import CubeLattice
 from repro.core.matrix import OccurrenceMatrix
 from repro.core.olap import CubeNavigator, rollup_dataset
@@ -69,6 +80,11 @@ __all__ = [
     "ObservationSpace",
     "OccurrenceMatrix",
     "CubeLattice",
+    "KernelPlan",
+    "build_kernel_plan",
+    "evaluate_pair_block",
+    "measure_overlap_groups",
+    "kernel_counters",
     "RelationshipSet",
     "RelationshipDelta",
     "Recall",

@@ -97,8 +97,8 @@ def compute_relationships(
 
     ``options`` are forwarded to the method implementation (for example
     ``backend=`` for the baseline, ``algorithm=`` / ``sample_rate=`` for
-    clustering, ``prefetch_children=`` for cube masking, ``mode=`` for
-    the SPARQL and rule comparators).
+    clustering, ``prefetch_children=`` / ``kernel=`` for cube masking,
+    ``mode=`` for the SPARQL and rule comparators).
 
     Passing any resilience option — ``checkpoint=``, ``resume=``,
     ``unit_size=``, ``max_retries=``, ``retry_backoff=``,
@@ -133,6 +133,8 @@ def update_relationships(
     new_observations: Iterable[tuple[URIRef, URIRef, Mapping[URIRef, URIRef], Iterable[URIRef]]],
     *,
     return_delta: bool = False,
+    kernel: str = "auto",
+    kernel_threshold: int | None = None,
 ) -> RelationshipSet | tuple[RelationshipSet, RelationshipDelta]:
     """Incrementally extend ``result`` with relationships of new data.
 
@@ -143,8 +145,12 @@ def update_relationships(
     containment direction (and whose cubes share no measure and are not
     the same cube) is skipped without touching a single dimension —
     incremental insert therefore skips provably unrelated cubes exactly
-    like the batch cubeMasking method does.  ``result`` is mutated in
-    place and returned.
+    like the batch cubeMasking method does.  Surviving cube pairs are
+    scored per pair by the vectorised kernel or the tuple-at-a-time
+    loop, selected exactly as in
+    :func:`~repro.core.cubemask.compute_cubemask` (``kernel=`` /
+    ``kernel_threshold=``).  ``result`` is mutated in place and
+    returned.
 
     With ``return_delta=True`` the return value is ``(result, delta)``
     where ``delta`` is a :class:`~repro.core.results.RelationshipDelta`
@@ -152,8 +158,15 @@ def update_relationships(
     service uses for O(|delta|) index maintenance and cache
     invalidation.
     """
+    from repro.core import kernels as _kernels
+    from repro.core.cubemask import KERNEL_MODES
     from repro.core.lattice import CubeLattice, dominates, partially_dominates
 
+    if kernel not in KERNEL_MODES:
+        raise AlgorithmError(f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}")
+    threshold = (
+        _kernels.DEFAULT_KERNEL_THRESHOLD if kernel_threshold is None else kernel_threshold
+    )
     delta = RelationshipDelta()
     start = len(space)
     for uri, dataset, dims, measures in new_observations:
@@ -177,9 +190,10 @@ def update_relationships(
             result.complementary.add(pair)
             delta.added_complementary.add(pair)
 
-    def emit_partial(a: int, b: int, count: int) -> None:
+    def emit_partial(a: int, b: int, count: int, dims=None) -> None:
         pair = (uris[a], uris[b])
-        dims = space.partial_dimensions(a, b)
+        if dims is None:
+            dims = space.partial_dimensions(a, b)
         degree = count / total if total else None
         fresh = pair not in result.partial
         result.add_partial(*pair, dims, degree)
@@ -211,21 +225,57 @@ def update_relationships(
     # ------------------------------------------------------------------
     lattice = CubeLattice(space)
     signatures = lattice.signatures
-    measure_groups: dict[frozenset, int] = {}
-    assignment = []
-    for record in space.observations:
-        assignment.append(measure_groups.setdefault(record.measures, len(measure_groups)))
-    groups = list(measure_groups)
-    overlap_table = [[not gi.isdisjoint(gj) for gj in groups] for gi in groups]
+    assignment, overlap_table = _kernels.measure_overlap_groups(space)
     cube_groups = {
-        cube: frozenset(assignment[i] for i in members)
+        cube: sorted({int(assignment[i]) for i in members})
         for cube, members in lattice.nodes.items()
     }
 
     def cubes_share_measures(cube_a, cube_b) -> bool:
         return any(
-            overlap_table[i][j] for i in cube_groups[cube_a] for j in cube_groups[cube_b]
+            overlap_table[i, j] for i in cube_groups[cube_a] for j in cube_groups[cube_b]
         )
+
+    # Kernel path: a lazily built plan over the extended space scores a
+    # whole admissible cube pair in bulk; dimension masks ride along so
+    # ``map_P`` entries need no per-pair recomputation (wider than
+    # 64-dimension buses fall back to the per-pair extraction).
+    plan_cache: list = []
+
+    def get_plan() -> _kernels.KernelPlan:
+        if not plan_cache:
+            plan_cache.append(_kernels.build_kernel_plan(space))
+        return plan_cache[0]
+
+    kernel_collects_dims = total <= 64
+
+    def scan_block(rows_a, rows_b, same_cube: bool) -> None:
+        block = _kernels.evaluate_pair_block(
+            get_plan(),
+            rows_a,
+            rows_b,
+            containing=True,
+            same_cube=same_cube,
+            want_full=True,
+            want_compl=same_cube,
+            want_partial=True,
+            collect_partial_dimensions=kernel_collects_dims,
+        )
+        for a, b in block.full:
+            emit_full(a, b)
+        for a, b in block.complementary:
+            emit_complementary(a, b)
+        if kernel_collects_dims:
+            for (a, b, count), mask in zip(block.partial, block.partial_dim_masks):
+                emit_partial(a, b, count, _kernels.decode_dim_mask(space.dimensions, mask))
+        else:
+            for a, b, count in block.partial:
+                emit_partial(a, b, count)
+
+    def use_kernel(pair_count: int) -> bool:
+        if kernel == "python":
+            return False
+        return kernel == "numpy" or pair_count >= threshold
 
     def admissible(cube_a, cube_b) -> bool:
         """May *any* member pair (a in cube_a, b in cube_b) relate?"""
@@ -242,9 +292,14 @@ def update_relationships(
         for cube_a, members_a in lattice.nodes.items():
             if not admissible(cube_a, cube_b):
                 continue
-            for a in members_a:
-                if a >= start:
-                    continue  # new-new pairs are covered by direction 2
+            # new-new pairs are covered by direction 2
+            old_members = [a for a in members_a if a < start]
+            if not old_members:
+                continue
+            if use_kernel(len(old_members) * len(new_members)):
+                scan_block(old_members, new_members, cube_a == cube_b)
+                continue
+            for a in old_members:
                 for b in new_members:
                     check_pair(a, b)
     for cube_a, new_members in new_cubes.items():
@@ -252,6 +307,9 @@ def update_relationships(
         # contained side ranges over the whole space, new included).
         for cube_b, members_b in lattice.nodes.items():
             if not admissible(cube_a, cube_b):
+                continue
+            if use_kernel(len(new_members) * len(members_b)):
+                scan_block(new_members, members_b, cube_a == cube_b)
                 continue
             for a in new_members:
                 for b in members_b:

@@ -26,26 +26,15 @@ __all__ = ["compute_baseline", "derive_relationships", "measure_overlap_matrix"]
 def measure_overlap_matrix(space: ObservationSpace) -> np.ndarray:
     """Boolean n×n matrix of pairwise measure-set intersection.
 
-    Distinct measure sets are deduplicated first, so the set
-    intersections run on the (few) unique schema combinations rather
-    than on all n² pairs — the "simple lookup" of the paper.
+    Expanded from the deduplicated group tables of
+    :func:`repro.core.kernels.measure_overlap_groups` — distinct
+    measure sets are compared once, the "simple lookup" of the paper —
+    so this stays one helper shared with cubeMasking and the kernels.
     """
-    unique: dict[frozenset, int] = {}
-    assignment = np.empty(len(space), dtype=np.int32)
-    for record in space.observations:
-        key = record.measures
-        group = unique.get(key)
-        if group is None:
-            group = len(unique)
-            unique[key] = group
-        assignment[record.index] = group
-    groups = list(unique)
-    g = len(groups)
-    table = np.zeros((g, g), dtype=bool)
-    for i in range(g):
-        for j in range(g):
-            table[i, j] = not groups[i].isdisjoint(groups[j])
-    return table[assignment[:, None], assignment[None, :]]
+    from repro.core.kernels import measure_overlap_groups
+
+    assignment, overlap = measure_overlap_groups(space)
+    return overlap[assignment[:, None], assignment[None, :]]
 
 
 def normalize_targets(targets, collect_partial: bool = True) -> frozenset[str]:

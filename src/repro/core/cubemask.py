@@ -14,31 +14,50 @@ necessary condition of the instance-level relationships.  The optional
 ``prefetch_children`` flag stores each cube's dominated-cube list in
 memory instead of re-testing dominance in every pass — the ~15-20 %
 optimisation of Figure 5(g).
+
+Instance checks within a surviving cube pair run on one of two paths,
+selected per pair by the ``kernel`` parameter:
+
+* ``"numpy"`` — the vectorised kernel of :mod:`repro.core.kernels`:
+  one chunked broadcast AND-compare over the packed ancestor-closure
+  blocks scores all ``|A| × |B|`` member pairs at once,
+* ``"python"`` — the original tuple-at-a-time loop (no packed-matrix
+  build, lowest constant factor for tiny inputs),
+* ``"auto"`` (default) — numpy once a pair's member-count product
+  reaches ``kernel_threshold``, python below it.
 """
 
 from __future__ import annotations
 
-from repro.core.lattice import CubeLattice, dominates, partially_dominates
+import time
+
+import numpy as np
+
+from repro.core.lattice import CubeLattice
 from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
-from repro.rdf.terms import URIRef
+from repro.errors import AlgorithmError
 
-__all__ = ["compute_cubemask"]
+__all__ = ["compute_cubemask", "KERNEL_MODES"]
 
+KERNEL_MODES = ("auto", "numpy", "python")
 
-def _measure_overlap_lookup(space: ObservationSpace):
-    """Pairwise overlap between the (few) distinct measure sets."""
-    unique: dict[frozenset, int] = {}
-    assignment: list[int] = []
-    for record in space.observations:
-        group = unique.setdefault(record.measures, len(unique))
-        assignment.append(group)
-    groups = list(unique)
-    overlap = [
-        [not gi.isdisjoint(gj) for gj in groups]
-        for gi in groups
-    ]
-    return assignment, overlap
+#: Every counter ``compute_cubemask`` maintains when handed a stats
+#: dict.  ``instance_comparisons`` counts member pairs actually
+#: evaluated; ``pruned_comparisons`` counts pairs skipped without
+#: per-instance work (the ``a == b`` diagonal of same-cube scans plus
+#: all members of cube pairs dropped by the measure prefilter, which
+#: themselves show up in ``pruned_cube_pairs``) — keeping the two
+#: separate makes the pruning numbers match Table 4's methodology.
+STAT_KEYS = (
+    "cubes",
+    "cube_pairs",
+    "instance_comparisons",
+    "pruned_comparisons",
+    "pruned_cube_pairs",
+    "kernel_pairs",
+    "kernel_ns",
+)
 
 
 def compute_cubemask(
@@ -48,23 +67,32 @@ def compute_cubemask(
     collect_partial_dimensions: bool = False,
     targets=None,
     stats: dict | None = None,
+    kernel: str = "auto",
+    kernel_threshold: int | None = None,
 ) -> RelationshipSet:
     """Run cubeMasking over an observation space.
 
     Parameters mirror :func:`repro.core.baseline.compute_baseline`;
     ``prefetch_children`` toggles the children-prefetching optimisation
     benchmarked in Figure 5(g).  Pass a dict as ``stats`` to receive
-    pruning counters (``cube_pairs``, ``instance_comparisons``) — the
-    quantity the lattice actually saves versus the baseline's n².
+    the counters listed in :data:`STAT_KEYS`.  ``kernel`` selects the
+    instance-check path per cube pair (see module docstring);
+    ``kernel_threshold`` overrides the member-count product at which
+    ``"auto"`` switches to the vectorised kernel.
     """
     from repro.core.baseline import normalize_targets
+    from repro.core import kernels as _kernels
 
+    if kernel not in KERNEL_MODES:
+        raise AlgorithmError(f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}")
+    threshold = (
+        _kernels.DEFAULT_KERNEL_THRESHOLD if kernel_threshold is None else kernel_threshold
+    )
     targets = normalize_targets(targets, collect_partial)
     result = RelationshipSet()
     if stats is not None:
-        stats["cubes"] = 0
-        stats["cube_pairs"] = 0
-        stats["instance_comparisons"] = 0
+        for key in STAT_KEYS:
+            stats[key] = 0
     n = len(space)
     if n == 0:
         return result
@@ -79,7 +107,46 @@ def compute_cubemask(
     ]
     codes = [record.codes for record in space.observations]
     uris = [record.uri for record in space.observations]
-    assignment, overlap = _measure_overlap_lookup(space)
+    assignment, overlap = _kernels.measure_overlap_groups(space)
+
+    # The kernel plan (packed blocks + code ids) is built lazily on the
+    # first cube pair that takes the numpy path, so ``kernel="python"``
+    # and all-tiny-cube runs never pay for it.
+    plan = None
+    member_rows: dict = {}
+
+    def get_plan():
+        nonlocal plan
+        if plan is None:
+            plan = _kernels.build_kernel_plan(space)
+        return plan
+
+    def rows_of(cube):
+        rows = member_rows.get(cube)
+        if rows is None:
+            rows = np.asarray(lattice.nodes[cube], dtype=np.int64)
+            member_rows[cube] = rows
+        return rows
+
+    def use_kernel(pair_count: int) -> bool:
+        if kernel == "python":
+            return False
+        if kernel == "numpy":
+            return True
+        return pair_count >= threshold
+
+    def note_pair(la: int, lb: int, same_cube: bool) -> None:
+        if stats is None:
+            return
+        stats["cube_pairs"] += 1
+        diagonal = la if same_cube else 0
+        stats["instance_comparisons"] += la * lb - diagonal
+        stats["pruned_comparisons"] += diagonal
+
+    def note_kernel(started_ns: int, pairs: int) -> None:
+        if stats is not None:
+            stats["kernel_ns"] += time.perf_counter_ns() - started_ns
+            stats["kernel_pairs"] += pairs
 
     def full_dim_containment(a: int, b: int) -> bool:
         code_a, code_b = codes[a], codes[b]
@@ -109,37 +176,95 @@ def compute_cubemask(
     children = lattice.children_index() if prefetch_children else None
 
     def dominating_pairs():
-        if children is not None:
-            return ((parent, child) for parent in lattice.nodes for child in children[parent])
         return lattice.containment_pairs()
 
-    def scan_pair(cube_a, cube_b, check_full: bool, check_compl: bool) -> None:
+    def emit_containing_block(block) -> None:
+        if block.full:
+            result.full.update((uris[a], uris[b]) for a, b in block.full)
+        for a, b in block.complementary:
+            result.add_complementary(uris[a], uris[b])
+
+    def scan_pair_python(cube_a, cube_b, check_full: bool, check_compl: bool) -> None:
         members_a = lattice.nodes[cube_a]
         members_b = lattice.nodes[cube_b]
         same_cube = cube_a == cube_b
-        if stats is not None:
-            stats["cube_pairs"] += 1
-            stats["instance_comparisons"] += len(members_a) * len(members_b)
         for a in members_a:
             for b in members_b:
                 if a == b:
                     continue
                 if not full_dim_containment(a, b):
                     continue
-                if check_full and overlap[assignment[a]][assignment[b]]:
+                if check_full and overlap[assignment[a], assignment[b]]:
                     result.add_full(uris[a], uris[b])
                 # Mutual containment with equal signatures means equal
                 # code vectors -> complementarity.
                 if check_compl and same_cube and a < b and codes[a] == codes[b]:
                     result.add_complementary(uris[a], uris[b])
 
+    def scan_pair(cube_a, cube_b, check_full: bool, check_compl: bool) -> None:
+        la = len(lattice.nodes[cube_a])
+        lb = len(lattice.nodes[cube_b])
+        note_pair(la, lb, cube_a == cube_b)
+        if use_kernel(la * lb):
+            started = time.perf_counter_ns()
+            block = _kernels.evaluate_pair_block(
+                get_plan(),
+                rows_of(cube_a),
+                rows_of(cube_b),
+                containing=True,
+                same_cube=cube_a == cube_b,
+                want_full=check_full,
+                want_compl=check_compl,
+                want_partial=False,
+            )
+            note_kernel(started, la * lb)
+            emit_containing_block(block)
+            return
+        scan_pair_python(cube_a, cube_b, check_full, check_compl)
+
     if children is not None:
-        # One fused pass over the prefetched children lists.
+        # One fused pass over the prefetched children lists.  All of a
+        # parent's dominated cubes are batched into a single kernel
+        # call: full containment ignores cube boundaries, and equal
+        # code vectors imply equal signatures, so the complementarity
+        # check over the whole batch can only fire inside the parent
+        # cube itself — exactly the per-pair semantics, at a fraction
+        # of the per-call overhead.
         if want_full or want_compl:
-            for cube_a, cube_b in dominating_pairs():
-                if not want_full and cube_a != cube_b:
-                    continue  # complementarity only lives inside one cube
-                scan_pair(cube_a, cube_b, want_full, want_compl)
+            for parent in lattice.nodes:
+                batch = [
+                    kid for kid in children[parent] if want_full or kid == parent
+                ]
+                if not batch:
+                    continue
+                la = len(lattice.nodes[parent])
+                total = 0
+                for kid in batch:
+                    lb = len(lattice.nodes[kid])
+                    note_pair(la, lb, kid == parent)
+                    total += lb
+                if use_kernel(la * total):
+                    rows_b = (
+                        rows_of(batch[0])
+                        if len(batch) == 1
+                        else np.concatenate([rows_of(kid) for kid in batch])
+                    )
+                    started = time.perf_counter_ns()
+                    block = _kernels.evaluate_pair_block(
+                        get_plan(),
+                        rows_of(parent),
+                        rows_b,
+                        containing=True,
+                        same_cube=True,
+                        want_full=want_full,
+                        want_compl=want_compl,
+                        want_partial=False,
+                    )
+                    note_kernel(started, la * total)
+                    emit_containing_block(block)
+                else:
+                    for kid in batch:
+                        scan_pair_python(parent, kid, want_full, want_compl and kid == parent)
     else:
         # Separate sweeps, re-deriving cube dominance each time.
         if want_full:
@@ -154,31 +279,23 @@ def compute_cubemask(
     # Partial containment over partially dominating cube pairs.
     # ------------------------------------------------------------------
     if "partial" in targets:
+        # Partial-dimension bitmasks ride in a uint64, so wider buses
+        # keep the tuple-at-a-time extraction.
+        kernel_can_collect_dims = not collect_partial_dimensions or k <= 64
         # Cube-level measure prefilter: a cube pair can only yield
         # partial pairs when some member measure-groups overlap.
         cube_groups: dict = {
-            cube: frozenset(assignment[i] for i in members)
+            cube: sorted({int(assignment[i]) for i in members})
             for cube, members in lattice.nodes.items()
         }
-        group_count = max(assignment) + 1 if assignment else 0
-        groups_overlap = [
-            [overlap[i][j] for j in range(group_count)] for i in range(group_count)
-        ]
 
-        def cubes_share_measures(ga: frozenset, gb: frozenset) -> bool:
-            return any(groups_overlap[i][j] for i in ga for j in gb)
+        def cubes_share_measures(ga, gb) -> bool:
+            return any(overlap[i, j] for i in ga for j in gb)
 
-        for cube_a, cube_b in lattice.partial_pairs():
-            if not cubes_share_measures(cube_groups[cube_a], cube_groups[cube_b]):
-                continue
-            members_a = lattice.nodes[cube_a]
-            members_b = lattice.nodes[cube_b]
-            if stats is not None:
-                stats["cube_pairs"] += 1
-                stats["instance_comparisons"] += len(members_a) * len(members_b)
-            for a in members_a:
-                for b in members_b:
-                    if a == b or not overlap[assignment[a]][assignment[b]]:
+        def scan_partial_python(cube_a, cube_b) -> None:
+            for a in lattice.nodes[cube_a]:
+                for b in lattice.nodes[cube_b]:
+                    if a == b or not overlap[assignment[a], assignment[b]]:
                         continue
                     count = containment_count(a, b)
                     if 0 < count < k:
@@ -191,4 +308,73 @@ def compute_cubemask(
                             result.add_partial(uris[a], uris[b], dims, count / k)
                         else:
                             result.add_partial(uris[a], uris[b], degree=count / k)
+
+        def emit_partial_block(block) -> None:
+            if not block.partial:
+                return
+            # Bulk set/dict updates: one kernel call can yield hundreds
+            # of thousands of partial pairs, so the per-pair
+            # method-call overhead is worth skipping.
+            pairs = [(uris[a], uris[b]) for a, b, _ in block.partial]
+            result.partial.update(pairs)
+            result.degrees.update(
+                zip(pairs, (count / k for _, _, count in block.partial))
+            )
+            if collect_partial_dimensions:
+                result.partial_map.update(
+                    zip(
+                        pairs,
+                        (
+                            _kernels.decode_dim_mask(dimensions, mask)
+                            for mask in block.partial_dim_masks
+                        ),
+                    )
+                )
+
+        # Group by cube A so the surviving partners batch into one
+        # kernel call each, mirroring the containing pass.
+        partners_by_a: dict = {}
+        for cube_a, cube_b in lattice.partial_pairs():
+            partners_by_a.setdefault(cube_a, []).append(cube_b)
+
+        for cube_a, partners in partners_by_a.items():
+            la = len(lattice.nodes[cube_a])
+            groups_a = cube_groups[cube_a]
+            surviving = []
+            total = 0
+            for cube_b in partners:
+                lb = len(lattice.nodes[cube_b])
+                if not cubes_share_measures(groups_a, cube_groups[cube_b]):
+                    if stats is not None:
+                        stats["pruned_cube_pairs"] += 1
+                        stats["pruned_comparisons"] += la * lb
+                    continue
+                note_pair(la, lb, cube_a == cube_b)
+                surviving.append(cube_b)
+                total += lb
+            if not surviving:
+                continue
+            if kernel_can_collect_dims and use_kernel(la * total):
+                rows_b = (
+                    rows_of(surviving[0])
+                    if len(surviving) == 1
+                    else np.concatenate([rows_of(cube_b) for cube_b in surviving])
+                )
+                started = time.perf_counter_ns()
+                block = _kernels.evaluate_pair_block(
+                    get_plan(),
+                    rows_of(cube_a),
+                    rows_b,
+                    containing=False,
+                    same_cube=cube_a in surviving,
+                    want_full=False,
+                    want_compl=False,
+                    want_partial=True,
+                    collect_partial_dimensions=collect_partial_dimensions,
+                )
+                note_kernel(started, la * total)
+                emit_partial_block(block)
+            else:
+                for cube_b in surviving:
+                    scan_partial_python(cube_a, cube_b)
     return result

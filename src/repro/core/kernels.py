@@ -1,0 +1,577 @@
+"""Vectorised cube-pair kernels over packed ancestor-closure bitsets.
+
+cubeMasking (Section 3.3, Algorithm 4) prunes the candidate space down
+to cube pairs whose level signatures admit a relationship; the *inner*
+loop then still has to test every member pair on every dimension.  The
+:class:`~repro.core.matrix.OccurrenceMatrix` already packs each
+observation's reflexive ancestor closure into ``uint8`` blocks — one
+bit per code-list value — so the per-dimension containment predicate
+``ancestors(a) ⊆ ancestors(b)`` is the byte-wise conditional function
+``a AND b == a`` of Algorithm 1.  This module evaluates a whole cube
+pair as one chunked broadcast AND-compare over those blocks:
+
+* :func:`build_kernel_plan` assembles the packed blocks, integer code
+  ids and deduplicated measure-group tables for a space once,
+* :func:`evaluate_pair_block` scores the member rows of cube A against
+  cube B in bulk — full-containment mask, per-dimension containment
+  counts, the measure-overlap mask, complementarity (equal code-id
+  rows) and the partial-dimension bitmasks,
+* :func:`measure_overlap_groups` is the single shared copy of the
+  measure-overlap prefilter (previously duplicated between the
+  baseline and cubeMasking), with the group-intersection table
+  computed as one boolean matrix product instead of an O(g²) loop,
+* :func:`publish_arrays` / :func:`attach_arrays` place a plan's arrays
+  in a :mod:`multiprocessing.shared_memory` segment exactly once so
+  worker processes attach zero-copy instead of unpickling the space.
+
+Every kernel invocation also feeds module-level counters
+(:func:`kernel_counters`) which the relationship service surfaces on
+its ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.core.space import ObservationSpace
+from repro.rdf.terms import URIRef
+
+__all__ = [
+    "KernelPlan",
+    "PairBlockResult",
+    "build_kernel_plan",
+    "evaluate_pair_block",
+    "measure_overlap_groups",
+    "kernel_counters",
+    "reset_kernel_counters",
+    "publish_arrays",
+    "attach_arrays",
+    "DEFAULT_KERNEL_THRESHOLD",
+]
+
+#: ``kernel="auto"`` switches a cube pair to the numpy kernel once the
+#: member-count product reaches this value; below it the pure-Python
+#: loop's lower constant factor wins (see docs/performance.md for the
+#: measurement behind the default).
+DEFAULT_KERNEL_THRESHOLD = 128
+
+#: Rows of cube A evaluated per broadcast chunk — bounds the temporary
+#: ``(chunk, |B|, bytes)`` arrays exactly like ``OccurrenceMatrix``'s
+#: ``chunk`` parameter does for the baseline.
+DEFAULT_CHUNK = 512
+
+
+# ----------------------------------------------------------------------
+# Kernel counters (surfaced through the service /metrics endpoint).
+# ----------------------------------------------------------------------
+_COUNTER_LOCK = threading.Lock()
+_COUNTERS = {"kernel_calls": 0, "kernel_pairs": 0, "kernel_ns": 0}
+
+
+def _record(ns: int, pairs: int) -> None:
+    with _COUNTER_LOCK:
+        _COUNTERS["kernel_calls"] += 1
+        _COUNTERS["kernel_pairs"] += pairs
+        _COUNTERS["kernel_ns"] += ns
+
+
+def kernel_counters() -> dict:
+    """Snapshot of this process's cumulative kernel usage."""
+    with _COUNTER_LOCK:
+        return dict(_COUNTERS)
+
+
+def reset_kernel_counters() -> None:
+    with _COUNTER_LOCK:
+        for key in _COUNTERS:
+            _COUNTERS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# The shared measure-overlap prefilter.
+# ----------------------------------------------------------------------
+def measure_overlap_groups(space: ObservationSpace) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicated measure groups: ``(assignment, overlap)``.
+
+    ``assignment[i]`` is the group id of observation ``i``'s measure
+    set; ``overlap[g, h]`` is True when groups ``g`` and ``h`` share a
+    measure.  Distinct measure sets are deduplicated first — the
+    "simple lookup" of the paper — and the g×g intersection table is a
+    single boolean matrix product over the group-membership matrix
+    rather than a pairwise ``isdisjoint`` loop.
+    """
+    unique: dict[frozenset, int] = {}
+    assignment = np.empty(len(space), dtype=np.int32)
+    for record in space.observations:
+        assignment[record.index] = unique.setdefault(record.measures, len(unique))
+    columns = {
+        measure: position
+        for position, measure in enumerate(
+            sorted({m for group in unique for m in group}, key=str)
+        )
+    }
+    membership = np.zeros((len(unique), len(columns)), dtype=np.uint8)
+    for group, group_id in unique.items():
+        for measure in group:
+            membership[group_id, columns[measure]] = 1
+    overlap = (membership @ membership.T) > 0
+    return assignment, overlap
+
+
+# ----------------------------------------------------------------------
+# The kernel plan: every array the bulk evaluation needs.
+# ----------------------------------------------------------------------
+class KernelPlan:
+    """Packed per-space arrays for vectorised cube-pair evaluation.
+
+    ``packed``
+        ``(n, total_bytes)`` ``uint8`` — the per-dimension ancestor
+        closure blocks of the occurrence matrix, concatenated in bus
+        order; ``block_slices[p]`` is dimension ``p``'s byte range.
+    ``code_ids``
+        ``(n, k)`` ``int32`` — each observation's dimension values as
+        dense integer ids; two rows are equal iff the padded code
+        vectors are equal (the complementarity predicate).
+    ``assignment`` / ``group_overlap``
+        The measure-overlap prefilter of
+        :func:`measure_overlap_groups`.
+    ``levels`` / ``anc_codes`` / ``level_offsets``
+        The level-indexed ancestor-code tables.  Hierarchies are
+        single-parent trees, so ``a`` contains ``b`` on dimension ``p``
+        iff *b's ancestor at a's level is a* — ``anc_codes`` stores
+        each observation's per-level ancestor code ids (``-1`` below
+        the observation's own level), turning the per-dimension
+        containment predicate into one O(1) integer compare per pair.
+        This is the kernel's fast path; ``None`` on plans rebuilt from
+        arrays that lack the tables.
+    ``words`` / ``word_slices``
+        When every dimension block is 8-byte aligned (always true for
+        plans built by :func:`build_kernel_plan`, which zero-pads each
+        block), ``packed`` reinterpreted as ``uint64`` words — the
+        AND-compare fallback then touches 8x fewer elements per pair.
+        ``None`` on unaligned layouts; the kernel falls back to bytes.
+    """
+
+    __slots__ = (
+        "dimensions",
+        "k",
+        "packed",
+        "block_slices",
+        "code_ids",
+        "code_keys",
+        "assignment",
+        "group_overlap",
+        "levels",
+        "anc_codes",
+        "level_offsets",
+        "words",
+        "word_slices",
+    )
+
+    def __init__(
+        self,
+        dimensions: tuple[URIRef, ...],
+        packed: np.ndarray,
+        block_slices: tuple[tuple[int, int], ...],
+        code_ids: np.ndarray,
+        assignment: np.ndarray,
+        group_overlap: np.ndarray,
+        code_keys: np.ndarray | None = None,
+        levels: np.ndarray | None = None,
+        anc_codes: np.ndarray | None = None,
+        level_offsets: tuple[int, ...] | None = None,
+    ):
+        self.dimensions = dimensions
+        self.k = len(block_slices)
+        self.packed = packed
+        self.block_slices = block_slices
+        self.code_ids = code_ids
+        self.code_keys = code_keys
+        self.assignment = assignment
+        self.group_overlap = group_overlap
+        self.levels = levels
+        self.anc_codes = anc_codes
+        self.level_offsets = level_offsets
+        self.words = None
+        self.word_slices = None
+        aligned = packed.shape[1] % 8 == 0 and all(
+            lo % 8 == 0 and hi % 8 == 0 for lo, hi in block_slices
+        )
+        if aligned:
+            try:
+                self.words = packed.view(np.uint64)
+                self.word_slices = tuple((lo // 8, hi // 8) for lo, hi in block_slices)
+            except ValueError:  # non-contiguous input: keep the byte path
+                self.words = None
+
+    @property
+    def n(self) -> int:
+        return self.packed.shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelPlan(rows={self.n}, dimensions={self.k}, "
+            f"packed_bytes={self.packed.shape[1]})"
+        )
+
+
+def build_kernel_plan(space: ObservationSpace, matrix=None) -> KernelPlan:
+    """Assemble a :class:`KernelPlan`, reusing the occurrence matrix's
+    packed ``uint8`` blocks (built here if not supplied)."""
+    from repro.core.matrix import OccurrenceMatrix
+
+    if matrix is None:
+        matrix = OccurrenceMatrix(space, backend="numpy")
+    elif matrix.backend != "numpy":
+        raise AlgorithmError("kernel plans need the numpy occurrence-matrix backend")
+    n = len(space)
+    dimensions = space.dimensions
+    # Each block is zero-padded to an 8-byte multiple so the plan can
+    # reinterpret the concatenation as uint64 words (padding bytes are
+    # inert for the a AND b == a predicate: 0 & x == 0).
+    blocks: list[np.ndarray] = []
+    slices: list[tuple[int, int]] = []
+    offset = 0
+    for dimension in dimensions:
+        block = matrix.packed_block(dimension)
+        width = block.shape[1]
+        padded = -(-max(width, 1) // 8) * 8
+        if padded != width:
+            block = np.concatenate(
+                [block, np.zeros((n, padded - width), dtype=np.uint8)], axis=1
+            )
+        blocks.append(block)
+        slices.append((offset, offset + padded))
+        offset += padded
+    packed = (
+        np.concatenate(blocks, axis=1)
+        if blocks
+        else np.zeros((n, 0), dtype=np.uint8)
+    )
+    code_ids = np.zeros((n, len(dimensions)), dtype=np.int32)
+    for position, dimension in enumerate(dimensions):
+        index = matrix.feature_index[dimension]
+        column = code_ids[:, position]
+        for record in space.observations:
+            column[record.index] = index[record.codes[position]]
+    # Level-indexed ancestor-code tables (the kernel's fast path; see
+    # the KernelPlan docstring for the predicate they encode).
+    level_offsets: list[int] = []
+    level_widths: list[int] = []
+    total_levels = 0
+    for dimension in dimensions:
+        width = space.hierarchies[dimension].max_level + 1
+        level_offsets.append(total_levels)
+        level_widths.append(width)
+        total_levels += width
+    levels = np.zeros((n, len(dimensions)), dtype=np.int32)
+    anc_codes = np.full((n, total_levels), -1, dtype=np.int32)
+    for position, dimension in enumerate(dimensions):
+        hierarchy = space.hierarchies[dimension]
+        index = matrix.feature_index[dimension]
+        base = level_offsets[position]
+        width = level_widths[position]
+        rows_cache: dict = {}
+        for record in space.observations:
+            code = record.codes[position]
+            cached = rows_cache.get(code)
+            if cached is None:
+                row = np.full(width, -1, dtype=np.int32)
+                node = code
+                while node is not None:
+                    row[hierarchy.level(node)] = index[node]
+                    node = hierarchy.parent(node)
+                cached = (row, hierarchy.level(code))
+                rows_cache[code] = cached
+            anc_codes[record.index, base : base + width] = cached[0]
+            levels[record.index, position] = cached[1]
+    # Dense ids for whole code vectors: two observations are
+    # complementarity candidates iff their rows coincide, so one id
+    # compare replaces a k-column row comparison per pair.
+    if n:
+        _, inverse = np.unique(code_ids, axis=0, return_inverse=True)
+        code_keys = np.ascontiguousarray(inverse.reshape(n), dtype=np.int32)
+    else:
+        code_keys = np.zeros(0, dtype=np.int32)
+    assignment, group_overlap = measure_overlap_groups(space)
+    return KernelPlan(
+        dimensions=dimensions,
+        packed=np.ascontiguousarray(packed),
+        block_slices=tuple(slices),
+        code_ids=code_ids,
+        assignment=assignment,
+        group_overlap=group_overlap,
+        code_keys=code_keys,
+        levels=levels,
+        anc_codes=anc_codes,
+        level_offsets=tuple(level_offsets),
+    )
+
+
+# ----------------------------------------------------------------------
+# Bulk evaluation of one cube pair.
+# ----------------------------------------------------------------------
+class PairBlockResult:
+    """Index-level output of one cube-pair evaluation.
+
+    ``full``/``complementary`` are ``(a, b)`` observation-index pairs;
+    ``partial`` entries are ``(a, b, count)`` with ``count`` the number
+    of containing dimensions (the degree is ``count / k``).
+    ``partial_dim_masks`` (when requested) aligns with ``partial`` and
+    carries a bitmask whose bit ``p`` marks containment on dimension
+    ``p`` of the bus.
+    """
+
+    __slots__ = ("full", "complementary", "partial", "partial_dim_masks")
+
+    def __init__(self, full, complementary, partial, partial_dim_masks=None):
+        self.full = full
+        self.complementary = complementary
+        self.partial = partial
+        self.partial_dim_masks = partial_dim_masks
+
+
+def evaluate_pair_block(
+    plan: KernelPlan,
+    rows_a,
+    rows_b,
+    *,
+    containing: bool = True,
+    same_cube: bool = False,
+    want_full: bool = True,
+    want_compl: bool = True,
+    want_partial: bool = True,
+    collect_partial_dimensions: bool = False,
+    chunk: int = DEFAULT_CHUNK,
+) -> PairBlockResult:
+    """Score the member rows of cube A against cube B in bulk.
+
+    The vectorised form of Algorithm 4's inner loop: one chunked
+    broadcast AND-compare per dimension block yields the per-dimension
+    containment matrices, their sum the containment counts, and masks
+    derive the three relationship types exactly as the pure-Python
+    path does — self pairs excluded, full and partial containment
+    gated on the measure-overlap mask, complementarity on equal
+    code-id rows with ``a < b``.
+
+    ``containing`` states whether cube A's signature dominates cube
+    B's (full containment and complementarity are impossible
+    otherwise, so the work is skipped); ``same_cube`` gates the
+    complementarity check, which only lives inside one cube.
+    """
+    rows_a = np.asarray(rows_a, dtype=np.int64)
+    rows_b = np.asarray(rows_b, dtype=np.int64)
+    full: list[tuple[int, int]] = []
+    complementary: list[tuple[int, int]] = []
+    partial: list[tuple[int, int, int]] = []
+    dim_masks: list[int] | None = [] if (want_partial and collect_partial_dimensions) else None
+    la, lb = len(rows_a), len(rows_b)
+    if la == 0 or lb == 0:
+        return PairBlockResult(full, complementary, partial, dim_masks)
+    k = plan.k
+    if dim_masks is not None and k > 64:
+        raise AlgorithmError(
+            "partial-dimension bitmasks support at most 64 dimensions; "
+            f"this bus has {k} — use the pure-Python path"
+        )
+    started = time.perf_counter_ns()
+
+    check_full = want_full and containing
+    check_compl = want_compl and containing and same_cube
+    # Batched calls can bring very wide B sides; shrink the A chunk so
+    # the broadcast temporaries stay bounded (~4M pairs per chunk).
+    chunk = max(1, min(chunk, (1 << 22) // max(lb, 1)))
+
+    need_blocks = check_full or want_partial
+    use_anc = plan.anc_codes is not None and plan.levels is not None and need_blocks
+    if use_anc:
+        anc_b = plan.anc_codes[rows_b]
+        col_base = np.asarray(plan.level_offsets, dtype=np.int32)
+        data = data_b = slices = None
+    else:
+        # AND-compare fallback over the packed blocks; prefer the
+        # uint64 word view: identical semantics (AND/compare are
+        # bytewise), 8x fewer elements per pair.
+        if plan.words is not None:
+            data, slices = plan.words, plan.word_slices
+        else:
+            data, slices = plan.packed, plan.block_slices
+        data_b = data[rows_b] if need_blocks else None
+    use_keys = check_compl and plan.code_keys is not None
+    if check_compl:
+        keys_b = plan.code_keys[rows_b] if use_keys else None
+        codes_b = None if use_keys else plan.code_ids[rows_b]
+    assign_b = plan.assignment[rows_b]
+
+    for start in range(0, la, max(1, chunk)):
+        rows = rows_a[start : start + chunk]
+        ca = len(rows)
+        not_self = rows[:, None] != rows_b[None, :]
+        overlap = None
+        data_a = codes_a = cols_a = None
+        if need_blocks:
+            overlap = plan.group_overlap[
+                plan.assignment[rows][:, None], assign_b[None, :]
+            ]
+            if use_anc:
+                codes_a = plan.code_ids[rows]
+                cols_a = plan.levels[rows] + col_base[None, :]
+            else:
+                data_a = data[rows]
+
+        def dim_contains(position: int) -> np.ndarray:
+            """(ca, lb) containment matrix of one dimension."""
+            if use_anc:
+                col = cols_a[:, position]
+                first = col[0]
+                if (col == first).all():
+                    # All A rows sit on the same level (always true when
+                    # rows_a is one cube): one anc column, pure
+                    # broadcast compare — no gather.
+                    return anc_b[:, first][None, :] == codes_a[:, position][:, None]
+                return (anc_b[:, col] == codes_a[:, position]).T
+            lo, hi = slices[position]
+            left = data_a[:, None, lo:hi]
+            return ((left & data_b[None, :, lo:hi]) == left).all(axis=2)
+
+        def dim_contains_at(position: int, idx_a, idx_b) -> np.ndarray:
+            """Containment on one dimension for selected (a, b) pairs."""
+            if use_anc:
+                return anc_b[idx_b, cols_a[idx_a, position]] == codes_a[idx_a, position]
+            lo, hi = slices[position]
+            left = data_a[idx_a, lo:hi]
+            return ((left & data_b[idx_b, lo:hi]) == left).all(axis=1)
+
+        if want_partial:
+            # Per-dimension containment counts: every dimension is
+            # evaluated because the count (and the bitmask) needs all
+            # of them.
+            counts = np.zeros((ca, lb), dtype=np.int32)
+            masks = np.zeros((ca, lb), dtype=np.uint64) if dim_masks is not None else None
+            for position in range(k):
+                contains = dim_contains(position)
+                counts += contains
+                if masks is not None:
+                    masks |= contains.astype(np.uint64) << np.uint64(position)
+            if check_full:
+                hits = np.argwhere((counts == k) & overlap & not_self)
+                if hits.size:
+                    full.extend(
+                        zip(rows[hits[:, 0]].tolist(), rows_b[hits[:, 1]].tolist())
+                    )
+            hits = np.argwhere((counts > 0) & (counts < k) & overlap & not_self)
+            if hits.size:
+                selected = counts[hits[:, 0], hits[:, 1]]
+                partial.extend(
+                    zip(
+                        rows[hits[:, 0]].tolist(),
+                        rows_b[hits[:, 1]].tolist(),
+                        selected.tolist(),
+                    )
+                )
+                if dim_masks is not None:
+                    dim_masks.extend(masks[hits[:, 0], hits[:, 1]].tolist())
+        elif check_full:
+            # No counts needed -> dimension-ordered sifting: evaluate
+            # dimension 0 over the whole block, then re-test only the
+            # survivors on each further dimension (the vectorised twin
+            # of the Python loop's early exit — most pairs die on the
+            # first dimension).
+            if k == 0:
+                idx_a, idx_b = np.nonzero(overlap & not_self)
+            else:
+                contains = dim_contains(0) & overlap
+                contains &= not_self
+                idx_a, idx_b = np.nonzero(contains)
+                for position in range(1, k):
+                    if idx_a.size == 0:
+                        break
+                    keep = dim_contains_at(position, idx_a, idx_b)
+                    idx_a, idx_b = idx_a[keep], idx_b[keep]
+            if idx_a.size:
+                full.extend(zip(rows[idx_a].tolist(), rows_b[idx_b].tolist()))
+        if check_compl:
+            if use_keys:
+                equal = plan.code_keys[rows][:, None] == keys_b[None, :]
+            else:
+                equal = (plan.code_ids[rows][:, None, :] == codes_b[None, :, :]).all(axis=2)
+            hits = np.argwhere(equal & (rows[:, None] < rows_b[None, :]))
+            if hits.size:
+                complementary.extend(
+                    zip(rows[hits[:, 0]].tolist(), rows_b[hits[:, 1]].tolist())
+                )
+    _record(time.perf_counter_ns() - started, la * lb)
+    return PairBlockResult(full, complementary, partial, dim_masks)
+
+
+def decode_dim_mask(plan_dimensions: tuple[URIRef, ...], mask: int) -> frozenset[URIRef]:
+    """The ``map_P`` entry encoded by one partial-dimension bitmask."""
+    return frozenset(
+        dimension
+        for position, dimension in enumerate(plan_dimensions)
+        if mask >> position & 1
+    )
+
+
+# ----------------------------------------------------------------------
+# Zero-copy shared-memory publication of plan arrays.
+# ----------------------------------------------------------------------
+_ALIGNMENT = 64
+
+Layout = dict[str, tuple[int, tuple[int, ...], str]]
+
+
+def publish_arrays(arrays: dict[str, np.ndarray]) -> tuple[shared_memory.SharedMemory, Layout]:
+    """Copy ``arrays`` into one new shared-memory segment.
+
+    Returns the segment (the caller owns its lifetime: ``close()`` and
+    ``unlink()`` when every consumer is done) and a small layout dict
+    ``{name: (offset, shape, dtype)}`` — the only thing a worker needs
+    besides the segment name, so the fan-out payload is O(metadata)
+    regardless of how many observations the arrays cover.
+    """
+    items: list[tuple[str, np.ndarray]] = [
+        (name, np.ascontiguousarray(array)) for name, array in arrays.items()
+    ]
+    layout: Layout = {}
+    offset = 0
+    for name, array in items:
+        layout[name] = (offset, tuple(array.shape), array.dtype.str)
+        offset += -(-array.nbytes // _ALIGNMENT) * _ALIGNMENT
+    segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name, array in items:
+        start = layout[name][0]
+        destination = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf, offset=start)
+        destination[...] = array
+        del destination  # release the buffer export so close() can succeed
+    return segment, layout
+
+
+def attach_arrays(name: str, layout: Layout) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Attach to a published segment and map its arrays zero-copy.
+
+    The returned arrays are read-only views over the shared buffer.
+
+    Lifecycle: only the publisher calls ``unlink()``.  Python < 3.13
+    registers attached segments with the resource tracker too, but
+    fork-started pool workers share the parent's tracker process, so
+    the duplicate registration collapses into the publisher's single
+    entry and the publisher's ``unlink()`` retires it cleanly.  (Do
+    *not* ``resource_tracker.unregister`` here — with a shared
+    tracker that would erase the publisher's entry and make the final
+    ``unlink()`` log a spurious KeyError.)  If the publisher crashes
+    before unlinking, the tracker unlinks the leaked segment at
+    shutdown, which is exactly the crash cleanup we want.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    views: dict[str, np.ndarray] = {}
+    for array_name, (offset, shape, dtype) in layout.items():
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        views[array_name] = view
+    return segment, views

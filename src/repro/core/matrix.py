@@ -142,6 +142,18 @@ class OccurrenceMatrix:
             return np.zeros((len(self.space), 0), dtype=np.uint8), columns
         return np.concatenate(blocks, axis=1).astype(np.uint8), columns
 
+    def packed_block(self, dimension: URIRef) -> np.ndarray:
+        """The packed ``uint8`` block OM_i for one dimension.
+
+        Rows are observations, bytes hold the reflexive
+        ancestor-closure bits produced by ``np.packbits``.  This is
+        the raw representation the cube-pair kernels
+        (:mod:`repro.core.kernels`) slice; numpy backend only.
+        """
+        if self.backend != "numpy":
+            raise AlgorithmError("packed blocks only exist on the numpy backend")
+        return self._blocks[dimension]
+
     def _bits(self, dimension: URIRef) -> np.ndarray:
         width = len(self.feature_index[dimension])
         if self.backend == "numpy":

@@ -2,18 +2,23 @@
 contexts" future-work item, §6), hardened against worker failure.
 
 The cube lattice gives a natural work partition: dominating cube pairs
-are independent, so they can be scored in worker processes.  Each
-worker receives the (pickled) observation space once via the pool
-initializer, then processes ranges of a deterministic cube-pair order
-and returns relationship deltas; the parent merges.
-
-Because Python forks carry real overhead (the space is pickled into
-each worker and relationship pairs are pickled back), this pays off
-only on multi-core hosts with larger inputs — single-core machines and
-small spaces are strictly slower, so ``compute_cubemask_parallel``
-falls back to the sequential implementation below
-``min_parallel_observations``.  The output is always identical to
+are independent, so they can be scored in worker processes.  Instead
+of pickling the observation space into every worker, the parent
+publishes the kernel-plan arrays (packed ancestor-closure blocks,
+code-id rows, measure-group tables, cube membership and the cube-pair
+order) once in a :mod:`multiprocessing.shared_memory` segment; each
+worker attaches read-only — the pool-initializer payload is the
+segment name plus an O(metadata) layout dict, independent of the
+observation count.  Workers score ranges of the deterministic
+cube-pair order with the vectorised kernels of
+:mod:`repro.core.kernels` (or the tuple-at-a-time fallback, per the
+``kernel`` mode) and return observation-index pairs; the parent maps
+indices back to URIs and merges.  The output is always identical to
 :func:`repro.core.cubemask.compute_cubemask`.
+
+Process startup still carries real overhead, so this pays off only on
+multi-core hosts with larger inputs — small spaces fall back to the
+sequential implementation below ``min_parallel_observations``.
 
 Fault tolerance (the resilience layer's contract):
 
@@ -28,9 +33,17 @@ Fault tolerance (the resilience layer's contract):
   cubeMasking would finish (set ``fallback_sequential=False`` to get
   :class:`~repro.errors.WorkerCrashError` /
   :class:`~repro.errors.UnitTimeoutError` instead);
+* if the shared-memory segment cannot be created at all, the whole run
+  degrades to the sequential path rather than failing;
 * ``on_unit_complete``/``completed_units`` let
   :class:`repro.core.runner.MaterializationRunner` checkpoint each
   range as it lands and skip ranges already durable in a checkpoint.
+
+Shared-memory lifecycle: the parent owns the segment — it publishes
+before spawning the first pool, keeps it alive across pool respawns,
+and closes + unlinks it in a ``finally`` once every range has landed.
+Workers only ever attach (see :func:`repro.core.kernels.attach_arrays`
+for the crash-cleanup contract).
 """
 
 from __future__ import annotations
@@ -42,13 +55,23 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 
+import numpy as np
+
 from repro.errors import UnitTimeoutError, WorkerCrashError
-from repro.core.cubemask import compute_cubemask
-from repro.core.lattice import CubeLattice, dominates
+from repro.core import kernels as _kernels
+from repro.core.cubemask import KERNEL_MODES, compute_cubemask
+from repro.core.lattice import CubeLattice
 from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
+from repro.errors import AlgorithmError
 
-__all__ = ["compute_cubemask_parallel", "build_cubemask_state", "score_range", "enumerate_unit_ranges"]
+__all__ = [
+    "compute_cubemask_parallel",
+    "build_cubemask_state",
+    "prepare_shared_fanout",
+    "score_range",
+    "enumerate_unit_ranges",
+]
 
 logger = logging.getLogger("repro.parallel")
 
@@ -57,52 +80,120 @@ _WORKER_STATE: dict = {}
 
 _BACKOFF_CAP = 30.0
 
+#: Arrays of ``build_cubemask_state`` published into the shared
+#: segment (everything a worker needs that scales with the input).
+_SHARED_ARRAYS = (
+    "packed",
+    "code_ids",
+    "code_keys",
+    "assignment",
+    "group_overlap",
+    "levels",
+    "anc_codes",
+    "signatures",
+    "members",
+    "cube_offsets",
+    "pairs",
+)
 
-def _enumerate_pairs(cubes, want_partial: bool) -> list[tuple[int, int]]:
-    """Deterministic candidate cube-pair order shared by all workers."""
-    from repro.core.lattice import partially_dominates
 
-    pairs: list[tuple[int, int]] = []
-    for i, cube_a in enumerate(cubes):
-        for j, cube_b in enumerate(cubes):
-            if dominates(cube_a, cube_b) or (
-                want_partial and partially_dominates(cube_a, cube_b)
-            ):
-                pairs.append((i, j))
-    return pairs
+def _enumerate_pairs(signatures: np.ndarray, want_partial: bool, chunk: int = 256) -> np.ndarray:
+    """Deterministic candidate cube-pair order shared by all workers.
+
+    Row-major ``(i, j)`` over the sorted cubes, keeping pairs where
+    cube i dominates cube j (pointwise ``<=``) or — when partial
+    containment is requested — dominates on at least one dimension;
+    exactly the order the per-pair loop used to produce, computed as a
+    chunked signature broadcast.
+    """
+    count = len(signatures)
+    if count == 0:
+        return np.zeros((0, 2), dtype=np.int32)
+    out: list[np.ndarray] = []
+    for start in range(0, count, chunk):
+        le = signatures[start : start + chunk, None, :] <= signatures[None, :, :]
+        admissible = le.all(axis=2)
+        if want_partial:
+            admissible |= le.any(axis=2)
+        hits = np.argwhere(admissible)
+        hits[:, 0] += start
+        out.append(hits)
+    return np.ascontiguousarray(np.concatenate(out), dtype=np.int32)
 
 
-def build_cubemask_state(space: ObservationSpace, targets: tuple[str, ...]) -> dict:
+def build_cubemask_state(
+    space: ObservationSpace,
+    targets: tuple[str, ...],
+    kernel: str = "auto",
+    kernel_threshold: int | None = None,
+) -> dict:
     """Shared scoring state for a fixed space + target set.
 
-    Used both by pool workers (via the initializer) and in-process by
-    the sequential degradation path and the materialisation runner —
+    Used by the shared-memory publication, in-process by the
+    sequential degradation path, and by the materialisation runner —
     one code path, one deterministic cube-pair order.
     """
+    if kernel not in KERNEL_MODES:
+        raise AlgorithmError(f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}")
     lattice = CubeLattice(space)
-    dimensions = space.dimensions
-    ancestor_sets = [space.hierarchies[d]._ancestors for d in dimensions]
-    unique: dict[frozenset, int] = {}
-    assignment: list[int] = []
-    for record in space.observations:
-        assignment.append(unique.setdefault(record.measures, len(unique)))
-    groups = list(unique)
-    overlap = [[not gi.isdisjoint(gj) for gj in groups] for gi in groups]
     cubes = sorted(lattice.nodes)
-    return dict(
-        space=space,
-        lattice=lattice,
-        cubes=cubes,
-        pairs=_enumerate_pairs(cubes, "partial" in targets),
-        ancestor_sets=ancestor_sets,
-        codes=[r.codes for r in space.observations],
-        uris=[r.uri for r in space.observations],
-        assignment=assignment,
-        overlap=overlap,
-        targets=frozenset(targets),
-        k=len(dimensions),
-        dimensions=dimensions,
+    k = len(space.dimensions)
+    signatures = np.asarray(cubes, dtype=np.int16).reshape(len(cubes), k)
+    member_lists = [lattice.nodes[cube] for cube in cubes]
+    cube_offsets = np.zeros(len(cubes) + 1, dtype=np.int64)
+    if member_lists:
+        cube_offsets[1:] = np.cumsum([len(members) for members in member_lists])
+    members = (
+        np.concatenate([np.asarray(m, dtype=np.int32) for m in member_lists])
+        if member_lists
+        else np.zeros(0, dtype=np.int32)
     )
+    plan = _kernels.build_kernel_plan(space)
+    return dict(
+        plan=plan,
+        packed=plan.packed,
+        code_ids=plan.code_ids,
+        code_keys=plan.code_keys,
+        assignment=plan.assignment,
+        group_overlap=plan.group_overlap,
+        levels=plan.levels,
+        anc_codes=plan.anc_codes,
+        signatures=signatures,
+        members=members,
+        cube_offsets=cube_offsets,
+        pairs=_enumerate_pairs(signatures, "partial" in targets),
+        targets=frozenset(targets),
+        k=k,
+        dimensions=space.dimensions,
+        kernel=kernel,
+        kernel_threshold=(
+            _kernels.DEFAULT_KERNEL_THRESHOLD if kernel_threshold is None else kernel_threshold
+        ),
+        uris=[record.uri for record in space.observations],
+    )
+
+
+def prepare_shared_fanout(state: dict):
+    """Publish a state's arrays; returns ``(segment, initializer_meta)``.
+
+    ``initializer_meta`` is everything a worker needs besides the
+    segment name — the array layout plus O(k) plan metadata — so the
+    per-worker payload does not scale with the observation count.
+    """
+    segment, layout = _kernels.publish_arrays(
+        {name: state[name] for name in _SHARED_ARRAYS}
+    )
+    meta = dict(
+        layout=layout,
+        block_slices=state["plan"].block_slices,
+        level_offsets=state["plan"].level_offsets,
+        dimensions=state["dimensions"],
+        targets=tuple(sorted(state["targets"])),
+        k=state["k"],
+        kernel=state["kernel"],
+        kernel_threshold=state["kernel_threshold"],
+    )
+    return segment, meta
 
 
 def enumerate_unit_ranges(total_pairs: int, unit_size: int) -> list[tuple[int, int, int]]:
@@ -114,68 +205,133 @@ def enumerate_unit_ranges(total_pairs: int, unit_size: int) -> list[tuple[int, i
     ]
 
 
-def _initializer(space: ObservationSpace, targets: tuple[str, ...], fault_plan=None) -> None:
+def _initializer(segment_name: str, meta: dict, fault_plan=None) -> None:
+    """Worker entry: attach to the published arrays zero-copy."""
+    segment, views = _kernels.attach_arrays(segment_name, meta["layout"])
+    plan = _kernels.KernelPlan(
+        dimensions=meta["dimensions"],
+        packed=views["packed"],
+        block_slices=meta["block_slices"],
+        code_ids=views["code_ids"],
+        code_keys=views["code_keys"],
+        assignment=views["assignment"],
+        group_overlap=views["group_overlap"],
+        levels=views["levels"],
+        anc_codes=views["anc_codes"],
+        level_offsets=meta["level_offsets"],
+    )
     _WORKER_STATE.clear()
-    _WORKER_STATE.update(build_cubemask_state(space, targets))
-    _WORKER_STATE["fault_plan"] = fault_plan
+    _WORKER_STATE.update(
+        # the segment reference keeps the mapping alive for the views
+        segment=segment,
+        plan=plan,
+        signatures=views["signatures"],
+        members=views["members"],
+        cube_offsets=views["cube_offsets"],
+        pairs=views["pairs"],
+        targets=frozenset(meta["targets"]),
+        k=meta["k"],
+        kernel=meta["kernel"],
+        kernel_threshold=meta["kernel_threshold"],
+        fault_plan=fault_plan,
+    )
 
 
-def _score_pairs(state: dict, pair_indices) -> tuple[list, list, list]:
-    """Evaluate a slice of the shared cube-pair order."""
-    lattice: CubeLattice = state["lattice"]
-    cubes = state["cubes"]
-    ancestor_sets = state["ancestor_sets"]
-    codes = state["codes"]
-    uris = state["uris"]
-    assignment = state["assignment"]
-    overlap = state["overlap"]
+def _score_pairs(state: dict, pair_rows) -> tuple[list, list, list]:
+    """Evaluate a slice of the shared cube-pair order.
+
+    Returns observation-*index* pairs — ``(a, b)`` for full and
+    complementary, ``(a, b, count)`` for partial — so worker payloads
+    stay integer-sized; callers map indices to URIs.
+    """
+    plan: _kernels.KernelPlan = state["plan"]
+    signatures = state["signatures"]
+    members = state["members"]
+    cube_offsets = state["cube_offsets"]
     targets = state["targets"]
     k = state["k"]
+    kernel = state["kernel"]
+    threshold = state["kernel_threshold"]
 
     want_full = "full" in targets
     want_compl = "complementary" in targets
     want_partial = "partial" in targets
 
-    full_pairs = []
-    compl_pairs = []
-    partial_pairs = []
-    for index_a, index_b in pair_indices:
-        cube_a, cube_b = cubes[index_a], cubes[index_b]
-        members_a = lattice.nodes[cube_a]
-        members_b = lattice.nodes[cube_b]
-        containing = dominates(cube_a, cube_b)
-        same_cube = cube_a == cube_b
-        for a in members_a:
-            code_a = codes[a]
-            for b in members_b:
+    full_pairs: list[tuple[int, int]] = []
+    compl_pairs: list[tuple[int, int]] = []
+    partial_pairs: list[tuple[int, int, int]] = []
+    packed = plan.packed
+    code_ids = plan.code_ids
+    assignment = plan.assignment
+    group_overlap = plan.group_overlap
+    block_slices = plan.block_slices
+
+    for index_a, index_b in pair_rows:
+        rows_a = members[cube_offsets[index_a] : cube_offsets[index_a + 1]]
+        rows_b = members[cube_offsets[index_b] : cube_offsets[index_b + 1]]
+        containing = bool((signatures[index_a] <= signatures[index_b]).all())
+        same_cube = index_a == index_b
+        pair_count = len(rows_a) * len(rows_b)
+        use_kernel = kernel == "numpy" or (kernel == "auto" and pair_count >= threshold)
+        if use_kernel:
+            block = _kernels.evaluate_pair_block(
+                plan,
+                rows_a,
+                rows_b,
+                containing=containing,
+                same_cube=same_cube,
+                want_full=want_full,
+                want_compl=want_compl,
+                want_partial=want_partial,
+            )
+            full_pairs.extend(block.full)
+            compl_pairs.extend(block.complementary)
+            partial_pairs.extend(block.partial)
+            continue
+        # Tuple-at-a-time fallback over the same packed representation.
+        for a in rows_a:
+            row_a = packed[a]
+            for b in rows_b:
                 if a == b:
                     continue
                 count = 0
-                for position in range(k):
-                    if code_a[position] in ancestor_sets[position][codes[b][position]]:
+                for lo, hi in block_slices:
+                    piece = row_a[lo:hi]
+                    if ((piece & packed[b, lo:hi]) == piece).all():
                         count += 1
-                shared = overlap[assignment[a]][assignment[b]]
+                shared = group_overlap[assignment[a], assignment[b]]
                 if containing and count == k:
                     if want_full and shared:
-                        full_pairs.append((uris[a], uris[b]))
-                    if want_compl and same_cube and a < b and code_a == codes[b]:
-                        compl_pairs.append((uris[a], uris[b]))
+                        full_pairs.append((int(a), int(b)))
+                    if (
+                        want_compl
+                        and same_cube
+                        and a < b
+                        and (code_ids[a] == code_ids[b]).all()
+                    ):
+                        compl_pairs.append((int(a), int(b)))
                 elif want_partial and shared and 0 < count < k:
-                    partial_pairs.append((uris[a], uris[b], count / k))
+                    partial_pairs.append((int(a), int(b), count))
     return full_pairs, compl_pairs, partial_pairs
+
+
+def _indices_to_delta(
+    uris, k: int, full_pairs, compl_pairs, partial_pairs
+) -> RelationshipSet:
+    delta = RelationshipSet()
+    for a, b in full_pairs:
+        delta.add_full(uris[a], uris[b])
+    for a, b in compl_pairs:
+        delta.add_complementary(uris[a], uris[b])
+    for a, b, count in partial_pairs:
+        delta.add_partial(uris[a], uris[b], degree=count / k)
+    return delta
 
 
 def score_range(state: dict, start: int, stop: int) -> RelationshipSet:
     """Score ``state['pairs'][start:stop]`` into a relationship delta."""
     full_pairs, compl_pairs, partial_pairs = _score_pairs(state, state["pairs"][start:stop])
-    delta = RelationshipSet()
-    for a, b in full_pairs:
-        delta.add_full(a, b)
-    for a, b in compl_pairs:
-        delta.add_complementary(a, b)
-    for a, b, degree in partial_pairs:
-        delta.add_partial(a, b, degree=degree)
-    return delta
+    return _indices_to_delta(state["uris"], state["k"], full_pairs, compl_pairs, partial_pairs)
 
 
 def _execute_unit(descriptor: tuple[int, int, int]):
@@ -188,19 +344,6 @@ def _execute_unit(descriptor: tuple[int, int, int]):
         _WORKER_STATE, _WORKER_STATE["pairs"][start:stop]
     )
     return unit_id, full_pairs, compl_pairs, partial_pairs
-
-
-def _payload_delta(payload) -> RelationshipSet:
-    """A worker payload as a relationship delta."""
-    _, full_pairs, compl_pairs, partial_pairs = payload
-    delta = RelationshipSet()
-    for a, b in full_pairs:
-        delta.add_full(a, b)
-    for a, b in compl_pairs:
-        delta.add_complementary(a, b)
-    for a, b, degree in partial_pairs:
-        delta.add_partial(a, b, degree=degree)
-    return delta
 
 
 def compute_cubemask_parallel(
@@ -218,25 +361,32 @@ def compute_cubemask_parallel(
     on_unit_complete=None,
     completed_units=(),
     fallback_sequential: bool = True,
+    kernel: str = "auto",
+    kernel_threshold: int | None = None,
 ) -> RelationshipSet:
     """cubeMasking with cube-pair ranges scored in worker processes.
 
     Produces exactly the sequential result; falls back to the
     sequential implementation for small inputs where process startup
-    would dominate.  See the module docstring for the fault-tolerance
-    contract (``max_retries``, ``retry_backoff``, ``unit_timeout``,
-    ``fallback_sequential``) and the checkpoint hooks
-    (``unit_size``, ``on_unit_complete``, ``completed_units``).
+    would dominate.  See the module docstring for the zero-copy
+    fan-out, the fault-tolerance contract (``max_retries``,
+    ``retry_backoff``, ``unit_timeout``, ``fallback_sequential``) and
+    the checkpoint hooks (``unit_size``, ``on_unit_complete``,
+    ``completed_units``).  ``kernel``/``kernel_threshold`` select the
+    per-cube-pair instance-check path exactly as in
+    :func:`~repro.core.cubemask.compute_cubemask`.
     """
     from repro.core.baseline import normalize_targets
 
     resolved = tuple(sorted(normalize_targets(targets, collect_partial)))
     if len(space) < min_parallel_observations:
-        return compute_cubemask(space, collect_partial=collect_partial, targets=resolved)
+        return compute_cubemask(
+            space, collect_partial=collect_partial, targets=resolved, kernel=kernel,
+            kernel_threshold=kernel_threshold,
+        )
 
-    lattice = CubeLattice(space)
-    cubes = sorted(lattice.nodes)
-    total_pairs = len(_enumerate_pairs(cubes, "partial" in resolved))
+    state = build_cubemask_state(space, resolved, kernel=kernel, kernel_threshold=kernel_threshold)
+    total_pairs = len(state["pairs"])
 
     worker_count = workers if workers is not None else max(1, (os.cpu_count() or 2) - 1)
     if unit_size is None:
@@ -248,6 +398,8 @@ def compute_cubemask_parallel(
 
     result = RelationshipSet()
     attempts: dict[int, int] = {d[0]: 0 for d in pending}
+    uris = state["uris"]
+    k = state["k"]
 
     def emit(unit_id: int, delta: RelationshipSet) -> None:
         result.merge(delta)
@@ -258,71 +410,89 @@ def compute_cubemask_parallel(
         logger.warning(
             "degrading to sequential cubeMasking for %d remaining range(s)", len(remaining)
         )
-        state = build_cubemask_state(space, resolved)
         for unit_id, start, stop in remaining:
             if fault_plan is not None:
                 fault_plan.before_unit(unit_id, in_worker=False)
             emit(unit_id, score_range(state, start, stop))
 
-    while pending:
-        pool = ProcessPoolExecutor(
-            max_workers=worker_count,
-            initializer=_initializer,
-            initargs=(space, resolved, fault_plan),
-        )
-        failure: tuple[tuple[int, int, int], BaseException, str] | None = None
-        finished: set[int] = set()
-        try:
-            futures = [(pool.submit(_execute_unit, d), d) for d in pending]
-            for future, descriptor in futures:
-                try:
-                    payload = future.result(timeout=unit_timeout)
-                except FutureTimeoutError as exc:
-                    failure = (descriptor, exc, "timeout")
-                    break
-                except (BrokenProcessPool, OSError) as exc:
-                    failure = (descriptor, exc, "crash")
-                    break
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                except Exception as exc:
-                    failure = (descriptor, exc, "error")
-                    break
-                finished.add(descriptor[0])
-                emit(payload[0], _payload_delta(payload))
-        finally:
-            pool.shutdown(wait=failure is None, cancel_futures=True)
-
-        if failure is None:
-            break
-        descriptor, error, kind = failure
-        pending = [d for d in pending if d[0] not in finished]
-        unit_id = descriptor[0]
-        attempts[unit_id] += 1
-        if attempts[unit_id] > max_retries:
-            if fallback_sequential:
-                degrade(pending)
-                pending = []
-                break
-            if kind == "timeout":
-                raise UnitTimeoutError(
-                    "cube-pair range timed out", unit=unit_id, timeout=unit_timeout
-                ) from error
-            raise WorkerCrashError(
-                f"cube-pair range failed permanently: {error}",
-                unit=unit_id,
-                attempts=attempts[unit_id],
-            ) from error
-        delay = min(retry_backoff * (2 ** (attempts[unit_id] - 1)), _BACKOFF_CAP)
+    try:
+        segment, meta = prepare_shared_fanout(state)
+    except OSError as exc:
         logger.warning(
-            "worker failure (%s) on range %d, attempt %d/%d — respawning pool in %.2fs: %s",
-            kind,
-            unit_id,
-            attempts[unit_id],
-            max_retries + 1,
-            delay,
-            error,
+            "shared-memory publication failed (%s) — scoring %d range(s) sequentially",
+            exc,
+            len(pending),
         )
-        if delay > 0:
-            time.sleep(delay)
+        degrade(pending)
+        return result
+
+    try:
+        while pending:
+            pool = ProcessPoolExecutor(
+                max_workers=worker_count,
+                initializer=_initializer,
+                initargs=(segment.name, meta, fault_plan),
+            )
+            failure: tuple[tuple[int, int, int], BaseException, str] | None = None
+            finished: set[int] = set()
+            try:
+                futures = [(pool.submit(_execute_unit, d), d) for d in pending]
+                for future, descriptor in futures:
+                    try:
+                        payload = future.result(timeout=unit_timeout)
+                    except FutureTimeoutError as exc:
+                        failure = (descriptor, exc, "timeout")
+                        break
+                    except (BrokenProcessPool, OSError) as exc:
+                        failure = (descriptor, exc, "crash")
+                        break
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        failure = (descriptor, exc, "error")
+                        break
+                    finished.add(descriptor[0])
+                    unit_id, full_pairs, compl_pairs, partial_pairs = payload
+                    emit(unit_id, _indices_to_delta(uris, k, full_pairs, compl_pairs, partial_pairs))
+            finally:
+                pool.shutdown(wait=failure is None, cancel_futures=True)
+
+            if failure is None:
+                break
+            descriptor, error, kind = failure
+            pending = [d for d in pending if d[0] not in finished]
+            unit_id = descriptor[0]
+            attempts[unit_id] += 1
+            if attempts[unit_id] > max_retries:
+                if fallback_sequential:
+                    degrade(pending)
+                    pending = []
+                    break
+                if kind == "timeout":
+                    raise UnitTimeoutError(
+                        "cube-pair range timed out", unit=unit_id, timeout=unit_timeout
+                    ) from error
+                raise WorkerCrashError(
+                    f"cube-pair range failed permanently: {error}",
+                    unit=unit_id,
+                    attempts=attempts[unit_id],
+                ) from error
+            delay = min(retry_backoff * (2 ** (attempts[unit_id] - 1)), _BACKOFF_CAP)
+            logger.warning(
+                "worker failure (%s) on range %d, attempt %d/%d — respawning pool in %.2fs: %s",
+                kind,
+                unit_id,
+                attempts[unit_id],
+                max_retries + 1,
+                delay,
+                error,
+            )
+            if delay > 0:
+                time.sleep(delay)
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
     return result

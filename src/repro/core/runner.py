@@ -610,11 +610,22 @@ class MaterializationRunner:
                 "collect_partial_dimensions is not supported by the checkpointing "
                 "cube_masking runner; use the baseline method for per-dimension maps"
             )
+        # Kernel selection changes how a range is scored, never what it
+        # yields, so it rides in executor_options and stays out of
+        # options_key — checkpoints remain interchangeable across
+        # kernels, workers and sequential/parallel execution.
+        kernel = options.pop("kernel", "auto")
+        kernel_threshold = options.pop("kernel_threshold", None)
+        executor_options["kernel"] = kernel
+        if kernel_threshold is not None:
+            executor_options["kernel_threshold"] = kernel_threshold
         _pop_ignored(options, "prefetch_children", "min_parallel_observations", "batch_size")
         _reject_unknown(options, self.method)
 
         resolved = tuple(sorted(targets))
-        state = build_cubemask_state(space, resolved)
+        state = build_cubemask_state(
+            space, resolved, kernel=kernel, kernel_threshold=kernel_threshold
+        )
         unit = self.unit_size or DEFAULT_PAIR_UNIT
         if unit < 1:
             raise AlgorithmError("unit_size must be >= 1")

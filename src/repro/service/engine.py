@@ -51,9 +51,13 @@ class QueryEngine:
         cache_size: int = 1024,
         index: RelationshipIndex | None = None,
         delta_sink=None,
+        kernel: str = "auto",
     ):
         self.result = result
         self.space = space
+        #: instance-check path for incremental inserts — see
+        #: :func:`repro.core.cubemask.compute_cubemask`
+        self.kernel = kernel
         # A prebuilt (possibly lazy, segment-backed) index can be
         # injected so engine construction stays O(manifest) when the
         # store supports it; see repro.storage.lazy.
@@ -279,6 +283,8 @@ class QueryEngine:
         return self._cached(("summary", uri), compute)
 
     def stats(self) -> dict:
+        from repro.core.kernels import kernel_counters
+
         with self.lock.read_locked():
             return {
                 "generation": self.generation,
@@ -289,6 +295,9 @@ class QueryEngine:
                     "write_ahead_log": self.delta_sink is not None,
                     "wal_appends": self.wal_appends,
                 },
+                # process-wide vectorised-kernel usage (cube-pair
+                # evaluations served by repro.core.kernels)
+                "kernels": kernel_counters(),
             }
 
     # ------------------------------------------------------------------
@@ -328,7 +337,8 @@ class QueryEngine:
         with self.lock.write_locked():
             start = len(self.space)
             _, delta = update_relationships(
-                self.space, self.result, observations, return_delta=True
+                self.space, self.result, observations, return_delta=True,
+                kernel=self.kernel,
             )
             try:
                 self._persist(delta)

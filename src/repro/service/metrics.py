@@ -96,7 +96,11 @@ class ServiceMetrics:
         if engine_stats:
             cache = engine_stats.get("cache", {})
             index = engine_stats.get("index", {})
+            kernels = engine_stats.get("kernels", {})
             gauges = [
+                ("repro_kernel_calls_total", "Vectorised cube-pair kernel invocations.", "counter", kernels.get("kernel_calls", 0)),
+                ("repro_kernel_pairs_total", "Observation pairs scored by the vectorised kernel.", "counter", kernels.get("kernel_pairs", 0)),
+                ("repro_kernel_ns_total", "Nanoseconds spent inside the vectorised kernel.", "counter", kernels.get("kernel_ns", 0)),
                 ("repro_cache_hits_total", "Query-cache hits.", "counter", cache.get("hits", 0)),
                 ("repro_cache_misses_total", "Query-cache misses.", "counter", cache.get("misses", 0)),
                 ("repro_cache_evictions_total", "Query-cache LRU evictions.", "counter", cache.get("evictions", 0)),

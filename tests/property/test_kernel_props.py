@@ -1,0 +1,68 @@
+"""Property-based equivalence: vectorised kernels vs the Python path.
+
+Hypothesis drives random spaces (random hierarchies, missing
+dimensions, 0..N observations) through the numpy kernel, the pure
+Python cubeMasking path and the baseline, asserting identical
+``RelationshipSet``s — including degrees and partial-dimension maps —
+and identical pruning statistics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compute_baseline, compute_cubemask, update_relationships
+from repro.core.cubemask import STAT_KEYS
+
+from tests.property.strategies import observation_spaces
+
+
+@given(observation_spaces(max_observations=18), st.booleans(), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_kernel_matches_python_and_baseline(space, prefetch, collect_dims):
+    baseline = compute_baseline(space, collect_partial_dimensions=collect_dims)
+    python_stats, numpy_stats = {}, {}
+    python_result = compute_cubemask(
+        space,
+        prefetch_children=prefetch,
+        collect_partial_dimensions=collect_dims,
+        kernel="python",
+        stats=python_stats,
+    )
+    numpy_result = compute_cubemask(
+        space,
+        prefetch_children=prefetch,
+        collect_partial_dimensions=collect_dims,
+        kernel="numpy",
+        stats=numpy_stats,
+    )
+    assert python_result == baseline
+    assert numpy_result == baseline
+    assert numpy_result.degrees == baseline.degrees
+    if collect_dims:
+        assert numpy_result.partial_map == baseline.partial_map
+    for key in STAT_KEYS:
+        if key.startswith("kernel_"):
+            continue  # path-specific by design
+        assert python_stats[key] == numpy_stats[key]
+
+
+@given(observation_spaces(max_observations=14), st.integers(min_value=1, max_value=13))
+@settings(max_examples=15, deadline=None)
+def test_incremental_kernel_matches_python(space, split_at):
+    n = len(space)
+    if n < 2:
+        return
+    split = min(split_at, n - 1)
+    base_py = space.select(range(split))
+    base_np = space.select(range(split))
+    arrivals = [
+        (r.uri, r.dataset, dict(zip(space.dimensions, r.codes)), r.measures)
+        for r in space.observations[split:]
+    ]
+    result_py = compute_baseline(base_py, collect_partial_dimensions=True)
+    result_np = compute_baseline(base_np, collect_partial_dimensions=True)
+    update_relationships(base_py, result_py, arrivals, kernel="python")
+    update_relationships(base_np, result_np, arrivals, kernel="numpy", kernel_threshold=0)
+    assert result_np == result_py
+    assert result_np.degrees == result_py.degrees
+    assert result_np.partial_map == result_py.partial_map
