@@ -83,7 +83,7 @@ from repro.service import QueryEngine, RelationshipIndex, start_server
 from repro.storage import SegmentStore, load_segments, save_segments
 from repro.store import load_relationships, save_relationships
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "__version__",

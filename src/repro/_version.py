@@ -1,0 +1,9 @@
+"""The single source of the package version.
+
+Kept import-free so low-level modules (e.g. the observability
+registry's ``repro_build_info`` gauge) can read it without pulling in
+the :mod:`repro` facade — which imports half the package and would
+turn the version lookup into a circular import.
+"""
+
+__version__ = "1.0.0"

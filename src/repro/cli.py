@@ -68,9 +68,26 @@ def _write_graph(graph: Graph, path: str | None) -> None:
 
 
 def _cmd_compute(args: argparse.Namespace) -> int:
-    graph = _read_graph(args.input)
-    cube = load_cubespace(graph)
-    space = ObservationSpace.from_cubespace(cube)
+    from contextlib import ExitStack
+
+    from repro.obs.tracing import bind_trace, trace
+
+    with ExitStack() as stack:
+        if args.trace:
+            from repro.obs.logging import configure_jsonl, remove_handler
+
+            handler = configure_jsonl(args.trace)
+            stack.callback(remove_handler, handler)
+            trace_id = stack.enter_context(bind_trace())
+            print(f"# trace {trace_id} -> {args.trace}", file=sys.stderr)
+        return _run_compute(args, trace)
+
+
+def _run_compute(args: argparse.Namespace, trace) -> int:
+    with trace("cli.load", input=args.input):
+        graph = _read_graph(args.input)
+        cube = load_cubespace(graph)
+        space = ObservationSpace.from_cubespace(cube)
     options: dict = {}
     if args.targets:
         options["targets"] = tuple(args.targets)
@@ -91,8 +108,18 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         if args.method != Method.CUBE_MASKING.value:
             raise ReproError("--kernel is only supported with --method cube_masking")
         options["kernel"] = args.kernel
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
     started = time.perf_counter()
-    result = compute_relationships(space, args.method, **options)
+    try:
+        with trace("cli.compute", method=args.method, observations=len(space)):
+            result = compute_relationships(space, args.method, **options)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     elapsed = time.perf_counter() - started
     print(
         f"# {len(space)} observations, method={args.method}: "
@@ -100,14 +127,17 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         f"complementary={len(result.complementary)} ({elapsed:.2f}s)",
         file=sys.stderr,
     )
-    if args.store_output:
-        from repro.store import save_relationships
+    with trace("cli.store", output=args.store_output or args.output or "-"):
+        if args.store_output:
+            from repro.store import save_relationships
 
-        # The space rides along so .rseg outputs partition their
-        # segments by dataset / lattice signature.
-        save_relationships(result, args.store_output, indent=2, space=space)
-    else:
-        _write_graph(relationships_to_graph(result), args.output)
+            # The space rides along so .rseg outputs partition their
+            # segments by dataset / lattice signature.
+            save_relationships(result, args.store_output, indent=2, space=space)
+        else:
+            _write_graph(relationships_to_graph(result), args.output)
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
     return 0
 
 
@@ -148,7 +178,7 @@ def _is_store_path(path: str) -> bool:
     )
 
 
-def _inspect_relationship_store(path: str) -> int:
+def _inspect_relationship_store(path: str, show_stats: bool = False) -> int:
     from repro.store import describe_store, load_relationships, profile_relationships
 
     try:
@@ -186,12 +216,43 @@ def _inspect_relationship_store(path: str) -> int:
             print(f"    [{slot * width:.1f}, {(slot + 1) * width:.1f}): {count:6d} {bar}")
     for container, count in profile["top_containers"]:
         print(f"  top container: {container} fully contains {count} observation(s)")
+    if show_stats:
+        _print_storage_stats(path)
     return 0
+
+
+def _print_storage_stats(path: str) -> None:
+    """The ``inspect --stats`` tail: storage facts + registry counters."""
+    from repro.obs.registry import get_registry
+    from repro.storage import is_segment_store
+
+    if is_segment_store(path):
+        from repro.storage import SegmentStore
+
+        info = SegmentStore.open(path).describe()
+        print("  storage:")
+        print(
+            f"    segments: {info['segments']} (generation {info['generation']}, "
+            f"partitioned={info['partitioned']})"
+        )
+        print(f"    wal tail: {info['wal_records']} record(s), {info['wal_bytes']:,} bytes")
+        last = info.get("last_repair")
+        print(f"    last repair: {time.ctime(last) if last else 'never'}")
+    snapshot = get_registry().snapshot()
+    counters = {
+        name: entry["value"]
+        for name, entry in snapshot.items()
+        if name.startswith(("repro_storage_", "repro_wal_")) and "value" in entry
+    }
+    if counters:
+        print("  storage counters (this process):")
+        for name, value in sorted(counters.items()):
+            print(f"    {name} = {value:g}")
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     if _is_store_path(args.input):
-        return _inspect_relationship_store(args.input)
+        return _inspect_relationship_store(args.input, show_stats=args.stats)
     cube = load_cubespace(_read_graph(args.input))
     print(cube)
     for uri, dataset in cube.datasets.items():
@@ -228,6 +289,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             index=LazyRelationshipIndex(result, space),
             delta_sink=store.append_delta,
+            storage_info=store.describe,
         )
     else:
         try:
@@ -349,6 +411,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="cube_masking instance-check path: vectorised numpy kernel, "
         "pure-Python loop, or auto per cube pair (default auto)",
     )
+    observability = compute.add_argument_group(
+        "observability", "structured tracing and profiling (docs/observability.md)"
+    )
+    observability.add_argument(
+        "--trace",
+        nargs="?",
+        const="repro-trace.jsonl",
+        metavar="PATH",
+        help="write spans and instrumentation events as JSONL "
+        "(one JSON object per line; default path repro-trace.jsonl)",
+    )
+    observability.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample the computation's wall-clock stacks and print a "
+        "flat self/cumulative profile to stderr",
+    )
     compute.set_defaults(handler=_cmd_compute)
 
     generate = sub.add_parser("generate", help="generate an evaluation corpus")
@@ -362,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="print a cube file's profile")
     inspect.add_argument("--input", required=True)
+    inspect.add_argument(
+        "--stats",
+        action="store_true",
+        help="for relationship stores: also print storage-layer stats "
+        "(segment count, WAL tail, last repair, process counters)",
+    )
     inspect.set_defaults(handler=_cmd_inspect)
 
     validate = sub.add_parser("validate", help="check QB integrity constraints")

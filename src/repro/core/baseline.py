@@ -120,14 +120,20 @@ def compute_baseline(
     to a subset of ``{"full", "partial", "complementary"}`` (the
     per-relationship timings of Figures 5a-c).
     """
+    from repro.obs.tracing import trace
+
     resolved = normalize_targets(targets, collect_partial)
-    matrix = OccurrenceMatrix(space, backend=backend)
-    ocm = matrix.compute_ocm(
-        keep_cms="partial" in resolved and collect_partial_dimensions, chunk=chunk
-    )
-    return derive_relationships(
-        space,
-        ocm,
-        collect_partial_dimensions=collect_partial_dimensions,
-        targets=resolved,
-    )
+    with trace("baseline.compute", observations=len(space), backend=str(backend)):
+        with trace("baseline.ocm"):
+            matrix = OccurrenceMatrix(space, backend=backend)
+            ocm = matrix.compute_ocm(
+                keep_cms="partial" in resolved and collect_partial_dimensions,
+                chunk=chunk,
+            )
+        with trace("baseline.derive"):
+            return derive_relationships(
+                space,
+                ocm,
+                collect_partial_dimensions=collect_partial_dimensions,
+                targets=resolved,
+            )

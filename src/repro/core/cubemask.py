@@ -59,6 +59,64 @@ STAT_KEYS = (
     "kernel_ns",
 )
 
+# Registry metrics are resolved once and cached; kernel_pairs/kernel_ns
+# are intentionally absent — repro.core.kernels owns those series.
+_REGISTRY_METRICS = None
+
+
+def _registry_metrics():
+    global _REGISTRY_METRICS
+    if _REGISTRY_METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _REGISTRY_METRICS = {
+            "runs": registry.counter(
+                "repro_cubemask_runs_total",
+                "Completed cubeMasking materialisations.",
+            ),
+            "cube_pairs": registry.counter(
+                "repro_cubemask_cube_pairs_total",
+                "Cube pairs surviving signature dominance pruning.",
+            ),
+            "instance_comparisons": registry.counter(
+                "repro_cubemask_instance_comparisons_total",
+                "Observation pairs evaluated at the instance level.",
+            ),
+            "pruned_comparisons": registry.counter(
+                "repro_cubemask_pruned_comparisons_total",
+                "Observation pairs skipped without instance-level work.",
+            ),
+            "pruned_cube_pairs": registry.counter(
+                "repro_cubemask_pruned_cube_pairs_total",
+                "Cube pairs dropped by the measure-overlap prefilter.",
+            ),
+            "last_cubes": registry.gauge(
+                "repro_cubemask_last_cubes",
+                "Lattice cubes in the most recent cubeMasking run.",
+            ),
+        }
+    return _REGISTRY_METRICS
+
+
+def _flush_counts(counts: dict) -> None:
+    metrics = _registry_metrics()
+    metrics["runs"].inc()
+    for key in (
+        "cube_pairs",
+        "instance_comparisons",
+        "pruned_comparisons",
+        "pruned_cube_pairs",
+    ):
+        if counts[key]:
+            metrics[key].inc(counts[key])
+    metrics["last_cubes"].set(counts["cubes"])
+    # Kernel counters batch their registry pushes; drain the tail so a
+    # scrape right after a compute sees the complete numbers.
+    from repro.core import kernels
+
+    kernels.flush_registry_counters()
+
 
 def compute_cubemask(
     space: ObservationSpace,
@@ -82,6 +140,7 @@ def compute_cubemask(
     """
     from repro.core.baseline import normalize_targets
     from repro.core import kernels as _kernels
+    from repro.obs.tracing import trace
 
     if kernel not in KERNEL_MODES:
         raise AlgorithmError(f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}")
@@ -90,15 +149,19 @@ def compute_cubemask(
     )
     targets = normalize_targets(targets, collect_partial)
     result = RelationshipSet()
+    # Counters are now collected unconditionally (the increments are
+    # per *cube pair*, negligible next to the instance work) so the
+    # pruning breakdown always reaches the repro.obs registry; a
+    # caller-supplied ``stats`` dict receives a copy at the end.
+    counts = {key: 0 for key in STAT_KEYS}
     if stats is not None:
-        for key in STAT_KEYS:
-            stats[key] = 0
+        stats.update(counts)
     n = len(space)
     if n == 0:
         return result
-    lattice = CubeLattice(space)
-    if stats is not None:
-        stats["cubes"] = len(lattice)
+    with trace("cubemask.lattice", observations=n):
+        lattice = CubeLattice(space)
+    counts["cubes"] = len(lattice)
     dimensions = space.dimensions
     k = len(dimensions)
     # Local, index-aligned views for the hot loops.
@@ -136,17 +199,14 @@ def compute_cubemask(
         return pair_count >= threshold
 
     def note_pair(la: int, lb: int, same_cube: bool) -> None:
-        if stats is None:
-            return
-        stats["cube_pairs"] += 1
+        counts["cube_pairs"] += 1
         diagonal = la if same_cube else 0
-        stats["instance_comparisons"] += la * lb - diagonal
-        stats["pruned_comparisons"] += diagonal
+        counts["instance_comparisons"] += la * lb - diagonal
+        counts["pruned_comparisons"] += diagonal
 
     def note_kernel(started_ns: int, pairs: int) -> None:
-        if stats is not None:
-            stats["kernel_ns"] += time.perf_counter_ns() - started_ns
-            stats["kernel_pairs"] += pairs
+        counts["kernel_ns"] += time.perf_counter_ns() - started_ns
+        counts["kernel_pairs"] += pairs
 
     def full_dim_containment(a: int, b: int) -> bool:
         code_a, code_b = codes[a], codes[b]
@@ -222,159 +282,164 @@ def compute_cubemask(
             return
         scan_pair_python(cube_a, cube_b, check_full, check_compl)
 
-    if children is not None:
-        # One fused pass over the prefetched children lists.  All of a
-        # parent's dominated cubes are batched into a single kernel
-        # call: full containment ignores cube boundaries, and equal
-        # code vectors imply equal signatures, so the complementarity
-        # check over the whole batch can only fire inside the parent
-        # cube itself — exactly the per-pair semantics, at a fraction
-        # of the per-call overhead.
-        if want_full or want_compl:
-            for parent in lattice.nodes:
-                batch = [
-                    kid for kid in children[parent] if want_full or kid == parent
-                ]
-                if not batch:
-                    continue
-                la = len(lattice.nodes[parent])
-                total = 0
-                for kid in batch:
-                    lb = len(lattice.nodes[kid])
-                    note_pair(la, lb, kid == parent)
-                    total += lb
-                if use_kernel(la * total):
-                    rows_b = (
-                        rows_of(batch[0])
-                        if len(batch) == 1
-                        else np.concatenate([rows_of(kid) for kid in batch])
-                    )
-                    started = time.perf_counter_ns()
-                    block = _kernels.evaluate_pair_block(
-                        get_plan(),
-                        rows_of(parent),
-                        rows_b,
-                        containing=True,
-                        same_cube=True,
-                        want_full=want_full,
-                        want_compl=want_compl,
-                        want_partial=False,
-                    )
-                    note_kernel(started, la * total)
-                    emit_containing_block(block)
-                else:
+    with trace("cubemask.containing", cubes=len(lattice)):
+        if children is not None:
+            # One fused pass over the prefetched children lists.  All of a
+            # parent's dominated cubes are batched into a single kernel
+            # call: full containment ignores cube boundaries, and equal
+            # code vectors imply equal signatures, so the complementarity
+            # check over the whole batch can only fire inside the parent
+            # cube itself — exactly the per-pair semantics, at a fraction
+            # of the per-call overhead.
+            if want_full or want_compl:
+                for parent in lattice.nodes:
+                    batch = [
+                        kid for kid in children[parent] if want_full or kid == parent
+                    ]
+                    if not batch:
+                        continue
+                    la = len(lattice.nodes[parent])
+                    total = 0
                     for kid in batch:
-                        scan_pair_python(parent, kid, want_full, want_compl and kid == parent)
-    else:
-        # Separate sweeps, re-deriving cube dominance each time.
-        if want_full:
-            for cube_a, cube_b in dominating_pairs():
-                scan_pair(cube_a, cube_b, True, False)
-        if want_compl:
-            for cube_a, cube_b in dominating_pairs():
-                if cube_a == cube_b:
-                    scan_pair(cube_a, cube_b, False, True)
+                        lb = len(lattice.nodes[kid])
+                        note_pair(la, lb, kid == parent)
+                        total += lb
+                    if use_kernel(la * total):
+                        rows_b = (
+                            rows_of(batch[0])
+                            if len(batch) == 1
+                            else np.concatenate([rows_of(kid) for kid in batch])
+                        )
+                        started = time.perf_counter_ns()
+                        block = _kernels.evaluate_pair_block(
+                            get_plan(),
+                            rows_of(parent),
+                            rows_b,
+                            containing=True,
+                            same_cube=True,
+                            want_full=want_full,
+                            want_compl=want_compl,
+                            want_partial=False,
+                        )
+                        note_kernel(started, la * total)
+                        emit_containing_block(block)
+                    else:
+                        for kid in batch:
+                            scan_pair_python(parent, kid, want_full, want_compl and kid == parent)
+        else:
+            # Separate sweeps, re-deriving cube dominance each time.
+            if want_full:
+                for cube_a, cube_b in dominating_pairs():
+                    scan_pair(cube_a, cube_b, True, False)
+            if want_compl:
+                for cube_a, cube_b in dominating_pairs():
+                    if cube_a == cube_b:
+                        scan_pair(cube_a, cube_b, False, True)
 
     # ------------------------------------------------------------------
     # Partial containment over partially dominating cube pairs.
     # ------------------------------------------------------------------
     if "partial" in targets:
-        # Partial-dimension bitmasks ride in a uint64, so wider buses
-        # keep the tuple-at-a-time extraction.
-        kernel_can_collect_dims = not collect_partial_dimensions or k <= 64
-        # Cube-level measure prefilter: a cube pair can only yield
-        # partial pairs when some member measure-groups overlap.
-        cube_groups: dict = {
-            cube: sorted({int(assignment[i]) for i in members})
-            for cube, members in lattice.nodes.items()
-        }
+        with trace("cubemask.partial", cubes=len(lattice)):
+            # Partial-dimension bitmasks ride in a uint64, so wider buses
+            # keep the tuple-at-a-time extraction.
+            kernel_can_collect_dims = not collect_partial_dimensions or k <= 64
+            # Cube-level measure prefilter: a cube pair can only yield
+            # partial pairs when some member measure-groups overlap.
+            cube_groups: dict = {
+                cube: sorted({int(assignment[i]) for i in members})
+                for cube, members in lattice.nodes.items()
+            }
 
-        def cubes_share_measures(ga, gb) -> bool:
-            return any(overlap[i, j] for i in ga for j in gb)
+            def cubes_share_measures(ga, gb) -> bool:
+                return any(overlap[i, j] for i in ga for j in gb)
 
-        def scan_partial_python(cube_a, cube_b) -> None:
-            for a in lattice.nodes[cube_a]:
-                for b in lattice.nodes[cube_b]:
-                    if a == b or not overlap[assignment[a], assignment[b]]:
-                        continue
-                    count = containment_count(a, b)
-                    if 0 < count < k:
-                        if collect_partial_dimensions:
-                            dims = frozenset(
-                                dimensions[p]
-                                for p in range(k)
-                                if codes[a][p] in ancestor_sets[p][codes[b][p]]
-                            )
-                            result.add_partial(uris[a], uris[b], dims, count / k)
-                        else:
-                            result.add_partial(uris[a], uris[b], degree=count / k)
+            def scan_partial_python(cube_a, cube_b) -> None:
+                for a in lattice.nodes[cube_a]:
+                    for b in lattice.nodes[cube_b]:
+                        if a == b or not overlap[assignment[a], assignment[b]]:
+                            continue
+                        count = containment_count(a, b)
+                        if 0 < count < k:
+                            if collect_partial_dimensions:
+                                dims = frozenset(
+                                    dimensions[p]
+                                    for p in range(k)
+                                    if codes[a][p] in ancestor_sets[p][codes[b][p]]
+                                )
+                                result.add_partial(uris[a], uris[b], dims, count / k)
+                            else:
+                                result.add_partial(uris[a], uris[b], degree=count / k)
 
-        def emit_partial_block(block) -> None:
-            if not block.partial:
-                return
-            # Bulk set/dict updates: one kernel call can yield hundreds
-            # of thousands of partial pairs, so the per-pair
-            # method-call overhead is worth skipping.
-            pairs = [(uris[a], uris[b]) for a, b, _ in block.partial]
-            result.partial.update(pairs)
-            result.degrees.update(
-                zip(pairs, (count / k for _, _, count in block.partial))
-            )
-            if collect_partial_dimensions:
-                result.partial_map.update(
-                    zip(
-                        pairs,
-                        (
-                            _kernels.decode_dim_mask(dimensions, mask)
-                            for mask in block.partial_dim_masks
-                        ),
+            def emit_partial_block(block) -> None:
+                if not block.partial:
+                    return
+                # Bulk set/dict updates: one kernel call can yield hundreds
+                # of thousands of partial pairs, so the per-pair
+                # method-call overhead is worth skipping.
+                pairs = [(uris[a], uris[b]) for a, b, _ in block.partial]
+                result.partial.update(pairs)
+                result.degrees.update(
+                    zip(pairs, (count / k for _, _, count in block.partial))
+                )
+                if collect_partial_dimensions:
+                    result.partial_map.update(
+                        zip(
+                            pairs,
+                            (
+                                _kernels.decode_dim_mask(dimensions, mask)
+                                for mask in block.partial_dim_masks
+                            ),
+                        )
                     )
-                )
 
-        # Group by cube A so the surviving partners batch into one
-        # kernel call each, mirroring the containing pass.
-        partners_by_a: dict = {}
-        for cube_a, cube_b in lattice.partial_pairs():
-            partners_by_a.setdefault(cube_a, []).append(cube_b)
+            # Group by cube A so the surviving partners batch into one
+            # kernel call each, mirroring the containing pass.
+            partners_by_a: dict = {}
+            for cube_a, cube_b in lattice.partial_pairs():
+                partners_by_a.setdefault(cube_a, []).append(cube_b)
 
-        for cube_a, partners in partners_by_a.items():
-            la = len(lattice.nodes[cube_a])
-            groups_a = cube_groups[cube_a]
-            surviving = []
-            total = 0
-            for cube_b in partners:
-                lb = len(lattice.nodes[cube_b])
-                if not cubes_share_measures(groups_a, cube_groups[cube_b]):
-                    if stats is not None:
-                        stats["pruned_cube_pairs"] += 1
-                        stats["pruned_comparisons"] += la * lb
+            for cube_a, partners in partners_by_a.items():
+                la = len(lattice.nodes[cube_a])
+                groups_a = cube_groups[cube_a]
+                surviving = []
+                total = 0
+                for cube_b in partners:
+                    lb = len(lattice.nodes[cube_b])
+                    if not cubes_share_measures(groups_a, cube_groups[cube_b]):
+                        counts["pruned_cube_pairs"] += 1
+                        counts["pruned_comparisons"] += la * lb
+                        continue
+                    note_pair(la, lb, cube_a == cube_b)
+                    surviving.append(cube_b)
+                    total += lb
+                if not surviving:
                     continue
-                note_pair(la, lb, cube_a == cube_b)
-                surviving.append(cube_b)
-                total += lb
-            if not surviving:
-                continue
-            if kernel_can_collect_dims and use_kernel(la * total):
-                rows_b = (
-                    rows_of(surviving[0])
-                    if len(surviving) == 1
-                    else np.concatenate([rows_of(cube_b) for cube_b in surviving])
-                )
-                started = time.perf_counter_ns()
-                block = _kernels.evaluate_pair_block(
-                    get_plan(),
-                    rows_of(cube_a),
-                    rows_b,
-                    containing=False,
-                    same_cube=cube_a in surviving,
-                    want_full=False,
-                    want_compl=False,
-                    want_partial=True,
-                    collect_partial_dimensions=collect_partial_dimensions,
-                )
-                note_kernel(started, la * total)
-                emit_partial_block(block)
-            else:
-                for cube_b in surviving:
-                    scan_partial_python(cube_a, cube_b)
+                if kernel_can_collect_dims and use_kernel(la * total):
+                    rows_b = (
+                        rows_of(surviving[0])
+                        if len(surviving) == 1
+                        else np.concatenate([rows_of(cube_b) for cube_b in surviving])
+                    )
+                    started = time.perf_counter_ns()
+                    block = _kernels.evaluate_pair_block(
+                        get_plan(),
+                        rows_of(cube_a),
+                        rows_b,
+                        containing=False,
+                        same_cube=cube_a in surviving,
+                        want_full=False,
+                        want_compl=False,
+                        want_partial=True,
+                        collect_partial_dimensions=collect_partial_dimensions,
+                    )
+                    note_kernel(started, la * total)
+                    emit_partial_block(block)
+                else:
+                    for cube_b in surviving:
+                        scan_partial_python(cube_a, cube_b)
+
+    _flush_counts(counts)
+    if stats is not None:
+        stats.update(counts)
     return result

@@ -67,10 +67,43 @@ DEFAULT_CHUNK = 512
 
 
 # ----------------------------------------------------------------------
-# Kernel counters (surfaced through the service /metrics endpoint).
+# Kernel counters (surfaced through the service /metrics endpoint and
+# mirrored as first-class series in the repro.obs metrics registry).
 # ----------------------------------------------------------------------
 _COUNTER_LOCK = threading.Lock()
 _COUNTERS = {"kernel_calls": 0, "kernel_pairs": 0, "kernel_ns": 0}
+
+
+_REGISTRY_COUNTERS = None
+
+
+def _registry_counters():
+    global _REGISTRY_COUNTERS
+    if _REGISTRY_COUNTERS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _REGISTRY_COUNTERS = (
+            registry.counter(
+                "repro_kernel_calls_total", "Vectorised cube-pair kernel invocations."
+            ),
+            registry.counter(
+                "repro_kernel_pairs_total",
+                "Observation pairs scored by the vectorised kernel.",
+            ),
+            registry.counter(
+                "repro_kernel_ns_total",
+                "Nanoseconds spent inside the vectorised kernel.",
+            ),
+        )
+    return _REGISTRY_COUNTERS
+
+
+#: Registry values already pushed; the delta to _COUNTERS is what a
+#: flush publishes.  Batching keeps the per-block hot path down to the
+#: single _COUNTER_LOCK acquisition it always had.
+_PUSHED = {"kernel_calls": 0, "kernel_pairs": 0, "kernel_ns": 0}
+_FLUSH_EVERY = 512
 
 
 def _record(ns: int, pairs: int) -> None:
@@ -78,6 +111,25 @@ def _record(ns: int, pairs: int) -> None:
         _COUNTERS["kernel_calls"] += 1
         _COUNTERS["kernel_pairs"] += pairs
         _COUNTERS["kernel_ns"] += ns
+        due = _COUNTERS["kernel_calls"] - _PUSHED["kernel_calls"] >= _FLUSH_EVERY
+    if due:
+        flush_registry_counters()
+
+
+def flush_registry_counters() -> None:
+    """Publish accumulated kernel counters into the metrics registry.
+
+    Runs every :data:`_FLUSH_EVERY` kernel calls and at the end of
+    each cubeMasking compute, so a mid-compute scrape lags by at most
+    one batch.
+    """
+    counters = _registry_counters()
+    with _COUNTER_LOCK:
+        deltas = {key: _COUNTERS[key] - _PUSHED[key] for key in _COUNTERS}
+        _PUSHED.update(_COUNTERS)
+    for counter, key in zip(counters, ("kernel_calls", "kernel_pairs", "kernel_ns")):
+        if deltas[key]:
+            counter.inc(deltas[key])
 
 
 def kernel_counters() -> dict:
@@ -90,6 +142,7 @@ def reset_kernel_counters() -> None:
     with _COUNTER_LOCK:
         for key in _COUNTERS:
             _COUNTERS[key] = 0
+            _PUSHED[key] = 0
 
 
 # ----------------------------------------------------------------------
@@ -549,6 +602,17 @@ def publish_arrays(arrays: dict[str, np.ndarray]) -> tuple[shared_memory.SharedM
         destination = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf, offset=start)
         destination[...] = array
         del destination  # release the buffer export so close() can succeed
+    from repro.obs.registry import get_registry
+
+    registry = get_registry()
+    registry.counter(
+        "repro_parallel_shm_publishes_total",
+        "Shared-memory kernel-plan segments published for worker fan-out.",
+    ).inc()
+    registry.counter(
+        "repro_parallel_shm_bytes_total",
+        "Bytes published into shared-memory fan-out segments.",
+    ).inc(segment.size)
     return segment, layout
 
 

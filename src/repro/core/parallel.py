@@ -48,7 +48,6 @@ for the crash-cleanup contract).
 
 from __future__ import annotations
 
-import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -64,6 +63,8 @@ from repro.core.lattice import CubeLattice
 from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
 from repro.errors import AlgorithmError
+from repro.obs.logging import get_logger
+from repro.obs.tracing import current_trace_id, set_trace_id, trace
 
 __all__ = [
     "compute_cubemask_parallel",
@@ -73,7 +74,38 @@ __all__ = [
     "enumerate_unit_ranges",
 ]
 
-logger = logging.getLogger("repro.parallel")
+logger = get_logger("repro.parallel")
+
+# Registry metrics resolved once per process; see docs/observability.md.
+_METRICS = None
+
+
+def _metrics():
+    global _METRICS
+    if _METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _METRICS = {
+            "respawns": registry.counter(
+                "repro_parallel_pool_respawns_total",
+                "Process pools respawned after a worker failure.",
+            ),
+            "failures": registry.counter(
+                "repro_parallel_worker_failures_total",
+                "Worker failures by kind (timeout, crash, error).",
+                labelnames=("kind",),
+            ),
+            "degraded": registry.counter(
+                "repro_parallel_degraded_ranges_total",
+                "Cube-pair ranges scored sequentially after pool degradation.",
+            ),
+            "units": registry.counter(
+                "repro_parallel_units_total",
+                "Cube-pair ranges completed by pool workers.",
+            ),
+        }
+    return _METRICS
 
 # Worker-process globals, installed by _initializer.
 _WORKER_STATE: dict = {}
@@ -192,6 +224,9 @@ def prepare_shared_fanout(state: dict):
         k=state["k"],
         kernel=state["kernel"],
         kernel_threshold=state["kernel_threshold"],
+        # Workers inherit the parent's trace ID so their log records
+        # (and any spans they open) correlate with the run.
+        trace_id=current_trace_id(),
     )
     return segment, meta
 
@@ -207,6 +242,7 @@ def enumerate_unit_ranges(total_pairs: int, unit_size: int) -> list[tuple[int, i
 
 def _initializer(segment_name: str, meta: dict, fault_plan=None) -> None:
     """Worker entry: attach to the published arrays zero-copy."""
+    set_trace_id(meta.get("trace_id"))
     segment, views = _kernels.attach_arrays(segment_name, meta["layout"])
     plan = _kernels.KernelPlan(
         dimensions=meta["dimensions"],
@@ -376,6 +412,45 @@ def compute_cubemask_parallel(
     per-cube-pair instance-check path exactly as in
     :func:`~repro.core.cubemask.compute_cubemask`.
     """
+    with trace("parallel.compute", observations=len(space)):
+        return _compute_cubemask_parallel(
+            space,
+            workers=workers,
+            collect_partial=collect_partial,
+            targets=targets,
+            min_parallel_observations=min_parallel_observations,
+            batch_size=batch_size,
+            unit_size=unit_size,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            unit_timeout=unit_timeout,
+            fault_plan=fault_plan,
+            on_unit_complete=on_unit_complete,
+            completed_units=completed_units,
+            fallback_sequential=fallback_sequential,
+            kernel=kernel,
+            kernel_threshold=kernel_threshold,
+        )
+
+
+def _compute_cubemask_parallel(
+    space: ObservationSpace,
+    workers: int | None = None,
+    collect_partial: bool = True,
+    targets=None,
+    min_parallel_observations: int = 512,
+    batch_size: int = 256,
+    unit_size: int | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    unit_timeout: float | None = None,
+    fault_plan=None,
+    on_unit_complete=None,
+    completed_units=(),
+    fallback_sequential: bool = True,
+    kernel: str = "auto",
+    kernel_threshold: int | None = None,
+) -> RelationshipSet:
     from repro.core.baseline import normalize_targets
 
     resolved = tuple(sorted(normalize_targets(targets, collect_partial)))
@@ -407,8 +482,11 @@ def compute_cubemask_parallel(
             on_unit_complete(unit_id, delta)
 
     def degrade(remaining) -> None:
+        _metrics()["degraded"].inc(len(remaining))
         logger.warning(
-            "degrading to sequential cubeMasking for %d remaining range(s)", len(remaining)
+            "degrading to sequential cubeMasking for %d remaining range(s)",
+            len(remaining),
+            fields={"ranges": len(remaining)},
         )
         for unit_id, start, stop in remaining:
             if fault_plan is not None:
@@ -416,7 +494,8 @@ def compute_cubemask_parallel(
             emit(unit_id, score_range(state, start, stop))
 
     try:
-        segment, meta = prepare_shared_fanout(state)
+        with trace("parallel.publish", pairs=total_pairs):
+            segment, meta = prepare_shared_fanout(state)
     except OSError as exc:
         logger.warning(
             "shared-memory publication failed (%s) — scoring %d range(s) sequentially",
@@ -452,6 +531,7 @@ def compute_cubemask_parallel(
                         failure = (descriptor, exc, "error")
                         break
                     finished.add(descriptor[0])
+                    _metrics()["units"].inc()
                     unit_id, full_pairs, compl_pairs, partial_pairs = payload
                     emit(unit_id, _indices_to_delta(uris, k, full_pairs, compl_pairs, partial_pairs))
             finally:
@@ -460,6 +540,7 @@ def compute_cubemask_parallel(
             if failure is None:
                 break
             descriptor, error, kind = failure
+            _metrics()["failures"].inc(kind=kind)
             pending = [d for d in pending if d[0] not in finished]
             unit_id = descriptor[0]
             attempts[unit_id] += 1
@@ -478,6 +559,7 @@ def compute_cubemask_parallel(
                     attempts=attempts[unit_id],
                 ) from error
             delay = min(retry_backoff * (2 ** (attempts[unit_id] - 1)), _BACKOFF_CAP)
+            _metrics()["respawns"].inc()
             logger.warning(
                 "worker failure (%s) on range %d, attempt %d/%d — respawning pool in %.2fs: %s",
                 kind,
@@ -486,6 +568,7 @@ def compute_cubemask_parallel(
                 max_retries + 1,
                 delay,
                 error,
+                fields={"kind": kind, "unit": unit_id, "attempt": attempts[unit_id]},
             )
             if delay > 0:
                 time.sleep(delay)

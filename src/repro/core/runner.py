@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 import time
 from pathlib import Path
@@ -62,6 +61,8 @@ from repro.errors import (
 from repro.core.faults import FaultPlan, InjectedFault
 from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
+from repro.obs.logging import get_logger
+from repro.obs.tracing import trace
 from repro.rdf.terms import URIRef
 
 __all__ = [
@@ -72,7 +73,7 @@ __all__ = [
     "open_checkpoint",
 ]
 
-logger = logging.getLogger("repro.runner")
+logger = get_logger("repro.runner")
 
 CHECKPOINT_VERSION = 1
 DEFAULT_ROW_BLOCK = 256
@@ -83,6 +84,42 @@ _BACKOFF_CAP = 30.0
 #: workers, OS-level hiccups.  Deterministic input errors
 #: (:class:`AlgorithmError`) are not retried.
 RETRYABLE = (InjectedFault, WorkerCrashError, ComputationError, OSError)
+
+# Registry metrics resolved once per process; see docs/observability.md.
+_METRICS = None
+
+
+def _metrics():
+    global _METRICS
+    if _METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _METRICS = {
+            "runs": registry.counter(
+                "repro_runner_runs_total", "Materialisation runs started."
+            ),
+            "units": registry.counter(
+                "repro_runner_units_total", "Work units computed to completion."
+            ),
+            "resumed": registry.counter(
+                "repro_runner_resumed_units_total",
+                "Units restored from a checkpoint instead of recomputed.",
+            ),
+            "retries": registry.counter(
+                "repro_runner_retries_total",
+                "Transient unit failures that were retried.",
+            ),
+            "failures": registry.counter(
+                "repro_runner_unit_failures_total",
+                "Units that exhausted their retry budget.",
+            ),
+            "repairs": registry.counter(
+                "repro_runner_checkpoint_repairs_total",
+                "Checkpoints whose torn final record was dropped on load.",
+            ),
+        }
+    return _METRICS
 
 
 # ----------------------------------------------------------------------
@@ -344,9 +381,14 @@ class MaterializationRunner:
     # ------------------------------------------------------------------
     def run(self, data) -> RelationshipSet:
         """Compute (or finish computing) the relationship set."""
+        with trace("runner.run", method=self.method.value):
+            return self._run(data)
+
+    def _run(self, data) -> RelationshipSet:
         from repro.core.api import _as_space
 
         space = _as_space(data)
+        _metrics()["runs"].inc()
         plan = self._plan(space)
         header = {
             "version": CHECKPOINT_VERSION,
@@ -371,10 +413,12 @@ class MaterializationRunner:
                 stored, deltas, repaired = journal.load()
                 self._validate_header(stored, header, journal.path)
                 if repaired:
+                    _metrics()["repairs"].inc()
                     logger.warning(
                         "checkpoint %s had a torn final record (crash mid-append); "
                         "dropped it and will recompute that unit",
                         journal.path,
+                        fields={"checkpoint": str(journal.path)},
                     )
                 known = set(plan.unit_ids)
                 for unit_id, delta in deltas.items():
@@ -384,6 +428,8 @@ class MaterializationRunner:
                         )
                     result.merge(delta)
                     done.add(unit_id)
+                if done:
+                    _metrics()["resumed"].inc(len(done))
                 journal.open_append()
             else:
                 journal.create(header)
@@ -397,6 +443,7 @@ class MaterializationRunner:
             if journal is not None:
                 journal.append_unit(unit_id, delta)
             completed += 1
+            _metrics()["units"].inc()
             if self.fault_plan is not None:
                 self.fault_plan.after_unit(completed)
 
@@ -451,9 +498,11 @@ class MaterializationRunner:
             except RETRYABLE as exc:
                 attempts += 1
                 if attempts > self.max_retries:
+                    _metrics()["failures"].inc()
                     raise WorkerCrashError(
                         f"unit failed permanently: {exc}", unit=unit_id, attempts=attempts
                     ) from exc
+                _metrics()["retries"].inc()
                 delay = min(self.retry_backoff * (2 ** (attempts - 1)), _BACKOFF_CAP)
                 logger.warning(
                     "unit %r failed (attempt %d/%d), retrying in %.2fs: %s",
@@ -462,6 +511,7 @@ class MaterializationRunner:
                     self.max_retries + 1,
                     delay,
                     exc,
+                    fields={"unit": unit_id, "attempt": attempts, "delay": delay},
                 )
                 if delay > 0:
                     time.sleep(delay)

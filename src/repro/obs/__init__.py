@@ -1,0 +1,98 @@
+"""repro.obs — unified tracing, structured logging and metrics.
+
+The first layer that sees the whole pipeline end to end:
+
+* :mod:`repro.obs.registry` — the process-wide
+  :class:`~repro.obs.registry.MetricsRegistry` every instrumented
+  layer (kernels, cubeMasking pruning, runner, parallel fan-out,
+  segment storage) feeds, rendered on the service's ``/metrics``
+  endpoint in Prometheus text exposition format,
+* :mod:`repro.obs.tracing` — :func:`~repro.obs.tracing.trace` spans
+  with monotonic timing, parent/child nesting and a per-request /
+  per-run trace ID that rides HTTP headers, the CLI ``--trace`` flag
+  and the shared-memory fan-out into pool workers,
+* :mod:`repro.obs.logging` — one-JSON-object-per-line structured
+  records (trace_id, span, level, fields) over stdlib ``logging``,
+* :mod:`repro.obs.profile` — a sampling wall-clock profiler for
+  ``repro compute --profile`` flat self/cumulative tables.
+
+See ``docs/observability.md`` for the metric catalogue and the span
+naming conventions.
+"""
+
+from repro.obs.logging import (
+    JsonLinesFormatter,
+    configure_jsonl,
+    get_logger,
+    log_event,
+    remove_handler,
+)
+from repro.obs.profile import SamplingProfiler
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    get_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanRecorder,
+    bind_trace,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    recorder,
+    set_trace_id,
+    trace,
+)
+
+def preregister() -> None:
+    """Force-register every instrumented layer's metric families.
+
+    The instrumented modules register their series lazily on first
+    use, so a freshly-booted process would scrape an incomplete
+    catalogue until compute/storage work has run.  The server calls
+    this at startup so ``/metrics`` shows every family (zero-valued)
+    from the very first scrape.
+    """
+    from repro.core import cubemask, kernels, parallel, runner
+    from repro.storage import store, wal
+
+    kernels._registry_counters()
+    cubemask._registry_metrics()
+    runner._metrics()
+    parallel._metrics()
+    wal._metrics()
+    store._metrics()
+    get_registry().counter(
+        "repro_storage_lazy_materialisations_total",
+        "Lazy segment views materialised on first access.",
+    )
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesFormatter",
+    "MetricsRegistry",
+    "SamplingProfiler",
+    "Span",
+    "SpanRecorder",
+    "bind_trace",
+    "configure_jsonl",
+    "current_span",
+    "current_trace_id",
+    "escape_label_value",
+    "get_logger",
+    "get_registry",
+    "log_event",
+    "new_trace_id",
+    "preregister",
+    "recorder",
+    "remove_handler",
+    "set_trace_id",
+    "trace",
+]

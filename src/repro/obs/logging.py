@@ -1,0 +1,182 @@
+"""Structured JSONL logging on top of the stdlib :mod:`logging` module.
+
+Every record is one JSON object per line with a fixed envelope::
+
+    {"ts": 1754524800.123, "level": "INFO", "logger": "repro.runner",
+     "event": "unit-retry", "trace_id": "9f2...", "span": "runner.run",
+     "fields": {"unit": 17, "attempt": 2}}
+
+* ``ts`` — Unix seconds (float),
+* ``level`` / ``logger`` — the stdlib record's,
+* ``event`` — the log message (a short machine-greppable slug for
+  instrumentation events; free text for ordinary log calls),
+* ``trace_id`` / ``span`` — taken from the ambient
+  :mod:`repro.obs.tracing` context unless the record carries its own,
+* ``fields`` — any structured payload the call site attached.
+
+Two entry points:
+
+* :func:`get_logger` returns a :class:`logging.LoggerAdapter` whose
+  calls accept ``fields=...`` and inject the current trace context —
+  a drop-in replacement for ``logging.getLogger`` at instrumentation
+  sites (``logger.warning("unit-retry", fields={"unit": 3})``).
+* :func:`configure_jsonl` attaches a :class:`JsonLinesFormatter`
+  handler (file or stream) to a logger subtree; it returns the
+  handler so callers (the CLI, tests) can detach and close it.
+
+Span emission (:func:`emit_span`) goes through the dedicated
+``repro.obs.trace`` logger at INFO — with no handler attached the
+stdlib short-circuits it, so always-on tracing costs one level check.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+__all__ = [
+    "JsonLinesFormatter",
+    "TRACE_LOGGER_NAME",
+    "configure_jsonl",
+    "emit_span",
+    "get_logger",
+    "log_event",
+]
+
+#: Spans are emitted through this logger; event logs use their own.
+TRACE_LOGGER_NAME = "repro.obs.trace"
+
+#: Envelope keys a call site cannot override from ``fields``.
+_RESERVED = ("ts", "level", "logger", "event", "trace_id", "span")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Formats each record as one JSON object on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        from repro.obs.tracing import current_span, current_trace_id
+
+        trace_id = getattr(record, "trace_id", None)
+        span_name = getattr(record, "span", None)
+        if trace_id is None:
+            trace_id = current_trace_id()
+        if span_name is None:
+            span = current_span()
+            span_name = span.name if span is not None else None
+        payload: dict = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+            "trace_id": trace_id,
+            "span": span_name,
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload["fields"] = {
+                str(key): value for key, value in dict(fields).items()
+            }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload.setdefault("fields", {})["exception"] = self.formatException(
+                record.exc_info
+            )
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+class _FieldsAdapter(logging.LoggerAdapter):
+    """Accepts ``fields=...`` and forwards it as record extras."""
+
+    def process(self, msg, kwargs):
+        extra = kwargs.setdefault("extra", {})
+        fields = kwargs.pop("fields", None)
+        if fields is not None:
+            extra["fields"] = fields
+        for key in ("trace_id", "span"):
+            if key in kwargs:
+                extra[key] = kwargs.pop(key)
+        return msg, kwargs
+
+
+def get_logger(name: str) -> _FieldsAdapter:
+    """A structured-logging adapter over ``logging.getLogger(name)``.
+
+    Plays fine with plain handlers too: without a
+    :class:`JsonLinesFormatter` the ``fields`` payload simply rides
+    along as record attributes.
+    """
+    return _FieldsAdapter(logging.getLogger(name), {})
+
+
+def log_event(logger, event: str, level: int = logging.INFO, **fields) -> None:
+    """One structured event: ``log_event(log, "wal-repair", path=...)``."""
+    logger.log(level, event, fields=fields or None)
+
+
+def configure_jsonl(
+    target: str | io.TextIOBase,
+    logger_name: str = "repro",
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Attach a JSONL handler to ``logger_name`` (and the trace logger).
+
+    ``target`` is a path (opened line-buffered, appended) or an open
+    text stream.  The subtree's level is lowered to ``level`` so
+    instrumentation events actually flow.  Returns the handler;
+    detach with :func:`remove_handler`.
+    """
+    if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+        handler: logging.Handler = logging.FileHandler(target, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(target)
+    handler.setFormatter(JsonLinesFormatter())
+    handler.setLevel(level)
+    for name in _attachment_points(logger_name):
+        log = logging.getLogger(name)
+        log.addHandler(handler)
+        if log.level == logging.NOTSET or log.level > level:
+            log.setLevel(level)
+    return handler
+
+
+def _attachment_points(logger_name: str) -> set[str]:
+    """The base logger, plus the trace logger unless records already
+    propagate to the base through the ``logging`` hierarchy (attaching
+    to both would emit every span twice)."""
+    names = {logger_name}
+    if TRACE_LOGGER_NAME != logger_name and not TRACE_LOGGER_NAME.startswith(
+        logger_name + "."
+    ):
+        names.add(TRACE_LOGGER_NAME)
+    return names
+
+
+def remove_handler(handler: logging.Handler, logger_name: str = "repro") -> None:
+    """Detach and close a handler installed by :func:`configure_jsonl`."""
+    for name in _attachment_points(logger_name):
+        logging.getLogger(name).removeHandler(handler)
+    handler.close()
+
+
+def emit_span(span) -> None:
+    """Emit a finished span as one JSONL record (if anyone listens)."""
+    logger = logging.getLogger(TRACE_LOGGER_NAME)
+    if not logger.isEnabledFor(logging.INFO):
+        return
+    record = span.to_record()
+    logger.info(
+        "span",
+        extra={
+            "trace_id": record["trace_id"],
+            "span": record["span"],
+            "fields": {
+                "span_id": record["span_id"],
+                "parent_id": record["parent_id"],
+                "start": record["start"],
+                "duration_ns": record["duration_ns"],
+                **({"error": record["error"]} if "error" in record else {}),
+                **record.get("fields", {}),
+            },
+        },
+    )
+

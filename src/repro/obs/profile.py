@@ -1,0 +1,165 @@
+"""A sampling wall-clock profiler (stdlib only).
+
+A daemon thread snapshots the target thread's stack via
+``sys._current_frames()`` every ``interval`` seconds and accumulates:
+
+* **self** samples — the function on top of the stack (where wall time
+  is actually being spent, GIL permitting), and
+* **cumulative** samples — every function anywhere on the stack
+  (deduplicated per sample, so recursion doesn't double-count).
+
+Because sampling happens from a separate thread, the profiled code
+runs unmodified — no ``sys.settrace`` overhead, which is what lets
+``repro compute --profile`` report on a production-sized
+materialisation without distorting it.  Numpy kernels and mmap I/O
+that hold the GIL *are* attributed to the Python frame that entered
+them, which is exactly the attribution the flat table needs.
+
+Usage::
+
+    with SamplingProfiler() as profiler:
+        expensive()
+    print(profiler.report())
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+__all__ = ["SamplingProfiler"]
+
+
+class SamplingProfiler:
+    """Samples one thread's stack; renders a flat self/cumulative table."""
+
+    def __init__(self, interval: float = 0.002, thread_ident: int | None = None):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._target = thread_ident
+        self._samples = 0
+        self._self_counts: dict[tuple[str, str, int], int] = {}
+        self._cumulative_counts: dict[tuple[str, str, int], int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        if self._target is None:
+            self._target = threading.get_ident()
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:
+                continue
+            self._samples += 1
+            top = True
+            seen: set[tuple[str, str, int]] = set()
+            while frame is not None:
+                code = frame.f_code
+                key = (code.co_name, code.co_filename, code.co_firstlineno)
+                if top:
+                    self._self_counts[key] = self._self_counts.get(key, 0) + 1
+                    top = False
+                if key not in seen:
+                    seen.add(key)
+                    self._cumulative_counts[key] = (
+                        self._cumulative_counts.get(key, 0) + 1
+                    )
+                frame = frame.f_back
+            del frame
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is not None:
+            return self._elapsed + (time.perf_counter() - self._started_at)
+        return self._elapsed
+
+    def as_dict(self, limit: int = 30) -> dict:
+        """JSON-friendly profile: rows ranked by self samples."""
+        rows = []
+        for key, self_count in sorted(
+            self._self_counts.items(), key=lambda item: -item[1]
+        )[:limit]:
+            name, filename, line = key
+            rows.append(
+                {
+                    "function": name,
+                    "location": f"{_short_path(filename)}:{line}",
+                    "self_samples": self_count,
+                    "cumulative_samples": self._cumulative_counts.get(key, self_count),
+                }
+            )
+        return {
+            "samples": self._samples,
+            "interval_seconds": self.interval,
+            "elapsed_seconds": self.elapsed,
+            "rows": rows,
+        }
+
+    def report(self, limit: int = 30) -> str:
+        """The flat self/cumulative table, ready to print."""
+        profile = self.as_dict(limit)
+        total = max(profile["samples"], 1)
+        lines = [
+            f"# wall-clock sampling profile: {profile['samples']} samples "
+            f"@ {self.interval * 1000:.1f}ms over {profile['elapsed_seconds']:.2f}s",
+            f"{'self%':>7} {'cum%':>7} {'self':>6} {'cum':>6}  function (location)",
+        ]
+        for row in profile["rows"]:
+            lines.append(
+                f"{100 * row['self_samples'] / total:6.1f}% "
+                f"{100 * row['cumulative_samples'] / total:6.1f}% "
+                f"{row['self_samples']:>6} {row['cumulative_samples']:>6}  "
+                f"{row['function']} ({row['location']})"
+            )
+        if not profile["rows"]:
+            lines.append("  (no samples — the run finished within one interval)")
+        return "\n".join(lines)
+
+
+def _short_path(filename: str) -> str:
+    """Trim a source path to the informative tail (``repro/...``)."""
+    for marker in ("/repro/", "\\repro\\"):
+        index = filename.rfind(marker)
+        if index >= 0:
+            return "repro/" + filename[index + len(marker):].replace("\\", "/")
+    parts = filename.replace("\\", "/").rsplit("/", 2)
+    return "/".join(parts[-2:])

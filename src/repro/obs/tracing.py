@@ -1,0 +1,258 @@
+"""Spans, trace IDs and the in-process span recorder.
+
+A *span* is one timed operation (monotonic clock) with a name, a
+trace ID shared by everything one request/run touches, a parent span,
+and free-form fields.  Usage is one context manager::
+
+    from repro.obs import trace
+
+    with trace("cubemask.partial", cubes=len(lattice)) as span:
+        ...
+        span.fields["pairs"] = emitted
+
+Trace IDs propagate through :mod:`contextvars`, so nested spans — and
+anything logged through :mod:`repro.obs.logging` while a span is open
+— carry the same ``trace_id`` automatically, across threads started
+via the HTTP handler pool (each request binds its own context) and
+into pool workers (the parallel fan-out ships the current trace ID in
+its initializer metadata and calls :func:`set_trace_id` worker-side).
+
+Every finished span is:
+
+* appended to the process-wide :class:`SpanRecorder` (bounded ring of
+  recent spans + per-name aggregates, served on ``/debug/vars``), and
+* emitted as one structured JSONL record through the
+  ``repro.obs.trace`` logger — a no-op unless a handler is attached
+  (the CLI's ``--trace`` flag or :func:`repro.obs.logging.configure_jsonl`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "bind_trace",
+    "current_span",
+    "current_trace_id",
+    "new_trace_id",
+    "recorder",
+    "set_trace_id",
+    "trace",
+]
+
+#: The innermost open span of this context (None at top level).
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+#: The trace ID bound to this context even when no span is open
+#: (e.g. between CLI phases, or inside a pool worker).
+_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace ID."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace ID bound to the current context, if any."""
+    span = _CURRENT_SPAN.get()
+    if span is not None:
+        return span.trace_id
+    return _TRACE_ID.get()
+
+
+def current_span() -> "Span | None":
+    return _CURRENT_SPAN.get()
+
+
+def set_trace_id(trace_id: str | None):
+    """Bind ``trace_id`` to the current context; returns a reset token."""
+    return _TRACE_ID.set(trace_id)
+
+
+@contextmanager
+def bind_trace(trace_id: str | None = None):
+    """Context manager: bind (or mint) a trace ID for the duration."""
+    token = _TRACE_ID.set(trace_id if trace_id is not None else new_trace_id())
+    try:
+        yield _TRACE_ID.get()
+    finally:
+        _TRACE_ID.reset(token)
+
+
+class Span:
+    """One timed, named operation inside a trace."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "fields",
+        "start_wall",
+        "_start_ns",
+        "_end_ns",
+        "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+        fields: dict | None = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.fields = dict(fields or {})
+        self.start_wall = time.time()
+        self._start_ns = time.monotonic_ns()
+        self._end_ns: int | None = None
+        self.error: str | None = None
+
+    # ------------------------------------------------------------------
+    def finish(self) -> "Span":
+        if self._end_ns is None:
+            self._end_ns = time.monotonic_ns()
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self._end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        end = self._end_ns if self._end_ns is not None else time.monotonic_ns()
+        return end - self._start_ns
+
+    def to_record(self) -> dict:
+        """The JSONL-ready dict form of a finished span."""
+        record = {
+            "span": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_wall,
+            "duration_ns": self.duration_ns,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.fields:
+            record["fields"] = {
+                key: value for key, value in self.fields.items()
+            }
+        return record
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_ns / 1e6:.3f}ms" if self.finished else "open"
+        return f"Span({self.name!r}, trace={self.trace_id[:8]}, {state})"
+
+
+class SpanRecorder:
+    """Bounded ring of recent spans + per-name duration aggregates."""
+
+    def __init__(self, maxlen: int = 1024):
+        self._lock = threading.Lock()
+        self._recent: deque[dict] = deque(maxlen=maxlen)
+        # name -> [count, total_ns, max_ns]
+        self._aggregate: dict[str, list] = {}
+
+    def record(self, span: Span) -> None:
+        record = span.to_record()
+        with self._lock:
+            self._recent.append(record)
+            slot = self._aggregate.get(span.name)
+            if slot is None:
+                slot = self._aggregate[span.name] = [0, 0, 0]
+            slot[0] += 1
+            slot[1] += record["duration_ns"]
+            slot[2] = max(slot[2], record["duration_ns"])
+
+    def recent(self, limit: int = 50) -> list[dict]:
+        with self._lock:
+            items = list(self._recent)
+        return items[-limit:]
+
+    def top_spans(self, limit: int = 20) -> list[dict]:
+        """Span names ranked by total time spent (the hot list)."""
+        with self._lock:
+            rows = [
+                {
+                    "span": name,
+                    "count": count,
+                    "total_ns": total,
+                    "max_ns": peak,
+                    "mean_ns": total // count if count else 0,
+                }
+                for name, (count, total, peak) in self._aggregate.items()
+            ]
+        rows.sort(key=lambda row: (-row["total_ns"], row["span"]))
+        return rows[:limit]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._aggregate.clear()
+
+
+_RECORDER = SpanRecorder()
+
+
+def recorder() -> SpanRecorder:
+    """The process-wide span recorder (the ``/debug/vars`` source)."""
+    return _RECORDER
+
+
+@contextmanager
+def trace(name: str, **fields):
+    """Open a span named ``name`` as a child of the current context.
+
+    The span inherits the context's trace ID (minting one if absent)
+    and becomes the current span for the duration, so nested ``trace``
+    calls build a parent/child chain.  On exit the span is finished,
+    recorded, and emitted as a JSONL log record; an exception marks
+    the span's ``error`` field and propagates.
+    """
+    parent = _CURRENT_SPAN.get()
+    span = Span(
+        name,
+        trace_id=current_trace_id(),
+        parent_id=parent.span_id if parent is not None else None,
+        fields=fields,
+    )
+    token = _CURRENT_SPAN.set(span)
+    try:
+        yield span
+    except BaseException as exc:
+        span.error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        _CURRENT_SPAN.reset(token)
+        span.finish()
+        _RECORDER.record(span)
+        _emit(span)
+
+
+def _emit(span: Span) -> None:
+    # Local import: obs.logging imports nothing from here at call time,
+    # but keeping the tracer importable without the logging module
+    # avoids any chance of an import cycle.
+    from repro.obs.logging import emit_span
+
+    emit_span(span)

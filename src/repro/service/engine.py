@@ -52,6 +52,7 @@ class QueryEngine:
         index: RelationshipIndex | None = None,
         delta_sink=None,
         kernel: str = "auto",
+        storage_info=None,
     ):
         self.result = result
         self.space = space
@@ -70,6 +71,9 @@ class QueryEngine:
         # write lock, before the write is acknowledged.
         self.delta_sink = delta_sink
         self.wal_appends = 0
+        # Zero-arg callable returning storage-layer facts (e.g.
+        # ``SegmentStore.describe``); surfaced by stats()/healthz.
+        self.storage_info = storage_info
 
     # ------------------------------------------------------------------
     # Cache plumbing: compute() runs under the read lock, so the
@@ -286,7 +290,7 @@ class QueryEngine:
         from repro.core.kernels import kernel_counters
 
         with self.lock.read_locked():
-            return {
+            stats = {
                 "generation": self.generation,
                 "observations": len(self.space) if self.space is not None else None,
                 "index": self.index.stats(),
@@ -299,6 +303,12 @@ class QueryEngine:
                 # evaluations served by repro.core.kernels)
                 "kernels": kernel_counters(),
             }
+            if self.storage_info is not None:
+                try:
+                    stats["storage"] = self.storage_info()
+                except (OSError, StorageError) as exc:
+                    stats["storage"] = {"error": str(exc)}
+            return stats
 
     # ------------------------------------------------------------------
     # Incremental writes

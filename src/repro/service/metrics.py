@@ -1,31 +1,48 @@
 """Service metrics in Prometheus text exposition format.
 
 :class:`ServiceMetrics` collects per-endpoint request counters and
-latency histograms; :meth:`ServiceMetrics.render` emits them together
-with engine gauges (cache hit rate, index generation, pair counts) as
-``text/plain; version=0.0.4`` — the format Prometheus scrapes, also
-perfectly readable with ``curl``.
+latency histograms on a *private* :class:`~repro.obs.registry.
+MetricsRegistry` (so parallel server instances and tests never share
+request state), and :meth:`ServiceMetrics.render` emits them together
+with engine gauges (cache hit rate, index generation, pair counts)
+**and** the process-wide registry of :func:`repro.obs.registry.
+get_registry` — kernel dispatch, cubeMasking pruning, runner/parallel
+resilience, storage I/O, build info — as ``text/plain; version=0.0.4``,
+the format Prometheus scrapes, also perfectly readable with ``curl``.
 
-Only stdlib: counters under one mutex, histogram as cumulative fixed
-buckets (the standard Prometheus layout: every observation lands in
-all buckets with ``le`` >= its value, plus ``+Inf``).
+Label values are escaped per the exposition format (``\\``, ``"`` and
+newlines); the registry primitives own that logic.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    format_value,
+    get_registry,
+)
 
 __all__ = ["ServiceMetrics"]
 
 #: Upper bounds (seconds) of the latency histogram buckets.
-LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+LATENCY_BUCKETS = DEFAULT_BUCKETS
 
-
-def _format_value(value: float) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
-    return repr(value) if isinstance(value, float) else str(value)
+#: Engine-stats gauges emitted alongside the request series.  The
+#: kernel counters deliberately do NOT appear here: the process-wide
+#: registry already renders ``repro_kernel_*_total`` first-hand, and
+#: one scrape must never carry the same series twice.
+_ENGINE_GAUGES = (
+    ("repro_cache_hits_total", "Query-cache hits.", "counter", ("cache", "hits")),
+    ("repro_cache_misses_total", "Query-cache misses.", "counter", ("cache", "misses")),
+    ("repro_cache_evictions_total", "Query-cache LRU evictions.", "counter", ("cache", "evictions")),
+    ("repro_cache_hit_ratio", "Query-cache hit ratio.", "gauge", ("cache", "hit_rate")),
+    ("repro_cache_entries", "Live query-cache entries.", "gauge", ("cache", "size")),
+    ("repro_index_generation", "Index generation (bumps on every incremental write).", "gauge", ("generation",)),
+    ("repro_index_full_pairs", "Indexed full-containment pairs.", "gauge", ("index", "full_pairs")),
+    ("repro_index_partial_pairs", "Indexed partial-containment pairs.", "gauge", ("index", "partial_pairs")),
+    ("repro_index_complementary_pairs", "Indexed complementarity pairs.", "gauge", ("index", "complementary_pairs")),
+)
 
 
 class ServiceMetrics:
@@ -33,87 +50,59 @@ class ServiceMetrics:
 
     def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS):
         self.buckets = tuple(sorted(buckets))
-        self._lock = threading.Lock()
-        # (endpoint, status) -> request count
-        self._requests: dict[tuple[str, int], int] = {}
-        # endpoint -> [per-bucket counts..., +Inf count]
-        self._histogram: dict[str, list[int]] = {}
-        self._latency_sum: dict[str, float] = {}
-        self._latency_count: dict[str, int] = {}
+        self._registry = MetricsRegistry()
+        self._requests = self._registry.counter(
+            "repro_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            labelnames=("endpoint", "status"),
+        )
+        self._latency = self._registry.histogram(
+            "repro_request_latency_seconds",
+            "Request latency, by endpoint.",
+            buckets=self.buckets,
+            labelnames=("endpoint",),
+        )
 
     # ------------------------------------------------------------------
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one served request."""
-        with self._lock:
-            key = (endpoint, status)
-            self._requests[key] = self._requests.get(key, 0) + 1
-            counts = self._histogram.setdefault(endpoint, [0] * (len(self.buckets) + 1))
-            counts[bisect_left(self.buckets, seconds)] += 1
-            self._latency_sum[endpoint] = self._latency_sum.get(endpoint, 0.0) + seconds
-            self._latency_count[endpoint] = self._latency_count.get(endpoint, 0) + 1
+        self._requests.inc(endpoint=endpoint, status=int(status))
+        self._latency.observe(seconds, endpoint=endpoint)
 
     def request_count(self, endpoint: str | None = None) -> int:
-        with self._lock:
-            if endpoint is None:
-                return sum(self._requests.values())
-            return sum(
-                count for (ep, _), count in self._requests.items() if ep == endpoint
+        return int(
+            sum(
+                value
+                for labels, value in self._requests.items()
+                if endpoint is None or labels["endpoint"] == endpoint
             )
+        )
 
     # ------------------------------------------------------------------
     def render(self, engine_stats: dict | None = None) -> str:
-        """The metrics page body (Prometheus text exposition)."""
-        lines: list[str] = []
-        with self._lock:
-            lines.append("# HELP repro_requests_total HTTP requests served, by endpoint and status.")
-            lines.append("# TYPE repro_requests_total counter")
-            for (endpoint, status), count in sorted(self._requests.items()):
-                lines.append(
-                    f'repro_requests_total{{endpoint="{endpoint}",status="{status}"}} {count}'
-                )
-            lines.append("# HELP repro_request_latency_seconds Request latency, by endpoint.")
-            lines.append("# TYPE repro_request_latency_seconds histogram")
-            for endpoint in sorted(self._histogram):
-                counts = self._histogram[endpoint]
-                cumulative = 0
-                for bound, count in zip(self.buckets, counts):
-                    cumulative += count
-                    lines.append(
-                        f'repro_request_latency_seconds_bucket{{endpoint="{endpoint}",le="{bound}"}} {cumulative}'
-                    )
-                cumulative += counts[-1]
-                lines.append(
-                    f'repro_request_latency_seconds_bucket{{endpoint="{endpoint}",le="+Inf"}} {cumulative}'
-                )
-                lines.append(
-                    f'repro_request_latency_seconds_sum{{endpoint="{endpoint}"}} '
-                    f"{self._latency_sum[endpoint]!r}"
-                )
-                lines.append(
-                    f'repro_request_latency_seconds_count{{endpoint="{endpoint}"}} '
-                    f"{self._latency_count[endpoint]}"
-                )
+        """The metrics page body (Prometheus text exposition).
+
+        Request series first, then the engine gauges, then the
+        process-wide registry — three disjoint name sets, one scrape.
+        """
+        parts = [self._registry.render()]
         if engine_stats:
-            cache = engine_stats.get("cache", {})
-            index = engine_stats.get("index", {})
-            kernels = engine_stats.get("kernels", {})
-            gauges = [
-                ("repro_kernel_calls_total", "Vectorised cube-pair kernel invocations.", "counter", kernels.get("kernel_calls", 0)),
-                ("repro_kernel_pairs_total", "Observation pairs scored by the vectorised kernel.", "counter", kernels.get("kernel_pairs", 0)),
-                ("repro_kernel_ns_total", "Nanoseconds spent inside the vectorised kernel.", "counter", kernels.get("kernel_ns", 0)),
-                ("repro_cache_hits_total", "Query-cache hits.", "counter", cache.get("hits", 0)),
-                ("repro_cache_misses_total", "Query-cache misses.", "counter", cache.get("misses", 0)),
-                ("repro_cache_evictions_total", "Query-cache LRU evictions.", "counter", cache.get("evictions", 0)),
-                ("repro_cache_hit_ratio", "Query-cache hit ratio.", "gauge", cache.get("hit_rate", 0.0)),
-                ("repro_cache_entries", "Live query-cache entries.", "gauge", cache.get("size", 0)),
-                ("repro_index_generation", "Index generation (bumps on every incremental write).", "gauge", engine_stats.get("generation", 0)),
-                ("repro_index_full_pairs", "Indexed full-containment pairs.", "gauge", index.get("full_pairs", 0)),
-                ("repro_index_partial_pairs", "Indexed partial-containment pairs.", "gauge", index.get("partial_pairs", 0)),
-                ("repro_index_complementary_pairs", "Indexed complementarity pairs.", "gauge", index.get("complementary_pairs", 0)),
-                ("repro_observations", "Observations in the served space.", "gauge", engine_stats.get("observations") or index.get("observations", 0)),
-            ]
-            for name, help_text, kind, value in gauges:
+            lines: list[str] = []
+            observations = engine_stats.get("observations") or engine_stats.get(
+                "index", {}
+            ).get("observations", 0)
+            for name, help_text, kind, path in _ENGINE_GAUGES:
+                value = engine_stats
+                for key in path:
+                    value = value.get(key, {}) if isinstance(value, dict) else 0
+                if isinstance(value, dict):
+                    value = 0
                 lines.append(f"# HELP {name} {help_text}")
                 lines.append(f"# TYPE {name} {kind}")
-                lines.append(f"{name} {_format_value(value)}")
-        return "\n".join(lines) + "\n"
+                lines.append(f"{name} {format_value(value)}")
+            lines.append("# HELP repro_observations Observations in the served space.")
+            lines.append("# TYPE repro_observations gauge")
+            lines.append(f"repro_observations {format_value(observations)}")
+            parts.append("\n".join(lines) + "\n")
+        parts.append(get_registry().render())
+        return "".join(part for part in parts if part)

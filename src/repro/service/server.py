@@ -33,6 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.errors import ReproError, ServiceError, UnknownObservationError
+from repro.obs.tracing import bind_trace, new_trace_id, recorder, trace
 from repro.rdf.terms import URIRef
 from repro.service.engine import QueryEngine
 from repro.service.metrics import ServiceMetrics
@@ -70,6 +71,9 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -79,29 +83,38 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         query = {key: values[-1] for key, values in parse_qs(split.query).items()}
         endpoint = "unknown"
         status = 500
+        # The request's trace ID: honoured from the caller's
+        # ``X-Trace-Id`` header (so a client can stitch our spans into
+        # its own trace), minted otherwise; echoed on every response.
+        self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
         started = time.perf_counter()
-        try:
-            endpoint, status, payload, content_type = self._route(method, segments, query)
-            self._reply(status, payload, content_type)
-        except _HTTPError as exc:
-            status = exc.status
-            self._reply(status, {"error": str(exc)})
-        except UnknownObservationError as exc:
-            status = 404
-            self._reply(status, {"error": str(exc)})
-        except ServiceError as exc:
-            status = 409
-            self._reply(status, {"error": str(exc)})
-        except ReproError as exc:
-            status = 400
-            self._reply(status, {"error": str(exc)})
-        except BrokenPipeError:
-            status = 499  # client went away; nothing to send
-        except Exception as exc:  # pragma: no cover - defensive
-            status = 500
-            self._reply(status, {"error": f"internal error: {exc}"})
-        finally:
-            self.server.metrics.observe(endpoint, status, time.perf_counter() - started)
+        with bind_trace(self._trace_id), trace(
+            "http.request", method=method, path=split.path
+        ) as span:
+            try:
+                endpoint, status, payload, content_type = self._route(method, segments, query)
+                self._reply(status, payload, content_type)
+            except _HTTPError as exc:
+                status = exc.status
+                self._reply(status, {"error": str(exc)})
+            except UnknownObservationError as exc:
+                status = 404
+                self._reply(status, {"error": str(exc)})
+            except ServiceError as exc:
+                status = 409
+                self._reply(status, {"error": str(exc)})
+            except ReproError as exc:
+                status = 400
+                self._reply(status, {"error": str(exc)})
+            except BrokenPipeError:
+                status = 499  # client went away; nothing to send
+            except Exception as exc:  # pragma: no cover - defensive
+                status = 500
+                self._reply(status, {"error": f"internal error: {exc}"})
+            finally:
+                span.fields["endpoint"] = endpoint
+                span.fields["status"] = status
+                self.server.metrics.observe(endpoint, status, time.perf_counter() - started)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -130,6 +143,9 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                     # probe surfaces it so operators can alert on a
                     # serve process that silently lost its WAL.
                     "persistence": stats["persistence"],
+                    # Storage-layer facts (segment count, WAL tail, last
+                    # repair) when the engine fronts a segment store.
+                    **({"storage": stats["storage"]} if "storage" in stats else {}),
                 },
                 "application/json",
             )
@@ -138,6 +154,16 @@ class RelationshipHandler(BaseHTTPRequestHandler):
             return "metrics", 200, body, "text/plain; version=0.0.4; charset=utf-8"
         if segments == ["stats"] and method == "GET":
             return "stats", 200, engine.stats(), "application/json"
+        if segments == ["debug", "vars"] and method == "GET":
+            from repro.obs.registry import get_registry
+
+            spans = recorder()
+            payload = {
+                "metrics": get_registry().snapshot(),
+                "top_spans": spans.top_spans(20),
+                "recent_spans": spans.recent(20),
+            }
+            return "debug-vars", 200, payload, "application/json"
         if not segments or segments[0] != "observations":
             raise _HTTPError(404, f"no route for {'/'.join(segments) or '/'}")
 
@@ -309,6 +335,12 @@ class RelationshipServer(ThreadingHTTPServer):
         self.engine = engine
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.verbose = verbose
+        # Every instrumented layer's series shows up (zero-valued) on
+        # the very first /metrics scrape instead of trickling in as
+        # compute and storage paths first run.
+        from repro.obs import preregister
+
+        preregister()
 
 
 def start_server(

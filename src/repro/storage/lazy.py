@@ -65,10 +65,18 @@ class SegmentRelationshipSet(RelationshipSet):
         with self.__dict__["_build_lock"]:
             if self.__dict__.get("_loaded"):
                 return
+            from repro.obs.registry import get_registry
+            from repro.obs.tracing import trace
+
+            get_registry().counter(
+                "repro_storage_lazy_materialisations_total",
+                "Lazy segment views materialised on first access.",
+            ).inc()
             # Decode fully before assigning anything: a load failure
             # leaves every slot unset, so the next access retries
             # instead of serving empty sets.
-            loaded = self._store.load()
+            with trace("storage.materialise"):
+                loaded = self._store.load()
             self.full = loaded.full
             self.partial = loaded.partial
             self.complementary = loaded.complementary

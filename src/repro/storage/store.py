@@ -59,6 +59,7 @@ except ImportError:  # pragma: no cover - non-POSIX: no cross-process lock
 
 from repro.errors import StorageError
 from repro.core.results import RelationshipDelta, RelationshipSet
+from repro.obs.tracing import trace
 from repro.rdf.terms import URIRef
 from repro.storage.format import SEGMENT_VERSION, decode_segment, encode_segment, segment_counts
 from repro.storage.wal import WriteAheadLog, replay_into
@@ -78,6 +79,40 @@ MANIFEST_NAME = "MANIFEST.json"
 LOCK_NAME = ".lock"
 SEGMENT_STORE_FORMAT = "repro-segments"
 SEGMENT_STORE_VERSION = 1
+
+# Registry metrics resolved once per process; see docs/observability.md.
+_METRICS = None
+
+
+def _metrics():
+    global _METRICS
+    if _METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _METRICS = {
+            "segment_loads": registry.counter(
+                "repro_storage_segment_loads_total",
+                "Immutable segment files decoded (mmap + parse).",
+            ),
+            "mmap_bytes": registry.counter(
+                "repro_storage_mmap_bytes_total",
+                "Segment bytes memory-mapped for decoding.",
+            ),
+            "generations": registry.counter(
+                "repro_storage_generations_total",
+                "Segment generations committed (writes and compactions).",
+            ),
+            "bytes_written": registry.counter(
+                "repro_storage_segment_bytes_written_total",
+                "Segment bytes written across committed generations.",
+            ),
+            "compactions": registry.counter(
+                "repro_storage_compactions_total",
+                "WAL-folding compactions completed.",
+            ),
+        }
+    return _METRICS
 
 #: Manifest key for pairs whose container is unknown to the space (or
 #: when no space was supplied): the single default partition.
@@ -241,7 +276,8 @@ class SegmentStore:
         held = self._lock_handle is not None
         self.acquire_writer_lock()
         try:
-            self._write_locked(result, space)
+            with trace("storage.write"):
+                self._write_locked(result, space)
         finally:
             if not held:
                 self.release_writer_lock()
@@ -292,6 +328,9 @@ class SegmentStore:
         atomic_write_text(self.path / MANIFEST_NAME, json.dumps(manifest, indent=2))
         old_manifest, self.manifest = self.manifest, manifest
         self._cleanup(old_manifest)
+        metrics = _metrics()
+        metrics["generations"].inc()
+        metrics["bytes_written"].inc(sum(entry["bytes"] for entry in entries))
 
     def _cleanup(self, old_manifest: dict) -> None:
         keep = {entry["name"] for entry in self.manifest.get("segments", ())}
@@ -314,6 +353,9 @@ class SegmentStore:
                 size = os.fstat(handle.fileno()).st_size
                 if size == 0:
                     raise StorageError(f"{path}: empty segment file")
+                metrics = _metrics()
+                metrics["segment_loads"].inc()
+                metrics["mmap_bytes"].inc(size)
                 view = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
                 try:
                     return decode_segment(view, context=str(path))
@@ -332,22 +374,25 @@ class SegmentStore:
 
     def load(self, apply_wal: bool = True, verify_manifest: bool = True) -> RelationshipSet:
         """Eagerly decode every segment (and replay the WAL) into a set."""
-        result = RelationshipSet()
-        for entry in self.manifest.get("segments", ()):
-            part = self._decode_file(entry["name"])
-            if verify_manifest:
-                counts = segment_counts(part)
-                for field in ("full", "partial", "complementary"):
-                    if counts[field] != entry.get(field):
-                        raise StorageError(
-                            f"segment {entry['name']}: manifest promises "
-                            f"{entry.get(field)} {field} pair(s), file holds {counts[field]}"
-                        )
-            result.merge(part)
-        if apply_wal:
-            records, _ = self.wal.records()
-            replay_into(result, records)
-        return result
+        with trace(
+            "storage.load", segments=len(self.manifest.get("segments", ()))
+        ):
+            result = RelationshipSet()
+            for entry in self.manifest.get("segments", ()):
+                part = self._decode_file(entry["name"])
+                if verify_manifest:
+                    counts = segment_counts(part)
+                    for field in ("full", "partial", "complementary"):
+                        if counts[field] != entry.get(field):
+                            raise StorageError(
+                                f"segment {entry['name']}: manifest promises "
+                                f"{entry.get(field)} {field} pair(s), file holds {counts[field]}"
+                            )
+                result.merge(part)
+            if apply_wal:
+                records, _ = self.wal.records()
+                replay_into(result, records)
+            return result
 
     def load_subset(
         self,
@@ -458,9 +503,11 @@ class SegmentStore:
         held = self._lock_handle is not None
         self.acquire_writer_lock()
         try:
-            records, _ = self.wal.records()
-            result = self.load(apply_wal=True)
-            self.write(result, space)
+            with trace("storage.compact"):
+                records, _ = self.wal.records()
+                result = self.load(apply_wal=True)
+                self.write(result, space)
+                _metrics()["compactions"].inc()
         finally:
             if not held:
                 self.release_writer_lock()
@@ -489,6 +536,7 @@ class SegmentStore:
             "bytes": segment_bytes + self.wal.size_bytes(),
             "wal_records": wal_records,
             "wal_bytes": self.wal.size_bytes(),
+            "last_repair": self.wal.last_repair,
             "totals": self.totals(),
         }
 

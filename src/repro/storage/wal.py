@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from pathlib import Path
 
@@ -50,6 +51,36 @@ __all__ = [
     "set_from_payload",
     "replay_into",
 ]
+
+# Registry metrics resolved once per process; see docs/observability.md.
+_METRICS = None
+
+
+def _metrics():
+    global _METRICS
+    if _METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _METRICS = {
+            "appends": registry.counter(
+                "repro_wal_appends_total",
+                "Records durably appended to write-ahead logs.",
+            ),
+            "append_bytes": registry.counter(
+                "repro_wal_append_bytes_total",
+                "Bytes durably appended to write-ahead logs.",
+            ),
+            "repairs": registry.counter(
+                "repro_wal_repairs_total",
+                "Torn WAL tails dropped during replay or reopen.",
+            ),
+            "replayed": registry.counter(
+                "repro_wal_replayed_records_total",
+                "WAL records folded into live relationship state.",
+            ),
+        }
+    return _METRICS
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +193,9 @@ class WriteAheadLog:
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self._handle = None
+        #: Unix timestamp of the last torn-tail repair this instance
+        #: performed, or ``None``; surfaced by ``SegmentStore.describe``.
+        self.last_repair: float | None = None
 
     # -- writing -------------------------------------------------------
     def open(self, truncate: bool = False) -> None:
@@ -218,6 +252,9 @@ class WriteAheadLog:
         self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        metrics = _metrics()
+        metrics["appends"].inc()
+        metrics["append_bytes"].inc(len(line.encode("utf-8")))
 
     def append_delta(self, delta: RelationshipDelta) -> None:
         self.append({"type": "delta", **delta_to_payload(delta)})
@@ -250,6 +287,8 @@ class WriteAheadLog:
                         atomic_write_text(
                             self.path, "".join(l + "\n" for l in lines[:index])
                         )
+                        self.last_repair = time.time()
+                        _metrics()["repairs"].inc()
                     break
                 raise StorageError(
                     f"corrupt WAL {self.path} at record {index + 1}: CRC mismatch"
@@ -305,4 +344,6 @@ def replay_into(result: RelationshipSet, records) -> int:
             continue
         else:
             raise StorageError(f"unknown WAL record type {kind!r}")
+    if applied:
+        _metrics()["replayed"].inc(applied)
     return applied

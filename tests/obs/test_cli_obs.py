@@ -1,0 +1,95 @@
+"""CLI observability flags: ``compute --trace/--profile`` and
+``inspect --stats``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.obs.test_tracing import ENVELOPE_KEYS, FIELD_KEYS
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.ttl"
+    code = main(["generate", "--kind", "realworld", "--scale", "0.001",
+                 "--seed", "7", "--output", str(path)])
+    assert code == 0
+    return path
+
+
+class TestComputeTrace:
+    def test_trace_writes_jsonl(self, corpus_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        out = tmp_path / "links.nt"
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking", "--targets", "full",
+                     "--output", str(out), "--trace", str(trace_path)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "# trace " in err
+        lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert lines, "trace file is empty"
+        spans = [line for line in lines if line["event"] == "span"]
+        names = {line["span"] for line in spans}
+        # The top-level phases all show up...
+        assert {"cli.load", "cli.compute", "cli.store"} <= names
+        # ...as do the nested compute internals.
+        assert any(name.startswith("cubemask.") for name in names)
+        for line in spans:
+            assert ENVELOPE_KEYS <= set(line)
+            assert FIELD_KEYS <= set(line["fields"])
+        # One run, one trace ID on every record.
+        assert len({line["trace_id"] for line in spans}) == 1
+
+    def test_trace_spans_cover_wall_time(self, corpus_file, tmp_path):
+        """Top-level spans account for (almost) the whole run."""
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking",
+                     "--output", str(tmp_path / "links.nt"),
+                     "--trace", str(trace_path)])
+        assert code == 0
+        spans = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        tops = [s for s in spans if s["fields"]["parent_id"] is None]
+        start = min(s["fields"]["start"] for s in spans)
+        end = max(
+            s["fields"]["start"] + s["fields"]["duration_ns"] / 1e9 for s in spans
+        )
+        covered = sum(s["fields"]["duration_ns"] for s in tops) / 1e9
+        assert covered >= 0.9 * (end - start)
+
+    def test_profile_prints_table(self, corpus_file, tmp_path, capsys):
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking",
+                     "--output", str(tmp_path / "links.nt"), "--profile"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "wall-clock sampling profile" in err
+
+
+class TestInspectStats:
+    def test_inspect_stats_on_segment_store(self, corpus_file, tmp_path, capsys):
+        store = tmp_path / "links.rseg"
+        code = main(["compute", "--input", str(corpus_file),
+                     "--method", "cube_masking", "-o", str(store)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["inspect", "--input", str(store), "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "storage:" in out
+        assert "segments:" in out
+        assert "wal tail:" in out
+        assert "last repair:" in out
+        assert "repro_storage_segment_loads_total" in out
+
+    def test_inspect_without_stats_unchanged(self, corpus_file, tmp_path, capsys):
+        store = tmp_path / "links.rseg"
+        main(["compute", "--input", str(corpus_file),
+              "--method", "cube_masking", "-o", str(store)])
+        capsys.readouterr()
+        code = main(["inspect", "--input", str(store)])
+        assert code == 0
+        assert "storage counters" not in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Sampling wall-clock profiler."""
+
+import time
+
+from repro.obs.profile import SamplingProfiler
+
+
+def _spin(deadline: float) -> None:
+    while time.perf_counter() < deadline:
+        sum(i * i for i in range(200))
+
+
+class TestSamplingProfiler:
+    def test_captures_hot_function(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            _spin(time.perf_counter() + 0.15)
+        assert profiler.samples > 10
+        assert profiler.elapsed >= 0.1
+        data = profiler.as_dict(limit=10)
+        names = [row["function"] for row in data["rows"]]
+        assert any("_spin" in name or "<genexpr>" in name for name in names)
+
+    def test_report_is_a_table(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            _spin(time.perf_counter() + 0.05)
+        report = profiler.report(limit=5)
+        assert "self%" in report
+        assert "samples" in report
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(interval=0.001).start()
+        profiler.stop()
+        profiler.stop()
+        assert profiler.samples >= 0
+
+    def test_zero_work_profile(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.start()
+        profiler.stop()
+        data = profiler.as_dict()
+        assert data["samples"] == profiler.samples

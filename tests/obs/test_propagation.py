@@ -1,0 +1,65 @@
+"""Trace-ID propagation into the shared-memory pool fan-out, and the
+exposition validator's command-line entry point."""
+
+from repro.core.parallel import build_cubemask_state, prepare_shared_fanout
+from repro.obs.tracing import bind_trace
+
+from tests.conftest import make_random_space
+from tests.exposition import main as exposition_main
+
+
+class TestWorkerPropagation:
+    def test_fanout_meta_carries_trace_id(self):
+        """Worker initializer metadata ships the parent's trace ID, so
+        worker-side spans join the same trace."""
+        space = make_random_space(40, seed=13)
+        state = build_cubemask_state(space, ("full",))
+        with bind_trace("beefbeefbeefbeefbeefbeefbeefbeef"):
+            segment, meta = prepare_shared_fanout(state)
+        try:
+            assert meta["trace_id"] == "beefbeefbeefbeefbeefbeefbeefbeef"
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_fanout_meta_without_trace(self):
+        space = make_random_space(40, seed=13)
+        state = build_cubemask_state(space, ("full",))
+        segment, meta = prepare_shared_fanout(state)
+        try:
+            assert meta["trace_id"] is None
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestExpositionCli:
+    def test_valid_payload_passes(self, tmp_path, capsys):
+        payload = (
+            "# HELP x_total X.\n# TYPE x_total counter\nx_total 3\n"
+        )
+        path = tmp_path / "metrics.txt"
+        path.write_text(payload)
+        code = exposition_main([str(path), "--require", "x_total"])
+        assert code == 0
+        assert "exposition OK" in capsys.readouterr().out
+
+    def test_missing_requirement_fails(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        path.write_text("# TYPE a gauge\na 1\n")
+        code = exposition_main([str(path), "--require", "missing_total"])
+        assert code == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_min_series_enforced(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        path.write_text("# TYPE a gauge\na 1\n")
+        code = exposition_main([str(path), "--min-series", "5"])
+        assert code == 1
+
+    def test_untyped_sample_rejected(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        path.write_text("orphan_total 3\n")
+        code = exposition_main([str(path)])
+        assert code == 1
+        assert "no preceding # TYPE" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""Span tracer: nesting, context propagation, recorder, JSONL schema."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import configure_jsonl, remove_handler
+from repro.obs.tracing import (
+    Span,
+    bind_trace,
+    current_span,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+    recorder,
+    set_trace_id,
+    trace,
+)
+
+#: Keys every span JSONL record must carry (the stable schema the
+#: docs promise to downstream tooling).
+ENVELOPE_KEYS = {"ts", "level", "logger", "event", "trace_id", "span", "fields"}
+FIELD_KEYS = {"span_id", "parent_id", "start", "duration_ns"}
+
+
+class TestIds:
+    def test_ids_are_unique_hex(self):
+        ids = {new_trace_id() for _ in range(64)} | {new_span_id() for _ in range(64)}
+        assert len(ids) == 128
+        for value in ids:
+            int(value, 16)
+
+
+class TestContext:
+    def test_bind_trace_mints_and_restores(self):
+        assert current_trace_id() is None
+        with bind_trace() as trace_id:
+            assert current_trace_id() == trace_id
+            with bind_trace("feedface") as inner:
+                assert inner == "feedface"
+                assert current_trace_id() == "feedface"
+            assert current_trace_id() == trace_id
+        assert current_trace_id() is None
+
+    def test_set_trace_id_for_workers(self):
+        token = set_trace_id("cafe01")
+        try:
+            assert current_trace_id() == "cafe01"
+        finally:
+            set_trace_id(None)
+            assert current_trace_id() is None
+        assert token is not None
+
+
+class TestSpans:
+    def test_nesting_links_parent(self):
+        with trace("outer") as outer:
+            assert current_span() is outer
+            with trace("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            assert current_span() is outer
+        assert current_span() is None
+        assert outer.finished
+        assert outer.duration_ns > 0
+
+    def test_fields_survive_and_grow(self):
+        with trace("work", size=3) as span:
+            span.fields["extra"] = "yes"
+        record = span.to_record()
+        assert record["fields"]["size"] == 3
+        assert record["fields"]["extra"] == "yes"
+
+    def test_exception_marks_error_and_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with trace("failing") as span:
+                raise RuntimeError("boom")
+        assert span.finished
+        assert "boom" in span.error
+
+    def test_recorder_sees_spans(self):
+        marker = f"recorded-{new_span_id()}"
+        with trace(marker):
+            pass
+        names = [entry["span"] for entry in recorder().recent(limit=10)]
+        assert marker in names
+
+    def test_top_spans_ranked_by_time(self):
+        spans = recorder().top_spans(limit=5)
+        assert len(spans) <= 5
+        totals = [entry["total_ns"] for entry in spans]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestJsonl:
+    def test_span_jsonl_schema(self, tmp_path):
+        stream = io.StringIO()
+        handler = configure_jsonl(stream)
+        try:
+            with bind_trace() as trace_id:
+                with trace("outer", stage="demo"):
+                    with trace("inner"):
+                        pass
+        finally:
+            remove_handler(handler)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        spans = [line for line in lines if line["event"] == "span"]
+        assert {line["span"] for line in spans} >= {"outer", "inner"}
+        for line in spans:
+            assert ENVELOPE_KEYS <= set(line)
+            assert FIELD_KEYS <= set(line["fields"])
+            assert line["trace_id"] == trace_id
+        inner = next(line for line in spans if line["span"] == "inner")
+        outer = next(line for line in spans if line["span"] == "outer")
+        assert inner["fields"]["parent_id"] == outer["fields"]["span_id"]
+        assert outer["fields"]["stage"] == "demo"
+
+    def test_no_emission_without_handler(self):
+        """Tracing without a JSONL sink stays silent and cheap."""
+        with trace("quiet") as span:
+            pass
+        assert span.finished
+
+
+class TestSpanRecord:
+    def test_manual_span_lifecycle(self):
+        span = Span("manual", trace_id="abc")
+        assert not span.finished
+        span.finish()
+        assert span.finished
+        record = span.to_record()
+        assert record["span"] == "manual"
+        assert record["trace_id"] == "abc"
