@@ -1,0 +1,181 @@
+"""Chaos benchmark: crash consistency at scale, fail-fast under faults.
+
+Three phases, all driven through the :mod:`repro.resilience` seam (no
+monkeypatching — the same named fault sites ``repro serve --chaos``
+exposes):
+
+1. **Crash consistency** — the acceptance run for the storage engine's
+   durability protocol: ≥200 randomized SIGKILL points (forked writers
+   hard-exited mid-``wal.append``/``wal.fsync``/``segment.write``/
+   ``manifest.commit``, torn appends included).  Every trial must
+   recover with zero silent data loss and zero unrecoverable states;
+   the phase prints the per-crash-point distribution so uncovered
+   sites are visible.
+2. **Fail-fast** — storage reads degraded by an injected 50 ms delay
+   per segment decode; the circuit breaker's latency trigger must trip
+   and convert ~50 ms stalls into microsecond rejections.
+3. **Load shedding** — concurrent clients against a deliberately tiny
+   admission bound on a live HTTP server with slow handlers; overload
+   must surface as fast 503s, not queue collapse.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick] [--points N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.core import compute_baseline
+from repro.data.synthetic import build_synthetic_space
+from repro.errors import CircuitOpenError
+from repro.resilience.breaker import OPEN, CircuitBreaker
+from repro.resilience.chaos import build_seed_store, run_crash_trials
+from repro.resilience.faults import clear_injector, install_injector
+from repro.resilience.shed import LoadShedder
+from repro.service import QueryEngine, start_server
+from repro.storage import SegmentStore
+
+
+def bench_crash_consistency(points: int, seed: int = 0) -> dict:
+    print(f"crash consistency — {points} randomized SIGKILL points")
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+
+        def progress(done, total, outcome):
+            if done % 50 == 0 or done == total:
+                print(f"  {done}/{total} trials, all consistent so far")
+
+        report = run_crash_trials(Path(scratch), points=points, seed=seed, progress=progress)
+    elapsed = time.perf_counter() - started
+    print(f"  {report['crashed']} crashed / {report['clean']} ran clean in {elapsed:.1f}s")
+    for point, count in report["by_crash_point"].items():
+        print(f"    {point}: {count} trials")
+    print("  zero silent losses, zero unrecoverable states")
+    return {**report, "seconds": elapsed}
+
+
+def bench_breaker_fail_fast(reads: int = 40) -> dict:
+    print(f"fail-fast — {reads} store loads against 50 ms/segment storage")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        store_dir = Path(scratch) / "links.rseg"
+        build_seed_store(store_dir)
+        store = SegmentStore.open(store_dir)
+        store.breaker = CircuitBreaker(
+            window=16,
+            min_samples=4,
+            latency_threshold=0.01,
+            latency_fraction=0.5,
+            reset_timeout=300.0,
+            name="bench",
+        )
+        install_injector("segment.read:delay:seconds=0.05:times=inf")
+        slow, rejected = [], []
+        try:
+            for _ in range(reads):
+                begin = time.perf_counter()
+                try:
+                    store.load(apply_wal=False)
+                    slow.append(time.perf_counter() - begin)
+                except CircuitOpenError:
+                    rejected.append(time.perf_counter() - begin)
+        finally:
+            clear_injector()
+            tripped = store.breaker.state == OPEN
+            store.close()
+    assert tripped, "latency trigger never tripped the breaker"
+    assert rejected, "no loads were rejected after the trip"
+    slow_ms = statistics.mean(slow) * 1e3
+    fast_us = statistics.mean(rejected) * 1e6
+    print(f"  {len(slow)} degraded loads: {slow_ms:.1f} ms mean")
+    print(f"  {len(rejected)} breaker rejections: {fast_us:.1f} us mean")
+    print(f"  fail-fast factor: {slow_ms * 1e3 / fast_us:.0f}x")
+    return {"slow_ms": slow_ms, "rejected_us": fast_us, "rejections": len(rejected)}
+
+
+def bench_load_shedding(clients: int = 12, per_client: int = 8) -> dict:
+    print(f"load shedding — {clients} clients x {per_client} requests, 2 admission slots")
+    space = build_synthetic_space(300, dimension_count=4, seed=11)
+    engine = QueryEngine(compute_baseline(space), space)
+    shedder = LoadShedder(max_inflight=2, max_queued=2, queue_timeout=0.05)
+    server = start_server(engine, shedder=shedder)
+    host, port = server.server_address
+    install_injector("http.handler:delay:seconds=0.02:times=inf")
+    statuses: dict[int, int] = {}
+    shed_latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client():
+        for _ in range(per_client):
+            begin = time.perf_counter()
+            try:
+                with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                    code = response.status
+            except urllib.error.HTTPError as exc:
+                code = exc.code
+                exc.close()
+            elapsed = time.perf_counter() - begin
+            with lock:
+                statuses[code] = statuses.get(code, 0) + 1
+                if code == 503:
+                    shed_latencies.append(elapsed)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    clear_injector()
+    server.shutdown()
+    server.server_close()
+    total = clients * per_client
+    served = statuses.get(200, 0)
+    shed = statuses.get(503, 0)
+    assert served + shed == total, f"unexpected statuses: {statuses}"
+    assert shed > 0, "overload never shed — bound too generous for the load"
+    shed_ms = statistics.mean(shed_latencies) * 1e3 if shed_latencies else 0.0
+    print(f"  {served} served / {shed} shed of {total} in {elapsed:.2f}s")
+    print(f"  mean shed turnaround: {shed_ms:.1f} ms (fast refusal, not a stall)")
+    return {"served": served, "shed": shed, "seconds": elapsed, "shed_ms": shed_ms}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small run (for CI smoke)")
+    parser.add_argument(
+        "--points", type=int, default=None, help="crash points (default 200, quick 25)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    points = args.points or (25 if args.quick else 200)
+
+    print("== chaos benchmark ==")
+    crash = bench_crash_consistency(points, seed=args.seed)
+    breaker = bench_breaker_fail_fast()
+    shed = bench_load_shedding()
+    print("== summary ==")
+    print(
+        f"crash consistency: {crash['points']} points "
+        f"({crash['crashed']} crashed), 0 losses, 0 unrecoverable"
+    )
+    print(
+        f"fail-fast: {breaker['slow_ms']:.1f} ms degraded load -> "
+        f"{breaker['rejected_us']:.0f} us breaker rejection"
+    )
+    print(f"load shedding: {shed['served']} served / {shed['shed']} shed, fast 503s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

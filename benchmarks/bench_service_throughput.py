@@ -11,6 +11,12 @@ Measures, on synthetic corpora (Section 4.2 generator):
    partial-containment-dense corpus: the generation-stamped LRU should
    serve a repeated query at least an order of magnitude faster than
    recomputing the merge/sort (the ISSUE's >=10x criterion).
+3. **Concurrent HTTP clients** against a live server, healthy and
+   **degraded** (a 10 ms handler delay injected on half the requests
+   through the ``repro.resilience`` fault seam, behind a bounded
+   admission queue).  The degraded column shows what the hardening
+   buys: throughput falls but tail latency stays bounded because
+   overload turns into fast 503s instead of an unbounded queue.
 
 Run with::
 
@@ -20,12 +26,19 @@ Run with::
 from __future__ import annotations
 
 import argparse
+import statistics
 import sys
+import threading
 import time
+import urllib.error
+import urllib.parse
+import urllib.request
 
 from repro.core import compute_cubemask
 from repro.data.synthetic import build_synthetic_space
-from repro.service import QueryEngine
+from repro.resilience.faults import clear_injector, install_injector
+from repro.resilience.shed import LoadShedder
+from repro.service import QueryEngine, start_server
 
 
 def _timed(label: str, fn):
@@ -115,6 +128,84 @@ def bench_cached_speedup(
     }
 
 
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _http_round(base: str, uris: list[str], clients: int, per_client: int) -> dict:
+    """Fan ``clients`` threads over point-lookup requests; tally the replies."""
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    lock = threading.Lock()
+
+    def worker(offset: int):
+        for i in range(per_client):
+            uri = urllib.parse.quote(uris[(offset + i) % len(uris)], safe="")
+            begin = time.perf_counter()
+            try:
+                with urllib.request.urlopen(f"{base}/observations/{uri}/containers") as r:
+                    code = r.status
+                    r.read()
+            except urllib.error.HTTPError as exc:
+                code = exc.code
+                exc.close()
+            elapsed = time.perf_counter() - begin
+            with lock:
+                statuses[code] = statuses.get(code, 0) + 1
+                if code == 200:
+                    latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(n * per_client,)) for n in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    served = statuses.get(200, 0)
+    return {
+        "qps": served / wall if wall else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3 if latencies else 0.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3 if latencies else 0.0,
+        "served": served,
+        "shed": statuses.get(503, 0),
+        "total": clients * per_client,
+    }
+
+
+def bench_concurrent_clients(n: int, clients: int = 8, per_client: int = 25, seed: int = 42) -> dict:
+    """Healthy vs degraded throughput over a live HTTP server."""
+    print(f"concurrent clients — n={n}, {clients} clients x {per_client} requests")
+    space = build_synthetic_space(n, dimension_count=4, seed=seed)
+    result = compute_cubemask(space, targets=("full", "complementary"))
+    engine = QueryEngine(result, space)
+    uris = [record.uri for record in space.observations[: 4 * clients]]
+    shedder = LoadShedder(max_inflight=4, max_queued=2 * clients, queue_timeout=0.25)
+    server = start_server(engine, shedder=shedder)
+    host, port = server.server_address
+    base = f"http://{host}:{port}"
+    try:
+        healthy = _http_round(base, uris, clients, per_client)
+        install_injector("http.handler:delay:seconds=0.01:p=0.5:times=inf")
+        try:
+            degraded = _http_round(base, uris, clients, per_client)
+        finally:
+            clear_injector()
+    finally:
+        server.shutdown()
+        server.server_close()
+    print(f"  {'mode':<9} {'qps':>8} {'p50 ms':>8} {'p99 ms':>8} {'served':>7} {'shed':>5}")
+    for mode, row in (("healthy", healthy), ("degraded", degraded)):
+        print(
+            f"  {mode:<9} {row['qps']:>8.0f} {row['p50_ms']:>8.2f} "
+            f"{row['p99_ms']:>8.2f} {row['served']:>7} {row['shed']:>5}"
+        )
+    return {"healthy": healthy, "degraded": degraded}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -125,16 +216,26 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     n_lookup = args.n_lookup or (2000 if args.quick else 10000)
     n_cache = args.n_cache or (500 if args.quick else 2000)
+    n_http = 300 if args.quick else 1000
+    clients = 4 if args.quick else 8
 
     print("== relationship service throughput ==")
     lookup = bench_point_lookups(n_lookup)
     cache = bench_cached_speedup(n_cache)
+    concurrent = bench_concurrent_clients(n_http, clients=clients)
     print("== summary ==")
     print(
         f"point lookups: {lookup['point_lookup_us']:.1f} us/query over "
         f"{lookup['pairs']} pairs (index build {lookup['build_s']:.2f}s)"
     )
     print(f"cache speedup: {cache['speedup']:.1f}x (target >= 10x)")
+    healthy, degraded = concurrent["healthy"], concurrent["degraded"]
+    print(
+        f"concurrent http: {healthy['qps']:.0f} qps healthy / "
+        f"{degraded['qps']:.0f} qps degraded "
+        f"(p99 {healthy['p99_ms']:.1f} -> {degraded['p99_ms']:.1f} ms, "
+        f"{degraded['shed']} shed)"
+    )
     return 0 if cache["speedup"] >= 10 else 1
 
 

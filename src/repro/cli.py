@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro compute  --input cube.ttl --method cube_masking -o links.rseg
     python -m repro generate --kind realworld --scale 0.01 --output corpus.ttl
@@ -9,6 +9,7 @@ Seven subcommands::
     python -m repro serve    --store links.rseg --input cube.ttl --port 8080
     python -m repro migrate  --input links.json --output links.rseg
     python -m repro compact  --store links.rseg --input cube.ttl
+    python -m repro scrub    --store links.rseg
 
 ``compute`` loads a QB cube from Turtle or N-Triples, computes the
 relationships with the chosen method and writes them back as RDF links
@@ -19,8 +20,12 @@ of a cube file, or the size/format/load-time and pair profile of a
 relationship store.  ``serve`` exposes a materialised store as the
 HTTP query service of :mod:`repro.service` — segment stores start in
 O(manifest) and journal every incremental write to their write-ahead
-log.  ``migrate`` converts a store between the three formats;
-``compact`` folds a segment store's WAL into fresh segments.
+log; the serving path is hardened with per-request deadlines, load
+shedding, a storage circuit breaker and graceful SIGTERM drain (see
+``docs/resilience.md``).  ``migrate`` converts a store between the
+three formats; ``compact`` folds a segment store's WAL into fresh
+segments.  ``scrub`` CRC-verifies a segment store and quarantines /
+repairs corruption.
 """
 
 from __future__ import annotations
@@ -265,12 +270,27 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.resilience.breaker import CircuitBreaker
+    from repro.resilience.faults import install_injector
+    from repro.resilience.shed import LoadShedder
     from repro.service import QueryEngine, start_server
     from repro.store import detect_store_kind, load_relationships
+
+    if args.chaos:
+        try:
+            install_injector(args.chaos)
+        except ValueError as exc:
+            raise ReproError(f"bad --chaos spec: {exc}") from exc
+        print(f"# chaos injection armed: {args.chaos}", file=sys.stderr)
 
     space = None
     if args.input:
         space = ObservationSpace.from_cubespace(load_cubespace(_read_graph(args.input)))
+    store = None
+    scrubber = None
     if detect_store_kind(args.store) == "segments":
         # Segment store: O(manifest) startup — the set materialises and
         # the index builds on first query — and every incremental write
@@ -282,6 +302,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # `repro compact` would rotate the WAL out from under our open
         # handle and silently drop acknowledged writes.
         store.acquire_writer_lock()
+        # Fail fast once the disk is evidently sick instead of letting
+        # every handler thread block on a dying device.
+        store.breaker = CircuitBreaker(
+            latency_threshold=args.breaker_latency, name="storage"
+        )
         result = store.relationship_set()
         engine = QueryEngine(
             result,
@@ -291,27 +316,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             delta_sink=store.append_delta,
             storage_info=store.describe,
         )
+        if args.scrub_interval > 0:
+            from repro.resilience.scrub import BackgroundScrubber
+
+            scrubber = BackgroundScrubber(store, interval=args.scrub_interval).start()
     else:
         try:
             result = load_relationships(args.store)
         except OSError as exc:
             raise ReproError(f"cannot read {args.store}: {exc}") from exc
         engine = QueryEngine(result, space, cache_size=args.cache_size)
-    mutable = "enabled" if space is not None else "disabled (no --input space)"
-    print(
-        f"# serving {result!r} on http://{args.host}:{args.port} "
-        f"(cache {args.cache_size}, writes {mutable})",
-        file=sys.stderr,
+
+    shedder = LoadShedder(
+        max_inflight=args.max_inflight,
+        max_queued=args.max_queued,
+        queue_timeout=args.queue_timeout,
     )
+    # The server runs on a background thread; the main thread parks on
+    # an event so SIGTERM/SIGINT can trigger a *graceful* stop — drain
+    # in-flight requests, then flush and unlock the store — instead of
+    # dying mid-request.
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
     try:
-        start_server(
-            engine, host=args.host, port=args.port, background=False, verbose=args.verbose
+        server = start_server(
+            engine,
+            host=args.host,
+            port=args.port,
+            background=True,
+            verbose=args.verbose,
+            request_timeout=args.request_timeout,
+            shedder=shedder,
         )
     except OSError as exc:
         raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
-    except KeyboardInterrupt:
-        print("repro: serve: shutting down", file=sys.stderr)
+    mutable = "enabled" if space is not None else "disabled (no --input space)"
+    bound_port = server.server_address[1]
+    print(
+        f"# serving {result!r} on http://{args.host}:{bound_port} "
+        f"(cache {args.cache_size}, writes {mutable}, "
+        f"max_inflight {args.max_inflight})",
+        file=sys.stderr,
+    )
+    try:
+        stop.wait()
+        print("repro: serve: draining in-flight requests", file=sys.stderr)
+        drained = server.graceful_shutdown(drain_timeout=args.drain_timeout)
+        if not drained:
+            print(
+                "repro: serve: drain timed out with requests still running",
+                file=sys.stderr,
+            )
+    finally:
+        if scrubber is not None:
+            scrubber.stop()
+        if store is not None:
+            # Flushes the WAL handle and releases the writer flock so
+            # the next writer (serve, compact, scrub) can take over.
+            store.close()
+    print("repro: serve: shut down cleanly", file=sys.stderr)
     return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.resilience.scrub import scrub_store
+    from repro.storage import SegmentStore, is_segment_store
+
+    if not is_segment_store(args.store):
+        raise ReproError(f"{args.store} is not a segment store (scrub needs one)")
+    store = SegmentStore.open(args.store)
+    try:
+        report = scrub_store(store, repair=not args.check_only, deep=not args.shallow)
+    finally:
+        store.close()
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report, indent=2))
+    else:
+        print(
+            f"# scrub {args.store}: generation {report['generation']}, "
+            f"{report['verified']}/{report['segments']} segment(s) verified"
+        )
+        for name in report["quarantined"]:
+            print(f"#   corrupt: {name}")
+        for name in report["rebuilt"]:
+            print(f"#   rebuilt from prior generation: {name}")
+        for loss in report["irreparable"]:
+            print(
+                f"#   IRREPARABLE: {loss['name']} (lost {loss['full']} full / "
+                f"{loss['partial']} partial / {loss['complementary']} "
+                f"complementary pair(s))"
+            )
+        wal = report["wal"]
+        if wal.get("error"):
+            print(f"#   WAL corrupt mid-file: {wal['error']}")
+        elif wal.get("torn_tail"):
+            print(f"#   WAL torn tail {'repaired' if not args.check_only else 'found'}")
+        else:
+            print(f"#   WAL clean: {wal.get('records')} record(s)")
+        print(f"# store is {'healthy' if report['ok'] else 'damaged'}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_migrate(args: argparse.Namespace) -> int:
@@ -477,7 +587,84 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
     )
+    hardening = serve.add_argument_group(
+        "hardening", "overload and failure behaviour (docs/resilience.md)"
+    )
+    hardening.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-connection socket timeout in seconds; a stalled client "
+        "is disconnected instead of pinning a handler thread (default 30)",
+    )
+    hardening.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="concurrently-executing request bound; excess waits briefly, "
+        "then is shed with 503 + Retry-After (default 64)",
+    )
+    hardening.add_argument(
+        "--max-queued",
+        type=int,
+        default=128,
+        help="requests allowed to wait for an execution slot (default 128)",
+    )
+    hardening.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=0.5,
+        help="seconds a queued request may wait before being shed (default 0.5)",
+    )
+    hardening.add_argument(
+        "--breaker-latency",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also trip the storage circuit breaker when most segment "
+        "reads are slower than this (default: failure-rate trigger only)",
+    )
+    hardening.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM'd server waits for in-flight requests "
+        "before exiting (default 10)",
+    )
+    hardening.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="run a background CRC scrub of the segment store this often "
+        "(0 disables; see `repro scrub`)",
+    )
+    hardening.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+        "'segment.read:error:times=2,seed=7' — testing only; the "
+        "REPRO_CHAOS environment variable is honoured too "
+        "(docs/resilience.md)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    scrub = sub.add_parser(
+        "scrub", help="CRC-verify a segment store; quarantine and repair corruption"
+    )
+    scrub.add_argument("--store", required=True, help="segment store directory (.rseg)")
+    scrub.add_argument(
+        "--check-only",
+        action="store_true",
+        help="audit without touching disk: report corruption, repair nothing",
+    )
+    scrub.add_argument(
+        "--shallow",
+        action="store_true",
+        help="verify file sizes and CRCs only, skip full segment decodes",
+    )
+    scrub.add_argument("--json", action="store_true", help="print the report as JSON")
+    scrub.set_defaults(handler=_cmd_scrub)
 
     migrate = sub.add_parser(
         "migrate", help="convert a relationship store between formats"

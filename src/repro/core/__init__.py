@@ -24,10 +24,11 @@ Modules
     Skylines and k-dominant skylines from containment (Section 1).
 ``api``
     The :func:`compute_relationships` facade and incremental updates.
-``runner`` / ``faults``
+``runner``
     The fault-tolerant materialisation runner (checkpoint/resume,
-    worker-crash recovery) and its deterministic fault-injection
-    harness.
+    worker-crash recovery).  Its deterministic fault-injection harness
+    lives in :mod:`repro.resilience.faults` (re-exported here for
+    compatibility).
 """
 
 from repro.core.api import Method, compute_relationships, remove_observations, update_relationships
@@ -35,7 +36,7 @@ from repro.core.baseline import compute_baseline, derive_relationships
 from repro.core.cluster_method import compute_clustering, default_cluster_count
 from repro.core.cubemask import compute_cubemask
 from repro.core.export import space_to_graph
-from repro.core.faults import Fault, FaultPlan, InjectedFault, truncate_file
+from repro.resilience.faults import Fault, FaultPlan, InjectedFault, truncate_file
 from repro.core.hybrid import compute_hybrid
 from repro.core.kernels import (
     KernelPlan,

@@ -242,6 +242,9 @@ def enumerate_unit_ranges(total_pairs: int, unit_size: int) -> list[tuple[int, i
 
 def _initializer(segment_name: str, meta: dict, fault_plan=None) -> None:
     """Worker entry: attach to the published arrays zero-copy."""
+    from repro.resilience.faults import inject
+
+    inject("worker.start")
     set_trace_id(meta.get("trace_id"))
     segment, views = _kernels.attach_arrays(segment_name, meta["layout"])
     plan = _kernels.KernelPlan(

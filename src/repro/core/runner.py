@@ -41,7 +41,7 @@ servable and ``repro compact`` folds it into binary segments.
 Worker crashes and injected faults are retried with capped exponential
 backoff; SIGINT (KeyboardInterrupt) flushes the journal before
 propagating, so Ctrl-C is always resumable.  Failure itself is a
-testable input via :class:`repro.core.faults.FaultPlan`.
+testable input via :class:`repro.resilience.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -58,7 +58,7 @@ from repro.errors import (
     ComputationError,
     WorkerCrashError,
 )
-from repro.core.faults import FaultPlan, InjectedFault
+from repro.resilience.faults import FaultPlan, InjectedFault
 from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
 from repro.obs.logging import get_logger
@@ -344,7 +344,7 @@ class MaterializationRunner:
         Wall-clock seconds per unit (enforced on the parallel path,
         where a hung worker can be abandoned).
     fault_plan:
-        A :class:`repro.core.faults.FaultPlan` for deterministic
+        A :class:`repro.resilience.faults.FaultPlan` for deterministic
         fault injection (tests, chaos drills).
     options:
         Forwarded to the underlying method (``targets=``, ``seed=``,

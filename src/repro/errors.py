@@ -142,3 +142,53 @@ class UnknownObservationError(ServiceError):
 class StorageError(ReproError):
     """A binary segment store, its manifest or its write-ahead log is
     missing, corrupt (bad magic/CRC) or of an unsupported version."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the hardened serving path's refusal errors.
+
+    These are *protective* failures: the system declined work to stay
+    healthy (deadline blown, breaker open, queue full), as opposed to
+    something actually breaking.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A request's deadline expired before the work finished.
+
+    Maps to HTTP 504 in the serving layer.  ``site`` names the
+    checkpoint that noticed the expiry (``engine.query``,
+    ``segment.read``...).
+    """
+
+    def __init__(self, site: str = "", overrun_ms: float | None = None):
+        message = "deadline exceeded"
+        if site:
+            message += f" at {site}"
+        if overrun_ms is not None:
+            message += f" (over by {overrun_ms:.0f}ms)"
+        super().__init__(message)
+        self.site = site
+        self.overrun_ms = overrun_ms
+
+
+class CircuitOpenError(ResilienceError):
+    """The storage circuit breaker is open; reads fail fast.
+
+    Maps to HTTP 503 with a ``Retry-After`` hint in the serving layer.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class OverloadedError(ResilienceError):
+    """The request queue is full; the request was shed.
+
+    Maps to HTTP 503 with a ``Retry-After`` hint in the serving layer.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

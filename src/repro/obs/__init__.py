@@ -58,6 +58,7 @@ def preregister() -> None:
     from the very first scrape.
     """
     from repro.core import cubemask, kernels, parallel, runner
+    from repro.resilience import breaker, deadline, faults, scrub, shed
     from repro.storage import store, wal
 
     kernels._registry_counters()
@@ -66,6 +67,11 @@ def preregister() -> None:
     parallel._metrics()
     wal._metrics()
     store._metrics()
+    faults._metrics()
+    deadline._metrics()
+    breaker._metrics()
+    shed._metrics()
+    scrub._metrics()
     get_registry().counter(
         "repro_storage_lazy_materialisations_total",
         "Lazy segment views materialised on first access.",

@@ -1,0 +1,93 @@
+"""repro.resilience — fault injection and the hardened serving path.
+
+The subsystem in one breath: :mod:`~repro.resilience.faults` makes
+failure an injectable, deterministic input at named sites across the
+stack; :mod:`~repro.resilience.deadline`,
+:mod:`~repro.resilience.breaker` and :mod:`~repro.resilience.shed`
+bound how much damage a slow disk or an overload can do to the serving
+path; :mod:`~repro.resilience.scrub` finds and repairs at-rest
+corruption before a query does; and :mod:`~repro.resilience.chaos`
+proves the whole stack's crash-consistency story with hundreds of
+randomized SIGKILL trials.  See ``docs/resilience.md``.
+
+``scrub`` and ``chaos`` import the storage layer, which imports
+``repro.core`` — whose package init imports *this* package for the
+fault seam.  They are therefore exposed lazily (PEP 562) so importing
+``repro.resilience`` never re-enters a partially-initialised
+``repro.core``.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    bind_deadline,
+    check_deadline,
+    current_deadline,
+    remaining_ms,
+)
+from repro.resilience.faults import (
+    CHAOS_ENV,
+    KILL_EXIT_CODE,
+    SITES,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    SiteFault,
+    clear_injector,
+    get_injector,
+    inject,
+    injector_from_env,
+    install_injector,
+    parse_chaos_spec,
+    truncate_file,
+)
+from repro.resilience.shed import LoadShedder
+
+__all__ = [
+    "CHAOS_ENV",
+    "CLOSED",
+    "HALF_OPEN",
+    "KILL_EXIT_CODE",
+    "OPEN",
+    "SITES",
+    "BackgroundScrubber",
+    "CircuitBreaker",
+    "Deadline",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "LoadShedder",
+    "SiteFault",
+    "bind_deadline",
+    "check_deadline",
+    "clear_injector",
+    "crash_trial",
+    "current_deadline",
+    "get_injector",
+    "inject",
+    "injector_from_env",
+    "install_injector",
+    "parse_chaos_spec",
+    "remaining_ms",
+    "run_crash_trials",
+    "scrub_store",
+    "truncate_file",
+]
+
+_LAZY = {
+    "BackgroundScrubber": "repro.resilience.scrub",
+    "scrub_store": "repro.resilience.scrub",
+    "crash_trial": "repro.resilience.chaos",
+    "run_crash_trials": "repro.resilience.chaos",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,217 @@
+"""Crash-consistency harness: prove the store survives SIGKILL anywhere.
+
+The storage engine's durability protocol (atomic segment writes, the
+manifest as single commit point, CRC-framed fsynced WAL appends)
+promises that a crash at *any* instruction leaves a store that opens,
+replays, and serves every acknowledged write.  This harness turns that
+promise into a falsifiable experiment, repeated across hundreds of
+randomized crash points:
+
+1. The parent builds a small seeded store.
+2. A **forked child** installs a chaos rule drawn from the trial's
+   seed — a torn ``wal.append``, a kill between flush and fsync, a
+   kill right before the manifest commit of a compaction — then runs a
+   write schedule (appends, then a compact), recording an fsynced
+   **ack** marker after each write the store acknowledged.  The
+   injected fault hard-exits the child mid-operation
+   (``os._exit``, indistinguishable from SIGKILL: no flushes, no
+   ``atexit``, no cleanup).
+3. The parent reaps the child and verifies **recovery**: the store
+   opens, loads (repairing a torn WAL tail at most), contains every
+   acked write, and passes a deep CRC scrub.
+
+A trial fails only on *silent data loss* (an acked write missing after
+recovery) or an *unrecoverable state* (open/load/scrub raising).  A
+child that happens not to crash (fault scheduled past its last write)
+is still a valid trial — the no-fault path must be consistent too.
+
+``benchmarks/bench_chaos.py`` drives this at scale (the acceptance bar
+is ≥200 crash points, zero losses), ``tests/resilience/`` runs a
+smaller randomized sample per CI run, and the ``chaos-smoke`` CI job
+runs the same schedule as a real subprocess under ``REPRO_CHAOS``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+
+from repro.core.results import RelationshipDelta, RelationshipSet
+from repro.rdf.terms import URIRef
+
+__all__ = ["crash_trial", "run_crash_trials", "build_seed_store", "child_schedule"]
+
+#: The crash points a trial draws from: (site, mode).  ``after`` — how
+#: many hits of the site pass before the fault fires — is drawn per
+#: trial, so the same site is hit at different depths across trials.
+CRASH_POINTS = (
+    ("wal.append", "torn"),
+    ("wal.append", "kill"),
+    ("wal.fsync", "kill"),
+    ("manifest.commit", "kill"),
+    ("segment.write", "kill"),
+)
+
+
+def _marker_pair(trial: int, index: int) -> tuple[URIRef, URIRef]:
+    return (
+        URIRef(f"urn:chaos:{trial}:{index}:container"),
+        URIRef(f"urn:chaos:{trial}:{index}:contained"),
+    )
+
+
+def build_seed_store(path: str | os.PathLike) -> None:
+    """A small committed generation for trials to mutate."""
+    from repro.storage.store import SegmentStore
+
+    result = RelationshipSet()
+    for i in range(4):
+        result.add_full(URIRef(f"urn:chaos:seed:{i}:a"), URIRef(f"urn:chaos:seed:{i}:b"))
+        result.add_partial(
+            URIRef(f"urn:chaos:seed:{i}:a"),
+            URIRef(f"urn:chaos:seed:{i}:c"),
+            degree=0.5,
+        )
+    SegmentStore.create(path, result).close()
+
+
+def child_schedule(store_dir, ack_path, trial: int, ops: int) -> None:
+    """The write schedule a trial's child runs until its fault fires.
+
+    Appends ``ops`` marker deltas — fsyncing an ack record after each
+    acknowledged append — then compacts.  Runs either to completion or
+    to the injected hard exit; never returns control to the caller's
+    runtime (callers fork, or exec a fresh interpreter).
+    """
+    from repro.storage.store import SegmentStore
+
+    store = SegmentStore.open(store_dir)
+    ack = open(ack_path, "a", encoding="utf-8")
+    for index in range(ops):
+        container, contained = _marker_pair(trial, index)
+        delta = RelationshipDelta(added_full={(container, contained)})
+        store.append_delta(delta)  # fsynced before returning
+        ack.write(f"append {index}\n")
+        ack.flush()
+        os.fsync(ack.fileno())
+    store.compact()
+    ack.write("compacted\n")
+    ack.flush()
+    os.fsync(ack.fileno())
+    ack.close()
+    store.close()
+
+
+def trial_spec(seed: int) -> tuple[str, int]:
+    """(chaos spec, ops) for one trial, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    ops = rng.randint(1, 6)
+    site, mode = CRASH_POINTS[rng.randrange(len(CRASH_POINTS))]
+    if site.startswith("wal."):
+        # Each append hits wal.append and wal.fsync once; `after` in
+        # [0, ops+compact-extra) lands the crash anywhere in the
+        # schedule, including inside the compact's bookkeeping.
+        after = rng.randint(0, ops)
+    else:
+        after = 0
+    return f"{site}:{mode}:after={after}", ops
+
+
+def _verify_recovery(store_dir, ack_path, trial: int) -> None:
+    """Assert the recovered store serves every acknowledged write."""
+    from repro.resilience.scrub import scrub_store
+    from repro.storage.store import SegmentStore
+
+    acked: list[str] = []
+    if Path(ack_path).exists():
+        acked = Path(ack_path).read_text(encoding="utf-8").splitlines()
+    compacted = "compacted" in acked
+    acked_appends = [int(line.split()[1]) for line in acked if line.startswith("append ")]
+
+    store = SegmentStore.open(store_dir)  # manifest must parse: old or new gen
+    loaded = store.load(apply_wal=True)   # repairs a torn WAL tail at most
+    for index in acked_appends:
+        pair = _marker_pair(trial, index)
+        if pair not in loaded.full:
+            raise AssertionError(
+                f"trial {trial}: acked append {index} missing after recovery "
+                f"(silent data loss)"
+            )
+    if compacted and store.wal.record_count() != 0:
+        raise AssertionError(
+            f"trial {trial}: compact acked but WAL still has records"
+        )
+    report = scrub_store(store, repair=False, deep=True)
+    if report["quarantined"] or report["irreparable"] or report["wal"].get("error"):
+        raise AssertionError(
+            f"trial {trial}: recovered store fails CRC scrub: {report}"
+        )
+    store.close()
+
+
+def crash_trial(base_dir: str | os.PathLike, seed: int) -> dict:
+    """Run one randomized crash trial; returns its outcome record.
+
+    Raises :class:`AssertionError` on silent data loss or an
+    unrecoverable store — the two states the storage engine promises
+    are impossible.
+    """
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+        raise RuntimeError("crash trials need os.fork")
+    base = Path(base_dir)
+    store_dir = base / f"trial-{seed}.rseg"
+    ack_path = base / f"trial-{seed}.ack"
+    build_seed_store(store_dir)
+    spec, ops = trial_spec(seed)
+
+    pid = os.fork()
+    if pid == 0:
+        # Child: arm the chaos, run the schedule, never return.
+        try:
+            from repro.resilience.faults import install_injector
+
+            install_injector(spec)
+            child_schedule(store_dir, ack_path, seed, ops)
+            os._exit(0)
+        except BaseException:
+            # An injected error (or anything else) mid-schedule is a
+            # crash for the parent's purposes.
+            os._exit(70)
+    _, status = os.waitpid(pid, 0)
+    exit_code = os.waitstatus_to_exitcode(status)
+    _verify_recovery(store_dir, ack_path, seed)
+    return {
+        "seed": seed,
+        "spec": spec,
+        "ops": ops,
+        "child_exit": exit_code,
+        "crashed": exit_code != 0,
+    }
+
+
+def run_crash_trials(
+    base_dir: str | os.PathLike, points: int, seed: int = 0, progress=None
+) -> dict:
+    """Run ``points`` randomized crash trials; returns the tally.
+
+    Every trial must pass — the first inconsistency raises.  The tally
+    reports how many trials actually crashed (vs ran clean) and the
+    per-crash-point distribution, so a run that never exercised a site
+    is visible instead of silently green.
+    """
+    by_spec: dict[str, int] = {}
+    crashed = 0
+    for i in range(points):
+        outcome = crash_trial(base_dir, seed=seed * 1_000_003 + i)
+        site = outcome["spec"].split(":")[0] + ":" + outcome["spec"].split(":")[1]
+        by_spec[site] = by_spec.get(site, 0) + 1
+        crashed += 1 if outcome["crashed"] else 0
+        if progress is not None:
+            progress(i + 1, points, outcome)
+    return {
+        "points": points,
+        "crashed": crashed,
+        "clean": points - crashed,
+        "by_crash_point": dict(sorted(by_spec.items())),
+    }

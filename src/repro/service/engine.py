@@ -32,6 +32,7 @@ from repro.core.api import remove_observations, update_relationships
 from repro.core.results import RelationshipDelta, RelationshipSet
 from repro.core.space import ObservationSpace
 from repro.rdf.terms import URIRef
+from repro.resilience.deadline import check_deadline
 from repro.service.cache import LRUCache
 from repro.service.index import RelationshipIndex
 from repro.service.rwlock import RWLock
@@ -84,6 +85,10 @@ class QueryEngine:
             generation = self.generation
             value = self.cache.get(key, generation)
             if value is LRUCache.MISS:
+                # A cache hit is too cheap to be worth cancelling; a
+                # miss may materialise segments, so spend the request's
+                # remaining budget here (and at every segment below).
+                check_deadline("engine.query")
                 value = compute()
                 self.cache.put(key, generation, value)
             return value

@@ -22,6 +22,23 @@ Thread safety comes from the engine's readers–writer lock: the handler
 pool serves GETs concurrently under the shared side while POST/DELETE
 take the exclusive side, so no request ever observes a half-applied
 index mutation.  Every response is JSON except ``/metrics``.
+
+The serving path is hardened (see ``docs/resilience.md``):
+
+* every connection gets a **socket timeout**, so a stalled client
+  cannot hold a handler thread forever;
+* a ``X-Deadline-Ms`` request header binds a cooperative
+  **deadline** that flows through the engine into every segment
+  decode; an expired budget answers **504**;
+* a :class:`~repro.resilience.shed.LoadShedder` bounds concurrent and
+  queued requests — overload answers **503** with ``Retry-After``
+  instead of growing the thread pile;
+* storage reads run under the engine's circuit **breaker** (when the
+  CLI installed one on the store): an open circuit answers **503**
+  with ``Retry-After`` while the disk recovers;
+* :meth:`RelationshipServer.graceful_shutdown` stops admissions,
+  drains in-flight requests and only then stops the server — so a
+  SIGTERM'd process finishes what it acknowledged.
 """
 
 from __future__ import annotations
@@ -32,13 +49,26 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from repro.errors import ReproError, ServiceError, UnknownObservationError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    ServiceError,
+    UnknownObservationError,
+)
 from repro.obs.tracing import bind_trace, new_trace_id, recorder, trace
 from repro.rdf.terms import URIRef
+from repro.resilience.deadline import Deadline, bind_deadline
+from repro.resilience.faults import inject
+from repro.resilience.shed import LoadShedder
 from repro.service.engine import QueryEngine
 from repro.service.metrics import ServiceMetrics
 
 __all__ = ["RelationshipServer", "start_server"]
+
+#: Header carrying the client's per-request budget in milliseconds.
+DEADLINE_HEADER = "X-Deadline-Ms"
 
 
 class _HTTPError(Exception):
@@ -58,11 +88,24 @@ class RelationshipHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def setup(self) -> None:
+        # A stalled or vanished client must not hold this handler
+        # thread (and its shedder slot) forever: the socket timeout
+        # turns dead air into a closed connection.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload, content_type: str = "application/json") -> None:
+    def _reply(
+        self,
+        status: int,
+        payload,
+        content_type: str = "application/json",
+        headers: dict | None = None,
+    ) -> None:
         body = (
             payload.encode("utf-8")
             if isinstance(payload, str)
@@ -74,8 +117,23 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         trace_id = getattr(self, "_trace_id", None)
         if trace_id:
             self.send_header("X-Trace-Id", trace_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _request_deadline(self) -> Deadline | None:
+        """The deadline the ``X-Deadline-Ms`` header asks for, if any."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            return Deadline(float(raw))
+        except ValueError:
+            raise _HTTPError(
+                400, f"{DEADLINE_HEADER} must be a positive number of "
+                f"milliseconds, got {raw!r}"
+            ) from None
 
     def _dispatch(self, method: str) -> None:
         split = urlsplit(self.path)
@@ -92,11 +150,28 @@ class RelationshipHandler(BaseHTTPRequestHandler):
             "http.request", method=method, path=split.path
         ) as span:
             try:
-                endpoint, status, payload, content_type = self._route(method, segments, query)
-                self._reply(status, payload, content_type)
+                with self.server.shedder.admitted():
+                    inject("http.handler")
+                    with bind_deadline(self._request_deadline()):
+                        endpoint, status, payload, content_type = self._route(
+                            method, segments, query
+                        )
+                        self._reply(status, payload, content_type)
             except _HTTPError as exc:
                 status = exc.status
                 self._reply(status, {"error": str(exc)})
+            except DeadlineExceededError as exc:
+                status = 504
+                self._reply(status, {"error": str(exc)})
+            except (CircuitOpenError, OverloadedError) as exc:
+                # Both are backpressure: tell the client when to come
+                # back instead of letting it hammer a sick server.
+                status = 503
+                self._reply(
+                    status,
+                    {"error": str(exc)},
+                    headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+                )
             except UnknownObservationError as exc:
                 status = 404
                 self._reply(status, {"error": str(exc)})
@@ -128,10 +203,37 @@ class RelationshipHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _engine_stats(self):
+        """``engine.stats()``, degraded to ``(None, exc)`` on a storage
+        outage.
+
+        The observability endpoints must stay up precisely when storage
+        is down: an open circuit breaker (or a raising store) would
+        otherwise 503 the liveness probe — restart loops — and the
+        ``/metrics`` scrape — blinding operators mid-incident.
+        """
+        from repro.errors import StorageError
+
+        try:
+            return self.server.engine.stats(), None
+        except (CircuitOpenError, StorageError) as exc:
+            return None, exc
+
     def _route(self, method: str, segments: list[str], query: dict):
         engine = self.server.engine
         if segments == ["healthz"] and method == "GET":
-            stats = engine.stats()
+            stats, outage = self._engine_stats()
+            if outage is not None:
+                # Alive but degraded: the process serves, storage is
+                # failing fast.  200 keeps liveness probes from cycling
+                # the process; the body and breaker gauge carry the bad
+                # news.
+                return (
+                    "healthz",
+                    200,
+                    {"status": "degraded", "error": str(outage)},
+                    "application/json",
+                )
             return (
                 "healthz",
                 200,
@@ -150,7 +252,8 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                 "application/json",
             )
         if segments == ["metrics"] and method == "GET":
-            body = self.server.metrics.render(engine.stats())
+            stats, _ = self._engine_stats()  # registry-only scrape on outage
+            body = self.server.metrics.render(stats)
             return "metrics", 200, body, "text/plain; version=0.0.4; charset=utf-8"
         if segments == ["stats"] and method == "GET":
             return "stats", 200, engine.stats(), "application/json"
@@ -330,17 +433,37 @@ class RelationshipServer(ThreadingHTTPServer):
         engine: QueryEngine,
         metrics: ServiceMetrics | None = None,
         verbose: bool = False,
+        request_timeout: float = 30.0,
+        shedder: LoadShedder | None = None,
     ):
         super().__init__(address, RelationshipHandler)
         self.engine = engine
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.verbose = verbose
+        #: Per-connection socket timeout applied in the handler's setup.
+        self.request_timeout = float(request_timeout)
+        self.shedder = shedder if shedder is not None else LoadShedder()
         # Every instrumented layer's series shows up (zero-valued) on
         # the very first /metrics scrape instead of trickling in as
         # compute and storage paths first run.
         from repro.obs import preregister
 
         preregister()
+
+    def graceful_shutdown(self, drain_timeout: float = 10.0) -> bool:
+        """Drain and stop: finish what was admitted, refuse the rest.
+
+        Closes the shedder (new requests get 503), waits up to
+        ``drain_timeout`` seconds for in-flight requests to finish,
+        then stops the accept loop and closes the socket.  Returns
+        whether the drain completed (False = timed out with requests
+        still running; their daemon threads die with the process).
+        """
+        self.shedder.close()
+        drained = self.shedder.drain(timeout=drain_timeout)
+        self.shutdown()
+        self.server_close()
+        return drained
 
 
 def start_server(
@@ -350,6 +473,8 @@ def start_server(
     metrics: ServiceMetrics | None = None,
     background: bool = True,
     verbose: bool = False,
+    request_timeout: float = 30.0,
+    shedder: LoadShedder | None = None,
 ) -> RelationshipServer:
     """Bind a :class:`RelationshipServer` and (optionally) serve.
 
@@ -357,10 +482,18 @@ def start_server(
     example) ``serve_forever`` runs on a daemon thread and the bound
     server is returned immediately — ``server.server_address`` carries
     the ephemeral port when ``port=0``.  Call ``server.shutdown()``
-    to stop it.  With ``background=False`` the call blocks until
-    interrupted (the CLI path).
+    (or ``server.graceful_shutdown()`` to drain first) to stop it.
+    With ``background=False`` the call blocks until interrupted (the
+    CLI path).
     """
-    server = RelationshipServer((host, port), engine, metrics, verbose)
+    server = RelationshipServer(
+        (host, port),
+        engine,
+        metrics,
+        verbose,
+        request_timeout=request_timeout,
+        shedder=shedder,
+    )
     if background:
         thread = threading.Thread(
             target=server.serve_forever, name="repro-serve", daemon=True

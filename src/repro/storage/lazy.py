@@ -72,6 +72,9 @@ class SegmentRelationshipSet(RelationshipSet):
                 "repro_storage_lazy_materialisations_total",
                 "Lazy segment views materialised on first access.",
             ).inc()
+            from repro.resilience.deadline import check_deadline
+
+            check_deadline("lazy.materialise")
             # Decode fully before assigning anything: a load failure
             # leaves every slot unset, so the next access retries
             # instead of serving empty sets.

@@ -60,6 +60,8 @@ except ImportError:  # pragma: no cover - non-POSIX: no cross-process lock
 from repro.errors import StorageError
 from repro.core.results import RelationshipDelta, RelationshipSet
 from repro.obs.tracing import trace
+from repro.resilience.deadline import check_deadline
+from repro.resilience.faults import inject
 from repro.rdf.terms import URIRef
 from repro.storage.format import SEGMENT_VERSION, decode_segment, encode_segment, segment_counts
 from repro.storage.wal import WriteAheadLog, replay_into
@@ -195,6 +197,10 @@ class SegmentStore:
         self.manifest = manifest
         self._wal: WriteAheadLog | None = None
         self._lock_handle = None
+        #: Optional :class:`repro.resilience.breaker.CircuitBreaker`
+        #: guarding segment decodes; installed by the serving layer so
+        #: a failing disk fails fast instead of stalling every request.
+        self.breaker = None
 
     # -- the writer lock ----------------------------------------------
     def acquire_writer_lock(self) -> None:
@@ -295,6 +301,7 @@ class SegmentStore:
             part = parts[key]
             blob = encode_segment(part, dimensions=dimensions if dimensions else None)
             name = f"seg-{generation:05d}-{index:05d}.rseg"
+            inject("segment.write")
             atomic_write_bytes(self.path / name, blob)
             counts = segment_counts(part)
             entries.append(
@@ -325,6 +332,12 @@ class SegmentStore:
                 "complementary": len(result.complementary),
             },
         }
+        action = inject("manifest.commit", torn_capable=True)
+        if action is not None:
+            # The manifest replace is atomic, so a "torn" commit means
+            # dying *before* the commit point: new segments on disk,
+            # old manifest still authoritative.
+            action.die()
         atomic_write_text(self.path / MANIFEST_NAME, json.dumps(manifest, indent=2))
         old_manifest, self.manifest = self.manifest, manifest
         self._cleanup(old_manifest)
@@ -347,6 +360,20 @@ class SegmentStore:
 
     # -- reading -------------------------------------------------------
     def _decode_file(self, name: str) -> RelationshipSet:
+        """Decode one segment, under the breaker when one is installed.
+
+        The breaker observes only genuine storage outcomes: a deadline
+        expiring mid-read is the *request's* failure, not the disk's,
+        and must not trip reads open for everyone else — so it is
+        checked before the breaker is consulted.
+        """
+        check_deadline("segment.read")
+        if self.breaker is not None:
+            return self.breaker.call(self._decode_file_inner, name)
+        return self._decode_file_inner(name)
+
+    def _decode_file_inner(self, name: str) -> RelationshipSet:
+        inject("segment.read")
         path = self.path / name
         try:
             with open(path, "rb") as handle:
@@ -356,6 +383,7 @@ class SegmentStore:
                 metrics = _metrics()
                 metrics["segment_loads"].inc()
                 metrics["mmap_bytes"].inc(size)
+                inject("mmap.attach")
                 view = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
                 try:
                     return decode_segment(view, context=str(path))
@@ -390,6 +418,7 @@ class SegmentStore:
                             )
                 result.merge(part)
             if apply_wal:
+                check_deadline("wal.replay")
                 records, _ = self.wal.records()
                 replay_into(result, records)
             return result

@@ -245,12 +245,24 @@ class WriteAheadLog:
 
     def append(self, record: dict) -> None:
         """Durably append one record (opens the log on first use)."""
+        from repro.resilience.faults import inject
+
         if self._handle is None:
             self.open()
         body = json.dumps(record, sort_keys=True, ensure_ascii=False)
         line = f"{zlib.crc32(body.encode('utf-8')):08x} {body}\n"
+        action = inject("wal.append", torn_capable=True)
+        if action is not None:
+            # A torn fault: persist only a prefix of the record — the
+            # crash-mid-append the CRC framing exists to survive.
+            torn = line[: max(1, int(len(line) * action.fraction))]
+            self._handle.write(torn)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            action.die()
         self._handle.write(line)
         self._handle.flush()
+        inject("wal.fsync")
         os.fsync(self._handle.fileno())
         metrics = _metrics()
         metrics["appends"].inc()

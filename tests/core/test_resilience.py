@@ -13,9 +13,6 @@ import json
 import pytest
 
 from repro.core import (
-    Fault,
-    FaultPlan,
-    InjectedFault,
     Method,
     compute_baseline,
     compute_baseline_streaming,
@@ -23,8 +20,8 @@ from repro.core import (
     compute_cubemask,
     compute_relationships,
     run_materialization,
-    truncate_file,
 )
+from repro.resilience.faults import Fault, FaultPlan, InjectedFault, truncate_file
 from repro.core.parallel import compute_cubemask_parallel
 from repro.core.runner import Checkpoint, MaterializationRunner, space_fingerprint
 from repro.errors import (

@@ -1,0 +1,30 @@
+"""Shared fixtures for the resilience suite.
+
+Fault injectors are process-wide state; the autouse fixture guarantees
+no test leaks one into the next (or into the rest of the run).
+"""
+
+import pytest
+
+from repro.resilience.faults import clear_injector
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    clear_injector()
+    yield
+    clear_injector()
+
+
+@pytest.fixture()
+def seeded_store(tmp_path):
+    """A small committed segment store (4 full + 4 partial pairs)."""
+    from repro.resilience.chaos import build_seed_store
+    from repro.storage import SegmentStore
+
+    path = tmp_path / "links.rseg"
+    build_seed_store(path)
+    store = SegmentStore.open(path)
+    yield store
+    store.close()

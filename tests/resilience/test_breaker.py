@@ -1,0 +1,184 @@
+"""The storage circuit breaker: triggers, state machine, HTTP mapping."""
+
+import json
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    defaults = dict(window=8, failure_threshold=0.5, min_samples=4, reset_timeout=5.0)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults), clock
+
+
+class TestTriggers:
+    def test_stays_closed_below_min_samples(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_opens_on_failure_rate(self):
+        breaker, _ = make_breaker()
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_healthy_traffic_never_trips(self):
+        breaker, _ = make_breaker()
+        for _ in range(50):
+            breaker.record_success(latency=0.001)
+        assert breaker.state == CLOSED
+
+    def test_slow_successes_trip_latency_trigger(self):
+        breaker, _ = make_breaker(latency_threshold=0.1, latency_fraction=0.5)
+        for _ in range(4):
+            breaker.record_success(latency=5.0)  # "working" at 5 s/read
+        assert breaker.state == OPEN
+
+    def test_latency_trigger_off_by_default(self):
+        breaker, _ = make_breaker()
+        for _ in range(8):
+            breaker.record_success(latency=60.0)
+        assert breaker.state == CLOSED
+
+
+class TestStateMachine:
+    def trip(self, breaker):
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_open_refuses_until_reset_timeout(self):
+        breaker, clock = make_breaker()
+        self.trip(breaker)
+        assert not breaker.allow()
+        clock.advance(5.1)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+
+    def test_half_open_admits_limited_probes(self):
+        breaker, clock = make_breaker(half_open_probes=1)
+        self.trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow()
+        assert not breaker.allow()  # second concurrent call is refused
+
+    def test_successful_probe_closes_and_clears_window(self):
+        breaker, clock = make_breaker()
+        self.trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats()["samples"] == 0  # stale window discarded
+
+    def test_failed_probe_reopens_and_restarts_timer(self):
+        breaker, clock = make_breaker()
+        self.trip(breaker)
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(2.0)
+        assert breaker.state == OPEN  # timer restarted at the probe failure
+        clock.advance(3.5)
+        assert breaker.state == HALF_OPEN
+
+    def test_retry_after_shrinks_as_reset_nears(self):
+        breaker, clock = make_breaker()
+        self.trip(breaker)
+        first = breaker.retry_after()
+        clock.advance(3.0)
+        assert breaker.retry_after() < first
+
+
+class TestCallWrapper:
+    def test_call_records_outcomes_and_raises_when_open(self):
+        breaker, _ = make_breaker()
+
+        def boom():
+            raise OSError("EIO")
+
+        for _ in range(4):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.call(boom)
+        assert excinfo.value.retry_after > 0
+
+    def test_call_passes_through_value(self):
+        breaker, _ = make_breaker()
+        assert breaker.call(lambda x: x * 2, 21) == 42
+        assert breaker.stats()["samples"] == 1
+
+
+class TestHTTP503:
+    def test_open_breaker_maps_to_503_with_retry_after(self, tmp_path):
+        from repro.resilience.chaos import build_seed_store
+        from repro.resilience.faults import install_injector
+        from repro.service import QueryEngine, start_server
+        from repro.storage import LazyRelationshipIndex, SegmentStore
+
+        build_seed_store(tmp_path / "links.rseg")
+        store = SegmentStore.open(tmp_path / "links.rseg")
+        store.breaker = CircuitBreaker(
+            window=4, min_samples=2, failure_threshold=0.5, reset_timeout=60.0
+        )
+        result = store.relationship_set()
+        engine = QueryEngine(result, index=LazyRelationshipIndex(result, None))
+        server = start_server(engine)
+        host, port = server.server_address
+        install_injector("segment.read:error:times=inf")
+        uri = quote("urn:chaos:seed:0:a", safe="")
+        try:
+            statuses = []
+            for _ in range(3):
+                try:
+                    urllib.request.urlopen(
+                        f"http://{host}:{port}/observations/{uri}/containers"
+                    )
+                except urllib.error.HTTPError as exc:
+                    statuses.append(exc.code)
+                    if exc.code == 503:
+                        assert int(exc.headers["Retry-After"]) >= 1
+                        assert "breaker" in json.load(exc)["error"]
+            # Injected read errors surface as 400s until the breaker
+            # trips; from then on the server fails fast with 503.
+            assert statuses[-1] == 503
+            assert store.breaker.state == OPEN
+            # The observability endpoints must survive the outage:
+            # liveness degrades instead of 503ing (no restart churn),
+            # and /metrics still scrapes (registry-only) — that's when
+            # operators need it most.
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                assert response.status == 200
+                assert json.load(response)["status"] == "degraded"
+            with urllib.request.urlopen(f"http://{host}:{port}/metrics") as response:
+                assert response.status == 200
+                assert b"repro_breaker_state 2" in response.read()
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()

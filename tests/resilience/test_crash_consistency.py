@@ -1,0 +1,46 @@
+"""Randomized SIGKILL crash trials: no silent loss, no unrecoverable state.
+
+A small sample per CI run; ``benchmarks/bench_chaos.py`` drives the
+full ≥200-point acceptance run.  Scale the sample with
+``REPRO_CRASH_POINTS`` (e.g. in the chaos-smoke CI job).
+"""
+
+import os
+
+import pytest
+
+from repro.resilience.chaos import CRASH_POINTS, crash_trial, run_crash_trials, trial_spec
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crash trials fork the writer"
+)
+
+POINTS = int(os.environ.get("REPRO_CRASH_POINTS", "25"))
+
+
+class TestTrialSpecs:
+    def test_specs_are_deterministic_in_seed(self):
+        assert trial_spec(7) == trial_spec(7)
+        specs = {trial_spec(seed)[0] for seed in range(64)}
+        assert len(specs) > 5  # seeds spread over sites and depths
+
+    def test_specs_draw_from_every_crash_point(self):
+        sites = {trial_spec(seed)[0].rsplit(":after", 1)[0] for seed in range(200)}
+        assert sites == {f"{site}:{mode}" for site, mode in CRASH_POINTS}
+
+
+class TestCrashRecovery:
+    def test_single_torn_append_trial(self, tmp_path):
+        # seed chosen so the drawn fault is a torn wal.append
+        seed = next(s for s in range(100) if trial_spec(s)[0].startswith("wal.append:torn"))
+        outcome = crash_trial(tmp_path, seed=seed)
+        assert outcome["crashed"]
+
+    def test_randomized_trials_all_recover(self, tmp_path):
+        report = run_crash_trials(tmp_path, points=POINTS, seed=2026)
+        assert report["points"] == POINTS
+        assert report["crashed"] + report["clean"] == POINTS
+        # The run must actually exercise crashes, not luck into clean
+        # completions — otherwise the assertion above proves nothing.
+        assert report["crashed"] > 0
+        assert sum(report["by_crash_point"].values()) == POINTS

@@ -1,0 +1,179 @@
+"""The fault-injection seam: spec grammar, determinism, site dispatch."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ComputationError
+from repro.resilience.faults import (
+    KILL_EXIT_CODE,
+    FaultInjector,
+    InjectedFault,
+    SiteFault,
+    clear_injector,
+    get_injector,
+    inject,
+    install_injector,
+    parse_chaos_spec,
+)
+
+
+class TestChaosSpec:
+    def test_single_clause(self):
+        injector = parse_chaos_spec("segment.read:error")
+        assert len(injector.faults) == 1
+        fault = injector.faults[0]
+        assert (fault.site, fault.mode, fault.times) == ("segment.read", "error", 1)
+
+    def test_options_parse(self):
+        injector = parse_chaos_spec(
+            "wal.append:torn:after=3:times=2,seed=9,segment.read:delay:seconds=0.25:p=0.5:times=inf"
+        )
+        assert injector.seed == 9
+        torn, delay = injector.faults
+        assert (torn.after, torn.times) == (3, 2)
+        assert delay.times is None
+        assert delay.seconds == 0.25
+        assert delay.probability == 0.5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "segment.read",  # no mode
+            "segment.read:explode",  # unknown mode
+            "segment.read:error:times",  # option without value
+            "segment.read:error:frequency=2",  # unknown option
+            "segment.read:error:p=1.5",  # probability out of range
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_chaos_spec(bad)
+
+
+class TestInjector:
+    def test_error_mode_raises_retryable_error(self):
+        injector = FaultInjector([SiteFault("segment.read", "error")])
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.fire("segment.read")
+        assert isinstance(excinfo.value, ComputationError)
+        # times=1 by default: the second hit passes clean
+        assert injector.fire("segment.read") is None
+
+    def test_after_skips_initial_hits(self):
+        injector = FaultInjector([SiteFault("wal.append", "error", after=2)])
+        assert injector.fire("wal.append") is None
+        assert injector.fire("wal.append") is None
+        with pytest.raises(InjectedFault):
+            injector.fire("wal.append")
+
+    def test_unlimited_times(self):
+        injector = FaultInjector([SiteFault("x", "error", times=None)])
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                injector.fire("x")
+
+    def test_wildcard_site(self):
+        injector = FaultInjector([SiteFault("*", "error", times=None)])
+        with pytest.raises(InjectedFault):
+            injector.fire("segment.read")
+        with pytest.raises(InjectedFault):
+            injector.fire("anything.else")
+
+    def test_probability_is_deterministic_in_seed(self):
+        def firings(seed):
+            injector = FaultInjector(
+                [SiteFault("s", "error", times=None, probability=0.5)], seed=seed
+            )
+            out = []
+            for _ in range(32):
+                try:
+                    injector.fire("s")
+                    out.append(False)
+                except InjectedFault:
+                    out.append(True)
+            return out
+
+        assert firings(3) == firings(3)
+        assert firings(3) != firings(4)  # astronomically unlikely to collide
+        assert any(firings(3)) and not all(firings(3))
+
+    def test_torn_returned_only_to_torn_capable_site(self):
+        injector = FaultInjector([SiteFault("wal.append", "torn", times=None)])
+        action = injector.fire("wal.append", torn_capable=True)
+        assert action is not None and action.mode == "torn"
+        with pytest.raises(InjectedFault):  # degrades to error elsewhere
+            injector.fire("wal.append", torn_capable=False)
+
+    def test_counts_report_firings(self):
+        injector = FaultInjector([SiteFault("a", "error", times=2)])
+        for _ in range(3):
+            try:
+                injector.fire("a")
+            except InjectedFault:
+                pass
+        assert injector.counts() == {"a:error": 2}
+
+
+class TestProcessWideInstall:
+    def test_inject_is_noop_without_injector(self):
+        assert inject("segment.read") is None
+
+    def test_install_from_spec_string(self):
+        install_injector("segment.read:error")
+        with pytest.raises(InjectedFault):
+            inject("segment.read")
+
+    def test_clear_uninstalls(self):
+        install_injector("segment.read:error")
+        clear_injector()
+        assert inject("segment.read") is None
+
+    def test_env_var_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "segment.read:error")
+        clear_injector()  # re-arm env discovery
+        assert get_injector() is not None
+        with pytest.raises(InjectedFault):
+            inject("segment.read")
+
+    def test_explicit_install_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "segment.read:error")
+        clear_injector()
+        install_injector(None)  # explicit "no chaos"
+        assert inject("segment.read") is None
+
+    def test_kill_mode_hard_exits(self):
+        # A kill fault must end the process with the distinctive code —
+        # proven in a scratch subprocess, not in the test runner.
+        code = (
+            "from repro.resilience.faults import install_injector, inject\n"
+            "install_injector('boom:kill')\n"
+            "inject('boom')\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert proc.returncode == KILL_EXIT_CODE
+        assert b"survived" not in proc.stdout
+
+
+class TestWiredSites:
+    def test_segment_read_fault_surfaces_from_load(self, seeded_store):
+        install_injector("segment.read:error")
+        with pytest.raises(InjectedFault):
+            seeded_store.load()
+        # transient (times=1): the retry succeeds
+        assert len(seeded_store.load().full) == 4
+
+    def test_worker_start_site_fires(self):
+        from repro.core.parallel import _initializer
+
+        install_injector("worker.start:error")
+        with pytest.raises(InjectedFault):
+            _initializer("nonexistent", {})

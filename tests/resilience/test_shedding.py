@@ -1,0 +1,164 @@
+"""Load shedding, the socket timeout, and graceful shutdown."""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.errors import OverloadedError
+from repro.resilience.shed import LoadShedder
+from repro.service import QueryEngine, start_server
+
+from tests.conftest import make_random_space
+
+
+def make_server(**server_kwargs):
+    space = make_random_space(12, seed=42)
+    engine = QueryEngine(compute_baseline(space), space)
+    server = start_server(engine, **server_kwargs)
+    host, port = server.server_address
+    return server, f"http://{host}:{port}"
+
+
+class TestLoadShedder:
+    def test_admits_within_bound(self):
+        shedder = LoadShedder(max_inflight=2)
+        shedder.acquire()
+        shedder.acquire()
+        assert shedder.stats()["inflight"] == 2
+        shedder.release()
+        shedder.release()
+        assert shedder.stats()["inflight"] == 0
+
+    def test_sheds_when_queue_full(self):
+        shedder = LoadShedder(max_inflight=1, max_queued=0)
+        shedder.acquire()
+        with pytest.raises(OverloadedError) as excinfo:
+            shedder.acquire()
+        assert excinfo.value.retry_after > 0
+
+    def test_queued_request_gets_freed_slot(self):
+        shedder = LoadShedder(max_inflight=1, max_queued=1, queue_timeout=5.0)
+        shedder.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            shedder.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        assert not admitted.wait(0.05)  # genuinely parked
+        shedder.release()
+        assert admitted.wait(2.0)
+        thread.join(timeout=2.0)
+
+    def test_queued_request_times_out(self):
+        shedder = LoadShedder(max_inflight=1, max_queued=1, queue_timeout=0.05)
+        shedder.acquire()
+        with pytest.raises(OverloadedError):
+            shedder.acquire()
+
+    def test_closed_shedder_refuses_everything(self):
+        shedder = LoadShedder(max_inflight=8)
+        shedder.close()
+        with pytest.raises(OverloadedError):
+            shedder.acquire()
+
+    def test_drain_waits_for_inflight(self):
+        shedder = LoadShedder(max_inflight=2)
+        shedder.acquire()
+        shedder.close()
+        assert not shedder.drain(timeout=0.05)  # one still running
+        shedder.release()
+        assert shedder.drain(timeout=2.0)
+
+    def test_admitted_context_releases_on_error(self):
+        shedder = LoadShedder(max_inflight=1)
+        with pytest.raises(RuntimeError):
+            with shedder.admitted():
+                raise RuntimeError("handler blew up")
+        assert shedder.stats()["inflight"] == 0
+
+
+class TestHTTPShedding:
+    def test_saturated_server_sheds_with_503_and_retry_after(self):
+        shedder = LoadShedder(max_inflight=1, max_queued=0)
+        server, base = make_server(shedder=shedder)
+        try:
+            shedder.acquire()  # occupy the only slot, deterministically
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/healthz")
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            assert "queue" in json.load(excinfo.value)["error"]
+            shedder.release()
+            with urllib.request.urlopen(f"{base}/healthz") as response:
+                assert response.status == 200  # slot freed: back to normal
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestSocketTimeout:
+    def test_stalled_client_is_disconnected(self):
+        # Regression: a client that connects and goes silent used to
+        # hold a handler thread forever.  With the per-connection
+        # timeout the server must hang up on its own.
+        server, base = make_server(request_timeout=0.3)
+        host, port = server.server_address
+        try:
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\n")  # ...and stall mid-headers
+                sock.settimeout(5.0)
+                deadline_data = sock.recv(65536)  # EOF once the server times out
+                assert deadline_data == b"" or b"HTTP/1.1" in deadline_data
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_handler_timeout_comes_from_server_config(self):
+        server, base = make_server(request_timeout=7.5)
+        try:
+            assert server.request_timeout == 7.5
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestGracefulShutdown:
+    def test_drains_then_refuses(self):
+        server, base = make_server()
+        with urllib.request.urlopen(f"{base}/healthz") as response:
+            assert response.status == 200
+        assert server.graceful_shutdown(drain_timeout=5.0) is True
+        host, port = server.server_address
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_inflight_request_finishes_before_stop(self):
+        from repro.resilience.faults import clear_injector, install_injector
+
+        server, base = make_server()
+        install_injector("http.handler:delay:seconds=0.3")
+        outcome = {}
+
+        def slow_request():
+            with urllib.request.urlopen(f"{base}/healthz") as response:
+                outcome["status"] = response.status
+
+        thread = threading.Thread(target=slow_request, daemon=True)
+        thread.start()
+        import time
+
+        time.sleep(0.1)  # let the request get admitted and hit the delay
+        try:
+            assert server.graceful_shutdown(drain_timeout=5.0) is True
+            thread.join(timeout=5.0)
+            assert outcome.get("status") == 200  # finished, not dropped
+        finally:
+            clear_injector()
