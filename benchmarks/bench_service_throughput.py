@@ -26,13 +26,18 @@ Run with::
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import platform
 import statistics
 import sys
+import tempfile
 import threading
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from pathlib import Path
 
 from repro.core import compute_cubemask
 from repro.data.synthetic import build_synthetic_space
@@ -206,6 +211,100 @@ def bench_concurrent_clients(n: int, clients: int = 8, per_client: int = 25, see
     return {"healthy": healthy, "degraded": degraded}
 
 
+def bench_cluster_scaling(
+    n: int,
+    clients: int = 8,
+    per_client: int = 25,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    seed: int = 42,
+    threads: int = 8,
+) -> dict:
+    """Aggregate read throughput: single-process serve vs ``repro cluster``.
+
+    Spawns *real* shard worker processes through the supervisor (the
+    exact ``repro cluster --shards N`` tree) and drives the same
+    point-lookup workload through the router.  On a multi-core host the
+    shard processes sidestep the GIL and aggregate throughput scales
+    with shards; the recorded ``cpus`` field says how many cores the
+    numbers were taken on — on a 1-core container the cluster mostly
+    pays routing overhead, and that is the honest result.
+    """
+    from repro.cluster import ClusterSupervisor
+    from repro.storage import save_segments
+
+    print(
+        f"cluster scaling — n={n}, {clients} clients x {per_client} requests, "
+        f"shards {list(shard_counts)} ({os.cpu_count()} cpu)"
+    )
+    space = build_synthetic_space(n, dimension_count=4, seed=seed)
+    result = compute_cubemask(space, targets=("full", "complementary"))
+    uris = [str(record.uri) for record in space.observations[: 4 * clients]]
+
+    def warmup(base: str) -> None:
+        # One sequential pass so every tier is measured steady-state:
+        # shard workers materialise their partitions lazily on first touch.
+        for uri in uris:
+            quoted = urllib.parse.quote(uri, safe="")
+            with urllib.request.urlopen(f"{base}/observations/{quoted}/containers") as r:
+                r.read()
+
+    engine = QueryEngine(result, space)
+    server = start_server(engine, threads=threads)
+    host, port = server.server_address
+    try:
+        base = f"http://{host}:{port}"
+        warmup(base)
+        single = _http_round(base, uris, clients, per_client)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    rows: dict[str, dict] = {"single": single}
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as scratch:
+        store_path = Path(scratch) / "links.rseg"
+        save_segments(result, store_path, space=space)
+        for shards in shard_counts:
+            supervisor = ClusterSupervisor(
+                store=str(store_path),
+                shards=shards,
+                replicas=1,
+                rundir=Path(scratch) / f"run-{shards}",
+                port=0,
+                router_threads=threads,
+                shard_threads=4,
+                spawn_timeout=120.0,
+            )
+            # Routing affinity without re-parsing RDF: the bench already
+            # holds the observation space the store was partitioned by.
+            supervisor._space = space
+            try:
+                router_server = supervisor.start()
+                host, port = router_server.server_address
+                base = f"http://{host}:{port}"
+                warmup(base)
+                rows[f"shards_{shards}"] = _http_round(base, uris, clients, per_client)
+            finally:
+                supervisor.shutdown(drain_timeout=5.0)
+
+    print(
+        f"  {'tier':<10} {'qps':>8} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'served':>7} {'speedup':>8}"
+    )
+    base_qps = single["qps"] or 1.0
+    for tier, row in rows.items():
+        print(
+            f"  {tier:<10} {row['qps']:>8.0f} {row['p50_ms']:>8.2f} "
+            f"{row['p99_ms']:>8.2f} {row['served']:>7} {row['qps'] / base_qps:>7.2f}x"
+        )
+    return {
+        "n": n,
+        "clients": clients,
+        "per_client": per_client,
+        "cpus": os.cpu_count(),
+        "tiers": rows,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -213,16 +312,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--n-lookup", type=int, default=None, help="point-lookup corpus size")
     parser.add_argument("--n-cache", type=int, default=None, help="cache-benchmark corpus size")
+    parser.add_argument(
+        "--no-cluster", action="store_true", help="skip the multi-process cluster sweep"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="record results to PATH (e.g. BENCH_service.json)",
+    )
     args = parser.parse_args(argv)
     n_lookup = args.n_lookup or (2000 if args.quick else 10000)
     n_cache = args.n_cache or (500 if args.quick else 2000)
     n_http = 300 if args.quick else 1000
     clients = 4 if args.quick else 8
+    shard_counts = (1, 2) if args.quick else (1, 2, 4)
 
     print("== relationship service throughput ==")
     lookup = bench_point_lookups(n_lookup)
     cache = bench_cached_speedup(n_cache)
     concurrent = bench_concurrent_clients(n_http, clients=clients)
+    cluster = (
+        None
+        if args.no_cluster
+        else bench_cluster_scaling(n_http, clients=clients, shard_counts=shard_counts)
+    )
     print("== summary ==")
     print(
         f"point lookups: {lookup['point_lookup_us']:.1f} us/query over "
@@ -236,6 +350,32 @@ def main(argv: list[str] | None = None) -> int:
         f"(p99 {healthy['p99_ms']:.1f} -> {degraded['p99_ms']:.1f} ms, "
         f"{degraded['shed']} shed)"
     )
+    if cluster is not None:
+        best = max(
+            (tier for tier in cluster["tiers"] if tier.startswith("shards_")),
+            key=lambda tier: cluster["tiers"][tier]["qps"],
+            default=None,
+        )
+        if best:
+            ratio = cluster["tiers"][best]["qps"] / (cluster["tiers"]["single"]["qps"] or 1.0)
+            print(
+                f"cluster ({best.replace('_', ' ')}): "
+                f"{cluster['tiers'][best]['qps']:.0f} qps aggregate, "
+                f"{ratio:.2f}x single-process on {cluster['cpus']} cpu"
+            )
+    if args.json:
+        payload = {
+            "benchmark": "relationship service throughput",
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "quick": bool(args.quick),
+            "point_lookups": lookup,
+            "cache": cache,
+            "concurrent_http": concurrent,
+            "cluster": cluster,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0 if cache["speedup"] >= 10 else 1
 
 

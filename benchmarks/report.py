@@ -12,8 +12,10 @@ Run with::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.core import (
     CubeLattice,
@@ -205,6 +207,41 @@ def table_4() -> None:
     print(f"\nDistinct hierarchical codes: {total_codes} (paper: ~2.6k)")
 
 
+def cluster_serve_tier() -> None:
+    """Serve-tier scaling rows, read from ``BENCH_service.json``.
+
+    The cluster sweep spawns real worker processes, so it is recorded
+    once by ``bench_service_throughput.py --json BENCH_service.json``
+    and replayed here rather than re-run on every report.
+    """
+    header("Cluster serve tier: aggregate read throughput")
+    bench_path = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    try:
+        payload = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        print(
+            "no BENCH_service.json — run "
+            "`PYTHONPATH=src python benchmarks/bench_service_throughput.py "
+            "--json BENCH_service.json` to record the sweep"
+        )
+        return
+    cluster = payload.get("cluster")
+    if not cluster:
+        print("BENCH_service.json has no cluster sweep (recorded with --no-cluster)")
+        return
+    print(
+        f"{cluster['clients']} clients x {cluster['per_client']} point lookups, "
+        f"n={cluster['n']}, {cluster['cpus']} cpu"
+    )
+    print(f"{'tier':>10} {'qps':>9} {'p50 ms':>8} {'p99 ms':>8} {'vs single':>10}")
+    base = cluster["tiers"].get("single", {}).get("qps") or 1.0
+    for tier, row in cluster["tiers"].items():
+        print(
+            f"{tier:>10} {row['qps']:>9.0f} {row['p50_ms']:>8.2f} "
+            f"{row['p99_ms']:>8.2f} {row['qps'] / base:>9.2f}x"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller sweeps")
@@ -232,6 +269,7 @@ def main(argv=None) -> int:
     figure_5f(space, sizes)
     figure_5g(space, sizes)
     kernel_speedup(synthetic_sizes)
+    cluster_serve_tier()
     if not args.quick:
         ablations(space)
     return 0

@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Eight subcommands::
+Eleven subcommands::
 
     python -m repro compute  --input cube.ttl --method cube_masking -o links.rseg
     python -m repro generate --kind realworld --scale 0.01 --output corpus.ttl
     python -m repro inspect  --input cube.ttl          # or any store path
     python -m repro validate --input cube.ttl
     python -m repro serve    --store links.rseg --input cube.ttl --port 8080
+    python -m repro cluster  --store links.rseg --shards 4 --replicas 2
+    python -m repro shard    --store links.rseg --manifest CLUSTER.json --shard-id 0
+    python -m repro router   --manifest CLUSTER.json --port 8080
     python -m repro migrate  --input links.json --output links.rseg
     python -m repro compact  --store links.rseg --input cube.ttl
     python -m repro scrub    --store links.rseg
@@ -22,10 +25,15 @@ HTTP query service of :mod:`repro.service` — segment stores start in
 O(manifest) and journal every incremental write to their write-ahead
 log; the serving path is hardened with per-request deadlines, load
 shedding, a storage circuit breaker and graceful SIGTERM drain (see
-``docs/resilience.md``).  ``migrate`` converts a store between the
-three formats; ``compact`` folds a segment store's WAL into fresh
-segments.  ``scrub`` CRC-verifies a segment store and quarantines /
-repairs corruption.
+``docs/resilience.md``).  ``cluster`` runs the same store as a
+sharded, replicated process tier — N shard workers partitioned by
+consistent hashing over the store's (dataset, lattice-signature) keys,
+fronted by a scatter/gather router with per-replica circuit breakers
+and failover, under a supervisor that respawns dead workers (see
+``docs/cluster.md``); ``shard`` and ``router`` run those tier members
+individually.  ``migrate`` converts a store between the three formats;
+``compact`` folds a segment store's WAL into fresh segments.  ``scrub``
+CRC-verifies a segment store and quarantines / repairs corruption.
 """
 
 from __future__ import annotations
@@ -352,15 +360,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verbose=args.verbose,
             request_timeout=args.request_timeout,
             shedder=shedder,
+            threads=args.threads,
         )
     except OSError as exc:
         raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
     mutable = "enabled" if space is not None else "disabled (no --input space)"
     bound_port = server.server_address[1]
+    _print_listening(args.host, bound_port, "serve")
     print(
         f"# serving {result!r} on http://{args.host}:{bound_port} "
-        f"(cache {args.cache_size}, writes {mutable}, "
-        f"max_inflight {args.max_inflight})",
+        f"(cache {args.cache_size}, threads {args.threads or 'per-request'}, "
+        f"writes {mutable}, max_inflight {args.max_inflight})",
         file=sys.stderr,
     )
     try:
@@ -380,6 +390,207 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # the next writer (serve, compact, scrub) can take over.
             store.close()
     print("repro: serve: shut down cleanly", file=sys.stderr)
+    return 0
+
+
+def _print_listening(host: str, port: int, role: str) -> None:
+    """The machine-readable bound-endpoint line, on **stdout**.
+
+    With ``--port 0`` the OS picks the port; scripts (and the cluster
+    supervisor) parse this line — or the endpoint file / ``/healthz``
+    body — instead of guessing.
+    """
+    print(f"listening url=http://{host}:{port} port={port} role={role}", flush=True)
+
+
+def _load_space(path: str):
+    return ObservationSpace.from_cubespace(load_cubespace(_read_graph(path)))
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from repro.cluster import ClusterManifest, build_shard_engine, write_endpoint_file
+    from repro.resilience.breaker import CircuitBreaker
+    from repro.resilience.shed import LoadShedder
+    from repro.service import start_server
+    from repro.storage import SegmentStore, is_segment_store
+
+    if not is_segment_store(args.store):
+        raise ReproError(f"{args.store} is not a segment store (shards need one)")
+    manifest = ClusterManifest.load(args.manifest)
+    space = None
+    input_path = args.input or manifest.input_path
+    if input_path:
+        space = _load_space(input_path)
+    store = SegmentStore.open(args.store)
+    try:
+        engine, assigned = build_shard_engine(
+            store,
+            manifest,
+            args.shard_id,
+            space=space,
+            cache_size=args.cache_size,
+            breaker=CircuitBreaker(name=f"shard-{args.shard_id}-storage"),
+        )
+    except ValueError as exc:
+        store.close()
+        raise ReproError(str(exc)) from exc
+    shedder = LoadShedder(max_inflight=args.max_inflight, max_queued=args.max_queued)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        server = start_server(
+            engine,
+            host=args.host,
+            port=args.port,
+            background=True,
+            verbose=args.verbose,
+            request_timeout=args.request_timeout,
+            shedder=shedder,
+            threads=args.threads,
+            read_only=True,
+            role=f"shard-{args.shard_id}",
+            extra_health=lambda: {
+                "shard": args.shard_id,
+                "replica": args.replica,
+                "partitions": len(assigned),
+            },
+        )
+    except OSError as exc:
+        store.close()
+        raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    bound_port = server.server_address[1]
+    if args.endpoint_file:
+        write_endpoint_file(
+            args.endpoint_file,
+            {
+                "host": args.host,
+                "port": bound_port,
+                "pid": os.getpid(),
+                "shard": args.shard_id,
+                "replica": args.replica,
+            },
+        )
+    _print_listening(args.host, bound_port, f"shard-{args.shard_id}")
+    print(
+        f"# shard {args.shard_id} replica {args.replica}: "
+        f"{len(assigned)} partition(s) of {len(manifest.partitions)} "
+        f"on http://{args.host}:{bound_port}",
+        file=sys.stderr,
+    )
+    try:
+        stop.wait()
+        server.graceful_shutdown(drain_timeout=args.drain_timeout)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.cluster import ClusterManifest, Router, start_router
+    from repro.resilience.shed import LoadShedder
+
+    manifest = ClusterManifest.load(args.manifest)
+    space = None
+    input_path = args.input or manifest.input_path
+    if input_path:
+        space = _load_space(input_path)
+    router = Router(
+        manifest,
+        space=space,
+        manifest_path=args.manifest,
+        shard_timeout=args.shard_timeout,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        server = start_router(
+            router,
+            host=args.host,
+            port=args.port,
+            background=True,
+            verbose=args.verbose,
+            threads=args.threads,
+            reuse_port=args.reuse_port,
+            shedder=LoadShedder(max_inflight=args.max_inflight, max_queued=args.max_queued),
+            request_timeout=args.request_timeout,
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    bound_port = server.server_address[1]
+    _print_listening(args.host, bound_port, "router")
+    print(
+        f"# routing {manifest.shards} shard(s) x {manifest.replicas} replica(s), "
+        f"{len(manifest.partitions)} partition(s) on http://{args.host}:{bound_port}",
+        file=sys.stderr,
+    )
+    stop.wait()
+    server.graceful_shutdown(drain_timeout=args.drain_timeout)
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.cluster import ClusterSupervisor
+
+    supervisor = ClusterSupervisor(
+        store=args.store,
+        shards=args.shards,
+        replicas=args.replicas,
+        input_path=args.input,
+        rundir=args.rundir,
+        host=args.host,
+        port=args.port,
+        router_threads=args.threads,
+        shard_threads=args.shard_threads,
+        spawn_timeout=args.spawn_timeout,
+        respawn=not args.no_respawn,
+        verbose=args.verbose,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        server = supervisor.start()
+    except BaseException:
+        supervisor.shutdown(drain_timeout=2.0)
+        raise
+    bound_port = server.server_address[1]
+    _print_listening(args.host, bound_port, "router")
+    print(
+        f"# cluster up: {args.shards} shard(s) x {args.replicas} replica(s), "
+        f"{len(supervisor.manifest.partitions)} partition(s); "
+        f"manifest {supervisor.manifest_path}",
+        file=sys.stderr,
+    )
+    try:
+        supervisor.run(stop)
+    finally:
+        print("repro: cluster: draining and stopping workers", file=sys.stderr)
+        supervisor.shutdown(drain_timeout=args.drain_timeout)
+    print("repro: cluster: shut down cleanly", file=sys.stderr)
     return 0
 
 
@@ -577,7 +788,20 @@ def build_parser() -> argparse.ArgumentParser:
         "dataset/dimension filters and POST/DELETE incremental writes",
     )
     serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port; 0 binds an ephemeral port, reported on stdout "
+        "and in /healthz (default 8080)",
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=8,
+        help="fixed handler-thread pool size; 0 reverts to one thread "
+        "per connection (default 8)",
+    )
     serve.add_argument(
         "--cache-size",
         type=int,
@@ -648,6 +872,122 @@ def build_parser() -> argparse.ArgumentParser:
         "(docs/resilience.md)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="serve a segment store as a sharded, replicated process tier",
+    )
+    cluster.add_argument(
+        "--store", required=True, help="segment store directory (.rseg)"
+    )
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        help="shard processes; partitions spread over them by consistent hashing",
+    )
+    cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="worker processes per shard; >1 enables failover (default 1)",
+    )
+    cluster.add_argument(
+        "--input",
+        help="the QB cube the store was computed from; enables routed "
+        "single-shard plans and shard-exact WAL ownership",
+    )
+    cluster.add_argument(
+        "--rundir",
+        help="directory for the cluster manifest and endpoint files "
+        "(default <store>.cluster)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="router port; 0 binds an ephemeral port, reported on stdout "
+        "(default 8080)",
+    )
+    cluster.add_argument(
+        "--threads", type=int, default=8, help="router handler threads (default 8)"
+    )
+    cluster.add_argument(
+        "--shard-threads",
+        type=int,
+        default=4,
+        help="handler threads per shard worker (default 4)",
+    )
+    cluster.add_argument(
+        "--spawn-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for workers to bind and publish endpoints",
+    )
+    cluster.add_argument(
+        "--no-respawn",
+        action="store_true",
+        help="do not restart workers that die (debugging)",
+    )
+    cluster.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds of graceful drain on shutdown (default 10)",
+    )
+    cluster.add_argument("--verbose", action="store_true")
+    cluster.set_defaults(handler=_cmd_cluster)
+
+    shard = sub.add_parser(
+        "shard", help="run one cluster shard worker (normally spawned by `cluster`)"
+    )
+    shard.add_argument("--store", required=True, help="segment store directory (.rseg)")
+    shard.add_argument("--manifest", required=True, help="cluster manifest (CLUSTER.json)")
+    shard.add_argument("--shard-id", type=int, required=True)
+    shard.add_argument("--replica", type=int, default=0)
+    shard.add_argument(
+        "--input",
+        help="QB cube file (default: the manifest's recorded input)",
+    )
+    shard.add_argument("--host", default="127.0.0.1")
+    shard.add_argument("--port", type=int, default=0)
+    shard.add_argument(
+        "--endpoint-file",
+        help="atomically write the bound {host, port, pid} here once serving",
+    )
+    shard.add_argument("--threads", type=int, default=4)
+    shard.add_argument("--cache-size", type=int, default=1024)
+    shard.add_argument("--request-timeout", type=float, default=30.0)
+    shard.add_argument("--max-inflight", type=int, default=64)
+    shard.add_argument("--max-queued", type=int, default=128)
+    shard.add_argument("--drain-timeout", type=float, default=10.0)
+    shard.add_argument("--verbose", action="store_true")
+    shard.set_defaults(handler=_cmd_shard)
+
+    router = sub.add_parser(
+        "router", help="run a cluster router over an existing shard tier"
+    )
+    router.add_argument("--manifest", required=True, help="cluster manifest (CLUSTER.json)")
+    router.add_argument(
+        "--input",
+        help="QB cube file for routed plans (default: the manifest's input)",
+    )
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=8080)
+    router.add_argument("--threads", type=int, default=8)
+    router.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="bind with SO_REUSEPORT so several router processes share the port",
+    )
+    router.add_argument("--shard-timeout", type=float, default=10.0)
+    router.add_argument("--request-timeout", type=float, default=30.0)
+    router.add_argument("--max-inflight", type=int, default=64)
+    router.add_argument("--max-queued", type=int, default=128)
+    router.add_argument("--drain-timeout", type=float, default=10.0)
+    router.add_argument("--verbose", action="store_true")
+    router.set_defaults(handler=_cmd_router)
 
     scrub = sub.add_parser(
         "scrub", help="CRC-verify a segment store; quarantine and repair corruption"

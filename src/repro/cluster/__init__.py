@@ -1,0 +1,41 @@
+"""repro.cluster — the sharded, replicated serve tier.
+
+One segment store, many processes:
+
+* :mod:`~repro.cluster.ring` — consistent hashing (virtual nodes) over
+  the store's ``(dataset, lattice-signature)`` partition keys;
+* :mod:`~repro.cluster.manifest` — the atomically-committed topology
+  file every process derives its view from;
+* :mod:`~repro.cluster.shard` — a read-only worker serving only its
+  assigned partitions (lazy mmap attach, shared page cache);
+* :mod:`~repro.cluster.router` — scatter/gather front door with
+  dominance-pruned fan-out, per-replica circuit breakers and failover;
+* :mod:`~repro.cluster.supervisor` — ``repro cluster`` process tree:
+  spawn, watch, respawn, drain.
+
+See ``docs/cluster.md`` for topology and the operations runbook.
+"""
+
+from repro.cluster.manifest import CLUSTER_MANIFEST_NAME, ClusterManifest, shard_node
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, partition_key_str, ring_hash
+from repro.cluster.router import Router, RouterServer, ShardUnavailableError, start_router
+from repro.cluster.shard import build_shard_engine, prune_foreign_pairs, write_endpoint_file
+from repro.cluster.supervisor import ClusterSupervisor
+
+__all__ = [
+    "CLUSTER_MANIFEST_NAME",
+    "ClusterManifest",
+    "ClusterSupervisor",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "Router",
+    "RouterServer",
+    "ShardUnavailableError",
+    "build_shard_engine",
+    "partition_key_str",
+    "prune_foreign_pairs",
+    "ring_hash",
+    "shard_node",
+    "start_router",
+    "write_endpoint_file",
+]

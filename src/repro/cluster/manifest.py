@@ -1,0 +1,175 @@
+"""The cluster manifest: one JSON file describing the whole topology.
+
+The supervisor owns the manifest; every other process derives its view
+of the cluster from it:
+
+* **shards** read it to learn which partition keys they serve;
+* **routers** read it to build the ring, the partition list and the
+  live replica endpoints — and re-read it (cheap mtime poll) so a
+  respawned worker's new port, or a newly added shard, shows up
+  without restarting the router;
+* **operators** read it to find worker PIDs and ports.
+
+It is written atomically (temp + ``os.replace``) with a bumped
+``generation`` on every change, so a reader never observes a
+half-written topology — the same commit discipline as the segment
+store's ``MANIFEST.json``, one level up.
+
+Ring parameters (``vnodes``) live in the manifest, so adding a shard
+re-derives the same ring everywhere and only moves the keys consistent
+hashing says must move.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, partition_key_str
+
+__all__ = ["ClusterManifest", "CLUSTER_MANIFEST_NAME", "shard_node"]
+
+CLUSTER_MANIFEST_NAME = "CLUSTER.json"
+CLUSTER_FORMAT = "repro-cluster"
+CLUSTER_VERSION = 1
+
+
+def shard_node(shard: int) -> str:
+    """The ring-node name of shard ``shard``."""
+    return f"shard-{shard}"
+
+
+class ClusterManifest:
+    """In-memory view of (and writer for) the cluster manifest file."""
+
+    def __init__(
+        self,
+        store: str,
+        shards: int,
+        replicas: int = 1,
+        partitions: list[dict] | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        input_path: str | None = None,
+        generation: int = 0,
+        workers: list[dict] | None = None,
+        router: dict | None = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.store = str(store)
+        self.shards = int(shards)
+        self.replicas = int(replicas)
+        #: ``[{"dataset": ..., "signature": [...] | None}, ...]`` — the
+        #: segment store's partition keys at supervision time.
+        self.partitions = partitions if partitions is not None else []
+        self.vnodes = int(vnodes)
+        self.input_path = input_path
+        self.generation = int(generation)
+        #: ``[{"shard", "replica", "host", "port", "pid"}, ...]``
+        self.workers = workers if workers is not None else []
+        self.router = router
+
+    # ------------------------------------------------------------------
+    def ring(self) -> HashRing:
+        return HashRing(
+            (shard_node(index) for index in range(self.shards)), vnodes=self.vnodes
+        )
+
+    def partition_keys(self) -> list[str]:
+        return [
+            partition_key_str(entry.get("dataset"), entry.get("signature"))
+            for entry in self.partitions
+        ]
+
+    def assignment(self) -> dict[str, list[str]]:
+        """Partition keys per shard node, derived from the ring."""
+        return self.ring().assignment(self.partition_keys())
+
+    def partitions_for(self, shard: int) -> list[dict]:
+        """The partition entries (dataset/signature dicts) shard serves."""
+        node = shard_node(shard)
+        ring = self.ring()
+        return [
+            entry
+            for entry in self.partitions
+            if ring.node_for(
+                partition_key_str(entry.get("dataset"), entry.get("signature"))
+            )
+            == node
+        ]
+
+    def replicas_of(self, shard: int) -> list[dict]:
+        return [worker for worker in self.workers if worker.get("shard") == shard]
+
+    def upsert_worker(self, worker: dict) -> None:
+        """Record (or replace) one worker's endpoint entry."""
+        self.workers = [
+            existing
+            for existing in self.workers
+            if not (
+                existing.get("shard") == worker.get("shard")
+                and existing.get("replica") == worker.get("replica")
+            )
+        ] + [worker]
+        self.workers.sort(key=lambda w: (w.get("shard", 0), w.get("replica", 0)))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": CLUSTER_FORMAT,
+            "version": CLUSTER_VERSION,
+            "generation": self.generation,
+            "store": self.store,
+            "input": self.input_path,
+            "shards": self.shards,
+            "replicas": self.replicas,
+            "ring": {"vnodes": self.vnodes},
+            "partitions": self.partitions,
+            "workers": self.workers,
+            "router": self.router,
+        }
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Atomically commit the manifest (bumps ``generation``)."""
+        from repro.store import atomic_write_text
+
+        self.generation += 1
+        atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ClusterManifest":
+        target = Path(path)
+        try:
+            payload = json.loads(target.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ReproError(f"no cluster manifest at {target}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read cluster manifest {target}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != CLUSTER_FORMAT:
+            raise ReproError(f"{target} is not a cluster manifest")
+        if payload.get("version") != CLUSTER_VERSION:
+            raise ReproError(
+                f"unsupported cluster manifest version {payload.get('version')!r}"
+            )
+        return cls(
+            store=payload["store"],
+            shards=payload["shards"],
+            replicas=payload.get("replicas", 1),
+            partitions=payload.get("partitions", []),
+            vnodes=payload.get("ring", {}).get("vnodes", DEFAULT_VNODES),
+            input_path=payload.get("input"),
+            generation=payload.get("generation", 0),
+            workers=payload.get("workers", []),
+            router=payload.get("router"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterManifest(shards={self.shards}, replicas={self.replicas}, "
+            f"partitions={len(self.partitions)}, workers={len(self.workers)}, "
+            f"generation={self.generation})"
+        )

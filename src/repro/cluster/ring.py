@@ -1,0 +1,160 @@
+"""Consistent-hash ring over segment partition keys.
+
+The serve tier shards by exactly what :mod:`repro.storage` partitions
+by: the ``(dataset, lattice-signature)`` key of each segment.  A
+:class:`HashRing` places ``vnodes`` virtual points per shard on a
+64-bit ring (BLAKE2b, stable across processes and Python versions) and
+assigns every partition key to the first shard point at or after the
+key's hash, walking clockwise.
+
+Why consistent hashing instead of ``hash(key) % shards``:
+
+* **bounded movement** — adding one shard to an ``N``-shard ring moves
+  only the keys that now fall on the new shard's points, ~``1/(N+1)``
+  of the total, and *never* moves a key between two pre-existing
+  shards; modulo hashing reshuffles almost everything.
+* **balance** — virtual nodes smooth out the arc-length variance of a
+  single point per shard; with the default 128 vnodes the max/min
+  shard load ratio stays small (property-tested in
+  ``tests/property/test_ring_props.py``).
+* **replica placement** — :meth:`HashRing.nodes_for` keeps walking
+  clockwise past the owner to enumerate distinct fallback shards, so
+  the same ring answers "who owns this" and "who else could".
+
+Keys and nodes are plain strings; :func:`partition_key_str` renders
+the storage layer's ``(dataset, signature)`` tuples canonically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing", "partition_key_str", "ring_hash"]
+
+#: Virtual points per node; 128 keeps max/min load ratio low for the
+#: shard counts this tier targets (2..64) at negligible memory cost.
+DEFAULT_VNODES = 128
+
+
+def ring_hash(data: str) -> int:
+    """Stable 64-bit position on the ring (BLAKE2b, not ``hash()``)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def partition_key_str(dataset, signature) -> str:
+    """Canonical string form of a storage partition key.
+
+    ``(None, None)`` — the storage layer's default partition for pairs
+    with no recorded key — renders as ``"default"`` so every process
+    (supervisor, router, shard) hashes it identically.
+    """
+    if dataset is None and signature is None:
+        return "default"
+    sig = ",".join(str(level) for level in signature) if signature is not None else ""
+    return f"{dataset or ''}|{sig}"
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Nodes are opaque strings (the cluster uses ``"shard-<i>"``).  All
+    operations are deterministic: two rings built from the same nodes
+    and ``vnodes`` agree on every assignment, which is what lets the
+    router, the supervisor and each shard derive the same topology
+    from the manifest without coordination.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        #: sorted (point, node) pairs; parallel point list for bisect
+        self._ring: list[tuple[int, str]] = []
+        self._points: list[int] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for vnode in range(self.vnodes):
+            insort(self._ring, (ring_hash(f"{node}#{vnode}"), node))
+        self._points = [point for point, _ in self._ring]
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [(point, owner) for point, owner in self._ring if owner != node]
+        self._points = [point for point, _ in self._ring]
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """The shard owning ``key`` (first point clockwise from its hash)."""
+        if not self._ring:
+            raise ValueError("ring has no nodes")
+        index = bisect_right(self._points, ring_hash(key)) % len(self._ring)
+        return self._ring[index][1]
+
+    def nodes_for(self, key: str, count: int) -> list[str]:
+        """``count`` distinct shards for ``key``, owner first.
+
+        Walks clockwise collecting distinct nodes — the canonical
+        replica-placement order, also used as the failover sequence.
+        """
+        if not self._ring:
+            raise ValueError("ring has no nodes")
+        count = min(count, len(self._nodes))
+        start = bisect_right(self._points, ring_hash(key))
+        picked: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in seen:
+                seen.add(node)
+                picked.append(node)
+                if len(picked) == count:
+                    break
+        return picked
+
+    def assignment(self, keys: Sequence[str]) -> dict[str, list[str]]:
+        """Every node's assigned keys (all nodes present, possibly empty)."""
+        out: dict[str, list[str]] = {node: [] for node in sorted(self._nodes)}
+        for key in keys:
+            out[self.node_for(key)].append(key)
+        return out
+
+    def stats(self, keys: Sequence[str]) -> dict:
+        """Balance facts for ``keys``: per-node load, max/min ratio."""
+        loads = {node: len(assigned) for node, assigned in self.assignment(keys).items()}
+        counts = list(loads.values())
+        busiest = max(counts) if counts else 0
+        quietest = min(counts) if counts else 0
+        return {
+            "nodes": len(self._nodes),
+            "vnodes": self.vnodes,
+            "keys": len(keys),
+            "loads": loads,
+            "max_load": busiest,
+            "min_load": quietest,
+            "ratio": (busiest / quietest) if quietest else float("inf"),
+        }
+
+    def __repr__(self) -> str:
+        return f"HashRing(nodes={len(self._nodes)}, vnodes={self.vnodes})"

@@ -1,0 +1,972 @@
+"""The cluster router: consistent-hash fan-out over shard workers.
+
+The router is the tier's front door.  For every query it:
+
+1. **plans** — maps the query onto the smallest set of shards that can
+   hold the answer.  Observation queries resolve the observation's
+   ``(dataset, lattice-signature)`` partition (the router holds the
+   observation *space* — metadata only, no relationship data) and then
+   prune partitions exactly the way the storage manifest does:
+   ``containers`` needs only partitions whose signature *dominates*
+   the query's, ``complements`` only equal signatures, and so on.
+   Partitions map to shards through the same
+   :class:`~repro.cluster.ring.HashRing` the supervisor used.
+2. **fans out** — a one-shard plan is *proxied* byte-for-byte (no JSON
+   decode on the hot path); a multi-shard plan scatters concurrently
+   and merges (union, top-k re-rank, count sums).
+3. **fails over** — each shard's replicas carry a per-replica
+   :class:`~repro.resilience.breaker.CircuitBreaker`; the router picks
+   the **least-inflight** admitted replica and walks to the next on
+   connection failure or 5xx, so killing one worker mid-load costs a
+   retry, not an error.
+
+Trace IDs (``X-Trace-Id``) and deadline budgets (``X-Deadline-Ms``,
+the *remaining* budget) ride every sub-request, so one client trace
+stitches through router and shard spans and a slow shard cannot
+outlive its caller's patience.  The router's own admission control is
+the same :class:`~repro.resilience.shed.LoadShedder` the serve path
+uses.
+
+Topology is dynamic: the router polls the cluster manifest's mtime and
+rebuilds its replica table when the supervisor rewrites it (respawned
+worker, added shard) — per-replica breaker state survives for
+endpoints that did not change.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import OverloadedError, ReproError
+from repro.obs.tracing import bind_trace, new_trace_id, trace
+from repro.resilience.breaker import CircuitBreaker, OPEN
+from repro.resilience.deadline import Deadline, bind_deadline, remaining_ms
+from repro.resilience.shed import LoadShedder
+from repro.cluster.manifest import ClusterManifest, shard_node
+from repro.cluster.ring import partition_key_str
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import _HandlerPool, _HTTPError, pooled_handle
+
+__all__ = ["Router", "RouterServer", "ShardUnavailableError", "start_router"]
+
+# Registry metrics resolved once per process; see docs/observability.md.
+_METRICS = None
+
+
+def _metrics():
+    global _METRICS
+    if _METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _METRICS = {
+            "shards": registry.gauge(
+                "repro_cluster_shards",
+                "Shards in the routed cluster topology.",
+            ),
+            "generation": registry.gauge(
+                "repro_cluster_manifest_generation",
+                "Cluster-manifest generation the router last applied.",
+            ),
+            "replicas_up": registry.gauge(
+                "repro_cluster_replicas_up",
+                "Replicas per shard whose circuit breaker is not open.",
+                labelnames=("shard",),
+            ),
+            "fanout": registry.counter(
+                "repro_cluster_fanout_requests_total",
+                "Sub-requests the router sent, by shard.",
+                labelnames=("shard",),
+            ),
+            "failovers": registry.counter(
+                "repro_cluster_failovers_total",
+                "Sub-requests retried on another replica, by shard.",
+                labelnames=("shard",),
+            ),
+            "errors": registry.counter(
+                "repro_cluster_shard_errors_total",
+                "Failed sub-requests, by shard and failure kind.",
+                labelnames=("shard", "kind"),
+            ),
+            "scatter": registry.histogram(
+                "repro_cluster_scatter_width",
+                "Shards consulted per routed query.",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            ),
+        }
+    return _METRICS
+
+
+class ShardUnavailableError(ReproError):
+    """Every replica of a required shard refused or failed."""
+
+    def __init__(self, shard: int, detail: str, retry_after: float = 1.0):
+        super().__init__(
+            f"shard {shard} is unavailable ({detail}); the answer would be "
+            "incomplete, failing instead"
+        )
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+class Replica:
+    """One shard worker endpoint plus its health state."""
+
+    def __init__(self, shard: int, replica: int, host: str, port: int):
+        self.shard = shard
+        self.replica = replica
+        self.host = host
+        self.port = int(port)
+        self.inflight = 0
+        # Small window / fast reset: a killed worker should be noticed
+        # after a handful of refused connections and re-probed within a
+        # second of its respawn.
+        self.breaker = CircuitBreaker(
+            window=16,
+            min_samples=2,
+            failure_threshold=0.5,
+            reset_timeout=1.0,
+            half_open_probes=1,
+            name=f"shard-{shard}.{replica}",
+        )
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica(shard={self.shard}, replica={self.replica}, "
+            f"{self.host}:{self.port}, breaker={self.breaker.state})"
+        )
+
+
+def _dominates(container_sig, contained_sig) -> bool:
+    return len(container_sig) == len(contained_sig) and all(
+        a <= b for a, b in zip(container_sig, contained_sig)
+    )
+
+
+class Router:
+    """Routing table + scatter/gather client over the shard tier."""
+
+    def __init__(
+        self,
+        manifest: ClusterManifest,
+        space=None,
+        manifest_path: str | None = None,
+        shard_timeout: float = 10.0,
+        poll_interval: float = 0.5,
+    ):
+        self.shard_timeout = float(shard_timeout)
+        self.poll_interval = float(poll_interval)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._replicas: dict[int, list[Replica]] = {}
+        self._partitions: list[tuple[str | None, tuple | None, str]] = []
+        self._ring = None
+        self.manifest = manifest
+        self.manifest_path = str(manifest_path) if manifest_path else None
+        self._manifest_mtime: float | None = None
+        self._stop = threading.Event()
+        self._poller: threading.Thread | None = None
+        # Observation routing metadata: uri -> (dataset, signature).
+        self._locate: dict[str, tuple[str, tuple]] = {}
+        if space is not None:
+            for record in space.observations:
+                self._locate[str(record.uri)] = (
+                    str(record.dataset),
+                    space.level_signature(record.index),
+                )
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * manifest.shards), thread_name_prefix="repro-router"
+        )
+        self.apply_manifest(manifest)
+        if self.manifest_path:
+            self._manifest_mtime = self._mtime()
+            self._poller = threading.Thread(
+                target=self._poll_manifest, name="repro-router-manifest", daemon=True
+            )
+            self._poller.start()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def apply_manifest(self, manifest: ClusterManifest) -> None:
+        """Adopt a (new) topology, keeping state for unchanged endpoints."""
+        ring = manifest.ring()
+        partitions = [
+            (
+                entry.get("dataset"),
+                tuple(entry["signature"]) if entry.get("signature") is not None else None,
+                partition_key_str(entry.get("dataset"), entry.get("signature")),
+            )
+            for entry in manifest.partitions
+        ]
+        with self._lock:
+            old = {
+                (replica.shard, replica.replica, replica.host, replica.port): replica
+                for replicas in self._replicas.values()
+                for replica in replicas
+            }
+            table: dict[int, list[Replica]] = {i: [] for i in range(manifest.shards)}
+            for worker in manifest.workers:
+                shard = int(worker["shard"])
+                if shard not in table or worker.get("port") in (None, 0):
+                    continue
+                key = (
+                    shard,
+                    int(worker.get("replica", 0)),
+                    worker["host"],
+                    int(worker["port"]),
+                )
+                table[shard].append(old.get(key) or Replica(*key))
+            for replicas in table.values():
+                replicas.sort(key=lambda replica: replica.replica)
+            self.manifest = manifest
+            self._ring = ring
+            self._partitions = partitions
+            self._replicas = table
+        metrics = _metrics()
+        metrics["shards"].set(manifest.shards)
+        metrics["generation"].set(manifest.generation)
+        self._update_replica_gauges()
+
+    def _update_replica_gauges(self) -> None:
+        with self._lock:
+            table = {shard: list(replicas) for shard, replicas in self._replicas.items()}
+        gauge = _metrics()["replicas_up"]
+        for shard, replicas in table.items():
+            gauge.set(
+                sum(1 for replica in replicas if replica.breaker.state != OPEN),
+                shard=shard,
+            )
+
+    def _mtime(self) -> float | None:
+        try:
+            return Path(self.manifest_path).stat().st_mtime
+        except OSError:
+            return None
+
+    def _poll_manifest(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            mtime = self._mtime()
+            if mtime is None or mtime == self._manifest_mtime:
+                continue
+            self._manifest_mtime = mtime
+            try:
+                self.apply_manifest(ClusterManifest.load(self.manifest_path))
+            except ReproError:
+                continue  # mid-rewrite or transient; next poll retries
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._poller is not None:
+            self._poller.join(timeout=2.0)
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def locate(self, uri: str) -> tuple[str, tuple] | None:
+        return self._locate.get(uri)
+
+    def _shard_of_key(self, key: str) -> int:
+        return int(self._ring.node_for(key).rsplit("-", 1)[1])
+
+    def plan(self, relation: str, uri: str | None = None) -> list[int]:
+        """The shard ids that must be consulted for this query.
+
+        Prunes by lattice dominance when the observation's partition is
+        known, mirroring ``SegmentStore.segments_for``: ``containers``
+        keeps partitions whose signature dominates the observation's,
+        ``contained`` the dominated ones, ``complements`` the equal
+        ones.  Unprunable relations (``related``, ``partial``,
+        ``summary``) and unknown observations consult every partition.
+        The ``default`` partition (pairs without a recorded key) is
+        never pruned.
+        """
+        with self._lock:
+            partitions = self._partitions
+            shards = self.manifest.shards
+        if not partitions:
+            return list(range(shards))
+        located = self.locate(uri) if uri is not None else None
+        keys: set[str] = set()
+        if located is None or relation not in ("containers", "contained", "complements"):
+            keys = {key for _, _, key in partitions}
+        else:
+            _, signature = located
+            for _, seg_sig, key in partitions:
+                if seg_sig is None:
+                    keys.add(key)  # default partition: cannot prune
+                elif relation == "containers" and _dominates(seg_sig, signature):
+                    keys.add(key)
+                elif relation == "contained" and _dominates(signature, seg_sig):
+                    keys.add(key)
+                elif relation == "complements" and seg_sig == signature:
+                    keys.add(key)
+        return sorted({self._shard_of_key(key) for key in keys})
+
+    def plan_single(self, affinity: str) -> list[int]:
+        """One shard for queries any shard can answer (space metadata)."""
+        with self._lock:
+            shards = self.manifest.shards
+        if self._ring is None or not len(self._ring):
+            return [0]
+        return [self._shard_of_key(f"affinity:{affinity}")] if shards else [0]
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self, replica: Replica, timeout: float) -> http.client.HTTPConnection:
+        cache = getattr(self._local, "conns", None)
+        if cache is None:
+            cache = self._local.conns = {}
+        conn = cache.get(replica.endpoint)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                replica.host, replica.port, timeout=timeout
+            )
+            cache[replica.endpoint] = conn
+        conn.timeout = timeout
+        if conn.sock is not None:
+            conn.sock.settimeout(timeout)
+        return conn
+
+    def _drop_connection(self, replica: Replica) -> None:
+        cache = getattr(self._local, "conns", None)
+        if cache is not None:
+            conn = cache.pop(replica.endpoint, None)
+            if conn is not None:
+                conn.close()
+
+    def _request_once(self, replica: Replica, path: str, headers: dict, timeout: float):
+        """One GET on the cached connection, absorbing benign staleness.
+
+        A pool-served shard closes kept-alive connections under
+        pressure (see :func:`~repro.service.server.pooled_keepalive`),
+        and an idle one may have timed out server-side since our last
+        use.  Hitting that with a *reused* connection is not a replica
+        failure — retry exactly once on a fresh connection before
+        letting :meth:`call_shard` count anything against the breaker.
+        """
+        for attempt in (0, 1):
+            conn = self._connection(replica, timeout)
+            reused = getattr(conn, "_repro_used", False)
+            try:
+                conn.request("GET", path, headers=headers)
+                response = conn.getresponse()
+                body = response.read()
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                self._drop_connection(replica)
+                if reused and attempt == 0:
+                    continue
+                raise
+            except (OSError, http.client.HTTPException):
+                self._drop_connection(replica)
+                raise
+            conn._repro_used = True
+            return response.status, dict(response.getheaders()), body
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _pick_order(self, shard: int) -> list[Replica]:
+        """Replicas in failover order: least-inflight first."""
+        with self._lock:
+            replicas = list(self._replicas.get(shard, ()))
+        return sorted(replicas, key=lambda replica: (replica.inflight, replica.replica))
+
+    def call_shard(self, shard: int, path: str, headers: dict) -> tuple[int, dict, bytes]:
+        """One GET against shard ``shard``: ``(status, headers, body)``.
+
+        Tries replicas in least-inflight order; a connection failure,
+        timeout or 5xx records a breaker failure and fails over to the
+        next replica.  Raises :class:`ShardUnavailableError` when no
+        replica answers — an incomplete scatter must fail loudly, not
+        return a silently partial result.
+        """
+        metrics = _metrics()
+        order = self._pick_order(shard)
+        if not order:
+            raise ShardUnavailableError(shard, "no registered replicas")
+        budget = remaining_ms()
+        timeout = self.shard_timeout
+        if budget is not None:
+            timeout = max(0.05, min(timeout, budget / 1000.0))
+        detail = "all replicas refused"
+        for attempt, replica in enumerate(order):
+            if not replica.breaker.allow():
+                detail = f"breaker {replica.breaker.state}"
+                continue
+            if attempt:
+                metrics["failovers"].inc(shard=shard)
+            with self._lock:
+                replica.inflight += 1
+            started = time.monotonic()
+            try:
+                metrics["fanout"].inc(shard=shard)
+                status, response_headers, body = self._request_once(
+                    replica, path, headers, timeout
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                replica.breaker.record_failure(time.monotonic() - started)
+                metrics["errors"].inc(shard=shard, kind=type(exc).__name__)
+                detail = f"{type(exc).__name__}: {exc}"
+                continue
+            finally:
+                with self._lock:
+                    replica.inflight -= 1
+            if status >= 500:
+                # The shard answered but could not serve (breaker open,
+                # shed, deadline, crash handler): count it against this
+                # replica and let another one try.
+                replica.breaker.record_failure(time.monotonic() - started)
+                metrics["errors"].inc(shard=shard, kind=f"http_{status}")
+                detail = f"HTTP {status}"
+                continue
+            replica.breaker.record_success(time.monotonic() - started)
+            return status, response_headers, body
+        self._update_replica_gauges()
+        raise ShardUnavailableError(shard, detail)
+
+    def scatter(
+        self, shards: list[int], path: str, headers: dict
+    ) -> list[tuple[int, int, dict, bytes]]:
+        """Concurrent :meth:`call_shard` over ``shards`` (order kept)."""
+        _metrics()["scatter"].observe(len(shards))
+        if len(shards) == 1:
+            status, response_headers, body = self.call_shard(shards[0], path, headers)
+            return [(shards[0], status, response_headers, body)]
+        futures = [
+            (shard, self._executor.submit(self.call_shard, shard, path, headers))
+            for shard in shards
+        ]
+        out = []
+        error: ShardUnavailableError | None = None
+        for shard, future in futures:
+            try:
+                status, response_headers, body = future.result()
+                out.append((shard, status, response_headers, body))
+            except ShardUnavailableError as exc:
+                error = exc
+        if error is not None:
+            raise error
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            manifest = self.manifest
+            replicas = {
+                shard: [
+                    {
+                        "replica": replica.replica,
+                        "host": replica.host,
+                        "port": replica.port,
+                        "inflight": replica.inflight,
+                        "breaker": replica.breaker.state,
+                    }
+                    for replica in rs
+                ]
+                for shard, rs in self._replicas.items()
+            }
+            partition_count = len(self._partitions)
+        ring = manifest.ring()
+        return {
+            "shards": manifest.shards,
+            "replicas": replicas,
+            "partitions": partition_count,
+            "generation": manifest.generation,
+            "observations": len(self._locate) or None,
+            "ring": ring.stats(manifest.partition_keys()),
+        }
+
+    def healthy(self) -> tuple[bool, dict[int, int]]:
+        """(every shard reachable?, live replica count per shard)."""
+        with self._lock:
+            table = {shard: list(rs) for shard, rs in self._replicas.items()}
+        up = {
+            shard: sum(1 for replica in rs if replica.breaker.state != OPEN)
+            for shard, rs in table.items()
+        }
+        return all(count > 0 for count in up.values()) and bool(up), up
+
+
+# ----------------------------------------------------------------------
+# Gather merges (module-level so tests can hit them directly)
+# ----------------------------------------------------------------------
+def merge_relation_lists(field: str, bodies: list[dict]) -> list[str]:
+    merged: set[str] = set()
+    for body in bodies:
+        merged.update(body.get(field, ()))
+    return sorted(merged)
+
+
+def merge_related(bodies: list[dict], k: int) -> list[dict]:
+    best: dict[str, dict] = {}
+    for body in bodies:
+        for entry in body.get("related", ()):
+            current = best.get(entry["uri"])
+            if current is None or entry["score"] > current["score"]:
+                best[entry["uri"]] = entry
+    ranked = sorted(best.values(), key=lambda entry: (-entry["score"], entry["uri"]))
+    return ranked[: max(k, 0)]
+
+
+def merge_partial(bodies: list[dict], k: int) -> list[dict]:
+    best: dict[tuple[str, str], dict] = {}
+    for body in bodies:
+        for entry in body.get("partial", ()):
+            key = (entry["uri"], entry["direction"])
+            current = best.get(key)
+            if current is None or entry["degree"] > current["degree"]:
+                best[key] = entry
+    ranked = sorted(best.values(), key=lambda entry: (-entry["degree"], entry["uri"]))
+    return ranked[: max(k, 0)]
+
+
+def merge_summary(bodies: list[dict]) -> dict:
+    merged: dict = {}
+    for body in bodies:
+        if not merged:
+            merged = dict(body)
+            continue
+        for field in (
+            "containers",
+            "contained",
+            "complements",
+            "partial_containers",
+            "partial_contained",
+        ):
+            merged[field] = merged.get(field, 0) + body.get(field, 0)
+        for field in ("dataset", "cube"):
+            if merged.get(field) is None:
+                merged[field] = body.get(field)
+    return merged
+
+
+def merge_observation_lists(bodies: list[dict], limit: int | None) -> dict:
+    merged: set[str] = set()
+    for body in bodies:
+        merged.update(body.get("observations", ()))
+    ordered = sorted(merged)
+    if limit is not None:
+        ordered = ordered[:limit]
+    return {"observations": ordered, "count": len(ordered)}
+
+
+# ----------------------------------------------------------------------
+# The HTTP front end
+# ----------------------------------------------------------------------
+class RouterHandler(BaseHTTPRequestHandler):
+    """Routes one request onto the shard tier."""
+
+    server: "RouterServer"
+    protocol_version = "HTTP/1.1"
+
+    def setup(self) -> None:
+        self.timeout = self.server.request_timeout
+        super().setup()
+
+    def handle(self) -> None:
+        if getattr(self.server, "_pool", None) is not None:
+            pooled_handle(self)
+        else:
+            super().handle()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status, payload, content_type="application/json", headers=None):
+        body = (
+            payload
+            if isinstance(payload, bytes)
+            else payload.encode("utf-8")
+            if isinstance(payload, str)
+            else json.dumps(payload, default=str).encode("utf-8")
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _request_deadline(self) -> Deadline | None:
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            return Deadline(float(raw))
+        except ValueError:
+            raise _HTTPError(
+                400, f"X-Deadline-Ms must be a positive number of milliseconds, got {raw!r}"
+            ) from None
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        segments = [unquote(part) for part in split.path.split("/") if part]
+        query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        endpoint = "unknown"
+        status = 500
+        self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+        started = time.perf_counter()
+        with bind_trace(self._trace_id), trace(
+            "router.request", method=method, path=split.path
+        ) as span:
+            try:
+                with self.server.shedder.admitted():
+                    with bind_deadline(self._request_deadline()):
+                        endpoint, status, payload, content_type = self._route(
+                            method, segments, query, split.query
+                        )
+                        self._reply(status, payload, content_type)
+            except _HTTPError as exc:
+                status = exc.status
+                self._reply(status, {"error": str(exc)})
+            except OverloadedError as exc:
+                status = 503
+                self._reply(
+                    status,
+                    {"error": str(exc)},
+                    headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+                )
+            except ShardUnavailableError as exc:
+                status = 503
+                self._reply(
+                    status,
+                    {"error": str(exc)},
+                    headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+                )
+            except ReproError as exc:
+                status = 400
+                self._reply(status, {"error": str(exc)})
+            except BrokenPipeError:
+                status = 499
+            except Exception as exc:  # pragma: no cover - defensive
+                status = 500
+                self._reply(status, {"error": f"internal error: {exc}"})
+            finally:
+                span.fields["endpoint"] = endpoint
+                span.fields["status"] = status
+                self.server.metrics.observe(endpoint, status, time.perf_counter() - started)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # ------------------------------------------------------------------
+    def _subrequest_headers(self) -> dict:
+        headers = {"X-Trace-Id": self._trace_id}
+        budget = remaining_ms()
+        if budget is not None:
+            headers["X-Deadline-Ms"] = f"{max(1.0, budget):.0f}"
+        return headers
+
+    def _gather_bodies(self, shards: list[int], path: str) -> list[dict]:
+        """Scatter ``path``; return parsed 200 bodies (404s dropped).
+
+        Raises 404 when every shard said 404, and propagates the first
+        4xx error body otherwise.
+        """
+        responses = self.server.router.scatter(shards, path, self._subrequest_headers())
+        bodies = [json.loads(body) for _, status, _, body in responses if status == 200]
+        if bodies:
+            return bodies
+        statuses = [status for _, status, _, body in responses]
+        if statuses and all(status == 404 for status in statuses):
+            raise _HTTPError(404, json.loads(responses[0][3]).get("error", "not found"))
+        first = responses[0]
+        raise _HTTPError(first[1], json.loads(first[3]).get("error", "shard error"))
+
+    def _proxy(self, shard: int, path: str):
+        """Byte-for-byte pass-through of a one-shard plan."""
+        status, headers, body = self.server.router.call_shard(
+            shard, path, self._subrequest_headers()
+        )
+        return status, body, headers.get("Content-Type", "application/json")
+
+    def _relation_list(self, uri: str, relation: str) -> list[str]:
+        """Merged relation neighbours (the transitive walk's step)."""
+        quoted = _quote(uri)
+        shards = self.server.router.plan(relation, uri)
+        bodies = self._gather_bodies(shards, f"/observations/{quoted}/{relation}")
+        return merge_relation_lists(relation, bodies)
+
+    # ------------------------------------------------------------------
+    def _route(self, method: str, segments: list[str], query: dict, rawquery: str):
+        router = self.server.router
+        if method in ("POST", "DELETE"):
+            raise _HTTPError(
+                501,
+                "the cluster router serves reads; incremental writes go "
+                "through the store's single writer (`repro serve`), and "
+                "shards pick them up from its WAL at the next restart",
+            )
+        if segments == ["healthz"]:
+            ok, up = router.healthy()
+            router._update_replica_gauges()
+            return (
+                "healthz",
+                200,
+                {
+                    "status": "ok" if ok else "degraded",
+                    "role": "router",
+                    "port": self.server.server_address[1],
+                    "shards": router.manifest.shards,
+                    "replicas": router.manifest.replicas,
+                    "replicas_up": {str(shard): count for shard, count in up.items()},
+                    "partitions": len(router.manifest.partitions),
+                    "manifest_generation": router.manifest.generation,
+                },
+                "application/json",
+            )
+        if segments == ["metrics"]:
+            body = self.server.metrics.render(None)
+            return "metrics", 200, body, "text/plain; version=0.0.4; charset=utf-8"
+        if segments == ["stats"]:
+            return "stats", 200, router.stats(), "application/json"
+        if segments == ["cluster"]:
+            return "cluster", 200, router.manifest.to_dict(), "application/json"
+        if not segments or segments[0] != "observations":
+            raise _HTTPError(404, f"no route for {'/'.join(segments) or '/'}")
+
+        suffix = f"?{rawquery}" if rawquery else ""
+        if len(segments) == 1:
+            # The shard index registers every space observation, so any
+            # one shard can answer a listing when the space is loaded;
+            # without one, union the shard-local views.
+            if router._locate:
+                shards = router.plan_single(f"list:{query.get('dataset', '')}")
+                status, body, content_type = self._proxy(shards[0], f"/observations{suffix}")
+                return "list", status, body, content_type
+            shards = router.plan("list")
+            bodies = self._gather_bodies(shards, f"/observations{suffix}")
+            limit = _int_param(query, "limit", None)
+            return "list", 200, merge_observation_lists(bodies, limit), "application/json"
+
+        uri = segments[1]
+        quoted = _quote(uri)
+        if len(segments) == 2:
+            shards = router.plan("summary", uri)
+            if len(shards) == 1:
+                status, body, content_type = self._proxy(shards[0], f"/observations/{quoted}")
+                return "observation", status, body, content_type
+            bodies = self._gather_bodies(shards, f"/observations/{quoted}")
+            return "observation", 200, merge_summary(bodies), "application/json"
+
+        if len(segments) != 3:
+            raise _HTTPError(404, f"no route for {'/'.join(segments)}")
+        relation = segments[2]
+        if relation in ("containers", "contained", "complements"):
+            shards = router.plan(relation, uri)
+            if len(shards) == 1:
+                status, body, content_type = self._proxy(
+                    shards[0], f"/observations/{quoted}/{relation}"
+                )
+                return relation, status, body, content_type
+            bodies = self._gather_bodies(shards, f"/observations/{quoted}/{relation}")
+            return (
+                relation,
+                200,
+                {"uri": uri, relation: merge_relation_lists(relation, bodies)},
+                "application/json",
+            )
+        if relation == "related":
+            k = _int_param(query, "k", 10)
+            shards = router.plan("related", uri)
+            if len(shards) == 1:
+                status, body, content_type = self._proxy(
+                    shards[0], f"/observations/{quoted}/related{suffix}"
+                )
+                return "related", status, body, content_type
+            bodies = self._gather_bodies(shards, f"/observations/{quoted}/related{suffix}")
+            return (
+                "related",
+                200,
+                {"uri": uri, "related": merge_related(bodies, k)},
+                "application/json",
+            )
+        if relation == "partial":
+            k = _int_param(query, "k", 10)
+            shards = router.plan("partial", uri)
+            if len(shards) == 1:
+                status, body, content_type = self._proxy(
+                    shards[0], f"/observations/{quoted}/partial{suffix}"
+                )
+                return "partial", status, body, content_type
+            bodies = self._gather_bodies(shards, f"/observations/{quoted}/partial{suffix}")
+            return (
+                "partial",
+                200,
+                {"uri": uri, "partial": merge_partial(bodies, k)},
+                "application/json",
+            )
+        if relation == "transitive":
+            direction = query.get("direction", "up")
+            if direction not in ("up", "down"):
+                raise _HTTPError(400, f"direction must be 'up' or 'down', got {direction!r}")
+            max_depth = _int_param(query, "max_depth", None)
+            step = "containers" if direction == "up" else "contained"
+            # Router-side BFS: each hop may live on a different shard,
+            # so the walk itself is the scatter unit.
+            visited = {uri}
+            frontier = [uri]
+            depth = 0
+            reachable: list[dict] = []
+            while frontier and (max_depth is None or depth < max_depth):
+                depth += 1
+                next_frontier: list[str] = []
+                for node in frontier:
+                    for neighbour in self._relation_list(node, step):
+                        if neighbour not in visited:
+                            visited.add(neighbour)
+                            reachable.append({"uri": neighbour, "depth": depth})
+                            next_frontier.append(neighbour)
+                frontier = next_frontier
+            return (
+                "transitive",
+                200,
+                {"uri": uri, "direction": direction, "reachable": reachable},
+                "application/json",
+            )
+        raise _HTTPError(404, f"unknown relation {relation!r}")
+
+
+def _quote(uri: str) -> str:
+    from urllib.parse import quote
+
+    return quote(uri, safe="")
+
+
+def _int_param(query: dict, name: str, default):
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise _HTTPError(400, f"query parameter {name!r} must be an integer, got {raw!r}") from None
+
+
+class RouterServer(ThreadingHTTPServer):
+    """The router's pooled HTTP front end."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        router: Router,
+        metrics: ServiceMetrics | None = None,
+        verbose: bool = False,
+        request_timeout: float = 30.0,
+        shedder: LoadShedder | None = None,
+        threads: int = 0,
+        reuse_port: bool = False,
+        keepalive_idle: float = 5.0,
+    ):
+        self.keepalive_idle = float(keepalive_idle)
+        #: SO_REUSEPORT lets several router processes share one port —
+        #: the kernel load-balances accepted connections across them,
+        #: which is how the router tier itself scales past one process.
+        self.reuse_port = bool(reuse_port)
+        super().__init__(address, RouterHandler)
+        self.router = router
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.verbose = verbose
+        self.request_timeout = float(request_timeout)
+        self.shedder = shedder if shedder is not None else LoadShedder()
+        self._pool = _HandlerPool(self, threads) if threads and threads > 0 else None
+        from repro.obs import preregister
+
+        preregister()
+        _metrics()  # the repro_cluster_* families appear on first scrape
+
+    def server_bind(self):
+        if self.reuse_port:
+            import socket
+
+            try:
+                self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            except (AttributeError, OSError):  # pragma: no cover - non-Linux
+                pass
+        super().server_bind()
+
+    def process_request(self, request, client_address):
+        if self._pool is not None:
+            self._pool.submit(request, client_address)
+        else:
+            super().process_request(request, client_address)
+
+    def server_close(self):
+        super().server_close()
+        if self._pool is not None:
+            self._pool.stop()
+        self.router.close()
+
+    def graceful_shutdown(self, drain_timeout: float = 10.0) -> bool:
+        self.shedder.close()
+        drained = self.shedder.drain(timeout=drain_timeout)
+        self.shutdown()
+        self.server_close()
+        return drained
+
+
+def start_router(
+    router: Router,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    background: bool = True,
+    verbose: bool = False,
+    threads: int = 0,
+    reuse_port: bool = False,
+    shedder: LoadShedder | None = None,
+    request_timeout: float = 30.0,
+) -> RouterServer:
+    """Bind a :class:`RouterServer` and (optionally) serve in background."""
+    server = RouterServer(
+        (host, port),
+        router,
+        verbose=verbose,
+        threads=threads,
+        reuse_port=reuse_port,
+        shedder=shedder,
+        request_timeout=request_timeout,
+    )
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-router", daemon=True
+        )
+        thread.start()
+    else:
+        try:
+            server.serve_forever()
+        finally:
+            server.server_close()
+    return server

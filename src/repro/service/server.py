@@ -44,6 +44,8 @@ The serving path is hardened (see ``docs/resilience.md``):
 from __future__ import annotations
 
 import json
+import queue
+import select
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -79,6 +81,104 @@ class _HTTPError(Exception):
         self.status = status
 
 
+class _HandlerPool:
+    """A fixed pool of worker threads draining accepted connections.
+
+    ``ThreadingHTTPServer`` spawns one thread per connection — under a
+    burst that means thousands of short-lived threads fighting for the
+    GIL before the shedder even runs.  The pool caps handler
+    concurrency at a fixed thread count: the accept loop stays cheap
+    (enqueue only) and excess connections wait in the queue, where the
+    per-connection socket timeout and the shedder still apply once a
+    worker picks them up.
+    """
+
+    _STOP = object()
+
+    def __init__(self, server, size: int):
+        self._server = server
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(target=self._work, name=f"repro-http-{i}", daemon=True)
+            for i in range(size)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, request, client_address) -> None:
+        self._queue.put((request, client_address))
+
+    @property
+    def pending(self) -> int:
+        """Accepted connections still waiting for a worker (approximate)."""
+        return self._queue.qsize()
+
+    def _work(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._STOP:
+                return
+            request, client_address = item
+            # Mirrors ThreadingMixIn.process_request_thread, minus the
+            # thread spawn.
+            try:
+                self._server.finish_request(request, client_address)
+            except Exception:
+                self._server.handle_error(request, client_address)
+            finally:
+                self._server.shutdown_request(request)
+
+    def stop(self, timeout: float = 1.0) -> None:
+        for _ in self._threads:
+            self._queue.put(self._STOP)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+
+def pooled_handle(handler) -> None:
+    """Serve a pool-fed keep-alive connection without pinning its worker.
+
+    A fixed worker pool must not let persistent connections monopolise
+    its threads: a handler blocked in ``readline`` waiting for a
+    client's *next* request holds the worker for the whole keep-alive
+    idle period, and once every worker idles like that, newly accepted
+    connections starve in the queue — the classic thread-pool /
+    keep-alive deadlock.  So between requests the worker waits in
+    short ``select`` slices and, at each wake-up, checks the pool's
+    queue: the moment other connections are waiting it stops serving
+    this one (the client transparently reconnects — ``http.client``
+    reopens a closed connection on the next ``request()``), and a
+    connection idle for ``server.keepalive_idle`` seconds is dropped
+    outright.  Active requests keep the full per-connection socket
+    timeout, so stalled-*sender* protection is unchanged.
+
+    (Pipelined requests sitting in the handler's read-ahead buffer
+    would not wake ``select``; HTTP/1.1 pipelining is effectively
+    nobody's client behaviour, and the worst case is the idle-timeout
+    close, which pipelining clients must handle anyway.)
+    """
+    handler.close_connection = True
+    handler.handle_one_request()
+    pool = handler.server._pool
+    idle = getattr(handler.server, "keepalive_idle", 5.0)
+    while not handler.close_connection:
+        deadline = time.monotonic() + idle
+        ready = False
+        while time.monotonic() < deadline:
+            if pool.pending > 0:
+                return  # yield the worker; queued connections go first
+            try:
+                readable, _, _ = select.select([handler.connection], [], [], 0.05)
+            except (OSError, ValueError):  # connection torn down under us
+                return
+            if readable:
+                ready = True
+                break
+        if not ready:
+            return
+        handler.handle_one_request()
+
+
 class RelationshipHandler(BaseHTTPRequestHandler):
     """Routes one HTTP request onto the server's query engine."""
 
@@ -94,6 +194,12 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         # turns dead air into a closed connection.
         self.timeout = self.server.request_timeout
         super().setup()
+
+    def handle(self) -> None:
+        if getattr(self.server, "_pool", None) is not None:
+            pooled_handle(self)
+        else:
+            super().handle()
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
         if self.server.verbose:
@@ -221,6 +327,12 @@ class RelationshipHandler(BaseHTTPRequestHandler):
 
     def _route(self, method: str, segments: list[str], query: dict):
         engine = self.server.engine
+        if method in ("POST", "DELETE") and self.server.read_only:
+            raise _HTTPError(
+                405,
+                "this endpoint is read-only (a cluster shard serves a "
+                "routed view; writes go through the store's single writer)",
+            )
         if segments == ["healthz"] and method == "GET":
             stats, outage = self._engine_stats()
             if outage is not None:
@@ -231,7 +343,12 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                 return (
                     "healthz",
                     200,
-                    {"status": "degraded", "error": str(outage)},
+                    {
+                        "status": "degraded",
+                        "role": self.server.role,
+                        "port": self.server.server_address[1],
+                        "error": str(outage),
+                    },
                     "application/json",
                 )
             return (
@@ -239,8 +356,14 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                 200,
                 {
                     "status": "ok",
+                    "role": self.server.role,
+                    # The *bound* port: with --port 0 this is the
+                    # ephemeral port the OS chose, so probes and the
+                    # cluster supervisor never race on fixed ports.
+                    "port": self.server.server_address[1],
                     "generation": stats["generation"],
                     "observations": stats["observations"],
+                    **(self.server.extra_health() if self.server.extra_health else {}),
                     # Segment-store deployments journal every write; the
                     # probe surfaces it so operators can alert on a
                     # serve process that silently lost its WAL.
@@ -435,6 +558,11 @@ class RelationshipServer(ThreadingHTTPServer):
         verbose: bool = False,
         request_timeout: float = 30.0,
         shedder: LoadShedder | None = None,
+        threads: int = 0,
+        read_only: bool = False,
+        role: str = "serve",
+        extra_health=None,
+        keepalive_idle: float = 5.0,
     ):
         super().__init__(address, RelationshipHandler)
         self.engine = engine
@@ -442,13 +570,38 @@ class RelationshipServer(ThreadingHTTPServer):
         self.verbose = verbose
         #: Per-connection socket timeout applied in the handler's setup.
         self.request_timeout = float(request_timeout)
+        #: Idle keep-alive budget for pool-served connections (see
+        #: :func:`pooled_keepalive`).
+        self.keepalive_idle = float(keepalive_idle)
         self.shedder = shedder if shedder is not None else LoadShedder()
+        #: Writes (POST/DELETE) answer 405 — the cluster's shard
+        #: workers serve read-only views of a store owned elsewhere.
+        self.read_only = bool(read_only)
+        #: Reported in /healthz so probes can tell tiers apart.
+        self.role = role
+        #: Zero-arg callable merged into the /healthz body (e.g. a
+        #: shard's partition facts).
+        self.extra_health = extra_health
+        #: threads > 0: fixed handler pool; 0: thread per connection.
+        self._pool = _HandlerPool(self, threads) if threads and threads > 0 else None
+        self.pool_threads = threads if self._pool is not None else 0
         # Every instrumented layer's series shows up (zero-valued) on
         # the very first /metrics scrape instead of trickling in as
         # compute and storage paths first run.
         from repro.obs import preregister
 
         preregister()
+
+    def process_request(self, request, client_address):
+        if self._pool is not None:
+            self._pool.submit(request, client_address)
+        else:
+            super().process_request(request, client_address)
+
+    def server_close(self):
+        super().server_close()
+        if self._pool is not None:
+            self._pool.stop()
 
     def graceful_shutdown(self, drain_timeout: float = 10.0) -> bool:
         """Drain and stop: finish what was admitted, refuse the rest.
@@ -475,6 +628,10 @@ def start_server(
     verbose: bool = False,
     request_timeout: float = 30.0,
     shedder: LoadShedder | None = None,
+    threads: int = 0,
+    read_only: bool = False,
+    role: str = "serve",
+    extra_health=None,
 ) -> RelationshipServer:
     """Bind a :class:`RelationshipServer` and (optionally) serve.
 
@@ -493,6 +650,10 @@ def start_server(
         verbose,
         request_timeout=request_timeout,
         shedder=shedder,
+        threads=threads,
+        read_only=read_only,
+        role=role,
+        extra_health=extra_health,
     )
     if background:
         thread = threading.Thread(

@@ -43,11 +43,23 @@ class SegmentRelationshipSet(RelationshipSet):
     # No __slots__ here: the subclass needs a __dict__ for its own
     # bookkeeping while the parent's slots stay unset until first use.
 
-    def __init__(self, store):
+    def __init__(self, store, partitions=None):
         # Deliberately does NOT call super().__init__ — leaving the
         # parent's slots unset is what makes __getattr__ fire.
         self._store = store
-        self._totals = store.totals()
+        #: None = the whole store; otherwise the (dataset, signature)
+        #: partition keys this view covers (a cluster shard's slice).
+        self._partitions = list(partitions) if partitions is not None else None
+        if self._partitions is None:
+            self._totals = store.totals()
+        else:
+            # Manifest-level counts for just the covered segments, so
+            # counts/repr stay O(manifest) for shard views too.  WAL
+            # records are excluded, exactly like the whole-store totals.
+            self._totals = {"full": 0, "partial": 0, "complementary": 0}
+            for entry in store.segments_in(self._partitions):
+                for field in self._totals:
+                    self._totals[field] += entry.get(field, 0)
         self._build_lock = threading.Lock()
 
     # -- lazy materialisation -----------------------------------------
@@ -79,7 +91,10 @@ class SegmentRelationshipSet(RelationshipSet):
             # leaves every slot unset, so the next access retries
             # instead of serving empty sets.
             with trace("storage.materialise"):
-                loaded = self._store.load()
+                if self.__dict__["_partitions"] is not None:
+                    loaded = self._store.load_partitions(self.__dict__["_partitions"])
+                else:
+                    loaded = self._store.load()
             self.full = loaded.full
             self.partial = loaded.partial
             self.complementary = loaded.complementary

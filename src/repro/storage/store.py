@@ -481,11 +481,76 @@ class SegmentStore:
             kept.append(entry)
         return kept
 
-    def relationship_set(self):
-        """The lazy, WAL-aware view served by ``repro serve``."""
+    def relationship_set(self, partitions: Iterable[PartitionKey] | None = None):
+        """The lazy, WAL-aware view served by ``repro serve``.
+
+        With ``partitions`` the view covers only those partition keys —
+        the shard worker's slice of the store (``repro.cluster``).
+        """
         from repro.storage.lazy import SegmentRelationshipSet
 
-        return SegmentRelationshipSet(self)
+        return SegmentRelationshipSet(self, partitions=partitions)
+
+    def partition_keys(self) -> list[PartitionKey]:
+        """Distinct ``(dataset, signature)`` partition keys, manifest order.
+
+        The unit the cluster tier shards by: every segment belongs to
+        exactly one key, and the consistent-hash ring assigns keys (not
+        files) to shards, so a compaction that renames segment files
+        never moves data between shards.
+        """
+        seen: set[PartitionKey] = set()
+        keys: list[PartitionKey] = []
+        for entry in self.manifest.get("segments", ()):
+            signature = entry.get("signature")
+            key = (
+                entry.get("dataset"),
+                tuple(signature) if signature is not None else None,
+            )
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def segments_in(self, partitions: Iterable[PartitionKey]) -> list[dict]:
+        """Manifest entries whose partition key is in ``partitions``."""
+        wanted = {
+            (dataset, tuple(signature) if signature is not None else None)
+            for dataset, signature in partitions
+        }
+        return [
+            entry
+            for entry in self.manifest.get("segments", ())
+            if (
+                entry.get("dataset"),
+                tuple(entry["signature"]) if entry.get("signature") is not None else None,
+            )
+            in wanted
+        ]
+
+    def load_partitions(
+        self, partitions: Iterable[PartitionKey], apply_wal: bool = True
+    ) -> RelationshipSet:
+        """Decode only the named partitions' segments into one set.
+
+        The shard worker's load path: each of N shard processes decodes
+        ~1/N of the segment bytes.  The files are attached with the
+        same ``mmap`` path as every other read, so replicas of one
+        shard share the kernel page cache instead of duplicating heap.
+        WAL deltas are unpartitioned and cheap; they are replayed in
+        full so an acknowledged write is visible on every shard that
+        could be asked about it.
+        """
+        entries = self.segments_in(partitions)
+        with trace("storage.load_partitions", segments=len(entries)):
+            result = RelationshipSet()
+            for entry in entries:
+                result.merge(self._decode_file(entry["name"]))
+            if apply_wal:
+                check_deadline("wal.replay")
+                records, _ = self.wal.records()
+                replay_into(result, records)
+            return result
 
     # -- the WAL -------------------------------------------------------
     @property

@@ -1,0 +1,98 @@
+"""Cluster manifest commit/load discipline and topology derivation."""
+
+import json
+
+import pytest
+
+from repro.cluster import CLUSTER_MANIFEST_NAME, ClusterManifest, shard_node
+from repro.errors import ReproError
+
+
+def make_manifest(shards=2, replicas=2) -> ClusterManifest:
+    partitions = [
+        {"dataset": "http://test.example/ds", "signature": [i, 0]} for i in range(7)
+    ] + [{"dataset": None, "signature": None}]
+    return ClusterManifest(
+        store="/tmp/links.rseg",
+        shards=shards,
+        replicas=replicas,
+        partitions=partitions,
+        input_path="/tmp/cube.ttl",
+    )
+
+
+class TestTopology:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ClusterManifest(store="s", shards=0)
+        with pytest.raises(ValueError, match="replicas"):
+            ClusterManifest(store="s", shards=1, replicas=0)
+
+    def test_partitions_for_covers_everything_once(self):
+        manifest = make_manifest(shards=3)
+        seen = []
+        for shard in range(manifest.shards):
+            seen.extend(
+                json.dumps(entry, sort_keys=True)
+                for entry in manifest.partitions_for(shard)
+            )
+        assert sorted(seen) == sorted(
+            json.dumps(entry, sort_keys=True) for entry in manifest.partitions
+        )
+
+    def test_assignment_matches_partitions_for(self):
+        manifest = make_manifest(shards=3)
+        assignment = manifest.assignment()
+        for shard in range(manifest.shards):
+            assert len(assignment[shard_node(shard)]) == len(
+                manifest.partitions_for(shard)
+            )
+
+    def test_upsert_worker_replaces_same_slot(self):
+        manifest = make_manifest()
+        manifest.upsert_worker({"shard": 0, "replica": 0, "host": "h", "port": 1, "pid": 10})
+        manifest.upsert_worker({"shard": 0, "replica": 1, "host": "h", "port": 2, "pid": 11})
+        manifest.upsert_worker({"shard": 0, "replica": 0, "host": "h", "port": 3, "pid": 12})
+        assert len(manifest.workers) == 2
+        assert manifest.replicas_of(0)[0]["port"] == 3  # replaced, sorted by replica
+
+    def test_replicas_of_filters_by_shard(self):
+        manifest = make_manifest()
+        manifest.upsert_worker({"shard": 1, "replica": 0, "host": "h", "port": 4})
+        assert manifest.replicas_of(0) == []
+        assert [w["port"] for w in manifest.replicas_of(1)] == [4]
+
+
+class TestPersistence:
+    def test_write_load_roundtrip(self, tmp_path):
+        manifest = make_manifest()
+        manifest.upsert_worker({"shard": 0, "replica": 0, "host": "h", "port": 1, "pid": 9})
+        path = tmp_path / CLUSTER_MANIFEST_NAME
+        manifest.write(path)
+        loaded = ClusterManifest.load(path)
+        assert loaded.to_dict() == manifest.to_dict()
+        # and the re-derived ring agrees on every partition
+        assert loaded.assignment() == manifest.assignment()
+
+    def test_generation_bumps_per_write(self, tmp_path):
+        manifest = make_manifest()
+        path = tmp_path / CLUSTER_MANIFEST_NAME
+        manifest.write(path)
+        manifest.write(path)
+        assert ClusterManifest.load(path).generation == 2
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ReproError, match="no cluster manifest"):
+            ClusterManifest.load(tmp_path / "nope.json")
+
+    def test_load_foreign_format(self, tmp_path):
+        target = tmp_path / CLUSTER_MANIFEST_NAME
+        target.write_text('{"format": "something-else"}')
+        with pytest.raises(ReproError, match="not a cluster manifest"):
+            ClusterManifest.load(target)
+
+    def test_load_future_version(self, tmp_path):
+        target = tmp_path / CLUSTER_MANIFEST_NAME
+        target.write_text('{"format": "repro-cluster", "version": 99}')
+        with pytest.raises(ReproError, match="version"):
+            ClusterManifest.load(target)

@@ -1,0 +1,124 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.cluster import DEFAULT_VNODES, HashRing, partition_key_str, ring_hash
+
+
+def keys(n: int) -> list[str]:
+    return [f"http://test.example/ds|{i},0,{i % 5}" for i in range(n)]
+
+
+class TestRingHash:
+    def test_stable(self):
+        assert ring_hash("default") == ring_hash("default")
+
+    def test_64_bit(self):
+        for sample in ("", "default", "shard-0#17", "a|1,2,3"):
+            assert 0 <= ring_hash(sample) < 2**64
+
+    def test_distinct_inputs_differ(self):
+        assert ring_hash("shard-0#0") != ring_hash("shard-0#1")
+
+
+class TestPartitionKeyStr:
+    def test_default_partition(self):
+        assert partition_key_str(None, None) == "default"
+
+    def test_dataset_and_signature(self):
+        assert partition_key_str("http://ds", (1, 0, 2)) == "http://ds|1,0,2"
+
+    def test_signature_only(self):
+        assert partition_key_str(None, (2,)) == "|2"
+
+    def test_dataset_only(self):
+        assert partition_key_str("http://ds", None) == "http://ds|"
+
+
+class TestHashRing:
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            HashRing().node_for("k")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+
+    def test_membership(self):
+        ring = HashRing(["shard-0", "shard-1"])
+        assert len(ring) == 2
+        assert "shard-0" in ring and "shard-2" not in ring
+        assert ring.nodes == frozenset({"shard-0", "shard-1"})
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["shard-0"])
+        ring.add_node("shard-0")
+        assert len(ring._ring) == ring.vnodes
+
+    def test_deterministic_across_instances(self):
+        a = HashRing(["shard-0", "shard-1", "shard-2"])
+        b = HashRing(["shard-2", "shard-0", "shard-1"])  # insertion order irrelevant
+        for key in keys(200):
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_node_for_returns_member(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        for key in keys(100):
+            assert ring.node_for(key) in ring.nodes
+
+    def test_nodes_for_distinct_owner_first(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        for key in keys(50):
+            picked = ring.nodes_for(key, 3)
+            assert len(picked) == 3
+            assert len(set(picked)) == 3
+            assert picked[0] == ring.node_for(key)
+
+    def test_nodes_for_caps_at_ring_size(self):
+        ring = HashRing(["shard-0", "shard-1"])
+        assert len(ring.nodes_for("k", 5)) == 2
+
+    def test_assignment_covers_every_key_once(self):
+        ring = HashRing([f"shard-{i}" for i in range(3)])
+        sample = keys(120)
+        assignment = ring.assignment(sample)
+        assert set(assignment) == ring.nodes
+        flat = [key for assigned in assignment.values() for key in assigned]
+        assert sorted(flat) == sorted(sample)
+
+    def test_balance_with_default_vnodes(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        stats = ring.stats(keys(2000))
+        assert stats["vnodes"] == DEFAULT_VNODES
+        assert stats["min_load"] > 0
+        assert stats["ratio"] < 2.5
+
+    def test_add_node_only_moves_keys_to_the_new_node(self):
+        ring = HashRing([f"shard-{i}" for i in range(3)])
+        sample = keys(500)
+        before = {key: ring.node_for(key) for key in sample}
+        ring.add_node("shard-3")
+        moved = 0
+        for key in sample:
+            after = ring.node_for(key)
+            if after != before[key]:
+                assert after == "shard-3"  # never between pre-existing shards
+                moved += 1
+        assert 0 < moved < len(sample) / 2  # ~1/4 expected, far below a reshuffle
+
+    def test_remove_node_only_moves_its_own_keys(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        sample = keys(500)
+        before = {key: ring.node_for(key) for key in sample}
+        ring.remove_node("shard-2")
+        for key in sample:
+            after = ring.node_for(key)
+            if before[key] != "shard-2":
+                assert after == before[key]
+            else:
+                assert after != "shard-2"
+
+    def test_remove_unknown_node_is_a_noop(self):
+        ring = HashRing(["shard-0"])
+        ring.remove_node("shard-9")
+        assert len(ring) == 1

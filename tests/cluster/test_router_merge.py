@@ -1,0 +1,117 @@
+"""Scatter/gather merge helpers and the WAL foreign-pair prune."""
+
+from repro.cluster import prune_foreign_pairs
+from repro.cluster.ring import HashRing, partition_key_str
+from repro.cluster.router import (
+    _dominates,
+    merge_observation_lists,
+    merge_partial,
+    merge_related,
+    merge_relation_lists,
+    merge_summary,
+)
+from repro.core import compute_baseline
+
+from tests.conftest import make_random_space
+
+
+class TestMerges:
+    def test_relation_lists_union_sorted(self):
+        bodies = [{"containers": ["b", "a"]}, {"containers": ["c", "a"]}, {}]
+        assert merge_relation_lists("containers", bodies) == ["a", "b", "c"]
+
+    def test_related_keeps_best_score_and_ranks(self):
+        bodies = [
+            {"related": [{"uri": "x", "score": 0.4, "relation": "partial"}]},
+            {
+                "related": [
+                    {"uri": "x", "score": 0.9, "relation": "contains"},
+                    {"uri": "y", "score": 0.9, "relation": "contains"},
+                    {"uri": "z", "score": 0.1, "relation": "partial"},
+                ]
+            },
+        ]
+        merged = merge_related(bodies, 2)
+        assert [entry["uri"] for entry in merged] == ["x", "y"]  # score, then uri
+        assert merged[0]["score"] == 0.9
+
+    def test_partial_dedupes_by_uri_and_direction(self):
+        bodies = [
+            {"partial": [{"uri": "x", "degree": 2, "direction": "contains"}]},
+            {
+                "partial": [
+                    {"uri": "x", "degree": 3, "direction": "contains"},
+                    {"uri": "x", "degree": 1, "direction": "within"},
+                ]
+            },
+        ]
+        merged = merge_partial(bodies, 10)
+        assert len(merged) == 2
+        assert merged[0] == {"uri": "x", "degree": 3, "direction": "contains"}
+
+    def test_summary_sums_counts_keeps_metadata(self):
+        bodies = [
+            {"uri": "o", "dataset": None, "cube": None, "containers": 1, "contained": 0,
+             "complements": 2, "partial_containers": 0, "partial_contained": 1},
+            {"uri": "o", "dataset": "ds", "cube": "c", "containers": 2, "contained": 1,
+             "complements": 0, "partial_containers": 3, "partial_contained": 0},
+        ]
+        merged = merge_summary(bodies)
+        assert merged["containers"] == 3
+        assert merged["partial_containers"] == 3
+        assert merged["dataset"] == "ds" and merged["cube"] == "c"
+
+    def test_observation_lists_union_with_limit(self):
+        bodies = [{"observations": ["b", "a"]}, {"observations": ["c"]}]
+        merged = merge_observation_lists(bodies, 2)
+        assert merged == {"observations": ["a", "b"], "count": 2}
+
+    def test_empty_bodies(self):
+        assert merge_relation_lists("containers", []) == []
+        assert merge_related([], 5) == []
+        assert merge_summary([]) == {}
+
+
+class TestDominates:
+    def test_componentwise(self):
+        assert _dominates((1, 1), (2, 1))  # coarser-or-equal on every dimension
+        assert _dominates((1, 1), (1, 1))
+        assert not _dominates((2, 1), (1, 1))
+        assert not _dominates((0, 2), (1, 1))
+
+    def test_length_mismatch_never_dominates(self):
+        assert not _dominates((1,), (1, 1))
+
+
+class TestPruneForeignPairs:
+    def test_partition_of_pairs_across_shards(self):
+        """Each pair survives on exactly one shard; the union is lossless."""
+        space = make_random_space(40, seed=21)
+        result = compute_baseline(space, collect_partial_dimensions=True)
+        keys = {
+            partition_key_str(str(r.dataset), space.level_signature(r.index))
+            for r in space.observations
+        }
+        ring = HashRing(["shard-0", "shard-1"])
+        assignment = ring.assignment(sorted(keys))
+
+        shards = []
+        for node in ("shard-0", "shard-1"):
+            clone = compute_baseline(space, collect_partial_dimensions=True)
+            dropped = prune_foreign_pairs(clone, set(assignment[node]), space)
+            assert dropped >= 0
+            shards.append(clone)
+
+        for field in ("full", "partial", "complementary"):
+            parts = [getattr(shard, field) for shard in shards]
+            assert parts[0] & parts[1] == set()
+            assert parts[0] | parts[1] == getattr(result, field)
+        merged_degrees = {**shards[0].degrees, **shards[1].degrees}
+        assert merged_degrees == result.degrees
+
+    def test_no_space_is_a_noop(self):
+        space = make_random_space(10, seed=3)
+        result = compute_baseline(space)
+        before = set(result.full)
+        assert prune_foreign_pairs(result, set(), None) == 0
+        assert result.full == before

@@ -1,0 +1,122 @@
+"""End-to-end supervision: real worker processes under ``ClusterSupervisor``.
+
+One small store, two shards, real ``repro shard`` subprocesses and an
+in-process router — the same tree ``repro cluster`` runs.  Covers the
+respawn path (kill -9 a worker, supervisor replaces it and re-publishes
+its endpoint) and the shutdown guarantee (no orphan processes, even
+though a respawn happened earlier).
+"""
+
+import json
+import os
+import signal
+import time
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.cluster import ClusterManifest, ClusterSupervisor
+from repro.core import compute_baseline
+from repro.service import QueryEngine
+from repro.storage import save_segments
+
+from tests.conftest import make_random_space
+
+
+def pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def get_json(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+@pytest.fixture(scope="module")
+def supervised(tmp_path_factory):
+    root = tmp_path_factory.mktemp("supervised")
+    space = make_random_space(12, seed=42)
+    result = compute_baseline(space, collect_partial_dimensions=True)
+    reference = QueryEngine(result, space)
+    store_path = root / "links.rseg"
+    save_segments(result, store_path, space=space)
+
+    supervisor = ClusterSupervisor(
+        store=str(store_path),
+        shards=2,
+        replicas=1,
+        rundir=root / "rundir",
+        port=0,
+        router_threads=4,
+        shard_threads=2,
+        spawn_timeout=60.0,
+    )
+    router_server = supervisor.start()
+    host, port = router_server.server_address
+    yield supervisor, f"http://{host}:{port}", reference, space
+    supervisor.shutdown(drain_timeout=5.0)
+
+
+class TestSupervisedCluster:
+    def test_workers_up_and_manifest_published(self, supervised):
+        supervisor, base, _, _ = supervised
+        assert all(
+            worker.process is not None and worker.process.poll() is None
+            for worker in supervisor._workers
+        )
+        manifest = ClusterManifest.load(supervisor.manifest_path)
+        assert len(manifest.workers) == 2
+        assert manifest.router is not None and manifest.router["port"] > 0
+
+    def test_routed_queries_match_reference(self, supervised):
+        _, base, reference, space = supervised
+        status, body = get_json(base, "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        for record in space.observations[:6]:
+            _, body = get_json(
+                base, f"/observations/{quote(str(record.uri), safe='')}/containers"
+            )
+            assert body["containers"] == [str(u) for u in reference.containers(record.uri)]
+
+    def test_killed_worker_is_respawned(self, supervised):
+        supervisor, base, reference, space = supervised
+        victim = supervisor._workers[0]
+        old_pid = victim.process.pid
+        os.kill(old_pid, signal.SIGKILL)
+        victim.process.wait()
+        died = supervisor.check_children()
+        assert died == 1
+        assert victim.process.pid != old_pid
+        assert victim.process.poll() is None
+        # the replacement's endpoint was re-published (generation bumped)
+        manifest = ClusterManifest.load(supervisor.manifest_path)
+        entry = manifest.replicas_of(victim.shard)[0]
+        assert entry["pid"] == victim.process.pid
+        # the router picks the new topology up by mtime within ~poll_interval
+        deadline = time.monotonic() + 10.0
+        uri = quote(str(space.observations[0].uri), safe="")
+        while True:
+            try:
+                status, _ = get_json(base, f"/observations/{uri}/containers")
+                if status == 200:
+                    break
+            except urllib.error.HTTPError as exc:
+                if exc.code != 503 or time.monotonic() > deadline:
+                    raise
+                time.sleep(0.2)
+
+    def test_shutdown_leaves_no_orphans(self, supervised):
+        supervisor, base, _, _ = supervised
+        pids = [worker.process.pid for worker in supervisor._workers]
+        supervisor.shutdown(drain_timeout=5.0)
+        for pid in pids:
+            assert not pid_alive(pid)
+        # no respawn slipped in behind shutdown's back
+        assert supervisor.check_children() == 0
+        for worker in supervisor._workers:
+            assert worker.process is None or worker.process.poll() is not None

@@ -1,0 +1,154 @@
+"""The fixed-size handler pool and keep-alive fairness.
+
+``repro serve --threads N`` swaps thread-per-connection for a bounded
+pool.  The risk that design change introduces — and what these tests
+pin — is *starvation*: an idle persistent connection must never hold a
+pool worker hostage while other clients queue.  ``pooled_handle``
+parks idle keep-alive connections in short ``select`` slices and gives
+the worker back the moment anything is waiting.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.service import QueryEngine, start_server
+
+from tests.conftest import make_random_space
+
+
+def make_server(**server_kwargs):
+    space = make_random_space(12, seed=42)
+    engine = QueryEngine(compute_baseline(space), space)
+    server = start_server(engine, **server_kwargs)
+    host, port = server.server_address
+    return server, host, port
+
+
+def fetch(conn: http.client.HTTPConnection, path: str = "/healthz") -> dict:
+    """One request on a persistent connection, reconnecting if the
+    server yielded (closed) it between requests."""
+    for attempt in (0, 1):
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return json.loads(response.read())
+        except (http.client.RemoteDisconnected, http.client.BadStatusLine,
+                ConnectionResetError, BrokenPipeError):
+            conn.close()
+            if attempt:
+                raise
+
+
+class TestHandlerPool:
+    def test_pooled_server_answers(self):
+        server, host, port = make_server(threads=2)
+        try:
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                assert json.load(response)["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_many_clients_few_workers(self):
+        """8 concurrent keep-alive clients drain through a 2-worker pool."""
+        server, host, port = make_server(threads=2)
+        errors: list[BaseException] = []
+
+        def client():
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                for _ in range(5):
+                    body = fetch(conn)
+                    assert body["status"] == "ok"
+            except BaseException as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        elapsed = time.monotonic() - started
+        try:
+            assert not errors, errors[:3]
+            # Starvation would park clients for keepalive_idle (5s) each;
+            # fair yielding finishes the whole drain far sooner.
+            assert elapsed < 10.0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_idle_keepalive_connection_yields_its_worker(self):
+        """With ONE worker, an idle persistent connection must not block
+        a second client (the starvation regression)."""
+        server, host, port = make_server(threads=1)
+        idle = http.client.HTTPConnection(host, port, timeout=10)
+        other = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            assert fetch(idle)["status"] == "ok"  # worker now parked on `idle`
+            started = time.monotonic()
+            assert fetch(other)["status"] == "ok"
+            assert time.monotonic() - started < 2.0  # yielded, not timed out
+            assert fetch(idle)["status"] == "ok"  # first client reconnects fine
+        finally:
+            idle.close()
+            other.close()
+            server.shutdown()
+            server.server_close()
+
+    def test_stalled_client_does_not_wedge_the_pool(self):
+        server, host, port = make_server(threads=1, request_timeout=0.3)
+        stalled = socket.create_connection((host, port))
+        try:
+            started = time.monotonic()
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=10
+            ) as response:
+                assert response.status == 200
+            assert time.monotonic() - started < 5.0
+        finally:
+            stalled.close()
+            server.shutdown()
+            server.server_close()
+
+
+class TestServeExtras:
+    def test_healthz_reports_role_and_bound_port(self):
+        server, host, port = make_server(threads=2)
+        try:
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                body = json.load(response)
+            assert body["role"] == "serve"
+            assert body["port"] == port  # port 0 at bind time, real port here
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_read_only_server_refuses_writes(self):
+        server, host, port = make_server(threads=1, read_only=True, role="shard-0")
+        try:
+            request = urllib.request.Request(
+                f"http://{host}:{port}/observations",
+                data=b"{}",
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 405
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as response:
+                assert json.load(response)["role"] == "shard-0"
+        finally:
+            server.shutdown()
+            server.server_close()
