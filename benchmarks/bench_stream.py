@@ -1,0 +1,255 @@
+"""Streaming-ingest benchmark: the WAL-backed changefeed under load.
+
+Measures, on synthetic corpora (Section 4.2 generator):
+
+1. **Feed publish/replay rates** — raw changefeed throughput: fsynced
+   ``publish`` appends per second, then a full ``since=0`` replay
+   (CRC re-verification included) in records per second.
+2. **Sustained ingest with concurrent reads** — the acceptance
+   scenario: a ``StreamIngester`` pumps CSV observation lines through
+   ``POST /observations`` against a live server (incremental delta
+   compute + WAL append + feed publish per batch) while reader
+   threads long-poll ``GET /changes`` and hit point lookups the whole
+   time.  Records sustained observations/sec, per-batch apply latency
+   percentiles, and the readers' query rate.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py [--quick] \
+        [--json BENCH_stream.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import tempfile
+import threading
+import time
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+from repro.core import compute_cubemask
+from repro.core.results import RelationshipDelta
+from repro.data.synthetic import build_synthetic_space
+from repro.rdf.terms import URIRef
+from repro.service import QueryEngine, start_server
+from repro.stream import Changefeed, CsvObservationParser, HttpSink, StreamIngester
+
+
+def bench_feed(n_records: int) -> dict:
+    """Raw changefeed append + replay rates (one delta per record)."""
+    print(f"feed publish/replay — {n_records} records")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-feed-") as tmp:
+        feed = Changefeed(Path(tmp) / "feed")
+        deltas = [
+            RelationshipDelta(
+                added_full={
+                    (URIRef(f"http://bench/a{i}"), URIRef(f"http://bench/b{i}"))
+                }
+            )
+            for i in range(n_records)
+        ]
+        started = time.perf_counter()
+        for delta in deltas:
+            feed.publish(delta)
+        publish_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        records = feed.read(since=0)
+        replay_s = time.perf_counter() - started
+        assert len(records) == n_records
+        feed.close()
+    publish_rate = n_records / publish_s if publish_s else 0.0
+    replay_rate = n_records / replay_s if replay_s else 0.0
+    print(
+        f"  publish: {publish_rate:.0f} rec/s (fsync per append), "
+        f"replay: {replay_rate:.0f} rec/s"
+    )
+    return {
+        "n": n_records,
+        "publish_per_s": publish_rate,
+        "replay_per_s": replay_rate,
+    }
+
+
+def _csv_lines(space, n_obs: int):
+    template = space.observations[0]
+    dims = "|".join(
+        f"{dim}={code}"
+        for dim, code in zip(space.dimensions, template.codes)
+        if code is not None
+    )
+    yield "uri,dataset,dimensions,measures\n"
+    for i in range(n_obs):
+        yield (
+            f'http://bench/stream{i},{template.dataset},"{dims}",'
+            "http://bench/m0\n"
+        )
+
+
+class _TimingSink:
+    """Wrap a sink to collect per-batch apply latencies."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.latencies: list[float] = []
+        self._lock = threading.Lock()
+
+    def send(self, batch, trace_id=None):
+        started = time.perf_counter()
+        ack = self.inner.send(batch, trace_id=trace_id)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.latencies.append(elapsed)
+        return ack
+
+    def close(self):
+        self.inner.close()
+
+
+def bench_ingest(n_base: int, n_stream: int, readers: int, batch_size: int) -> dict:
+    """Sustained HTTP ingest while reader threads query concurrently."""
+    print(
+        f"sustained ingest — base corpus n={n_base}, {n_stream} streamed obs, "
+        f"{readers} concurrent readers"
+    )
+    space = build_synthetic_space(n_base, dimension_count=3, seed=11)
+    result = compute_cubemask(space, targets=("full", "complementary"))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") as tmp:
+        feed = Changefeed(Path(tmp) / "feed")
+        engine = QueryEngine(result, space, changefeed=feed)
+        server = start_server(engine, threads=max(4, readers + 2))
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        stop = threading.Event()
+        read_counts = [0] * readers
+        probe = urllib.parse.quote(str(space.observations[0].uri), safe="")
+
+        def reader(slot: int) -> None:
+            cursor = 0
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(
+                        f"{base}/changes?since={cursor}&timeout=0.2&limit=500",
+                        timeout=10,
+                    ) as response:
+                        body = json.load(response)
+                    cursor = body["next"]
+                    with urllib.request.urlopen(
+                        f"{base}/observations/{probe}/containers", timeout=10
+                    ) as response:
+                        response.read()
+                    read_counts[slot] += 2
+                except OSError:
+                    if stop.is_set():
+                        break
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,), daemon=True)
+            for slot in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+
+        sink = _TimingSink(HttpSink(base))
+        pump = StreamIngester(
+            sink, CsvObservationParser(), batch_size=batch_size, max_inflight=2
+        )
+        read_started = time.perf_counter()
+        stats = pump.run(_csv_lines(space, n_stream))
+        read_elapsed = time.perf_counter() - read_started
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        head = feed.head_offset
+        server.shutdown()
+        server.server_close()
+        feed.close()
+
+    total_reads = sum(read_counts)
+    reader_qps = total_reads / read_elapsed if read_elapsed else 0.0
+    latencies_ms = sorted(x * 1000 for x in sink.latencies)
+    p50 = statistics.median(latencies_ms) if latencies_ms else 0.0
+    p99 = (
+        latencies_ms[min(len(latencies_ms) - 1, int(0.99 * len(latencies_ms)))]
+        if latencies_ms
+        else 0.0
+    )
+    print(
+        f"  {stats.observations} obs in {stats.seconds:.2f}s = "
+        f"{stats.obs_per_sec:.0f} obs/s sustained "
+        f"({stats.batches} batches, p50 {p50:.1f} ms, p99 {p99:.1f} ms/batch)"
+    )
+    print(
+        f"  concurrent readers: {total_reads} requests = {reader_qps:.0f} qps, "
+        f"feed head {head} (all {stats.batches} batches visible)"
+    )
+    return {
+        "n_base": n_base,
+        "n_stream": n_stream,
+        "batch_size": batch_size,
+        "obs_per_sec": stats.obs_per_sec,
+        "batches": stats.batches,
+        "batch_p50_ms": p50,
+        "batch_p99_ms": p99,
+        "readers": readers,
+        "reader_qps": reader_qps,
+        "head_offset": head,
+        "last_offset": stats.last_offset,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small corpora (for CI smoke)"
+    )
+    parser.add_argument("--n-feed", type=int, default=None, help="feed benchmark records")
+    parser.add_argument("--n-stream", type=int, default=None, help="streamed observations")
+    parser.add_argument("--readers", type=int, default=None, help="concurrent reader threads")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="record results to PATH (e.g. BENCH_stream.json)",
+    )
+    args = parser.parse_args(argv)
+    n_feed = args.n_feed or (300 if args.quick else 2000)
+    n_base = 300 if args.quick else 1500
+    n_stream = args.n_stream or (120 if args.quick else 600)
+    readers = args.readers if args.readers is not None else (2 if args.quick else 4)
+    batch_size = 20 if args.quick else 50
+
+    print("== streaming ingest / changefeed ==")
+    feed = bench_feed(n_feed)
+    ingest = bench_ingest(n_base, n_stream, readers=readers, batch_size=batch_size)
+    print("== summary ==")
+    print(
+        f"feed: {feed['publish_per_s']:.0f} publish/s, "
+        f"{feed['replay_per_s']:.0f} replay/s"
+    )
+    print(
+        f"ingest: {ingest['obs_per_sec']:.0f} obs/s sustained with "
+        f"{ingest['readers']} concurrent readers ({ingest['reader_qps']:.0f} qps)"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "streaming ingest and changefeed",
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "quick": bool(args.quick),
+            "feed": feed,
+            "ingest": ingest,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"recorded {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

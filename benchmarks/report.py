@@ -242,6 +242,45 @@ def cluster_serve_tier() -> None:
         )
 
 
+def streaming_ingest() -> None:
+    """Ingest-throughput rows, read from ``BENCH_stream.json``.
+
+    The streaming benchmark drives a live server with concurrent
+    readers, so it is recorded once by ``bench_stream.py --json
+    BENCH_stream.json`` and replayed here rather than re-run on every
+    report.
+    """
+    header("Streaming ingest: sustained obs/sec with concurrent reads")
+    bench_path = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+    try:
+        payload = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        print(
+            "no BENCH_stream.json — run "
+            "`PYTHONPATH=src python benchmarks/bench_stream.py "
+            "--json BENCH_stream.json` to record the sweep"
+        )
+        return
+    feed = payload.get("feed") or {}
+    ingest = payload.get("ingest") or {}
+    if feed:
+        print(
+            f"changefeed: {feed['publish_per_s']:>8.0f} publish/s (fsync per "
+            f"append), {feed['replay_per_s']:>8.0f} replay/s over {feed['n']} records"
+        )
+    if ingest:
+        print(
+            f"{'base n':>8} {'streamed':>9} {'obs/s':>8} {'p50 ms':>8} "
+            f"{'p99 ms':>8} {'readers':>8} {'read qps':>9}"
+        )
+        print(
+            f"{ingest['n_base']:>8} {ingest['n_stream']:>9} "
+            f"{ingest['obs_per_sec']:>8.0f} {ingest['batch_p50_ms']:>8.1f} "
+            f"{ingest['batch_p99_ms']:>8.1f} {ingest['readers']:>8} "
+            f"{ingest['reader_qps']:>9.0f}"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller sweeps")
@@ -270,6 +309,7 @@ def main(argv=None) -> int:
     figure_5g(space, sizes)
     kernel_speedup(synthetic_sizes)
     cluster_serve_tier()
+    streaming_ingest()
     if not args.quick:
         ablations(space)
     return 0

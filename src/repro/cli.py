@@ -299,6 +299,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         space = ObservationSpace.from_cubespace(load_cubespace(_read_graph(args.input)))
     store = None
     scrubber = None
+    changefeed = None
+
+    def _open_changefeed(default_dir):
+        # The ordered delta feed behind GET /changes; defaults to
+        # <store>/changefeed for segment stores, opt-in elsewhere.
+        if args.no_changefeed:
+            return None
+        feed_dir = args.changefeed or default_dir
+        if feed_dir is None:
+            return None
+        from repro.stream import Changefeed
+
+        return Changefeed(feed_dir)
+
     if detect_store_kind(args.store) == "segments":
         # Segment store: O(manifest) startup — the set materialises and
         # the index builds on first query — and every incremental write
@@ -316,6 +330,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             latency_threshold=args.breaker_latency, name="storage"
         )
         result = store.relationship_set()
+        changefeed = _open_changefeed(str(Path(args.store) / "changefeed"))
         engine = QueryEngine(
             result,
             space,
@@ -323,6 +338,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             index=LazyRelationshipIndex(result, space),
             delta_sink=store.append_delta,
             storage_info=store.describe,
+            changefeed=changefeed,
         )
         if args.scrub_interval > 0:
             from repro.resilience.scrub import BackgroundScrubber
@@ -333,7 +349,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             result = load_relationships(args.store)
         except OSError as exc:
             raise ReproError(f"cannot read {args.store}: {exc}") from exc
-        engine = QueryEngine(result, space, cache_size=args.cache_size)
+        changefeed = _open_changefeed(None)
+        engine = QueryEngine(result, space, cache_size=args.cache_size, changefeed=changefeed)
 
     shedder = LoadShedder(
         max_inflight=args.max_inflight,
@@ -385,11 +402,141 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if scrubber is not None:
             scrubber.stop()
+        if changefeed is not None:
+            changefeed.close()
         if store is not None:
             # Flushes the WAL handle and releases the writer flock so
             # the next writer (serve, compact, scrub) can take over.
             store.close()
     print("repro: serve: shut down cleanly", file=sys.stderr)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import itertools
+    import json
+    import signal
+    import threading
+
+    from repro.stream import (
+        EngineSink,
+        HttpSink,
+        IngestError,
+        StreamIngester,
+        make_parser,
+        sniff_format,
+        watch_directory,
+    )
+    from repro.stream.ingest import schema_from_graph
+
+    if bool(args.server) == bool(args.store):
+        raise ReproError("pass exactly one of --server URL or --store PATH")
+
+    schema = None
+    if args.schema:
+        schema = schema_from_graph(_read_graph(args.schema))
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    if args.watch:
+        lines = watch_directory(args.watch, poll_interval=args.poll_interval, stop=stop)
+    elif args.source == "-":
+        lines = sys.stdin
+    else:
+        try:
+            lines = open(args.source, "r", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.source}: {exc}") from exc
+
+    iterator = iter(lines)
+    fmt = args.format
+    if fmt == "auto":
+        first = next(iterator, None)
+        if first is None:
+            print("repro: ingest: empty source, nothing to do", file=sys.stderr)
+            return 0
+        fmt = sniff_format(first)
+        iterator = itertools.chain([first], iterator)
+    parser = make_parser(fmt, schema=schema)
+
+    store = None
+    changefeed = None
+    if args.server:
+        sink = HttpSink(args.server, timeout=args.request_timeout)
+        target = args.server
+    else:
+        # Direct mode: this process *is* the writer — it takes the
+        # store's writer lock, journals every delta to the WAL and
+        # publishes the changefeed itself.  Mutually exclusive with a
+        # live `repro serve` on the same store (use --server there).
+        from repro.store import detect_store_kind
+
+        if detect_store_kind(args.store) != "segments":
+            raise ReproError(
+                "direct ingest needs a segment store (.rseg); for JSON "
+                "stores run `repro serve` and ingest with --server"
+            )
+        if not args.input:
+            raise ReproError("direct ingest needs --input (the cube the store serves)")
+        from repro.service import QueryEngine
+        from repro.storage import LazyRelationshipIndex, SegmentStore
+
+        space = ObservationSpace.from_cubespace(load_cubespace(_read_graph(args.input)))
+        store = SegmentStore.open(args.store)
+        store.acquire_writer_lock()
+        result = store.relationship_set()
+        if not args.no_changefeed:
+            from repro.stream import Changefeed
+
+            changefeed = Changefeed(args.changefeed or str(Path(args.store) / "changefeed"))
+        engine = QueryEngine(
+            result,
+            space,
+            index=LazyRelationshipIndex(result, space),
+            delta_sink=store.append_delta,
+            storage_info=store.describe,
+            changefeed=changefeed,
+        )
+        sink = EngineSink(engine)
+        target = args.store
+
+    pump = StreamIngester(
+        sink,
+        parser,
+        batch_size=args.batch_size,
+        flush_interval=args.flush_interval,
+        max_inflight=args.max_inflight,
+    )
+    print(
+        f"# ingesting {fmt} observations into {target} "
+        f"(batch {args.batch_size}, flush {args.flush_interval}s, "
+        f"max_inflight {args.max_inflight})",
+        file=sys.stderr,
+    )
+    try:
+        stats = pump.run(iterator, stop=stop)
+    except IngestError as exc:
+        raise ReproError(str(exc)) from exc
+    finally:
+        if changefeed is not None:
+            changefeed.close()
+        if store is not None:
+            store.close()
+        if not args.watch and lines is not sys.stdin:
+            lines.close()
+    print(json.dumps({"ingest": stats.as_dict()}))
+    print(
+        f"# ingested {stats.observations} observations in {stats.batches} "
+        f"batches ({stats.obs_per_sec:.0f} obs/s, "
+        f"{stats.parse_errors} parse errors)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -811,6 +958,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
     )
+    serve.add_argument(
+        "--changefeed",
+        metavar="DIR",
+        help="changefeed directory publishing every applied delta with a "
+        "monotonic offset (default: <store>/changefeed for segment "
+        "stores; required to enable the feed for JSON stores)",
+    )
+    serve.add_argument(
+        "--no-changefeed",
+        action="store_true",
+        help="disable the changefeed (GET /changes answers 404)",
+    )
     hardening = serve.add_argument_group(
         "hardening", "overload and failure behaviour (docs/resilience.md)"
     )
@@ -872,6 +1031,100 @@ def build_parser() -> argparse.ArgumentParser:
         "(docs/resilience.md)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="tail an observation stream into a live server or a store",
+        description="Tail CSV or N-Triples observation lines (stdin, a "
+        "file, or a watched directory of batch files) and apply them "
+        "incrementally — over HTTP against a live `repro serve` "
+        "(--server) or directly into a segment store (--store).  See "
+        "docs/streaming.md for the line grammar.",
+    )
+    ingest.add_argument(
+        "--server",
+        metavar="URL",
+        help="live server base URL; batches go through POST /observations "
+        "with retry/backoff on 503 backpressure",
+    )
+    ingest.add_argument(
+        "--store",
+        metavar="DIR",
+        help="segment store to write directly (takes the writer lock; "
+        "mutually exclusive with --server and with a running serve)",
+    )
+    ingest.add_argument(
+        "--input",
+        help="cube file defining the observation space (required with --store)",
+    )
+    ingest.add_argument(
+        "--from",
+        dest="source",
+        default="-",
+        metavar="FILE",
+        help="line source; '-' (default) reads stdin",
+    )
+    ingest.add_argument(
+        "--watch",
+        metavar="DIR",
+        help="instead of --from: watch a directory for batch files, "
+        "ingest each in sorted order and rename it to <name>.done",
+    )
+    ingest.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="directory poll interval for --watch (default 0.5s)",
+    )
+    ingest.add_argument(
+        "--format",
+        choices=("auto", "csv", "ntriples"),
+        default="auto",
+        help="line grammar; auto sniffs the first line (default auto)",
+    )
+    ingest.add_argument(
+        "--schema",
+        metavar="FILE",
+        help="cube definition graph used to classify N-Triples predicates "
+        "into dimensions/measures per the declared DSD (default: URI "
+        "objects are dimensions, literal objects are measures)",
+    )
+    ingest.add_argument(
+        "--batch-size",
+        type=int,
+        default=200,
+        help="observations per insert batch (default 200)",
+    )
+    ingest.add_argument(
+        "--flush-interval",
+        type=float,
+        default=1.0,
+        help="flush a partial batch after this many seconds (default 1.0)",
+    )
+    ingest.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        help="batches applied concurrently; the pump blocks (backpressure) "
+        "when all slots are busy (default 2)",
+    )
+    ingest.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout for --server mode (default 30)",
+    )
+    ingest.add_argument(
+        "--changefeed",
+        metavar="DIR",
+        help="changefeed directory for --store mode (default <store>/changefeed)",
+    )
+    ingest.add_argument(
+        "--no-changefeed",
+        action="store_true",
+        help="do not publish a changefeed in --store mode",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
 
     cluster = sub.add_parser(
         "cluster",

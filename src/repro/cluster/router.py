@@ -52,7 +52,13 @@ from repro.resilience.shed import LoadShedder
 from repro.cluster.manifest import ClusterManifest, shard_node
 from repro.cluster.ring import partition_key_str
 from repro.service.metrics import ServiceMetrics
-from repro.service.server import _HandlerPool, _HTTPError, pooled_handle
+from repro.service.server import (
+    _STREAMED,
+    _HandlerPool,
+    _HTTPError,
+    _sse_metrics,
+    pooled_handle,
+)
 
 __all__ = ["Router", "RouterServer", "ShardUnavailableError", "start_router"]
 
@@ -569,6 +575,35 @@ def merge_observation_lists(bodies: list[dict], limit: int | None) -> dict:
     return {"observations": ordered, "count": len(ordered)}
 
 
+def merge_changes(bodies: list[dict], limit: int | None = None) -> dict:
+    """Per-shard changefeed pages merged in offset order.
+
+    Every shard reads the same store-level feed, so identical offsets
+    collapse (first body wins); the merged page is strictly ascending
+    by offset, the head is the max any shard reported.
+    """
+    by_offset: dict[int, dict] = {}
+    head = 0
+    since = 0
+    for body in bodies:
+        head = max(head, int(body.get("head", 0) or 0))
+        since = int(body.get("since", 0) or 0)
+        for record in body.get("changes", ()):
+            offset = record.get("offset")
+            if isinstance(offset, int):
+                by_offset.setdefault(offset, record)
+    ordered = [by_offset[offset] for offset in sorted(by_offset)]
+    if limit is not None:
+        ordered = ordered[: max(limit, 0)]
+    return {
+        "since": since,
+        "head": head,
+        "count": len(ordered),
+        "next": ordered[-1]["offset"] if ordered else since,
+        "changes": ordered,
+    }
+
+
 # ----------------------------------------------------------------------
 # The HTTP front end
 # ----------------------------------------------------------------------
@@ -639,7 +674,8 @@ class RouterHandler(BaseHTTPRequestHandler):
                         endpoint, status, payload, content_type = self._route(
                             method, segments, query, split.query
                         )
-                        self._reply(status, payload, content_type)
+                        if payload is not _STREAMED:
+                            self._reply(status, payload, content_type)
             except _HTTPError as exc:
                 status = exc.status
                 self._reply(status, {"error": str(exc)})
@@ -718,6 +754,97 @@ class RouterHandler(BaseHTTPRequestHandler):
         return merge_relation_lists(relation, bodies)
 
     # ------------------------------------------------------------------
+    # Changefeed: scatter every shard's read-only feed view, merge in
+    # offset order.  All shards read the same store-level feed, so the
+    # merge collapses duplicate offsets — it exists so the page stays
+    # correct when replicas lag each other on the active segment.
+    # ------------------------------------------------------------------
+    def _read_changes(self, query: dict, rawquery: str):
+        if "commit" in query:
+            raise _HTTPError(
+                501,
+                "the cluster router serves reads; consumer commits go "
+                "through the store's single writer (`repro serve`)",
+            )
+        shards = self.server.router.plan("changes")
+        suffix = f"?{rawquery}" if rawquery else ""
+        bodies = self._gather_bodies(shards, f"/changes{suffix}")
+        limit = _int_param(query, "limit", None)
+        return "changes", 200, merge_changes(bodies, limit), "application/json"
+
+    def _stream_changes(self, query: dict):
+        """Router-side SSE: poll the shard tier, emit merged events.
+
+        Resume semantics mirror the single-process server: the
+        standard ``Last-Event-ID`` header (or ``since=``) picks the
+        cursor; idle polls emit ``: heartbeat`` comments.
+        """
+        last_event = self.headers.get("Last-Event-ID")
+        if last_event is not None:
+            try:
+                cursor = int(last_event)
+            except ValueError:
+                raise _HTTPError(
+                    400, f"Last-Event-ID must be an offset, got {last_event!r}"
+                ) from None
+        else:
+            cursor = _int_param(query, "since", 0)
+        if cursor < 0:
+            raise _HTTPError(400, f"since must be >= 0, got {cursor}")
+        heartbeat = min(max(_float_param(query, "heartbeat", 15.0), 0.5), 60.0)
+        max_seconds = _float_param(query, "max_seconds", 0.0)
+
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        if self._trace_id:
+            self.send_header("X-Trace-Id", self._trace_id)
+        self.end_headers()
+        metrics = _sse_metrics()
+        metrics["streams"].inc()
+        started = time.monotonic()
+        try:
+            while True:
+                if self.server.shedder.closed:
+                    break
+                budget = heartbeat
+                if max_seconds > 0:
+                    budget = min(budget, max_seconds - (time.monotonic() - started))
+                    if budget <= 0:
+                        break
+                records = []
+                try:
+                    shards = self.server.router.plan("changes")
+                    bodies = self._gather_bodies(
+                        shards,
+                        f"/changes?since={cursor}&timeout={budget:.3f}&limit=500",
+                    )
+                    records = merge_changes(bodies)["changes"]
+                except (_HTTPError, ShardUnavailableError):
+                    # The tier is briefly unreachable (respawning
+                    # replica, feed not created yet): keep the stream
+                    # alive and retry next beat.
+                    time.sleep(min(budget, 0.5))
+                if records:
+                    for record in records:
+                        body = json.dumps(record, default=str)
+                        self.wfile.write(
+                            f"id: {record['offset']}\ndata: {body}\n\n".encode("utf-8")
+                        )
+                    cursor = records[-1]["offset"]
+                    self.wfile.flush()
+                    metrics["events"].inc(len(records))
+                else:
+                    self.wfile.write(b": heartbeat\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError, OSError):
+            pass
+        finally:
+            metrics["streams"].inc(-1.0)
+        return "changes-stream", 200, _STREAMED, None
+
+    # ------------------------------------------------------------------
     def _route(self, method: str, segments: list[str], query: dict, rawquery: str):
         router = self.server.router
         if method in ("POST", "DELETE"):
@@ -752,6 +879,12 @@ class RouterHandler(BaseHTTPRequestHandler):
             return "stats", 200, router.stats(), "application/json"
         if segments == ["cluster"]:
             return "cluster", 200, router.manifest.to_dict(), "application/json"
+        if segments and segments[0] == "changes":
+            if len(segments) == 1:
+                return self._read_changes(query, rawquery)
+            if segments == ["changes", "stream"]:
+                return self._stream_changes(query)
+            raise _HTTPError(404, f"no route for {'/'.join(segments)}")
         if not segments or segments[0] != "observations":
             raise _HTTPError(404, f"no route for {'/'.join(segments) or '/'}")
 
@@ -871,6 +1004,16 @@ def _int_param(query: dict, name: str, default):
         return int(raw)
     except ValueError:
         raise _HTTPError(400, f"query parameter {name!r} must be an integer, got {raw!r}") from None
+
+
+def _float_param(query: dict, name: str, default):
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise _HTTPError(400, f"query parameter {name!r} must be a number, got {raw!r}") from None
 
 
 class RouterServer(ThreadingHTTPServer):

@@ -125,12 +125,23 @@ def build_shard_engine(
 
     from repro.storage import LazyRelationshipIndex
 
+    # Shards serve the store's changefeed read-only: the single writer
+    # publishes into <store>/changefeed, every shard re-lists it, so
+    # GET /changes works on any replica (and the router merges them).
+    changefeed = None
+    feed_dir = Path(store.path) / "changefeed"
+    if feed_dir.is_dir():
+        from repro.stream import ChangefeedReader
+
+        changefeed = ChangefeedReader(feed_dir)
+
     engine = QueryEngine(
         result,
         space,
         cache_size=cache_size,
         index=LazyRelationshipIndex(result, space),
         storage_info=store.describe,
+        changefeed=changefeed,
     )
     return engine, assigned
 

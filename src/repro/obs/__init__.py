@@ -59,7 +59,9 @@ def preregister() -> None:
     """
     from repro.core import cubemask, kernels, parallel, runner
     from repro.resilience import breaker, deadline, faults, scrub, shed
+    from repro.service import engine as service_engine
     from repro.storage import store, wal
+    from repro.stream import changefeed, ingest
 
     kernels._registry_counters()
     cubemask._registry_metrics()
@@ -72,6 +74,12 @@ def preregister() -> None:
     breaker._metrics()
     shed._metrics()
     scrub._metrics()
+    service_engine._metrics()
+    changefeed._metrics()
+    ingest._metrics()
+    from repro.service import server as service_server
+
+    service_server._sse_metrics()
     get_registry().counter(
         "repro_storage_lazy_materialisations_total",
         "Lazy segment views materialised on first access.",

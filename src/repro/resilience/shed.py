@@ -146,6 +146,12 @@ class LoadShedder:
             self.release()
 
     # -- graceful shutdown ---------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once draining — long-lived streams use this to end."""
+        with self._lock:
+            return self._closed
+
     def close(self) -> None:
         """Refuse all new admissions (draining)."""
         with self._lock:

@@ -41,6 +41,28 @@ __all__ = ["QueryEngine"]
 
 NewObservation = tuple[URIRef, URIRef, Mapping[URIRef, URIRef], Iterable[URIRef]]
 
+# Registry metrics resolved once per process; see docs/observability.md.
+_METRICS = None
+
+
+def _metrics():
+    global _METRICS
+    if _METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _METRICS = {
+            "sink_errors": registry.counter(
+                "repro_engine_delta_sink_errors_total",
+                "Delta-sink (WAL append) failures during engine writes.",
+            ),
+            "feed_publish_errors": registry.counter(
+                "repro_stream_feed_publish_errors_total",
+                "Changefeed publishes that failed after a durable WAL append.",
+            ),
+        }
+    return _METRICS
+
 
 class QueryEngine:
     """Cached, lock-protected queries over a relationship index."""
@@ -54,6 +76,7 @@ class QueryEngine:
         delta_sink=None,
         kernel: str = "auto",
         storage_info=None,
+        changefeed=None,
     ):
         self.result = result
         self.space = space
@@ -75,6 +98,11 @@ class QueryEngine:
         # Zero-arg callable returning storage-layer facts (e.g.
         # ``SegmentStore.describe``); surfaced by stats()/healthz.
         self.storage_info = storage_info
+        # Ordered relationship changefeed (repro.stream.changefeed):
+        # every applied delta is published with a monotonic offset,
+        # under the write lock, after the WAL append succeeds.
+        self.changefeed = changefeed
+        self.feed_offset = changefeed.head_offset if changefeed is not None else None
 
     # ------------------------------------------------------------------
     # Cache plumbing: compute() runs under the read lock, so the
@@ -304,6 +332,11 @@ class QueryEngine:
                     "write_ahead_log": self.delta_sink is not None,
                     "wal_appends": self.wal_appends,
                 },
+                "changefeed": (
+                    {"head_offset": self.changefeed.head_offset}
+                    if self.changefeed is not None
+                    else None
+                ),
                 # process-wide vectorised-kernel usage (cube-pair
                 # evaluations served by repro.core.kernels)
                 "kernels": kernel_counters(),
@@ -333,8 +366,30 @@ class QueryEngine:
         try:
             self.delta_sink(delta)
         except (OSError, StorageError) as exc:
+            _metrics()["sink_errors"].inc()
             raise ServiceError(f"write-ahead log append failed: {exc}") from exc
         self.wal_appends += 1
+
+    def _publish(self, delta, op: str) -> None:
+        """Publish an applied delta to the changefeed, if attached.
+
+        Runs under the write lock after the WAL append succeeded, so
+        offsets are monotonic and ordered exactly as deltas were
+        applied.  The WAL is the durability source of truth; a feed
+        publish failure is counted (``repro_stream_feed_publish_errors
+        _total``) but does not fail the acknowledged write — consumers
+        detect the gap through feed-lag alerts and resync.
+        """
+        if self.changefeed is None:
+            return
+        from repro.obs import current_trace_id
+
+        try:
+            self.feed_offset = self.changefeed.publish(
+                delta, op=op, trace_id=current_trace_id()
+            )
+        except (OSError, StorageError):
+            _metrics()["feed_publish_errors"].inc()
 
     def insert(self, observations: Iterable[NewObservation]):
         """Insert observations; returns the applied delta.
@@ -373,6 +428,7 @@ class QueryEngine:
                 if len(self.space) > start:
                     self.space = self.space.select(range(start))
                 raise
+            self._publish(delta, "insert")
             for record in self.space.observations[start:]:
                 self.index.register(
                     record.uri, record.dataset, self.space.level_signature(record.index)
@@ -418,6 +474,7 @@ class QueryEngine:
                 self.result.partial_map.update(saved_map)
                 self.result.degrees.update(saved_degrees)
                 raise
+            self._publish(delta, "remove")
             self.space = new_space
             for uri in uris:
                 self.index.unregister(uri)

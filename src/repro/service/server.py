@@ -17,6 +17,8 @@ Observation ids are percent-encoded URIs in the path::
     GET    /observations/<id>/transitive?direction=up|down&max_depth=
     POST   /observations                           incremental insert
     DELETE /observations/<id>                      incremental retract
+    GET    /changes?since=&timeout=&limit=         changefeed (long-poll)
+    GET    /changes/stream?since=&heartbeat=       changefeed (SSE)
 
 Thread safety comes from the engine's readers–writer lock: the handler
 pool serves GETs concurrently under the shared side while POST/DELETE
@@ -61,7 +63,7 @@ from repro.errors import (
 )
 from repro.obs.tracing import bind_trace, new_trace_id, recorder, trace
 from repro.rdf.terms import URIRef
-from repro.resilience.deadline import Deadline, bind_deadline
+from repro.resilience.deadline import Deadline, bind_deadline, current_deadline
 from repro.resilience.faults import inject
 from repro.resilience.shed import LoadShedder
 from repro.service.engine import QueryEngine
@@ -71,6 +73,38 @@ __all__ = ["RelationshipServer", "start_server"]
 
 #: Header carrying the client's per-request budget in milliseconds.
 DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: Sentinel a route returns when it already wrote the response itself
+#: (the SSE changefeed stream) — ``_dispatch`` must not reply again.
+_STREAMED = object()
+
+#: Long-poll waits are capped so a /changes request cannot pin a pool
+#: worker and a shedder slot indefinitely.
+MAX_LONGPOLL_SECONDS = 60.0
+#: Hard cap on change records per response/SSE write burst.
+MAX_CHANGE_BATCH = 1000
+
+# Registry metrics resolved once per process; see docs/observability.md.
+_SSE_METRICS = None
+
+
+def _sse_metrics():
+    global _SSE_METRICS
+    if _SSE_METRICS is None:
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        _SSE_METRICS = {
+            "events": registry.counter(
+                "repro_stream_sse_events_total",
+                "Change events written to SSE subscribers.",
+            ),
+            "streams": registry.gauge(
+                "repro_stream_sse_subscribers",
+                "Currently connected SSE changefeed subscribers.",
+            ),
+        }
+    return _SSE_METRICS
 
 
 class _HTTPError(Exception):
@@ -262,7 +296,8 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                         endpoint, status, payload, content_type = self._route(
                             method, segments, query
                         )
-                        self._reply(status, payload, content_type)
+                        if payload is not _STREAMED:
+                            self._reply(status, payload, content_type)
             except _HTTPError as exc:
                 status = exc.status
                 self._reply(status, {"error": str(exc)})
@@ -390,6 +425,14 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                 "recent_spans": spans.recent(20),
             }
             return "debug-vars", 200, payload, "application/json"
+        if segments and segments[0] == "changes":
+            if method != "GET":
+                raise _HTTPError(405, f"{method} not allowed on /changes")
+            if len(segments) == 1:
+                return self._read_changes(query)
+            if segments == ["changes", "stream"]:
+                return self._stream_changes(query)
+            raise _HTTPError(404, f"no route for {'/'.join(segments)}")
         if not segments or segments[0] != "observations":
             raise _HTTPError(404, f"no route for {'/'.join(segments) or '/'}")
 
@@ -477,6 +520,156 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         raise _HTTPError(404, f"unknown relation {relation!r}")
 
     # ------------------------------------------------------------------
+    # Changefeed
+    # ------------------------------------------------------------------
+    def _feed(self):
+        feed = getattr(self.server.engine, "changefeed", None)
+        if feed is None:
+            raise _HTTPError(
+                404,
+                "no changefeed attached — serve a segment store (or pass "
+                "--changefeed) to publish applied deltas",
+            )
+        return feed
+
+    def _changes_cursor(self, query: dict, feed, consumer: str | None) -> int:
+        """Resolve the replay cursor: explicit ``since`` wins, then the
+        consumer's durable committed offset, then 0 (full replay)."""
+        since = self._int_param(query, "since", None)
+        if since is None:
+            since = feed.committed(consumer) if consumer else 0
+        if since < 0:
+            raise _HTTPError(400, f"since must be >= 0, got {since}")
+        return since
+
+    def _longpoll_budget(self, query: dict, default: float = 0.0) -> float:
+        """The long-poll wait, capped by policy and the request deadline."""
+        timeout = min(self._float_param(query, "timeout", default), MAX_LONGPOLL_SECONDS)
+        deadline = current_deadline()
+        if deadline is not None:
+            # Leave a slice of the budget to serialise the response.
+            timeout = max(0.0, min(timeout, deadline.remaining() - 0.05))
+        return timeout
+
+    def _read_changes(self, query: dict):
+        feed = self._feed()
+        consumer = query.get("consumer") or None
+        commit = self._int_param(query, "commit", None)
+        committed = None
+        if commit is not None:
+            if consumer is None:
+                raise _HTTPError(400, "commit= requires consumer=<name>")
+            if self.server.read_only:
+                raise _HTTPError(
+                    405,
+                    "consumer commits are read-only here; commit against "
+                    "the store's single writer",
+                )
+            try:
+                committed = feed.commit(consumer, commit)
+            except ValueError as exc:
+                raise _HTTPError(400, str(exc)) from None
+        since = self._changes_cursor(query, feed, consumer)
+        limit = min(self._int_param(query, "limit", 500), MAX_CHANGE_BATCH)
+        if limit < 1:
+            raise _HTTPError(400, f"limit must be >= 1, got {limit}")
+        timeout = self._longpoll_budget(query)
+        records = feed.wait_for(since, timeout=timeout, limit=limit)
+        payload = {
+            "since": since,
+            "head": feed.head_offset,
+            "count": len(records),
+            "next": records[-1]["offset"] if records else since,
+            "changes": records,
+        }
+        if consumer:
+            payload["consumer"] = consumer
+            payload["committed"] = (
+                committed if committed is not None else feed.committed(consumer)
+            )
+        return "changes", 200, payload, "application/json"
+
+    def _stream_changes(self, query: dict):
+        """Server-Sent Events: live ordered change stream with resume.
+
+        Each change goes out as ``id: <offset>`` + ``data: <record>``;
+        a reconnecting client resumes where it stopped by sending the
+        standard ``Last-Event-ID`` header (or ``since=``).  Idle
+        periods carry ``: heartbeat`` comments so proxies and clients
+        can tell a quiet feed from a dead one.  The stream pins one
+        pool worker and one shedder slot for its lifetime — size
+        ``--threads`` / ``--max-inflight`` for the subscriber count.
+        """
+        feed = self._feed()
+        consumer = query.get("consumer") or None
+        last_event = self.headers.get("Last-Event-ID")
+        if last_event is not None:
+            try:
+                cursor = int(last_event)
+            except ValueError:
+                raise _HTTPError(
+                    400, f"Last-Event-ID must be an offset, got {last_event!r}"
+                ) from None
+            if cursor < 0:
+                raise _HTTPError(400, f"Last-Event-ID must be >= 0, got {cursor}")
+        else:
+            cursor = self._changes_cursor(query, feed, consumer)
+        heartbeat = min(max(self._float_param(query, "heartbeat", 15.0), 0.5), 60.0)
+        # 0 = stream until the client disconnects or the server drains.
+        max_seconds = self._float_param(query, "max_seconds", 0.0)
+
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+        metrics = _sse_metrics()
+        metrics["streams"].inc()
+        started = time.monotonic()
+        try:
+            while True:
+                if self.server.shedder.closed:
+                    break  # draining: let the client reconnect elsewhere
+                budget = heartbeat
+                if max_seconds > 0:
+                    budget = min(budget, max_seconds - (time.monotonic() - started))
+                    if budget <= 0:
+                        break
+                records = feed.wait_for(cursor, timeout=budget, limit=MAX_CHANGE_BATCH)
+                if records:
+                    for record in records:
+                        body = json.dumps(record, default=str)
+                        self.wfile.write(
+                            f"id: {record['offset']}\ndata: {body}\n\n".encode("utf-8")
+                        )
+                    cursor = records[-1]["offset"]
+                    self.wfile.flush()
+                    metrics["events"].inc(len(records))
+                else:
+                    self.wfile.write(b": heartbeat\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError, OSError):
+            pass  # subscriber went away; the stream just ends
+        finally:
+            metrics["streams"].inc(-1.0)
+        return "changes-stream", 200, _STREAMED, None
+
+    @staticmethod
+    def _float_param(query: dict, name: str, default: float) -> float:
+        raw = query.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise _HTTPError(
+                400, f"query parameter {name!r} must be a number, got {raw!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
     def _list_observations(self, query: dict):
         engine = self.server.engine
         dataset = URIRef(query["dataset"]) if "dataset" in query else None
@@ -529,6 +722,7 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                 "inserted": len(observations),
                 "generation": engine.generation,
                 "pairs_added": delta.total_added(),
+                "feed_offset": engine.feed_offset,
             },
             "application/json",
         )

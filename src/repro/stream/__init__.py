@@ -1,0 +1,48 @@
+"""repro.stream — streaming ingest and the relationship changefeed.
+
+Two halves:
+
+- :mod:`repro.stream.changefeed`: the WAL-backed ordered feed of
+  applied relationship deltas (monotonic offsets, ``since=`` replay,
+  durable named consumer offsets).
+- :mod:`repro.stream.ingest`: the batching, backpressured pump that
+  tails an observation source and drives incremental inserts.
+
+See ``docs/streaming.md`` for the wire grammar and semantics.
+"""
+
+from repro.stream.changefeed import (
+    Changefeed,
+    ChangefeedReader,
+    change_record,
+    delta_from_change,
+)
+from repro.stream.ingest import (
+    CsvObservationParser,
+    EngineSink,
+    HttpSink,
+    IngestError,
+    IngestStats,
+    NTriplesObservationParser,
+    StreamIngester,
+    make_parser,
+    sniff_format,
+    watch_directory,
+)
+
+__all__ = [
+    "Changefeed",
+    "ChangefeedReader",
+    "change_record",
+    "delta_from_change",
+    "CsvObservationParser",
+    "EngineSink",
+    "HttpSink",
+    "IngestError",
+    "IngestStats",
+    "NTriplesObservationParser",
+    "StreamIngester",
+    "make_parser",
+    "sniff_format",
+    "watch_directory",
+]

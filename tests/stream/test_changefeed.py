@@ -1,0 +1,307 @@
+"""Unit tests for the WAL-backed changefeed (repro.stream.changefeed)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import truncate_file
+from repro.core.results import RelationshipDelta
+from repro.errors import StorageError
+from repro.rdf.terms import URIRef
+from repro.storage.wal import WriteAheadLog
+from repro.stream import (
+    Changefeed,
+    ChangefeedReader,
+    change_record,
+    delta_from_change,
+)
+
+
+def make_delta(i: int) -> RelationshipDelta:
+    return RelationshipDelta(
+        added_full={(URIRef(f"http://t/a{i}"), URIRef(f"http://t/b{i}"))}
+    )
+
+
+def publish_n(feed: Changefeed, n: int, start: int = 0) -> list[int]:
+    return [feed.publish(make_delta(start + i)) for i in range(n)]
+
+
+class TestPublishAndRead:
+    def test_offsets_are_monotonic_from_one(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        assert feed.head_offset == 0
+        offsets = publish_n(feed, 5)
+        assert offsets == [1, 2, 3, 4, 5]
+        assert feed.head_offset == 5
+        feed.close()
+
+    def test_since_zero_is_full_replay(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 4)
+        records = feed.read(since=0)
+        assert [r["offset"] for r in records] == [1, 2, 3, 4]
+        # every record decodes back to the delta it was published with
+        for i, record in enumerate(records):
+            assert delta_from_change(record).added_full == make_delta(i).added_full
+        feed.close()
+
+    def test_since_returns_strictly_greater_offsets(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 6)
+        assert [r["offset"] for r in feed.read(since=4)] == [5, 6]
+        assert feed.read(since=6) == []
+        assert feed.read(since=100) == []
+        feed.close()
+
+    def test_limit_truncates_the_page(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 5)
+        assert [r["offset"] for r in feed.read(since=0, limit=2)] == [1, 2]
+        feed.close()
+
+    def test_record_shape(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        feed.publish(make_delta(0), op="insert", trace_id="trace-1")
+        (record,) = feed.read(since=0)
+        assert record["type"] == "change"
+        assert record["op"] == "insert"
+        assert record["trace"] == "trace-1"
+        assert isinstance(record["ts"], float)
+        assert "delta" in record
+        feed.close()
+
+    def test_head_survives_reopen(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 3)
+        feed.close()
+        reopened = Changefeed(tmp_path / "feed")
+        assert reopened.head_offset == 3
+        assert reopened.publish(make_delta(3)) == 4
+        assert [r["offset"] for r in reopened.read(since=0)] == [1, 2, 3, 4]
+        reopened.close()
+
+
+class TestRotation:
+    def test_rotates_into_offset_named_segments(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed", rotate_bytes=1)  # rotate every record
+        publish_n(feed, 4)
+        names = sorted(p.name for p in (tmp_path / "feed").glob("feed-*.jsonl"))
+        assert names == [
+            "feed-00000000000000000001.jsonl",
+            "feed-00000000000000000002.jsonl",
+            "feed-00000000000000000003.jsonl",
+            "feed-00000000000000000004.jsonl",
+        ]
+        assert feed.describe()["segments"] >= 4
+        feed.close()
+
+    def test_replay_spans_segments(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed", rotate_bytes=1)
+        publish_n(feed, 6)
+        assert [r["offset"] for r in feed.read(since=0)] == [1, 2, 3, 4, 5, 6]
+        # a cursor inside the sequence skips the whole leading segments
+        assert [r["offset"] for r in feed.read(since=3)] == [4, 5, 6]
+        feed.close()
+
+    def test_reopen_after_rotation_continues_numbering(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed", rotate_bytes=1)
+        publish_n(feed, 3)
+        feed.close()
+        reopened = Changefeed(tmp_path / "feed", rotate_bytes=1)
+        assert reopened.publish(make_delta(3)) == 4
+        assert [r["offset"] for r in reopened.read(since=0)] == [1, 2, 3, 4]
+        reopened.close()
+
+
+class TestConsumerOffsets:
+    def test_commit_and_committed(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 3)
+        assert feed.committed("etl") == 0
+        assert feed.commit("etl", 2) == 2
+        assert feed.committed("etl") == 2
+        feed.close()
+
+    def test_commits_are_monotonic_per_consumer(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 5)
+        feed.commit("etl", 4)
+        # re-delivering an old batch must not move the cursor back
+        assert feed.commit("etl", 2) == 4
+        assert feed.committed("etl") == 4
+        feed.close()
+
+    def test_offsets_survive_restart(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 3)
+        feed.commit("ui", 3)
+        feed.commit("etl", 1)
+        feed.close()
+        reopened = Changefeed(tmp_path / "feed")
+        assert reopened.committed("ui") == 3
+        assert reopened.committed("etl") == 1
+        assert reopened.describe()["consumers"] == {"etl": 1, "ui": 3}
+        reopened.close()
+
+    def test_invalid_commits_rejected(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        with pytest.raises(ValueError):
+            feed.commit("etl", -1)
+        with pytest.raises(ValueError):
+            feed.commit("", 1)
+        feed.close()
+
+    def test_consumer_ahead_of_wal_head_reads_empty(self, tmp_path):
+        """A committed offset past the head (e.g. the feed directory was
+        recreated) must yield empty reads, not an error or a replay."""
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 2)
+        feed.commit("etl", 7)  # ahead of head (2)
+        assert feed.read(since=feed.committed("etl")) == []
+        started = time.monotonic()
+        assert feed.wait_for(since=7, timeout=0.2) == []
+        assert time.monotonic() - started >= 0.15
+        # once the head catches up past the stale cursor, reads resume
+        publish_n(feed, 6, start=2)
+        assert feed.head_offset == 8
+        assert [r["offset"] for r in feed.read(since=7)] == [8]
+        feed.close()
+
+
+class TestTornTail:
+    def test_writer_repairs_torn_tail_and_reuses_offset(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 5)
+        feed.close()
+        (first, active) = sorted(
+            (p.name, p) for p in (tmp_path / "feed").glob("feed-*.jsonl")
+        )[-1]
+        truncate_file(active, drop_bytes=10)  # tear the final publish mid-line
+        reopened = Changefeed(tmp_path / "feed")
+        assert reopened.head_offset == 4
+        # the torn offset is reused by the next publish
+        assert reopened.publish(make_delta(99)) == 5
+        records = reopened.read(since=0)
+        assert [r["offset"] for r in records] == [1, 2, 3, 4, 5]
+        assert delta_from_change(records[-1]).added_full == make_delta(99).added_full
+        reopened.close()
+
+    def test_resume_exactly_at_repair_boundary(self, tmp_path):
+        """A consumer that committed the offset the repair rolled back to
+        resumes cleanly: nothing before the boundary, and the republished
+        record (same offset, new content) is delivered exactly once."""
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 5)
+        feed.commit("etl", 4)  # consumer processed 1..4; offset 5 was torn
+        feed.close()
+        active = sorted((tmp_path / "feed").glob("feed-*.jsonl"))[-1]
+        truncate_file(active, drop_bytes=10)
+        reopened = Changefeed(tmp_path / "feed")
+        cursor = reopened.committed("etl")
+        assert cursor == 4 == reopened.head_offset
+        assert reopened.read(since=cursor) == []  # boundary: nothing to redo
+        reopened.publish(make_delta(42))
+        records = reopened.read(since=cursor)
+        assert [r["offset"] for r in records] == [5]
+        assert delta_from_change(records[0]).added_full == make_delta(42).added_full
+        reopened.close()
+
+    def test_reader_never_repairs(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 3)
+        feed.close()
+        active = sorted((tmp_path / "feed").glob("feed-*.jsonl"))[-1]
+        truncate_file(active, drop_bytes=10)
+        size_before = active.stat().st_size
+        reader = ChangefeedReader(tmp_path / "feed")
+        # the torn record is simply not yet visible
+        assert [r["offset"] for r in reader.read(since=0)] == [1, 2]
+        assert reader.head_offset == 2
+        assert active.stat().st_size == size_before  # file untouched
+
+
+class TestLongPoll:
+    def test_empty_feed_times_out(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        started = time.monotonic()
+        assert feed.wait_for(since=0, timeout=0.3) == []
+        elapsed = time.monotonic() - started
+        assert 0.25 <= elapsed < 5.0
+        feed.close()
+
+    def test_wait_wakes_on_publish(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+
+        def later():
+            time.sleep(0.1)
+            feed.publish(make_delta(0))
+
+        thread = threading.Thread(target=later)
+        thread.start()
+        started = time.monotonic()
+        records = feed.wait_for(since=0, timeout=5.0)
+        elapsed = time.monotonic() - started
+        thread.join()
+        assert [r["offset"] for r in records] == [1]
+        assert elapsed < 4.0, "wait_for should wake on publish, not sleep out"
+        feed.close()
+
+    def test_reader_polls_until_data_appears(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        reader = ChangefeedReader(tmp_path / "feed")
+
+        def later():
+            time.sleep(0.15)
+            feed.publish(make_delta(0))
+
+        thread = threading.Thread(target=later)
+        thread.start()
+        records = reader.wait_for(since=0, timeout=5.0)
+        thread.join()
+        assert [r["offset"] for r in records] == [1]
+        feed.close()
+
+
+class TestReader:
+    def test_reader_sees_live_appends_and_rotations(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed", rotate_bytes=1)
+        reader = ChangefeedReader(tmp_path / "feed")
+        assert reader.head_offset == 0
+        publish_n(feed, 2)
+        assert [r["offset"] for r in reader.read(since=0)] == [1, 2]
+        publish_n(feed, 2, start=2)  # forces more rotated segments
+        assert [r["offset"] for r in reader.read(since=2)] == [3, 4]
+        assert reader.head_offset == 4
+        feed.close()
+
+    def test_reader_commits_share_the_consumers_file(self, tmp_path):
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 2)
+        reader = ChangefeedReader(tmp_path / "feed")
+        reader.commit("ui", 2)
+        assert feed.committed("ui") == 2
+        feed.close()
+
+    def test_malformed_record_raises_storage_error(self, tmp_path):
+        path = tmp_path / "feed"
+        path.mkdir()
+        wal = WriteAheadLog(path / "feed-00000000000000000001.jsonl")
+        wal.append({"type": "bogus"})
+        wal.close()
+        with pytest.raises(StorageError):
+            ChangefeedReader(path).read(since=0)
+
+
+class TestRecordCodec:
+    def test_change_record_round_trip(self):
+        delta = RelationshipDelta(
+            added_full={(URIRef("http://t/a"), URIRef("http://t/b"))},
+            added_complementary={(URIRef("http://t/c"), URIRef("http://t/d"))},
+        )
+        record = change_record(7, delta, op="insert", trace_id="t-1")
+        assert record["offset"] == 7
+        back = delta_from_change(record)
+        assert back.added_full == delta.added_full
+        assert back.added_complementary == delta.added_complementary

@@ -1,0 +1,300 @@
+"""Live HTTP round-trips for the changefeed endpoints.
+
+The acceptance property for streaming lives here: an SSE client
+replaying ``since=0`` observes the *identical ordered delta sequence*
+the engine applied, and durable consumer offsets survive a full
+server restart.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.rdf.terms import URIRef
+from repro.service import QueryEngine, start_server
+from repro.stream import Changefeed, delta_from_change
+
+from tests.conftest import make_random_space
+
+
+def make_stack(tmp_path, seed=92, **server_kwargs):
+    space = make_random_space(25, seed=seed)
+    result = compute_baseline(space, collect_partial_dimensions=True)
+    feed = Changefeed(tmp_path / "feed")
+    engine = QueryEngine(result, space, changefeed=feed)
+    server = start_server(engine, **server_kwargs)
+    host, port = server.server_address
+    return f"http://{host}:{port}", engine, space, feed, server
+
+
+@pytest.fixture()
+def served(tmp_path):
+    base, engine, space, feed, server = make_stack(tmp_path)
+    yield base, engine, space, feed
+    server.shutdown()
+    server.server_close()
+    feed.close()
+
+
+def get_json(base: str, path: str, timeout: float = 30.0):
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return response.status, json.load(response)
+
+
+def newcomer(space, i: int):
+    template = space.observations[i % len(space.observations)]
+    return (
+        URIRef(f"http://test.example/live{i}"),
+        template.dataset,
+        {
+            dim: code
+            for dim, code in zip(space.dimensions, template.codes)
+            if code is not None
+        },
+        [URIRef("http://test.example/m0")],
+    )
+
+
+def read_sse(base: str, path: str, headers=None, timeout: float = 30.0):
+    """Collect a bounded SSE stream (``max_seconds=`` ends it server-side)."""
+    request = urllib.request.Request(base + path, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        assert response.headers["Content-Type"].startswith("text/event-stream")
+        text = response.read().decode("utf-8")
+    events, comments = [], []
+    for block in text.split("\n\n"):
+        event_id, data = None, None
+        for line in block.strip().split("\n"):
+            if line.startswith("id: "):
+                event_id = int(line[len("id: "):])
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+            elif line.startswith(":"):
+                comments.append(line)
+        if data is not None:
+            events.append((event_id, data))
+    return events, comments
+
+
+def assert_same_delta(record: dict, delta) -> None:
+    decoded = delta_from_change(record)
+    assert decoded.added_full == delta.added_full
+    assert decoded.added_partial == delta.added_partial
+    assert decoded.added_complementary == delta.added_complementary
+    assert decoded.removed_full == delta.removed_full
+
+
+class TestChangesEndpoint:
+    def test_404_without_a_feed(self):
+        space = make_random_space(10, seed=93)
+        result = compute_baseline(space, collect_partial_dimensions=True)
+        server = start_server(QueryEngine(result, space))
+        host, port = server.server_address
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get_json(f"http://{host}:{port}", "/changes")
+            assert err.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_replay_matches_applied_deltas_in_order(self, served):
+        base, engine, space, feed = served
+        applied = [engine.insert([newcomer(space, i)]) for i in range(3)]
+        status, body = get_json(base, "/changes?since=0")
+        assert status == 200
+        assert body["head"] == 3
+        assert body["count"] == 3
+        assert body["next"] == 3
+        assert [r["offset"] for r in body["changes"]] == [1, 2, 3]
+        for record, delta in zip(body["changes"], applied):
+            assert record["op"] == "insert"
+            assert_same_delta(record, delta)
+
+    def test_post_insert_reports_feed_offset(self, served):
+        base, engine, space, feed = served
+        uri, dataset, dims, measures = newcomer(space, 0)
+        payload = json.dumps(
+            {
+                "observations": [
+                    {
+                        "uri": str(uri),
+                        "dataset": str(dataset),
+                        "dimensions": {str(k): str(v) for k, v in dims.items()},
+                        "measures": [str(m) for m in measures],
+                    }
+                ]
+            }
+        ).encode()
+        request = urllib.request.Request(
+            base + "/observations",
+            data=payload,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            body = json.load(response)
+        assert body["feed_offset"] == 1 == feed.head_offset
+
+    def test_empty_longpoll_times_out(self, served):
+        base, engine, space, feed = served
+        started = time.monotonic()
+        status, body = get_json(base, "/changes?since=0&timeout=0.5")
+        elapsed = time.monotonic() - started
+        assert status == 200 and body["count"] == 0 and body["next"] == 0
+        assert 0.4 <= elapsed < 10.0
+
+    def test_longpoll_wakes_on_live_insert(self, served):
+        base, engine, space, feed = served
+
+        def later():
+            time.sleep(0.2)
+            engine.insert([newcomer(space, 7)])
+
+        thread = threading.Thread(target=later)
+        thread.start()
+        started = time.monotonic()
+        status, body = get_json(base, "/changes?since=0&timeout=10")
+        elapsed = time.monotonic() - started
+        thread.join()
+        assert body["count"] == 1
+        assert elapsed < 8.0, "long-poll should wake on publish"
+
+    def test_remove_publishes_a_remove_op(self, served):
+        base, engine, space, feed = served
+        engine.insert([newcomer(space, 0)])
+        engine.remove([URIRef("http://test.example/live0")])
+        _, body = get_json(base, "/changes?since=1")
+        assert [r["op"] for r in body["changes"]] == ["remove"]
+
+    def test_bad_params_rejected(self, served):
+        base, engine, space, feed = served
+        for path in (
+            "/changes?since=-1",
+            "/changes?since=abc",
+            "/changes?limit=0",
+            "/changes?commit=3",  # commit without consumer
+            "/changes?timeout=abc",
+        ):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get_json(base, path)
+            assert err.value.code == 400, path
+
+
+class TestConsumers:
+    def test_commit_then_resume_from_committed(self, served):
+        base, engine, space, feed = served
+        for i in range(4):
+            engine.insert([newcomer(space, i)])
+        _, body = get_json(base, "/changes?consumer=etl&commit=2")
+        assert body["consumer"] == "etl" and body["committed"] == 2
+        assert body["since"] == 2
+        assert [r["offset"] for r in body["changes"]] == [3, 4]
+        # explicit since= overrides the committed cursor
+        _, body = get_json(base, "/changes?consumer=etl&since=0")
+        assert body["count"] == 4 and body["committed"] == 2
+
+    def test_offsets_survive_server_restart(self, tmp_path):
+        base, engine, space, feed, server = make_stack(tmp_path, seed=94)
+        try:
+            for i in range(3):
+                engine.insert([newcomer(space, i)])
+            get_json(base, "/changes?consumer=etl&commit=2")
+        finally:
+            server.shutdown()
+            server.server_close()
+            feed.close()
+        # a brand-new process over the same store directory
+        feed2 = Changefeed(tmp_path / "feed")
+        assert feed2.head_offset == 3
+        result = compute_baseline(space, collect_partial_dimensions=True)
+        engine2 = QueryEngine(result, space, changefeed=feed2)
+        server2 = start_server(engine2)
+        host, port = server2.server_address
+        try:
+            _, body = get_json(f"http://{host}:{port}", "/changes?consumer=etl")
+            assert body["committed"] == 2
+            assert body["since"] == 2
+            assert [r["offset"] for r in body["changes"]] == [3]
+        finally:
+            server2.shutdown()
+            server2.server_close()
+            feed2.close()
+
+    def test_read_only_server_rejects_commits(self, tmp_path):
+        base, engine, space, feed, server = make_stack(
+            tmp_path, seed=95, read_only=True
+        )
+        try:
+            engine.insert([newcomer(space, 0)])  # direct write; HTTP is read-only
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get_json(base, "/changes?consumer=etl&commit=1")
+            assert err.value.code == 405
+            # reads still work
+            _, body = get_json(base, "/changes?since=0")
+            assert body["count"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            feed.close()
+
+
+class TestServerSentEvents:
+    def test_replay_observes_identical_applied_sequence(self, served):
+        """Acceptance: SSE since=0 delivers exactly the ordered delta
+        sequence the engine applied — pre-existing and live."""
+        base, engine, space, feed = served
+        applied = [engine.insert([newcomer(space, i)]) for i in range(2)]
+        collected = {}
+
+        def subscribe():
+            collected["events"], collected["comments"] = read_sse(
+                base, "/changes/stream?since=0&max_seconds=2&heartbeat=0.5"
+            )
+
+        thread = threading.Thread(target=subscribe)
+        thread.start()
+        time.sleep(0.4)  # subscriber is long-polling past offset 2 now
+        applied.append(engine.insert([newcomer(space, 2)]))
+        applied.append(engine.insert([newcomer(space, 3)]))
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        events = collected["events"]
+        assert [event_id for event_id, _ in events] == [1, 2, 3, 4]
+        assert [record["offset"] for _, record in events] == [1, 2, 3, 4]
+        for (_, record), delta in zip(events, applied):
+            assert_same_delta(record, delta)
+
+    def test_last_event_id_resumes_past_processed_offsets(self, served):
+        base, engine, space, feed = served
+        for i in range(4):
+            engine.insert([newcomer(space, i)])
+        events, _ = read_sse(
+            base,
+            "/changes/stream?max_seconds=0.5",
+            headers={"Last-Event-ID": "2"},
+        )
+        assert [event_id for event_id, _ in events] == [3, 4]
+
+    def test_quiet_stream_carries_heartbeats(self, served):
+        base, engine, space, feed = served
+        events, comments = read_sse(
+            base, "/changes/stream?since=0&max_seconds=1.2&heartbeat=0.5"
+        )
+        assert events == []
+        assert any("heartbeat" in comment for comment in comments)
+
+    def test_bad_last_event_id_rejected(self, served):
+        base, engine, space, feed = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            read_sse(
+                base,
+                "/changes/stream?max_seconds=0.5",
+                headers={"Last-Event-ID": "nope"},
+            )
+        assert err.value.code == 400

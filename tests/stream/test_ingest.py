@@ -1,0 +1,291 @@
+"""Unit tests for the streaming ingest pump (repro.stream.ingest)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import compute_baseline
+from repro.rdf.terms import URIRef
+from repro.service import QueryEngine
+from repro.stream import (
+    Changefeed,
+    CsvObservationParser,
+    EngineSink,
+    IngestError,
+    NTriplesObservationParser,
+    StreamIngester,
+    delta_from_change,
+    make_parser,
+    sniff_format,
+    watch_directory,
+)
+
+from tests.conftest import make_random_space
+
+
+class TestCsvParser:
+    def test_parses_full_row(self):
+        parser = CsvObservationParser()
+        (entry,) = parser.feed(
+            "http://t/o1,http://t/ds,http://t/dim0=http://t/c0|http://t/dim1=http://t/c1,"
+            "http://t/m0|http://t/m1\n"
+        )
+        assert entry == {
+            "uri": "http://t/o1",
+            "dataset": "http://t/ds",
+            "dimensions": {
+                "http://t/dim0": "http://t/c0",
+                "http://t/dim1": "http://t/c1",
+            },
+            "measures": ["http://t/m0", "http://t/m1"],
+        }
+        assert parser.errors == 0
+
+    def test_skips_header_blank_and_comment_lines(self):
+        parser = CsvObservationParser()
+        assert parser.feed("uri,dataset,dimensions,measures\n") == []
+        assert parser.feed("\n") == []
+        assert parser.feed("# a comment\n") == []
+        assert parser.errors == 0
+
+    def test_counts_malformed_lines(self):
+        parser = CsvObservationParser()
+        assert parser.feed("only-one-field\n") == []
+        assert parser.feed(",missing-uri\n") == []
+        assert parser.feed("http://t/o,http://t/ds,badpair,\n") == []
+        assert parser.errors == 3
+        assert parser.finish() == []
+
+
+class TestNTriplesParser:
+    LINES = [
+        '<http://t/o1> <http://purl.org/linked-data/cube#dataSet> <http://t/ds> .\n',
+        '<http://t/o1> <http://t/dim0> <http://t/c0> .\n',
+        '<http://t/o1> <http://t/m0> "42" .\n',
+        '<http://t/o2> <http://purl.org/linked-data/cube#dataSet> <http://t/ds> .\n',
+        '<http://t/o2> <http://t/dim0> <http://t/c1> .\n',
+        '<http://t/o2> <http://t/m0> "7" .\n',
+    ]
+
+    def test_groups_triples_by_subject(self):
+        parser = NTriplesObservationParser()
+        entries = []
+        for line in self.LINES:
+            entries.extend(parser.feed(line))
+        entries.extend(parser.finish())
+        assert [e["uri"] for e in entries] == ["http://t/o1", "http://t/o2"]
+        assert entries[0]["dataset"] == "http://t/ds"
+        assert entries[0]["dimensions"] == {"http://t/dim0": "http://t/c0"}
+        assert entries[0]["measures"] == ["http://t/m0"]
+
+    def test_schema_classifies_predicates(self):
+        schema = {
+            URIRef("http://t/ds"): (
+                frozenset({URIRef("http://t/dim0")}),
+                frozenset({URIRef("http://t/m0")}),
+            )
+        }
+        parser = NTriplesObservationParser(schema=schema)
+        lines = self.LINES[:3] + [
+            '<http://t/o1> <http://t/ignored> <http://t/x> .\n',
+        ]
+        entries = []
+        for line in lines:
+            entries.extend(parser.feed(line))
+        entries.extend(parser.finish())
+        (entry,) = entries
+        assert entry["dimensions"] == {"http://t/dim0": "http://t/c0"}
+        assert entry["measures"] == ["http://t/m0"]
+
+    def test_missing_dataset_is_a_parse_error(self):
+        parser = NTriplesObservationParser()
+        parser.feed('<http://t/o9> <http://t/dim0> <http://t/c0> .\n')
+        assert parser.finish() == []
+        assert parser.errors == 1
+
+    def test_garbage_line_is_counted_not_fatal(self):
+        parser = NTriplesObservationParser()
+        assert parser.feed("this is not a triple\n") == []
+        assert parser.errors == 1
+
+
+class TestFormatSelection:
+    def test_sniff(self):
+        assert sniff_format('<http://t/o> <http://t/p> "1" .') == "ntriples"
+        assert sniff_format("http://t/o,http://t/ds,,") == "csv"
+
+    def test_make_parser(self):
+        assert make_parser("csv").format == "csv"
+        assert make_parser("ntriples").format == "ntriples"
+        with pytest.raises(IngestError):
+            make_parser("avro")
+
+
+class _RecordingSink:
+    def __init__(self, delay: float = 0.0, fail_after: int | None = None):
+        self.batches: list[list[dict]] = []
+        self.delay = delay
+        self.fail_after = fail_after
+        self.lock = threading.Lock()
+        self.concurrent = 0
+        self.max_concurrent = 0
+
+    def send(self, batch, trace_id=None):
+        with self.lock:
+            self.concurrent += 1
+            self.max_concurrent = max(self.max_concurrent, self.concurrent)
+            if self.fail_after is not None and len(self.batches) >= self.fail_after:
+                self.concurrent -= 1
+                raise IngestError("sink full")
+            self.batches.append(list(batch))
+            n = len(self.batches)
+        if self.delay:
+            time.sleep(self.delay)
+        with self.lock:
+            self.concurrent -= 1
+        return {"inserted": len(batch), "feed_offset": n}
+
+    def close(self):
+        pass
+
+
+def csv_lines(n: int):
+    yield "uri,dataset,dimensions,measures\n"
+    for i in range(n):
+        yield f"http://t/o{i},http://t/ds,http://t/dim0=http://t/c{i % 3},http://t/m0\n"
+
+
+class TestStreamIngester:
+    def test_batches_by_size_and_tracks_offsets(self):
+        sink = _RecordingSink()
+        pump = StreamIngester(sink, CsvObservationParser(), batch_size=4)
+        stats = pump.run(csv_lines(10))
+        assert stats.observations == 10
+        assert stats.batches == 3  # 4 + 4 + 2 (final flush)
+        assert sorted(len(b) for b in sink.batches) == [2, 4, 4]
+        assert stats.parse_errors == 0
+        assert stats.last_offset == 3
+        assert stats.as_dict()["observations"] == 10
+
+    def test_flush_interval_flushes_partial_batches(self):
+        sink = _RecordingSink()
+        pump = StreamIngester(
+            sink, CsvObservationParser(), batch_size=1000, flush_interval=0.05
+        )
+
+        def slow_lines():
+            yield from csv_lines(2)
+            time.sleep(0.1)
+            yield from list(csv_lines(2))[1:]  # skip the duplicate header
+
+        stats = pump.run(slow_lines())
+        assert stats.observations == 4
+        assert stats.batches >= 2, "the flush interval should have split the stream"
+
+    def test_backpressure_bounds_inflight_batches(self):
+        sink = _RecordingSink(delay=0.05)
+        pump = StreamIngester(
+            sink, CsvObservationParser(), batch_size=2, max_inflight=2
+        )
+        stats = pump.run(csv_lines(20))
+        assert stats.observations == 20
+        assert sink.max_concurrent <= 2
+
+    def test_sink_failure_aborts_the_run(self):
+        sink = _RecordingSink(fail_after=1)
+        pump = StreamIngester(sink, CsvObservationParser(), batch_size=2, max_inflight=1)
+        with pytest.raises(IngestError):
+            pump.run(csv_lines(20))
+
+    def test_stop_event_halts_the_pump(self):
+        sink = _RecordingSink()
+        stop = threading.Event()
+        pump = StreamIngester(sink, CsvObservationParser(), batch_size=2)
+
+        def lines():
+            yield from csv_lines(4)
+            stop.set()
+            yield from list(csv_lines(100))[1:]
+
+        stats = pump.run(lines(), stop=stop)
+        assert stats.observations <= 6
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(IngestError):
+            StreamIngester(_RecordingSink(), CsvObservationParser(), batch_size=0)
+        with pytest.raises(IngestError):
+            StreamIngester(_RecordingSink(), CsvObservationParser(), max_inflight=0)
+
+
+class TestEngineSink:
+    def test_ingested_deltas_reach_feed_in_applied_order(self, tmp_path):
+        space = make_random_space(20, seed=91)
+        result = compute_baseline(space, collect_partial_dimensions=True)
+        feed = Changefeed(tmp_path / "feed")
+        engine = QueryEngine(result, space, changefeed=feed)
+        template = space.observations[0]
+        dims = "|".join(
+            f"{dim}={code}"
+            for dim, code in zip(space.dimensions, template.codes)
+            if code is not None
+        )
+        lines = ["uri,dataset,dimensions,measures\n"] + [
+            f'http://test.example/stream{i},{template.dataset},"{dims}",'
+            f"http://test.example/m0\n"
+            for i in range(6)
+        ]
+        pump = StreamIngester(
+            EngineSink(engine), CsvObservationParser(), batch_size=2, max_inflight=1
+        )
+        stats = pump.run(lines)
+        assert stats.observations == 6
+        assert stats.batches == 3
+        assert stats.last_offset == feed.head_offset == 3
+        # the feed holds exactly the engine-applied deltas, in order
+        uris = set()
+        for record in feed.read(since=0):
+            delta = delta_from_change(record)
+            uris |= {u for pair in delta.added_full for u in pair}
+            uris |= {u for pair in delta.added_partial for u in pair}
+            uris |= {u for pair in delta.added_complementary for u in pair}
+        for i in range(6):
+            assert URIRef(f"http://test.example/stream{i}") in uris
+        feed.close()
+
+
+class TestWatchDirectory:
+    def test_drains_sorted_and_marks_done(self, tmp_path):
+        (tmp_path / "b.csv").write_text("line-b1\nline-b2\n")
+        (tmp_path / "a.csv").write_text("line-a\n")
+        (tmp_path / ".hidden").write_text("nope\n")
+        (tmp_path / "c.csv.done").write_text("already\n")
+        lines = [line.strip() for line in watch_directory(tmp_path)]
+        assert lines == ["line-a", "line-b1", "line-b2"]
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert "a.csv.done" in names and "b.csv.done" in names
+        assert "a.csv" not in names
+
+    def test_stop_event_ends_the_watch(self, tmp_path):
+        stop = threading.Event()
+        seen = []
+
+        def consume():
+            for line in watch_directory(tmp_path, poll_interval=0.05, stop=stop):
+                seen.append(line.strip())
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.1)
+        (tmp_path / "late.csv").write_text("late-line\n")
+        deadline = time.monotonic() + 5
+        while not seen and time.monotonic() < deadline:
+            time.sleep(0.02)
+        stop.set()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert seen == ["late-line"]
+
+    def test_missing_directory_is_fatal(self, tmp_path):
+        with pytest.raises(IngestError):
+            list(watch_directory(tmp_path / "absent"))

@@ -1,0 +1,79 @@
+"""Unit tests for the router's scatter-merged changefeed pages."""
+
+from repro.cluster.router import merge_changes
+
+
+def change(offset: int, shard: int = 0) -> dict:
+    return {"type": "change", "offset": offset, "op": "insert", "shard": shard}
+
+
+def body(since: int, head: int, offsets, shard: int = 0) -> dict:
+    return {
+        "since": since,
+        "head": head,
+        "count": len(offsets),
+        "changes": [change(o, shard) for o in offsets],
+    }
+
+
+class TestMergeChanges:
+    def test_identical_offsets_collapse(self):
+        # every shard reads the same store-level feed: replicas return
+        # the same records and the merge must count each offset once
+        merged = merge_changes(
+            [
+                body(0, 3, [1, 2, 3], shard=0),
+                body(0, 3, [1, 2, 3], shard=1),
+            ]
+        )
+        assert [r["offset"] for r in merged["changes"]] == [1, 2, 3]
+        assert merged["count"] == 3
+        assert merged["head"] == 3
+        assert merged["next"] == 3
+
+    def test_staggered_shards_merge_in_offset_order(self):
+        # one replica lags: the merged page is still strictly ascending
+        # and the head is the max any shard reported
+        merged = merge_changes(
+            [
+                body(0, 2, [1, 2], shard=0),
+                body(0, 4, [1, 2, 3, 4], shard=1),
+            ]
+        )
+        assert [r["offset"] for r in merged["changes"]] == [1, 2, 3, 4]
+        assert merged["head"] == 4
+        assert merged["next"] == 4
+
+    def test_first_body_wins_on_duplicate_offsets(self):
+        merged = merge_changes(
+            [
+                body(0, 1, [1], shard=0),
+                body(0, 1, [1], shard=1),
+            ]
+        )
+        assert merged["changes"][0]["shard"] == 0
+
+    def test_limit_truncates_after_merge(self):
+        merged = merge_changes(
+            [
+                body(0, 5, [1, 3, 5]),
+                body(0, 5, [2, 4]),
+            ],
+            limit=3,
+        )
+        assert [r["offset"] for r in merged["changes"]] == [1, 2, 3]
+        assert merged["count"] == 3
+        assert merged["next"] == 3
+        assert merged["head"] == 5  # head reflects the feed, not the page
+
+    def test_empty_bodies(self):
+        merged = merge_changes([body(7, 7, []), body(7, 7, [])])
+        assert merged["changes"] == []
+        assert merged["count"] == 0
+        assert merged["next"] == 7  # cursor stays where the client left it
+        assert merged["since"] == 7
+
+    def test_malformed_offsets_are_skipped(self):
+        bad = {"since": 0, "head": 1, "changes": [{"offset": "x"}, {"op": "insert"}]}
+        merged = merge_changes([bad, body(0, 1, [1])])
+        assert [r["offset"] for r in merged["changes"]] == [1]
