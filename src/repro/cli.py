@@ -457,12 +457,19 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     iterator = iter(lines)
     fmt = args.format
     if fmt == "auto":
+        # A watched directory interleaves control items (idle ticks,
+        # file boundaries) with text lines; sniff on the first real
+        # line and replay everything consumed so far to the pump.
+        consumed = []
         first = next(iterator, None)
+        while first is not None and not isinstance(first, str):
+            consumed.append(first)
+            first = next(iterator, None)
         if first is None:
             print("repro: ingest: empty source, nothing to do", file=sys.stderr)
             return 0
         fmt = sniff_format(first)
-        iterator = itertools.chain([first], iterator)
+        iterator = itertools.chain(consumed, [first], iterator)
     parser = make_parser(fmt, schema=schema)
 
     store = None

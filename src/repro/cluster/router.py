@@ -54,6 +54,7 @@ from repro.cluster.ring import partition_key_str
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import (
     _STREAMED,
+    MAX_LONGPOLL_SECONDS,
     _HandlerPool,
     _HTTPError,
     _sse_metrics,
@@ -394,7 +395,9 @@ class Router:
             replicas = list(self._replicas.get(shard, ()))
         return sorted(replicas, key=lambda replica: (replica.inflight, replica.replica))
 
-    def call_shard(self, shard: int, path: str, headers: dict) -> tuple[int, dict, bytes]:
+    def call_shard(
+        self, shard: int, path: str, headers: dict, timeout: float | None = None
+    ) -> tuple[int, dict, bytes]:
         """One GET against shard ``shard``: ``(status, headers, body)``.
 
         Tries replicas in least-inflight order; a connection failure,
@@ -402,13 +405,19 @@ class Router:
         next replica.  Raises :class:`ShardUnavailableError` when no
         replica answers — an incomplete scatter must fail loudly, not
         return a silently partial result.
+
+        ``timeout`` overrides the per-request socket timeout (still
+        capped by the deadline budget): long-poll subrequests pass the
+        poll wait *plus* the normal shard budget, so an idle feed held
+        open on purpose does not look like a dead replica and trip its
+        breaker.
         """
         metrics = _metrics()
         order = self._pick_order(shard)
         if not order:
             raise ShardUnavailableError(shard, "no registered replicas")
         budget = remaining_ms()
-        timeout = self.shard_timeout
+        timeout = self.shard_timeout if timeout is None else float(timeout)
         if budget is not None:
             timeout = max(0.05, min(timeout, budget / 1000.0))
         detail = "all replicas refused"
@@ -448,15 +457,17 @@ class Router:
         raise ShardUnavailableError(shard, detail)
 
     def scatter(
-        self, shards: list[int], path: str, headers: dict
+        self, shards: list[int], path: str, headers: dict, timeout: float | None = None
     ) -> list[tuple[int, int, dict, bytes]]:
         """Concurrent :meth:`call_shard` over ``shards`` (order kept)."""
         _metrics()["scatter"].observe(len(shards))
         if len(shards) == 1:
-            status, response_headers, body = self.call_shard(shards[0], path, headers)
+            status, response_headers, body = self.call_shard(
+                shards[0], path, headers, timeout
+            )
             return [(shards[0], status, response_headers, body)]
         futures = [
-            (shard, self._executor.submit(self.call_shard, shard, path, headers))
+            (shard, self._executor.submit(self.call_shard, shard, path, headers, timeout))
             for shard in shards
         ]
         out = []
@@ -723,13 +734,17 @@ class RouterHandler(BaseHTTPRequestHandler):
             headers["X-Deadline-Ms"] = f"{max(1.0, budget):.0f}"
         return headers
 
-    def _gather_bodies(self, shards: list[int], path: str) -> list[dict]:
+    def _gather_bodies(
+        self, shards: list[int], path: str, timeout: float | None = None
+    ) -> list[dict]:
         """Scatter ``path``; return parsed 200 bodies (404s dropped).
 
         Raises 404 when every shard said 404, and propagates the first
         4xx error body otherwise.
         """
-        responses = self.server.router.scatter(shards, path, self._subrequest_headers())
+        responses = self.server.router.scatter(
+            shards, path, self._subrequest_headers(), timeout
+        )
         bodies = [json.loads(body) for _, status, _, body in responses if status == 200]
         if bodies:
             return bodies
@@ -768,7 +783,14 @@ class RouterHandler(BaseHTTPRequestHandler):
             )
         shards = self.server.router.plan("changes")
         suffix = f"?{rawquery}" if rawquery else ""
-        bodies = self._gather_bodies(shards, f"/changes{suffix}")
+        # A long-poll wait pins the shard socket on purpose for up to
+        # the (policy-capped) requested timeout; give the subrequest
+        # that long *plus* the normal shard budget, or an idle feed
+        # would time out the socket on every replica and trip their
+        # breakers (the shard caps its own wait identically).
+        wait = min(max(_float_param(query, "timeout", 0.0), 0.0), MAX_LONGPOLL_SECONDS)
+        timeout = self.server.router.shard_timeout + wait if wait > 0 else None
+        bodies = self._gather_bodies(shards, f"/changes{suffix}", timeout=timeout)
         limit = _int_param(query, "limit", None)
         return "changes", 200, merge_changes(bodies, limit), "application/json"
 
@@ -816,9 +838,13 @@ class RouterHandler(BaseHTTPRequestHandler):
                 records = []
                 try:
                     shards = self.server.router.plan("changes")
+                    # Socket timeout must exceed the long-poll wait the
+                    # shard honours, or every idle beat would count as
+                    # a replica failure against its breaker.
                     bodies = self._gather_bodies(
                         shards,
                         f"/changes?since={cursor}&timeout={budget:.3f}&limit=500",
+                        timeout=self.server.router.shard_timeout + budget,
                     )
                     records = merge_changes(bodies)["changes"]
                 except (_HTTPError, ShardUnavailableError):

@@ -18,8 +18,10 @@ from repro.stream.changefeed import (
     delta_from_change,
 )
 from repro.stream.ingest import (
+    IDLE,
     CsvObservationParser,
     EngineSink,
+    FileBoundary,
     HttpSink,
     IngestError,
     IngestStats,
@@ -37,7 +39,9 @@ __all__ = [
     "delta_from_change",
     "CsvObservationParser",
     "EngineSink",
+    "FileBoundary",
     "HttpSink",
+    "IDLE",
     "IngestError",
     "IngestStats",
     "NTriplesObservationParser",

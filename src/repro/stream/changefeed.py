@@ -38,7 +38,13 @@ import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.core.results import RelationshipDelta
 from repro.errors import StorageError
@@ -213,6 +219,29 @@ class _ConsumerOffsets:
     def committed(self, consumer: str) -> int:
         return self.load().get(consumer, 0)
 
+    @contextmanager
+    def _file_lock(self):
+        """Cross-process exclusive lock around the read-modify-write.
+
+        The serve writer and any out-of-process
+        :class:`ChangefeedReader` all commit into the same
+        ``CONSUMERS.json``; the in-process :class:`threading.Lock`
+        alone would let two processes interleave load/write and
+        silently drop each other's freshly committed cursor.  A
+        separate ``.lock`` file carries the ``flock`` because
+        ``atomic_write_text`` replaces the target's inode.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path.with_name(self.path.name + ".lock"), "a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def commit(self, consumer: str, offset: int) -> int:
         """Durably record ``offset`` for ``consumer``; returns it.
 
@@ -226,7 +255,7 @@ class _ConsumerOffsets:
         offset = int(offset)
         if offset < 0:
             raise ValueError(f"consumer offset must be >= 0, got {offset}")
-        with self._lock:
+        with self._lock, self._file_lock():
             offsets = self.load()
             offset = max(offset, offsets.get(consumer, 0))
             offsets[consumer] = offset
@@ -264,8 +293,15 @@ class Changefeed:
             first, active = self._segments[-1]
             # Repair a torn tail *now* so the head offset and the next
             # append both start from the last durable record.
-            records, _ = WriteAheadLog(active).records(repair=True)
+            records, repaired = WriteAheadLog(active).records(repair=True)
             head = _check_change(records[-1], active)["offset"] if records else first - 1
+            if repaired:
+                # The torn record was flushed before the crash, so a
+                # cross-process reader may already have delivered (and
+                # committed) its offset with the *old* payload.  Never
+                # reuse that offset for a different delta — skip it.
+                # Offsets are monotonic, not dense (docs/streaming.md).
+                head += 1
         self._head = head
         _metrics()["head"].set(float(head))
 

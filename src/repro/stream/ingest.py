@@ -59,8 +59,15 @@ __all__ = [
     "EngineSink",
     "HttpSink",
     "StreamIngester",
+    "FileBoundary",
+    "IDLE",
     "watch_directory",
 ]
+
+#: Control item a line source may yield while idle: the pump checks
+#: ``flush_interval`` against any pending partial batch instead of
+#: letting it sit buffered until the next real line arrives.
+IDLE = object()
 
 # Registry metrics resolved once per process; see docs/observability.md.
 _METRICS = None
@@ -456,7 +463,16 @@ class StreamIngester:
         self._threads: list[threading.Thread] = []
 
     def run(self, lines, stop=None) -> IngestStats:
-        """Pump ``lines`` until exhausted (or ``stop`` is set)."""
+        """Pump ``lines`` until exhausted (or ``stop`` is set).
+
+        Besides text lines, ``lines`` may interleave control items:
+        :data:`IDLE` ticks (flush a pending partial batch once
+        ``flush_interval`` elapses on a quiet source) and
+        :class:`FileBoundary` markers, which force a flush **and an
+        acknowledgement barrier** before the spool file is renamed
+        ``.done`` — a crash before every batch is acked re-ingests the
+        file on restart (at-least-once, never at-most-once).
+        """
         stats = IngestStats()
         started = time.perf_counter()
         pending = _Batch()
@@ -464,10 +480,27 @@ class StreamIngester:
             for line in lines:
                 if stop is not None and stop.is_set():
                     break
-                for entry in self.parser.feed(line):
-                    if not pending.entries:
-                        pending.first_at = time.monotonic()
-                    pending.entries.append(entry)
+                if line is IDLE:
+                    if (
+                        pending.entries
+                        and time.monotonic() - pending.first_at >= self.flush_interval
+                    ):
+                        self._dispatch(pending.entries, stats)
+                        pending = _Batch()
+                    if self._errors:
+                        break
+                    continue
+                if isinstance(line, FileBoundary):
+                    self._extend(pending, self.parser.finish())
+                    if pending.entries and not self._errors:
+                        self._dispatch(pending.entries, stats)
+                        pending = _Batch()
+                    self._drain_inflight()
+                    if self._errors:
+                        break
+                    line.done()
+                    continue
+                self._extend(pending, self.parser.feed(line))
                 if len(pending.entries) >= self.batch_size or (
                     pending.entries
                     and time.monotonic() - pending.first_at >= self.flush_interval
@@ -476,8 +509,7 @@ class StreamIngester:
                     pending = _Batch()
                 if self._errors:
                     break
-            for entry in self.parser.finish():
-                pending.entries.append(entry)
+            self._extend(pending, self.parser.finish())
             if pending.entries and not self._errors:
                 self._dispatch(pending.entries, stats)
         finally:
@@ -488,6 +520,19 @@ class StreamIngester:
         if self._errors:
             raise self._errors[0]
         return stats
+
+    @staticmethod
+    def _extend(pending: _Batch, entries: list[dict]) -> None:
+        for entry in entries:
+            if not pending.entries:
+                pending.first_at = time.monotonic()
+            pending.entries.append(entry)
+
+    def _drain_inflight(self) -> None:
+        """Block until every dispatched batch has been acknowledged."""
+        for thread in self._threads:
+            thread.join()
+        self._threads = [t for t in self._threads if t.is_alive()]
 
     def _dispatch(self, entries: list[dict], stats: IngestStats) -> None:
         from repro.obs import current_trace_id, new_trace_id
@@ -532,32 +577,64 @@ class StreamIngester:
             self.on_batch(len(entries), ack)
 
 
+@dataclass
+class FileBoundary:
+    """End-of-file marker yielded by :func:`watch_directory`.
+
+    The consumer calls :meth:`done` only once every observation from
+    the file has been acknowledged by the sink; the file is then
+    renamed ``<name>.done`` so a restart never re-ingests it.  A crash
+    or sink failure before ``done`` leaves the file in place to be
+    re-ingested — the at-least-once half of the spool handoff.
+    """
+
+    path: Path
+    mark_done: bool = True
+
+    def done(self) -> None:
+        if not self.mark_done:
+            return
+        try:
+            os.replace(self.path, self.path.with_name(self.path.name + ".done"))
+        except OSError:
+            pass
+
+
 def watch_directory(
     path: str | os.PathLike,
     poll_interval: float = 0.5,
     stop=None,
     mark_done: bool = True,
 ):
-    """Yield lines from batch files dropped into ``path``.
+    """Yield lines (and control items) from batch files in ``path``.
 
-    Files are processed in sorted-name order; a fully-consumed file is
-    renamed to ``<name>.done`` so a restart never re-ingests it.
-    Files still being written should be moved in atomically (write
-    elsewhere, ``mv`` in) — the usual maildir-style handoff.
+    Files are processed in sorted-name order.  After a file's last
+    line a :class:`FileBoundary` is yielded; renaming to ``.done`` is
+    the *consumer's* job (``FileBoundary.done``), deferred until every
+    observation from the file is acknowledged — so a crash mid-apply
+    re-ingests the file instead of silently losing it.  While the
+    directory is idle an :data:`IDLE` tick is yielded each poll so the
+    consumer can flush a pending partial batch.  Files still being
+    written should be moved in atomically (write elsewhere, ``mv`` in)
+    — the usual maildir-style handoff.
     """
     root = Path(path)
     if not root.is_dir():
         raise IngestError(f"watch directory {root} does not exist")
+    yielded: set[str] = set()  # handed to the consumer, not yet renamed
     while stop is None or not stop.is_set():
-        batch_files = sorted(
+        listing = sorted(
             p
             for p in root.iterdir()
             if p.is_file() and not p.name.endswith(".done") and not p.name.startswith(".")
         )
+        yielded &= {p.name for p in listing}
+        batch_files = [p for p in listing if p.name not in yielded]
         if not batch_files:
             if stop is None:
                 break  # one-shot drain when no stop event is supplied
             stop.wait(poll_interval)
+            yield IDLE
             continue
         for batch_file in batch_files:
             try:
@@ -565,8 +642,5 @@ def watch_directory(
                     yield from handle
             except OSError:
                 continue
-            if mark_done:
-                try:
-                    os.replace(batch_file, batch_file.with_name(batch_file.name + ".done"))
-                except OSError:
-                    pass
+            yielded.add(batch_file.name)
+            yield FileBoundary(batch_file, mark_done)

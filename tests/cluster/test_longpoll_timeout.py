@@ -1,0 +1,84 @@
+"""Long-poll subrequests must not trip replica breakers.
+
+``/changes?timeout=T`` holds the shard socket open *on purpose* for up
+to T seconds; with the default socket timeout capped at
+``shard_timeout`` every idle poll would time out, record a breaker
+failure, and two idle beats would open the breaker (window=16,
+min_samples=2) — one SSE subscriber tripping 503s for all router
+reads.  The router therefore passes a raised per-request socket
+timeout (poll wait + shard budget) for feed subrequests.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+import pytest
+
+from repro.cluster import ClusterManifest
+from repro.cluster.router import Router, ShardUnavailableError
+from repro.resilience.breaker import CLOSED
+
+
+class _SlowFeedHandler(BaseHTTPRequestHandler):
+    """Answers /changes only after the requested long-poll wait."""
+
+    def do_GET(self):
+        query = parse_qs(urlsplit(self.path).query)
+        wait = float(query.get("timeout", ["0"])[0])
+        time.sleep(wait)
+        body = json.dumps(
+            {"since": 0, "head": 0, "count": 0, "next": 0, "changes": []}
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture()
+def slow_cluster(tmp_path):
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _SlowFeedHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    manifest = ClusterManifest(store=str(tmp_path / "links.rseg"), shards=1, replicas=1)
+    manifest.upsert_worker(
+        {"shard": 0, "replica": 0, "host": host, "port": port, "pid": 0}
+    )
+    router = Router(manifest, shard_timeout=0.4)
+    yield router
+    server.shutdown()
+    server.server_close()
+
+
+class TestLongPollSocketTimeout:
+    def test_raised_timeout_outlives_the_poll_and_keeps_breaker_closed(
+        self, slow_cluster
+    ):
+        router = slow_cluster
+        # the idle long-poll (1s) exceeds shard_timeout (0.4s); with the
+        # raised override the call succeeds and the replica stays healthy
+        status, _, body = router.call_shard(
+            0, "/changes?since=0&timeout=1.0", {}, timeout=router.shard_timeout + 1.0
+        )
+        assert status == 200
+        assert json.loads(body)["changes"] == []
+        (replica,) = router._replicas[0]
+        assert replica.breaker.state == CLOSED
+
+    def test_default_timeout_would_have_tripped_the_breaker(self, slow_cluster):
+        router = slow_cluster
+        # the pre-fix behaviour: two idle polls at the default socket
+        # timeout each fail and open the replica's breaker
+        for _ in range(2):
+            with pytest.raises(ShardUnavailableError):
+                router.call_shard(0, "/changes?since=0&timeout=1.0", {})
+        (replica,) = router._replicas[0]
+        assert replica.breaker.state != CLOSED

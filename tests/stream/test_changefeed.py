@@ -153,6 +153,36 @@ class TestConsumerOffsets:
             feed.commit("", 1)
         feed.close()
 
+    def test_concurrent_commits_from_separate_handles_lose_nothing(self, tmp_path):
+        """The writer process and out-of-process readers commit into the
+        same CONSUMERS.json; interleaved read-modify-write cycles from
+        separate handles (no shared threading.Lock) must not drop each
+        other's cursors — the file lock serialises them."""
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 3)
+        reader = ChangefeedReader(tmp_path / "feed")
+        errors = []
+
+        def committer(handle, consumer):
+            try:
+                for offset in range(1, 30):
+                    handle.commit(consumer, offset)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=committer, args=(feed, "writer-side")),
+            threading.Thread(target=committer, args=(reader, "reader-side")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert feed.committed("writer-side") == 29
+        assert feed.committed("reader-side") == 29
+        feed.close()
+
     def test_consumer_ahead_of_wal_head_reads_empty(self, tmp_path):
         """A committed offset past the head (e.g. the feed directory was
         recreated) must yield empty reads, not an error or a replay."""
@@ -171,7 +201,10 @@ class TestConsumerOffsets:
 
 
 class TestTornTail:
-    def test_writer_repairs_torn_tail_and_reuses_offset(self, tmp_path):
+    def test_writer_repairs_torn_tail_and_skips_its_offset(self, tmp_path):
+        """The torn record may have been flushed (and served to a reader)
+        before the crash, so its offset must never name a different delta:
+        the writer skips it — offsets are monotonic, not dense."""
         feed = Changefeed(tmp_path / "feed")
         publish_n(feed, 5)
         feed.close()
@@ -180,18 +213,18 @@ class TestTornTail:
         )[-1]
         truncate_file(active, drop_bytes=10)  # tear the final publish mid-line
         reopened = Changefeed(tmp_path / "feed")
-        assert reopened.head_offset == 4
-        # the torn offset is reused by the next publish
-        assert reopened.publish(make_delta(99)) == 5
+        assert reopened.head_offset == 5  # 4 durable + the skipped torn slot
+        assert reopened.publish(make_delta(99)) == 6
         records = reopened.read(since=0)
-        assert [r["offset"] for r in records] == [1, 2, 3, 4, 5]
+        assert [r["offset"] for r in records] == [1, 2, 3, 4, 6]
         assert delta_from_change(records[-1]).added_full == make_delta(99).added_full
         reopened.close()
 
     def test_resume_exactly_at_repair_boundary(self, tmp_path):
-        """A consumer that committed the offset the repair rolled back to
-        resumes cleanly: nothing before the boundary, and the republished
-        record (same offset, new content) is delivered exactly once."""
+        """A consumer that committed the last durable offset resumes
+        cleanly: nothing before the boundary is redelivered, the torn
+        offset never reappears (with any content), and the next publish
+        lands once on a fresh offset."""
         feed = Changefeed(tmp_path / "feed")
         publish_n(feed, 5)
         feed.commit("etl", 4)  # consumer processed 1..4; offset 5 was torn
@@ -200,12 +233,30 @@ class TestTornTail:
         truncate_file(active, drop_bytes=10)
         reopened = Changefeed(tmp_path / "feed")
         cursor = reopened.committed("etl")
-        assert cursor == 4 == reopened.head_offset
+        assert cursor == 4
+        assert reopened.head_offset == 5  # torn slot skipped, never reused
         assert reopened.read(since=cursor) == []  # boundary: nothing to redo
         reopened.publish(make_delta(42))
         records = reopened.read(since=cursor)
-        assert [r["offset"] for r in records] == [5]
+        assert [r["offset"] for r in records] == [6]
         assert delta_from_change(records[0]).added_full == make_delta(42).added_full
+        reopened.close()
+
+    def test_consumer_that_saw_the_torn_offset_misses_nothing(self, tmp_path):
+        """A reader that delivered (and committed) the flushed-but-torn
+        record before the crash must not silently miss a *different*
+        delta republished at that offset."""
+        feed = Changefeed(tmp_path / "feed")
+        publish_n(feed, 3)
+        feed.commit("etl", 3)  # consumer saw the record that is about to tear
+        feed.close()
+        active = sorted((tmp_path / "feed").glob("feed-*.jsonl"))[-1]
+        truncate_file(active, drop_bytes=10)
+        reopened = Changefeed(tmp_path / "feed")
+        reopened.publish(make_delta(77))
+        records = reopened.read(since=reopened.committed("etl"))
+        assert [r["offset"] for r in records] == [4]
+        assert delta_from_change(records[0]).added_full == make_delta(77).added_full
         reopened.close()
 
     def test_reader_never_repairs(self, tmp_path):

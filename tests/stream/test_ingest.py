@@ -9,9 +9,11 @@ from repro.core import compute_baseline
 from repro.rdf.terms import URIRef
 from repro.service import QueryEngine
 from repro.stream import (
+    IDLE,
     Changefeed,
     CsvObservationParser,
     EngineSink,
+    FileBoundary,
     IngestError,
     NTriplesObservationParser,
     StreamIngester,
@@ -255,24 +257,46 @@ class TestEngineSink:
 
 
 class TestWatchDirectory:
-    def test_drains_sorted_and_marks_done(self, tmp_path):
+    def test_drains_sorted_and_marks_done_on_ack(self, tmp_path):
         (tmp_path / "b.csv").write_text("line-b1\nline-b2\n")
         (tmp_path / "a.csv").write_text("line-a\n")
         (tmp_path / ".hidden").write_text("nope\n")
         (tmp_path / "c.csv.done").write_text("already\n")
-        lines = [line.strip() for line in watch_directory(tmp_path)]
+        lines, boundaries = [], []
+        for item in watch_directory(tmp_path):
+            if isinstance(item, FileBoundary):
+                boundaries.append(item.path.name)
+                item.done()  # the consumer acknowledges, then renames
+            elif item is not IDLE:
+                lines.append(item.strip())
         assert lines == ["line-a", "line-b1", "line-b2"]
+        assert boundaries == ["a.csv", "b.csv"]
         names = sorted(p.name for p in tmp_path.iterdir())
         assert "a.csv.done" in names and "b.csv.done" in names
         assert "a.csv" not in names
+
+    def test_unacknowledged_files_stay_in_place(self, tmp_path):
+        """A consumer that never calls FileBoundary.done leaves the file
+        for a restart to re-ingest (at-least-once) without the watch
+        loop re-yielding it within the same run."""
+        (tmp_path / "a.csv").write_text("line-a\n")
+        lines = [i for i in watch_directory(tmp_path) if isinstance(i, str)]
+        assert [line.strip() for line in lines] == ["line-a"]
+        assert (tmp_path / "a.csv").exists()  # not renamed: never acked
+        # a fresh watch (the restart) yields the file again
+        again = [i for i in watch_directory(tmp_path) if isinstance(i, str)]
+        assert [line.strip() for line in again] == ["line-a"]
 
     def test_stop_event_ends_the_watch(self, tmp_path):
         stop = threading.Event()
         seen = []
 
         def consume():
-            for line in watch_directory(tmp_path, poll_interval=0.05, stop=stop):
-                seen.append(line.strip())
+            for item in watch_directory(tmp_path, poll_interval=0.05, stop=stop):
+                if isinstance(item, FileBoundary):
+                    item.done()
+                elif item is not IDLE:
+                    seen.append(item.strip())
 
         thread = threading.Thread(target=consume)
         thread.start()
@@ -286,6 +310,72 @@ class TestWatchDirectory:
         assert not thread.is_alive()
         assert seen == ["late-line"]
 
+    def test_idle_watch_yields_ticks(self, tmp_path):
+        stop = threading.Event()
+        items = []
+        source = watch_directory(tmp_path, poll_interval=0.01, stop=stop)
+        for item in source:
+            items.append(item)
+            if len(items) >= 3:
+                stop.set()
+        assert all(item is IDLE for item in items)
+
     def test_missing_directory_is_fatal(self, tmp_path):
         with pytest.raises(IngestError):
             list(watch_directory(tmp_path / "absent"))
+
+
+class TestSpoolHandoff:
+    """End-to-end at-least-once: pump + watch_directory + sink."""
+
+    def test_file_marked_done_only_after_every_batch_acked(self, tmp_path):
+        (tmp_path / "a.csv").write_text("".join(csv_lines(5)))
+        sink = _RecordingSink()
+        pump = StreamIngester(sink, CsvObservationParser(), batch_size=2)
+        stats = pump.run(watch_directory(tmp_path))
+        assert stats.observations == 5
+        assert not (tmp_path / "a.csv").exists()
+        assert (tmp_path / "a.csv.done").exists()
+
+    def test_sink_failure_leaves_file_unmarked(self, tmp_path):
+        (tmp_path / "a.csv").write_text("".join(csv_lines(6)))
+        sink = _RecordingSink(fail_after=1)
+        pump = StreamIngester(sink, CsvObservationParser(), batch_size=2, max_inflight=1)
+        with pytest.raises(IngestError):
+            pump.run(watch_directory(tmp_path))
+        # the failed file is still there for a restart to re-ingest
+        assert (tmp_path / "a.csv").exists()
+        assert not (tmp_path / "a.csv.done").exists()
+
+    def test_small_file_flushes_without_further_input(self, tmp_path):
+        """A file smaller than batch_size is applied at its boundary —
+        it must not sit buffered waiting for more data."""
+        (tmp_path / "tiny.csv").write_text("".join(csv_lines(1)))
+        sink = _RecordingSink()
+        pump = StreamIngester(
+            sink, CsvObservationParser(), batch_size=1000, flush_interval=60.0
+        )
+        stats = pump.run(watch_directory(tmp_path))
+        assert stats.observations == 1
+        assert (tmp_path / "tiny.csv.done").exists()
+
+    def test_idle_tick_flushes_partial_batch(self):
+        """An IDLE tick after flush_interval flushes a pending batch even
+        when no further line ever arrives."""
+        sink = _RecordingSink()
+        pump = StreamIngester(
+            sink, CsvObservationParser(), batch_size=1000, flush_interval=0.05
+        )
+        stop = threading.Event()
+
+        def lines():
+            yield from csv_lines(2)
+            while not stop.is_set():
+                time.sleep(0.06)
+                yield IDLE
+                if sink.batches:
+                    stop.set()
+
+        stats = pump.run(lines(), stop=None)
+        assert stats.observations == 2
+        assert len(sink.batches) >= 1
