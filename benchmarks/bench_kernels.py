@@ -7,25 +7,38 @@ space (fixed seed, 4 dimensions) and writes a machine-readable
 * ``python`` — the tuple-at-a-time loop (``kernel="python"``),
 * ``numpy`` — the vectorised cube-pair kernel (``kernel="numpy"``),
 * ``parallel`` — the zero-copy shared-memory fan-out
-  (:func:`repro.core.parallel.compute_cubemask_parallel`).
+  (:func:`repro.core.parallel.compute_cubemask_parallel`), whose
+  workers run the same numpy kernel (the reported ``kernel_pairs``
+  count proves it).
 
-The headline series uses ``targets=("full", "complementary")`` — the
-relationship passes the kernel vectorises end to end.  An all-targets
-series is reported alongside: there the partial-containment pass
-materialises millions of result pairs, a cost both paths share, so the
-ratio is intentionally smaller.  Every path is asserted to produce the
-identical RelationshipSet before any number is written.
+Two series are reported: the ``headline`` ``("full", "complementary")``
+passes and the ``all_targets`` series including partial containment,
+which the bitset kernel now vectorises end to end.  A ``per_target``
+breakdown times each relationship type alone.  Timings cover the
+compute call itself; the numpy/parallel paths return partial results
+as columnar blocks, and the cost of materialising those into the
+classic ``set``/``dict`` views is reported separately as
+``materialise_seconds`` (the python path builds the sets inline, so
+its ``seconds`` already includes that work — see
+docs/performance.md).  Every path is asserted to produce the identical
+RelationshipSet (including degrees) before any number is written.
+
+Host facts (``cpus``) are recorded so single-core CI numbers are not
+mistaken for multi-core ones.  With ``--floor FILE`` the run fails if
+the all-targets numpy-vs-python speedup regresses below the committed
+guard value (see BENCH_kernels_floor.json and the CI smoke job).
 
 Run with::
 
     python benchmarks/bench_kernels.py [--quick] [--n N] [--seed S]
-        [--workers W] [--reps R] [--output PATH]
+        [--workers W] [--reps R] [--output PATH] [--floor FILE]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -36,6 +49,7 @@ from repro.data.synthetic import build_synthetic_space
 
 HEADLINE_TARGETS = ("full", "complementary")
 ALL_TARGETS = ("complementary", "full", "partial")
+PER_TARGET = ("full", "complementary", "partial")
 
 
 def _timed(fn, reps: int):
@@ -49,15 +63,34 @@ def _timed(fn, reps: int):
     return best, result
 
 
+def _materialise(result) -> float:
+    """Drain the columnar partial blocks; returns the wall-clock cost."""
+    started = time.perf_counter()
+    result.partial, result.degrees  # noqa: B018 — property access drains
+    return time.perf_counter() - started
+
+
 def bench_targets(space, targets, workers: int, reps: int, parallel: bool = True) -> dict:
     """One benchmark series; asserts all paths agree before reporting."""
+    # Time each rep with its own stats dict and keep the best rep's pair
+    # so ``kernel_seconds`` always describes the same run as ``seconds``.
+    t_numpy = None
     stats: dict = {}
-    t_numpy, r_numpy = _timed(
-        lambda: compute_cubemask(space, targets=targets, kernel="numpy", stats=stats), reps
-    )
+    r_numpy = None
+    for _ in range(max(1, reps)):
+        rep_stats: dict = {}
+        started = time.perf_counter()
+        r_numpy = compute_cubemask(
+            space, targets=targets, kernel="numpy", stats=rep_stats
+        )
+        elapsed = time.perf_counter() - started
+        if t_numpy is None or elapsed < t_numpy:
+            t_numpy, stats = elapsed, rep_stats
+    t_materialise = _materialise(r_numpy)
     pairs = stats["instance_comparisons"]
+    # The python baseline is the slow side; one reading is plenty.
     t_python, r_python = _timed(
-        lambda: compute_cubemask(space, targets=targets, kernel="python"), reps
+        lambda: compute_cubemask(space, targets=targets, kernel="python"), 1
     )
     if r_numpy != r_python or r_numpy.degrees != r_python.degrees:
         raise AssertionError("kernel paths disagree — benchmark aborted")
@@ -71,30 +104,63 @@ def bench_targets(space, targets, workers: int, reps: int, parallel: bool = True
         "numpy": {
             "seconds": round(t_numpy, 4),
             "kernel_seconds": round(stats["kernel_ns"] / 1e9, 4),
+            "materialise_seconds": round(t_materialise, 4),
             "pairs_per_sec": round(pairs / t_numpy) if t_numpy else None,
         },
         "speedup_numpy_vs_python": round(t_python / t_numpy, 2) if t_numpy else None,
     }
     if parallel:
-        t_par, r_par = _timed(
-            lambda: compute_cubemask_parallel(
+        par_stats: dict = {}
+
+        def run_parallel():
+            par_stats.clear()
+            return compute_cubemask_parallel(
                 space,
                 workers=workers,
                 targets=targets,
                 min_parallel_observations=0,
                 kernel="numpy",
-            ),
-            reps,
-        )
+                stats=par_stats,
+            )
+
+        t_par, r_par = _timed(run_parallel, reps)
         if r_par != r_numpy or r_par.degrees != r_numpy.degrees:
             raise AssertionError("parallel path disagrees — benchmark aborted")
         series["parallel"] = {
             "seconds": round(t_par, 4),
             "workers": workers,
+            # Pairs the *workers* scored with the vectorised kernel —
+            # nonzero proves parallel composes with numpy.
+            "kernel_pairs": int(par_stats.get("kernel_pairs", 0)),
             "pairs_per_sec": round(pairs / t_par) if t_par else None,
         }
         series["speedup_parallel_vs_python"] = round(t_python / t_par, 2) if t_par else None
+        series["speedup_parallel_vs_numpy"] = round(t_numpy / t_par, 2) if t_par else None
     return series
+
+
+def bench_per_target(space, reps: int) -> dict:
+    """numpy-vs-python columns for each relationship type alone."""
+    breakdown: dict = {}
+    for target in PER_TARGET:
+        stats: dict = {}
+        t_numpy, r_numpy = _timed(
+            lambda: compute_cubemask(space, targets=(target,), kernel="numpy", stats=stats),
+            reps,
+        )
+        t_materialise = _materialise(r_numpy)
+        t_python, r_python = _timed(
+            lambda: compute_cubemask(space, targets=(target,), kernel="python"), 1
+        )
+        if r_numpy != r_python or r_numpy.degrees != r_python.degrees:
+            raise AssertionError(f"kernel paths disagree on {target} — benchmark aborted")
+        breakdown[target] = {
+            "python_seconds": round(t_python, 4),
+            "numpy_seconds": round(t_numpy, 4),
+            "numpy_materialise_seconds": round(t_materialise, 4),
+            "speedup": round(t_python / t_numpy, 2) if t_numpy else None,
+        }
+    return breakdown
 
 
 def run_bench(n: int, seed: int, workers: int, reps: int = 1, all_targets: bool = True) -> dict:
@@ -105,11 +171,34 @@ def run_bench(n: int, seed: int, workers: int, reps: int = 1, all_targets: bool 
         "seed": seed,
         "dimension_count": 4,
         "python": platform.python_version(),
+        "cpus": os.cpu_count(),
         "headline": bench_targets(space, HEADLINE_TARGETS, workers, reps),
     }
     if all_targets:
-        report["all_targets"] = bench_targets(space, ALL_TARGETS, workers, reps, parallel=False)
+        report["all_targets"] = bench_targets(space, ALL_TARGETS, workers, reps)
+        report["per_target"] = bench_per_target(space, reps)
     return report
+
+
+def check_floor(report: dict, floor_path: Path) -> list[str]:
+    """Compare a report against the committed regression floor."""
+    floor = json.loads(floor_path.read_text())
+    failures: list[str] = []
+    minimum = floor.get("all_targets_speedup_numpy_vs_python_min")
+    series = report.get("all_targets")
+    if minimum is not None:
+        speedup = (series or {}).get("speedup_numpy_vs_python")
+        if speedup is None:
+            failures.append("all-targets series missing — cannot check the speedup floor")
+        elif speedup < minimum:
+            failures.append(
+                f"all-targets numpy-vs-python speedup {speedup}x is below the "
+                f"{minimum}x floor ({floor_path.name})"
+            )
+    if floor.get("parallel_workers_use_numpy_kernel") and series is not None:
+        if not series.get("parallel", {}).get("kernel_pairs"):
+            failures.append("parallel workers scored no pairs with the numpy kernel")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -127,6 +216,12 @@ def main(argv=None) -> int:
         help="skip the (slow) all-targets series",
     )
     parser.add_argument(
+        "--floor",
+        type=Path,
+        help="fail (exit 1) if the report regresses below this floor file "
+        "(see BENCH_kernels_floor.json)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
@@ -140,13 +235,35 @@ def main(argv=None) -> int:
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     headline = report["headline"]
-    print(f"n={report['n']} seed={report['seed']} pairs={headline['pairs']:,}")
-    for path in ("python", "numpy", "parallel"):
-        if path not in headline:
+    print(
+        f"n={report['n']} seed={report['seed']} cpus={report['cpus']} "
+        f"pairs={headline['pairs']:,}"
+    )
+    for name, series in (("headline", headline), ("all_targets", report.get("all_targets"))):
+        if series is None:
             continue
-        entry = headline[path]
-        print(f"  {path:<9} {entry['seconds']:>8.3f}s  {entry['pairs_per_sec']:>12,} pairs/s")
-    print(f"  numpy speedup {headline['speedup_numpy_vs_python']}x -> {args.output}")
+        print(f"  [{name}]")
+        for path in ("python", "numpy", "parallel"):
+            if path not in series:
+                continue
+            entry = series[path]
+            print(f"    {path:<9} {entry['seconds']:>9.3f}s  {entry['pairs_per_sec']:>13,} pairs/s")
+        print(
+            f"    numpy speedup {series['speedup_numpy_vs_python']}x"
+            + (
+                f", parallel vs numpy {series['speedup_parallel_vs_numpy']}x"
+                if "speedup_parallel_vs_numpy" in series
+                else ""
+            )
+        )
+    print(f"  -> {args.output}")
+    if args.floor is not None:
+        failures = check_floor(report, args.floor)
+        for failure in failures:
+            print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"  floor check passed ({args.floor.name})")
     return 0
 
 

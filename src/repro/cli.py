@@ -39,6 +39,7 @@ CRC-verifies a segment store and quarantines / repairs corruption.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -121,6 +122,17 @@ def _run_compute(args: argparse.Namespace, trace) -> int:
         if args.method != Method.CUBE_MASKING.value:
             raise ReproError("--kernel is only supported with --method cube_masking")
         options["kernel"] = args.kernel
+    kernel_stats: dict | None = None
+    if args.kernel_stats:
+        if args.method != Method.CUBE_MASKING.value:
+            raise ReproError("--kernel-stats is only supported with --method cube_masking")
+        if args.checkpoint or args.max_retries is not None or args.timeout is not None:
+            raise ReproError(
+                "--kernel-stats is not supported together with checkpointed "
+                "materialisation (--checkpoint/--max-retries/--timeout)"
+            )
+        kernel_stats = {}
+        options["stats"] = kernel_stats
     profiler = None
     if args.profile:
         from repro.obs.profile import SamplingProfiler
@@ -140,6 +152,8 @@ def _run_compute(args: argparse.Namespace, trace) -> int:
         f"complementary={len(result.complementary)} ({elapsed:.2f}s)",
         file=sys.stderr,
     )
+    if kernel_stats is not None:
+        print(f"# kernel stats: {json.dumps(kernel_stats, sort_keys=True)}", file=sys.stderr)
     with trace("cli.store", output=args.store_output or args.output or "-"):
         if args.store_output:
             from repro.store import save_relationships
@@ -885,6 +899,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "numpy", "python"],
         help="cube_masking instance-check path: vectorised numpy kernel, "
         "pure-Python loop, or auto per cube pair (default auto)",
+    )
+    compute.add_argument(
+        "--kernel-stats",
+        action="store_true",
+        help="print the cube_masking counter breakdown (cube pairs, "
+        "pruning, kernel pairs/time) as JSON on stderr; identical "
+        "numbers on the sequential and --workers paths",
     )
     observability = compute.add_argument_group(
         "observability", "structured tracing and profiling (docs/observability.md)"

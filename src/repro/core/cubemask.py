@@ -224,16 +224,22 @@ def compute_cubemask(
         return count
 
     # ------------------------------------------------------------------
-    # Full containment and complementarity over dominating cube pairs.
-    #
-    # With ``prefetch_children`` the dominated-cube lists are derived
-    # once and shared by both relationship passes (the paper's in-memory
-    # children mapping); without it, each pass re-derives cube dominance
-    # on the fly — the unoptimised variant Figure 5(g) compares against.
+    # Pass structure.  When partial containment is requested (and the
+    # bus has dimensions), one *fused sweep* over the partially
+    # dominating cube pairs derives all three targets from the same
+    # per-dimension work: the kernel's bitset pass classifies full and
+    # partial from one mask, and dominating pairs — a subset of the
+    # partially dominating ones — are never touched twice.  Without a
+    # partial target the original containing pass runs alone
+    # (``prefetch_children`` toggles its children-prefetch optimisation
+    # of Figure 5(g); the fused sweep enumerates partners directly and
+    # does not consult the children index).
     # ------------------------------------------------------------------
     want_full = "full" in targets
     want_compl = "complementary" in targets
-    children = lattice.children_index() if prefetch_children else None
+    want_partial = "partial" in targets
+    fused = want_partial and k >= 1
+    children = lattice.children_index() if prefetch_children and not fused else None
 
     def dominating_pairs():
         return lattice.containment_pairs()
@@ -283,7 +289,9 @@ def compute_cubemask(
         scan_pair_python(cube_a, cube_b, check_full, check_compl)
 
     with trace("cubemask.containing", cubes=len(lattice)):
-        if children is not None:
+        if fused:
+            pass  # handled by the fused sweep below
+        elif children is not None:
             # One fused pass over the prefetched children lists.  All of a
             # parent's dominated cubes are batched into a single kernel
             # call: full containment ignores cube boundaries, and equal
@@ -337,15 +345,27 @@ def compute_cubemask(
                         scan_pair(cube_a, cube_b, False, True)
 
     # ------------------------------------------------------------------
-    # Partial containment over partially dominating cube pairs.
+    # Fused sweep: full + complementarity + partial over the partially
+    # dominating cube pairs in one pass (see the pass-structure note
+    # above).  Partners of each cube A are split into a *dominated*
+    # batch (signature dominance holds -> full/complementarity
+    # possible) and a *sideways* batch (partial only); each batch is
+    # one kernel call, so the bitset pass classifies every member pair
+    # exactly once.
     # ------------------------------------------------------------------
-    if "partial" in targets:
-        with trace("cubemask.partial", cubes=len(lattice)):
-            # Partial-dimension bitmasks ride in a uint64, so wider buses
-            # keep the tuple-at-a-time extraction.
-            kernel_can_collect_dims = not collect_partial_dimensions or k <= 64
-            # Cube-level measure prefilter: a cube pair can only yield
-            # partial pairs when some member measure-groups overlap.
+    if fused:
+        with trace("cubemask.fused", cubes=len(lattice)):
+            # Partial-dimension bitmasks ride in a single word, so wider
+            # buses keep the tuple-at-a-time extraction.
+            kernel_can_collect_dims = (
+                not collect_partial_dimensions or k <= _kernels.DIM_MASK_LIMIT
+            )
+            # Cube-level measure prefilter: full/partial containment
+            # needs a member measure overlap somewhere in the pair.
+            # Complementarity needs no measure overlap, but the prune
+            # can never lose it: measure sets are non-empty (enforced
+            # by ObservationSpace.add), so a cube always shares
+            # measures with itself.
             cube_groups: dict = {
                 cube: sorted({int(assignment[i]) for i in members})
                 for cube, members in lattice.nodes.items()
@@ -354,13 +374,25 @@ def compute_cubemask(
             def cubes_share_measures(ga, gb) -> bool:
                 return any(overlap[i, j] for i in ga for j in gb)
 
-            def scan_partial_python(cube_a, cube_b) -> None:
+            def dominates(sig_a, sig_b) -> bool:
+                return all(la <= lb for la, lb in zip(sig_a, sig_b))
+
+            def scan_fused_python(cube_a, cube_b, containing: bool) -> None:
+                same_cube = cube_a == cube_b
+                check_full = want_full and containing
+                check_compl = want_compl and containing and same_cube
                 for a in lattice.nodes[cube_a]:
                     for b in lattice.nodes[cube_b]:
-                        if a == b or not overlap[assignment[a], assignment[b]]:
+                        if a == b:
                             continue
                         count = containment_count(a, b)
-                        if 0 < count < k:
+                        shared = overlap[assignment[a], assignment[b]]
+                        if containing and count == k:
+                            if check_full and shared:
+                                result.add_full(uris[a], uris[b])
+                            if check_compl and a < b and codes[a] == codes[b]:
+                                result.add_complementary(uris[a], uris[b])
+                        elif shared and 0 < count < k:
                             if collect_partial_dimensions:
                                 dims = frozenset(
                                     dimensions[p]
@@ -371,39 +403,42 @@ def compute_cubemask(
                             else:
                                 result.add_partial(uris[a], uris[b], degree=count / k)
 
-            def emit_partial_block(block) -> None:
-                if not block.partial:
-                    return
-                # Bulk set/dict updates: one kernel call can yield hundreds
-                # of thousands of partial pairs, so the per-pair
-                # method-call overhead is worth skipping.
-                pairs = [(uris[a], uris[b]) for a, b, _ in block.partial]
-                result.partial.update(pairs)
-                result.degrees.update(
-                    zip(pairs, (count / k for _, _, count in block.partial))
-                )
-                if collect_partial_dimensions:
-                    result.partial_map.update(
-                        zip(
-                            pairs,
-                            (
-                                _kernels.decode_dim_mask(dimensions, mask)
-                                for mask in block.partial_dim_masks
-                            ),
-                        )
+            def emit_fused_block(block) -> None:
+                if block.full_a.size:
+                    result.full.update(
+                        (uris[a], uris[b])
+                        for a, b in zip(block.full_a.tolist(), block.full_b.tolist())
                     )
+                if block.compl_a.size:
+                    for a, b in zip(block.compl_a.tolist(), block.compl_b.tolist()):
+                        result.add_complementary(uris[a], uris[b])
+                # Partial results stay columnar: one O(1) block append
+                # instead of millions of tuple/set/dict inserts (see
+                # RelationshipSet.add_partial_block).
+                result.add_partial_block(
+                    uris,
+                    block.partial_a,
+                    block.partial_b,
+                    block.partial_counts,
+                    k,
+                    block.partial_masks if collect_partial_dimensions else None,
+                    dimensions if collect_partial_dimensions else None,
+                )
 
-            # Group by cube A so the surviving partners batch into one
-            # kernel call each, mirroring the containing pass.
+            # Group by cube A so surviving partners batch into (at
+            # most) two kernel calls each.
             partners_by_a: dict = {}
             for cube_a, cube_b in lattice.partial_pairs():
                 partners_by_a.setdefault(cube_a, []).append(cube_b)
 
+            split_batches = want_full or want_compl
             for cube_a, partners in partners_by_a.items():
                 la = len(lattice.nodes[cube_a])
                 groups_a = cube_groups[cube_a]
-                surviving = []
-                total = 0
+                dominated: list = []
+                sideways: list = []
+                total_dom = 0
+                total_side = 0
                 for cube_b in partners:
                     lb = len(lattice.nodes[cube_b])
                     if not cubes_share_measures(groups_a, cube_groups[cube_b]):
@@ -411,33 +446,46 @@ def compute_cubemask(
                         counts["pruned_comparisons"] += la * lb
                         continue
                     note_pair(la, lb, cube_a == cube_b)
-                    surviving.append(cube_b)
-                    total += lb
-                if not surviving:
-                    continue
-                if kernel_can_collect_dims and use_kernel(la * total):
-                    rows_b = (
-                        rows_of(surviving[0])
-                        if len(surviving) == 1
-                        else np.concatenate([rows_of(cube_b) for cube_b in surviving])
-                    )
-                    started = time.perf_counter_ns()
-                    block = _kernels.evaluate_pair_block(
-                        get_plan(),
-                        rows_of(cube_a),
-                        rows_b,
-                        containing=False,
-                        same_cube=cube_a in surviving,
-                        want_full=False,
-                        want_compl=False,
-                        want_partial=True,
-                        collect_partial_dimensions=collect_partial_dimensions,
-                    )
-                    note_kernel(started, la * total)
-                    emit_partial_block(block)
-                else:
-                    for cube_b in surviving:
-                        scan_partial_python(cube_a, cube_b)
+                    if split_batches and dominates(cube_a, cube_b):
+                        dominated.append(cube_b)
+                        total_dom += lb
+                    else:
+                        sideways.append(cube_b)
+                        total_side += lb
+                for batch, total, containing in (
+                    (dominated, total_dom, True),
+                    (sideways, total_side, False),
+                ):
+                    if not batch:
+                        continue
+                    if kernel_can_collect_dims and use_kernel(la * total):
+                        rows_b = (
+                            rows_of(batch[0])
+                            if len(batch) == 1
+                            else np.concatenate([rows_of(cube_b) for cube_b in batch])
+                        )
+                        started = time.perf_counter_ns()
+                        # ``same_cube=True`` on the dominated batch is
+                        # safe across cube boundaries: equal code
+                        # vectors imply equal signatures, so the batch
+                        # complementarity check can only fire inside
+                        # cube A itself.
+                        block = _kernels.evaluate_pair_block(
+                            get_plan(),
+                            rows_of(cube_a),
+                            rows_b,
+                            containing=containing,
+                            same_cube=containing,
+                            want_full=want_full,
+                            want_compl=want_compl,
+                            want_partial=True,
+                            collect_partial_dimensions=collect_partial_dimensions,
+                        )
+                        note_kernel(started, la * total)
+                        emit_fused_block(block)
+                    else:
+                        for cube_b in batch:
+                            scan_fused_python(cube_a, cube_b, containing)
 
     _flush_counts(counts)
     if stats is not None:

@@ -13,9 +13,15 @@ pair as one chunked broadcast AND-compare over those blocks:
 * :func:`build_kernel_plan` assembles the packed blocks, integer code
   ids and deduplicated measure-group tables for a space once,
 * :func:`evaluate_pair_block` scores the member rows of cube A against
-  cube B in bulk — full-containment mask, per-dimension containment
-  counts, the measure-overlap mask, complementarity (equal code-id
-  rows) and the partial-dimension bitmasks,
+  cube B in bulk.  The partial/full pass stacks the per-dimension
+  containment tests into one *bitset mask* per pair (bit ``p`` = cube
+  A's row contains cube B's row on dimension ``p``), evaluated in
+  cache-blocked cube-pair tiles; full containment is the all-ones
+  mask, partial containment any other non-zero mask, and the
+  containment count is the popcount of the mask — no per-pair
+  re-testing of survivors.  Results come back *columnar* (index
+  arrays, not Python tuples) so a million-pair block costs a handful
+  of array slices rather than a million tuple allocations,
 * :func:`measure_overlap_groups` is the single shared copy of the
   measure-overlap prefilter (previously duplicated between the
   baseline and cubeMasking), with the group-intersection table
@@ -46,12 +52,16 @@ __all__ = [
     "PairBlockResult",
     "build_kernel_plan",
     "evaluate_pair_block",
+    "ensure_dim_mask_capacity",
     "measure_overlap_groups",
     "kernel_counters",
+    "merge_counters",
     "reset_kernel_counters",
     "publish_arrays",
     "attach_arrays",
     "DEFAULT_KERNEL_THRESHOLD",
+    "DEFAULT_TILE_PAIRS",
+    "DIM_MASK_LIMIT",
 ]
 
 #: ``kernel="auto"`` switches a cube pair to the numpy kernel once the
@@ -64,6 +74,72 @@ DEFAULT_KERNEL_THRESHOLD = 128
 #: ``(chunk, |B|, bytes)`` arrays exactly like ``OccurrenceMatrix``'s
 #: ``chunk`` parameter does for the baseline.
 DEFAULT_CHUNK = 512
+
+#: Partial-dimension bitmasks (and the bitset partial pass) ride in a
+#: single unsigned word, so the bus is capped at 64 dimensions; wider
+#: buses fall back to per-dimension count accumulation (no dim masks).
+DIM_MASK_LIMIT = 64
+
+
+def _tile_pairs_default() -> int:
+    import os
+
+    try:
+        value = int(os.environ.get("REPRO_KERNEL_TILE_PAIRS", ""))
+        if value > 0:
+            return value
+    except ValueError:
+        pass
+    return 1 << 20
+
+
+#: Pair budget of one cube-pair tile in the bitset partial pass: the
+#: (A-chunk × B-tile) temporaries are sized to at most this many pairs
+#: so the mask tile and the per-dimension compare stay L2-resident
+#: (1M pairs ≈ 1 MiB of uint8 mask + one bool temporary per
+#: dimension).  Tunable via ``REPRO_KERNEL_TILE_PAIRS`` or the
+#: ``tile_pairs`` parameter; see docs/performance.md for the sweep.
+DEFAULT_TILE_PAIRS = _tile_pairs_default()
+
+
+def ensure_dim_mask_capacity(dimension_count: int) -> None:
+    """Reject buses too wide for single-word partial-dimension masks.
+
+    Raised at *plan-build* time (``build_kernel_plan(...,
+    collect_partial_dimensions=True)``) so a too-wide bus fails before
+    any pair block is evaluated, not mid-compute.
+    """
+    if dimension_count > DIM_MASK_LIMIT:
+        raise AlgorithmError(
+            "partial-dimension bitmasks support at most "
+            f"{DIM_MASK_LIMIT} dimensions; this bus has {dimension_count} "
+            "— use the pure-Python path"
+        )
+
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount(values: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(values)
+
+else:  # numpy < 2.0
+    _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def _popcount(values: np.ndarray) -> np.ndarray:
+        flat = np.ascontiguousarray(values).reshape(-1)
+        as_bytes = flat.view(np.uint8).reshape(flat.shape[0], flat.dtype.itemsize)
+        return _POPCOUNT8[as_bytes].sum(axis=1).reshape(values.shape)
+
+
+def _mask_dtype(dimension_count: int):
+    """Narrowest unsigned word holding one bit per dimension."""
+    if dimension_count <= 8:
+        return np.uint8
+    if dimension_count <= 16:
+        return np.uint16
+    if dimension_count <= 32:
+        return np.uint32
+    return np.uint64
 
 
 # ----------------------------------------------------------------------
@@ -136,6 +212,28 @@ def kernel_counters() -> dict:
     """Snapshot of this process's cumulative kernel usage."""
     with _COUNTER_LOCK:
         return dict(_COUNTERS)
+
+
+def merge_counters(delta: dict) -> None:
+    """Fold another process's kernel-counter delta into this one.
+
+    The parallel fan-out runs the kernel inside worker processes whose
+    module counters (and registry series) die with them; each unit
+    result carries the worker's counter delta and the parent merges it
+    here, so ``kernel_pairs``/``kernel_ns`` stats and the
+    ``repro_kernel_*`` metric families stay path-independent — a
+    worker-scored pair counts exactly like a sequentially-scored one.
+    """
+    calls = int(delta.get("kernel_calls", 0))
+    pairs = int(delta.get("kernel_pairs", 0))
+    ns = int(delta.get("kernel_ns", 0))
+    if not (calls or pairs or ns):
+        return
+    with _COUNTER_LOCK:
+        _COUNTERS["kernel_calls"] += calls
+        _COUNTERS["kernel_pairs"] += pairs
+        _COUNTERS["kernel_ns"] += ns
+    flush_registry_counters()
 
 
 def reset_kernel_counters() -> None:
@@ -273,11 +371,24 @@ class KernelPlan:
         )
 
 
-def build_kernel_plan(space: ObservationSpace, matrix=None) -> KernelPlan:
+def build_kernel_plan(
+    space: ObservationSpace,
+    matrix=None,
+    *,
+    collect_partial_dimensions: bool = False,
+) -> KernelPlan:
     """Assemble a :class:`KernelPlan`, reusing the occurrence matrix's
-    packed ``uint8`` blocks (built here if not supplied)."""
+    packed ``uint8`` blocks (built here if not supplied).
+
+    Pass ``collect_partial_dimensions=True`` when the plan will be
+    asked for partial-dimension bitmasks: buses wider than
+    :data:`DIM_MASK_LIMIT` dimensions are rejected here, at plan-build
+    time, instead of mid-block.
+    """
     from repro.core.matrix import OccurrenceMatrix
 
+    if collect_partial_dimensions:
+        ensure_dim_mask_capacity(len(space.dimensions))
     if matrix is None:
         matrix = OccurrenceMatrix(space, backend="numpy")
     elif matrix.backend != "numpy":
@@ -369,24 +480,115 @@ def build_kernel_plan(space: ObservationSpace, matrix=None) -> KernelPlan:
 # ----------------------------------------------------------------------
 # Bulk evaluation of one cube pair.
 # ----------------------------------------------------------------------
-class PairBlockResult:
-    """Index-level output of one cube-pair evaluation.
+_EMPTY_IDX = np.zeros(0, dtype=np.int64)
+_EMPTY_COUNTS = np.zeros(0, dtype=np.int32)
+_EMPTY_MASKS = np.zeros(0, dtype=np.uint64)
 
-    ``full``/``complementary`` are ``(a, b)`` observation-index pairs;
-    ``partial`` entries are ``(a, b, count)`` with ``count`` the number
-    of containing dimensions (the degree is ``count / k``).
-    ``partial_dim_masks`` (when requested) aligns with ``partial`` and
-    carries a bitmask whose bit ``p`` marks containment on dimension
-    ``p`` of the bus.
+
+def _cat(parts: list, empty: np.ndarray) -> np.ndarray:
+    if not parts:
+        return empty
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+class PairBlockResult:
+    """Columnar index-level output of one cube-pair evaluation.
+
+    The kernel returns *arrays*: ``full_a``/``full_b`` and
+    ``compl_a``/``compl_b`` are aligned observation-index vectors;
+    ``partial_a``/``partial_b``/``partial_counts`` describe the
+    partial pairs (``partial_counts[i]`` containing dimensions, the
+    degree is ``count / k``); ``partial_masks`` (when requested)
+    aligns with them and carries a bitmask whose bit ``p`` marks
+    containment on dimension ``p`` of the bus, ``None`` otherwise.
+
+    The ``full`` / ``complementary`` / ``partial`` /
+    ``partial_dim_masks`` properties materialise the historical
+    tuple-list forms on demand for small-block consumers (incremental
+    updates, tests); bulk consumers use the arrays directly — that is
+    the difference between a million result rows costing a few array
+    concatenations and costing a million tuple allocations.
     """
 
-    __slots__ = ("full", "complementary", "partial", "partial_dim_masks")
+    __slots__ = (
+        "full_a",
+        "full_b",
+        "compl_a",
+        "compl_b",
+        "partial_a",
+        "partial_b",
+        "partial_counts",
+        "partial_masks",
+        "_full_list",
+        "_compl_list",
+        "_partial_list",
+        "_mask_list",
+    )
 
-    def __init__(self, full, complementary, partial, partial_dim_masks=None):
-        self.full = full
-        self.complementary = complementary
-        self.partial = partial
-        self.partial_dim_masks = partial_dim_masks
+    def __init__(
+        self,
+        *,
+        full_a: np.ndarray = _EMPTY_IDX,
+        full_b: np.ndarray = _EMPTY_IDX,
+        compl_a: np.ndarray = _EMPTY_IDX,
+        compl_b: np.ndarray = _EMPTY_IDX,
+        partial_a: np.ndarray = _EMPTY_IDX,
+        partial_b: np.ndarray = _EMPTY_IDX,
+        partial_counts: np.ndarray = _EMPTY_COUNTS,
+        partial_masks: np.ndarray | None = None,
+    ):
+        self.full_a = full_a
+        self.full_b = full_b
+        self.compl_a = compl_a
+        self.compl_b = compl_b
+        self.partial_a = partial_a
+        self.partial_b = partial_b
+        self.partial_counts = partial_counts
+        self.partial_masks = partial_masks
+        self._full_list = None
+        self._compl_list = None
+        self._partial_list = None
+        self._mask_list = None
+
+    @property
+    def full(self) -> list[tuple[int, int]]:
+        if self._full_list is None:
+            self._full_list = list(zip(self.full_a.tolist(), self.full_b.tolist()))
+        return self._full_list
+
+    @property
+    def complementary(self) -> list[tuple[int, int]]:
+        if self._compl_list is None:
+            self._compl_list = list(zip(self.compl_a.tolist(), self.compl_b.tolist()))
+        return self._compl_list
+
+    @property
+    def partial(self) -> list[tuple[int, int, int]]:
+        if self._partial_list is None:
+            self._partial_list = list(
+                zip(
+                    self.partial_a.tolist(),
+                    self.partial_b.tolist(),
+                    self.partial_counts.tolist(),
+                )
+            )
+        return self._partial_list
+
+    @property
+    def partial_dim_masks(self) -> list[int] | None:
+        if self.partial_masks is None:
+            return None
+        if self._mask_list is None:
+            self._mask_list = self.partial_masks.tolist()
+        return self._mask_list
+
+    def __repr__(self) -> str:
+        return (
+            f"PairBlockResult(full={self.full_a.size}, "
+            f"complementary={self.compl_a.size}, partial={self.partial_a.size})"
+        )
 
 
 def evaluate_pair_block(
@@ -401,16 +603,24 @@ def evaluate_pair_block(
     want_partial: bool = True,
     collect_partial_dimensions: bool = False,
     chunk: int = DEFAULT_CHUNK,
+    tile_pairs: int | None = None,
 ) -> PairBlockResult:
     """Score the member rows of cube A against cube B in bulk.
 
-    The vectorised form of Algorithm 4's inner loop: one chunked
-    broadcast AND-compare per dimension block yields the per-dimension
-    containment matrices, their sum the containment counts, and masks
-    derive the three relationship types exactly as the pure-Python
-    path does — self pairs excluded, full and partial containment
-    gated on the measure-overlap mask, complementarity on equal
-    code-id rows with ``a < b``.
+    The vectorised form of Algorithm 4's inner loop.  For the partial
+    pass the per-dimension containment tests over the level-indexed
+    ancestor-code tables are ORed into one *bitset* per pair (bit ``p``
+    = containment on dimension ``p``, narrowest unsigned dtype that
+    holds ``k`` bits): ``mask == (1 << k) - 1`` is full containment,
+    any other nonzero mask is partial, and the containment count is the
+    mask's popcount — taken only on the selected pairs, so partial
+    candidates are never re-tested dimension-wise.  The pass walks B
+    in cache-blocked tiles of at most ``tile_pairs`` pairs per
+    (A-chunk x B-tile) so the per-dimension broadcast temporaries stay
+    L2-resident.  Results come back as index *arrays* (see
+    :class:`PairBlockResult`) — self pairs excluded, full and partial
+    containment gated on the measure-overlap mask, complementarity on
+    equal code-id rows with ``a < b``, exactly as the pure-Python path.
 
     ``containing`` states whether cube A's signature dominates cube
     B's (full containment and complementarity are impossible
@@ -419,26 +629,18 @@ def evaluate_pair_block(
     """
     rows_a = np.asarray(rows_a, dtype=np.int64)
     rows_b = np.asarray(rows_b, dtype=np.int64)
-    full: list[tuple[int, int]] = []
-    complementary: list[tuple[int, int]] = []
-    partial: list[tuple[int, int, int]] = []
-    dim_masks: list[int] | None = [] if (want_partial and collect_partial_dimensions) else None
     la, lb = len(rows_a), len(rows_b)
-    if la == 0 or lb == 0:
-        return PairBlockResult(full, complementary, partial, dim_masks)
     k = plan.k
-    if dim_masks is not None and k > 64:
-        raise AlgorithmError(
-            "partial-dimension bitmasks support at most 64 dimensions; "
-            f"this bus has {k} — use the pure-Python path"
-        )
+    collect_masks = want_partial and collect_partial_dimensions
+    if collect_masks:
+        ensure_dim_mask_capacity(k)
+    if la == 0 or lb == 0:
+        return PairBlockResult(partial_masks=_EMPTY_MASKS if collect_masks else None)
     started = time.perf_counter_ns()
 
     check_full = want_full and containing
     check_compl = want_compl and containing and same_cube
-    # Batched calls can bring very wide B sides; shrink the A chunk so
-    # the broadcast temporaries stay bounded (~4M pairs per chunk).
-    chunk = max(1, min(chunk, (1 << 22) // max(lb, 1)))
+    budget = max(1, int(tile_pairs)) if tile_pairs else DEFAULT_TILE_PAIRS
 
     need_blocks = check_full or want_partial
     use_anc = plan.anc_codes is not None and plan.levels is not None and need_blocks
@@ -461,80 +663,149 @@ def evaluate_pair_block(
         codes_b = None if use_keys else plan.code_ids[rows_b]
     assign_b = plan.assignment[rows_b]
 
-    for start in range(0, la, max(1, chunk)):
-        rows = rows_a[start : start + chunk]
+    # A-chunk / B-tile sizing.  The partial pass tiles B, so its A
+    # chunk only shrinks with the tile budget; the sifting and
+    # complementarity branches broadcast across the whole B side, so
+    # their A chunk shrinks with lb instead (~4M pairs per chunk).
+    if want_partial:
+        b_tile = max(1, min(lb, budget))
+        ca_max = max(1, min(chunk, max(1, budget // b_tile)))
+        if check_compl:
+            ca_max = max(1, min(ca_max, (1 << 22) // max(lb, 1)))
+    else:
+        b_tile = lb
+        ca_max = max(1, min(chunk, (1 << 22) // max(lb, 1)))
+
+    mdtype = _mask_dtype(k) if k <= DIM_MASK_LIMIT else None
+    full_value = mdtype((1 << k) - 1) if mdtype is not None else None
+
+    full_a_parts: list[np.ndarray] = []
+    full_b_parts: list[np.ndarray] = []
+    compl_a_parts: list[np.ndarray] = []
+    compl_b_parts: list[np.ndarray] = []
+    part_a_parts: list[np.ndarray] = []
+    part_b_parts: list[np.ndarray] = []
+    part_c_parts: list[np.ndarray] = []
+    part_m_parts: list[np.ndarray] = []
+
+    for start in range(0, la, ca_max):
+        rows = rows_a[start : start + ca_max]
         ca = len(rows)
-        not_self = rows[:, None] != rows_b[None, :]
-        overlap = None
+        assign_a = plan.assignment[rows]
         data_a = codes_a = cols_a = None
         if need_blocks:
-            overlap = plan.group_overlap[
-                plan.assignment[rows][:, None], assign_b[None, :]
-            ]
             if use_anc:
                 codes_a = plan.code_ids[rows]
                 cols_a = plan.levels[rows] + col_base[None, :]
             else:
                 data_a = data[rows]
 
-        def dim_contains(position: int) -> np.ndarray:
-            """(ca, lb) containment matrix of one dimension."""
-            if use_anc:
-                col = cols_a[:, position]
-                first = col[0]
-                if (col == first).all():
-                    # All A rows sit on the same level (always true when
-                    # rows_a is one cube): one anc column, pure
-                    # broadcast compare — no gather.
-                    return anc_b[:, first][None, :] == codes_a[:, position][:, None]
-                return (anc_b[:, col] == codes_a[:, position]).T
-            lo, hi = slices[position]
-            left = data_a[:, None, lo:hi]
-            return ((left & data_b[None, :, lo:hi]) == left).all(axis=2)
-
-        def dim_contains_at(position: int, idx_a, idx_b) -> np.ndarray:
-            """Containment on one dimension for selected (a, b) pairs."""
-            if use_anc:
-                return anc_b[idx_b, cols_a[idx_a, position]] == codes_a[idx_a, position]
-            lo, hi = slices[position]
-            left = data_a[idx_a, lo:hi]
-            return ((left & data_b[idx_b, lo:hi]) == left).all(axis=1)
-
         if want_partial:
-            # Per-dimension containment counts: every dimension is
-            # evaluated because the count (and the bitmask) needs all
-            # of them.
-            counts = np.zeros((ca, lb), dtype=np.int32)
-            masks = np.zeros((ca, lb), dtype=np.uint64) if dim_masks is not None else None
-            for position in range(k):
-                contains = dim_contains(position)
-                counts += contains
-                if masks is not None:
-                    masks |= contains.astype(np.uint64) << np.uint64(position)
-            if check_full:
-                hits = np.argwhere((counts == k) & overlap & not_self)
-                if hits.size:
-                    full.extend(
-                        zip(rows[hits[:, 0]].tolist(), rows_b[hits[:, 1]].tolist())
-                    )
-            hits = np.argwhere((counts > 0) & (counts < k) & overlap & not_self)
-            if hits.size:
-                selected = counts[hits[:, 0], hits[:, 1]]
-                partial.extend(
-                    zip(
-                        rows[hits[:, 0]].tolist(),
-                        rows_b[hits[:, 1]].tolist(),
-                        selected.tolist(),
-                    )
-                )
-                if dim_masks is not None:
-                    dim_masks.extend(masks[hits[:, 0], hits[:, 1]].tolist())
+            for bstart in range(0, lb, b_tile):
+                bstop = min(lb, bstart + b_tile)
+                rows_bt = rows_b[bstart:bstop]
+                anc_bt = anc_b[bstart:bstop] if use_anc else None
+                data_bt = None if use_anc else data_b[bstart:bstop]
+                valid = plan.group_overlap[
+                    assign_a[:, None], assign_b[bstart:bstop][None, :]
+                ]
+                valid &= rows[:, None] != rows_bt[None, :]
+
+                def dim_contains_tile(position: int) -> np.ndarray:
+                    """(ca, tile) containment matrix of one dimension."""
+                    if use_anc:
+                        col = cols_a[:, position]
+                        first = col[0]
+                        if (col == first).all():
+                            # All A rows sit on the same level (always
+                            # true when rows_a is one cube): one anc
+                            # column, pure broadcast compare — no gather.
+                            return (
+                                anc_bt[:, first][None, :]
+                                == codes_a[:, position][:, None]
+                            )
+                        return (anc_bt[:, col] == codes_a[:, position]).T
+                    lo, hi = slices[position]
+                    left = data_a[:, None, lo:hi]
+                    return ((left & data_bt[None, :, lo:hi]) == left).all(axis=2)
+
+                if mdtype is not None:
+                    # Bitset pass: one mask accumulates every dimension;
+                    # classification and the containment counts all fall
+                    # out of it.
+                    mask = np.zeros((ca, bstop - bstart), dtype=mdtype)
+                    for position in range(k):
+                        contains = dim_contains_tile(position)
+                        mask |= contains.astype(mdtype) << mdtype(position)
+                    if check_full:
+                        sel = mask == full_value
+                        sel &= valid
+                        ia, ib = np.nonzero(sel)
+                        if ia.size:
+                            full_a_parts.append(rows[ia])
+                            full_b_parts.append(rows_bt[ib])
+                    sel = mask != 0
+                    sel &= mask != full_value
+                    sel &= valid
+                    ia, ib = np.nonzero(sel)
+                    if ia.size:
+                        chosen = mask[ia, ib]
+                        part_a_parts.append(rows[ia])
+                        part_b_parts.append(rows_bt[ib])
+                        part_c_parts.append(
+                            _popcount(chosen).astype(np.int32, copy=False)
+                        )
+                        if collect_masks:
+                            part_m_parts.append(chosen.astype(np.uint64))
+                else:
+                    # Bus wider than 64 dimensions: bitsets don't fit a
+                    # word, accumulate counts instead (masks were
+                    # rejected up front by ensure_dim_mask_capacity).
+                    counts = np.zeros((ca, bstop - bstart), dtype=np.int32)
+                    for position in range(k):
+                        counts += dim_contains_tile(position)
+                    if check_full:
+                        ia, ib = np.nonzero((counts == k) & valid)
+                        if ia.size:
+                            full_a_parts.append(rows[ia])
+                            full_b_parts.append(rows_bt[ib])
+                    ia, ib = np.nonzero((counts > 0) & (counts < k) & valid)
+                    if ia.size:
+                        part_a_parts.append(rows[ia])
+                        part_b_parts.append(rows_bt[ib])
+                        part_c_parts.append(counts[ia, ib])
         elif check_full:
             # No counts needed -> dimension-ordered sifting: evaluate
             # dimension 0 over the whole block, then re-test only the
             # survivors on each further dimension (the vectorised twin
             # of the Python loop's early exit — most pairs die on the
             # first dimension).
+            overlap = plan.group_overlap[assign_a[:, None], assign_b[None, :]]
+            not_self = rows[:, None] != rows_b[None, :]
+
+            def dim_contains(position: int) -> np.ndarray:
+                """(ca, lb) containment matrix of one dimension."""
+                if use_anc:
+                    col = cols_a[:, position]
+                    first = col[0]
+                    if (col == first).all():
+                        return anc_b[:, first][None, :] == codes_a[:, position][:, None]
+                    return (anc_b[:, col] == codes_a[:, position]).T
+                lo, hi = slices[position]
+                left = data_a[:, None, lo:hi]
+                return ((left & data_b[None, :, lo:hi]) == left).all(axis=2)
+
+            def dim_contains_at(position: int, idx_a, idx_b) -> np.ndarray:
+                """Containment on one dimension for selected (a, b) pairs."""
+                if use_anc:
+                    return (
+                        anc_b[idx_b, cols_a[idx_a, position]]
+                        == codes_a[idx_a, position]
+                    )
+                lo, hi = slices[position]
+                left = data_a[idx_a, lo:hi]
+                return ((left & data_b[idx_b, lo:hi]) == left).all(axis=1)
+
             if k == 0:
                 idx_a, idx_b = np.nonzero(overlap & not_self)
             else:
@@ -547,19 +818,31 @@ def evaluate_pair_block(
                     keep = dim_contains_at(position, idx_a, idx_b)
                     idx_a, idx_b = idx_a[keep], idx_b[keep]
             if idx_a.size:
-                full.extend(zip(rows[idx_a].tolist(), rows_b[idx_b].tolist()))
+                full_a_parts.append(rows[idx_a])
+                full_b_parts.append(rows_b[idx_b])
         if check_compl:
             if use_keys:
                 equal = plan.code_keys[rows][:, None] == keys_b[None, :]
             else:
-                equal = (plan.code_ids[rows][:, None, :] == codes_b[None, :, :]).all(axis=2)
-            hits = np.argwhere(equal & (rows[:, None] < rows_b[None, :]))
-            if hits.size:
-                complementary.extend(
-                    zip(rows[hits[:, 0]].tolist(), rows_b[hits[:, 1]].tolist())
+                equal = (plan.code_ids[rows][:, None, :] == codes_b[None, :, :]).all(
+                    axis=2
                 )
+            equal &= rows[:, None] < rows_b[None, :]
+            ia, ib = np.nonzero(equal)
+            if ia.size:
+                compl_a_parts.append(rows[ia])
+                compl_b_parts.append(rows_b[ib])
     _record(time.perf_counter_ns() - started, la * lb)
-    return PairBlockResult(full, complementary, partial, dim_masks)
+    return PairBlockResult(
+        full_a=_cat(full_a_parts, _EMPTY_IDX),
+        full_b=_cat(full_b_parts, _EMPTY_IDX),
+        compl_a=_cat(compl_a_parts, _EMPTY_IDX),
+        compl_b=_cat(compl_b_parts, _EMPTY_IDX),
+        partial_a=_cat(part_a_parts, _EMPTY_IDX),
+        partial_b=_cat(part_b_parts, _EMPTY_IDX),
+        partial_counts=_cat(part_c_parts, _EMPTY_COUNTS),
+        partial_masks=_cat(part_m_parts, _EMPTY_MASKS) if collect_masks else None,
+    )
 
 
 def decode_dim_mask(plan_dimensions: tuple[URIRef, ...], mask: int) -> frozenset[URIRef]:

@@ -9,11 +9,17 @@ code-id rows, measure-group tables, cube membership and the cube-pair
 order) once in a :mod:`multiprocessing.shared_memory` segment; each
 worker attaches read-only — the pool-initializer payload is the
 segment name plus an O(metadata) layout dict, independent of the
-observation count.  Workers score ranges of the deterministic
-cube-pair order with the vectorised kernels of
-:mod:`repro.core.kernels` (or the tuple-at-a-time fallback, per the
-``kernel`` mode) and return observation-index pairs; the parent maps
-indices back to URIs and merges.  The output is always identical to
+observation count.  Workers batch contiguous same-cube-A runs of the
+deterministic cube-pair order into single calls of the vectorised
+kernel over the shm-attached plan arrays (or the tuple-at-a-time
+fallback, per the ``kernel`` mode) and return *columnar*
+observation-index arrays plus their kernel-counter delta; the parent
+maps indices back to URIs (partial results stay columnar all the way
+into :meth:`RelationshipSet.add_partial_block`), folds the worker
+counters into the process-wide ``repro_kernel_*`` series, and merges.
+Parallelism therefore *composes* with vectorisation: every worker
+runs the same bitset kernel the sequential numpy path runs.  The
+output is always identical to
 :func:`repro.core.cubemask.compute_cubemask`.
 
 Process startup still carries real overhead, so this pays off only on
@@ -104,6 +110,10 @@ def _metrics():
                 "repro_parallel_units_total",
                 "Cube-pair ranges completed by pool workers.",
             ),
+            "kernel_pairs": registry.counter(
+                "repro_parallel_kernel_pairs_total",
+                "Member pairs scored by the vectorised kernel inside pool workers.",
+            ),
         }
     return _METRICS
 
@@ -158,13 +168,22 @@ def build_cubemask_state(
     targets: tuple[str, ...],
     kernel: str = "auto",
     kernel_threshold: int | None = None,
+    collect_partial_dimensions: bool = False,
 ) -> dict:
     """Shared scoring state for a fixed space + target set.
 
     Used by the shared-memory publication, in-process by the
     sequential degradation path, and by the materialisation runner —
-    one code path, one deterministic cube-pair order.
+    one code path, one deterministic cube-pair order.  The cube-pair
+    order mirrors :func:`~repro.core.cubemask.compute_cubemask`'s pass
+    structure: pairs its sweeps would prune (measure-disjoint cubes on
+    partial runs, off-diagonal pairs on complementarity-only runs) are
+    filtered out here, and the resulting pruning breakdown is
+    precomputed under ``state["counts"]`` so parallel stats stay
+    path-independent.
     """
+    from repro.core.cubemask import STAT_KEYS
+
     if kernel not in KERNEL_MODES:
         raise AlgorithmError(f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}")
     lattice = CubeLattice(space)
@@ -180,7 +199,50 @@ def build_cubemask_state(
         if member_lists
         else np.zeros(0, dtype=np.int32)
     )
-    plan = _kernels.build_kernel_plan(space)
+    plan = _kernels.build_kernel_plan(
+        space, collect_partial_dimensions=collect_partial_dimensions
+    )
+    want_full = "full" in targets
+    want_partial = "partial" in targets
+    pairs = _enumerate_pairs(signatures, want_partial)
+
+    counts = {key: 0 for key in STAT_KEYS}
+    counts["cubes"] = len(cubes)
+    sizes = np.diff(cube_offsets)
+    index_a, index_b = pairs[:, 0], pairs[:, 1]
+    la, lb = sizes[index_a], sizes[index_b]
+    same = index_a == index_b
+    keep = None
+    if want_partial and k >= 1:
+        # Cube-level measure prefilter, mirroring the fused sweep: a
+        # pair survives when some member measure-groups overlap (always
+        # true for same-cube pairs — measure sets are non-empty, so
+        # complementarity is never lost).
+        group_count = plan.group_overlap.shape[0]
+        cube_group = np.zeros((len(cubes), group_count), dtype=np.int32)
+        for position, member_list in enumerate(member_lists):
+            if member_list:
+                rows = np.asarray(member_list, dtype=np.int64)
+                cube_group[position, plan.assignment[rows]] = 1
+        # keep[p] = any overlap between cube A's and cube B's groups,
+        # as a per-pair row dot against the overlap-reachable groups —
+        # no |cubes|² share matrix is ever materialised.
+        reach = cube_group @ plan.group_overlap.astype(np.int32)
+        keep = np.einsum("ij,ij->i", reach[index_a], cube_group[index_b]) > 0
+        counts["pruned_cube_pairs"] = int((~keep).sum())
+        counts["pruned_comparisons"] = int((la * lb)[~keep].sum())
+    elif not want_full and len(pairs):
+        # Complementarity only: it lives inside one cube, so
+        # off-diagonal dominating pairs cannot produce anything (the
+        # prefetched sequential pass never visits them either).
+        keep = same
+    if keep is not None:
+        pairs = np.ascontiguousarray(pairs[keep])
+        la, lb, same = la[keep], lb[keep], same[keep]
+    diagonal = np.where(same, la, 0)
+    counts["cube_pairs"] = len(pairs)
+    counts["instance_comparisons"] = int((la * lb - diagonal).sum())
+    counts["pruned_comparisons"] += int(diagonal.sum())
     return dict(
         plan=plan,
         packed=plan.packed,
@@ -193,7 +255,7 @@ def build_cubemask_state(
         signatures=signatures,
         members=members,
         cube_offsets=cube_offsets,
-        pairs=_enumerate_pairs(signatures, "partial" in targets),
+        pairs=pairs,
         targets=frozenset(targets),
         k=k,
         dimensions=space.dimensions,
@@ -201,6 +263,8 @@ def build_cubemask_state(
         kernel_threshold=(
             _kernels.DEFAULT_KERNEL_THRESHOLD if kernel_threshold is None else kernel_threshold
         ),
+        collect_partial_dimensions=collect_partial_dimensions,
+        counts=counts,
         uris=[record.uri for record in space.observations],
     )
 
@@ -224,6 +288,7 @@ def prepare_shared_fanout(state: dict):
         k=state["k"],
         kernel=state["kernel"],
         kernel_threshold=state["kernel_threshold"],
+        collect_partial_dimensions=state.get("collect_partial_dimensions", False),
         # Workers inherit the parent's trace ID so their log records
         # (and any spans they open) correlate with the run.
         trace_id=current_trace_id(),
@@ -272,16 +337,41 @@ def _initializer(segment_name: str, meta: dict, fault_plan=None) -> None:
         k=meta["k"],
         kernel=meta["kernel"],
         kernel_threshold=meta["kernel_threshold"],
+        collect_partial_dimensions=meta.get("collect_partial_dimensions", False),
         fault_plan=fault_plan,
     )
 
 
-def _score_pairs(state: dict, pair_rows) -> tuple[list, list, list]:
+def _empty_payload(collect_masks: bool) -> dict:
+    return dict(
+        full_a=_kernels._EMPTY_IDX,
+        full_b=_kernels._EMPTY_IDX,
+        compl_a=_kernels._EMPTY_IDX,
+        compl_b=_kernels._EMPTY_IDX,
+        partial_a=_kernels._EMPTY_IDX,
+        partial_b=_kernels._EMPTY_IDX,
+        partial_counts=_kernels._EMPTY_COUNTS,
+        partial_masks=_kernels._EMPTY_MASKS if collect_masks else None,
+        counters={"kernel_calls": 0, "kernel_pairs": 0, "kernel_ns": 0},
+    )
+
+
+def _score_pairs(state: dict, pair_rows) -> dict:
     """Evaluate a slice of the shared cube-pair order.
 
-    Returns observation-*index* pairs — ``(a, b)`` for full and
-    complementary, ``(a, b, count)`` for partial — so worker payloads
-    stay integer-sized; callers map indices to URIs.
+    Returns a *columnar* payload of observation-index arrays
+    (``full_a``/``full_b``, ``compl_a``/``compl_b``,
+    ``partial_a``/``partial_b``/``partial_counts`` and — when
+    partial-dimension collection is on — ``partial_masks``) plus the
+    kernel-counter delta the slice produced, so worker results stay
+    integer-sized and the parent can fold counters without guessing.
+
+    Contiguous same-cube-A runs of the deterministic pair order are
+    batched into (at most) two kernel calls each — a *dominated* batch
+    (full/complementarity possible) and a *sideways* batch (partial
+    only) — exactly mirroring the sequential fused sweep, so every
+    member pair goes through the same bitset pass it would take
+    sequentially.
     """
     plan: _kernels.KernelPlan = state["plan"]
     signatures = state["signatures"]
@@ -291,42 +381,31 @@ def _score_pairs(state: dict, pair_rows) -> tuple[list, list, list]:
     k = state["k"]
     kernel = state["kernel"]
     threshold = state["kernel_threshold"]
+    collect_masks = bool(state.get("collect_partial_dimensions")) and k <= _kernels.DIM_MASK_LIMIT
 
     want_full = "full" in targets
     want_compl = "complementary" in targets
     want_partial = "partial" in targets
 
-    full_pairs: list[tuple[int, int]] = []
-    compl_pairs: list[tuple[int, int]] = []
-    partial_pairs: list[tuple[int, int, int]] = []
+    pair_rows = np.asarray(pair_rows)
+    if pair_rows.size == 0:
+        return _empty_payload(collect_masks)
+    before = _kernels.kernel_counters()
+
+    parts: dict[str, list] = {name: [] for name in (
+        "full_a", "full_b", "compl_a", "compl_b",
+        "partial_a", "partial_b", "partial_counts", "partial_masks",
+    )}
+    # Python-fallback accumulators, converted to arrays once at the end.
+    py: dict[str, list] = {name: [] for name in parts}
+
     packed = plan.packed
     code_ids = plan.code_ids
     assignment = plan.assignment
     group_overlap = plan.group_overlap
     block_slices = plan.block_slices
 
-    for index_a, index_b in pair_rows:
-        rows_a = members[cube_offsets[index_a] : cube_offsets[index_a + 1]]
-        rows_b = members[cube_offsets[index_b] : cube_offsets[index_b + 1]]
-        containing = bool((signatures[index_a] <= signatures[index_b]).all())
-        same_cube = index_a == index_b
-        pair_count = len(rows_a) * len(rows_b)
-        use_kernel = kernel == "numpy" or (kernel == "auto" and pair_count >= threshold)
-        if use_kernel:
-            block = _kernels.evaluate_pair_block(
-                plan,
-                rows_a,
-                rows_b,
-                containing=containing,
-                same_cube=same_cube,
-                want_full=want_full,
-                want_compl=want_compl,
-                want_partial=want_partial,
-            )
-            full_pairs.extend(block.full)
-            compl_pairs.extend(block.complementary)
-            partial_pairs.extend(block.partial)
-            continue
+    def scan_python(rows_a, rows_b, containing: bool) -> None:
         # Tuple-at-a-time fallback over the same packed representation.
         for a in rows_a:
             row_a = packed[a]
@@ -334,43 +413,145 @@ def _score_pairs(state: dict, pair_rows) -> tuple[list, list, list]:
                 if a == b:
                     continue
                 count = 0
-                for lo, hi in block_slices:
+                mask = 0
+                for position, (lo, hi) in enumerate(block_slices):
                     piece = row_a[lo:hi]
                     if ((piece & packed[b, lo:hi]) == piece).all():
                         count += 1
+                        mask |= 1 << position
                 shared = group_overlap[assignment[a], assignment[b]]
                 if containing and count == k:
                     if want_full and shared:
-                        full_pairs.append((int(a), int(b)))
-                    if (
-                        want_compl
-                        and same_cube
-                        and a < b
-                        and (code_ids[a] == code_ids[b]).all()
-                    ):
-                        compl_pairs.append((int(a), int(b)))
+                        py["full_a"].append(int(a))
+                        py["full_b"].append(int(b))
+                    if want_compl and a < b and (code_ids[a] == code_ids[b]).all():
+                        py["compl_a"].append(int(a))
+                        py["compl_b"].append(int(b))
                 elif want_partial and shared and 0 < count < k:
-                    partial_pairs.append((int(a), int(b), count))
-    return full_pairs, compl_pairs, partial_pairs
+                    py["partial_a"].append(int(a))
+                    py["partial_b"].append(int(b))
+                    py["partial_counts"].append(count)
+                    if collect_masks:
+                        py["partial_masks"].append(mask)
+
+    # Group the (sorted, row-major) slice into contiguous same-cube-A
+    # runs; each run becomes at most two batched kernel calls.
+    column_a = pair_rows[:, 0]
+    run_bounds = np.flatnonzero(np.diff(column_a)) + 1
+    run_starts = np.concatenate(([0], run_bounds))
+    partner_groups = np.split(pair_rows[:, 1], run_bounds)
+    split_batches = want_full or want_compl
+    for start, partners in zip(run_starts, partner_groups):
+        index_a = int(column_a[start])
+        rows_a = members[cube_offsets[index_a] : cube_offsets[index_a + 1]]
+        la = len(rows_a)
+        if split_batches:
+            dominated = (signatures[index_a][None, :] <= signatures[partners]).all(axis=1)
+            batches = ((partners[dominated], True), (partners[~dominated], False))
+        else:
+            batches = ((partners, False),)
+        for batch, containing in batches:
+            if len(batch) == 0:
+                continue
+            rows_b = (
+                members[cube_offsets[batch[0]] : cube_offsets[batch[0] + 1]]
+                if len(batch) == 1
+                else np.concatenate(
+                    [members[cube_offsets[p] : cube_offsets[p + 1]] for p in batch]
+                )
+            )
+            total = len(rows_b)
+            use_kernel = kernel == "numpy" or (kernel == "auto" and la * total >= threshold)
+            if use_kernel:
+                # ``same_cube=containing`` batches the complementarity
+                # check safely across cube boundaries: equal code
+                # vectors imply equal signatures, so it can only fire
+                # inside cube A itself.
+                block = _kernels.evaluate_pair_block(
+                    plan,
+                    rows_a,
+                    rows_b,
+                    containing=containing,
+                    same_cube=containing,
+                    want_full=want_full,
+                    want_compl=want_compl,
+                    want_partial=want_partial,
+                    collect_partial_dimensions=collect_masks,
+                )
+                parts["full_a"].append(block.full_a)
+                parts["full_b"].append(block.full_b)
+                parts["compl_a"].append(block.compl_a)
+                parts["compl_b"].append(block.compl_b)
+                parts["partial_a"].append(block.partial_a)
+                parts["partial_b"].append(block.partial_b)
+                parts["partial_counts"].append(block.partial_counts)
+                if collect_masks:
+                    parts["partial_masks"].append(block.partial_masks)
+            else:
+                scan_python(rows_a, rows_b, containing)
+
+    for name, dtype in (
+        ("full_a", np.int64),
+        ("full_b", np.int64),
+        ("compl_a", np.int64),
+        ("compl_b", np.int64),
+        ("partial_a", np.int64),
+        ("partial_b", np.int64),
+        ("partial_counts", np.int32),
+        ("partial_masks", np.uint64),
+    ):
+        if py[name]:
+            parts[name].append(np.asarray(py[name], dtype=dtype))
+    after = _kernels.kernel_counters()
+    return dict(
+        full_a=_kernels._cat(parts["full_a"], _kernels._EMPTY_IDX),
+        full_b=_kernels._cat(parts["full_b"], _kernels._EMPTY_IDX),
+        compl_a=_kernels._cat(parts["compl_a"], _kernels._EMPTY_IDX),
+        compl_b=_kernels._cat(parts["compl_b"], _kernels._EMPTY_IDX),
+        partial_a=_kernels._cat(parts["partial_a"], _kernels._EMPTY_IDX),
+        partial_b=_kernels._cat(parts["partial_b"], _kernels._EMPTY_IDX),
+        partial_counts=_kernels._cat(parts["partial_counts"], _kernels._EMPTY_COUNTS),
+        partial_masks=(
+            _kernels._cat(parts["partial_masks"], _kernels._EMPTY_MASKS)
+            if collect_masks
+            else None
+        ),
+        counters={key: after[key] - before[key] for key in before},
+    )
 
 
-def _indices_to_delta(
-    uris, k: int, full_pairs, compl_pairs, partial_pairs
-) -> RelationshipSet:
+def _payload_to_delta(uris, k: int, dimensions, payload: dict) -> RelationshipSet:
+    """Map a columnar worker payload back to a URI-level delta.
+
+    Full/complementary pairs are few and materialise eagerly; the
+    (potentially huge) partial block stays columnar all the way into
+    :meth:`RelationshipSet.add_partial_block`.
+    """
     delta = RelationshipSet()
-    for a, b in full_pairs:
-        delta.add_full(uris[a], uris[b])
-    for a, b in compl_pairs:
+    if payload["full_a"].size:
+        delta.full.update(
+            (uris[a], uris[b])
+            for a, b in zip(payload["full_a"].tolist(), payload["full_b"].tolist())
+        )
+    for a, b in zip(payload["compl_a"].tolist(), payload["compl_b"].tolist()):
         delta.add_complementary(uris[a], uris[b])
-    for a, b, count in partial_pairs:
-        delta.add_partial(uris[a], uris[b], degree=count / k)
+    masks = payload.get("partial_masks")
+    delta.add_partial_block(
+        uris,
+        payload["partial_a"],
+        payload["partial_b"],
+        payload["partial_counts"],
+        k,
+        masks,
+        dimensions if masks is not None else None,
+    )
     return delta
 
 
 def score_range(state: dict, start: int, stop: int) -> RelationshipSet:
     """Score ``state['pairs'][start:stop]`` into a relationship delta."""
-    full_pairs, compl_pairs, partial_pairs = _score_pairs(state, state["pairs"][start:stop])
-    return _indices_to_delta(state["uris"], state["k"], full_pairs, compl_pairs, partial_pairs)
+    payload = _score_pairs(state, state["pairs"][start:stop])
+    return _payload_to_delta(state["uris"], state["k"], state["dimensions"], payload)
 
 
 def _execute_unit(descriptor: tuple[int, int, int]):
@@ -379,16 +560,15 @@ def _execute_unit(descriptor: tuple[int, int, int]):
     plan = _WORKER_STATE.get("fault_plan")
     if plan is not None:
         plan.before_unit(unit_id, in_worker=True)
-    full_pairs, compl_pairs, partial_pairs = _score_pairs(
-        _WORKER_STATE, _WORKER_STATE["pairs"][start:stop]
-    )
-    return unit_id, full_pairs, compl_pairs, partial_pairs
+    payload = _score_pairs(_WORKER_STATE, _WORKER_STATE["pairs"][start:stop])
+    return unit_id, payload
 
 
 def compute_cubemask_parallel(
     space: ObservationSpace,
     workers: int | None = None,
     collect_partial: bool = True,
+    collect_partial_dimensions: bool = False,
     targets=None,
     min_parallel_observations: int = 512,
     batch_size: int = 256,
@@ -402,6 +582,7 @@ def compute_cubemask_parallel(
     fallback_sequential: bool = True,
     kernel: str = "auto",
     kernel_threshold: int | None = None,
+    stats: dict | None = None,
 ) -> RelationshipSet:
     """cubeMasking with cube-pair ranges scored in worker processes.
 
@@ -413,13 +594,16 @@ def compute_cubemask_parallel(
     the checkpoint hooks (``unit_size``, ``on_unit_complete``,
     ``completed_units``).  ``kernel``/``kernel_threshold`` select the
     per-cube-pair instance-check path exactly as in
-    :func:`~repro.core.cubemask.compute_cubemask`.
+    :func:`~repro.core.cubemask.compute_cubemask`; pass a dict as
+    ``stats`` to receive the same counter breakdown, with
+    ``kernel_pairs``/``kernel_ns`` merged from worker deltas.
     """
     with trace("parallel.compute", observations=len(space)):
         return _compute_cubemask_parallel(
             space,
             workers=workers,
             collect_partial=collect_partial,
+            collect_partial_dimensions=collect_partial_dimensions,
             targets=targets,
             min_parallel_observations=min_parallel_observations,
             batch_size=batch_size,
@@ -433,6 +617,7 @@ def compute_cubemask_parallel(
             fallback_sequential=fallback_sequential,
             kernel=kernel,
             kernel_threshold=kernel_threshold,
+            stats=stats,
         )
 
 
@@ -440,6 +625,7 @@ def _compute_cubemask_parallel(
     space: ObservationSpace,
     workers: int | None = None,
     collect_partial: bool = True,
+    collect_partial_dimensions: bool = False,
     targets=None,
     min_parallel_observations: int = 512,
     batch_size: int = 256,
@@ -453,18 +639,35 @@ def _compute_cubemask_parallel(
     fallback_sequential: bool = True,
     kernel: str = "auto",
     kernel_threshold: int | None = None,
+    stats: dict | None = None,
 ) -> RelationshipSet:
     from repro.core.baseline import normalize_targets
+    from repro.core.cubemask import _flush_counts
 
     resolved = tuple(sorted(normalize_targets(targets, collect_partial)))
+    if collect_partial_dimensions and len(space.dimensions) > _kernels.DIM_MASK_LIMIT:
+        # Partial-dimension bitmasks ride in a single word; wider buses
+        # keep the sequential path's tuple-at-a-time extraction.
+        return compute_cubemask(
+            space, collect_partial=collect_partial,
+            collect_partial_dimensions=collect_partial_dimensions,
+            targets=resolved, kernel=kernel,
+            kernel_threshold=kernel_threshold, stats=stats,
+        )
     if len(space) < min_parallel_observations:
         return compute_cubemask(
-            space, collect_partial=collect_partial, targets=resolved, kernel=kernel,
-            kernel_threshold=kernel_threshold,
+            space, collect_partial=collect_partial,
+            collect_partial_dimensions=collect_partial_dimensions,
+            targets=resolved, kernel=kernel,
+            kernel_threshold=kernel_threshold, stats=stats,
         )
 
-    state = build_cubemask_state(space, resolved, kernel=kernel, kernel_threshold=kernel_threshold)
+    state = build_cubemask_state(
+        space, resolved, kernel=kernel, kernel_threshold=kernel_threshold,
+        collect_partial_dimensions=collect_partial_dimensions,
+    )
     total_pairs = len(state["pairs"])
+    counts = dict(state["counts"])
 
     worker_count = workers if workers is not None else max(1, (os.cpu_count() or 2) - 1)
     if unit_size is None:
@@ -478,11 +681,24 @@ def _compute_cubemask_parallel(
     attempts: dict[int, int] = {d[0]: 0 for d in pending}
     uris = state["uris"]
     k = state["k"]
+    dimensions = state["dimensions"]
 
     def emit(unit_id: int, delta: RelationshipSet) -> None:
         result.merge(delta)
         if on_unit_complete is not None:
             on_unit_complete(unit_id, delta)
+
+    def fold_counters(delta: dict, in_parent: bool) -> None:
+        # Worker counters died with the worker process; fold the delta
+        # into this process's repro_kernel_* series.  Parent-scored
+        # ranges already recorded themselves — only the stats breakdown
+        # needs the numbers.
+        if not in_parent:
+            _kernels.merge_counters(delta)
+            if delta.get("kernel_pairs"):
+                _metrics()["kernel_pairs"].inc(delta["kernel_pairs"])
+        counts["kernel_pairs"] += int(delta.get("kernel_pairs", 0))
+        counts["kernel_ns"] += int(delta.get("kernel_ns", 0))
 
     def degrade(remaining) -> None:
         _metrics()["degraded"].inc(len(remaining))
@@ -494,7 +710,15 @@ def _compute_cubemask_parallel(
         for unit_id, start, stop in remaining:
             if fault_plan is not None:
                 fault_plan.before_unit(unit_id, in_worker=False)
-            emit(unit_id, score_range(state, start, stop))
+            payload = _score_pairs(state, state["pairs"][start:stop])
+            fold_counters(payload["counters"], in_parent=True)
+            emit(unit_id, _payload_to_delta(uris, k, dimensions, payload))
+
+    def finish() -> RelationshipSet:
+        _flush_counts(counts)
+        if stats is not None:
+            stats.update(counts)
+        return result
 
     try:
         with trace("parallel.publish", pairs=total_pairs):
@@ -506,7 +730,7 @@ def _compute_cubemask_parallel(
             len(pending),
         )
         degrade(pending)
-        return result
+        return finish()
 
     try:
         while pending:
@@ -535,8 +759,9 @@ def _compute_cubemask_parallel(
                         break
                     finished.add(descriptor[0])
                     _metrics()["units"].inc()
-                    unit_id, full_pairs, compl_pairs, partial_pairs = payload
-                    emit(unit_id, _indices_to_delta(uris, k, full_pairs, compl_pairs, partial_pairs))
+                    unit_id, unit_payload = payload
+                    fold_counters(unit_payload["counters"], in_parent=False)
+                    emit(unit_id, _payload_to_delta(uris, k, dimensions, unit_payload))
             finally:
                 pool.shutdown(wait=failure is None, cancel_futures=True)
 
@@ -581,4 +806,4 @@ def _compute_cubemask_parallel(
             segment.unlink()
         except FileNotFoundError:
             pass
-    return result
+    return finish()

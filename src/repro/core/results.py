@@ -9,12 +9,22 @@ of each partial pair.
 Containment pairs are directed ``(container, contained)``;
 complementarity pairs are stored canonically (lexicographically
 ordered) because the relation is symmetric.
+
+Partial-containment results can arrive *columnar*: the vectorised
+kernel emits index arrays (see
+:class:`repro.core.kernels.PairBlockResult`), and
+:meth:`RelationshipSet.add_partial_block` queues them as-is — a few
+array references instead of millions of tuple/set/dict inserts.  The
+``partial`` / ``partial_map`` / ``degrees`` views drain the queue on
+first access, so consumers see exactly the classic set/dict API while
+the compute hot path stays allocation-free.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.rdf.terms import URIRef
 
@@ -26,6 +36,20 @@ Pair = tuple[URIRef, URIRef]
 def canonical(a: URIRef, b: URIRef) -> Pair:
     """Order a symmetric pair deterministically."""
     return (a, b) if str(a) <= str(b) else (b, a)
+
+
+def _length(values) -> int:
+    try:
+        return len(values)
+    except TypeError:
+        return int(values.size)
+
+
+def _tolist(values) -> list:
+    tolist = getattr(values, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return list(values)
 
 
 @dataclass
@@ -94,7 +118,15 @@ class RelationshipDelta:
 class RelationshipSet:
     """The S_F / S_P / S_C output of a relationship computation."""
 
-    __slots__ = ("full", "partial", "complementary", "partial_map", "degrees")
+    __slots__ = (
+        "full",
+        "complementary",
+        "_partial",
+        "_partial_map",
+        "_degrees",
+        "_pending",
+        "_pending_lock",
+    )
 
     def __init__(
         self,
@@ -105,10 +137,131 @@ class RelationshipSet:
         degrees: Mapping[Pair, float] | None = None,
     ):
         self.full: set[Pair] = set(full)
-        self.partial: set[Pair] = set(partial)
+        self._partial: set[Pair] = set(partial)
         self.complementary: set[Pair] = {canonical(a, b) for a, b in complementary}
-        self.partial_map: dict[Pair, frozenset[URIRef]] = dict(partial_map or {})
-        self.degrees: dict[Pair, float] = dict(degrees or {})
+        self._partial_map: dict[Pair, frozenset[URIRef]] = dict(partial_map or {})
+        self._degrees: dict[Pair, float] = dict(degrees or {})
+        self._pending: list[tuple] = []
+        self._pending_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Columnar partial blocks (the kernel hot path).
+    # ------------------------------------------------------------------
+    def add_partial_block(
+        self,
+        uris: Sequence[URIRef],
+        a_idx,
+        b_idx,
+        counts,
+        dimension_count: int,
+        masks=None,
+        dimensions: tuple[URIRef, ...] | None = None,
+    ) -> None:
+        """Queue one columnar partial-result block.
+
+        ``a_idx`` / ``b_idx`` index into ``uris`` (any array or
+        sequence exposing ``tolist``/iteration), ``counts`` aligns with
+        them (containing-dimension counts; the degree is ``count /
+        dimension_count``), and ``masks`` (optional, with
+        ``dimensions``) carries the per-dimension bitmasks feeding
+        ``map_P``.  O(1): nothing is materialised until a partial view
+        is first read.
+        """
+        if _length(a_idx) == 0:
+            return
+        with self._pending_lock:
+            self._pending.append(
+                (uris, a_idx, b_idx, counts, dimension_count, masks, dimensions)
+            )
+
+    def _drain(self) -> None:
+        """Materialise every queued columnar block into the set views."""
+        if not self._pending:
+            return
+        with self._pending_lock:
+            pending = self._pending
+            if not pending:
+                return
+            self._pending = []
+            partial = self._partial
+            partial_map = self._partial_map
+            degrees = self._degrees
+            for uris, a_idx, b_idx, counts, k, masks, dimensions in pending:
+                # Bulk set/dict updates: one block can carry millions of
+                # pairs, so the per-pair method-call overhead is worth
+                # skipping.
+                pairs = [
+                    (uris[ai], uris[bi])
+                    for ai, bi in zip(_tolist(a_idx), _tolist(b_idx))
+                ]
+                partial.update(pairs)
+                # True division, not multiply-by-inverse: the degree
+                # must be bit-identical to the python paths' count / k.
+                if k:
+                    degrees.update(
+                        zip(pairs, (count / k for count in _tolist(counts)))
+                    )
+                if masks is not None:
+                    decoded: dict[int, frozenset[URIRef]] = {}
+
+                    def _dims(mask) -> frozenset[URIRef]:
+                        dims = decoded.get(mask)
+                        if dims is None:
+                            dims = frozenset(
+                                dimension
+                                for position, dimension in enumerate(dimensions)
+                                if (mask >> position) & 1
+                            )
+                            decoded[mask] = dims
+                        return dims
+
+                    partial_map.update(zip(pairs, map(_dims, _tolist(masks))))
+
+    @property
+    def partial(self) -> set[Pair]:
+        self._drain()
+        return self._partial
+
+    @partial.setter
+    def partial(self, value: Iterable[Pair]) -> None:
+        self._drain()
+        self._partial = value if isinstance(value, set) else set(value)
+
+    @property
+    def partial_map(self) -> dict[Pair, frozenset[URIRef]]:
+        self._drain()
+        return self._partial_map
+
+    @partial_map.setter
+    def partial_map(self, value: Mapping[Pair, frozenset[URIRef]]) -> None:
+        self._drain()
+        self._partial_map = dict(value)
+
+    @property
+    def degrees(self) -> dict[Pair, float]:
+        self._drain()
+        return self._degrees
+
+    @degrees.setter
+    def degrees(self, value: Mapping[Pair, float]) -> None:
+        self._drain()
+        self._degrees = dict(value)
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        self._drain()
+        return (
+            self.full,
+            self._partial,
+            self.complementary,
+            self._partial_map,
+            self._degrees,
+        )
+
+    def __setstate__(self, state) -> None:
+        self.full, self._partial, self.complementary, self._partial_map, self._degrees = state
+        self._pending = []
+        self._pending_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def add_full(self, container: URIRef, contained: URIRef) -> None:
@@ -124,20 +277,30 @@ class RelationshipSet:
         pair = (container, contained)
         self.partial.add(pair)
         if dimensions is not None:
-            self.partial_map[pair] = dimensions
+            self._partial_map[pair] = dimensions
         if degree is not None:
-            self.degrees[pair] = degree
+            self._degrees[pair] = degree
 
     def add_complementary(self, a: URIRef, b: URIRef) -> None:
         self.complementary.add(canonical(a, b))
 
     def merge(self, other: "RelationshipSet") -> None:
-        """In-place union (used by the clustering method's per-cluster runs)."""
+        """In-place union (used by the clustering method's per-cluster runs).
+
+        Queued columnar blocks are *shared*, not drained: merging is
+        O(sets + block references), and re-merging the same source is
+        idempotent because the drained pairs deduplicate in the set.
+        """
         self.full |= other.full
-        self.partial |= other.partial
         self.complementary |= other.complementary
-        self.partial_map.update(other.partial_map)
-        self.degrees.update(other.degrees)
+        with other._pending_lock:
+            pending = list(other._pending)
+        if pending:
+            with self._pending_lock:
+                self._pending.extend(pending)
+        self._partial |= other._partial
+        self._partial_map.update(other._partial_map)
+        self._degrees.update(other._degrees)
 
     def apply_delta(self, delta: "RelationshipDelta") -> None:
         """Apply one incremental write in O(|delta|).

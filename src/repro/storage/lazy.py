@@ -45,7 +45,12 @@ class SegmentRelationshipSet(RelationshipSet):
 
     def __init__(self, store, partitions=None):
         # Deliberately does NOT call super().__init__ — leaving the
-        # parent's slots unset is what makes __getattr__ fire.
+        # parent's data slots unset is what makes __getattr__ fire.
+        # The columnar-queue state does get initialised (empty): the
+        # parent's partial/partial_map/degrees property setters drain
+        # it during materialisation.
+        self._pending = []
+        self._pending_lock = threading.Lock()
         self._store = store
         #: None = the whole store; otherwise the (dataset, signature)
         #: partition keys this view covers (a cluster shard's slice).
@@ -124,6 +129,32 @@ class SegmentRelationshipSet(RelationshipSet):
                 f"complementary={self._totals.get('complementary', 0)}, lazy)"
             )
         return super().__repr__().replace("RelationshipSet", "SegmentRelationshipSet", 1)
+
+
+def _lazy_view(name: str) -> property:
+    """Materialise-on-first-read wrapper for a parent property view.
+
+    ``partial`` / ``partial_map`` / ``degrees`` are *properties* on
+    :class:`RelationshipSet` (they drain the columnar queue), so unlike
+    the plain ``full`` / ``complementary`` slots their first access
+    never falls through to ``__getattr__``.  Wrap them so a read
+    triggers the segment decode exactly once; the ``materialised``
+    guard (not just delegation) matters because the cluster shard wraps
+    ``_materialise`` with a prune step that itself reads these views.
+    """
+    parent = getattr(RelationshipSet, name)
+
+    def fget(self):
+        if not self.materialised:
+            self._materialise()
+        return parent.fget(self)
+
+    return property(fget, parent.fset, doc=parent.__doc__)
+
+
+for _name in ("partial", "partial_map", "degrees"):
+    setattr(SegmentRelationshipSet, _name, _lazy_view(_name))
+del _name
 
 
 class LazyRelationshipIndex(RelationshipIndex):

@@ -432,3 +432,60 @@ class TestUpdateRelationshipsKernel:
         assert deltas["python"].added_partial == deltas["numpy"].added_partial
         assert deltas["python"].added_complementary == deltas["numpy"].added_complementary
         assert deltas["python"].partial_map == deltas["numpy"].partial_map
+
+
+class TestDimMaskCapacity:
+    """The 64-dimension partial-dimension-mask cap fails at plan-build
+    time with a typed error naming the offending width — never
+    mid-block."""
+
+    def test_ensure_capacity_boundary(self):
+        from repro.core.kernels import DIM_MASK_LIMIT, ensure_dim_mask_capacity
+
+        ensure_dim_mask_capacity(DIM_MASK_LIMIT)  # at the limit: fine
+        with pytest.raises(AlgorithmError) as exc:
+            ensure_dim_mask_capacity(DIM_MASK_LIMIT + 1)
+        assert str(DIM_MASK_LIMIT + 1) in str(exc.value)
+        assert str(DIM_MASK_LIMIT) in str(exc.value)
+
+    def test_plan_build_rejects_wide_bus(self):
+        space = make_varied_space(4, dimension_count=65, seed=52)
+        with pytest.raises(AlgorithmError, match="65"):
+            build_kernel_plan(space, collect_partial_dimensions=True)
+        # Without dimension collection the same bus plans fine.
+        plan = build_kernel_plan(space)
+        assert len(plan.block_slices) == 65
+
+    def test_evaluate_pair_block_rejects_before_any_tile(self):
+        space = make_varied_space(4, dimension_count=65, seed=52)
+        plan = build_kernel_plan(space)
+        rows = np.arange(len(space), dtype=np.int64)
+        with pytest.raises(AlgorithmError, match="65"):
+            evaluate_pair_block(
+                plan, rows, rows, collect_partial_dimensions=True
+            )
+
+    def test_wide_bus_falls_back_to_python_extraction(self):
+        space = make_varied_space(12, dimension_count=65, seed=53, missing_rate=0.3)
+        python = compute_cubemask(
+            space, kernel="python", collect_partial_dimensions=True
+        )
+        numpy_path = compute_cubemask(
+            space, kernel="numpy", collect_partial_dimensions=True
+        )
+        assert numpy_path == python
+        assert numpy_path.partial_map == python.partial_map
+
+    def test_parallel_wide_bus_degrades_to_sequential(self):
+        space = make_varied_space(12, dimension_count=65, seed=53, missing_rate=0.3)
+        parallel = compute_cubemask_parallel(
+            space,
+            workers=2,
+            min_parallel_observations=0,
+            collect_partial_dimensions=True,
+        )
+        sequential = compute_cubemask(
+            space, kernel="python", collect_partial_dimensions=True
+        )
+        assert parallel == sequential
+        assert parallel.partial_map == sequential.partial_map

@@ -2,16 +2,24 @@
 
 Hypothesis drives random spaces (random hierarchies, missing
 dimensions, 0..N observations) through the numpy kernel, the pure
-Python cubeMasking path and the baseline, asserting identical
-``RelationshipSet``s — including degrees and partial-dimension maps —
-and identical pruning statistics.
+Python cubeMasking path, the parallel fan-out's scoring path and the
+baseline, asserting identical ``RelationshipSet``s — including
+degrees and partial-dimension maps — and identical pruning
+statistics.  Chunk/tile boundaries and single-pair work units are
+swept explicitly: a block split at every possible boundary must
+produce the same partial results and dimension masks as one
+monolithic evaluation.
 """
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import compute_baseline, compute_cubemask, update_relationships
 from repro.core.cubemask import STAT_KEYS
+from repro.core.kernels import build_kernel_plan, evaluate_pair_block
+from repro.core.parallel import build_cubemask_state, enumerate_unit_ranges, score_range
+from repro.core.results import RelationshipSet
 
 from tests.property.strategies import observation_spaces
 
@@ -44,6 +52,84 @@ def test_kernel_matches_python_and_baseline(space, prefetch, collect_dims):
         if key.startswith("kernel_"):
             continue  # path-specific by design
         assert python_stats[key] == numpy_stats[key]
+
+
+@given(
+    observation_spaces(max_observations=16),
+    st.booleans(),
+    st.sampled_from([1, 3, 10_000]),
+)
+@settings(max_examples=20, deadline=None)
+def test_parallel_scoring_matches_python(space, collect_dims, unit_size):
+    """The parallel fan-out's scoring path (shared state + columnar
+    worker payloads) agrees with the pure-Python path on partial
+    results *and* ``partial_dim_masks`` — including ``unit_size=1``
+    single-cube-pair payloads and one monolithic range."""
+    targets = ("complementary", "full", "partial")
+    expected = compute_cubemask(
+        space,
+        targets=targets,
+        kernel="python",
+        collect_partial_dimensions=collect_dims,
+    )
+    state = build_cubemask_state(
+        space,
+        targets,
+        kernel="numpy",
+        kernel_threshold=0,
+        collect_partial_dimensions=collect_dims,
+    )
+    result = RelationshipSet()
+    for _, start, stop in enumerate_unit_ranges(len(state["pairs"]), unit_size):
+        result.merge(score_range(state, start, stop))
+    assert result == expected
+    assert result.degrees == expected.degrees
+    if collect_dims:
+        assert result.partial_map == expected.partial_map
+
+
+@given(
+    observation_spaces(max_observations=16),
+    st.sampled_from([1, 2, 7]),
+    st.sampled_from([1, 5, 1 << 20]),
+)
+@settings(max_examples=20, deadline=None)
+def test_pair_block_chunk_and_tile_invariance(space, chunk, tile_pairs):
+    """Chunk and tile boundaries never change the kernel's output:
+    the bitset pass split into 1-row chunks / tiny tiles matches one
+    unsplit evaluation pairwise, masks included."""
+    if len(space) < 2 or not space.dimensions:
+        return
+    plan = build_kernel_plan(space, collect_partial_dimensions=True)
+    rows = np.arange(len(space), dtype=np.int64)
+
+    def snapshot(block):
+        return (
+            sorted(zip(block.full_a.tolist(), block.full_b.tolist())),
+            sorted(zip(block.compl_a.tolist(), block.compl_b.tolist())),
+            sorted(
+                zip(
+                    block.partial_a.tolist(),
+                    block.partial_b.tolist(),
+                    block.partial_counts.tolist(),
+                    block.partial_masks.tolist(),
+                )
+            ),
+        )
+
+    reference = evaluate_pair_block(
+        plan, rows, rows, same_cube=True, collect_partial_dimensions=True
+    )
+    split = evaluate_pair_block(
+        plan,
+        rows,
+        rows,
+        same_cube=True,
+        collect_partial_dimensions=True,
+        chunk=chunk,
+        tile_pairs=tile_pairs,
+    )
+    assert snapshot(split) == snapshot(reference)
 
 
 @given(observation_spaces(max_observations=14), st.integers(min_value=1, max_value=13))

@@ -291,6 +291,21 @@ class TestLazyViews:
         assert view.materialised
         assert_identical(view, random_result)
 
+    @pytest.mark.parametrize("attr", ["partial", "partial_map", "degrees"])
+    def test_lazy_property_views_materialise_on_access(
+        self, store_path, random_result, attr
+    ):
+        """The partial views are *properties* on RelationshipSet (they
+        drain the columnar queue), so their first read must trigger the
+        segment decode explicitly — regression for the shard-serving
+        503s when they fell through to the unset-slot machinery."""
+        store = save_segments(random_result, store_path)
+        view = store.relationship_set()
+        assert not view.materialised
+        assert getattr(view, attr) == getattr(random_result, attr)
+        assert view.materialised
+        assert_identical(view, random_result)
+
     def test_lazy_index_defers_build(self, store_path, random_space, random_result):
         store = save_segments(random_result, store_path, space=random_space)
         index = LazyRelationshipIndex(store.relationship_set(), random_space)
