@@ -362,6 +362,44 @@ def streaming_ingest() -> None:
         )
 
 
+def telemetry_overhead() -> None:
+    """Telemetry-cost rows, read from ``BENCH_obs.json``.
+
+    The overhead probe drives a live server and paired kernel runs,
+    so it is recorded once by ``bench_obs_overhead.py --json
+    BENCH_obs.json`` and replayed here.
+    """
+    header("Telemetry overhead: always-on observability cost")
+    bench_path = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    try:
+        payload = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        print(
+            "no BENCH_obs.json — run "
+            "`PYTHONPATH=src python benchmarks/bench_obs_overhead.py "
+            "--json BENCH_obs.json` to record it"
+        )
+        return
+    kernel = payload.get("kernel") or {}
+    service = payload.get("service") or {}
+    budget = payload.get("budget_pct", 5.0)
+    print(f"{'probe':>10} {'bare':>14} {'telemetry on':>14} {'overhead':>9}")
+    if kernel:
+        print(
+            f"{'kernel':>10} {kernel['pairs_per_s_off']:>12.0f}/s "
+            f"{kernel['pairs_per_s_on']:>12.0f}/s "
+            f"{kernel['overhead_pct']:>+8.1f}%"
+        )
+    if service:
+        print(
+            f"{'service':>10} {service['requests_per_s_off']:>12.0f}/s "
+            f"{service['requests_per_s_on']:>12.0f}/s "
+            f"{service['overhead_pct']:>+8.1f}%"
+        )
+    verdict = "within" if payload.get("within_budget") else "EXCEEDS"
+    print(f"({payload.get('cpus')} cpu; {verdict} the {budget:.0f}% budget)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller sweeps")
@@ -392,6 +430,7 @@ def main(argv=None) -> int:
     kernel_bench_recorded()
     cluster_serve_tier()
     streaming_ingest()
+    telemetry_overhead()
     if not args.quick:
         ablations(space)
     return 0

@@ -392,6 +392,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             request_timeout=args.request_timeout,
             shedder=shedder,
             threads=args.threads,
+            span_dir=args.span_dir,
+            profiler=not args.no_profiler,
+            slow_log_path=args.slow_query_log,
+            slow_query_ms=args.slow_query_ms,
         )
     except OSError as exc:
         raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
@@ -631,6 +635,10 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                 "replica": args.replica,
                 "partitions": len(assigned),
             },
+            span_dir=args.span_dir,
+            profiler=not args.no_profiler,
+            slow_log_path=args.slow_query_log,
+            slow_query_ms=args.slow_query_ms,
         )
     except OSError as exc:
         store.close()
@@ -698,6 +706,10 @@ def _cmd_router(args: argparse.Namespace) -> int:
             reuse_port=args.reuse_port,
             shedder=LoadShedder(max_inflight=args.max_inflight, max_queued=args.max_queued),
             request_timeout=args.request_timeout,
+            span_dir=args.span_dir,
+            profiler=not args.no_profiler,
+            slow_log_path=args.slow_query_log,
+            slow_query_ms=args.slow_query_ms,
         )
     except OSError as exc:
         raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
@@ -732,6 +744,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         spawn_timeout=args.spawn_timeout,
         respawn=not args.no_respawn,
         verbose=args.verbose,
+        span_dir=args.span_dir,
+        profiler=not args.no_profiler,
+        slow_query_dir=args.slow_query_dir,
+        slow_query_ms=args.slow_query_ms,
     )
     stop = threading.Event()
 
@@ -836,6 +852,89 @@ def _cmd_compact(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.spanstore import read_span_files, render_trace
+
+    if bool(args.server) == bool(args.dir):
+        raise ReproError("trace needs exactly one of --server or --dir")
+    if args.server:
+        url = f"{args.server.rstrip('/')}/debug/trace/{args.trace_id}"
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                payload = _json.loads(response.read())
+        except (OSError, ValueError, urllib.error.URLError) as exc:
+            raise ReproError(f"cannot fetch {url}: {exc}") from exc
+        records = payload.get("spans", [])
+        errors = payload.get("errors", [])
+    else:
+        try:
+            records = read_span_files(args.dir, trace_id=args.trace_id)
+        except OSError as exc:
+            raise ReproError(f"cannot read spans from {args.dir}: {exc}") from exc
+        errors = []
+    if not records:
+        print(f"repro: trace: no spans recorded for {args.trace_id}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        print(_json.dumps({"trace_id": args.trace_id, "spans": records}, indent=2))
+    else:
+        print(render_trace(records))
+        print(f"# {len(records)} span(s)", file=sys.stderr)
+    for problem in errors:
+        print(f"# warning: {problem}", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    clear = None
+    if args.no_clear:
+        clear = False
+    return run_top(
+        args.server,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=clear,
+    )
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """The telemetry flags shared by serve, shard and router."""
+    telemetry = parser.add_argument_group(
+        "telemetry", "tracing, profiling and slow queries (docs/observability.md)"
+    )
+    telemetry.add_argument(
+        "--span-dir",
+        metavar="DIR",
+        help="persist finished spans as per-process JSONL files here "
+        "(readable offline with `repro trace --dir`); default: in-memory "
+        "ring only, served via /debug/trace/<id>",
+    )
+    telemetry.add_argument(
+        "--no-profiler",
+        action="store_true",
+        help="disable the always-on low-rate sampling profiler "
+        "(/debug/profile)",
+    )
+    telemetry.add_argument(
+        "--slow-query-log",
+        metavar="FILE",
+        help="append a structured JSONL record for every request slower "
+        "than --slow-query-ms (default: disabled)",
+    )
+    telemetry.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=100.0,
+        help="slow-query threshold in milliseconds (default 100)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1058,6 +1157,7 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_CHAOS environment variable is honoured too "
         "(docs/resilience.md)",
     )
+    _add_telemetry_args(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     ingest = sub.add_parser(
@@ -1218,6 +1318,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of graceful drain on shutdown (default 10)",
     )
     cluster.add_argument("--verbose", action="store_true")
+    telemetry = cluster.add_argument_group(
+        "telemetry", "tracing, profiling and slow queries (docs/observability.md)"
+    )
+    telemetry.add_argument(
+        "--span-dir",
+        metavar="DIR",
+        help="shared span directory; router and every shard worker "
+        "persist per-process JSONL span files here (default: in-memory "
+        "rings, assembled live via /debug/trace/<id>)",
+    )
+    telemetry.add_argument(
+        "--no-profiler",
+        action="store_true",
+        help="disable the always-on sampling profiler on the router "
+        "and every shard worker",
+    )
+    telemetry.add_argument(
+        "--slow-query-dir",
+        metavar="DIR",
+        help="directory for per-process slow-query logs "
+        "(slow-router.jsonl, slow-shard-<s>.<r>.jsonl)",
+    )
+    telemetry.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=100.0,
+        help="slow-query threshold in milliseconds (default 100)",
+    )
     cluster.set_defaults(handler=_cmd_cluster)
 
     shard = sub.add_parser(
@@ -1244,6 +1372,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--max-queued", type=int, default=128)
     shard.add_argument("--drain-timeout", type=float, default=10.0)
     shard.add_argument("--verbose", action="store_true")
+    _add_telemetry_args(shard)
     shard.set_defaults(handler=_cmd_shard)
 
     router = sub.add_parser(
@@ -1268,6 +1397,7 @@ def build_parser() -> argparse.ArgumentParser:
     router.add_argument("--max-queued", type=int, default=128)
     router.add_argument("--drain-timeout", type=float, default=10.0)
     router.add_argument("--verbose", action="store_true")
+    _add_telemetry_args(router)
     router.set_defaults(handler=_cmd_router)
 
     scrub = sub.add_parser(
@@ -1314,6 +1444,62 @@ def build_parser() -> argparse.ArgumentParser:
         "new segments by dataset/lattice signature",
     )
     compact.set_defaults(handler=_cmd_compact)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render one distributed trace as a span tree",
+        description="Assemble and render every span recorded for a trace "
+        "ID — the value of the X-Trace-Id response header.  Either asks "
+        "a live server/router (GET /debug/trace/<id>, which on a router "
+        "scatter/gathers every shard replica), or reads the per-process "
+        "span files a --span-dir produced, offline.",
+    )
+    trace.add_argument("trace_id", help="32-hex trace ID (X-Trace-Id header)")
+    trace.add_argument(
+        "--server",
+        metavar="URL",
+        help="live server or router base URL, e.g. http://127.0.0.1:8080",
+    )
+    trace.add_argument(
+        "--dir",
+        metavar="PATH",
+        help="span directory (or a single spans-<pid>.jsonl file) "
+        "written by --span-dir",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="print raw span records as JSON"
+    )
+    trace.add_argument("--timeout", type=float, default=10.0)
+    trace.set_defaults(handler=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a server or router",
+        description="Poll /metrics and /debug/vars and redraw a plain-text "
+        "dashboard: qps, latency percentiles, per-endpoint table, cache "
+        "hit ratio, breaker state, shard health, changefeed lag.",
+    )
+    top.add_argument(
+        "--server",
+        metavar="URL",
+        default="http://127.0.0.1:8080",
+        help="base URL to poll (default http://127.0.0.1:8080)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh seconds (default 2)"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after this many frames; 0 runs until interrupted",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="never emit ANSI clear codes; print frames sequentially",
+    )
+    top.set_defaults(handler=_cmd_top)
     return parser
 
 

@@ -45,7 +45,15 @@ from pathlib import Path
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.errors import OverloadedError, ReproError
-from repro.obs.tracing import bind_trace, new_trace_id, trace
+from repro.obs import slowlog as _slowlog
+from repro.obs.tracing import (
+    bind_parent_span,
+    bind_trace,
+    current_span_id,
+    new_trace_id,
+    recorder,
+    trace,
+)
 from repro.resilience.breaker import CircuitBreaker, OPEN
 from repro.resilience.deadline import Deadline, bind_deadline, remaining_ms
 from repro.resilience.shed import LoadShedder
@@ -106,6 +114,14 @@ def _metrics():
                 "repro_cluster_scatter_width",
                 "Shards consulted per routed query.",
                 buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            ),
+            "federated": registry.counter(
+                "repro_cluster_federated_scrapes_total",
+                "Federated /metrics scrapes the router assembled.",
+            ),
+            "federation_errors": registry.counter(
+                "repro_cluster_federation_errors_total",
+                "Replica scrapes that failed or were unparseable during federation.",
             ),
         }
     return _METRICS
@@ -482,6 +498,41 @@ class Router:
             raise error
         return out
 
+    def broadcast(
+        self, path: str, headers: dict, timeout: float | None = None
+    ) -> list[tuple[int, int, int | None, bytes]]:
+        """Best-effort GET against every (shard, replica) — telemetry reads.
+
+        Unlike :meth:`call_shard` this neither fails over nor counts
+        breaker failures: a federated ``/metrics`` scrape or a
+        ``/debug/trace`` gather must *show* a sick replica's absence,
+        not mask it behind its healthy peer.  Returns
+        ``(shard, replica, status_or_None, body)`` per endpoint, in
+        (shard, replica) order; ``status None`` means the replica was
+        unreachable and ``body`` carries the error text.
+        """
+        with self._lock:
+            targets = [
+                (shard, replica)
+                for shard, rs in sorted(self._replicas.items())
+                for replica in sorted(rs, key=lambda r: r.replica)
+            ]
+        if not targets:
+            return []
+        budget = timeout if timeout is not None else self.shard_timeout
+
+        def one(shard: int, replica: Replica):
+            try:
+                status, _, body = self._request_once(replica, path, headers, budget)
+                return (shard, replica.replica, status, body)
+            except (OSError, http.client.HTTPException) as exc:
+                return (shard, replica.replica, None, str(exc).encode("utf-8"))
+
+        futures = [
+            self._executor.submit(one, shard, replica) for shard, replica in targets
+        ]
+        return [future.result() for future in futures]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -672,50 +723,73 @@ class RouterHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         segments = [unquote(part) for part in split.path.split("/") if part]
         query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+        parent_span_id = self.headers.get("X-Span-Id") or None
+        deadline_header = self.headers.get("X-Deadline-Ms")
+        started = time.perf_counter()
+        slow_token = _slowlog.begin_request()
+        try:
+            with bind_trace(self._trace_id), bind_parent_span(parent_span_id), trace(
+                "router.request", method=method, path=split.path, role="router"
+            ) as span:
+                if deadline_header is not None:
+                    span.fields["deadline_ms"] = deadline_header
+                self._dispatch_traced(method, segments, query, split.query, span, started)
+        finally:
+            _slowlog.end_request(slow_token)
+
+    def _dispatch_traced(self, method, segments, query, rawquery, span, started) -> None:
         endpoint = "unknown"
         status = 500
-        self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
-        started = time.perf_counter()
-        with bind_trace(self._trace_id), trace(
-            "router.request", method=method, path=split.path
-        ) as span:
-            try:
-                with self.server.shedder.admitted():
-                    with bind_deadline(self._request_deadline()):
-                        endpoint, status, payload, content_type = self._route(
-                            method, segments, query, split.query
-                        )
-                        if payload is not _STREAMED:
-                            self._reply(status, payload, content_type)
-            except _HTTPError as exc:
-                status = exc.status
-                self._reply(status, {"error": str(exc)})
-            except OverloadedError as exc:
-                status = 503
-                self._reply(
-                    status,
-                    {"error": str(exc)},
-                    headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+        try:
+            with self.server.shedder.admitted():
+                with bind_deadline(self._request_deadline()):
+                    endpoint, status, payload, content_type = self._route(
+                        method, segments, query, rawquery
+                    )
+                    if payload is not _STREAMED:
+                        self._reply(status, payload, content_type)
+        except _HTTPError as exc:
+            status = exc.status
+            self._reply(status, {"error": str(exc)})
+        except OverloadedError as exc:
+            status = 503
+            self._reply(
+                status,
+                {"error": str(exc)},
+                headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+            )
+        except ShardUnavailableError as exc:
+            status = 503
+            self._reply(
+                status,
+                {"error": str(exc)},
+                headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+            )
+        except ReproError as exc:
+            status = 400
+            self._reply(status, {"error": str(exc)})
+        except BrokenPipeError:
+            status = 499
+        except Exception as exc:  # pragma: no cover - defensive
+            status = 500
+            self._reply(status, {"error": f"internal error: {exc}"})
+        finally:
+            span.fields["endpoint"] = endpoint
+            span.fields["status"] = status
+            elapsed = time.perf_counter() - started
+            self.server.metrics.observe(endpoint, status, elapsed)
+            log = _slowlog.get_slow_log()
+            if log is not None:
+                log.maybe_record(
+                    endpoint,
+                    elapsed,
+                    status=status,
+                    trace_id=self._trace_id,
+                    span_id=span.span_id,
+                    role="router",
+                    deadline_ms=span.fields.get("deadline_ms"),
                 )
-            except ShardUnavailableError as exc:
-                status = 503
-                self._reply(
-                    status,
-                    {"error": str(exc)},
-                    headers={"Retry-After": str(max(1, round(exc.retry_after)))},
-                )
-            except ReproError as exc:
-                status = 400
-                self._reply(status, {"error": str(exc)})
-            except BrokenPipeError:
-                status = 499
-            except Exception as exc:  # pragma: no cover - defensive
-                status = 500
-                self._reply(status, {"error": f"internal error: {exc}"})
-            finally:
-                span.fields["endpoint"] = endpoint
-                span.fields["status"] = status
-                self.server.metrics.observe(endpoint, status, time.perf_counter() - started)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -729,6 +803,11 @@ class RouterHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _subrequest_headers(self) -> dict:
         headers = {"X-Trace-Id": self._trace_id}
+        # The open router span rides along so the shard's request span
+        # parents onto it — /debug/trace assembles one tree per query.
+        span_id = current_span_id()
+        if span_id is not None:
+            headers["X-Span-Id"] = span_id
         budget = remaining_ms()
         if budget is not None:
             headers["X-Deadline-Ms"] = f"{max(1.0, budget):.0f}"
@@ -742,6 +821,7 @@ class RouterHandler(BaseHTTPRequestHandler):
         Raises 404 when every shard said 404, and propagates the first
         4xx error body otherwise.
         """
+        _slowlog.annotate(fanout=len(shards))
         responses = self.server.router.scatter(
             shards, path, self._subrequest_headers(), timeout
         )
@@ -871,6 +951,67 @@ class RouterHandler(BaseHTTPRequestHandler):
         return "changes-stream", 200, _STREAMED, None
 
     # ------------------------------------------------------------------
+    def _gather_trace(self, trace_id: str):
+        """Scatter/gather every replica's span store into one trace.
+
+        The router's own spans (this very request included, minus the
+        still-open span serving it) merge with each shard replica's
+        ``/debug/trace/<id>`` records; the CLI assembles the tree.
+        Unreachable replicas are reported, not fatal — a partial trace
+        beats none during an incident.
+        """
+        from repro.obs.spanstore import get_span_store
+
+        span_store = get_span_store()
+        records = list(span_store.spans_for(trace_id)) if span_store is not None else []
+        sources = [{"role": "router", "count": len(records)}]
+        errors = []
+        results = self.server.router.broadcast(
+            f"/debug/trace/{_quote(trace_id)}", self._subrequest_headers()
+        )
+        for shard, replica, status, body in results:
+            where = {"shard": shard, "replica": replica}
+            if status != 200:
+                errors.append(
+                    {**where, "error": body.decode("utf-8", "replace")[:200]}
+                )
+                continue
+            try:
+                payload = json.loads(body)
+            except ValueError as exc:
+                errors.append({**where, "error": f"bad JSON: {exc}"})
+                continue
+            spans = payload.get("spans") or []
+            for record in spans:
+                if isinstance(record, dict):
+                    fields = record.setdefault("fields", {})
+                    fields.setdefault("shard", shard)
+                    fields.setdefault("replica", replica)
+                    records.append(record)
+            sources.append({**where, "count": len(spans)})
+        seen: set[str] = set()
+        unique: list[dict] = []
+        for record in records:
+            span_id = record.get("span_id")
+            if span_id and span_id in seen:
+                continue
+            if span_id:
+                seen.add(span_id)
+            unique.append(record)
+        return (
+            "debug-trace",
+            200,
+            {
+                "trace_id": trace_id,
+                "count": len(unique),
+                "sources": sources,
+                "errors": errors,
+                "spans": unique,
+            },
+            "application/json",
+        )
+
+    # ------------------------------------------------------------------
     def _route(self, method: str, segments: list[str], query: dict, rawquery: str):
         router = self.server.router
         if method in ("POST", "DELETE"):
@@ -899,10 +1040,74 @@ class RouterHandler(BaseHTTPRequestHandler):
                 "application/json",
             )
         if segments == ["metrics"]:
-            body = self.server.metrics.render(None)
-            return "metrics", 200, body, "text/plain; version=0.0.4; charset=utf-8"
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            local = self.server.metrics.render(None)
+            if query.get("local"):
+                return "metrics", 200, local, content_type
+            # Federation: one scrape covering the whole tier.  Every
+            # replica's exposition is parsed and re-labelled by
+            # shard/replica; the router's own series stay unlabelled.
+            # A sick replica degrades to an error counter, never a 5xx
+            # — blinding the operator mid-incident is the worst case.
+            from repro.obs.exposition import federate
+
+            metrics = _metrics()
+            results = router.broadcast("/metrics", self._subrequest_headers())
+            scrapes = []
+            for shard, replica, status, body in results:
+                if status == 200:
+                    scrapes.append(
+                        (
+                            {"shard": str(shard), "replica": str(replica)},
+                            body.decode("utf-8", "replace"),
+                        )
+                    )
+                else:
+                    metrics["federation_errors"].inc()
+            body, problems = federate(scrapes, base=local)
+            metrics["federated"].inc()
+            if problems:
+                metrics["federation_errors"].inc(len(problems))
+            return "metrics", 200, body, content_type
         if segments == ["stats"]:
             return "stats", 200, router.stats(), "application/json"
+        if segments == ["debug", "vars"]:
+            from repro.obs.profile import get_continuous_profiler
+            from repro.obs.registry import get_registry
+            from repro.obs.spanstore import get_span_store
+
+            spans = recorder()
+            span_store = get_span_store()
+            slow_log = _slowlog.get_slow_log()
+            profiler = get_continuous_profiler()
+            payload = {
+                "metrics": get_registry().snapshot(),
+                "top_spans": spans.top_spans(20),
+                "recent_spans": spans.recent(20),
+                "spanstore": span_store.stats() if span_store is not None else None,
+                "slow_query_log": slow_log.stats() if slow_log is not None else None,
+                "profiler": profiler.as_dict(10) if profiler is not None else None,
+            }
+            return "debug-vars", 200, payload, "application/json"
+        if segments[:2] == ["debug", "trace"]:
+            if len(segments) != 3:
+                raise _HTTPError(404, "use /debug/trace/<trace_id>")
+            return self._gather_trace(segments[2])
+        if segments == ["debug", "profile"]:
+            from repro.obs.profile import get_continuous_profiler
+
+            profiler = get_continuous_profiler()
+            if profiler is None:
+                raise _HTTPError(404, "continuous profiler not running")
+            limit = _int_param(query, "limit", None)
+            if query.get("format") == "json":
+                return (
+                    "debug-profile",
+                    200,
+                    profiler.as_dict(limit if limit is not None else 20),
+                    "application/json",
+                )
+            return "debug-profile", 200, profiler.render(limit), "text/plain; charset=utf-8"
         if segments == ["cluster"]:
             return "cluster", 200, router.manifest.to_dict(), "application/json"
         if segments and segments[0] == "changes":
@@ -1059,6 +1264,10 @@ class RouterServer(ThreadingHTTPServer):
         threads: int = 0,
         reuse_port: bool = False,
         keepalive_idle: float = 5.0,
+        span_dir: str | None = None,
+        profiler: bool = True,
+        slow_log_path: str | None = None,
+        slow_query_ms: float = 100.0,
     ):
         self.keepalive_idle = float(keepalive_idle)
         #: SO_REUSEPORT lets several router processes share one port —
@@ -1073,9 +1282,19 @@ class RouterServer(ThreadingHTTPServer):
         self.shedder = shedder if shedder is not None else LoadShedder()
         self._pool = _HandlerPool(self, threads) if threads and threads > 0 else None
         from repro.obs import preregister
+        from repro.obs.spanstore import install_span_store
 
         preregister()
         _metrics()  # the repro_cluster_* families appear on first scrape
+        install_span_store(span_dir)
+        if profiler:
+            from repro.obs.profile import start_continuous_profiler
+
+            start_continuous_profiler()
+        if slow_log_path:
+            from repro.obs.slowlog import install_slow_log
+
+            install_slow_log(slow_log_path, threshold_ms=slow_query_ms)
 
     def server_bind(self):
         if self.reuse_port:
@@ -1117,6 +1336,10 @@ def start_router(
     reuse_port: bool = False,
     shedder: LoadShedder | None = None,
     request_timeout: float = 30.0,
+    span_dir: str | None = None,
+    profiler: bool = True,
+    slow_log_path: str | None = None,
+    slow_query_ms: float = 100.0,
 ) -> RouterServer:
     """Bind a :class:`RouterServer` and (optionally) serve in background."""
     server = RouterServer(
@@ -1127,6 +1350,10 @@ def start_router(
         reuse_port=reuse_port,
         shedder=shedder,
         request_timeout=request_timeout,
+        span_dir=span_dir,
+        profiler=profiler,
+        slow_log_path=slow_log_path,
+        slow_query_ms=slow_query_ms,
     )
     if background:
         thread = threading.Thread(

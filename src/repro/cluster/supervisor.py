@@ -92,6 +92,10 @@ class ClusterSupervisor:
         spawn_timeout: float = 30.0,
         respawn: bool = True,
         verbose: bool = False,
+        span_dir: str | os.PathLike | None = None,
+        profiler: bool = True,
+        slow_query_dir: str | os.PathLike | None = None,
+        slow_query_ms: float = 100.0,
     ):
         self.store = str(store)
         self.shards = int(shards)
@@ -105,6 +109,10 @@ class ClusterSupervisor:
         self.spawn_timeout = float(spawn_timeout)
         self.respawn = respawn
         self.verbose = verbose
+        self.span_dir = str(span_dir) if span_dir else None
+        self.profiler = bool(profiler)
+        self.slow_query_dir = Path(slow_query_dir) if slow_query_dir else None
+        self.slow_query_ms = float(slow_query_ms)
         self.manifest: ClusterManifest | None = None
         self.manifest_path = self.rundir / CLUSTER_MANIFEST_NAME
         self.router_server = None
@@ -198,6 +206,18 @@ class ClusterSupervisor:
             command += ["--input", self.input_path]
         if self.verbose:
             command += ["--verbose"]
+        if self.span_dir:
+            command += ["--span-dir", self.span_dir]
+        if not self.profiler:
+            command += ["--no-profiler"]
+        if self.slow_query_dir is not None:
+            self.slow_query_dir.mkdir(parents=True, exist_ok=True)
+            command += [
+                "--slow-query-log",
+                str(self.slow_query_dir / f"slow-{worker.name}.jsonl"),
+                "--slow-query-ms",
+                str(self.slow_query_ms),
+            ]
         env = dict(os.environ)
         # The workers must import the same repro the supervisor runs —
         # prepend its package root whether or not PYTHONPATH was set.
@@ -283,6 +303,14 @@ class ClusterSupervisor:
                 background=True,
                 verbose=self.verbose,
                 threads=self.router_threads,
+                span_dir=self.span_dir,
+                profiler=self.profiler,
+                slow_log_path=(
+                    str(self.slow_query_dir / "slow-router.jsonl")
+                    if self.slow_query_dir is not None
+                    else None
+                ),
+                slow_query_ms=self.slow_query_ms,
             )
         except OSError as exc:
             raise ReproError(f"cannot bind {self.host}:{self.port}: {exc}") from exc

@@ -70,7 +70,14 @@ from repro.core.results import RelationshipSet
 from repro.core.space import ObservationSpace
 from repro.errors import AlgorithmError
 from repro.obs.logging import get_logger
-from repro.obs.tracing import current_trace_id, set_trace_id, trace
+from repro.obs.spanstore import SPAN_DIR_ENV
+from repro.obs.tracing import (
+    current_span_id,
+    current_trace_id,
+    set_parent_span_id,
+    set_trace_id,
+    trace,
+)
 
 __all__ = [
     "compute_cubemask_parallel",
@@ -290,8 +297,13 @@ def prepare_shared_fanout(state: dict):
         kernel_threshold=state["kernel_threshold"],
         collect_partial_dimensions=state.get("collect_partial_dimensions", False),
         # Workers inherit the parent's trace ID so their log records
-        # (and any spans they open) correlate with the run.
+        # (and any spans they open) correlate with the run, plus the
+        # parent's open span ID so worker-side spans parent onto the
+        # coordinating span across the process boundary — one
+        # assembled tree per compute run.
         trace_id=current_trace_id(),
+        parent_span_id=current_span_id(),
+        span_dir=os.environ.get(SPAN_DIR_ENV) or None,
     )
     return segment, meta
 
@@ -311,6 +323,13 @@ def _initializer(segment_name: str, meta: dict, fault_plan=None) -> None:
 
     inject("worker.start")
     set_trace_id(meta.get("trace_id"))
+    set_parent_span_id(meta.get("parent_span_id"))
+    if meta.get("span_dir"):
+        # Workers persist their own per-PID JSONL span ring next to
+        # the parent's, so `repro trace --dir` sees the whole run.
+        from repro.obs.spanstore import install_span_store
+
+        install_span_store(meta["span_dir"])
     segment, views = _kernels.attach_arrays(segment_name, meta["layout"])
     plan = _kernels.KernelPlan(
         dimensions=meta["dimensions"],

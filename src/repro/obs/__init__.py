@@ -27,7 +27,13 @@ from repro.obs.logging import (
     log_event,
     remove_handler,
 )
-from repro.obs.profile import SamplingProfiler
+from repro.obs.profile import (
+    ContinuousProfiler,
+    SamplingProfiler,
+    get_continuous_profiler,
+    start_continuous_profiler,
+    stop_continuous_profiler,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -36,14 +42,35 @@ from repro.obs.registry import (
     escape_label_value,
     get_registry,
 )
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    annotate,
+    get_slow_log,
+    install_slow_log,
+    uninstall_slow_log,
+)
+from repro.obs.spanstore import (
+    SpanStore,
+    assemble_trace,
+    get_span_store,
+    install_span_store,
+    read_span_files,
+    render_trace,
+    uninstall_span_store,
+)
 from repro.obs.tracing import (
     Span,
     SpanRecorder,
+    add_span_sink,
+    bind_parent_span,
     bind_trace,
     current_span,
+    current_span_id,
     current_trace_id,
     new_trace_id,
     recorder,
+    remove_span_sink,
+    set_parent_span_id,
     set_trace_id,
     trace,
 )
@@ -57,7 +84,12 @@ def preregister() -> None:
     this at startup so ``/metrics`` shows every family (zero-valued)
     from the very first scrape.
     """
+    from repro.cluster import router as cluster_router
+    from repro.cluster import supervisor as cluster_supervisor
     from repro.core import cubemask, kernels, parallel, runner
+    from repro.obs import profile as obs_profile
+    from repro.obs import slowlog as obs_slowlog
+    from repro.obs import spanstore as obs_spanstore
     from repro.resilience import breaker, deadline, faults, scrub, shed
     from repro.service import engine as service_engine
     from repro.storage import store, wal
@@ -77,6 +109,11 @@ def preregister() -> None:
     service_engine._metrics()
     changefeed._metrics()
     ingest._metrics()
+    cluster_router._metrics()
+    cluster_supervisor._metrics()
+    obs_spanstore._metrics()
+    obs_slowlog._metrics()
+    obs_profile._prof_metrics()
     from repro.service import server as service_server
 
     service_server._sse_metrics()
@@ -84,29 +121,58 @@ def preregister() -> None:
         "repro_storage_lazy_materialisations_total",
         "Lazy segment views materialised on first access.",
     )
+    get_registry().counter(
+        "repro_parallel_shm_publishes_total",
+        "Shared-memory kernel-plan segments published for worker fan-out.",
+    )
+    get_registry().counter(
+        "repro_parallel_shm_bytes_total",
+        "Bytes published into shared-memory fan-out segments.",
+    )
 
 
 __all__ = [
+    "ContinuousProfiler",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonLinesFormatter",
     "MetricsRegistry",
     "SamplingProfiler",
+    "SlowQueryLog",
     "Span",
     "SpanRecorder",
+    "SpanStore",
+    "add_span_sink",
+    "annotate",
+    "assemble_trace",
+    "bind_parent_span",
     "bind_trace",
     "configure_jsonl",
     "current_span",
+    "current_span_id",
     "current_trace_id",
     "escape_label_value",
+    "get_continuous_profiler",
     "get_logger",
     "get_registry",
+    "get_slow_log",
+    "get_span_store",
+    "install_slow_log",
+    "install_span_store",
     "log_event",
     "new_trace_id",
     "preregister",
+    "read_span_files",
     "recorder",
     "remove_handler",
+    "remove_span_sink",
+    "render_trace",
+    "set_parent_span_id",
     "set_trace_id",
+    "start_continuous_profiler",
+    "stop_continuous_profiler",
     "trace",
+    "uninstall_slow_log",
+    "uninstall_span_store",
 ]

@@ -20,15 +20,30 @@ Usage::
     with SamplingProfiler() as profiler:
         expensive()
     print(profiler.report())
+
+:class:`ContinuousProfiler` is the always-on variant servers run: a
+low-Hz sampler over *all* threads accumulating collapsed stacks
+(``root;caller;leaf count`` — the flamegraph input format) into
+rotating time windows, optionally dumped to rotating files, served on
+``GET /debug/profile``.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 import time
+from collections import deque
+from pathlib import Path
 
-__all__ = ["SamplingProfiler"]
+__all__ = [
+    "ContinuousProfiler",
+    "SamplingProfiler",
+    "get_continuous_profiler",
+    "start_continuous_profiler",
+    "stop_continuous_profiler",
+]
 
 
 class SamplingProfiler:
@@ -163,3 +178,220 @@ def _short_path(filename: str) -> str:
             return "repro/" + filename[index + len(marker):].replace("\\", "/")
     parts = filename.replace("\\", "/").rsplit("/", 2)
     return "/".join(parts[-2:])
+
+
+def _prof_metrics():
+    from repro.obs.registry import get_registry
+
+    registry = get_registry()
+    return (
+        registry.counter(
+            "repro_obs_profiler_samples_total",
+            "Stack samples taken by the continuous profiler.",
+        ),
+        registry.counter(
+            "repro_obs_profiler_windows_total",
+            "Profile windows rotated by the continuous profiler.",
+        ),
+    )
+
+
+class ContinuousProfiler:
+    """Always-on low-Hz sampler over all threads, collapsed-stack output.
+
+    Samples every ``interval`` seconds (default 10 Hz — low enough
+    that the sampling thread is invisible next to request work) and
+    accumulates collapsed stacks per time window.  Windows rotate
+    every ``window_seconds`` and the last ``windows`` are retained, so
+    ``collapsed()`` always answers "where has this process spent the
+    last few minutes" without unbounded growth.  With ``dump_dir``
+    set, each rotated window is also written as a
+    ``profile-<pid>-<seq>.collapsed`` file (``stack count`` lines —
+    feed them straight to a flamegraph tool), keeping only the newest
+    ``windows`` files.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.1,
+        window_seconds: float = 60.0,
+        windows: int = 5,
+        dump_dir: str | os.PathLike | None = None,
+        max_depth: int = 64,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if windows < 1:
+            raise ValueError("windows must be >= 1")
+        self.interval = interval
+        self.window_seconds = window_seconds
+        self.windows = windows
+        self.max_depth = max_depth
+        self.dump_dir = Path(dump_dir) if dump_dir else None
+        self._lock = threading.Lock()
+        self._current: dict[str, int] = {}
+        self._retained: deque[dict[str, int]] = deque(maxlen=max(1, windows - 1))
+        self._samples = 0
+        self._rotations = 0
+        self._dump_seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ContinuousProfiler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cont-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "ContinuousProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        sampled, rotated = _prof_metrics()
+        own_ident = threading.get_ident()
+        window_start = time.monotonic()
+        while not self._stop.wait(self.interval):
+            now = time.monotonic()
+            frames = sys._current_frames()
+            stacks: list[str] = []
+            for ident, frame in frames.items():
+                if ident == own_ident:
+                    continue
+                parts: list[str] = []
+                depth = 0
+                while frame is not None and depth < self.max_depth:
+                    code = frame.f_code
+                    parts.append(f"{_short_path(code.co_filename)}:{code.co_name}")
+                    frame = frame.f_back
+                    depth += 1
+                if parts:
+                    stacks.append(";".join(reversed(parts)))
+            del frames
+            with self._lock:
+                for stack in stacks:
+                    self._current[stack] = self._current.get(stack, 0) + 1
+                self._samples += len(stacks)
+                if now - window_start >= self.window_seconds:
+                    self._rotate_locked()
+                    window_start = now
+                    rotated.inc()
+            sampled.inc(len(stacks))
+
+    def _rotate_locked(self) -> None:
+        window, self._current = self._current, {}
+        self._retained.append(window)
+        self._rotations += 1
+        if self.dump_dir is not None and window:
+            self._dump_seq += 1
+            path = self.dump_dir / f"profile-{os.getpid()}-{self._dump_seq}.collapsed"
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    for stack, count in sorted(window.items(), key=lambda kv: -kv[1]):
+                        handle.write(f"{stack} {count}\n")
+                dumps = sorted(
+                    self.dump_dir.glob(f"profile-{os.getpid()}-*.collapsed"),
+                    key=lambda p: int(p.stem.rsplit("-", 1)[1]),
+                )
+                if len(dumps) > self.windows:
+                    for stale in dumps[: len(dumps) - self.windows]:
+                        stale.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def rotate(self) -> None:
+        """Force a window rotation (tests; shutdown flush)."""
+        with self._lock:
+            self._rotate_locked()
+
+    # ------------------------------------------------------------------
+    def collapsed(self) -> dict[str, int]:
+        """Merged collapsed stacks over the retained windows + current."""
+        merged: dict[str, int] = {}
+        with self._lock:
+            for window in list(self._retained) + [self._current]:
+                for stack, count in window.items():
+                    merged[stack] = merged.get(stack, 0) + count
+        return merged
+
+    def render(self, limit: int | None = None) -> str:
+        """``stack count`` lines, hottest first (flamegraph input)."""
+        rows = sorted(self.collapsed().items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit is not None:
+            rows = rows[:limit]
+        if not rows:
+            return "(no samples yet)\n"
+        return "\n".join(f"{stack} {count}" for stack, count in rows) + "\n"
+
+    def as_dict(self, limit: int = 20) -> dict:
+        rows = sorted(self.collapsed().items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+        with self._lock:
+            return {
+                "interval_seconds": self.interval,
+                "window_seconds": self.window_seconds,
+                "windows_retained": len(self._retained),
+                "samples": self._samples,
+                "rotations": self._rotations,
+                "running": self._thread is not None,
+                "started_at": self._started_at,
+                "hottest": [
+                    {"stack": stack, "count": count} for stack, count in rows
+                ],
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-wide continuous profiler
+
+_CONTINUOUS: ContinuousProfiler | None = None
+_CONTINUOUS_LOCK = threading.Lock()
+
+
+def start_continuous_profiler(
+    interval: float = 0.1,
+    window_seconds: float = 60.0,
+    windows: int = 5,
+    dump_dir: str | os.PathLike | None = None,
+) -> ContinuousProfiler:
+    """Get-or-create-and-start the process-wide continuous profiler."""
+    global _CONTINUOUS
+    with _CONTINUOUS_LOCK:
+        if _CONTINUOUS is None:
+            _CONTINUOUS = ContinuousProfiler(
+                interval=interval,
+                window_seconds=window_seconds,
+                windows=windows,
+                dump_dir=dump_dir,
+            )
+        _CONTINUOUS.start()
+        return _CONTINUOUS
+
+
+def get_continuous_profiler() -> ContinuousProfiler | None:
+    return _CONTINUOUS
+
+
+def stop_continuous_profiler() -> None:
+    global _CONTINUOUS
+    with _CONTINUOUS_LOCK:
+        if _CONTINUOUS is not None:
+            _CONTINUOUS.stop()
+            _CONTINUOUS = None

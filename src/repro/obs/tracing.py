@@ -38,11 +38,16 @@ from contextlib import contextmanager
 __all__ = [
     "Span",
     "SpanRecorder",
+    "add_span_sink",
+    "bind_parent_span",
     "bind_trace",
     "current_span",
+    "current_span_id",
     "current_trace_id",
     "new_trace_id",
     "recorder",
+    "remove_span_sink",
+    "set_parent_span_id",
     "set_trace_id",
     "trace",
 ]
@@ -55,6 +60,13 @@ _CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
 #: (e.g. between CLI phases, or inside a pool worker).
 _TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
     "repro_obs_trace_id", default=None
+)
+#: A *remote* parent span ID bound to this context — the span on the
+#: other side of an ``X-Span-Id`` HTTP hop or a pool-worker fan-out.
+#: The first span opened in the context parents onto it, stitching the
+#: cross-process tree together.
+_REMOTE_PARENT: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_remote_parent", default=None
 )
 
 
@@ -84,6 +96,23 @@ def set_trace_id(trace_id: str | None):
     return _TRACE_ID.set(trace_id)
 
 
+def current_span_id() -> str | None:
+    """The innermost open span's ID (what ``X-Span-Id`` should carry)."""
+    span = _CURRENT_SPAN.get()
+    return span.span_id if span is not None else None
+
+
+def set_parent_span_id(span_id: str | None):
+    """Bind a remote parent span ID to the current context.
+
+    Pool workers call this from their initializer (the fan-out ships
+    the parent's open span ID in its metadata) so worker-side spans
+    parent onto the coordinating span across the process boundary.
+    Returns a reset token.
+    """
+    return _REMOTE_PARENT.set(span_id)
+
+
 @contextmanager
 def bind_trace(trace_id: str | None = None):
     """Context manager: bind (or mint) a trace ID for the duration."""
@@ -92,6 +121,22 @@ def bind_trace(trace_id: str | None = None):
         yield _TRACE_ID.get()
     finally:
         _TRACE_ID.reset(token)
+
+
+@contextmanager
+def bind_parent_span(span_id: str | None):
+    """Context manager: adopt a remote parent span ID for the duration.
+
+    HTTP handlers bind the inbound ``X-Span-Id`` header here so the
+    request span they open becomes a child of the caller's span —
+    that is what lets ``/debug/trace/<id>`` assemble router and shard
+    spans into one tree.
+    """
+    token = _REMOTE_PARENT.set(span_id)
+    try:
+        yield
+    finally:
+        _REMOTE_PARENT.reset(token)
 
 
 class Span:
@@ -213,10 +258,32 @@ class SpanRecorder:
 
 _RECORDER = SpanRecorder()
 
+#: Extra consumers of finished spans (the span store, test probes).
+#: Sinks receive the JSONL-ready record dict; a sink that raises is
+#: dropped from the path for that span but never breaks the traced
+#: operation.
+_SINKS: list = []
+_SINKS_LOCK = threading.Lock()
+
 
 def recorder() -> SpanRecorder:
     """The process-wide span recorder (the ``/debug/vars`` source)."""
     return _RECORDER
+
+
+def add_span_sink(sink) -> None:
+    """Register a callable fed every finished span's record dict."""
+    with _SINKS_LOCK:
+        if sink not in _SINKS:
+            _SINKS.append(sink)
+
+
+def remove_span_sink(sink) -> None:
+    with _SINKS_LOCK:
+        try:
+            _SINKS.remove(sink)
+        except ValueError:
+            pass
 
 
 @contextmanager
@@ -233,7 +300,7 @@ def trace(name: str, **fields):
     span = Span(
         name,
         trace_id=current_trace_id(),
-        parent_id=parent.span_id if parent is not None else None,
+        parent_id=parent.span_id if parent is not None else _REMOTE_PARENT.get(),
         fields=fields,
     )
     token = _CURRENT_SPAN.set(span)
@@ -247,6 +314,15 @@ def trace(name: str, **fields):
         span.finish()
         _RECORDER.record(span)
         _emit(span)
+        if _SINKS:
+            record = span.to_record()
+            with _SINKS_LOCK:
+                sinks = list(_SINKS)
+            for sink in sinks:
+                try:
+                    sink(record)
+                except Exception:
+                    pass
 
 
 def _emit(span: Span) -> None:

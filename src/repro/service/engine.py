@@ -109,6 +109,8 @@ class QueryEngine:
     # generation it is stamped with cannot change mid-computation.
     # ------------------------------------------------------------------
     def _cached(self, key: tuple, compute):
+        from repro.obs.slowlog import annotate
+
         with self.lock.read_locked():
             generation = self.generation
             value = self.cache.get(key, generation)
@@ -116,9 +118,12 @@ class QueryEngine:
                 # A cache hit is too cheap to be worth cancelling; a
                 # miss may materialise segments, so spend the request's
                 # remaining budget here (and at every segment below).
+                annotate(cache="miss")
                 check_deadline("engine.query")
                 value = compute()
                 self.cache.put(key, generation, value)
+            else:
+                annotate(cache="hit")
             return value
 
     def _require_known(self, uri: URIRef) -> None:

@@ -58,16 +58,16 @@ class ServiceMetrics:
         )
         self._latency = self._registry.histogram(
             "repro_request_latency_seconds",
-            "Request latency, by endpoint.",
+            "Request latency, by endpoint and status (RED duration).",
             buckets=self.buckets,
-            labelnames=("endpoint",),
+            labelnames=("endpoint", "status"),
         )
 
     # ------------------------------------------------------------------
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one served request."""
         self._requests.inc(endpoint=endpoint, status=int(status))
-        self._latency.observe(seconds, endpoint=endpoint)
+        self._latency.observe(seconds, endpoint=endpoint, status=int(status))
 
     def request_count(self, endpoint: str | None = None) -> int:
         return int(

@@ -19,6 +19,9 @@ Observation ids are percent-encoded URIs in the path::
     DELETE /observations/<id>                      incremental retract
     GET    /changes?since=&timeout=&limit=         changefeed (long-poll)
     GET    /changes/stream?since=&heartbeat=       changefeed (SSE)
+    GET    /debug/vars                             registry + span snapshot
+    GET    /debug/trace/<trace_id>                 this process's span store
+    GET    /debug/profile?limit=&format=json       collapsed-stack profile
 
 Thread safety comes from the engine's readers–writer lock: the handler
 pool serves GETs concurrently under the shared side while POST/DELETE
@@ -61,7 +64,14 @@ from repro.errors import (
     ServiceError,
     UnknownObservationError,
 )
-from repro.obs.tracing import bind_trace, new_trace_id, recorder, trace
+from repro.obs import slowlog as _slowlog
+from repro.obs.tracing import (
+    bind_parent_span,
+    bind_trace,
+    new_trace_id,
+    recorder,
+    trace,
+)
 from repro.rdf.terms import URIRef
 from repro.resilience.deadline import Deadline, bind_deadline, current_deadline
 from repro.resilience.faults import inject
@@ -73,6 +83,11 @@ __all__ = ["RelationshipServer", "start_server"]
 
 #: Header carrying the client's per-request budget in milliseconds.
 DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: Header carrying the caller's open span ID: the request span parents
+#: onto it, so ``/debug/trace/<id>`` can assemble router and shard
+#: spans into one tree across process boundaries.
+SPAN_HEADER = "X-Span-Id"
 
 #: Sentinel a route returns when it already wrote the response itself
 #: (the SSE changefeed stream) — ``_dispatch`` must not reply again.
@@ -102,6 +117,16 @@ def _sse_metrics():
             "streams": registry.gauge(
                 "repro_stream_sse_subscribers",
                 "Currently connected SSE changefeed subscribers.",
+            ),
+            "longpoll_wait": registry.histogram(
+                "repro_stream_longpoll_wait_seconds",
+                "Time /changes requests spent blocked waiting for new records.",
+                buckets=(0.005, 0.05, 0.25, 1.0, 5.0, 15.0, 30.0, 60.0),
+            ),
+            "sse_write": registry.histogram(
+                "repro_stream_sse_write_seconds",
+                "Per-burst SSE serialisation+flush latency.",
+                buckets=(0.0005, 0.005, 0.05, 0.25, 1.0, 5.0),
             ),
         }
     return _SSE_METRICS
@@ -279,58 +304,86 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         segments = [unquote(part) for part in split.path.split("/") if part]
         query = {key: values[-1] for key, values in parse_qs(split.query).items()}
-        endpoint = "unknown"
-        status = 500
         # The request's trace ID: honoured from the caller's
         # ``X-Trace-Id`` header (so a client can stitch our spans into
         # its own trace), minted otherwise; echoed on every response.
+        # ``X-Span-Id`` names the caller's open span — our request
+        # span becomes its child, which is what stitches the
+        # router→shard hop into one assembled tree.
         self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+        parent_span_id = self.headers.get(SPAN_HEADER) or None
+        deadline_header = self.headers.get(DEADLINE_HEADER)
         started = time.perf_counter()
-        with bind_trace(self._trace_id), trace(
-            "http.request", method=method, path=split.path
-        ) as span:
-            try:
-                with self.server.shedder.admitted():
-                    inject("http.handler")
-                    with bind_deadline(self._request_deadline()):
-                        endpoint, status, payload, content_type = self._route(
-                            method, segments, query
-                        )
-                        if payload is not _STREAMED:
-                            self._reply(status, payload, content_type)
-            except _HTTPError as exc:
-                status = exc.status
-                self._reply(status, {"error": str(exc)})
-            except DeadlineExceededError as exc:
-                status = 504
-                self._reply(status, {"error": str(exc)})
-            except (CircuitOpenError, OverloadedError) as exc:
-                # Both are backpressure: tell the client when to come
-                # back instead of letting it hammer a sick server.
-                status = 503
-                self._reply(
-                    status,
-                    {"error": str(exc)},
-                    headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+        slow_token = _slowlog.begin_request()
+        span_id = None
+        try:
+            with bind_trace(self._trace_id), bind_parent_span(parent_span_id), trace(
+                "http.request", method=method, path=split.path, role=self.server.role
+            ) as span:
+                span_id = span.span_id
+                if deadline_header is not None:
+                    span.fields["deadline_ms"] = deadline_header
+                self._dispatch_traced(method, segments, query, span, started)
+        finally:
+            _slowlog.end_request(slow_token)
+
+    def _dispatch_traced(self, method, segments, query, span, started) -> None:
+        endpoint = "unknown"
+        status = 500
+        try:
+            with self.server.shedder.admitted():
+                inject("http.handler")
+                with bind_deadline(self._request_deadline()):
+                    endpoint, status, payload, content_type = self._route(
+                        method, segments, query
+                    )
+                    if payload is not _STREAMED:
+                        self._reply(status, payload, content_type)
+        except _HTTPError as exc:
+            status = exc.status
+            self._reply(status, {"error": str(exc)})
+        except DeadlineExceededError as exc:
+            status = 504
+            self._reply(status, {"error": str(exc)})
+        except (CircuitOpenError, OverloadedError) as exc:
+            # Both are backpressure: tell the client when to come
+            # back instead of letting it hammer a sick server.
+            status = 503
+            self._reply(
+                status,
+                {"error": str(exc)},
+                headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+            )
+        except UnknownObservationError as exc:
+            status = 404
+            self._reply(status, {"error": str(exc)})
+        except ServiceError as exc:
+            status = 409
+            self._reply(status, {"error": str(exc)})
+        except ReproError as exc:
+            status = 400
+            self._reply(status, {"error": str(exc)})
+        except BrokenPipeError:
+            status = 499  # client went away; nothing to send
+        except Exception as exc:  # pragma: no cover - defensive
+            status = 500
+            self._reply(status, {"error": f"internal error: {exc}"})
+        finally:
+            span.fields["endpoint"] = endpoint
+            span.fields["status"] = status
+            elapsed = time.perf_counter() - started
+            self.server.metrics.observe(endpoint, status, elapsed)
+            log = _slowlog.get_slow_log()
+            if log is not None:
+                log.maybe_record(
+                    endpoint,
+                    elapsed,
+                    status=status,
+                    trace_id=self._trace_id,
+                    span_id=span.span_id,
+                    role=self.server.role,
+                    deadline_ms=span.fields.get("deadline_ms"),
                 )
-            except UnknownObservationError as exc:
-                status = 404
-                self._reply(status, {"error": str(exc)})
-            except ServiceError as exc:
-                status = 409
-                self._reply(status, {"error": str(exc)})
-            except ReproError as exc:
-                status = 400
-                self._reply(status, {"error": str(exc)})
-            except BrokenPipeError:
-                status = 499  # client went away; nothing to send
-            except Exception as exc:  # pragma: no cover - defensive
-                status = 500
-                self._reply(status, {"error": f"internal error: {exc}"})
-            finally:
-                span.fields["endpoint"] = endpoint
-                span.fields["status"] = status
-                self.server.metrics.observe(endpoint, status, time.perf_counter() - started)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -416,15 +469,67 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         if segments == ["stats"] and method == "GET":
             return "stats", 200, engine.stats(), "application/json"
         if segments == ["debug", "vars"] and method == "GET":
+            from repro.obs.profile import get_continuous_profiler
             from repro.obs.registry import get_registry
+            from repro.obs.spanstore import get_span_store
 
             spans = recorder()
+            span_store = get_span_store()
+            slow_log = _slowlog.get_slow_log()
+            profiler = get_continuous_profiler()
             payload = {
                 "metrics": get_registry().snapshot(),
                 "top_spans": spans.top_spans(20),
                 "recent_spans": spans.recent(20),
+                "spanstore": span_store.stats() if span_store is not None else None,
+                "slow_query_log": slow_log.stats() if slow_log is not None else None,
+                "profiler": profiler.as_dict(10) if profiler is not None else None,
             }
             return "debug-vars", 200, payload, "application/json"
+        if segments[:2] == ["debug", "trace"] and method == "GET":
+            if len(segments) != 3:
+                raise _HTTPError(404, "use /debug/trace/<trace_id>")
+            from repro.obs.spanstore import get_span_store
+
+            span_store = get_span_store()
+            records = (
+                span_store.spans_for(segments[2]) if span_store is not None else []
+            )
+            return (
+                "debug-trace",
+                200,
+                {
+                    "trace_id": segments[2],
+                    "role": self.server.role,
+                    "count": len(records),
+                    "spans": records,
+                },
+                "application/json",
+            )
+        if segments == ["debug", "profile"] and method == "GET":
+            from repro.obs.profile import get_continuous_profiler
+
+            profiler = get_continuous_profiler()
+            if profiler is None:
+                raise _HTTPError(
+                    404,
+                    "continuous profiler not running (serve without "
+                    "--no-profiler to enable it)",
+                )
+            limit = self._int_param(query, "limit", None)
+            if query.get("format") == "json":
+                return (
+                    "debug-profile",
+                    200,
+                    profiler.as_dict(limit if limit is not None else 20),
+                    "application/json",
+                )
+            return (
+                "debug-profile",
+                200,
+                profiler.render(limit),
+                "text/plain; charset=utf-8",
+            )
         if segments and segments[0] == "changes":
             if method != "GET":
                 raise _HTTPError(405, f"{method} not allowed on /changes")
@@ -574,7 +679,9 @@ class RelationshipHandler(BaseHTTPRequestHandler):
         if limit < 1:
             raise _HTTPError(400, f"limit must be >= 1, got {limit}")
         timeout = self._longpoll_budget(query)
+        waited = time.perf_counter()
         records = feed.wait_for(since, timeout=timeout, limit=limit)
+        _sse_metrics()["longpoll_wait"].observe(time.perf_counter() - waited)
         payload = {
             "since": since,
             "head": feed.head_offset,
@@ -640,6 +747,7 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                         break
                 records = feed.wait_for(cursor, timeout=budget, limit=MAX_CHANGE_BATCH)
                 if records:
+                    write_started = time.perf_counter()
                     for record in records:
                         body = json.dumps(record, default=str)
                         self.wfile.write(
@@ -647,6 +755,7 @@ class RelationshipHandler(BaseHTTPRequestHandler):
                         )
                     cursor = records[-1]["offset"]
                     self.wfile.flush()
+                    metrics["sse_write"].observe(time.perf_counter() - write_started)
                     metrics["events"].inc(len(records))
                 else:
                     self.wfile.write(b": heartbeat\n\n")
@@ -757,6 +866,10 @@ class RelationshipServer(ThreadingHTTPServer):
         role: str = "serve",
         extra_health=None,
         keepalive_idle: float = 5.0,
+        span_dir: str | None = None,
+        profiler: bool = True,
+        slow_log_path: str | None = None,
+        slow_query_ms: float = 100.0,
     ):
         super().__init__(address, RelationshipHandler)
         self.engine = engine
@@ -783,8 +896,20 @@ class RelationshipServer(ThreadingHTTPServer):
         # the very first /metrics scrape instead of trickling in as
         # compute and storage paths first run.
         from repro.obs import preregister
+        from repro.obs.spanstore import install_span_store
 
         preregister()
+        # The span store backs /debug/trace/<id>; ``span_dir`` (or
+        # $REPRO_SPAN_DIR) adds the JSONL ring on disk.
+        install_span_store(span_dir)
+        if profiler:
+            from repro.obs.profile import start_continuous_profiler
+
+            start_continuous_profiler()
+        if slow_log_path:
+            from repro.obs.slowlog import install_slow_log
+
+            install_slow_log(slow_log_path, threshold_ms=slow_query_ms)
 
     def process_request(self, request, client_address):
         if self._pool is not None:
@@ -826,6 +951,10 @@ def start_server(
     read_only: bool = False,
     role: str = "serve",
     extra_health=None,
+    span_dir: str | None = None,
+    profiler: bool = True,
+    slow_log_path: str | None = None,
+    slow_query_ms: float = 100.0,
 ) -> RelationshipServer:
     """Bind a :class:`RelationshipServer` and (optionally) serve.
 
@@ -848,6 +977,10 @@ def start_server(
         read_only=read_only,
         role=role,
         extra_health=extra_health,
+        span_dir=span_dir,
+        profiler=profiler,
+        slow_log_path=slow_log_path,
+        slow_query_ms=slow_query_ms,
     )
     if background:
         thread = threading.Thread(

@@ -1,0 +1,135 @@
+"""The always-on continuous profiler: sampling, window rotation,
+collapsed-stack dumps and the process-wide singleton."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    ContinuousProfiler,
+    get_continuous_profiler,
+    start_continuous_profiler,
+    stop_continuous_profiler,
+)
+
+
+def busy_wait(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(500))
+
+
+@pytest.fixture
+def worker():
+    stop = threading.Event()
+    thread = threading.Thread(target=busy_wait, args=(stop,), daemon=True)
+    thread.start()
+    yield
+    stop.set()
+    thread.join()
+
+
+class TestSampling:
+    def test_collects_collapsed_stacks(self, worker):
+        profiler = ContinuousProfiler(interval=0.005, window_seconds=60.0)
+        profiler.start()
+        time.sleep(0.2)
+        profiler.stop()
+        stacks = profiler.collapsed()
+        assert stacks, "no samples collected"
+        # Root-first collapsed format: frames joined by ';', each
+        # file:function.
+        assert any("busy_wait" in stack for stack in stacks)
+        for stack in stacks:
+            assert all(":" in frame for frame in stack.split(";"))
+
+    def test_render_is_flamegraph_input(self, worker):
+        profiler = ContinuousProfiler(interval=0.005)
+        profiler.start()
+        time.sleep(0.1)
+        profiler.stop()
+        lines = profiler.render(limit=5).splitlines()
+        assert 0 < len(lines) <= 5
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+
+    def test_render_empty(self):
+        assert ContinuousProfiler().render() == "(no samples yet)\n"
+
+    def test_excludes_own_thread(self):
+        # An otherwise idle process: the sampler must not sample its own
+        # sampling loop.  (Stop the process-wide singleton first — its
+        # sampler thread is a *different* thread and would legitimately
+        # show up in our local profiler's samples.)
+        stop_continuous_profiler()
+        profiler = ContinuousProfiler(interval=0.005)
+        profiler.start()
+        time.sleep(0.05)
+        profiler.stop()
+        frames = {
+            frame for stack in profiler.collapsed() for frame in stack.split(";")
+        }
+        assert "repro/obs/profile.py:_run" not in frames
+
+
+class TestWindows:
+    def test_rotation_retains_bounded_windows(self, worker):
+        profiler = ContinuousProfiler(interval=0.005, windows=3)
+        profiler.start()
+        time.sleep(0.1)
+        profiler.stop()
+        before = sum(profiler.collapsed().values())
+        for _ in range(10):
+            profiler.rotate()
+        # Windows beyond the retention bound are discarded, but recent
+        # samples survive rotation in the retained deque.
+        assert profiler.as_dict()["rotations"] == 10
+        assert profiler.as_dict()["windows_retained"] <= 2  # maxlen windows-1
+
+    def test_dump_dir_pruned_to_newest(self, tmp_path, worker):
+        profiler = ContinuousProfiler(interval=0.005, windows=2, dump_dir=tmp_path)
+        profiler.start()
+        for _ in range(5):
+            time.sleep(0.05)
+            profiler.rotate()
+        profiler.stop()
+        dumps = sorted(tmp_path.glob("profile-*.collapsed"))
+        assert 0 < len(dumps) <= 2
+        text = dumps[-1].read_text()
+        for line in text.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+
+    def test_as_dict_shape(self):
+        payload = ContinuousProfiler().as_dict()
+        assert {
+            "interval_seconds",
+            "window_seconds",
+            "samples",
+            "rotations",
+            "running",
+            "hottest",
+        } <= set(payload)
+
+
+class TestSingleton:
+    @pytest.fixture(autouse=True)
+    def fresh(self):
+        stop_continuous_profiler()
+        yield
+        stop_continuous_profiler()
+
+    def test_get_or_create_and_stop(self):
+        first = start_continuous_profiler(interval=0.05)
+        second = start_continuous_profiler()
+        assert first is second is get_continuous_profiler()
+        assert first.running
+        stop_continuous_profiler()
+        assert get_continuous_profiler() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousProfiler(interval=0.0)
+        with pytest.raises(ValueError):
+            ContinuousProfiler(windows=0)

@@ -1,0 +1,109 @@
+"""Exposition re-rendering and scrape federation (`render_families`,
+`federate`) — the machinery behind the router's merged `/metrics`."""
+
+from repro.obs.exposition import (
+    federate,
+    parse_exposition,
+    render_families,
+    validate,
+)
+
+SHARD_SCRAPE = """\
+# HELP repro_requests_total HTTP requests served, by endpoint and status.
+# TYPE repro_requests_total counter
+repro_requests_total{endpoint="contained",status="200"} 7
+# TYPE repro_kernel_calls_total counter
+repro_kernel_calls_total 12
+# TYPE repro_request_latency_seconds histogram
+repro_request_latency_seconds_bucket{endpoint="contained",status="200",le="0.1"} 6
+repro_request_latency_seconds_bucket{endpoint="contained",status="200",le="+Inf"} 7
+repro_request_latency_seconds_sum{endpoint="contained",status="200"} 0.42
+repro_request_latency_seconds_count{endpoint="contained",status="200"} 7
+"""
+
+ROUTER_SCRAPE = """\
+# TYPE repro_cluster_shards gauge
+repro_cluster_shards 2
+"""
+
+
+class TestRenderFamilies:
+    def test_round_trips_through_parse_and_validate(self):
+        families = parse_exposition(SHARD_SCRAPE)
+        text = render_families(families)
+        assert validate(text) == []
+        again = parse_exposition(text)
+        assert set(again) == set(families)
+        # Values and labels survive, including the +Inf bucket.
+        assert "le=\"+Inf\"" in text
+        assert "repro_requests_total{endpoint=\"contained\",status=\"200\"} 7" in text
+
+    def test_label_escaping(self):
+        text = render_families(
+            parse_exposition(
+                '# TYPE x gauge\nx{p="a\\\\b\\"c\\nd"} 1\n'
+            )
+        )
+        assert parse_exposition(text)["x"].samples[0].labels["p"] == 'a\\b"c\nd'
+
+    def test_float_values_preserved(self):
+        text = render_families(parse_exposition("# TYPE y gauge\ny 0.125\n"))
+        assert "y 0.125" in text
+
+
+class TestFederate:
+    def test_labels_scrapes_by_shard_and_replica(self):
+        text, problems = federate(
+            [
+                ({"shard": "0", "replica": "0"}, SHARD_SCRAPE),
+                ({"shard": "1", "replica": "0"}, SHARD_SCRAPE),
+            ],
+            base=ROUTER_SCRAPE,
+        )
+        assert problems == []
+        assert validate(text) == []
+        families = parse_exposition(text)
+        samples = families["repro_requests_total"].samples
+        assert {s.labels["shard"] for s in samples} == {"0", "1"}
+        # Router-local series carry no federation labels.
+        (local,) = families["repro_cluster_shards"].samples
+        assert local.labels == {}
+
+    def test_federation_labels_win_and_rename_collisions(self):
+        # honor_labels: false — the federator knows which target it
+        # scraped; a self-reported colliding label moves to exported_*.
+        scrape = '# TYPE t counter\nt{shard="self-reported"} 1\n'
+        text, problems = federate([({"shard": "3"}, scrape)])
+        assert problems == []
+        (sample,) = parse_exposition(text)["t"].samples
+        assert sample.labels["shard"] == "3"
+        assert sample.labels["exported_shard"] == "self-reported"
+
+    def test_identical_collision_is_not_renamed(self):
+        scrape = '# TYPE t counter\nt{shard="3"} 1\n'
+        text, problems = federate([({"shard": "3"}, scrape)])
+        assert problems == []
+        (sample,) = parse_exposition(text)["t"].samples
+        assert sample.labels == {"shard": "3"}
+
+    def test_sick_scrape_degrades_to_problem(self):
+        text, problems = federate(
+            [
+                ({"shard": "0", "replica": "0"}, SHARD_SCRAPE),
+                ({"shard": "1", "replica": "1"}, "<html>502 Bad Gateway</html>"),
+            ]
+        )
+        assert len(problems) == 1
+        assert "shard=1" in problems[0]
+        # The healthy shard still federates.
+        assert "repro_kernel_calls_total" in parse_exposition(text)
+
+    def test_histograms_stay_valid_per_replica(self):
+        text, problems = federate(
+            [
+                ({"shard": "0", "replica": str(r)}, SHARD_SCRAPE)
+                for r in range(2)
+            ]
+        )
+        assert problems == []
+        assert validate(text) == []

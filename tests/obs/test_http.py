@@ -107,12 +107,54 @@ class TestDebugVars:
         assert status == 200
         assert headers["Content-Type"].startswith("application/json")
         payload = json.loads(body)
-        assert set(payload) == {"metrics", "top_spans", "recent_spans"}
+        assert set(payload) == {
+            "metrics",
+            "top_spans",
+            "recent_spans",
+            "spanstore",
+            "slow_query_log",
+            "profiler",
+        }
+        assert payload["spanstore"]["spans"] >= 1
         assert "repro_build_info" in payload["metrics"]
         names = {row["span"] for row in payload["top_spans"]}
         assert "http.request" in names
         for row in payload["recent_spans"]:
             assert {"span", "trace_id", "span_id", "duration_ns"} <= set(row)
+
+
+class TestDebugTrace:
+    def test_trace_endpoint_returns_request_spans(self, served):
+        sent = "feedfacefeedfacefeedfacefeedface"
+        fetch(served, "/stats", {"X-Trace-Id": sent})
+        status, headers, body = fetch(served, f"/debug/trace/{sent}")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["trace_id"] == sent
+        assert payload["count"] == len(payload["spans"]) >= 1
+        span = payload["spans"][0]
+        assert span["span"] == "http.request"
+        assert span["trace_id"] == sent
+        assert span["fields"]["endpoint"] == "stats"
+        assert span["fields"]["role"] == "serve"
+
+    def test_unknown_trace_is_empty(self, served):
+        _, _, body = fetch(served, "/debug/trace/" + "a" * 32)
+        assert json.loads(body)["spans"] == []
+
+
+class TestDebugProfile:
+    def test_collapsed_text(self, served):
+        status, headers, body = fetch(served, "/debug/profile")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+
+    def test_json_shape(self, served):
+        _, _, body = fetch(served, "/debug/profile?format=json")
+        payload = json.loads(body)
+        assert payload["running"] is True
+        assert "hottest" in payload
 
 
 class TestHealthzStorage:

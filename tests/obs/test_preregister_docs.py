@@ -1,0 +1,68 @@
+"""The boot registry and docs/observability.md must not drift apart.
+
+`preregister()` promises that a freshly-booted server's very first
+scrape shows every family in the documented catalogue (zero-valued);
+this test parses the catalogue tables out of the markdown and checks
+both directions for the families the telemetry layer owns.
+"""
+
+import re
+from pathlib import Path
+
+import repro.obs as obs
+from repro.obs.registry import get_registry
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+#: Families documented under this source live on a per-server private
+#: registry (see ServiceMetrics), not the process-wide one.
+PRIVATE_SOURCE = "service.metrics"
+
+
+def documented_families() -> set[str]:
+    names: set[str] = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("| `repro_"):
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        match = re.match(r"`(repro_[a-z0-9_]+)[`{]", cells[0])
+        if match is None:
+            continue  # wildcard rows like `repro_cache_*`
+        if len(cells) > 2 and PRIVATE_SOURCE in cells[2]:
+            continue
+        names.add(match.group(1))
+    return names
+
+
+def boot_families() -> set[str]:
+    obs.preregister()
+    return {
+        line.split()[2]
+        for line in get_registry().render().splitlines()
+        if line.startswith("# TYPE ")
+    }
+
+
+class TestCatalogueSync:
+    def test_doc_parses_a_real_catalogue(self):
+        documented = documented_families()
+        assert len(documented) > 60
+        assert "repro_kernel_calls_total" in documented
+        assert "repro_cluster_federated_scrapes_total" in documented
+        assert "repro_obs_spans_recorded_total" in documented
+
+    def test_every_documented_family_preregistered(self):
+        missing = documented_families() - boot_families()
+        assert not missing, f"documented but absent from the boot scrape: {sorted(missing)}"
+
+    def test_new_subsystem_families_documented(self):
+        """Every repro_stream_*/repro_cluster_*/repro_obs_* family the
+        boot registry exposes must appear in the catalogue."""
+        owned = {
+            name
+            for name in boot_families()
+            if name.startswith(("repro_stream_", "repro_cluster_", "repro_obs_"))
+        }
+        assert owned, "preregister exposed no stream/cluster/obs families"
+        undocumented = owned - documented_families()
+        assert not undocumented, f"in the boot scrape but not documented: {sorted(undocumented)}"

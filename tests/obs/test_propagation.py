@@ -2,7 +2,7 @@
 exposition validator's command-line entry point."""
 
 from repro.core.parallel import build_cubemask_state, prepare_shared_fanout
-from repro.obs.tracing import bind_trace
+from repro.obs.tracing import bind_trace, trace
 
 from tests.conftest import make_random_space
 from tests.exposition import main as exposition_main
@@ -28,6 +28,31 @@ class TestWorkerPropagation:
         segment, meta = prepare_shared_fanout(state)
         try:
             assert meta["trace_id"] is None
+            assert meta["parent_span_id"] is None
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_fanout_meta_carries_parent_span_id(self):
+        """Worker spans must parent onto the span open at fan-out time,
+        so `repro trace --dir` renders one tree across processes."""
+        space = make_random_space(40, seed=13)
+        state = build_cubemask_state(space, ("full",))
+        with trace("parallel.compute") as span:
+            segment, meta = prepare_shared_fanout(state)
+        try:
+            assert meta["parent_span_id"] == span.span_id
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_fanout_meta_carries_span_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPAN_DIR", str(tmp_path))
+        space = make_random_space(40, seed=13)
+        state = build_cubemask_state(space, ("full",))
+        segment, meta = prepare_shared_fanout(state)
+        try:
+            assert meta["span_dir"] == str(tmp_path)
         finally:
             segment.close()
             segment.unlink()

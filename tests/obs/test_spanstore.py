@@ -1,0 +1,172 @@
+"""The span store: bounded ring, JSONL ring persistence, offline
+reads, trace assembly and rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.spanstore import (
+    SpanStore,
+    assemble_trace,
+    get_span_store,
+    install_span_store,
+    read_span_files,
+    render_trace,
+    uninstall_span_store,
+)
+from repro.obs.tracing import bind_trace, trace
+
+
+def span(span_id, parent_id=None, trace_id="t1", name="work", start=0.0, ns=1_000_000, **fields):
+    return {
+        "span": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start": start,
+        "duration_ns": ns,
+        "error": None,
+        "fields": fields,
+    }
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        store = SpanStore(max_records=10)
+        for i in range(25):
+            store.record(span(f"s{i}", start=float(i)))
+        assert store.stats()["spans"] == 10
+        assert store.stats()["recorded_total"] == 25
+        # Oldest records were evicted, newest survive.
+        assert store.recent(100)[0]["span_id"] == "s15"
+
+    def test_spans_for_filters_by_trace(self):
+        store = SpanStore()
+        store.record(span("a", trace_id="one"))
+        store.record(span("b", trace_id="two"))
+        store.record(span("c", trace_id="one"))
+        assert [r["span_id"] for r in store.spans_for("one")] == ["a", "c"]
+        assert store.spans_for("nope") == []
+
+    def test_trace_ids_newest_first_dedup(self):
+        store = SpanStore()
+        for tid in ("one", "two", "one", "three"):
+            store.record(span(f"s-{tid}", trace_id=tid))
+        assert store.trace_ids() == ["three", "one", "two"]
+
+
+class TestPersistence:
+    def test_writes_per_pid_jsonl(self, tmp_path):
+        store = SpanStore(path=tmp_path)
+        store.record(span("a"))
+        store.record(span("b"))
+        store.close()
+        files = list(tmp_path.glob("spans-*.jsonl"))
+        assert len(files) == 1
+        lines = files[0].read_text().splitlines()
+        assert [json.loads(line)["span_id"] for line in lines] == ["a", "b"]
+
+    def test_two_file_rotation_bounds_disk(self, tmp_path):
+        store = SpanStore(path=tmp_path, max_records=5)
+        for i in range(12):
+            store.record(span(f"s{i}"))
+        store.close()
+        current = list(tmp_path.glob("spans-*.jsonl"))
+        rotated = list(tmp_path.glob("spans-*.jsonl.1"))
+        assert len(current) == 1 and len(rotated) == 1
+        # Rotated ring holds a full window, current holds the remainder.
+        assert len(rotated[0].read_text().splitlines()) == 5
+        assert len(current[0].read_text().splitlines()) == 2
+
+    def test_read_span_files_skips_torn_lines(self, tmp_path):
+        ring = tmp_path / "spans-123.jsonl"
+        ring.write_text(
+            json.dumps(span("good")) + "\n" + '{"torn": \n' + json.dumps(span("also")) + "\n"
+        )
+        records = read_span_files(tmp_path)
+        assert [r["span_id"] for r in records] == ["good", "also"]
+
+    def test_read_span_files_filters_trace(self, tmp_path):
+        ring = tmp_path / "spans-9.jsonl"
+        ring.write_text(
+            json.dumps(span("a", trace_id="keep"))
+            + "\n"
+            + json.dumps(span("b", trace_id="drop"))
+            + "\n"
+        )
+        assert [r["span_id"] for r in read_span_files(tmp_path, trace_id="keep")] == ["a"]
+
+
+class TestProcessStore:
+    @pytest.fixture(autouse=True)
+    def fresh(self):
+        uninstall_span_store()
+        yield
+        uninstall_span_store()
+        install_span_store()  # other test modules expect a live store
+
+    def test_install_hooks_tracer(self):
+        store = install_span_store()
+        with bind_trace("feed" * 8):
+            with trace("unit.work"):
+                pass
+        assert [r["span"] for r in store.spans_for("feed" * 8)] == ["unit.work"]
+
+    def test_install_is_get_or_create(self, tmp_path):
+        first = install_span_store(tmp_path)
+        second = install_span_store()
+        assert first is second is get_span_store()
+
+    def test_env_dir_honoured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPAN_DIR", str(tmp_path))
+        store = install_span_store()
+        store.record(span("from-env"))
+        store.close()
+        assert list(tmp_path.glob("spans-*.jsonl"))
+
+
+class TestAssembly:
+    def test_tree_is_stitched_by_parent_id(self):
+        records = [
+            span("root", start=0.0, ns=10_000_000),
+            span("kid-b", parent_id="root", start=2.0),
+            span("kid-a", parent_id="root", start=1.0),
+            span("grandkid", parent_id="kid-a", start=1.5),
+        ]
+        roots = assemble_trace(records)
+        assert len(roots) == 1
+        kids = roots[0]["children"]
+        assert [k["record"]["span_id"] for k in kids] == ["kid-a", "kid-b"]
+        assert kids[0]["children"][0]["record"]["span_id"] == "grandkid"
+
+    def test_duplicates_from_scatter_gather_dedup(self):
+        record = span("once")
+        assert len(assemble_trace([record, dict(record)])) == 1
+
+    def test_orphans_surface_as_roots(self):
+        roots = assemble_trace([span("lost", parent_id="evicted")])
+        assert len(roots) == 1
+        assert roots[0]["record"]["span_id"] == "lost"
+
+    def test_render_shows_role_budget_and_error(self):
+        records = [
+            span(
+                "root",
+                name="router.request",
+                ns=50_000_000,
+                role="router",
+                endpoint="contained",
+                deadline_ms=200,
+            ),
+            span("kid", parent_id="root", name="http.request", start=1.0, role="shard-0"),
+        ]
+        records[1]["error"] = "boom"
+        text = render_trace(records)
+        assert "trace t1 — 2 spans" in text
+        assert "[router]" in text and "endpoint=contained" in text
+        assert "budget=200ms spent=25%" in text
+        assert "  http.request" in text  # indented child
+        assert "ERROR: boom" in text
+
+    def test_render_empty(self):
+        assert render_trace([]) == "(no spans)\n"

@@ -1,0 +1,140 @@
+"""`repro top` internals: counter-delta rates, histogram percentile
+interpolation and frame rendering — all on synthetic snapshots."""
+
+import io
+
+from repro.obs.exposition import parse_exposition
+from repro.obs.top import percentiles, render_frame
+
+
+def snapshot(ts: float, text: str) -> dict:
+    return {"ts": ts, "families": parse_exposition(text), "vars": {}}
+
+
+def latency_scrape(buckets: dict[str, float], endpoint: str = "contained") -> str:
+    lines = [
+        "# TYPE repro_request_latency_seconds histogram",
+    ]
+    total = 0.0
+    for le, count in buckets.items():
+        total = count
+        lines.append(
+            "repro_request_latency_seconds_bucket"
+            f'{{endpoint="{endpoint}",status="200",le="{le}"}} {count}'
+        )
+    lines.append(
+        f'repro_request_latency_seconds_sum{{endpoint="{endpoint}",status="200"}} 1'
+    )
+    lines.append(
+        f'repro_request_latency_seconds_count{{endpoint="{endpoint}",status="200"}} {total}'
+    )
+    return "\n".join(lines) + "\n"
+
+
+class TestPercentiles:
+    def test_interpolates_within_bucket(self):
+        # 100 observations, all between 0.1 and 0.2: p50 lands mid-bucket.
+        curr = snapshot(
+            1.0, latency_scrape({"0.1": 0, "0.2": 100, "+Inf": 100})
+        )
+        pcts = percentiles(None, curr, qs=(0.5,))
+        assert abs(pcts[0.5] - 0.15) < 1e-9
+
+    def test_uses_deltas_between_snapshots(self):
+        # Cumulative history is slow; the *window* is all fast.  The
+        # delta-based percentile must see only the window.
+        prev = snapshot(0.0, latency_scrape({"0.01": 0, "1.0": 100, "+Inf": 100}))
+        curr = snapshot(
+            2.0, latency_scrape({"0.01": 50, "1.0": 150, "+Inf": 150})
+        )
+        pcts = percentiles(prev, curr, qs=(0.5, 0.99))
+        assert pcts[0.5] <= 0.01
+        assert pcts[0.99] <= 0.01
+
+    def test_empty_window_is_none(self):
+        text = latency_scrape({"0.1": 5, "+Inf": 5})
+        pcts = percentiles(snapshot(0.0, text), snapshot(1.0, text))
+        assert pcts == {0.5: None, 0.95: None, 0.99: None}
+
+    def test_aggregates_across_label_sets(self):
+        text = latency_scrape({"0.1": 10, "+Inf": 10}, endpoint="a") + latency_scrape(
+            {"10.0": 10, "+Inf": 10}, endpoint="b"
+        )
+        pcts = percentiles(None, snapshot(0.0, text), qs=(0.5,))
+        assert pcts[0.5] is not None
+        where = percentiles(
+            None, snapshot(0.0, text), qs=(0.5,), where={"endpoint": "a"}
+        )
+        assert where[0.5] <= 0.1
+
+
+SCRAPE_T0 = """\
+# TYPE repro_requests_total counter
+repro_requests_total{endpoint="contained",status="200"} 100
+repro_requests_total{endpoint="related",status="500"} 2
+# TYPE repro_request_latency_seconds histogram
+repro_request_latency_seconds_bucket{endpoint="contained",status="200",le="0.1"} 90
+repro_request_latency_seconds_bucket{endpoint="contained",status="200",le="+Inf"} 100
+repro_request_latency_seconds_sum{endpoint="contained",status="200"} 3
+repro_request_latency_seconds_count{endpoint="contained",status="200"} 100
+# TYPE repro_cache_hit_ratio gauge
+repro_cache_hit_ratio 0.75
+# TYPE repro_cache_entries gauge
+repro_cache_entries 42
+# TYPE repro_breaker_state gauge
+repro_breaker_state 0
+# TYPE repro_cluster_shards gauge
+repro_cluster_shards 2
+# TYPE repro_cluster_replicas_up gauge
+repro_cluster_replicas_up{shard="0"} 2
+repro_cluster_replicas_up{shard="1"} 1
+"""
+
+SCRAPE_T1 = SCRAPE_T0.replace(
+    'repro_requests_total{endpoint="contained",status="200"} 100',
+    'repro_requests_total{endpoint="contained",status="200"} 120',
+)
+
+
+class TestRenderFrame:
+    def test_first_frame_without_prev(self):
+        text = render_frame(None, snapshot(0.0, SCRAPE_T0), "http://x")
+        assert "repro top — http://x" in text
+        assert "102 total" in text
+        assert "cache     hit  75%   entries 42" in text
+        assert "breaker   closed" in text
+        assert "2 shard(s)" in text
+        assert "[s0:2 s1:1]" in text
+
+    def test_qps_from_delta(self):
+        prev = snapshot(0.0, SCRAPE_T0)
+        curr = snapshot(10.0, SCRAPE_T1)
+        text = render_frame(prev, curr, "http://x")
+        assert "(window 10.0s)" in text
+        assert "qps   2.0" in text
+
+    def test_endpoint_table_sorted_and_errors_counted(self):
+        text = render_frame(None, snapshot(0.0, SCRAPE_T0))
+        lines = text.splitlines()
+        table = [line for line in lines if line.startswith(("contained", "related"))]
+        assert len(table) == 2
+        assert table[0].startswith("contained")  # busiest first
+        assert table[1].split()[3] == "2"  # the 500s count as errors
+
+    def test_counter_reset_clamps_to_zero(self):
+        prev = snapshot(0.0, SCRAPE_T1)  # server restarted: counts went down
+        curr = snapshot(1.0, SCRAPE_T0)
+        assert "qps   0.0" in render_frame(prev, curr)
+
+
+class TestRunTop:
+    def test_iterations_and_unreachable_banner(self):
+        from repro.obs.top import run_top
+
+        buf = io.StringIO()
+        # Nothing listens on this port: every frame is the banner.
+        code = run_top(
+            "http://127.0.0.1:9", interval=0.01, iterations=2, out=buf, clear=False
+        )
+        assert code == 0
+        assert buf.getvalue().count("unreachable") == 2
